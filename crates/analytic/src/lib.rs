@@ -1,0 +1,325 @@
+//! The fetch-buffer occupancy model of paper Appendix B: a Markov chain
+//! over queue lengths driven by empirical instruction supply (I-cache or
+//! trace cache) and demand (decode) distributions, yielding the
+//! steady-state queue-length distribution and the expected fetch bubbles
+//! per cycle (Fig 5, Fig 14).
+//!
+//! # Examples
+//!
+//! ```
+//! use r3dla_analytic::FetchBufferModel;
+//!
+//! // Supply: 0 or 8 instructions per cycle; demand: always 4.
+//! let supply = vec![0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.5];
+//! let demand = vec![0.0, 0.0, 0.0, 0.0, 1.0];
+//! let model = FetchBufferModel::new(supply, demand, 16).unwrap();
+//! let q = model.steady_state();
+//! let sum: f64 = q.iter().sum();
+//! assert!((sum - 1.0).abs() < 1e-9);
+//! let bubbles = model.expected_bubbles(&q);
+//! assert!(bubbles >= 0.0);
+//! ```
+
+/// Errors from model construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A probability vector was empty or did not sum to ~1.
+    BadDistribution,
+    /// The queue capacity was zero.
+    ZeroCapacity,
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::BadDistribution => write!(f, "distribution must be nonempty and sum to 1"),
+            ModelError::ZeroCapacity => write!(f, "queue capacity must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+fn is_distribution(p: &[f64]) -> bool {
+    !p.is_empty()
+        && p.iter().all(|&x| (0.0..=1.0 + 1e-9).contains(&x))
+        && (p.iter().sum::<f64>() - 1.0).abs() < 1e-6
+}
+
+/// Convolves the supply distribution with the (negated) demand
+/// distribution, yielding the probability vector `C` of per-cycle queue
+/// length change (paper Appendix B-A).
+///
+/// The result is indexed from `-(demand_max)` to `+(supply_max)`; the
+/// returned pair is `(offset, probabilities)` where `probabilities[k]`
+/// is the probability of a change of `k - offset`.
+pub fn change_distribution(supply: &[f64], demand: &[f64]) -> (usize, Vec<f64>) {
+    let max_up = supply.len() - 1;
+    let max_down = demand.len() - 1;
+    let mut c = vec![0.0; max_up + max_down + 1];
+    for (s, &ps) in supply.iter().enumerate() {
+        for (d, &pd) in demand.iter().enumerate() {
+            c[max_down + s - d] += ps * pd;
+        }
+    }
+    (max_down, c)
+}
+
+/// The Markov-chain fetch-buffer model.
+#[derive(Debug, Clone)]
+pub struct FetchBufferModel {
+    /// P[i][j]: probability of moving from queue length j to length i.
+    transition: Vec<Vec<f64>>,
+    demand: Vec<f64>,
+    capacity: usize,
+}
+
+impl FetchBufferModel {
+    /// Builds the model from empirical supply and demand distributions
+    /// (probability of supplying/consuming `k` instructions per cycle)
+    /// and the queue capacity `N`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] when the inputs are not distributions or
+    /// the capacity is zero.
+    pub fn new(supply: Vec<f64>, demand: Vec<f64>, capacity: usize) -> Result<Self, ModelError> {
+        if capacity == 0 {
+            return Err(ModelError::ZeroCapacity);
+        }
+        if !is_distribution(&supply) || !is_distribution(&demand) {
+            return Err(ModelError::BadDistribution);
+        }
+        let n = capacity;
+        let (offset, c) = change_distribution(&supply, &demand);
+        // Transition matrix: columns are current length j, rows next
+        // length i; boundary rows absorb the out-of-range mass
+        // (paper Appendix B-B).
+        let mut p = vec![vec![0.0; n + 1]; n + 1];
+        for j in 0..=n {
+            for (k, &pc) in c.iter().enumerate() {
+                let delta = k as i64 - offset as i64;
+                let i = j as i64 + delta;
+                let i = i.clamp(0, n as i64) as usize;
+                p[i][j] += pc;
+            }
+        }
+        Ok(Self { transition: p, demand, capacity })
+    }
+
+    /// Queue capacity `N`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Computes the steady-state queue-length distribution `Q_ss` by
+    /// power iteration (the eigenvector of eigenvalue 1; paper Appendix
+    /// B-C).
+    pub fn steady_state(&self) -> Vec<f64> {
+        let n = self.capacity;
+        let mut q = vec![1.0 / (n + 1) as f64; n + 1];
+        let mut next = vec![0.0; n + 1];
+        for _ in 0..10_000 {
+            for x in next.iter_mut() {
+                *x = 0.0;
+            }
+            for i in 0..=n {
+                let row = &self.transition[i];
+                let mut acc = 0.0;
+                for j in 0..=n {
+                    acc += row[j] * q[j];
+                }
+                next[i] = acc;
+            }
+            let mut delta = 0.0;
+            for i in 0..=n {
+                delta += (next[i] - q[i]).abs();
+            }
+            std::mem::swap(&mut q, &mut next);
+            if delta < 1e-12 {
+                break;
+            }
+        }
+        // Normalize against accumulated rounding.
+        let sum: f64 = q.iter().sum();
+        if sum > 0.0 {
+            q.iter_mut().for_each(|x| *x /= sum);
+        }
+        q
+    }
+
+    /// The expectation of fetch bubbles per cycle under queue
+    /// distribution `q`:
+    /// `E(FB) = Σ_i Q_i × Σ_{j>i} D_j × (j − i)` (paper Appendix B).
+    pub fn expected_bubbles(&self, q: &[f64]) -> f64 {
+        let mut e = 0.0;
+        for (i, &qi) in q.iter().enumerate() {
+            for (j, &dj) in self.demand.iter().enumerate() {
+                if j > i {
+                    e += qi * dj * (j - i) as f64;
+                }
+            }
+        }
+        e
+    }
+}
+
+/// Sweeps queue capacities and returns `(capacity, E[FB])` pairs — the
+/// data series of paper Fig 5-b.
+pub fn bubble_sweep(
+    supply: &[f64],
+    demand: &[f64],
+    capacities: &[usize],
+) -> Result<Vec<(usize, f64)>, ModelError> {
+    capacities
+        .iter()
+        .map(|&cap| {
+            let m = FetchBufferModel::new(supply.to_vec(), demand.to_vec(), cap)?;
+            let q = m.steady_state();
+            Ok((cap, m.expected_bubbles(&q)))
+        })
+        .collect()
+}
+
+/// Derives a trace-cache-like supply distribution from an I-cache supply
+/// distribution: a trace cache can deliver past taken branches, shifting
+/// supply mass upward (paper Fig 5 compares the two).
+pub fn trace_cache_supply(icache_supply: &[f64], boost: f64) -> Vec<f64> {
+    // Move a `boost` fraction of each non-maximal supply bin one bin up.
+    let n = icache_supply.len();
+    let mut out = icache_supply.to_vec();
+    out.resize(n + n / 2 + 1, 0.0);
+    for k in (0..out.len() - 1).rev() {
+        let moved = out[k] * boost;
+        out[k] -= moved;
+        out[k + 1] += moved;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_model(cap: usize) -> FetchBufferModel {
+        // Supply 0 or 6 with equal probability; demand always 3.
+        let mut supply = vec![0.0; 7];
+        supply[0] = 0.5;
+        supply[6] = 0.5;
+        let mut demand = vec![0.0; 4];
+        demand[3] = 1.0;
+        FetchBufferModel::new(supply, demand, cap).unwrap()
+    }
+
+    #[test]
+    fn steady_state_is_a_distribution() {
+        let m = simple_model(8);
+        let q = m.steady_state();
+        assert_eq!(q.len(), 9);
+        let sum: f64 = q.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(q.iter().all(|&x| x >= -1e-12));
+    }
+
+    #[test]
+    fn steady_state_is_fixed_point() {
+        let m = simple_model(8);
+        let q = m.steady_state();
+        // Apply the transition once more; must not move.
+        let mut next = vec![0.0; q.len()];
+        for (i, nx) in next.iter_mut().enumerate() {
+            for (j, &qj) in q.iter().enumerate() {
+                *nx += m.transition[i][j] * qj;
+            }
+        }
+        for (a, b) in q.iter().zip(&next) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn bigger_buffers_reduce_bubbles() {
+        // The headline claim of Fig 5-b.
+        let sweep = bubble_sweep(
+            &{
+                let mut s = vec![0.0; 17];
+                s[0] = 0.4;
+                s[16] = 0.6;
+                s
+            },
+            &{
+                let mut d = vec![0.0; 5];
+                d[4] = 1.0;
+                d
+            },
+            &[4, 8, 16, 32],
+        )
+        .unwrap();
+        for w in sweep.windows(2) {
+            assert!(
+                w[1].1 <= w[0].1 + 1e-9,
+                "E[FB] must be non-increasing in capacity: {sweep:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        assert_eq!(
+            FetchBufferModel::new(vec![1.0], vec![1.0], 0).unwrap_err(),
+            ModelError::ZeroCapacity
+        );
+    }
+
+    #[test]
+    fn bad_distribution_rejected() {
+        assert_eq!(
+            FetchBufferModel::new(vec![0.5, 0.2], vec![1.0], 4).unwrap_err(),
+            ModelError::BadDistribution
+        );
+    }
+
+    #[test]
+    fn change_distribution_convolves() {
+        // Supply always 2, demand always 1 → change always +1.
+        let (off, c) = change_distribution(&[0.0, 0.0, 1.0], &[0.0, 1.0]);
+        assert_eq!(off, 1);
+        let expect_idx = off + 2 - 1;
+        assert!((c[expect_idx] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturated_supply_keeps_queue_full() {
+        // Supply 8 every cycle, demand 1: queue pins at capacity.
+        let mut supply = vec![0.0; 9];
+        supply[8] = 1.0;
+        let mut demand = vec![0.0; 2];
+        demand[1] = 1.0;
+        let m = FetchBufferModel::new(supply, demand, 8).unwrap();
+        let q = m.steady_state();
+        assert!(q[8] > 0.99, "q={q:?}");
+        assert!(m.expected_bubbles(&q) < 1e-9);
+    }
+
+    #[test]
+    fn starved_supply_keeps_queue_empty() {
+        let mut supply = vec![0.0; 2];
+        supply[0] = 1.0;
+        let mut demand = vec![0.0; 5];
+        demand[4] = 1.0;
+        let m = FetchBufferModel::new(supply, demand, 8).unwrap();
+        let q = m.steady_state();
+        assert!(q[0] > 0.99);
+        assert!((m.expected_bubbles(&q) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trace_cache_shifts_supply_up() {
+        let ic = vec![0.3, 0.3, 0.4];
+        let tc = trace_cache_supply(&ic, 0.5);
+        let mean_ic: f64 = ic.iter().enumerate().map(|(k, p)| k as f64 * p).sum();
+        let mean_tc: f64 = tc.iter().enumerate().map(|(k, p)| k as f64 * p).sum();
+        assert!(mean_tc > mean_ic);
+        assert!((tc.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,31 @@
+//! Ablation benches for design choices called out in DESIGN.md: BOQ
+//! depth, reboot cost, and value-reuse latency threshold.
+use criterion::{criterion_group, criterion_main, Criterion};
+use r3dla_bench::prepare_some;
+use r3dla_core::DlaConfig;
+use r3dla_workloads::Scale;
+
+fn bench(c: &mut Criterion) {
+    let prepared = prepare_some(&["cg_like"], Scale::Tiny);
+    let p = &prepared[0];
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    for depth in [64usize, 512] {
+        g.bench_function(format!("boq_depth_{depth}"), |b| {
+            let mut cfg = DlaConfig::dla();
+            cfg.boq_capacity = depth;
+            b.iter(|| p.measure_dla(cfg.clone(), 2_000, 10_000).mt_ipc)
+        });
+    }
+    for cost in [64u64, 200] {
+        g.bench_function(format!("reboot_cost_{cost}"), |b| {
+            let mut cfg = DlaConfig::dla();
+            cfg.reboot_cost = cost;
+            b.iter(|| p.measure_dla(cfg.clone(), 2_000, 10_000).mt_ipc)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

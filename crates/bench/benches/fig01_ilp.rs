@@ -1,0 +1,19 @@
+//! Criterion bench regenerating FIG1's limit study (reduced scale).
+use criterion::{criterion_group, criterion_main, Criterion};
+use r3dla_core::{ilp_limit, LimitModel};
+use r3dla_workloads::{by_name, Scale};
+
+fn bench(c: &mut Criterion) {
+    let wl = by_name("sjeng_like").unwrap().build(Scale::Tiny);
+    let mut g = c.benchmark_group("fig01_ilp");
+    g.sample_size(10);
+    for (name, model) in [("ideal", LimitModel::Ideal), ("real", LimitModel::Real)] {
+        g.bench_function(format!("window512_{name}"), |b| {
+            b.iter(|| ilp_limit(&wl.program, 512, model, 30_000))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for the FIG5 analytic fetch-buffer model.
+use criterion::{criterion_group, criterion_main, Criterion};
+use r3dla_analytic::{bubble_sweep, FetchBufferModel};
+
+fn bench(c: &mut Criterion) {
+    let mut supply = vec![0.0; 17];
+    supply[0] = 0.35;
+    supply[4] = 0.25;
+    supply[16] = 0.40;
+    let mut demand = vec![0.0; 5];
+    demand[0] = 0.2;
+    demand[4] = 0.8;
+    let mut g = c.benchmark_group("fig05_fetch_model");
+    g.bench_function("steady_state_cap32", |b| {
+        let m = FetchBufferModel::new(supply.clone(), demand.clone(), 32).unwrap();
+        b.iter(|| m.steady_state())
+    });
+    g.bench_function("bubble_sweep", |b| {
+        b.iter(|| bubble_sweep(&supply, &demand, &[4, 8, 16, 32]).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench regenerating FIG9a's comparison on one workload at
+//! reduced scale: BL vs DLA vs R3-DLA.
+use criterion::{criterion_group, criterion_main, Criterion};
+use r3dla_bench::prepare_some;
+use r3dla_core::DlaConfig;
+use r3dla_cpu::CoreConfig;
+use r3dla_workloads::Scale;
+
+fn bench(c: &mut Criterion) {
+    let prepared = prepare_some(&["libq_like"], Scale::Tiny);
+    let p = &prepared[0];
+    let mut g = c.benchmark_group("fig09_overall");
+    g.sample_size(10);
+    g.bench_function("baseline", |b| {
+        b.iter(|| p.measure_single(CoreConfig::paper(), None, Some("bop"), 2_000, 10_000))
+    });
+    g.bench_function("dla", |b| {
+        b.iter(|| p.measure_dla(DlaConfig::dla(), 2_000, 10_000).mt_ipc)
+    });
+    g.bench_function("r3dla", |b| {
+        b.iter(|| p.measure_dla(DlaConfig::r3(), 2_000, 10_000).mt_ipc)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

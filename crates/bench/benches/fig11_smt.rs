@@ -1,0 +1,25 @@
+//! Criterion bench regenerating FIG11's SMT scenarios (reduced).
+use criterion::{criterion_group, criterion_main, Criterion};
+use r3dla_bench::{measure_smt, prepare_some};
+use r3dla_cpu::CoreConfig;
+use r3dla_workloads::Scale;
+
+fn bench(c: &mut Criterion) {
+    let prepared = prepare_some(&["md5_like"], Scale::Tiny);
+    let p = &prepared[0];
+    let mut g = c.benchmark_group("fig11_smt");
+    g.sample_size(10);
+    g.bench_function("half_core", |b| {
+        b.iter(|| p.measure_single(CoreConfig::half_core(), None, Some("bop"), 2_000, 8_000))
+    });
+    g.bench_function("full_core", |b| {
+        b.iter(|| p.measure_single(CoreConfig::wide_smt(), None, Some("bop"), 2_000, 8_000))
+    });
+    g.bench_function("smt_2copies", |b| {
+        b.iter(|| measure_smt(p.built(), CoreConfig::wide_smt(), 2, 8_000))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

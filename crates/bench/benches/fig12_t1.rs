@@ -1,0 +1,27 @@
+//! Criterion bench regenerating FIG12 / TABLE III's T1-vs-stride
+//! comparison (reduced).
+use criterion::{criterion_group, criterion_main, Criterion};
+use r3dla_bench::prepare_some;
+use r3dla_core::DlaConfig;
+use r3dla_workloads::Scale;
+
+fn bench(c: &mut Criterion) {
+    let prepared = prepare_some(&["libq_like"], Scale::Tiny);
+    let p = &prepared[0];
+    let mut g = c.benchmark_group("fig12_t1");
+    g.sample_size(10);
+    g.bench_function("dla_plus_stride", |b| {
+        let mut cfg = DlaConfig::dla();
+        cfg.mt_l1_prefetcher = Some("stride");
+        b.iter(|| p.measure_dla(cfg.clone(), 2_000, 10_000).mt_ipc)
+    });
+    g.bench_function("dla_plus_t1", |b| {
+        let mut cfg = DlaConfig::dla();
+        cfg.t1 = true;
+        b.iter(|| p.measure_dla(cfg.clone(), 2_000, 10_000).mt_ipc)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

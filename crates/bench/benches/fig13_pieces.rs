@@ -1,0 +1,31 @@
+//! Criterion bench regenerating FIG13's per-technique pieces (reduced).
+use criterion::{criterion_group, criterion_main, Criterion};
+use r3dla_bench::prepare_some;
+use r3dla_core::{DlaConfig, RecycleMode};
+use r3dla_workloads::Scale;
+
+fn bench(c: &mut Criterion) {
+    let prepared = prepare_some(&["hmmer_like"], Scale::Tiny);
+    let p = &prepared[0];
+    let mut g = c.benchmark_group("fig13_pieces");
+    g.sample_size(10);
+    g.bench_function("fetch_buffer_32", |b| {
+        let mut cfg = DlaConfig::dla();
+        cfg.mt_core.fetch_buffer = 32;
+        b.iter(|| p.measure_dla(cfg.clone(), 2_000, 10_000).mt_ipc)
+    });
+    g.bench_function("value_reuse", |b| {
+        let mut cfg = DlaConfig::dla();
+        cfg.value_reuse = true;
+        b.iter(|| p.measure_dla(cfg.clone(), 2_000, 10_000).mt_ipc)
+    });
+    g.bench_function("recycle_dynamic", |b| {
+        let mut cfg = DlaConfig::dla();
+        cfg.recycle = RecycleMode::Dynamic;
+        b.iter(|| p.measure_dla(cfg.clone(), 2_000, 10_000).mt_ipc)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

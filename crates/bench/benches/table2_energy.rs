@@ -1,0 +1,37 @@
+//! Criterion bench regenerating TABLE II / FIG10's energy accounting.
+use criterion::{criterion_group, criterion_main, Criterion};
+use r3dla_bench::prepare_some;
+use r3dla_core::DlaConfig;
+use r3dla_cpu::ActivityCounters;
+use r3dla_energy::{CoreEnergy, EnergyParams};
+use r3dla_workloads::Scale;
+
+fn bench(c: &mut Criterion) {
+    let prepared = prepare_some(&["bzip2_like"], Scale::Tiny);
+    let p = &prepared[0];
+    let mut g = c.benchmark_group("table2_energy");
+    g.sample_size(10);
+    g.bench_function("dla_window_with_energy", |b| {
+        b.iter(|| {
+            let mut sys = p.dla_system(DlaConfig::dla());
+            sys.run_until_mt(10_000, 1_000_000);
+            let params = EnergyParams::node22();
+            let lt = CoreEnergy::from_counters(&sys.lt().counters, &params);
+            let mt = CoreEnergy::from_counters(&sys.mt().counters, &params);
+            lt.total_j() + mt.total_j()
+        })
+    });
+    g.bench_function("energy_model_only", |b| {
+        let mut a = ActivityCounters::default();
+        a.decoded.add(1_000_000);
+        a.executed.add(1_100_000);
+        a.committed.add(1_000_000);
+        a.cycles.add(700_000);
+        let params = EnergyParams::node22();
+        b.iter(|| CoreEnergy::from_counters(&a, &params).total_j())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench regenerating TABLE III's MPKI accounting path.
+use criterion::{criterion_group, criterion_main, Criterion};
+use r3dla_bench::prepare_some;
+use r3dla_core::{DlaConfig, SingleCoreSim};
+use r3dla_cpu::CoreConfig;
+use r3dla_mem::MemConfig;
+use r3dla_workloads::Scale;
+
+fn bench(c: &mut Criterion) {
+    let prepared = prepare_some(&["mcf_like"], Scale::Tiny);
+    let p = &prepared[0];
+    let mut g = c.benchmark_group("table3_mpki");
+    g.sample_size(10);
+    g.bench_function("bl_stride_l1", |b| {
+        b.iter(|| {
+            let mut sim = SingleCoreSim::build(
+                p.built(),
+                CoreConfig::paper(),
+                MemConfig::paper(),
+                Some("stride"),
+                Some("bop"),
+            );
+            sim.measure(2_000, 8_000).0
+        })
+    });
+    g.bench_function("dla_t1", |b| {
+        let mut cfg = DlaConfig::dla();
+        cfg.t1 = true;
+        b.iter(|| p.measure_dla(cfg.clone(), 2_000, 8_000).mt_ipc)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

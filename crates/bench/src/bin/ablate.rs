@@ -1,0 +1,23 @@
+use r3dla_core::{DlaConfig, DlaSystem, RecycleMode, SkeletonOptions};
+use r3dla_workloads::{by_name, Scale};
+
+fn run(name: &str, cfg: DlaConfig) -> f64 {
+    let wl = by_name(name).unwrap().build(Scale::Ref);
+    let mut sys = DlaSystem::build(&wl, cfg, SkeletonOptions::default()).unwrap();
+    sys.measure(60_000, 250_000).mt_ipc
+}
+
+fn main() {
+    for name in ["cg_like", "libq_like", "hmmer_like", "pagerank"] {
+        let base = run(name, DlaConfig::dla());
+        let t1 = { let mut c = DlaConfig::dla(); c.t1 = true; run(name, c) };
+        let vr = { let mut c = DlaConfig::dla(); c.value_reuse = true; run(name, c) };
+        let fb = { let mut c = DlaConfig::dla(); c.mt_core.fetch_buffer = 32; run(name, c) };
+        let rc = { let mut c = DlaConfig::dla(); c.recycle = RecycleMode::Dynamic; run(name, c) };
+        let r3 = run(name, DlaConfig::r3());
+        println!("{:12} DLA {:.3} | +T1 {:+.1}% +VR {:+.1}% +FB {:+.1}% +RC {:+.1}% | R3 {:+.1}%",
+            name, base,
+            (t1/base-1.0)*100.0, (vr/base-1.0)*100.0, (fb/base-1.0)*100.0,
+            (rc/base-1.0)*100.0, (r3/base-1.0)*100.0);
+    }
+}

@@ -1,0 +1,25 @@
+use r3dla_core::{DlaConfig, DlaSystem, SingleCoreSim, SkeletonOptions};
+use r3dla_cpu::CoreConfig;
+use r3dla_mem::MemConfig;
+use r3dla_workloads::{by_name, Scale};
+
+fn main() {
+    let warm = 30_000;
+    let win = 80_000;
+    for name in ["mcf_like", "libq_like", "sjeng_like", "bfs", "cg_like", "md5_like"] {
+        let wl = by_name(name).unwrap().build(Scale::Ref);
+        let mut bl = SingleCoreSim::build(&wl, CoreConfig::paper(), MemConfig::paper(), None, Some("bop"));
+        let (bl_ipc, _, _) = bl.measure(warm, win);
+        let mut dla = DlaSystem::build(&wl, DlaConfig::dla(), SkeletonOptions::default()).unwrap();
+        let d = dla.measure(warm, win);
+        let mut r3 = DlaSystem::build(&wl, DlaConfig::r3(), SkeletonOptions::default()).unwrap();
+        let r = r3.measure(warm, win);
+        println!(
+            "{:12} BL {:.3}  DLA {:.3} ({:+.1}%)  R3 {:.3} ({:+.1}%)  reboots {}/{} depth {} lt/mt {:.2}",
+            name, bl_ipc, d.mt_ipc, (d.mt_ipc / bl_ipc - 1.0) * 100.0,
+            r.mt_ipc, (r.mt_ipc / bl_ipc - 1.0) * 100.0,
+            d.reboots, r.reboots, dla.lookahead_depth(),
+            d.lt_committed as f64 / d.mt_committed.max(1) as f64,
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! Shared experiment harness: prepared workloads (profile + skeletons
+//! computed once), measurement helpers with common warmup/window sizing,
+//! and table formatting for the per-figure binaries.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use r3dla_core::{
+    generate_skeletons, profile, Dataflow, DlaConfig, DlaSystem, ProfileData, SingleCoreSim,
+    SkeletonOptions, SkeletonSet, WindowReport,
+};
+use r3dla_cpu::{BaseMem, Core, CoreConfig, PredictorDirection};
+use r3dla_isa::{ArchState, Program, VecMem};
+use r3dla_mem::{CoreMem, MemConfig, SharedLlc};
+use r3dla_workloads::{suite, BuiltWorkload, Scale, Suite, Workload};
+
+/// Default warmup instructions for measurement windows.
+pub const WARMUP: u64 = 40_000;
+/// Default measurement window in committed MT instructions.
+pub const WINDOW: u64 = 150_000;
+
+/// A workload with its offline analysis performed once, so each system
+/// configuration can be assembled without re-profiling.
+pub struct Prepared {
+    /// Kernel name.
+    pub name: String,
+    /// Owning suite.
+    pub suite: Suite,
+    /// The program.
+    pub program: Rc<Program>,
+    /// Training profile.
+    pub profile: ProfileData,
+    /// Skeletons with T1 offload applied.
+    pub skeletons_t1: SkeletonSet,
+    /// Skeletons without T1 offload (baseline DLA).
+    pub skeletons_plain: SkeletonSet,
+    built: BuiltWorkload,
+}
+
+impl Prepared {
+    /// Profiles and generates skeletons for one workload.
+    pub fn new(w: &Workload, scale: Scale) -> Self {
+        let built = w.build(scale);
+        let program = Rc::new(built.program.clone());
+        let df = Dataflow::analyze(&program);
+        let prof = profile(&program, DlaConfig::dla().profile_insts);
+        let opt = SkeletonOptions::default();
+        let skeletons_t1 = generate_skeletons(&program, &df, &prof, &opt, true);
+        let skeletons_plain = generate_skeletons(&program, &df, &prof, &opt, false);
+        Self {
+            name: w.name.to_string(),
+            suite: w.suite,
+            program,
+            profile: prof,
+            skeletons_t1,
+            skeletons_plain,
+            built,
+        }
+    }
+
+    /// The built workload (for single-core and baseline systems).
+    pub fn built(&self) -> &BuiltWorkload {
+        &self.built
+    }
+
+    /// Assembles a DLA system with the pre-computed analysis.
+    pub fn dla_system(&self, cfg: DlaConfig) -> DlaSystem {
+        let set = if cfg.t1 { &self.skeletons_t1 } else { &self.skeletons_plain };
+        DlaSystem::assemble(
+            Rc::clone(&self.program),
+            cfg,
+            set.clone(),
+            self.profile.clone(),
+        )
+    }
+
+    /// Measures a DLA configuration; returns the window report.
+    pub fn measure_dla(&self, cfg: DlaConfig, warm: u64, win: u64) -> WindowReport {
+        let mut sys = self.dla_system(cfg);
+        sys.measure(warm, win)
+    }
+
+    /// Measures a single-core configuration; returns IPC.
+    pub fn measure_single(
+        &self,
+        core: CoreConfig,
+        l1pf: Option<&str>,
+        l2pf: Option<&str>,
+        warm: u64,
+        win: u64,
+    ) -> f64 {
+        let mut sim = SingleCoreSim::build(&self.built, core, MemConfig::paper(), l1pf, l2pf);
+        sim.measure(warm, win).0
+    }
+}
+
+/// Prepares every workload of the standard suite at the given scale.
+/// This is the expensive step (training profile per kernel); binaries
+/// call it once and reuse.
+pub fn prepare_all(scale: Scale) -> Vec<Prepared> {
+    suite().iter().map(|w| Prepared::new(w, scale)).collect()
+}
+
+/// Prepares a named subset.
+pub fn prepare_some(names: &[&str], scale: Scale) -> Vec<Prepared> {
+    suite()
+        .iter()
+        .filter(|w| names.contains(&w.name))
+        .map(|w| Prepared::new(w, scale))
+        .collect()
+}
+
+/// Runs an SMT throughput measurement: `copies` identical threads on the
+/// given core; returns aggregate committed instructions per cycle.
+pub fn measure_smt(built: &BuiltWorkload, core_cfg: CoreConfig, copies: usize, win: u64) -> f64 {
+    let program = Rc::new(built.program.clone());
+    let shared = Rc::new(RefCell::new(SharedLlc::new(&MemConfig::paper())));
+    let mut mem = CoreMem::new(&MemConfig::paper(), shared);
+    if let Some(pf) = r3dla_prefetch::by_name("bop") {
+        mem.set_l2_prefetcher(pf);
+    }
+    let mut core = Core::new(core_cfg, Rc::clone(&program), mem);
+    for _ in 0..copies {
+        let vm = Rc::new(RefCell::new(VecMem::new()));
+        vm.borrow_mut().load_image(program.image());
+        let dir = Box::new(PredictorDirection::new(Box::new(r3dla_bpred::Tage::paper())));
+        core.add_thread(
+            program.entry(),
+            ArchState::new(program.entry()).regs(),
+            dir,
+            Rc::new(RefCell::new(BaseMem(vm))),
+        );
+    }
+    // Warm then measure.
+    let warm_target = WARMUP * copies as u64;
+    while (0..copies).map(|t| core.committed(t)).sum::<u64>() < warm_target
+        && !core.halted()
+        && core.cycle() < warm_target * 60
+    {
+        core.step();
+    }
+    let c0: u64 = (0..copies).map(|t| core.committed(t)).sum();
+    let y0 = core.cycle();
+    let target = c0 + win * copies as u64;
+    while (0..copies).map(|t| core.committed(t)).sum::<u64>() < target
+        && !core.halted()
+        && core.cycle() - y0 < win * 120
+    {
+        core.step();
+    }
+    let insts: u64 = (0..copies).map(|t| core.committed(t)).sum::<u64>() - c0;
+    let cycles = core.cycle() - y0;
+    if cycles == 0 {
+        0.0
+    } else {
+        insts as f64 / cycles as f64
+    }
+}
+
+/// Formats a markdown table row.
+pub fn row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}
+
+/// Geometric-mean summary per suite plus overall, from
+/// `(suite, value)` pairs — the paper's standard aggregation.
+pub fn suite_summary(pairs: &[(Suite, f64)]) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for s in [Suite::SpecInt, Suite::Crono, Suite::Star, Suite::Npb] {
+        let vals: Vec<f64> =
+            pairs.iter().filter(|(ps, _)| *ps == s).map(|(_, v)| *v).collect();
+        if !vals.is_empty() {
+            out.push((s.to_string(), r3dla_stats::geomean(&vals)));
+        }
+    }
+    let all: Vec<f64> = pairs.iter().map(|(_, v)| *v).collect();
+    out.push(("all".to_string(), r3dla_stats::geomean(&all)));
+    out
+}
+
+/// Parses `--window N` / `--warm N` style overrides from argv.
+pub fn arg_u64(name: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == name {
+            if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                return v;
+            }
+        }
+    }
+    default
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_and_measure_one() {
+        let p = prepare_some(&["md5_like"], Scale::Tiny);
+        assert_eq!(p.len(), 1);
+        let ipc = p[0].measure_single(CoreConfig::paper(), None, Some("bop"), 2_000, 8_000);
+        assert!(ipc > 0.0);
+        let rep = p[0].measure_dla(DlaConfig::dla(), 2_000, 8_000);
+        assert!(rep.mt_ipc > 0.0);
+    }
+
+    #[test]
+    fn suite_summary_aggregates() {
+        let pairs = vec![(Suite::SpecInt, 2.0), (Suite::SpecInt, 8.0), (Suite::Crono, 1.0)];
+        let s = suite_summary(&pairs);
+        let spec = s.iter().find(|(n, _)| n == "spec").unwrap().1;
+        assert!((spec - 4.0).abs() < 1e-9);
+        assert_eq!(s.last().unwrap().0, "all");
+    }
+}

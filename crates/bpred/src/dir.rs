@@ -1,0 +1,402 @@
+//! Direction predictors.
+//!
+//! Speculative global history is advanced in [`DirectionPredictor::predict`]
+//! and repaired by the core on squash via history snapshots — the same
+//! discipline real front ends use.
+
+/// A conditional-branch direction predictor.
+///
+/// The core calls [`predict`](Self::predict) at fetch (which may advance
+/// speculative history), then [`update`](Self::update) at branch
+/// resolution/commit with the true outcome. On a pipeline squash the core
+/// restores speculative history with
+/// [`restore_history`](Self::restore_history).
+pub trait DirectionPredictor {
+    /// Predictor name for reports.
+    fn name(&self) -> &str;
+    /// Predicts the direction of the conditional branch at `pc`,
+    /// speculatively advancing history with the prediction.
+    fn predict(&mut self, pc: u64) -> bool;
+    /// Trains with the architectural outcome. `mispredicted` reports
+    /// whether the earlier prediction disagreed (used for allocation).
+    fn update(&mut self, pc: u64, taken: bool, mispredicted: bool);
+    /// Returns the current speculative history register.
+    fn history(&self) -> u64 {
+        0
+    }
+    /// Restores speculative history after a squash, then re-inserts the
+    /// resolved outcome of the mispredicted branch.
+    fn restore_history(&mut self, _history: u64, _resolved_taken: Option<bool>) {}
+}
+
+#[inline]
+fn saturate_up(c: &mut u8, max: u8) {
+    if *c < max {
+        *c += 1;
+    }
+}
+
+#[inline]
+fn saturate_down(c: &mut u8) {
+    if *c > 0 {
+        *c -= 1;
+    }
+}
+
+/// A classic bimodal (per-PC 2-bit counter) predictor.
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    counters: Vec<u8>,
+    mask: usize,
+}
+
+impl Bimodal {
+    /// Creates a table with `entries` 2-bit counters (rounded up to a
+    /// power of two), initialized weakly taken.
+    pub fn new(entries: usize) -> Self {
+        let n = entries.next_power_of_two();
+        Self { counters: vec![2; n], mask: n - 1 }
+    }
+
+    #[inline]
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & self.mask
+    }
+}
+
+impl DirectionPredictor for Bimodal {
+    fn name(&self) -> &str {
+        "bimodal"
+    }
+
+    fn predict(&mut self, pc: u64) -> bool {
+        self.counters[self.index(pc)] >= 2
+    }
+
+    fn update(&mut self, pc: u64, taken: bool, _mispredicted: bool) {
+        let i = self.index(pc);
+        if taken {
+            saturate_up(&mut self.counters[i], 3);
+        } else {
+            saturate_down(&mut self.counters[i]);
+        }
+    }
+}
+
+/// A gshare predictor: global history XOR PC indexes a 2-bit table.
+#[derive(Debug, Clone)]
+pub struct Gshare {
+    counters: Vec<u8>,
+    mask: usize,
+    history: u64,
+    hist_bits: u32,
+}
+
+impl Gshare {
+    /// Creates a gshare with `entries` counters and `hist_bits` bits of
+    /// global history.
+    pub fn new(entries: usize, hist_bits: u32) -> Self {
+        let n = entries.next_power_of_two();
+        Self { counters: vec![2; n], mask: n - 1, history: 0, hist_bits }
+    }
+
+    #[inline]
+    fn index(&self, pc: u64) -> usize {
+        (((pc >> 2) ^ self.history) as usize) & self.mask
+    }
+}
+
+impl DirectionPredictor for Gshare {
+    fn name(&self) -> &str {
+        "gshare"
+    }
+
+    fn predict(&mut self, pc: u64) -> bool {
+        let taken = self.counters[self.index(pc)] >= 2;
+        self.history = ((self.history << 1) | taken as u64) & ((1 << self.hist_bits) - 1);
+        taken
+    }
+
+    fn update(&mut self, pc: u64, taken: bool, _mispredicted: bool) {
+        // Reconstruct the index with the history *before* this branch: the
+        // core calls restore_history on mispredicts, so the last history
+        // bit is this branch's prediction; shift it off for training.
+        let prior = self.history >> 1;
+        let i = (((pc >> 2) ^ prior) as usize) & self.mask;
+        if taken {
+            saturate_up(&mut self.counters[i], 3);
+        } else {
+            saturate_down(&mut self.counters[i]);
+        }
+    }
+
+    fn history(&self) -> u64 {
+        self.history
+    }
+
+    fn restore_history(&mut self, history: u64, resolved_taken: Option<bool>) {
+        self.history = history;
+        if let Some(t) = resolved_taken {
+            self.history =
+                ((self.history << 1) | t as u64) & ((1 << self.hist_bits) - 1);
+        }
+    }
+}
+
+const TAGE_TABLES: usize = 5;
+const TAGE_HIST: [u32; TAGE_TABLES] = [4, 9, 17, 33, 62];
+const TAGE_TAG_BITS: u32 = 11;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TageEntry {
+    tag: u16,
+    ctr: u8, // 3-bit, ≥4 = taken
+    useful: u8,
+}
+
+/// A TAGE-style predictor: a bimodal base plus tagged tables indexed with
+/// geometrically increasing history lengths.
+///
+/// This stands in for the paper's 256-kbit TAGE SC-L: it reproduces the
+/// accuracy *class* (high-90s on loop-heavy code, graceful degradation on
+/// data-dependent branches) rather than the exact component design.
+#[derive(Debug, Clone)]
+pub struct Tage {
+    base: Bimodal,
+    tables: Vec<Vec<TageEntry>>,
+    table_mask: usize,
+    history: u64,
+    tick: u64,
+}
+
+impl Tage {
+    /// A configuration sized like the paper's predictor budget.
+    pub fn paper() -> Self {
+        Self::new(8192, 2048)
+    }
+
+    /// Creates a TAGE with `base_entries` bimodal counters and
+    /// `table_entries` entries per tagged table.
+    pub fn new(base_entries: usize, table_entries: usize) -> Self {
+        let n = table_entries.next_power_of_two();
+        Self {
+            base: Bimodal::new(base_entries),
+            tables: vec![vec![TageEntry::default(); n]; TAGE_TABLES],
+            table_mask: n - 1,
+            history: 0,
+            tick: 0,
+        }
+    }
+
+    #[inline]
+    fn folded_history(&self, bits: u32, out_bits: u32) -> u64 {
+        // Fold `bits` of history into `out_bits` by XOR-ing segments.
+        let mut h = self.history & (u64::MAX >> (64 - bits.min(64)));
+        let mut folded = 0u64;
+        while h != 0 {
+            folded ^= h & ((1 << out_bits) - 1);
+            h >>= out_bits;
+        }
+        folded
+    }
+
+    #[inline]
+    fn index(&self, pc: u64, t: usize) -> usize {
+        let f = self.folded_history(TAGE_HIST[t], (self.table_mask.trailing_ones()).max(1));
+        (((pc >> 2) ^ (pc >> 7) ^ f) as usize) & self.table_mask
+    }
+
+    #[inline]
+    fn tag(&self, pc: u64, t: usize) -> u16 {
+        let f = self.folded_history(TAGE_HIST[t], TAGE_TAG_BITS);
+        ((((pc >> 2) ^ (pc >> 12)) as u64 ^ (f << 1)) & ((1 << TAGE_TAG_BITS) - 1)) as u16
+            | 1 // tag 0 means empty
+    }
+
+    /// Finds the longest matching table, returning (table, index).
+    fn provider(&self, pc: u64) -> Option<(usize, usize)> {
+        for t in (0..TAGE_TABLES).rev() {
+            let i = self.index(pc, t);
+            if self.tables[t][i].tag == self.tag(pc, t) {
+                return Some((t, i));
+            }
+        }
+        None
+    }
+}
+
+impl DirectionPredictor for Tage {
+    fn name(&self) -> &str {
+        "tage"
+    }
+
+    fn predict(&mut self, pc: u64) -> bool {
+        let taken = match self.provider(pc) {
+            Some((t, i)) => self.tables[t][i].ctr >= 4,
+            None => self.base.predict(pc),
+        };
+        self.history = (self.history << 1) | taken as u64;
+        taken
+    }
+
+    fn update(&mut self, pc: u64, taken: bool, mispredicted: bool) {
+        // Training happens with post-prediction history; recover the
+        // pre-branch view by shifting off the newest bit.
+        let saved = self.history;
+        self.history >>= 1;
+        let provider = self.provider(pc);
+        match provider {
+            Some((t, i)) => {
+                let e = &mut self.tables[t][i];
+                if taken {
+                    saturate_up(&mut e.ctr, 7);
+                } else {
+                    saturate_down(&mut e.ctr);
+                }
+                if !mispredicted {
+                    saturate_up(&mut e.useful, 3);
+                } else {
+                    saturate_down(&mut e.useful);
+                }
+            }
+            None => self.base.update(pc, taken, mispredicted),
+        }
+        // Allocate a longer-history entry on mispredict.
+        if mispredicted {
+            let start = provider.map(|(t, _)| t + 1).unwrap_or(0);
+            let mut allocated = false;
+            for t in start..TAGE_TABLES {
+                let i = self.index(pc, t);
+                if self.tables[t][i].useful == 0 {
+                    self.tables[t][i] = TageEntry {
+                        tag: self.tag(pc, t),
+                        ctr: if taken { 4 } else { 3 },
+                        useful: 0,
+                    };
+                    allocated = true;
+                    break;
+                }
+            }
+            if !allocated {
+                // Decay usefulness so future allocations can succeed.
+                self.tick += 1;
+                if self.tick.is_multiple_of(8) {
+                    for t in start..TAGE_TABLES {
+                        let i = self.index(pc, t);
+                        saturate_down(&mut self.tables[t][i].useful);
+                    }
+                }
+            }
+        }
+        self.history = saved;
+    }
+
+    fn history(&self) -> u64 {
+        self.history
+    }
+
+    fn restore_history(&mut self, history: u64, resolved_taken: Option<bool>) {
+        self.history = history;
+        if let Some(t) = resolved_taken {
+            self.history = (self.history << 1) | t as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn train<P: DirectionPredictor>(p: &mut P, seq: impl Iterator<Item = (u64, bool)>) -> f64 {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (pc, taken) in seq {
+            let pred = p.predict(pc);
+            if pred == taken {
+                correct += 1;
+            } else {
+                let h = p.history();
+                p.restore_history(h >> 1, Some(taken));
+            }
+            p.update(pc, taken, pred != taken);
+            total += 1;
+        }
+        correct as f64 / total as f64
+    }
+
+    #[test]
+    fn bimodal_learns_bias() {
+        let mut p = Bimodal::new(1024);
+        let acc = train(&mut p, (0..1000).map(|_| (0x100, true)));
+        assert!(acc > 0.95, "acc={acc}");
+    }
+
+    #[test]
+    fn gshare_learns_alternating_pattern() {
+        let mut p = Gshare::new(4096, 12);
+        let acc = train(&mut p, (0..4000).map(|i| (0x100, i % 2 == 0)));
+        assert!(acc > 0.9, "acc={acc}");
+    }
+
+    #[test]
+    fn bimodal_cannot_learn_alternating_pattern() {
+        let mut p = Bimodal::new(1024);
+        let acc = train(&mut p, (0..4000).map(|i| (0x100, i % 2 == 0)));
+        assert!(acc < 0.7, "bimodal should fail on T/NT/T/NT, acc={acc}");
+    }
+
+    #[test]
+    fn tage_learns_loop_exit() {
+        // An 8-iteration loop: branch taken 7 times then not taken.
+        let mut p = Tage::paper();
+        let seq = (0..8000).map(|i| (0x200u64, i % 8 != 7));
+        let acc = train(&mut p, seq);
+        assert!(acc > 0.95, "TAGE should capture loop period 8, acc={acc}");
+    }
+
+    #[test]
+    fn tage_beats_bimodal_on_history_patterns() {
+        let make_seq = || (0..6000).map(|i| (0x300u64, (i % 5) < 2));
+        let mut t = Tage::paper();
+        let mut b = Bimodal::new(8192);
+        let ta = train(&mut t, make_seq());
+        let ba = train(&mut b, make_seq());
+        assert!(ta > ba, "tage {ta} vs bimodal {ba}");
+    }
+
+    #[test]
+    fn tage_handles_many_branches() {
+        let mut p = Tage::paper();
+        // 64 branches with distinct biases.
+        let seq = (0..32_000).map(|i| {
+            let b = i % 64;
+            let pc = 0x1000 + (b as u64) * 4;
+            (pc, b % 3 != 0)
+        });
+        let acc = train(&mut p, seq);
+        assert!(acc > 0.9, "acc={acc}");
+    }
+
+    #[test]
+    fn history_snapshot_round_trip() {
+        let mut p = Tage::paper();
+        p.predict(0x10);
+        let h = p.history();
+        p.predict(0x20);
+        p.predict(0x30);
+        p.restore_history(h, Some(true));
+        assert_eq!(p.history(), (h << 1) | 1);
+    }
+
+    #[test]
+    fn random_outcomes_bound_accuracy() {
+        // Nothing can predict a fair coin; sanity-check we don't somehow
+        // exceed ~60% (which would indicate training on future data).
+        let mut rng = r3dla_stats::Rng::new(9);
+        let mut p = Tage::paper();
+        let outcomes: Vec<(u64, bool)> =
+            (0..20_000).map(|_| (0x500, rng.chance(0.5))).collect();
+        let acc = train(&mut p, outcomes.into_iter());
+        assert!((0.4..0.6).contains(&acc), "acc={acc}");
+    }
+}

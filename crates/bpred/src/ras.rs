@@ -1,0 +1,135 @@
+//! Return address stack with snapshot/restore for squash recovery.
+
+/// A snapshot of the full RAS state.
+///
+/// The RAS is small (32 entries per the paper's Table I), so checkpointing
+/// the whole stack per in-flight branch is cheap and gives exact recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RasState {
+    entries: [u64; Ras::DEPTH],
+    top: usize,
+    len: usize,
+}
+
+/// A circular return-address stack.
+///
+/// # Examples
+///
+/// ```
+/// use r3dla_bpred::Ras;
+/// let mut ras = Ras::new();
+/// ras.push(0x104);
+/// ras.push(0x208);
+/// assert_eq!(ras.pop(), Some(0x208));
+/// assert_eq!(ras.pop(), Some(0x104));
+/// assert_eq!(ras.pop(), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ras {
+    entries: [u64; Ras::DEPTH],
+    top: usize,
+    len: usize,
+}
+
+impl Default for Ras {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Ras {
+    /// Stack depth (paper Table I: 32-entry RAS).
+    pub const DEPTH: usize = 32;
+
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Self { entries: [0; Self::DEPTH], top: 0, len: 0 }
+    }
+
+    /// Pushes a return address (a call was fetched). Overwrites the oldest
+    /// entry when full, as hardware does.
+    pub fn push(&mut self, addr: u64) {
+        self.top = (self.top + 1) % Self::DEPTH;
+        self.entries[self.top] = addr;
+        if self.len < Self::DEPTH {
+            self.len += 1;
+        }
+    }
+
+    /// Pops the predicted return address (a return was fetched).
+    pub fn pop(&mut self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let addr = self.entries[self.top];
+        self.top = (self.top + Self::DEPTH - 1) % Self::DEPTH;
+        self.len -= 1;
+        Some(addr)
+    }
+
+    /// Captures the complete state for squash recovery.
+    pub fn snapshot(&self) -> RasState {
+        RasState { entries: self.entries, top: self.top, len: self.len }
+    }
+
+    /// Restores a previously captured state.
+    pub fn restore(&mut self, snap: RasState) {
+        self.entries = snap.entries;
+        self.top = snap.top;
+        self.len = snap.len;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut r = Ras::new();
+        for a in [1u64, 2, 3] {
+            r.push(a);
+        }
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), Some(1));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn overflow_wraps_keeping_newest() {
+        let mut r = Ras::new();
+        for a in 0..(Ras::DEPTH as u64 + 4) {
+            r.push(a);
+        }
+        // Newest survive.
+        assert_eq!(r.pop(), Some(Ras::DEPTH as u64 + 3));
+        assert_eq!(r.pop(), Some(Ras::DEPTH as u64 + 2));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut r = Ras::new();
+        r.push(10);
+        r.push(20);
+        let snap = r.snapshot();
+        r.pop();
+        r.push(99);
+        r.push(98);
+        r.restore(snap);
+        assert_eq!(r.pop(), Some(20));
+        assert_eq!(r.pop(), Some(10));
+    }
+
+    #[test]
+    fn deep_nesting_round_trip() {
+        let mut r = Ras::new();
+        for a in 0..Ras::DEPTH as u64 {
+            r.push(a);
+        }
+        for a in (0..Ras::DEPTH as u64).rev() {
+            assert_eq!(r.pop(), Some(a));
+        }
+        assert_eq!(r.pop(), None);
+    }
+}

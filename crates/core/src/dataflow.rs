@@ -1,0 +1,454 @@
+//! Static dataflow analysis over the program binary: control-flow graph,
+//! reaching definitions, and the backward slicing that turns seed
+//! instructions into a skeleton (paper Appendix A).
+
+use std::collections::HashMap;
+
+use r3dla_isa::{Program, Reg, CODE_BASE, INST_BYTES};
+
+/// A dense bitset over static instruction indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set over `len` elements.
+    pub fn new(len: usize) -> Self {
+        Self { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Inserts `i`; returns whether it was newly inserted.
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let w = i / 64;
+        let b = 1u64 << (i % 64);
+        let was = self.words[w] & b != 0;
+        self.words[w] |= b;
+        !was
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// In-place union; returns whether anything changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | *b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over the set members.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.contains(i))
+    }
+
+    /// Number of elements the set ranges over.
+    pub fn universe(&self) -> usize {
+        self.len
+    }
+}
+
+/// Per-instruction reaching definitions for each architectural register,
+/// computed with the classic iterative dataflow over basic blocks.
+#[derive(Debug)]
+pub struct Dataflow {
+    /// `producers[i]` = set of instruction indices whose definitions may
+    /// reach instruction `i`'s register uses.
+    producers: Vec<Vec<usize>>,
+    /// For memory instructions: producers of the *address* operand only
+    /// (`rs1`). Prefetch-payload seeds slice through these, not through
+    /// the data operand (paper §III-A).
+    addr_producers: Vec<Vec<usize>>,
+    /// Static def-use fanout: how many instructions consume each
+    /// instruction's definition.
+    dependents: Vec<usize>,
+    n: usize,
+}
+
+impl Dataflow {
+    /// Analyzes a program.
+    pub fn analyze(prog: &Program) -> Self {
+        let insts = prog.insts();
+        let n = insts.len();
+        // --- Basic blocks -------------------------------------------------
+        let mut leader = vec![false; n];
+        if n > 0 {
+            leader[0] = true;
+        }
+        for (i, inst) in insts.iter().enumerate() {
+            if inst.is_branch() {
+                if i + 1 < n {
+                    leader[i + 1] = true;
+                }
+                if inst.has_static_target() {
+                    let t = (inst.imm as u64).wrapping_sub(CODE_BASE) / INST_BYTES;
+                    if (t as usize) < n {
+                        leader[t as usize] = true;
+                    }
+                }
+            }
+        }
+        let block_starts: Vec<usize> = (0..n).filter(|&i| leader[i]).collect();
+        let nb = block_starts.len();
+        let block_of = {
+            let mut v = vec![0usize; n];
+            let mut b = 0;
+            for (i, bo) in v.iter_mut().enumerate() {
+                if b + 1 < nb && block_starts[b + 1] == i {
+                    b += 1;
+                }
+                *bo = b;
+            }
+            v
+        };
+        let block_end = |b: usize| {
+            if b + 1 < nb {
+                block_starts[b + 1]
+            } else {
+                n
+            }
+        };
+        // Successors.
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); nb];
+        for b in 0..nb {
+            let last = block_end(b) - 1;
+            let inst = &insts[last];
+            let fallthrough = !matches!(
+                inst.branch_kind(),
+                Some(
+                    r3dla_isa::BranchKind::Jump
+                        | r3dla_isa::BranchKind::Ret
+                        | r3dla_isa::BranchKind::IndJump
+                )
+            ) && inst.op != r3dla_isa::Op::Halt;
+            if fallthrough && last + 1 < n {
+                succs[b].push(block_of[last + 1]);
+            }
+            if inst.has_static_target() {
+                let t = ((inst.imm as u64).wrapping_sub(CODE_BASE) / INST_BYTES) as usize;
+                if t < n {
+                    succs[b].push(block_of[t]);
+                }
+            }
+            // Calls also continue at the return point; returns/indirect
+            // jumps conservatively reach every block that is a call-return
+            // site or jump-table target. For slicing we only need register
+            // def flow; conservatively link rets to all call fallthroughs.
+            if matches!(
+                inst.branch_kind(),
+                Some(r3dla_isa::BranchKind::Ret | r3dla_isa::BranchKind::IndJump | r3dla_isa::BranchKind::IndCall)
+            ) {
+                for (i, other) in insts.iter().enumerate() {
+                    if matches!(
+                        other.branch_kind(),
+                        Some(r3dla_isa::BranchKind::Call | r3dla_isa::BranchKind::IndCall)
+                    ) && i + 1 < n
+                    {
+                        succs[b].push(block_of[i + 1]);
+                    }
+                    // Indirect jumps may target any block leader that is
+                    // the target of a data-table entry; approximate with
+                    // every leader (cheap at our binary sizes).
+                }
+                if matches!(inst.branch_kind(), Some(r3dla_isa::BranchKind::IndJump)) {
+                    for (bb, _) in block_starts.iter().enumerate() {
+                        succs[b].push(bb);
+                    }
+                }
+            }
+            succs[b].sort_unstable();
+            succs[b].dedup();
+        }
+        // --- Reaching definitions ----------------------------------------
+        // def_sites[r] = list of instruction indices defining register r.
+        let mut def_sites: Vec<Vec<usize>> = vec![Vec::new(); Reg::COUNT];
+        for (i, inst) in insts.iter().enumerate() {
+            if let Some(rd) = inst.def() {
+                def_sites[rd.index()].push(i);
+            }
+        }
+        // Per block: last def of each register in the block (gen), and
+        // whether the block kills the register.
+        let mut block_gen: Vec<HashMap<usize, usize>> = vec![HashMap::new(); nb];
+        for b in 0..nb {
+            for i in block_starts[b]..block_end(b) {
+                if let Some(rd) = insts[i].def() {
+                    block_gen[b].insert(rd.index(), i);
+                }
+            }
+        }
+        // IN/OUT per block: map register -> BitSet of def sites. To keep
+        // it compact, store per (block, reg) bitsets only for registers
+        // that are ever defined.
+        let live_regs: Vec<usize> = (0..Reg::COUNT).filter(|&r| !def_sites[r].is_empty()).collect();
+        let reg_slot: HashMap<usize, usize> =
+            live_regs.iter().enumerate().map(|(s, &r)| (r, s)).collect();
+        let nslots = live_regs.len();
+        let mut in_sets: Vec<Vec<BitSet>> =
+            (0..nb).map(|_| (0..nslots).map(|_| BitSet::new(n)).collect()).collect();
+        let mut out_sets = in_sets.clone();
+        // Initialize OUT with gen.
+        for b in 0..nb {
+            for (&r, &site) in &block_gen[b] {
+                out_sets[b][reg_slot[&r]].insert(site);
+            }
+        }
+        // Iterate to fixpoint.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in 0..nb {
+                // IN[b] = union of OUT[preds]; we iterate succs instead:
+                // push OUT[b] into IN[s].
+                for &s in &succs[b] {
+                    for slot in 0..nslots {
+                        let src = out_sets[b][slot].clone();
+                        if in_sets[s][slot].union_with(&src) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            for b in 0..nb {
+                for slot in 0..nslots {
+                    let r = live_regs[slot];
+                    if block_gen[b].contains_key(&r) {
+                        // Killed within the block; OUT stays {gen site}.
+                        continue;
+                    }
+                    let src = in_sets[b][slot].clone();
+                    if out_sets[b][slot].union_with(&src) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // --- Per-instruction producers ------------------------------------
+        let mut producers: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut addr_producers: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut dependents = vec![0usize; n];
+        for b in 0..nb {
+            // Walk the block, tracking current local def per register.
+            let mut local: HashMap<usize, usize> = HashMap::new();
+            for i in block_starts[b]..block_end(b) {
+                for (use_slot, used) in insts[i].uses().iter().enumerate() {
+                    let Some(used) = used else { continue };
+                    let r = used.index();
+                    let is_addr_use = insts[i].is_mem() && use_slot == 0;
+                    if let Some(&d) = local.get(&r) {
+                        producers[i].push(d);
+                        if is_addr_use {
+                            addr_producers[i].push(d);
+                        }
+                        dependents[d] += 1;
+                    } else if let Some(&slot) = reg_slot.get(&r) {
+                        for d in in_sets[b][slot].iter() {
+                            producers[i].push(d);
+                            if is_addr_use {
+                                addr_producers[i].push(d);
+                            }
+                            dependents[d] += 1;
+                        }
+                    }
+                }
+                if let Some(rd) = insts[i].def() {
+                    local.insert(rd.index(), i);
+                }
+            }
+        }
+        Self { producers, addr_producers, dependents, n }
+    }
+
+    /// The instructions whose definitions may feed instruction `i`.
+    pub fn producers(&self, i: usize) -> &[usize] {
+        &self.producers[i]
+    }
+
+    /// Producers of a memory instruction's address operand only.
+    pub fn addr_producers(&self, i: usize) -> &[usize] {
+        &self.addr_producers[i]
+    }
+
+    /// Static fanout of instruction `i`'s definition.
+    pub fn dependents(&self, i: usize) -> usize {
+        self.dependents[i]
+    }
+
+    /// Number of static instructions analyzed.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the program was empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Computes the backward slice of `seeds`: the closure over register
+    /// producers plus profiled memory dependences (`mem_deps` maps a load
+    /// index to the store indices observed to feed it; pairs further than
+    /// `max_mem_dep_distance` static instructions apart are ignored, per
+    /// paper Appendix A).
+    pub fn backward_slice(
+        &self,
+        seeds: &[usize],
+        mem_deps: &HashMap<usize, Vec<usize>>,
+        max_mem_dep_distance: usize,
+    ) -> BitSet {
+        let mut included = BitSet::new(self.n);
+        let mut queue: Vec<usize> = Vec::new();
+        for &s in seeds {
+            if s < self.n && included.insert(s) {
+                queue.push(s);
+            }
+        }
+        while let Some(i) = queue.pop() {
+            for &p in self.producers(i) {
+                if included.insert(p) {
+                    queue.push(p);
+                }
+            }
+            if let Some(stores) = mem_deps.get(&i) {
+                for &s in stores {
+                    if s.abs_diff(i) <= max_mem_dep_distance && included.insert(s) {
+                        queue.push(s);
+                    }
+                }
+            }
+        }
+        included
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r3dla_isa::{Asm, Reg};
+
+    #[test]
+    fn bitset_basics() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(!s.insert(0));
+        assert!(s.insert(129));
+        assert!(s.contains(129));
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 2);
+        let members: Vec<_> = s.iter().collect();
+        assert_eq!(members, vec![0, 129]);
+    }
+
+    #[test]
+    fn straightline_producers() {
+        let mut a = Asm::new();
+        let (x, y) = (Reg::int(10), Reg::int(11));
+        a.li(x, 1); // 0
+        a.li(y, 2); // 1
+        a.add(x, x, y); // 2 uses 0, 1
+        a.halt(); // 3
+        let p = a.finish().unwrap();
+        let df = Dataflow::analyze(&p);
+        let mut prods = df.producers(2).to_vec();
+        prods.sort_unstable();
+        assert_eq!(prods, vec![0, 1]);
+        assert_eq!(df.dependents(0), 1);
+        assert_eq!(df.dependents(1), 1);
+    }
+
+    #[test]
+    fn loop_carried_defs_reach_back() {
+        let mut a = Asm::new();
+        let i = Reg::int(10);
+        a.li(i, 0); // 0
+        a.label("top");
+        a.addi(i, i, 1); // 1 — uses defs {0, 1} (loop carried)
+        a.slti(Reg::int(11), i, 10); // 2
+        a.bne(Reg::int(11), Reg::ZERO, "top"); // 3
+        a.halt();
+        let p = a.finish().unwrap();
+        let df = Dataflow::analyze(&p);
+        let mut prods = df.producers(1).to_vec();
+        prods.sort_unstable();
+        assert_eq!(prods, vec![0, 1], "loop-carried def must reach the add");
+    }
+
+    #[test]
+    fn slice_includes_chain_only() {
+        let mut a = Asm::new();
+        let (x, y, z) = (Reg::int(10), Reg::int(11), Reg::int(12));
+        a.li(x, 1); // 0: on chain
+        a.li(y, 2); // 1: NOT on chain
+        a.addi(x, x, 3); // 2: on chain
+        a.addi(y, y, 4); // 3: NOT
+        a.beq(x, Reg::ZERO, "end"); // 4: seed
+        a.label("end");
+        a.add(z, y, y); // 5: NOT
+        a.halt(); // 6
+        let p = a.finish().unwrap();
+        let df = Dataflow::analyze(&p);
+        let slice = df.backward_slice(&[4], &HashMap::new(), 1000);
+        assert!(slice.contains(4));
+        assert!(slice.contains(2));
+        assert!(slice.contains(0));
+        assert!(!slice.contains(1));
+        assert!(!slice.contains(3));
+        assert!(!slice.contains(5));
+    }
+
+    #[test]
+    fn slice_follows_memory_dependences() {
+        let mut a = Asm::new();
+        let (b, v) = (Reg::int(10), Reg::int(11));
+        a.li(b, 0x2000_0000); // 0
+        a.li(v, 42); // 1
+        a.st(v, b, 0); // 2: store feeding the load
+        a.ld(v, b, 0); // 3: load
+        a.beq(v, Reg::ZERO, "end"); // 4: seed
+        a.label("end");
+        a.halt();
+        let p = a.finish().unwrap();
+        let df = Dataflow::analyze(&p);
+        let mut mem_deps = HashMap::new();
+        mem_deps.insert(3usize, vec![2usize]);
+        let with = df.backward_slice(&[4], &mem_deps, 1000);
+        assert!(with.contains(2), "store feeding the sliced load included");
+        assert!(with.contains(1), "store data chain included");
+        // And the distance filter drops it.
+        let without = df.backward_slice(&[4], &mem_deps, 0);
+        assert!(!without.contains(2));
+    }
+
+    #[test]
+    fn call_return_flow_reaches_caller() {
+        let mut a = Asm::new();
+        let x = Reg::int(10);
+        a.li(x, 3); // 0
+        a.call("f"); // 1
+        a.beq(x, Reg::ZERO, "end"); // 2: seed — x defined in callee
+        a.label("end");
+        a.halt(); // 3
+        a.label("f");
+        a.addi(x, x, 1); // 4
+        a.ret(); // 5
+        let p = a.finish().unwrap();
+        let df = Dataflow::analyze(&p);
+        let slice = df.backward_slice(&[2], &HashMap::new(), 1000);
+        assert!(slice.contains(4), "callee def must be in the slice");
+    }
+}

@@ -1,0 +1,226 @@
+//! The implicit-parallelism limit study of paper Fig 1: dataflow-limited
+//! IPC under a moving instruction window, with ("real") or without
+//! ("ideal") branch-misprediction and cache-miss constraints.
+
+use std::collections::HashMap;
+
+use r3dla_bpred::{DirectionPredictor, Tage};
+use r3dla_isa::{step, ArchState, MemKind, Program, VecMem};
+use r3dla_mem::{Cache, CacheConfig};
+
+/// Constraint model for the limit study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimitModel {
+    /// Perfect branch prediction and an idealized (always-hitting)
+    /// data-supply subsystem: pure dataflow + window limits.
+    Ideal,
+    /// Realistic branch misprediction (TAGE) serializes fetch; loads pay
+    /// simulated L1/L2/L3/DRAM latencies.
+    Real,
+}
+
+/// Result of one limit-study run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LimitResult {
+    /// Dynamic instructions analyzed.
+    pub instructions: u64,
+    /// Total (virtual) cycles.
+    pub cycles: u64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+}
+
+/// Runs the limit study over (at most) `max_insts` dynamic instructions
+/// with a moving window of `window` instructions (paper: 128/512/2048).
+pub fn ilp_limit(prog: &Program, window: usize, model: LimitModel, max_insts: u64) -> LimitResult {
+    let mut st = ArchState::new(prog.entry());
+    let mut mem = VecMem::new();
+    mem.load_image(prog.image());
+    // Completion time of the youngest write to each register / address.
+    let mut reg_ready: [u64; 64] = [0; 64];
+    let mut mem_ready: HashMap<u64, u64> = HashMap::new();
+    // Ring buffer of completion times of the last `window` instructions.
+    let mut ring: Vec<u64> = vec![0; window];
+    let mut l1 = Cache::new(CacheConfig::l1());
+    let mut l2 = Cache::new(CacheConfig::l2());
+    let mut l3 = Cache::new(CacheConfig::l3());
+    let mut predictor = Tage::paper();
+    let mut fetch_serial_point: u64 = 0; // earliest start after a mispredict
+    let mut count: u64 = 0;
+    let mut horizon: u64 = 0;
+    const MISPREDICT_PENALTY: u64 = 15;
+    const DRAM_LAT: u64 = 180;
+    for n in 0..max_insts {
+        let pc = st.pc;
+        let out = match step(prog, &mut st, &mut mem) {
+            Ok(o) => o,
+            Err(_) => break,
+        };
+        count += 1;
+        // Dataflow readiness.
+        let mut start = fetch_serial_point;
+        for r in out.inst.uses().iter().flatten() {
+            start = start.max(reg_ready[r.index()]);
+        }
+        // Window constraint: cannot start before the instruction
+        // `window` older has completed.
+        start = start.max(ring[(n as usize) % window]);
+        // Latency.
+        let mut latency = out.inst.latency();
+        if let Some((kind, addr, _)) = out.mem {
+            match model {
+                LimitModel::Ideal => latency = 2,
+                LimitModel::Real => {
+                    if kind == MemKind::Load {
+                        latency = if l1.touch(addr) {
+                            3
+                        } else if l2.touch(addr) {
+                            12
+                        } else if l3.touch(addr) {
+                            48
+                        } else {
+                            DRAM_LAT
+                        };
+                    } else {
+                        // Stores retire into the hierarchy off the
+                        // critical path but still warm the caches.
+                        l1.touch(addr);
+                        l2.touch(addr);
+                        l3.touch(addr);
+                        latency = 1;
+                    }
+                    // RAW through memory.
+                    if kind == MemKind::Load {
+                        if let Some(&t) = mem_ready.get(&addr) {
+                            start = start.max(t);
+                        }
+                    } else {
+                        mem_ready.insert(addr, start + latency);
+                    }
+                }
+            }
+        }
+        let done = start + latency;
+        // Branch handling.
+        if let Some(taken) = out.taken {
+            if model == LimitModel::Real {
+                let pred = predictor.predict(pc);
+                let mispredicted = pred != taken;
+                if mispredicted {
+                    let h = predictor.history();
+                    predictor.restore_history(h >> 1, Some(taken));
+                    fetch_serial_point =
+                        fetch_serial_point.max(done + MISPREDICT_PENALTY);
+                }
+                predictor.update(pc, taken, mispredicted);
+            }
+        }
+        if let Some((rd, _)) = out.wrote {
+            reg_ready[rd.index()] = done;
+        }
+        ring[(n as usize) % window] = done;
+        horizon = horizon.max(done);
+        if out.halted {
+            break;
+        }
+    }
+    let cycles = horizon.max(1);
+    LimitResult { instructions: count, cycles, ipc: count as f64 / cycles as f64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r3dla_isa::{Asm, Reg};
+
+    fn independent_work() -> Program {
+        let mut a = Asm::new();
+        let (i, n) = (Reg::int(10), Reg::int(11));
+        a.li(i, 0);
+        a.li(n, 4000);
+        a.label("loop");
+        for k in 0..12 {
+            a.li(Reg::int(12 + (k % 8) as u8), k);
+        }
+        a.addi(i, i, 1);
+        a.blt(i, n, "loop");
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    fn serial_chain() -> Program {
+        let mut a = Asm::new();
+        let (i, n, x) = (Reg::int(10), Reg::int(11), Reg::int(12));
+        a.li(i, 0);
+        a.li(n, 4000);
+        a.li(x, 1);
+        a.label("loop");
+        for _ in 0..12 {
+            a.mul(x, x, x); // fully serial
+        }
+        a.addi(i, i, 1);
+        a.blt(i, n, "loop");
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn parallel_code_has_high_ideal_ilp() {
+        let p = independent_work();
+        let r = ilp_limit(&p, 512, LimitModel::Ideal, 100_000);
+        assert!(r.ipc > 8.0, "ideal ILP of independent work: {}", r.ipc);
+    }
+
+    #[test]
+    fn serial_code_has_low_ilp_regardless() {
+        let p = serial_chain();
+        let r = ilp_limit(&p, 2048, LimitModel::Ideal, 100_000);
+        assert!(r.ipc < 1.0, "serial chain ILP: {}", r.ipc);
+    }
+
+    #[test]
+    fn bigger_windows_expose_more_parallelism() {
+        let p = independent_work();
+        let small = ilp_limit(&p, 128, LimitModel::Ideal, 100_000);
+        let large = ilp_limit(&p, 2048, LimitModel::Ideal, 100_000);
+        assert!(large.ipc >= small.ipc * 0.99, "{} vs {}", large.ipc, small.ipc);
+    }
+
+    #[test]
+    fn real_constraints_reduce_ipc() {
+        // Data-dependent branches + large-footprint loads: real model
+        // must be much slower than ideal (the Fig 1 gap).
+        let mut rng = r3dla_stats::Rng::new(8);
+        let n = 32_768usize;
+        let mut a = Asm::new();
+        let arr = a.data().alloc_words(n);
+        for i in 0..n {
+            a.data().put_word(arr + (i as u64) * 8, rng.next_u64());
+        }
+        let (i, lim, b, v, acc) =
+            (Reg::int(10), Reg::int(11), Reg::int(12), Reg::int(13), Reg::int(14));
+        a.li(i, 0);
+        a.li(lim, n as i64);
+        a.li(b, arr as i64);
+        a.label("loop");
+        a.slli(v, i, 3);
+        a.add(v, v, b);
+        a.ld(v, v, 0);
+        a.andi(v, v, 1);
+        a.beq(v, Reg::ZERO, "skip");
+        a.addi(acc, acc, 1);
+        a.label("skip");
+        a.addi(i, i, 1);
+        a.blt(i, lim, "loop");
+        a.halt();
+        let p = a.finish().unwrap();
+        let ideal = ilp_limit(&p, 512, LimitModel::Ideal, 200_000);
+        let real = ilp_limit(&p, 512, LimitModel::Real, 200_000);
+        assert!(
+            ideal.ipc > real.ipc * 2.0,
+            "ideal {} vs real {}",
+            ideal.ipc,
+            real.ipc
+        );
+    }
+}

@@ -1,0 +1,483 @@
+//! Skeleton generation (paper Appendix A + §III-E1): seeds → backward
+//! slice → mask bits, with the five seed-vector options the recycle
+//! optimization combines into multiple skeleton versions.
+
+use std::collections::HashMap;
+
+use r3dla_isa::Program;
+
+use crate::dataflow::Dataflow;
+use crate::profile::ProfileData;
+
+/// Thresholds and toggles for skeleton construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkeletonOptions {
+    /// A memory instruction becomes a prefetch seed when its L1 miss rate
+    /// exceeds this (paper: 1%).
+    pub l1_seed_rate: f64,
+    /// …or its L2 miss rate exceeds this (paper: 0.1%).
+    pub l2_seed_rate: f64,
+    /// Store→load dependences further apart than this many static
+    /// instructions are ignored (paper: 1000).
+    pub max_mem_dep_distance: usize,
+    /// Stride-consistency ratio above which an in-loop memory instruction
+    /// is offloaded to T1 (and removed from the skeleton).
+    pub t1_stride_ratio: f64,
+    /// Minimum dynamic instances before T1 offload is considered.
+    pub t1_min_instances: u64,
+    /// Dispatch-to-execute latency above which an instruction becomes a
+    /// value-reuse target (paper: 20 cycles).
+    pub vr_latency: f64,
+    /// Minimum static dependents for a value-reuse target (paper: >1).
+    pub vr_min_dependents: usize,
+    /// Branch bias above which a branch is converted to unconditional in
+    /// the skeleton.
+    pub bias_threshold: f64,
+    /// Minimum dynamic instances before bias conversion.
+    pub bias_min_instances: u64,
+}
+
+impl Default for SkeletonOptions {
+    fn default() -> Self {
+        Self {
+            l1_seed_rate: 0.01,
+            l2_seed_rate: 0.001,
+            max_mem_dep_distance: 1000,
+            t1_stride_ratio: 0.9,
+            t1_min_instances: 64,
+            vr_latency: 20.0,
+            vr_min_dependents: 2,
+            bias_threshold: 0.995,
+            bias_min_instances: 100,
+        }
+    }
+}
+
+/// One skeleton: the mask bits the look-ahead thread fetches, the S bits
+/// marking T1-offloaded instructions in the main thread's binary, and the
+/// bias overrides for converted branches.
+#[derive(Debug, Clone)]
+pub struct Skeleton {
+    /// Human-readable version name.
+    pub name: String,
+    /// `mask[i]` — instruction `i` is on the skeleton (kept by LT).
+    pub mask: Vec<bool>,
+    /// `sbits[i]` — instruction `i` is T1-offloaded (marked in MT).
+    pub sbits: Vec<bool>,
+    /// `prefetch_only[i]` — instruction `i` is a masked load whose result
+    /// no skeleton instruction consumes: LT executes it as a non-blocking
+    /// prefetch payload (paper §III-A).
+    pub prefetch_only: Vec<bool>,
+    /// Conditional branches forced to a fixed direction in LT,
+    /// keyed by PC.
+    pub bias_override: HashMap<u64, bool>,
+}
+
+impl Skeleton {
+    /// Fraction of static instructions on the skeleton.
+    pub fn density(&self) -> f64 {
+        if self.mask.is_empty() {
+            return 0.0;
+        }
+        self.mask.iter().filter(|&&k| k).count() as f64 / self.mask.len() as f64
+    }
+
+    /// Dynamic skeleton weight: the fraction of *executed* instructions
+    /// that are on the skeleton, under the given profile.
+    pub fn dynamic_weight(&self, profile: &ProfileData) -> f64 {
+        let total: u64 = profile.exec_count.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let kept: u64 = profile
+            .exec_count
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.mask[*i])
+            .map(|(_, &c)| c)
+            .sum();
+        kept as f64 / total as f64
+    }
+}
+
+/// The generated skeleton versions used by the recycle controller
+/// (paper Fig 6: multiple seed-vector combinations → multiple skeletons).
+#[derive(Debug, Clone)]
+pub struct SkeletonSet {
+    /// All versions; index 0 is the default (the baseline-DLA skeleton).
+    pub versions: Vec<Skeleton>,
+}
+
+impl SkeletonSet {
+    /// Number of versions.
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Whether the set is empty (never true for generated sets).
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+}
+
+/// Seed classification shared by the generator.
+struct Seeds {
+    control: Vec<usize>,
+    l1_targets: Vec<usize>,
+    l2_targets: Vec<usize>,
+    t1_targets: Vec<usize>,
+    vr_targets: Vec<usize>,
+    biased_branches: Vec<usize>,
+}
+
+fn classify(prog: &Program, df: &Dataflow, profile: &ProfileData, opt: &SkeletonOptions) -> Seeds {
+    let insts = prog.insts();
+    let mut s = Seeds {
+        control: Vec::new(),
+        l1_targets: Vec::new(),
+        l2_targets: Vec::new(),
+        t1_targets: Vec::new(),
+        vr_targets: Vec::new(),
+        biased_branches: Vec::new(),
+    };
+    for (i, inst) in insts.iter().enumerate() {
+        if inst.is_branch() {
+            s.control.push(i);
+            if inst.is_cond_branch()
+                && profile.exec_count[i] >= opt.bias_min_instances
+                && profile.bias(i) >= opt.bias_threshold
+            {
+                // Never force-take a backward branch: the look-ahead
+                // thread would spin in the loop forever and trigger a
+                // reboot storm at every loop exit. Forward conversions
+                // and forced-not-taken back edges are safe (a wrong
+                // outcome is caught by the BOQ and rebooted).
+                let backward = (inst.imm as u64) < prog.index_to_pc(i);
+                if !(profile.biased_taken(i) && backward) {
+                    s.biased_branches.push(i);
+                }
+            }
+        }
+        if inst.is_mem() {
+            let is_t1 = inst.is_load()
+                && profile.mem_instances[i] >= opt.t1_min_instances
+                && profile.stride_ratio(i) >= opt.t1_stride_ratio
+                && profile.in_loop[i];
+            if is_t1 {
+                s.t1_targets.push(i);
+            }
+            if profile.l2_miss_rate(i) > opt.l2_seed_rate {
+                s.l2_targets.push(i);
+            } else if profile.l1_miss_rate(i) > opt.l1_seed_rate {
+                s.l1_targets.push(i);
+            }
+        }
+        if profile.avg_d2e[i] >= opt.vr_latency && df.dependents(i) >= opt.vr_min_dependents {
+            s.vr_targets.push(i);
+        }
+    }
+    s
+}
+
+fn build_one(
+    name: &str,
+    prog: &Program,
+    df: &Dataflow,
+    profile: &ProfileData,
+    opt: &SkeletonOptions,
+    seeds: &Seeds,
+    include_l1: bool,
+    include_vr: bool,
+    t1_offload: bool,
+    t1_add_back: bool,
+    bias_convert: bool,
+) -> Skeleton {
+    let n = prog.len();
+    let t1_set: std::collections::HashSet<usize> = if t1_offload {
+        seeds.t1_targets.iter().copied().collect()
+    } else {
+        Default::default()
+    };
+    let bias_set: std::collections::HashSet<usize> = if bias_convert {
+        seeds.biased_branches.iter().copied().collect()
+    } else {
+        Default::default()
+    };
+    // ---- Phase 1: full-value slice -----------------------------------
+    // Control instructions (minus bias-converted ones) and value-reuse
+    // targets need their *results* correct, so the closure follows every
+    // register producer plus profiled memory dependences.
+    let mut included = crate::dataflow::BitSet::new(n);
+    let mut queue: Vec<usize> = Vec::new();
+    for &c in &seeds.control {
+        if !bias_set.contains(&c) && included.insert(c) {
+            queue.push(c);
+        }
+    }
+    if include_vr {
+        for &v in &seeds.vr_targets {
+            if !t1_set.contains(&v) && included.insert(v) {
+                queue.push(v);
+            }
+        }
+    }
+    fn closure(
+        included: &mut crate::dataflow::BitSet,
+        queue: &mut Vec<usize>,
+        prog: &Program,
+        df: &Dataflow,
+        profile: &ProfileData,
+        max_dist: usize,
+    ) {
+        while let Some(i) = queue.pop() {
+            for &p in df.producers(i) {
+                if included.insert(p) {
+                    queue.push(p);
+                }
+            }
+            if prog.insts()[i].is_load() {
+                if let Some(stores) = profile.mem_deps.get(&i) {
+                    for &s in stores {
+                        if s.abs_diff(i) <= max_dist && included.insert(s) {
+                            queue.push(s);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    closure(&mut included, &mut queue, prog, df, profile, opt.max_mem_dep_distance);
+    // ---- Phase 2: prefetch payloads -----------------------------------
+    // Missing memory instructions not already needed for their values are
+    // included as prefetch payloads: only their *address* chains join the
+    // skeleton and LT never stalls on their data (paper §III-A).
+    let mut prefetch_only = vec![false; n];
+    let mut prefetch_seeds: Vec<usize> = Vec::new();
+    // T1-offloaded loads keep their prefetch payloads in the skeleton:
+    // in this substrate payloads are non-blocking and nearly free for LT
+    // (unlike the paper's 3-instruction cost), so removing them would
+    // trade deep look-ahead prefetch for T1's shallower commit-time
+    // prefetch. T1 offload therefore governs the S bits (the MT-side
+    // FSM) while the payloads stay; `t1_add_back` is retained as the
+    // recycle option that *also* restores their full dependence chains.
+    let _ = t1_add_back;
+    for &m in &seeds.l2_targets {
+        prefetch_seeds.push(m);
+    }
+    if include_l1 {
+        for &m in &seeds.l1_targets {
+            prefetch_seeds.push(m);
+        }
+    }
+    for m in prefetch_seeds {
+        if included.contains(m) {
+            continue; // its value is already live in the skeleton
+        }
+        included.insert(m);
+        prefetch_only[m] = true;
+        for &p in df.addr_producers(m) {
+            if included.insert(p) {
+                queue.push(p);
+            }
+        }
+        closure(&mut included, &mut queue, prog, df, profile, opt.max_mem_dep_distance);
+    }
+    let mut mask = vec![false; n];
+    for i in included.iter() {
+        mask[i] = true;
+    }
+    // All control instructions stay on the skeleton even when their
+    // condition chain was dropped (bias-converted branches still execute
+    // in LT — at a forced direction — to keep the BOQ aligned).
+    for &c in &seeds.control {
+        mask[c] = true;
+    }
+    // Halt must be on the skeleton so LT terminates.
+    for (i, inst) in prog.insts().iter().enumerate() {
+        if inst.op == r3dla_isa::Op::Halt {
+            mask[i] = true;
+        }
+    }
+    let mut sbits = vec![false; n];
+    if t1_offload {
+        for &t in &seeds.t1_targets {
+            sbits[t] = true;
+        }
+    }
+    let mut bias_override = HashMap::new();
+    if bias_convert {
+        for &b in &seeds.biased_branches {
+            bias_override.insert(prog.index_to_pc(b), profile.biased_taken(b));
+        }
+    }
+    Skeleton { name: name.to_string(), mask, sbits, prefetch_only, bias_override }
+}
+
+/// Generates the skeleton set.
+///
+/// `t1_enabled` selects whether strided loads are offloaded to the T1 FSM
+/// (R3-DLA) or kept in the skeleton (baseline DLA).
+///
+/// Version list (paper §III-E1 seed-vector combinations, six versions):
+///
+/// | # | name       | L1 targets | VR targets | T1 add-back | bias conv. |
+/// |---|------------|-----------|------------|-------------|------------|
+/// | 0 | `default`  | yes       | no         | no          | no         |
+/// | 1 | `lean`     | no        | no         | no          | no         |
+/// | 2 | `vr`       | yes       | yes        | no          | no         |
+/// | 3 | `t1back`   | yes       | no         | yes         | no         |
+/// | 4 | `biased`   | yes       | no         | no          | yes        |
+/// | 5 | `max`      | yes       | yes        | no          | yes        |
+pub fn generate_skeletons(
+    prog: &Program,
+    df: &Dataflow,
+    profile: &ProfileData,
+    opt: &SkeletonOptions,
+    t1_enabled: bool,
+) -> SkeletonSet {
+    let seeds = classify(prog, df, profile, opt);
+    let mk = |name, l1, vr, back, bias| {
+        build_one(name, prog, df, profile, opt, &seeds, l1, vr, t1_enabled, back, bias)
+    };
+    SkeletonSet {
+        versions: vec![
+            mk("default", true, false, false, false),
+            mk("lean", false, false, false, false),
+            mk("vr", true, true, false, false),
+            mk("t1back", true, false, true, false),
+            mk("biased", true, false, false, true),
+            mk("max", true, true, false, true),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::profile_functional;
+    use r3dla_isa::{Asm, Reg};
+
+    /// A loop with: a strided load, a pointer-chase load, an unrelated
+    /// "compute only" chain, and a biased branch.
+    fn mixed_program() -> Program {
+        let mut rng = r3dla_stats::Rng::new(1);
+        let n = 8192usize;
+        let mut a = Asm::new();
+        let arr = a.data().alloc_words(n);
+        let chase = a.data().alloc_words(n);
+        let mut perm: Vec<u64> = (0..n as u64).collect();
+        for i in (1..n).rev() {
+            let j = rng.range_usize(0, i);
+            perm.swap(i, j);
+        }
+        for (i, &p) in perm.iter().enumerate() {
+            a.data().put_word(chase + (i as u64) * 8, chase + p * 8);
+        }
+        let (i, lim, b, v, cur, dead) =
+            (Reg::int(10), Reg::int(11), Reg::int(12), Reg::int(13), Reg::int(14), Reg::int(15));
+        a.li(i, 0); // 0
+        a.li(lim, n as i64); // 1
+        a.li(b, arr as i64); // 2
+        a.li(cur, chase as i64); // 3
+        a.label("loop");
+        a.slli(v, i, 3); // 4
+        a.add(v, v, b); // 5
+        a.ld(Reg::int(16), v, 0); // 6: strided load
+        a.ld(cur, cur, 0); // 7: pointer chase
+        a.addi(dead, dead, 5); // 8: dead compute
+        a.mul(dead, dead, dead); // 9: dead compute
+        // A forward guard branch that is never taken (rare-error check):
+        // the canonical bias-conversion target.
+        a.blt(i, Reg::ZERO, "guard"); // 10: biased forward branch
+        a.label("guard");
+        a.addi(i, i, 1); // 11
+        a.blt(i, lim, "loop"); // 12: biased backward branch
+        a.halt(); // 13
+        a.finish().unwrap()
+    }
+
+    fn profile_of(p: &Program) -> (Dataflow, ProfileData) {
+        let df = Dataflow::analyze(p);
+        let prof = profile_functional(p, 500_000);
+        (df, prof)
+    }
+
+    #[test]
+    fn default_skeleton_keeps_chase_drops_dead_code() {
+        let p = mixed_program();
+        let (df, prof) = profile_of(&p);
+        let set = generate_skeletons(&p, &df, &prof, &SkeletonOptions::default(), false);
+        let sk = &set.versions[0];
+        assert!(sk.mask[7], "pointer-chase load on skeleton");
+        assert!(sk.mask[12], "loop branch on skeleton");
+        assert!(sk.mask[11], "branch chain (addi i) on skeleton");
+        assert!(!sk.mask[8] && !sk.mask[9], "dead compute off skeleton");
+        assert!(sk.mask[13], "halt stays on skeleton");
+    }
+
+    #[test]
+    fn t1_offload_marks_strided_load() {
+        let p = mixed_program();
+        let (df, prof) = profile_of(&p);
+        let without = generate_skeletons(&p, &df, &prof, &SkeletonOptions::default(), false);
+        let with = generate_skeletons(&p, &df, &prof, &SkeletonOptions::default(), true);
+        // The strided load (6) carries an S bit; it stays on the skeleton
+        // as a non-blocking prefetch payload (substrate note in the
+        // generator: payloads are nearly free for LT here, so T1 governs
+        // the MT-side FSM rather than shrinking the skeleton).
+        assert!(with.versions[0].sbits[6], "strided load S-bit set");
+        assert!(with.versions[0].mask[6], "payload stays on the skeleton");
+        assert!(
+            with.versions[0].prefetch_only[6],
+            "strided load is a non-blocking payload"
+        );
+        assert!(without.versions[0].mask[6], "baseline keeps the strided load");
+        assert!(!with.versions[0].sbits[7], "pointer chase not T1-eligible");
+        assert!(!without.versions[0].sbits[6], "no S bits without T1");
+    }
+
+    #[test]
+    fn skeleton_shrinks_lt_workload() {
+        let p = mixed_program();
+        let (df, prof) = profile_of(&p);
+        let set = generate_skeletons(&p, &df, &prof, &SkeletonOptions::default(), true);
+        let w = set.versions[0].dynamic_weight(&prof);
+        assert!(w < 0.9, "skeleton should drop work, weight={w}");
+        assert!(w > 0.2, "skeleton kept too little, weight={w}");
+        // Lean ⊆ default ⊆ vr (bias conversion in `max` can *shrink* the
+        // skeleton by dropping branch-condition chains, so it is not
+        // comparable).
+        let lean = set.versions[1].dynamic_weight(&prof);
+        let vr = set.versions[2].dynamic_weight(&prof);
+        assert!(lean <= w + 1e-12);
+        assert!(w <= vr + 1e-12);
+    }
+
+    #[test]
+    fn biased_branch_converted_with_override() {
+        let p = mixed_program();
+        let (df, prof) = profile_of(&p);
+        let set = generate_skeletons(&p, &df, &prof, &SkeletonOptions::default(), false);
+        let biased = &set.versions[4];
+        // The forward guard branch converts (forced not-taken).
+        let guard_pc = p.index_to_pc(10);
+        assert_eq!(biased.bias_override.get(&guard_pc), Some(&false));
+        // The backward loop branch must NOT be force-taken (it would trap
+        // the look-ahead thread in the loop).
+        let loop_pc = p.index_to_pc(12);
+        assert_eq!(biased.bias_override.get(&loop_pc), None);
+        // Converted branches stay on the skeleton for BOQ alignment.
+        assert!(biased.mask[10]);
+        // The default version has no overrides.
+        assert!(set.versions[0].bias_override.is_empty());
+    }
+
+    #[test]
+    fn density_reported() {
+        let p = mixed_program();
+        let (df, prof) = profile_of(&p);
+        let set = generate_skeletons(&p, &df, &prof, &SkeletonOptions::default(), false);
+        let d = set.versions[0].density();
+        assert!(d > 0.0 && d <= 1.0);
+    }
+}

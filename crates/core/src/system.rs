@@ -1,0 +1,750 @@
+//! The complete two-core decoupled look-ahead system (paper Fig 2 / Fig 8):
+//! a look-ahead core running the skeleton, a main core fed from the BOQ,
+//! the footnote queue, and the R3 optimizations wired in.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use r3dla_bpred::Tage;
+use r3dla_cpu::{
+    ActivityCounters, BaseMem, CommitRecord, CommitSink, Core, CoreConfig, PredictorDirection,
+};
+use r3dla_isa::{ArchState, Program, VecMem};
+use r3dla_mem::{CacheStats, CoreMem, DramStats, MemConfig, SharedLlc};
+use r3dla_workloads::BuiltWorkload;
+
+use crate::overlay::OverlayMem;
+use crate::profile::{profile, ProfileData};
+use crate::queues::{Boq, BoqDirection, Footnote, FootnoteQueue};
+use crate::recycle::{ActiveSkeleton, RecycleController, RecycleMode};
+use crate::skeleton::{generate_skeletons, SkeletonOptions, SkeletonSet};
+use crate::t1::T1;
+use crate::value_reuse::{Sif, VrSource};
+use crate::dataflow::Dataflow;
+
+/// Configuration of a DLA/R3-DLA system.
+#[derive(Debug, Clone)]
+pub struct DlaConfig {
+    /// Main-thread core.
+    pub mt_core: CoreConfig,
+    /// Look-ahead core.
+    pub lt_core: CoreConfig,
+    /// Memory configuration (the LT variant derives discard-dirty
+    /// private caches from it automatically).
+    pub mem: MemConfig,
+    /// BOQ capacity (paper: 512) — bounds look-ahead depth.
+    pub boq_capacity: usize,
+    /// FQ capacity (paper: 128).
+    pub fq_capacity: usize,
+    /// Reboot register-copy cost in cycles (paper: 64).
+    pub reboot_cost: u64,
+    /// Enable the T1 strided-prefetch offload FSM (*reduce*).
+    pub t1: bool,
+    /// T1 table entries (paper: 16).
+    pub t1_entries: usize,
+    /// Enable value reuse (*reuse*, §III-D1).
+    pub value_reuse: bool,
+    /// Pending value-reuse entries retained on the MT side (paper VPT: 32).
+    pub vr_capacity: usize,
+    /// Recycle mode (*recycle*, §III-E).
+    pub recycle: RecycleMode,
+    /// L2 prefetcher attached to the MT core (`None` disables).
+    pub mt_l2_prefetcher: Option<&'static str>,
+    /// L2 prefetcher attached to the LT core.
+    pub lt_l2_prefetcher: Option<&'static str>,
+    /// L1 prefetcher attached to the MT core (used for the Table III
+    /// "BL + stride" comparison).
+    pub mt_l1_prefetcher: Option<&'static str>,
+    /// Instructions of the training run used for profiling.
+    pub profile_insts: u64,
+    /// Whether LT sends footnote-queue hints (L1 prefetch, TLB, indirect
+    /// targets). SlipStream-style systems pass only branch outcomes and
+    /// warm the shared cache, so they disable this.
+    pub fq_hints: bool,
+}
+
+impl DlaConfig {
+    /// The baseline DLA configuration (paper §III-A): no T1, no value
+    /// reuse, no recycling, 8-entry fetch buffer.
+    pub fn dla() -> Self {
+        Self {
+            mt_core: CoreConfig::paper(),
+            lt_core: {
+                let mut c = CoreConfig::paper();
+                c.fetch_masks = true;
+                c
+            },
+            mem: MemConfig::paper(),
+            boq_capacity: 512,
+            fq_capacity: 128,
+            reboot_cost: 64,
+            t1: false,
+            t1_entries: 16,
+            value_reuse: false,
+            vr_capacity: 32,
+            recycle: RecycleMode::Off,
+            mt_l2_prefetcher: Some("bop"),
+            lt_l2_prefetcher: Some("bop"),
+            mt_l1_prefetcher: None,
+            profile_insts: 2_000_000,
+            fq_hints: true,
+        }
+    }
+
+    /// The full R3-DLA configuration: T1 + value reuse + 32-entry fetch
+    /// buffer + dynamic recycling (paper §III-F).
+    pub fn r3() -> Self {
+        let mut cfg = Self::dla();
+        cfg.t1 = true;
+        cfg.value_reuse = true;
+        cfg.recycle = RecycleMode::Dynamic;
+        cfg.mt_core.fetch_buffer = 32;
+        cfg
+    }
+
+    /// Removes the standalone hardware prefetchers (the paper's "noPF"
+    /// variants).
+    pub fn without_prefetcher(mut self) -> Self {
+        self.mt_l2_prefetcher = None;
+        self.lt_l2_prefetcher = None;
+        self.mt_l1_prefetcher = None;
+        self
+    }
+}
+
+/// Errors from system construction.
+#[derive(Debug)]
+pub enum BuildError {
+    /// The program was empty.
+    EmptyProgram,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::EmptyProgram => write!(f, "program has no instructions"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+struct LtSink {
+    boq: Rc<RefCell<Boq>>,
+    fq: Rc<RefCell<FootnoteQueue>>,
+    sif: Rc<RefCell<Sif>>,
+    value_reuse: bool,
+    fq_hints: bool,
+    last_tag: u64,
+}
+
+impl CommitSink for LtSink {
+    fn on_commit(&mut self, rec: &CommitRecord) {
+        if rec.inst.is_cond_branch() {
+            self.last_tag = self.boq.borrow_mut().push(rec.taken.unwrap_or(false));
+            return;
+        }
+        let tag = self.last_tag;
+        if !self.fq_hints {
+            return;
+        }
+        if rec.inst.is_branch() && !rec.inst.has_static_target() {
+            // Indirect branch: send the target hint.
+            self.fq
+                .borrow_mut()
+                .push(tag, Footnote::BranchTarget { pc: rec.pc, target: rec.next_pc });
+        }
+        if rec.inst.is_load() {
+            if let Some(addr) = rec.mem_addr {
+                if rec.l1_miss {
+                    self.fq.borrow_mut().push(tag, Footnote::L1Prefetch(addr));
+                }
+                if rec.tlb_miss {
+                    self.fq.borrow_mut().push(tag, Footnote::TlbHint(addr));
+                }
+            }
+        }
+        if self.value_reuse && !rec.inst.is_branch() {
+            if let Some(value) = rec.value {
+                if self.sif.borrow().should_reuse(rec.pc) {
+                    self.fq
+                        .borrow_mut()
+                        .push(tag, Footnote::Value { tag, offset: 0, pc: rec.pc, value });
+                }
+            }
+        }
+    }
+}
+
+struct MtSink {
+    boq: Rc<RefCell<Boq>>,
+    sif: Rc<RefCell<Sif>>,
+    t1: Option<Rc<RefCell<T1>>>,
+    t1_out: Rc<RefCell<Vec<u64>>>,
+    sbit_pcs: HashSet<u64>,
+    recycle: Rc<RefCell<RecycleController>>,
+    active: Rc<RefCell<ActiveSkeleton>>,
+    value_reuse: bool,
+    observer: Rc<RefCell<Option<Rc<RefCell<dyn CommitSink>>>>>,
+}
+
+impl CommitSink for MtSink {
+    fn on_commit(&mut self, rec: &CommitRecord) {
+        if let Some(obs) = self.observer.borrow().clone() {
+            obs.borrow_mut().on_commit(rec);
+        }
+        self.recycle
+            .borrow_mut()
+            .on_commit(&mut self.active.borrow_mut());
+        if rec.inst.is_cond_branch() {
+            self.boq.borrow_mut().commit_front();
+            if rec.taken == Some(true) && rec.next_pc < rec.pc {
+                // A committed loop branch.
+                if self.value_reuse {
+                    self.sif.borrow_mut().on_loop_branch(rec.next_pc);
+                }
+                if let Some(t1) = &self.t1 {
+                    t1.borrow_mut().on_loop_branch(rec.next_pc);
+                }
+                self.recycle.borrow_mut().on_loop_branch(
+                    rec.next_pc,
+                    rec.cycle,
+                    &mut self.active.borrow_mut(),
+                );
+            }
+        }
+        if self.value_reuse {
+            self.sif
+                .borrow_mut()
+                .observe_latency(rec.pc, rec.dispatch_to_exec);
+        }
+        if let Some(t1) = &self.t1 {
+            if self.sbit_pcs.contains(&rec.pc) {
+                if let Some(addr) = rec.mem_addr {
+                    t1.borrow_mut().observe(
+                        rec.pc,
+                        addr,
+                        rec.cycle,
+                        &mut self.t1_out.borrow_mut(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A consistent snapshot of system-wide counters, for windowed
+/// measurement (warm up, snapshot, measure, diff).
+#[derive(Debug, Clone)]
+pub struct SysSnapshot {
+    /// Global cycle at the snapshot.
+    pub cycles: u64,
+    /// MT committed instructions.
+    pub mt_committed: u64,
+    /// LT committed instructions.
+    pub lt_committed: u64,
+    /// MT activity counters.
+    pub mt_counters: ActivityCounters,
+    /// LT activity counters.
+    pub lt_counters: ActivityCounters,
+    /// DRAM statistics.
+    pub dram: DramStats,
+    /// MT L1D statistics.
+    pub mt_l1d: CacheStats,
+    /// Reboot count.
+    pub reboots: u64,
+}
+
+/// Windowed measurement derived from two snapshots.
+#[derive(Debug, Clone)]
+pub struct WindowReport {
+    /// Cycles elapsed.
+    pub cycles: u64,
+    /// MT instructions committed.
+    pub mt_committed: u64,
+    /// LT instructions committed.
+    pub lt_committed: u64,
+    /// Main-thread IPC — the system's performance metric.
+    pub mt_ipc: f64,
+    /// DRAM line transfers (the paper's memory-traffic metric).
+    pub dram_traffic: u64,
+    /// MT L1D demand misses.
+    pub mt_l1d_misses: u64,
+    /// MT L1D demand accesses.
+    pub mt_l1d_accesses: u64,
+    /// Reboots within the window.
+    pub reboots: u64,
+}
+
+/// The complete DLA / R3-DLA system: two cores plus queues.
+pub struct DlaSystem {
+    program: Rc<Program>,
+    mt: Core,
+    lt: Core,
+    boq: Rc<RefCell<Boq>>,
+    fq: Rc<RefCell<FootnoteQueue>>,
+    ind_targets: Rc<RefCell<HashMap<u64, u64>>>,
+    vr: Option<Rc<RefCell<VrSource>>>,
+    sif: Rc<RefCell<Sif>>,
+    t1_out: Rc<RefCell<Vec<u64>>>,
+    overlay: Rc<RefCell<OverlayMem>>,
+    active: Rc<RefCell<ActiveSkeleton>>,
+    recycle: Rc<RefCell<RecycleController>>,
+    mt_observer: Rc<RefCell<Option<Rc<RefCell<dyn CommitSink>>>>>,
+    note_buf: Vec<Footnote>,
+    cycle: u64,
+    pending_reboot: bool,
+    pending_since: u64,
+    /// Total reboots performed.
+    pub reboots: u64,
+    /// The profile used for skeleton generation.
+    pub profile: ProfileData,
+}
+
+impl std::fmt::Debug for DlaSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DlaSystem")
+            .field("cycle", &self.cycle)
+            .field("reboots", &self.reboots)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DlaSystem {
+    /// Builds the system for a workload: profiles a training window,
+    /// generates skeletons, and wires both cores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::EmptyProgram`] for empty programs.
+    pub fn build(
+        built: &BuiltWorkload,
+        cfg: DlaConfig,
+        opt: SkeletonOptions,
+    ) -> Result<Self, BuildError> {
+        if built.program.is_empty() {
+            return Err(BuildError::EmptyProgram);
+        }
+        let program = Rc::new(built.program.clone());
+        let df = Dataflow::analyze(&program);
+        let prof = profile(&program, cfg.profile_insts);
+        let skeletons = generate_skeletons(&program, &df, &prof, &opt, cfg.t1);
+        Ok(Self::assemble(program, cfg, skeletons, prof))
+    }
+
+    /// Builds the system with pre-generated skeletons (used by the static
+    /// recycle tuner and ablation benches).
+    pub fn assemble(
+        program: Rc<Program>,
+        cfg: DlaConfig,
+        skeletons: SkeletonSet,
+        prof: ProfileData,
+    ) -> Self {
+        // Shared architectural memory.
+        let arch_mem = Rc::new(RefCell::new(VecMem::new()));
+        arch_mem.borrow_mut().load_image(program.image());
+        // Shared L3 + DRAM.
+        let shared = Rc::new(RefCell::new(SharedLlc::new(&cfg.mem)));
+        // Queues and hint state.
+        let boq = Rc::new(RefCell::new(Boq::new(cfg.boq_capacity)));
+        let fq = Rc::new(RefCell::new(FootnoteQueue::new(cfg.fq_capacity)));
+        let ind_targets = Rc::new(RefCell::new(HashMap::new()));
+        let sif = Rc::new(RefCell::new(Sif::new()));
+        let t1 = cfg
+            .t1
+            .then(|| Rc::new(RefCell::new(T1::new(cfg.t1_entries, 200))));
+        let t1_out = Rc::new(RefCell::new(Vec::new()));
+        let active = Rc::new(RefCell::new(ActiveSkeleton::new(
+            skeletons,
+            &program,
+        )));
+        let recycle = Rc::new(RefCell::new(RecycleController::new(cfg.recycle.clone())));
+        // S-bit PCs come from the default skeleton version.
+        let sbit_pcs: HashSet<u64> = active.borrow().set().versions[0]
+            .sbits
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s)
+            .map(|(i, _)| program.index_to_pc(i))
+            .collect();
+        // ---- Main core ----------------------------------------------------
+        let mut mt_mem = CoreMem::new(&cfg.mem, Rc::clone(&shared));
+        if let Some(name) = cfg.mt_l2_prefetcher {
+            if let Some(pf) = r3dla_prefetch::by_name(name) {
+                mt_mem.set_l2_prefetcher(pf);
+            }
+        }
+        if let Some(name) = cfg.mt_l1_prefetcher {
+            if let Some(pf) = r3dla_prefetch::by_name(name) {
+                mt_mem.set_l1_prefetcher(pf);
+            }
+        }
+        let mut mt = Core::new(cfg.mt_core.clone(), Rc::clone(&program), mt_mem);
+        let entry_state = ArchState::new(program.entry());
+        let mt_dir = Box::new(BoqDirection::new(Rc::clone(&boq), Rc::clone(&ind_targets)));
+        let mt_tid = mt.add_thread(
+            program.entry(),
+            entry_state.regs(),
+            mt_dir,
+            Rc::new(RefCell::new(BaseMem(Rc::clone(&arch_mem)))),
+        );
+        debug_assert_eq!(mt_tid, 0);
+        let vr = cfg.value_reuse.then(|| {
+            let vr = Rc::new(RefCell::new(VrSource::new(cfg.vr_capacity)));
+            mt.set_value_source(0, vr.clone());
+            vr
+        });
+        let mt_observer: Rc<RefCell<Option<Rc<RefCell<dyn CommitSink>>>>> =
+            Rc::new(RefCell::new(None));
+        let mt_sink = Rc::new(RefCell::new(MtSink {
+            boq: Rc::clone(&boq),
+            sif: Rc::clone(&sif),
+            t1: t1.clone(),
+            t1_out: Rc::clone(&t1_out),
+            sbit_pcs,
+            recycle: Rc::clone(&recycle),
+            active: Rc::clone(&active),
+            value_reuse: cfg.value_reuse,
+            observer: Rc::clone(&mt_observer),
+        }));
+        mt.set_commit_sink(0, mt_sink);
+        // ---- Look-ahead core ----------------------------------------------
+        let mut lt_mem_cfg = cfg.mem.clone();
+        lt_mem_cfg.l1d.discard_dirty = true;
+        lt_mem_cfg.l2.discard_dirty = true;
+        let mut lt_mem = CoreMem::new(&lt_mem_cfg, Rc::clone(&shared));
+        if let Some(name) = cfg.lt_l2_prefetcher {
+            if let Some(pf) = r3dla_prefetch::by_name(name) {
+                lt_mem.set_l2_prefetcher(pf);
+            }
+        }
+        let mut lt = Core::new(cfg.lt_core.clone(), Rc::clone(&program), lt_mem);
+        let overlay = Rc::new(RefCell::new(OverlayMem::new(Rc::clone(&arch_mem))));
+        let lt_dir = Box::new(PredictorDirection::new(Box::new(Tage::paper())));
+        let lt_tid = lt.add_thread(
+            program.entry(),
+            entry_state.regs(),
+            lt_dir,
+            overlay.clone(),
+        );
+        debug_assert_eq!(lt_tid, 0);
+        lt.set_fetch_filter(0, active.clone());
+        lt.set_branch_override(0, active.clone());
+        let lt_sink = Rc::new(RefCell::new(LtSink {
+            boq: Rc::clone(&boq),
+            fq: Rc::clone(&fq),
+            sif: Rc::clone(&sif),
+            value_reuse: cfg.value_reuse,
+            fq_hints: cfg.fq_hints,
+            last_tag: 0,
+        }));
+        lt.set_commit_sink(0, lt_sink);
+        Self {
+            program,
+            mt,
+            lt,
+            boq,
+            fq,
+            ind_targets,
+            vr,
+            sif,
+            t1_out,
+            overlay,
+            active,
+            recycle,
+            mt_observer,
+            note_buf: Vec::new(),
+            cycle: 0,
+            pending_reboot: false,
+            pending_since: 0,
+            reboots: 0,
+            profile: prof,
+        }
+    }
+
+    /// The program under simulation.
+    pub fn program(&self) -> &Rc<Program> {
+        &self.program
+    }
+
+    /// The main core (counters, stats).
+    pub fn mt(&self) -> &Core {
+        &self.mt
+    }
+
+    /// The look-ahead core (counters, stats).
+    pub fn lt(&self) -> &Core {
+        &self.lt
+    }
+
+    /// Current global cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The active-skeleton holder (recycle statistics, Fig 15 usage).
+    pub fn active_skeleton(&self) -> Rc<RefCell<ActiveSkeleton>> {
+        Rc::clone(&self.active)
+    }
+
+    /// The recycle controller statistics.
+    pub fn recycle_controller(&self) -> Rc<RefCell<RecycleController>> {
+        Rc::clone(&self.recycle)
+    }
+
+    /// Current look-ahead depth in BOQ entries.
+    pub fn lookahead_depth(&self) -> usize {
+        self.boq.borrow().depth()
+    }
+
+    /// Whether the main thread has halted.
+    pub fn mt_halted(&self) -> bool {
+        self.mt.thread_halted(0)
+    }
+
+    /// Attaches an extra observer to the main thread's commit stream
+    /// (used by experiment harnesses for per-PC attribution).
+    pub fn set_mt_observer(&mut self, sink: Rc<RefCell<dyn CommitSink>>) {
+        *self.mt_observer.borrow_mut() = Some(sink);
+    }
+
+    /// Advances the whole system by one cycle.
+    pub fn step(&mut self) {
+        // Main core first: it consumes BOQ entries and may detect misfeed.
+        self.mt.step();
+        // Release footnotes up to the last served BOQ tag and apply them.
+        let served = self.boq.borrow().last_served_tag();
+        self.note_buf.clear();
+        self.fq.borrow_mut().release_up_to(served, &mut self.note_buf);
+        for i in 0..self.note_buf.len() {
+            match self.note_buf[i] {
+                Footnote::L1Prefetch(addr) => {
+                    self.mt.mem_mut().prefetch_into_l1(addr, self.cycle);
+                }
+                Footnote::TlbHint(addr) => self.mt.mem_mut().tlb_fill(addr),
+                Footnote::BranchTarget { pc, target } => {
+                    self.ind_targets.borrow_mut().insert(pc, target);
+                }
+                Footnote::Value { tag, pc, value, .. } => {
+                    if let Some(vr) = &self.vr {
+                        vr.borrow_mut().insert(tag, pc, value);
+                    }
+                }
+            }
+        }
+        // T1 prefetches raised at MT commit.
+        {
+            let mut out = self.t1_out.borrow_mut();
+            for i in 0..out.len() {
+                let addr = out[i];
+                self.mt.mem_mut().prefetch_into_l1(addr, self.cycle);
+            }
+            out.clear();
+        }
+        // Value-misprediction feedback into the SIF.
+        if let Some(vr) = &self.vr {
+            let mut vr = vr.borrow_mut();
+            for pc in vr.mispredicted_pcs.drain(..) {
+                self.sif.borrow_mut().on_mispredict(pc);
+            }
+        }
+        // Misfeed → freeze LT, drain MT, then reboot.
+        if self.boq.borrow().misfeed && !self.pending_reboot {
+            self.pending_reboot = true;
+            self.pending_since = self.cycle;
+            self.boq.borrow_mut().clear();
+            self.fq.borrow_mut().clear();
+            if let Some(vr) = &self.vr {
+                vr.borrow_mut().clear();
+            }
+            self.ind_targets.borrow_mut().clear();
+        }
+        if self.pending_reboot {
+            let drained = self.mt.in_flight(0) == 0;
+            let timeout = self.cycle - self.pending_since > 10_000;
+            if drained || timeout {
+                self.do_reboot();
+            }
+        } else {
+            // Look-ahead core advances unless the BOQ says it is far
+            // enough ahead (paper §III-A ®: depth control).
+            if !self.boq.borrow().full() && !self.lt.halted() {
+                self.lt.step();
+            }
+        }
+        self.cycle += 1;
+    }
+
+    fn do_reboot(&mut self) {
+        let pc = self.mt.arch_pc(0);
+        let regs = self.mt.arch_regs(0);
+        self.lt.reboot_thread(0, pc, regs, 64);
+        self.overlay.borrow_mut().clear();
+        self.boq.borrow_mut().clear();
+        self.fq.borrow_mut().clear();
+        if let Some(vr) = &self.vr {
+            vr.borrow_mut().clear();
+        }
+        self.pending_reboot = false;
+        self.reboots += 1;
+        // Storm guard: repeated reboots under a recycled skeleton demote
+        // it back to the default version.
+        self.recycle
+            .borrow_mut()
+            .on_reboot(&mut self.active.borrow_mut());
+    }
+
+    /// Runs until MT commits `target` more instructions, halts, or
+    /// `max_cycles` pass. Returns the cycles elapsed.
+    pub fn run_until_mt(&mut self, target: u64, max_cycles: u64) -> u64 {
+        let start_cycles = self.cycle;
+        let start_committed = self.mt.committed(0);
+        while self.mt.committed(0) - start_committed < target
+            && !self.mt_halted()
+            && self.cycle - start_cycles < max_cycles
+        {
+            self.step();
+        }
+        self.cycle - start_cycles
+    }
+
+    /// Takes a counter snapshot for windowed measurement.
+    pub fn snapshot(&self) -> SysSnapshot {
+        let shared = self.mt.mem().shared();
+        let shared = shared.borrow();
+        SysSnapshot {
+            cycles: self.cycle,
+            mt_committed: self.mt.committed(0),
+            lt_committed: self.lt.committed(0),
+            mt_counters: self.mt.counters.clone(),
+            lt_counters: self.lt.counters.clone(),
+            dram: shared.dram_stats().clone(),
+            mt_l1d: self.mt.mem().l1d_stats().clone(),
+            reboots: self.reboots,
+        }
+    }
+
+    /// Derives a window report from a snapshot taken earlier.
+    pub fn window_since(&self, snap: &SysSnapshot) -> WindowReport {
+        let now = self.snapshot();
+        let cycles = now.cycles - snap.cycles;
+        let mt_committed = now.mt_committed - snap.mt_committed;
+        WindowReport {
+            cycles,
+            mt_committed,
+            lt_committed: now.lt_committed - snap.lt_committed,
+            mt_ipc: if cycles == 0 {
+                0.0
+            } else {
+                mt_committed as f64 / cycles as f64
+            },
+            dram_traffic: now.dram.traffic_lines() - snap.dram.traffic_lines(),
+            mt_l1d_misses: now.mt_l1d.misses.get() - snap.mt_l1d.misses.get(),
+            mt_l1d_accesses: now.mt_l1d.accesses.get() - snap.mt_l1d.accesses.get(),
+            reboots: now.reboots - snap.reboots,
+        }
+    }
+
+    /// Convenience: warm up, then measure a window. Returns the report
+    /// over the measured window.
+    pub fn measure(&mut self, warmup_insts: u64, window_insts: u64) -> WindowReport {
+        self.run_until_mt(warmup_insts, warmup_insts * 60 + 500_000);
+        let snap = self.snapshot();
+        self.run_until_mt(window_insts, window_insts * 60 + 500_000);
+        self.window_since(&snap)
+    }
+}
+
+/// A single-core (non-DLA) simulation wrapper with the same windowed
+/// measurement interface — the paper's BL / BL(noPF) / FC configurations.
+pub struct SingleCoreSim {
+    core: Core,
+    cycle: u64,
+}
+
+impl std::fmt::Debug for SingleCoreSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SingleCoreSim").field("cycle", &self.cycle).finish()
+    }
+}
+
+impl SingleCoreSim {
+    /// Builds a conventional core running `built` with the given
+    /// prefetchers (names per `r3dla_prefetch::by_name`).
+    pub fn build(
+        built: &BuiltWorkload,
+        core_cfg: CoreConfig,
+        mem_cfg: MemConfig,
+        l1_prefetcher: Option<&str>,
+        l2_prefetcher: Option<&str>,
+    ) -> Self {
+        let program = Rc::new(built.program.clone());
+        let shared = Rc::new(RefCell::new(SharedLlc::new(&mem_cfg)));
+        let mut mem = CoreMem::new(&mem_cfg, shared);
+        if let Some(name) = l2_prefetcher {
+            if let Some(pf) = r3dla_prefetch::by_name(name) {
+                mem.set_l2_prefetcher(pf);
+            }
+        }
+        if let Some(name) = l1_prefetcher {
+            if let Some(pf) = r3dla_prefetch::by_name(name) {
+                mem.set_l1_prefetcher(pf);
+            }
+        }
+        let mut core = Core::new(core_cfg, Rc::clone(&program), mem);
+        let arch_mem = Rc::new(RefCell::new(VecMem::new()));
+        arch_mem.borrow_mut().load_image(program.image());
+        let dir = Box::new(PredictorDirection::new(Box::new(Tage::paper())));
+        core.add_thread(
+            program.entry(),
+            ArchState::new(program.entry()).regs(),
+            dir,
+            Rc::new(RefCell::new(BaseMem(arch_mem))),
+        );
+        Self { core, cycle: 0 }
+    }
+
+    /// The core (counters, stats).
+    pub fn core(&self) -> &Core {
+        &self.core
+    }
+
+    /// Mutable core access (attaching sinks for profiling).
+    pub fn core_mut(&mut self) -> &mut Core {
+        &mut self.core
+    }
+
+    /// Runs until `target` more instructions commit, the program halts,
+    /// or `max_cycles` pass; returns elapsed cycles.
+    pub fn run_until(&mut self, target: u64, max_cycles: u64) -> u64 {
+        let start_cycles = self.core.cycle();
+        let start_committed = self.core.committed(0);
+        while self.core.committed(0) - start_committed < target
+            && !self.core.halted()
+            && self.core.cycle() - start_cycles < max_cycles
+        {
+            self.core.step();
+        }
+        self.cycle = self.core.cycle();
+        self.core.cycle() - start_cycles
+    }
+
+    /// Warm up, then measure a window; returns `(window IPC, committed,
+    /// cycles)`.
+    pub fn measure(&mut self, warmup_insts: u64, window_insts: u64) -> (f64, u64, u64) {
+        self.run_until(warmup_insts, warmup_insts * 60 + 500_000);
+        let c0 = self.core.committed(0);
+        let y0 = self.core.cycle();
+        self.run_until(window_insts, window_insts * 60 + 500_000);
+        let insts = self.core.committed(0) - c0;
+        let cycles = self.core.cycle() - y0;
+        let ipc = if cycles == 0 { 0.0 } else { insts as f64 / cycles as f64 };
+        (ipc, insts, cycles)
+    }
+
+    /// DRAM traffic lines so far.
+    pub fn dram_traffic(&self) -> u64 {
+        self.core.mem().shared().borrow().dram_stats().traffic_lines()
+    }
+}

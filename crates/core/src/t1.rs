@@ -1,0 +1,270 @@
+//! T1: the "dumb" stride-prefetch FSM on the main core (paper §III-C,
+//! the *reduce* optimization).
+//!
+//! Unlike a conventional stride prefetcher, T1 is told exactly which
+//! instructions stride (the S bits); it only computes the stride and the
+//! prefetch distance, then issues one prefetch per loop iteration. Table
+//! entries move `Invalid → Observed → Transient → Steady` and the whole
+//! table clears when the enclosing loop terminates.
+
+use r3dla_stats::Counter;
+
+/// FSM states of one prefetch-table entry (paper Fig 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum T1State {
+    Observed,
+    Transient,
+    Steady,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct T1Entry {
+    inst_pc: u64,
+    last_addr: u64,
+    stride: i64,
+    last_cycle: u64,
+    pref_distance: u64,
+    state: T1State,
+    stamp: u64,
+}
+
+/// The T1 prefetch engine.
+///
+/// # Examples
+///
+/// ```
+/// use r3dla_core::T1;
+/// let mut t1 = T1::new(16, 200);
+/// let mut out = Vec::new();
+/// // A strided instruction observed on consecutive iterations…
+/// for i in 0..4u64 {
+///     out.clear();
+///     t1.observe(0x400, 0x1000 + i * 256, i * 10, &mut out);
+/// }
+/// // …yields prefetches ahead of the stream.
+/// assert!(!out.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct T1 {
+    entries: Vec<Option<T1Entry>>,
+    avg_mem_latency: u64,
+    stamp: u64,
+    current_loop: Option<u64>,
+    /// Prefetches issued.
+    pub issued: Counter,
+    /// Table clears on loop termination.
+    pub loop_clears: Counter,
+}
+
+impl T1 {
+    /// Maximum prefetch distance in iterations.
+    pub const MAX_DISTANCE: u64 = 64;
+    /// Maximum catch-up prefetches issued at once on stride confirmation.
+    pub const MAX_BURST: u64 = 8;
+
+    /// Creates a T1 with `entries` table slots (paper Table I: 16) and an
+    /// assumed average memory latency used for distance calculation.
+    pub fn new(entries: usize, avg_mem_latency: u64) -> Self {
+        Self {
+            entries: vec![None; entries],
+            avg_mem_latency,
+            stamp: 0,
+            current_loop: None,
+            issued: Counter::new(),
+            loop_clears: Counter::new(),
+        }
+    }
+
+    /// Observes a committed S-marked memory instruction; appends prefetch
+    /// addresses (8-byte aligned) to `out`.
+    pub fn observe(&mut self, inst_pc: u64, addr: u64, cycle: u64, out: &mut Vec<u64>) {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let slot = self
+            .entries
+            .iter()
+            .position(|e| e.map(|e| e.inst_pc) == Some(inst_pc));
+        let slot = match slot {
+            Some(s) => s,
+            None => {
+                // Allocate: prefer an empty slot, else LRU.
+                let s = self
+                    .entries
+                    .iter()
+                    .position(|e| e.is_none())
+                    .unwrap_or_else(|| {
+                        self.entries
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, e)| e.map(|e| e.stamp).unwrap_or(0))
+                            .map(|(i, _)| i)
+                            .expect("nonzero table")
+                    });
+                self.entries[s] = Some(T1Entry {
+                    inst_pc,
+                    last_addr: addr,
+                    stride: 0,
+                    last_cycle: cycle,
+                    pref_distance: 1,
+                    state: T1State::Observed,
+                    stamp,
+                });
+                return;
+            }
+        };
+        let mut e = self.entries[slot].expect("present");
+        e.stamp = stamp;
+        let stride = addr as i64 - e.last_addr as i64;
+        let iter_time = cycle.saturating_sub(e.last_cycle).max(1);
+        e.last_addr = addr;
+        e.last_cycle = cycle;
+        match e.state {
+            T1State::Observed => {
+                if stride != 0 {
+                    e.stride = stride;
+                    e.state = T1State::Transient;
+                    // "T1 starts issuing prefetches as soon as the first
+                    // instance of a stride is calculated."
+                    self.push_prefetch(addr, stride, 1, out);
+                }
+            }
+            T1State::Transient => {
+                if stride == e.stride && stride != 0 {
+                    // Stride confirmed: compute the prefetch distance and
+                    // launch catch-up prefetches (paper §III-C3). The
+                    // burst is capped: a mistrained entry must not flood
+                    // the hierarchy, and the steady per-iteration stream
+                    // closes the remaining distance anyway.
+                    let distance =
+                        (self.avg_mem_latency / iter_time).clamp(1, Self::MAX_DISTANCE);
+                    e.pref_distance = distance;
+                    for k in 1..=distance.min(Self::MAX_BURST) {
+                        self.push_prefetch(addr, stride, k, out);
+                    }
+                    e.state = T1State::Steady;
+                } else if stride != 0 {
+                    e.stride = stride; // guard against OoO-reordered strides
+                }
+            }
+            T1State::Steady => {
+                if stride == e.stride {
+                    // One prefetch per iteration at the steady distance.
+                    self.push_prefetch(addr, e.stride, e.pref_distance, out);
+                } else if stride != 0 {
+                    // The stream broke: retrain from scratch rather than
+                    // re-bursting on every hiccup.
+                    e.stride = 0;
+                    e.state = T1State::Observed;
+                }
+            }
+        }
+        self.entries[slot] = Some(e);
+    }
+
+    fn push_prefetch(&mut self, addr: u64, stride: i64, k: u64, out: &mut Vec<u64>) {
+        let target = addr as i64 + stride * k as i64;
+        if target > 0 {
+            out.push(target as u64 & !7);
+            self.issued.inc();
+        }
+    }
+
+    /// Tracks loop context from committed backward branches; a loop
+    /// change clears the table (paper: "all entries in the table are
+    /// cleared when a loop terminates").
+    pub fn on_loop_branch(&mut self, target_pc: u64) {
+        if self.current_loop != Some(target_pc) {
+            if self.current_loop.is_some() {
+                self.entries.iter_mut().for_each(|e| *e = None);
+                self.loop_clears.inc();
+            }
+            self.current_loop = Some(target_pc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_prefetches_at_distance() {
+        let mut t1 = T1::new(16, 200);
+        let mut out = Vec::new();
+        // iteration time 20 cycles → distance = 200/20 = 10.
+        for i in 0..8u64 {
+            out.clear();
+            t1.observe(0x100, 0x1_0000 + i * 64, i * 20, &mut out);
+        }
+        // Steady state: one prefetch per iteration at +10 strides.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0], 0x1_0000 + 7 * 64 + 10 * 64);
+    }
+
+    #[test]
+    fn catch_up_burst_on_confirmation() {
+        let mut t1 = T1::new(16, 100);
+        let mut out = Vec::new();
+        t1.observe(0x100, 0x1000, 0, &mut out); // allocate
+        out.clear();
+        t1.observe(0x100, 0x1040, 50, &mut out); // stride observed → 1 pf
+        assert_eq!(out.len(), 1);
+        out.clear();
+        t1.observe(0x100, 0x1080, 100, &mut out); // confirmed → catch-up
+        // distance = 100/50 = 2 → two catch-up prefetches.
+        assert_eq!(out, vec![0x10C0, 0x1100]);
+    }
+
+    #[test]
+    fn irregular_addresses_never_reach_steady() {
+        let mut t1 = T1::new(16, 200);
+        let mut rng = r3dla_stats::Rng::new(4);
+        let mut out = Vec::new();
+        for i in 0..50u64 {
+            t1.observe(0x200, rng.range_u64(0x1000, 0x100000) & !7, i * 10, &mut out);
+        }
+        // A couple of lucky transient prefetches at most.
+        assert!(out.len() < 10, "issued {}", out.len());
+    }
+
+    #[test]
+    fn loop_change_clears_table() {
+        let mut t1 = T1::new(16, 200);
+        let mut out = Vec::new();
+        for i in 0..4u64 {
+            t1.observe(0x100, 0x1000 + i * 64, i * 10, &mut out);
+        }
+        t1.on_loop_branch(0x500);
+        t1.on_loop_branch(0x900); // loop changed → clear
+        assert_eq!(t1.loop_clears.get(), 1);
+        out.clear();
+        // The entry must re-train from scratch.
+        t1.observe(0x100, 0x9000, 100, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn capacity_eviction_is_lru() {
+        let mut t1 = T1::new(2, 200);
+        let mut out = Vec::new();
+        t1.observe(0x100, 0x1000, 0, &mut out);
+        t1.observe(0x200, 0x2000, 1, &mut out);
+        t1.observe(0x100, 0x1040, 2, &mut out); // refresh 0x100
+        t1.observe(0x300, 0x3000, 3, &mut out); // evicts 0x200
+        out.clear();
+        t1.observe(0x100, 0x1080, 4, &mut out);
+        assert!(!out.is_empty(), "0x100 should still be tracked");
+    }
+
+    #[test]
+    fn negative_strides_supported() {
+        let mut t1 = T1::new(16, 100);
+        let mut out = Vec::new();
+        for i in 0..6u64 {
+            out.clear();
+            t1.observe(0x100, 0x10000 - i * 128, i * 25, &mut out);
+        }
+        assert!(!out.is_empty());
+        assert!(out.iter().all(|&a| a < 0x10000));
+    }
+}

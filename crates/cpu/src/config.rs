@@ -1,0 +1,203 @@
+//! Core configuration.
+
+/// Out-of-order core parameters.
+///
+/// Defaults follow the paper's Table I baseline: a 20-stage, 4-wide
+/// pipeline with 192 ROB entries, 96 LSQ entries, 4 INT / 2 MEM / 4 FP
+/// functional units. Build custom configurations with
+/// [`CoreConfig::builder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Instructions fetched per cycle (slots scanned is twice this).
+    pub fetch_width: usize,
+    /// Instructions renamed/dispatched per cycle.
+    pub decode_width: usize,
+    /// Instructions issued to functional units per cycle.
+    pub issue_width: usize,
+    /// Instructions committed per cycle.
+    pub commit_width: usize,
+    /// Reorder-buffer capacity (per thread when SMT).
+    pub rob_size: usize,
+    /// Load/store-queue capacity (per thread when SMT).
+    pub lsq_size: usize,
+    /// Unified issue-queue capacity.
+    pub iq_size: usize,
+    /// Physical register file size (shared by all threads).
+    pub prf_size: usize,
+    /// Fetch-buffer (fetch-to-decode decoupling queue) capacity, in
+    /// instructions. The paper's baseline uses 8; R3-DLA's FB uses 32.
+    pub fetch_buffer: usize,
+    /// Front-end depth in cycles from fetch to rename — models the
+    /// 20-stage pipeline's branch-misprediction refill penalty.
+    pub frontend_depth: u64,
+    /// Integer functional units (ALU/MUL/DIV/branch share these).
+    pub int_units: usize,
+    /// Memory ports.
+    pub mem_units: usize,
+    /// Floating-point units.
+    pub fp_units: usize,
+    /// Whether this core fetches skeleton mask bits alongside
+    /// instructions (look-ahead cores; paper §III-A iii).
+    pub fetch_masks: bool,
+}
+
+impl CoreConfig {
+    /// The paper's Table I baseline core.
+    pub fn paper() -> Self {
+        Self {
+            fetch_width: 4,
+            decode_width: 4,
+            issue_width: 4,
+            commit_width: 4,
+            rob_size: 192,
+            lsq_size: 96,
+            iq_size: 60,
+            prf_size: 320,
+            fetch_buffer: 8,
+            frontend_depth: 12,
+            int_units: 4,
+            mem_units: 2,
+            fp_units: 4,
+            fetch_masks: false,
+        }
+    }
+
+    /// The paper's §IV-B3 wide SMT core (POWER9 SMT8-like):
+    /// 16/12/16/16-wide with a 512-entry ROB.
+    pub fn wide_smt() -> Self {
+        Self {
+            fetch_width: 16,
+            decode_width: 12,
+            issue_width: 16,
+            commit_width: 16,
+            rob_size: 512,
+            lsq_size: 192,
+            iq_size: 120,
+            prf_size: 768,
+            fetch_buffer: 16,
+            frontend_depth: 12,
+            int_units: 8,
+            mem_units: 4,
+            fp_units: 8,
+            fetch_masks: false,
+        }
+    }
+
+    /// One half of the wide core when split into two independent cores.
+    pub fn half_core() -> Self {
+        Self {
+            fetch_width: 8,
+            decode_width: 6,
+            issue_width: 8,
+            commit_width: 8,
+            rob_size: 256,
+            lsq_size: 96,
+            iq_size: 60,
+            prf_size: 448,
+            fetch_buffer: 8,
+            frontend_depth: 12,
+            int_units: 4,
+            mem_units: 2,
+            fp_units: 4,
+            fetch_masks: false,
+        }
+    }
+
+    /// Starts a builder from the paper baseline.
+    pub fn builder() -> CoreConfigBuilder {
+        CoreConfigBuilder { cfg: Self::paper() }
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Builder for [`CoreConfig`] (non-consuming, per C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct CoreConfigBuilder {
+    cfg: CoreConfig,
+}
+
+impl CoreConfigBuilder {
+    /// Sets the fetch-buffer capacity.
+    pub fn fetch_buffer(&mut self, n: usize) -> &mut Self {
+        self.cfg.fetch_buffer = n;
+        self
+    }
+
+    /// Sets all four pipeline widths at once.
+    pub fn widths(&mut self, fetch: usize, decode: usize, issue: usize, commit: usize) -> &mut Self {
+        self.cfg.fetch_width = fetch;
+        self.cfg.decode_width = decode;
+        self.cfg.issue_width = issue;
+        self.cfg.commit_width = commit;
+        self
+    }
+
+    /// Sets the ROB capacity.
+    pub fn rob(&mut self, n: usize) -> &mut Self {
+        self.cfg.rob_size = n;
+        self
+    }
+
+    /// Sets the LSQ capacity.
+    pub fn lsq(&mut self, n: usize) -> &mut Self {
+        self.cfg.lsq_size = n;
+        self
+    }
+
+    /// Enables skeleton-mask fetching (look-ahead core front end).
+    pub fn fetch_masks(&mut self, on: bool) -> &mut Self {
+        self.cfg.fetch_masks = on;
+        self
+    }
+
+    /// Sets the front-end depth (mispredict refill penalty).
+    pub fn frontend_depth(&mut self, d: u64) -> &mut Self {
+        self.cfg.frontend_depth = d;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(&self) -> CoreConfig {
+        self.cfg.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table1() {
+        let c = CoreConfig::paper();
+        assert_eq!(c.fetch_width, 4);
+        assert_eq!(c.rob_size, 192);
+        assert_eq!(c.lsq_size, 96);
+        assert_eq!(c.int_units, 4);
+        assert_eq!(c.mem_units, 2);
+        assert_eq!(c.fp_units, 4);
+        assert_eq!(c.fetch_buffer, 8);
+    }
+
+    #[test]
+    fn builder_overrides_fields() {
+        let c = CoreConfig::builder().fetch_buffer(32).rob(256).build();
+        assert_eq!(c.fetch_buffer, 32);
+        assert_eq!(c.rob_size, 256);
+        assert_eq!(c.decode_width, 4); // untouched
+    }
+
+    #[test]
+    fn wide_smt_matches_paper_text() {
+        let c = CoreConfig::wide_smt();
+        assert_eq!(
+            (c.fetch_width, c.decode_width, c.issue_width, c.commit_width),
+            (16, 12, 16, 16)
+        );
+        assert_eq!(c.rob_size, 512);
+    }
+}

@@ -1,0 +1,1197 @@
+//! The cycle-stepped out-of-order core.
+//!
+//! One [`Core`] owns a private memory hierarchy ([`CoreMem`]) and one or
+//! more hardware threads (SMT). Each cycle advances commit → writeback →
+//! issue → rename → fetch, so results flow strictly forward in time.
+//!
+//! The model is *execute-in-execute*: functional results are computed when
+//! an instruction issues, using real values held in the physical register
+//! file. Wrong-path instructions therefore execute real (garbage-input)
+//! work and pollute caches — exactly the effect decoupled look-ahead is
+//! designed to absorb on behalf of the main thread.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use r3dla_bpred::{Btb, BtbConfig, Ras, RasState};
+use r3dla_isa::{
+    eval_alu, eval_cond, mem_addr, BranchKind, FuClass, Inst, Op, Program, Reg, INST_BYTES,
+};
+use r3dla_mem::CoreMem;
+use r3dla_stats::Histogram;
+
+use crate::config::CoreConfig;
+use crate::counters::ActivityCounters;
+use crate::iface::{
+    BranchOverride, CommitRecord, CommitSink, FetchDirection, FetchFilter, ThreadMem, ValueSource,
+};
+use crate::prf::Prf;
+
+/// Base address where skeleton mask bits live in the binary image; the
+/// look-ahead front end fetches mask lines from here (paper §III-A iii).
+pub const MASK_BASE: u64 = 0x0800_0000;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    Dispatched,
+    Issued,
+    Done,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RobEntry {
+    seq: u64,
+    pc: u64,
+    inst: Inst,
+    stage: Stage,
+    exec_done: u64,
+    dest_new: Option<u16>,
+    dest_old: Option<u16>,
+    src: [Option<u16>; 2],
+    // Branch bookkeeping.
+    pred_next_pc: u64,
+    actual_taken: Option<bool>,
+    actual_next_pc: u64,
+    dir_snapshot: u64,
+    ras_snapshot: RasState,
+    // Value-reuse alignment context (tag of the governing conditional
+    // branch and distance from it).
+    branch_tag: u64,
+    branch_offset: u32,
+    // Memory bookkeeping.
+    addr: Option<u64>,
+    store_val: Option<u64>,
+    l1_miss: bool,
+    l2_miss: bool,
+    tlb_miss: bool,
+    // Value prediction.
+    vpred: Option<u64>,
+    // Results & stats.
+    result: Option<u64>,
+    dispatch_cycle: u64,
+    resolved: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct IqEntry {
+    thread: usize,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct FetchedInst {
+    pc: u64,
+    inst: Inst,
+    pred_next_pc: u64,
+    dir_snapshot: u64,
+    ras_snapshot: RasState,
+    decode_ready: u64,
+    branch_tag: u64,
+    branch_offset: u32,
+}
+
+/// Per-thread results exposed after simulation.
+#[derive(Debug, Default, Clone)]
+pub struct ThreadStats {
+    /// Committed instruction count.
+    pub committed: u64,
+    /// Conditional branches committed.
+    pub cond_branches: u64,
+    /// L1D load misses observed at execute (committed loads only).
+    pub l1d_load_misses: u64,
+    /// Loads committed.
+    pub loads: u64,
+    /// Occupancy histogram of the fetch buffer (sampled every cycle).
+    pub fetch_occupancy: Histogram,
+    /// Histogram of instructions renamed per cycle (decode supply).
+    pub renamed_per_cycle: Histogram,
+    /// Histogram of instructions fetched per cycle (I-side supply).
+    pub fetched_per_cycle: Histogram,
+}
+
+struct Thread {
+    // Front end.
+    fetch_pc: u64,
+    fetch_stall_until: u64,
+    fetch_buffer: VecDeque<FetchedInst>,
+    /// Decode/rename pipeline registers: instructions drained from the
+    /// fetch buffer spend `frontend_depth` cycles here, modelling the
+    /// 20-stage pipe without consuming fetch-buffer capacity.
+    decode_pipe: VecDeque<FetchedInst>,
+    dir: Box<dyn FetchDirection>,
+    btb: Btb,
+    ras: Ras,
+    filter: Option<Rc<RefCell<dyn FetchFilter>>>,
+    // Value-reuse alignment: tag of the last fetched conditional branch
+    // and the distance of the fetch cursor from it.
+    last_branch_tag: u64,
+    cursor_offset: u32,
+    next_local_tag: u64,
+    halted_fetch: bool,
+    // Rename state.
+    rat: [u16; Reg::COUNT],
+    validated: [bool; Reg::COUNT],
+    // Backend.
+    rob: VecDeque<RobEntry>,
+    rob_head_seq: u64,
+    next_seq: u64,
+    store_queue: VecDeque<u64>, // seqs of in-flight stores, oldest first
+    // Architectural state.
+    arch_regs: [u64; Reg::COUNT],
+    arch_pc: u64,
+    mem: Rc<RefCell<dyn ThreadMem>>,
+    halted: bool,
+    // Hooks.
+    value_source: Option<Rc<RefCell<dyn ValueSource>>>,
+    commit_sink: Option<Rc<RefCell<dyn CommitSink>>>,
+    branch_override: Option<Rc<RefCell<dyn BranchOverride>>>,
+    // Stats.
+    stats: ThreadStats,
+}
+
+impl std::fmt::Debug for Thread {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Thread")
+            .field("fetch_pc", &self.fetch_pc)
+            .field("committed", &self.stats.committed)
+            .field("halted", &self.halted)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A cycle-stepped out-of-order core.
+pub struct Core {
+    cfg: CoreConfig,
+    program: Rc<Program>,
+    mem: CoreMem,
+    threads: Vec<Thread>,
+    prf: Prf,
+    iq: Vec<IqEntry>,
+    cycle: u64,
+    int_busy_until: Vec<u64>,
+    fp_busy_until: Vec<u64>,
+    mem_used_this_cycle: usize,
+    int_used_this_cycle: usize,
+    fp_used_this_cycle: usize,
+    /// Activity counters (consumed by the energy model).
+    pub counters: ActivityCounters,
+}
+
+impl std::fmt::Debug for Core {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Core")
+            .field("cycle", &self.cycle)
+            .field("threads", &self.threads.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Core {
+    /// Creates a core running `program` against the given private
+    /// hierarchy. Threads are added with [`Core::add_thread`].
+    pub fn new(cfg: CoreConfig, program: Rc<Program>, mem: CoreMem) -> Self {
+        let prf = Prf::new(cfg.prf_size, 0);
+        Self {
+            int_busy_until: vec![0; cfg.int_units],
+            fp_busy_until: vec![0; cfg.fp_units],
+            mem_used_this_cycle: 0,
+            int_used_this_cycle: 0,
+            fp_used_this_cycle: 0,
+            cfg,
+            program,
+            mem,
+            threads: Vec::new(),
+            prf,
+            iq: Vec::new(),
+            cycle: 0,
+            counters: ActivityCounters::default(),
+        }
+    }
+
+    /// Adds a hardware thread starting at `entry` with architectural
+    /// registers `regs`, fed by `dir` and viewing memory through `mem`.
+    /// Returns the thread id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PRF cannot seat another thread's architectural state.
+    pub fn add_thread(
+        &mut self,
+        entry: u64,
+        regs: [u64; Reg::COUNT],
+        dir: Box<dyn FetchDirection>,
+        mem: Rc<RefCell<dyn ThreadMem>>,
+    ) -> usize {
+        let mut rat = [0u16; Reg::COUNT];
+        for (i, r) in rat.iter_mut().enumerate() {
+            let p = self.prf.alloc().expect("PRF too small for thread state");
+            self.prf.init(p, regs[i]);
+            *r = p;
+        }
+        self.threads.push(Thread {
+            fetch_pc: entry,
+            fetch_stall_until: 0,
+            fetch_buffer: VecDeque::with_capacity(self.cfg.fetch_buffer),
+            decode_pipe: VecDeque::new(),
+            dir,
+            btb: Btb::new(BtbConfig::paper()),
+            ras: Ras::new(),
+            filter: None,
+            last_branch_tag: 0,
+            cursor_offset: 0,
+            next_local_tag: 1,
+            halted_fetch: false,
+            rat,
+            validated: [false; Reg::COUNT],
+            rob: VecDeque::with_capacity(self.cfg.rob_size),
+            rob_head_seq: 0,
+            next_seq: 0,
+            store_queue: VecDeque::new(),
+            arch_regs: regs,
+            arch_pc: entry,
+            mem,
+            halted: false,
+            value_source: None,
+            commit_sink: None,
+            branch_override: None,
+            stats: ThreadStats::default(),
+        });
+        self.threads.len() - 1
+    }
+
+    /// Attaches a branch-direction override (bias-converted skeleton
+    /// branches in a look-ahead thread).
+    pub fn set_branch_override(&mut self, thread: usize, ov: Rc<RefCell<dyn BranchOverride>>) {
+        self.threads[thread].branch_override = Some(ov);
+    }
+
+    /// Attaches a fetch filter (skeleton mask) to a thread.
+    pub fn set_fetch_filter(&mut self, thread: usize, filter: Rc<RefCell<dyn FetchFilter>>) {
+        self.threads[thread].filter = Some(filter);
+    }
+
+    /// Attaches a value-prediction source to a thread.
+    pub fn set_value_source(&mut self, thread: usize, src: Rc<RefCell<dyn ValueSource>>) {
+        self.threads[thread].value_source = Some(src);
+    }
+
+    /// Attaches a commit sink to a thread.
+    pub fn set_commit_sink(&mut self, thread: usize, sink: Rc<RefCell<dyn CommitSink>>) {
+        self.threads[thread].commit_sink = Some(sink);
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The core configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Whether every thread has committed a halt.
+    pub fn halted(&self) -> bool {
+        self.threads.iter().all(|t| t.halted)
+    }
+
+    /// Whether thread `t` has halted.
+    pub fn thread_halted(&self, t: usize) -> bool {
+        self.threads[t].halted
+    }
+
+    /// Per-thread statistics.
+    pub fn thread_stats(&self, t: usize) -> &ThreadStats {
+        &self.threads[t].stats
+    }
+
+    /// Architectural (committed) register state of a thread — the source
+    /// for DLA reboot copies.
+    pub fn arch_regs(&self, t: usize) -> [u64; Reg::COUNT] {
+        self.threads[t].arch_regs
+    }
+
+    /// Architectural next PC of a thread.
+    pub fn arch_pc(&self, t: usize) -> u64 {
+        self.threads[t].arch_pc
+    }
+
+    /// Committed instruction count of a thread.
+    pub fn committed(&self, t: usize) -> u64 {
+        self.threads[t].stats.committed
+    }
+
+    /// Number of in-flight (renamed, uncommitted) instructions in a
+    /// thread's ROB.
+    pub fn in_flight(&self, t: usize) -> usize {
+        self.threads[t].rob.len()
+    }
+
+    /// Access to the private memory hierarchy.
+    pub fn mem(&self) -> &CoreMem {
+        &self.mem
+    }
+
+    /// Mutable access to the private memory hierarchy (prefetch hints).
+    pub fn mem_mut(&mut self) -> &mut CoreMem {
+        &mut self.mem
+    }
+
+    /// Fully flushes a thread's pipeline and restarts it at `pc` with the
+    /// supplied architectural registers — the DLA reboot operation. The
+    /// register-copy delay is charged by stalling fetch for `stall`
+    /// cycles (64 in the paper).
+    pub fn reboot_thread(&mut self, thread: usize, pc: u64, regs: [u64; Reg::COUNT], stall: u64) {
+        self.squash_all(thread);
+        let t = &mut self.threads[thread];
+        t.arch_regs = regs;
+        t.arch_pc = pc;
+        t.fetch_pc = pc;
+        t.fetch_stall_until = self.cycle + stall;
+        t.halted = false;
+        t.halted_fetch = false;
+        t.last_branch_tag = 0;
+        t.cursor_offset = 0;
+        t.validated = [false; Reg::COUNT];
+        for (i, &p) in t.rat.iter().enumerate() {
+            self.prf.init(p, regs[i]);
+        }
+    }
+
+    /// Advances the whole core by one cycle.
+    pub fn step(&mut self) {
+        self.counters.cycles.inc();
+        self.mem_used_this_cycle = 0;
+        self.int_used_this_cycle = 0;
+        self.fp_used_this_cycle = 0;
+        self.stage_commit();
+        self.stage_writeback();
+        self.stage_issue();
+        self.stage_rename();
+        self.stage_fetch();
+        for t in &mut self.threads {
+            t.stats.fetch_occupancy.record(t.fetch_buffer.len() as u64);
+        }
+        self.cycle += 1;
+    }
+
+    /// Runs until all threads halt or `max_cycles` elapse; returns cycles
+    /// executed.
+    pub fn run(&mut self, max_cycles: u64) -> u64 {
+        let start = self.cycle;
+        while !self.halted() && self.cycle - start < max_cycles {
+            self.step();
+        }
+        self.cycle - start
+    }
+
+    // ------------------------------------------------------------------
+    // Commit
+    // ------------------------------------------------------------------
+
+    fn stage_commit(&mut self) {
+        let nthreads = self.threads.len();
+        if nthreads == 0 {
+            return;
+        }
+        let mut budget = self.cfg.commit_width;
+        for k in 0..nthreads {
+            let tid = (self.cycle as usize + k) % nthreads;
+            while budget > 0 {
+                if !self.commit_one(tid) {
+                    break;
+                }
+                budget -= 1;
+            }
+        }
+    }
+
+    fn commit_one(&mut self, tid: usize) -> bool {
+        let cycle = self.cycle;
+        let t = &mut self.threads[tid];
+        let Some(head) = t.rob.front() else { return false };
+        if head.stage != Stage::Done || head.exec_done > cycle {
+            return false;
+        }
+        let e = t.rob.pop_front().expect("head exists");
+        t.rob_head_seq = e.seq + 1;
+        if let Some(rd) = e.inst.def() {
+            if let Some(old) = e.dest_old {
+                self.prf.free(old);
+            }
+            if let Some(v) = e.result {
+                t.arch_regs[rd.index()] = v;
+            }
+        }
+        t.arch_pc = e.actual_next_pc;
+        if e.inst.is_store() {
+            if let (Some(addr), Some(val)) = (e.addr, e.store_val) {
+                t.mem.borrow_mut().store(addr, val);
+                self.mem.store(addr, e.pc, cycle);
+            }
+            if t.store_queue.front() == Some(&e.seq) {
+                t.store_queue.pop_front();
+            }
+        }
+        if e.inst.op == Op::Halt {
+            t.halted = true;
+        }
+        t.stats.committed += 1;
+        if e.inst.is_cond_branch() {
+            t.stats.cond_branches += 1;
+        }
+        if e.inst.is_load() {
+            t.stats.loads += 1;
+            if e.l1_miss {
+                t.stats.l1d_load_misses += 1;
+            }
+        }
+        self.counters.committed.inc();
+        let sink = t.commit_sink.clone();
+        if let Some(sink) = sink {
+            let rec = CommitRecord {
+                thread: tid,
+                seq: e.seq,
+                inst: e.inst,
+                pc: e.pc,
+                cycle,
+                next_pc: e.actual_next_pc,
+                taken: e.actual_taken,
+                value: e.result,
+                mem_addr: e.addr,
+                l1_miss: e.l1_miss,
+                l2_miss: e.l2_miss,
+                tlb_miss: e.tlb_miss,
+                dispatch_to_exec: e.exec_done.saturating_sub(e.dispatch_cycle),
+            };
+            sink.borrow_mut().on_commit(&rec);
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Writeback / branch resolution / value validation
+    // ------------------------------------------------------------------
+
+    fn stage_writeback(&mut self) {
+        let cycle = self.cycle;
+        for tid in 0..self.threads.len() {
+            let mut seq = self.threads[tid].rob_head_seq;
+            loop {
+                let t = &self.threads[tid];
+                let idx = (seq - t.rob_head_seq) as usize;
+                if idx >= t.rob.len() {
+                    break;
+                }
+                let needs_resolve = {
+                    let e = &t.rob[idx];
+                    e.stage == Stage::Issued && e.exec_done <= cycle && !e.resolved
+                };
+                let this_seq = seq;
+                seq += 1;
+                if !needs_resolve {
+                    continue;
+                }
+                if self.resolve_entry(tid, this_seq) {
+                    break; // squashed everything younger
+                }
+            }
+        }
+    }
+
+    /// Completes one instruction; returns true if it squashed younger ones.
+    fn resolve_entry(&mut self, tid: usize, seq: u64) -> bool {
+        let e = {
+            let t = &mut self.threads[tid];
+            let idx = (seq - t.rob_head_seq) as usize;
+            let en = &mut t.rob[idx];
+            en.stage = Stage::Done;
+            en.resolved = true;
+            *en
+        };
+        // Value-prediction validation.
+        if let Some(pred) = e.vpred {
+            self.counters.value_validations.inc();
+            let actual = e.result.unwrap_or(0);
+            let correct = actual == pred;
+            if let Some(src) = self.threads[tid].value_source.clone() {
+                src.borrow_mut().on_outcome(e.pc, correct);
+            }
+            if !correct {
+                self.counters.value_mispredicts.inc();
+                // Replay: squash younger instructions (which consumed the
+                // bad value) and refetch after this instruction. The
+                // instruction itself keeps its correct result.
+                self.squash_younger(tid, seq, &e, false);
+                return true;
+            }
+        }
+        // Branch resolution.
+        if e.inst.is_branch() {
+            let mispredicted = e.actual_next_pc != e.pred_next_pc;
+            if e.inst.is_cond_branch() {
+                let taken = e.actual_taken.unwrap_or(false);
+                self.threads[tid].dir.resolve(e.pc, taken, mispredicted);
+            }
+            if e.actual_taken.unwrap_or(true) {
+                self.threads[tid].btb.update(e.pc, e.actual_next_pc);
+            }
+            if mispredicted {
+                self.counters.branch_mispredicts.inc();
+                self.squash_younger(tid, seq, &e, true);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Squashes all entries younger than `seq` and redirects fetch after
+    /// the squashing entry `e`. `was_branch_mispredict` selects the
+    /// front-end repair flavour.
+    fn squash_younger(&mut self, tid: usize, seq: u64, e: &RobEntry, was_branch_mispredict: bool) {
+        let cycle = self.cycle;
+        {
+            let t = &mut self.threads[tid];
+            while let Some(back) = t.rob.back() {
+                if back.seq <= seq {
+                    break;
+                }
+                let victim = t.rob.pop_back().expect("back exists");
+                if let Some(rd) = victim.inst.def() {
+                    if let (Some(new), Some(old)) = (victim.dest_new, victim.dest_old) {
+                        t.rat[rd.index()] = old;
+                        self.prf.free(new);
+                    }
+                }
+                if victim.inst.is_store() && t.store_queue.back() == Some(&victim.seq) {
+                    t.store_queue.pop_back();
+                }
+                self.counters.squashed.inc();
+            }
+            t.next_seq = seq + 1;
+            t.fetch_buffer.clear();
+            t.decode_pipe.clear();
+            t.validated = [false; Reg::COUNT];
+            // Redirect fetch down the architecturally correct path.
+            t.fetch_pc = e.actual_next_pc;
+            t.fetch_stall_until = cycle + 1;
+            t.halted_fetch = false;
+            // Repair speculative front-end state to just-after `e`.
+            t.dir.restore(e.dir_snapshot, e.actual_taken);
+            t.ras.restore(e.ras_snapshot);
+            if matches!(
+                e.inst.branch_kind(),
+                Some(BranchKind::Call | BranchKind::IndCall)
+            ) {
+                t.ras.push(e.pc + INST_BYTES);
+            }
+            // Restore the value-reuse alignment cursor.
+            if e.inst.is_cond_branch() {
+                t.last_branch_tag = e.branch_tag;
+                t.cursor_offset = 0;
+                t.next_local_tag = e.branch_tag + 1;
+            } else {
+                t.last_branch_tag = e.branch_tag;
+                t.cursor_offset = e.branch_offset;
+                t.next_local_tag = e.branch_tag + 1;
+            }
+            let _ = was_branch_mispredict;
+        }
+        self.iq.retain(|q| q.thread != tid || q.seq <= seq);
+    }
+
+    /// Squashes the entire pipeline state of a thread (reboot).
+    fn squash_all(&mut self, tid: usize) {
+        let t = &mut self.threads[tid];
+        while let Some(e) = t.rob.pop_back() {
+            if let Some(rd) = e.inst.def() {
+                if let (Some(new), Some(old)) = (e.dest_new, e.dest_old) {
+                    t.rat[rd.index()] = old;
+                    self.prf.free(new);
+                }
+            }
+            self.counters.squashed.inc();
+        }
+        t.rob_head_seq = t.next_seq;
+        t.store_queue.clear();
+        t.fetch_buffer.clear();
+        t.decode_pipe.clear();
+        t.ras = Ras::new();
+        t.validated = [false; Reg::COUNT];
+        t.next_local_tag = 1;
+        self.iq.retain(|q| q.thread != tid);
+    }
+
+    // ------------------------------------------------------------------
+    // Issue / execute
+    // ------------------------------------------------------------------
+
+    fn fu_available(&self, class: FuClass) -> bool {
+        match class {
+            FuClass::IntAlu | FuClass::Branch | FuClass::IntMul => {
+                self.int_used_this_cycle < self.cfg.int_units
+            }
+            FuClass::IntDiv => {
+                self.int_used_this_cycle < self.cfg.int_units
+                    && self.int_busy_until.iter().any(|&b| b <= self.cycle)
+            }
+            FuClass::Mem => self.mem_used_this_cycle < self.cfg.mem_units,
+            FuClass::Fp => self.fp_used_this_cycle < self.cfg.fp_units,
+            FuClass::FpDiv => {
+                self.fp_used_this_cycle < self.cfg.fp_units
+                    && self.fp_busy_until.iter().any(|&b| b <= self.cycle)
+            }
+        }
+    }
+
+    fn fu_consume(&mut self, class: FuClass, done: u64) {
+        let cycle = self.cycle;
+        match class {
+            FuClass::IntAlu | FuClass::Branch | FuClass::IntMul => {
+                self.int_used_this_cycle += 1;
+            }
+            FuClass::IntDiv => {
+                self.int_used_this_cycle += 1;
+                if let Some(b) = self.int_busy_until.iter_mut().find(|b| **b <= cycle) {
+                    *b = done;
+                }
+            }
+            FuClass::Mem => self.mem_used_this_cycle += 1,
+            FuClass::Fp => self.fp_used_this_cycle += 1,
+            FuClass::FpDiv => {
+                self.fp_used_this_cycle += 1;
+                if let Some(b) = self.fp_busy_until.iter_mut().find(|b| **b <= cycle) {
+                    *b = done;
+                }
+            }
+        }
+    }
+
+    fn stage_issue(&mut self) {
+        let mut issued = 0usize;
+        let mut i = 0;
+        while i < self.iq.len() && issued < self.cfg.issue_width {
+            let q = self.iq[i];
+            match self.try_issue(q.thread, q.seq) {
+                IssueResult::Issued => {
+                    self.iq.remove(i);
+                    issued += 1;
+                }
+                IssueResult::NotReady => i += 1,
+                IssueResult::Gone => {
+                    self.iq.remove(i);
+                }
+            }
+        }
+    }
+
+    fn entry_index(&self, tid: usize, seq: u64) -> Option<usize> {
+        let t = &self.threads[tid];
+        if seq < t.rob_head_seq {
+            return None;
+        }
+        let idx = (seq - t.rob_head_seq) as usize;
+        (idx < t.rob.len() && t.rob[idx].seq == seq).then_some(idx)
+    }
+
+    fn try_issue(&mut self, tid: usize, seq: u64) -> IssueResult {
+        let cycle = self.cycle;
+        let Some(idx) = self.entry_index(tid, seq) else {
+            return IssueResult::Gone;
+        };
+        let e = self.threads[tid].rob[idx];
+        if e.stage != Stage::Dispatched || e.dispatch_cycle >= cycle {
+            return IssueResult::NotReady;
+        }
+        for src in e.src.iter().flatten() {
+            if !self.prf.is_ready(*src, cycle) {
+                return IssueResult::NotReady;
+            }
+        }
+        let class = e.inst.fu_class();
+        if !self.fu_available(class) {
+            return IssueResult::NotReady;
+        }
+        let prefetch_only = e.inst.is_load()
+            && self
+                .threads[tid]
+                .filter
+                .clone()
+                .map(|f| f.borrow_mut().prefetch_only(e.pc))
+                .unwrap_or(false);
+        if e.inst.is_load() && !prefetch_only && !self.load_may_issue(tid, seq) {
+            return IssueResult::NotReady;
+        }
+        let a = e.src[0].map(|p| self.prf.read(p)).unwrap_or(0);
+        let b = e.src[1].map(|p| self.prf.read(p)).unwrap_or(0);
+        self.counters
+            .rf_reads
+            .add(e.src.iter().flatten().count() as u64);
+        self.counters.executed.inc();
+        let seq_pc = e.pc + INST_BYTES;
+        let mut result: Option<u64> = None;
+        let mut actual_taken: Option<bool> = None;
+        let mut actual_next = seq_pc;
+        let mut exec_done = cycle + e.inst.latency();
+        let mut addr = None;
+        let mut store_val = None;
+        let mut flags = (false, false, false);
+        match e.inst.op {
+            Op::Ld => {
+                let a_addr = mem_addr(&e.inst, a);
+                addr = Some(a_addr);
+                let (ready, value, fl) = self.execute_load(tid, seq, a_addr, e.pc);
+                // Prefetch payloads (skeleton loads with dead results)
+                // touch the memory system but never stall the pipeline.
+                exec_done = if prefetch_only { cycle + 3 } else { ready };
+                result = Some(value);
+                flags = fl;
+            }
+            Op::St => {
+                let a_addr = mem_addr(&e.inst, a);
+                addr = Some(a_addr);
+                store_val = Some(b);
+                exec_done = cycle + 1;
+            }
+            Op::Beq | Op::Bne | Op::Blt | Op::Bge | Op::Bltu | Op::Bgeu => {
+                let mut taken = eval_cond(e.inst.op, a, b);
+                if let Some(ov) = self.threads[tid].branch_override.clone() {
+                    if let Some(forced) = ov.borrow().force(e.pc) {
+                        taken = forced;
+                    }
+                }
+                actual_taken = Some(taken);
+                actual_next = if taken { e.inst.imm as u64 } else { seq_pc };
+            }
+            Op::Jal => {
+                actual_next = e.inst.imm as u64;
+                if e.inst.def().is_some() {
+                    result = Some(seq_pc);
+                }
+            }
+            Op::Jalr => {
+                actual_next = a.wrapping_add(e.inst.imm as u64) & !3;
+                if e.inst.def().is_some() {
+                    result = Some(seq_pc);
+                }
+            }
+            Op::Nop | Op::Halt => {}
+            _ => {
+                result = Some(eval_alu(e.inst.op, a, b, e.inst.imm));
+            }
+        }
+        if e.inst.is_load() {
+            self.counters.loads.inc();
+        } else if e.inst.is_store() {
+            self.counters.stores.inc();
+        }
+        self.fu_consume(class, exec_done);
+        // Write the PRF early; readiness gates visibility. For correctly
+        // value-predicted instructions, keep the early availability the
+        // prediction established (same value, earlier ready).
+        if let (Some(p), Some(v)) = (e.dest_new, result) {
+            match e.vpred {
+                Some(pv) if pv == v => {} // prediction already in place
+                _ => {
+                    self.prf.write(p, v, exec_done);
+                    self.counters.rf_writes.inc();
+                }
+            }
+        }
+        let t = &mut self.threads[tid];
+        let en = &mut t.rob[idx];
+        en.stage = Stage::Issued;
+        en.exec_done = exec_done;
+        en.result = result;
+        en.actual_taken = actual_taken;
+        en.actual_next_pc = actual_next;
+        en.addr = addr;
+        en.store_val = store_val;
+        en.l1_miss = flags.0;
+        en.l2_miss = flags.1;
+        en.tlb_miss = flags.2;
+        IssueResult::Issued
+    }
+
+    fn load_may_issue(&self, tid: usize, seq: u64) -> bool {
+        let t = &self.threads[tid];
+        for &sseq in &t.store_queue {
+            if sseq >= seq {
+                break;
+            }
+            let idx = (sseq - t.rob_head_seq) as usize;
+            if t.rob[idx].addr.is_none() {
+                return false; // unresolved older store address
+            }
+        }
+        true
+    }
+
+    /// Executes a load: forwards from the store queue when possible,
+    /// otherwise accesses the data cache. Returns `(ready, value,
+    /// (l1_miss, l2_miss, tlb_miss))`.
+    fn execute_load(
+        &mut self,
+        tid: usize,
+        seq: u64,
+        addr: u64,
+        pc: u64,
+    ) -> (u64, u64, (bool, bool, bool)) {
+        let cycle = self.cycle;
+        let mut forwarded: Option<u64> = None;
+        {
+            let t = &self.threads[tid];
+            for &sseq in t.store_queue.iter().rev() {
+                if sseq >= seq {
+                    continue;
+                }
+                let idx = (sseq - t.rob_head_seq) as usize;
+                let se = &t.rob[idx];
+                if se.addr == Some(addr) {
+                    forwarded = se.store_val;
+                    break;
+                }
+            }
+        }
+        if let Some(v) = forwarded {
+            return (cycle + 2, v, (false, false, false));
+        }
+        let value = self.threads[tid].mem.borrow_mut().load(addr);
+        let out = self.mem.load(addr, pc, cycle);
+        (
+            out.ready.max(cycle + 1),
+            value,
+            (!out.l1_hit, !out.l2_hit, out.tlb_penalty > 0),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Rename / dispatch
+    // ------------------------------------------------------------------
+
+    fn stage_rename(&mut self) {
+        let nthreads = self.threads.len();
+        if nthreads == 0 {
+            return;
+        }
+        // Drain the fetch buffer into the decode pipe (the decode stage
+        // proper), which imposes the front-end depth without consuming
+        // fetch-buffer capacity.
+        let cycle = self.cycle;
+        let pipe_cap = self.cfg.decode_width * self.cfg.frontend_depth as usize + 1;
+        let mut drain_budget = self.cfg.decode_width;
+        for k in 0..nthreads {
+            let tid = (cycle as usize + k) % nthreads;
+            let depth = self.cfg.frontend_depth;
+            let t = &mut self.threads[tid];
+            while drain_budget > 0
+                && t.decode_pipe.len() < pipe_cap
+                && !t.fetch_buffer.is_empty()
+            {
+                let mut f = t.fetch_buffer.pop_front().expect("nonempty");
+                f.decode_ready = cycle + depth;
+                t.decode_pipe.push_back(f);
+                drain_budget -= 1;
+            }
+        }
+        let mut budget = self.cfg.decode_width;
+        let mut renamed_per_thread = vec![0u64; nthreads];
+        for k in 0..nthreads {
+            let tid = (self.cycle as usize + k) % nthreads;
+            while budget > 0 && self.rename_one(tid) {
+                budget -= 1;
+                renamed_per_thread[tid] += 1;
+            }
+        }
+        let absorbed: u64 = renamed_per_thread.iter().sum();
+        if budget > 0 && self.backend_has_room() && self.threads.iter().any(|t| !t.halted) {
+            self.counters.fetch_bubble_insts.add(budget as u64);
+        }
+        for (tid, n) in renamed_per_thread.iter().enumerate() {
+            self.threads[tid].stats.renamed_per_cycle.record(*n);
+        }
+        self.counters.decoded.add(absorbed);
+    }
+
+    fn backend_has_room(&self) -> bool {
+        self.threads.iter().any(|t| t.rob.len() < self.cfg.rob_size)
+            && self.iq.len() < self.cfg.iq_size
+    }
+
+    fn rename_one(&mut self, tid: usize) -> bool {
+        let cycle = self.cycle;
+        if self.iq.len() >= self.cfg.iq_size || self.prf.available() == 0 {
+            return false;
+        }
+        {
+            let t = &self.threads[tid];
+            if t.rob.len() >= self.cfg.rob_size {
+                return false;
+            }
+            let Some(f) = t.decode_pipe.front() else {
+                return false;
+            };
+            if f.decode_ready > cycle {
+                return false;
+            }
+            if f.inst.is_store() && t.store_queue.len() >= self.cfg.lsq_size {
+                return false;
+            }
+        }
+        let f = self.threads[tid]
+            .decode_pipe
+            .pop_front()
+            .expect("presence checked");
+        // Value-prediction lookup (main-thread value reuse).
+        let mut vpred = None;
+        if let Some(src) = self.threads[tid].value_source.clone() {
+            vpred = src
+                .borrow_mut()
+                .predict(f.pc, f.branch_tag, f.branch_offset);
+        }
+        let t = &mut self.threads[tid];
+        let seq = t.next_seq;
+        t.next_seq += 1;
+        let src = [
+            f.inst.uses()[0].map(|r| t.rat[r.index()]),
+            f.inst.uses()[1].map(|r| t.rat[r.index()]),
+        ];
+        let (dest_new, dest_old) = match f.inst.def() {
+            Some(rd) => {
+                let p = self.prf.alloc().expect("availability checked");
+                let old = t.rat[rd.index()];
+                t.rat[rd.index()] = p;
+                (Some(p), Some(old))
+            }
+            None => (None, None),
+        };
+        // Validation-skip scoreboard (paper Fig 4): an ALU instruction
+        // whose sources are all validated-predicted values and which
+        // itself has a value prediction need not execute for validation.
+        let mut skip_validation = false;
+        if let Some(v) = vpred {
+            self.counters.value_predictions.inc();
+            let alu_like = !f.inst.is_mem() && !f.inst.is_branch();
+            let n_sources = f.inst.uses().iter().flatten().count();
+            let all_sources_validated = f
+                .inst
+                .uses()
+                .iter()
+                .flatten()
+                .all(|r| t.validated[r.index()]);
+            if alu_like && n_sources > 0 && all_sources_validated {
+                skip_validation = true;
+                self.counters.value_validation_skips.inc();
+            }
+            if let Some(p) = dest_new {
+                self.prf.write(p, v, cycle + 1);
+                self.counters.rf_writes.inc();
+            }
+        }
+        if let Some(rd) = f.inst.def() {
+            t.validated[rd.index()] = vpred.is_some();
+        }
+        let is_store = f.inst.is_store();
+        let entry = RobEntry {
+            seq,
+            pc: f.pc,
+            inst: f.inst,
+            stage: if skip_validation { Stage::Done } else { Stage::Dispatched },
+            exec_done: if skip_validation { cycle + 1 } else { u64::MAX },
+            dest_new,
+            dest_old,
+            src,
+            pred_next_pc: f.pred_next_pc,
+            actual_taken: None,
+            actual_next_pc: f.pc + INST_BYTES,
+            dir_snapshot: f.dir_snapshot,
+            ras_snapshot: f.ras_snapshot,
+            branch_tag: f.branch_tag,
+            branch_offset: f.branch_offset,
+            addr: None,
+            store_val: None,
+            l1_miss: false,
+            l2_miss: false,
+            tlb_miss: false,
+            vpred: if skip_validation { None } else { vpred },
+            result: vpred,
+            dispatch_cycle: cycle,
+            resolved: skip_validation,
+        };
+        t.rob.push_back(entry);
+        if is_store {
+            t.store_queue.push_back(seq);
+        }
+        self.counters.rob_writes.inc();
+        if !skip_validation {
+            self.iq.push(IqEntry { thread: tid, seq });
+            self.counters.iq_writes.inc();
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch
+    // ------------------------------------------------------------------
+
+    fn stage_fetch(&mut self) {
+        for tid in 0..self.threads.len() {
+            self.fetch_thread(tid);
+        }
+    }
+
+    fn fetch_thread(&mut self, tid: usize) {
+        let cycle = self.cycle;
+        if self.threads[tid].halted
+            || self.threads[tid].halted_fetch
+            || self.threads[tid].fetch_stall_until > cycle
+        {
+            return;
+        }
+        let mut pushed = 0usize;
+        let mut slots = 0usize;
+        let max_slots = self.cfg.fetch_width * 2;
+        let mut current_line = u64::MAX;
+        while pushed < self.cfg.fetch_width && slots < max_slots {
+            if self.threads[tid].fetch_buffer.len() >= self.cfg.fetch_buffer {
+                break;
+            }
+            let pc = self.threads[tid].fetch_pc;
+            let line = pc & !63;
+            if line != current_line {
+                let (ready, hit) = self.mem.inst_fetch(pc, cycle);
+                self.counters.icache_lines.inc();
+                if self.cfg.fetch_masks && !hit {
+                    // Skeleton masks (2 bits/inst) live elsewhere in the
+                    // binary: one mask line covers 16 instruction lines.
+                    // Fetch it alongside the instruction line on a miss.
+                    let mask_addr = MASK_BASE + (line >> 4);
+                    let (mready, _mhit) = self.mem.inst_fetch(mask_addr & !63, cycle);
+                    let t = &mut self.threads[tid];
+                    t.fetch_stall_until = t.fetch_stall_until.max(mready);
+                }
+                if !hit {
+                    let t = &mut self.threads[tid];
+                    t.fetch_stall_until = t.fetch_stall_until.max(ready);
+                    break;
+                }
+                current_line = line;
+            }
+            let Some(inst) = self.program.fetch(pc) else {
+                // Ran off the binary (deep wrong path): wait for a squash.
+                self.threads[tid].halted_fetch = true;
+                return;
+            };
+            slots += 1;
+            // Skeleton masking: deleted instructions consume a fetch slot
+            // but never enter the fetch buffer (paper §III-A iii).
+            if let Some(filter) = self.threads[tid].filter.clone() {
+                if !filter.borrow_mut().keep(pc) {
+                    self.counters.mask_deleted.inc();
+                    self.threads[tid].fetch_pc = pc + INST_BYTES;
+                    continue;
+                }
+            }
+            let mut next_pc = pc + INST_BYTES;
+            let mut is_taken_branch = false;
+            let kind = inst.branch_kind();
+            if matches!(kind, Some(BranchKind::Cond)) {
+                self.counters.bpred_lookups.inc();
+            }
+            let t = &mut self.threads[tid];
+            let dir_snapshot = t.dir.snapshot();
+            let ras_snapshot = t.ras.snapshot();
+            match kind {
+                Some(BranchKind::Cond) => match t.dir.predict(pc) {
+                    Some(taken) => {
+                        if taken {
+                            next_pc = inst.imm as u64;
+                            is_taken_branch = true;
+                        }
+                    }
+                    None => {
+                        // BOQ empty: stall fetch this cycle.
+                        return;
+                    }
+                },
+                Some(BranchKind::Jump) => {
+                    next_pc = inst.imm as u64;
+                    is_taken_branch = true;
+                }
+                Some(BranchKind::Call) => {
+                    next_pc = inst.imm as u64;
+                    t.ras.push(pc + INST_BYTES);
+                    is_taken_branch = true;
+                }
+                Some(BranchKind::Ret) => {
+                    next_pc = t
+                        .ras
+                        .pop()
+                        .or_else(|| t.btb.predict(pc))
+                        .unwrap_or(pc + INST_BYTES);
+                    is_taken_branch = true;
+                }
+                Some(BranchKind::IndCall) | Some(BranchKind::IndJump) => {
+                    next_pc = t
+                        .dir
+                        .indirect_target(pc)
+                        .or_else(|| t.btb.predict(pc))
+                        .unwrap_or(pc + INST_BYTES);
+                    if matches!(kind, Some(BranchKind::IndCall)) {
+                        t.ras.push(pc + INST_BYTES);
+                    }
+                    is_taken_branch = true;
+                }
+                None => {}
+            }
+            let (branch_tag, branch_offset);
+            if inst.is_cond_branch() {
+                let tag = t.dir.last_tag().unwrap_or_else(|| {
+                    let g = t.next_local_tag;
+                    t.next_local_tag += 1;
+                    g
+                });
+                branch_tag = tag;
+                branch_offset = 0;
+                t.last_branch_tag = tag;
+                t.cursor_offset = 0;
+            } else {
+                t.cursor_offset = t.cursor_offset.saturating_add(1);
+                branch_tag = t.last_branch_tag;
+                branch_offset = t.cursor_offset;
+            }
+            t.fetch_buffer.push_back(FetchedInst {
+                pc,
+                inst,
+                pred_next_pc: next_pc,
+                dir_snapshot,
+                ras_snapshot,
+                decode_ready: 0, // assigned when drained into the decode pipe
+                branch_tag,
+                branch_offset,
+            });
+            t.fetch_pc = next_pc;
+            pushed += 1;
+            self.counters.fetched.inc();
+            if inst.op == Op::Halt {
+                t.halted_fetch = true;
+                break;
+            }
+            if is_taken_branch {
+                break; // one taken branch per cycle
+            }
+        }
+        self.threads[tid]
+            .stats
+            .fetched_per_cycle
+            .record(pushed as u64);
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IssueResult {
+    Issued,
+    NotReady,
+    Gone,
+}

@@ -1,0 +1,100 @@
+//! Per-core activity counters: the raw material for the McPAT-substitute
+//! energy model (Table II, Fig 10) and for the paper's D/X/C activity
+//! ratios.
+
+use r3dla_stats::Counter;
+
+/// Event counts accumulated by one core over a simulation.
+///
+/// Fields are public: this is a passive record consumed by the energy
+/// model and experiment harnesses.
+#[derive(Debug, Default, Clone)]
+pub struct ActivityCounters {
+    /// Instructions fetched into the fetch buffer (post-mask for LT).
+    pub fetched: Counter,
+    /// Instruction slots deleted at fetch by the skeleton mask.
+    pub mask_deleted: Counter,
+    /// Instruction-cache line fetch requests.
+    pub icache_lines: Counter,
+    /// Instructions decoded/renamed (the paper's "D" activity).
+    pub decoded: Counter,
+    /// Instructions issued to functional units (the paper's "X").
+    pub executed: Counter,
+    /// Instructions committed (the paper's "C").
+    pub committed: Counter,
+    /// Instructions squashed (wrong path or replay).
+    pub squashed: Counter,
+    /// Issue-queue writes.
+    pub iq_writes: Counter,
+    /// Register-file read ports exercised.
+    pub rf_reads: Counter,
+    /// Register-file writes.
+    pub rf_writes: Counter,
+    /// Reorder-buffer writes.
+    pub rob_writes: Counter,
+    /// Loads executed.
+    pub loads: Counter,
+    /// Stores executed.
+    pub stores: Counter,
+    /// Branch-direction lookups at fetch.
+    pub bpred_lookups: Counter,
+    /// Conditional-branch mispredictions (at resolution).
+    pub branch_mispredicts: Counter,
+    /// Value predictions applied at rename.
+    pub value_predictions: Counter,
+    /// Value predictions that were validated by execution.
+    pub value_validations: Counter,
+    /// Value-prediction validations skipped by the scoreboard
+    /// optimization (paper Fig 4).
+    pub value_validation_skips: Counter,
+    /// Value mispredictions (triggering replays).
+    pub value_mispredicts: Counter,
+    /// Cycles the fetch stage produced nothing while decode could accept
+    /// (fetch bubbles, Appendix B's E(FB) numerator).
+    pub fetch_bubble_insts: Counter,
+    /// Cycles simulated.
+    pub cycles: Counter,
+}
+
+impl ActivityCounters {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        let c = self.cycles.get();
+        if c == 0 {
+            0.0
+        } else {
+            self.committed.get() as f64 / c as f64
+        }
+    }
+
+    /// Conditional mispredictions per kilo committed instructions.
+    pub fn mispredicts_per_kilo(&self) -> f64 {
+        let c = self.committed.get();
+        if c == 0 {
+            0.0
+        } else {
+            1000.0 * self.branch_mispredicts.get() as f64 / c as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        let c = ActivityCounters::default();
+        assert_eq!(c.ipc(), 0.0);
+    }
+
+    #[test]
+    fn ipc_computes_ratio() {
+        let mut c = ActivityCounters::default();
+        c.committed.add(300);
+        c.cycles.add(100);
+        assert!((c.ipc() - 3.0).abs() < 1e-12);
+        c.branch_mispredicts.add(3);
+        assert!((c.mispredicts_per_kilo() - 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,217 @@
+//! The interfaces through which a core is steered and observed: fetch
+//! direction sources, fetch filters (skeleton masks), value-prediction
+//! sources, commit sinks, and the per-thread functional memory view.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use r3dla_bpred::DirectionPredictor;
+use r3dla_isa::{DataMem, Inst, VecMem};
+
+/// Supplies conditional-branch directions to the fetch unit.
+///
+/// A conventional core wraps a predictor ([`PredictorDirection`]); a DLA
+/// main thread is fed from the Branch Outcome Queue instead, which may be
+/// momentarily empty — in that case [`predict`](Self::predict) returns
+/// `None` and fetch stalls (paper §III-A: "If the queue is empty, we stall
+/// the fetch").
+pub trait FetchDirection {
+    /// Source name for reports.
+    fn name(&self) -> &str;
+    /// Predicts the branch at `pc`, or `None` to stall fetch this cycle.
+    fn predict(&mut self, pc: u64) -> Option<bool>;
+    /// Supplies a target for an indirect branch at `pc` beyond the BTB
+    /// (the DLA footnote-queue branch-target hint path).
+    fn indirect_target(&mut self, _pc: u64) -> Option<u64> {
+        None
+    }
+    /// Reports the architectural outcome at branch resolution.
+    fn resolve(&mut self, pc: u64, taken: bool, mispredicted: bool);
+    /// The tag of the most recently served prediction, when the source
+    /// numbers its predictions (the BOQ does; it aligns footnote-queue
+    /// value-reuse entries with fetched branches). `None` lets the core
+    /// assign thread-local tags.
+    fn last_tag(&self) -> Option<u64> {
+        None
+    }
+    /// Opaque speculative-state snapshot taken at each branch fetch.
+    fn snapshot(&self) -> u64 {
+        0
+    }
+    /// Restores a snapshot after a squash; `resolved` carries the true
+    /// outcome of the branch that caused it (if it was conditional).
+    fn restore(&mut self, _snapshot: u64, _resolved: Option<bool>) {}
+}
+
+/// [`FetchDirection`] backed by an ordinary direction predictor.
+pub struct PredictorDirection {
+    predictor: Box<dyn DirectionPredictor>,
+}
+
+impl PredictorDirection {
+    /// Wraps a direction predictor.
+    pub fn new(predictor: Box<dyn DirectionPredictor>) -> Self {
+        Self { predictor }
+    }
+}
+
+impl std::fmt::Debug for PredictorDirection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PredictorDirection")
+            .field("predictor", &self.predictor.name())
+            .finish()
+    }
+}
+
+impl FetchDirection for PredictorDirection {
+    fn name(&self) -> &str {
+        self.predictor.name()
+    }
+
+    fn predict(&mut self, pc: u64) -> Option<bool> {
+        Some(self.predictor.predict(pc))
+    }
+
+    fn resolve(&mut self, pc: u64, taken: bool, mispredicted: bool) {
+        self.predictor.update(pc, taken, mispredicted);
+    }
+
+    fn snapshot(&self) -> u64 {
+        self.predictor.history()
+    }
+
+    fn restore(&mut self, snapshot: u64, resolved: Option<bool>) {
+        self.predictor.restore_history(snapshot, resolved);
+    }
+}
+
+/// Filters fetched instructions: look-ahead cores delete instructions that
+/// are not on the skeleton "immediately upon fetch" (paper §III-A iii).
+pub trait FetchFilter {
+    /// Returns whether the instruction at `pc` is kept (on the skeleton).
+    fn keep(&mut self, pc: u64) -> bool;
+
+    /// Whether the load at `pc` is a *prefetch payload*: the skeleton
+    /// includes it to generate its address and touch the memory system,
+    /// but no skeleton instruction consumes its result, so the look-ahead
+    /// thread must not stall on it (paper §III-A: "a subset of memory
+    /// instructions is also included in the skeleton as prefetch
+    /// payloads").
+    fn prefetch_only(&mut self, _pc: u64) -> bool {
+        false
+    }
+}
+
+/// Forces the direction of selected conditional branches at execute —
+/// how bias-converted skeleton branches behave in the look-ahead thread
+/// (paper §III-E1: "conditional branches with a bias over a threshold can
+/// be converted to unconditional branches in the skeleton"). The branch
+/// still executes and reports an outcome (keeping the BOQ aligned), but
+/// its direction ignores the (possibly stale) condition inputs.
+pub trait BranchOverride {
+    /// The forced direction for the branch at `pc`, if any.
+    fn force(&self, pc: u64) -> Option<bool>;
+}
+
+/// Supplies value predictions to the rename stage (the DLA value-reuse
+/// path, paper §III-D1) and learns from validation outcomes.
+pub trait ValueSource {
+    /// A prediction for the instruction at `pc`, which is `offset`
+    /// instructions after the `branch_seq`-th fetched conditional branch
+    /// (the FQ entry alignment scheme).
+    fn predict(&mut self, pc: u64, branch_seq: u64, offset: u32) -> Option<u64>;
+    /// Reports whether a consumed prediction validated correctly.
+    fn on_outcome(&mut self, pc: u64, correct: bool);
+}
+
+/// Everything the rest of the system wants to know about one committed
+/// instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommitRecord {
+    /// Hardware thread that committed the instruction.
+    pub thread: usize,
+    /// Dynamic sequence number within the thread.
+    pub seq: u64,
+    /// The instruction.
+    pub inst: Inst,
+    /// Its PC.
+    pub pc: u64,
+    /// Commit cycle.
+    pub cycle: u64,
+    /// Architectural next PC.
+    pub next_pc: u64,
+    /// For conditional branches, the outcome.
+    pub taken: Option<bool>,
+    /// Result value written to the destination register, if any.
+    pub value: Option<u64>,
+    /// Effective address, for memory operations.
+    pub mem_addr: Option<u64>,
+    /// Whether a load missed in L1D.
+    pub l1_miss: bool,
+    /// Whether a load missed in L2.
+    pub l2_miss: bool,
+    /// Whether the access took a TLB walk.
+    pub tlb_miss: bool,
+    /// Observed dispatch-to-execute-complete latency in cycles (the
+    /// paper's "slow instruction" metric for value-reuse targeting).
+    pub dispatch_to_exec: u64,
+}
+
+/// Observes the committed instruction stream (the look-ahead thread's
+/// BOQ/FQ generation taps this; so do profilers).
+pub trait CommitSink {
+    /// Called once per committed instruction, in program order.
+    fn on_commit(&mut self, rec: &CommitRecord);
+}
+
+/// A thread's functional view of data memory.
+///
+/// The main thread reads/writes the shared architectural memory; the
+/// look-ahead thread layers a speculative overlay on top (implemented in
+/// `r3dla-core`).
+pub trait ThreadMem {
+    /// Functional load.
+    fn load(&mut self, addr: u64) -> u64;
+    /// Functional store, performed at commit.
+    fn store(&mut self, addr: u64, val: u64);
+}
+
+/// The main thread's direct view of architectural memory.
+#[derive(Debug, Clone)]
+pub struct BaseMem(pub Rc<RefCell<VecMem>>);
+
+impl ThreadMem for BaseMem {
+    fn load(&mut self, addr: u64) -> u64 {
+        self.0.borrow_mut().load(addr)
+    }
+
+    fn store(&mut self, addr: u64, val: u64) {
+        self.0.borrow_mut().store(addr, val);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r3dla_bpred::Bimodal;
+
+    #[test]
+    fn predictor_direction_round_trip() {
+        let mut d = PredictorDirection::new(Box::new(Bimodal::new(64)));
+        for _ in 0..10 {
+            let p = d.predict(0x40).unwrap();
+            d.resolve(0x40, true, p != true);
+        }
+        assert_eq!(d.predict(0x40), Some(true));
+        assert_eq!(d.name(), "bimodal");
+    }
+
+    #[test]
+    fn base_mem_reads_shared_state() {
+        let shared = Rc::new(RefCell::new(VecMem::new()));
+        let mut a = BaseMem(Rc::clone(&shared));
+        let mut b = BaseMem(Rc::clone(&shared));
+        a.store(0x100, 7);
+        assert_eq!(b.load(0x100), 7);
+    }
+}

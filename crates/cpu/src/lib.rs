@@ -1,0 +1,396 @@
+//! A cycle-stepped out-of-order core for the R3-DLA simulator.
+//!
+//! Models the paper's Table I baseline: a 20-stage, 4-wide out-of-order
+//! pipeline with a 192-entry ROB, 96-entry LSQ, TAGE-class branch
+//! prediction, BTB and RAS, plus everything decoupled look-ahead needs to
+//! attach to it:
+//!
+//! * pluggable fetch-direction sources ([`FetchDirection`]) so the main
+//!   thread can be fed from the Branch Outcome Queue;
+//! * fetch filters ([`FetchFilter`]) so the look-ahead thread can delete
+//!   skeleton-masked instructions at fetch;
+//! * value-prediction sources ([`ValueSource`]) with replay-on-mispredict
+//!   and the validation-skip scoreboard (paper Fig 4);
+//! * commit sinks ([`CommitSink`]) from which the BOQ/FQ are generated;
+//! * SMT: several hardware threads sharing one wide backend (paper
+//!   §IV-B3).
+//!
+//! # Examples
+//!
+//! ```
+//! use std::cell::RefCell;
+//! use std::rc::Rc;
+//! use r3dla_bpred::Tage;
+//! use r3dla_cpu::{BaseMem, Core, CoreConfig, PredictorDirection};
+//! use r3dla_isa::{Asm, Reg, VecMem, ArchState};
+//! use r3dla_mem::{CoreMem, MemConfig, SharedLlc};
+//!
+//! // A counted loop.
+//! let mut a = Asm::new();
+//! let (i, n) = (Reg::int(10), Reg::int(11));
+//! a.li(i, 0);
+//! a.li(n, 100);
+//! a.label("loop");
+//! a.addi(i, i, 1);
+//! a.blt(i, n, "loop");
+//! a.halt();
+//! let prog = Rc::new(a.finish().unwrap());
+//!
+//! let shared = Rc::new(RefCell::new(SharedLlc::new(&MemConfig::paper())));
+//! let mem = CoreMem::new(&MemConfig::paper(), shared);
+//! let mut core = Core::new(CoreConfig::paper(), Rc::clone(&prog), mem);
+//! let vm = Rc::new(RefCell::new(VecMem::new()));
+//! let dir = Box::new(PredictorDirection::new(Box::new(Tage::paper())));
+//! let t = core.add_thread(
+//!     prog.entry(),
+//!     ArchState::new(prog.entry()).regs(),
+//!     dir,
+//!     Rc::new(RefCell::new(BaseMem(vm))),
+//! );
+//! core.run(100_000);
+//! assert!(core.thread_halted(t));
+//! assert_eq!(core.arch_regs(t)[10], 100);
+//! ```
+
+mod config;
+mod core;
+mod counters;
+mod iface;
+mod prf;
+
+pub use crate::core::{Core, ThreadStats, MASK_BASE};
+pub use config::{CoreConfig, CoreConfigBuilder};
+pub use counters::ActivityCounters;
+pub use iface::{
+    BaseMem, BranchOverride, CommitRecord, CommitSink, FetchDirection, FetchFilter,
+    PredictorDirection, ThreadMem, ValueSource,
+};
+pub use prf::Prf;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r3dla_bpred::Tage;
+    use r3dla_isa::{ArchState, Asm, Program, Reg, VecMem};
+    use r3dla_mem::{CoreMem, MemConfig, SharedLlc};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn build_core(prog: &Rc<Program>) -> (Core, usize, Rc<RefCell<VecMem>>) {
+        let shared = Rc::new(RefCell::new(SharedLlc::new(&MemConfig::paper())));
+        let mem = CoreMem::new(&MemConfig::paper(), shared);
+        let mut core = Core::new(CoreConfig::paper(), Rc::clone(prog), mem);
+        let vm = Rc::new(RefCell::new(VecMem::new()));
+        vm.borrow_mut().load_image(prog.image());
+        let dir = Box::new(PredictorDirection::new(Box::new(Tage::paper())));
+        let t = core.add_thread(
+            prog.entry(),
+            ArchState::new(prog.entry()).regs(),
+            dir,
+            Rc::new(RefCell::new(BaseMem(Rc::clone(&vm)))),
+        );
+        (core, t, vm)
+    }
+
+    /// Runs a program on the timing core and functionally, asserting the
+    /// architectural end states agree — the golden-model check.
+    fn check_against_functional(prog: Rc<Program>, max_cycles: u64) -> (Core, usize) {
+        let (mut core, t, _vm) = build_core(&prog);
+        core.run(max_cycles);
+        assert!(core.thread_halted(t), "core did not halt");
+        let mut st = ArchState::new(prog.entry());
+        let mut fm = VecMem::new();
+        fm.load_image(prog.image());
+        let steps = r3dla_isa::run(&prog, &mut st, &mut fm, 100_000_000).expect("functional run");
+        assert_eq!(
+            core.committed(t),
+            steps,
+            "committed count must equal functional instruction count"
+        );
+        for r in 0..Reg::COUNT {
+            assert_eq!(core.arch_regs(t)[r], st.regs()[r], "register {r} mismatch");
+        }
+        (core, t)
+    }
+
+    #[test]
+    fn straightline_alu_program() {
+        let mut a = Asm::new();
+        let x = Reg::int(10);
+        let y = Reg::int(11);
+        a.li(x, 6);
+        a.li(y, 7);
+        a.mul(x, x, y);
+        a.addi(x, x, 58);
+        a.halt();
+        check_against_functional(Rc::new(a.finish().unwrap()), 10_000);
+    }
+
+    #[test]
+    fn loop_with_memory_matches_functional() {
+        let mut a = Asm::new();
+        let arr = a.data().words(&[0; 64]);
+        let (i, n, base, v) = (Reg::int(10), Reg::int(11), Reg::int(12), Reg::int(13));
+        a.li(i, 0);
+        a.li(n, 64);
+        a.li(base, arr as i64);
+        a.label("loop");
+        a.slli(v, i, 1); // v = 2i
+        a.slli(Reg::int(14), i, 3);
+        a.add(Reg::int(14), Reg::int(14), base);
+        a.st(v, Reg::int(14), 0); // arr[i] = 2i
+        a.ld(Reg::int(15), Reg::int(14), 0);
+        a.add(Reg::int(16), Reg::int(16), Reg::int(15)); // acc += arr[i]
+        a.addi(i, i, 1);
+        a.blt(i, n, "loop");
+        a.halt();
+        let (core, t) = check_against_functional(Rc::new(a.finish().unwrap()), 200_000);
+        // acc = sum of 2i for i in 0..64 = 64*63 = 4032.
+        assert_eq!(core.arch_regs(t)[16], 4032);
+    }
+
+    #[test]
+    fn store_to_load_forwarding_value_correct() {
+        let mut a = Asm::new();
+        let slot = a.data().words(&[0]);
+        let b = Reg::int(10);
+        a.li(b, slot as i64);
+        a.li(Reg::int(11), 1234);
+        a.st(Reg::int(11), b, 0);
+        a.ld(Reg::int(12), b, 0); // must forward 1234
+        a.addi(Reg::int(12), Reg::int(12), 1);
+        a.halt();
+        let (core, t) = check_against_functional(Rc::new(a.finish().unwrap()), 10_000);
+        assert_eq!(core.arch_regs(t)[12], 1235);
+    }
+
+    #[test]
+    fn calls_and_returns_match_functional() {
+        let mut a = Asm::new();
+        let x = Reg::int(10);
+        a.li(x, 1);
+        a.call("f");
+        a.call("f");
+        a.call("f");
+        a.halt();
+        a.label("f");
+        a.add(x, x, x);
+        a.ret();
+        check_against_functional(Rc::new(a.finish().unwrap()), 20_000);
+    }
+
+    #[test]
+    fn data_dependent_branches_match_functional() {
+        // Branches whose direction depends on loaded data (predictor will
+        // mispredict; squash/recovery must preserve semantics).
+        let mut a = Asm::new();
+        let mut vals = Vec::new();
+        let mut rng = r3dla_stats::Rng::new(42);
+        for _ in 0..128 {
+            vals.push(rng.range_u64(0, 2));
+        }
+        let arr = a.data().words(&vals);
+        let (i, n, base, v, acc) =
+            (Reg::int(10), Reg::int(11), Reg::int(12), Reg::int(13), Reg::int(14));
+        a.li(i, 0);
+        a.li(n, 128);
+        a.li(base, arr as i64);
+        a.label("loop");
+        a.slli(v, i, 3);
+        a.add(v, v, base);
+        a.ld(v, v, 0);
+        a.beq(v, Reg::ZERO, "skip");
+        a.addi(acc, acc, 1);
+        a.label("skip");
+        a.addi(i, i, 1);
+        a.blt(i, n, "loop");
+        a.halt();
+        let expected: u64 = vals.iter().sum();
+        let (core, t) = check_against_functional(Rc::new(a.finish().unwrap()), 500_000);
+        assert_eq!(core.arch_regs(t)[14], expected);
+        assert!(
+            core.counters.branch_mispredicts.get() > 0,
+            "should mispredict sometimes"
+        );
+        assert!(core.counters.squashed.get() > 0, "squashes should occur");
+    }
+
+    #[test]
+    fn division_and_fp_latencies_respected() {
+        let mut a = Asm::new();
+        let (x, y) = (Reg::int(10), Reg::int(11));
+        a.li(x, 1000);
+        a.li(y, 7);
+        a.div(x, x, y); // 142
+        a.cvtif(Reg::fp(1), x);
+        a.fadd(Reg::fp(2), Reg::fp(1), Reg::fp(1));
+        a.cvtfi(Reg::int(12), Reg::fp(2)); // 284
+        a.halt();
+        let (core, t) = check_against_functional(Rc::new(a.finish().unwrap()), 10_000);
+        assert_eq!(core.arch_regs(t)[12], 284);
+    }
+
+    #[test]
+    fn ipc_bounded_by_machine_width() {
+        // A loop of independent ALU work: the I-cache warms quickly and
+        // steady-state IPC should approach (but never exceed) the width.
+        let mut a = Asm::new();
+        let (i, n) = (Reg::int(10), Reg::int(11));
+        a.li(i, 0);
+        a.li(n, 2000);
+        a.label("loop");
+        for k in 0..16 {
+            a.li(Reg::int(12 + (k % 8) as u8), k);
+        }
+        a.addi(i, i, 1);
+        a.blt(i, n, "loop");
+        a.halt();
+        let prog = Rc::new(a.finish().unwrap());
+        let (mut core, t, _) = build_core(&prog);
+        core.run(200_000);
+        assert!(core.thread_halted(t));
+        let ipc = core.committed(t) as f64 / core.cycle() as f64;
+        assert!(ipc <= 4.0 + 1e-9, "IPC {ipc} exceeds machine width");
+        assert!(ipc > 1.5, "IPC {ipc} suspiciously low for pure ALU loop");
+    }
+
+    #[test]
+    fn pointer_chase_is_memory_bound() {
+        // Build a random cyclic permutation and chase it: every load
+        // depends on the previous one and misses often.
+        let mut rng = r3dla_stats::Rng::new(7);
+        let n = 4096usize;
+        let mut perm: Vec<u64> = (0..n as u64).collect();
+        rng.shuffle(&mut perm);
+        let mut a = Asm::new();
+        let arr = a.data().alloc_words(n);
+        for (i, &p) in perm.iter().enumerate() {
+            a.data().put_word(arr + (i as u64) * 8, arr + p * 8);
+        }
+        let (cur, cnt, lim) = (Reg::int(10), Reg::int(11), Reg::int(12));
+        a.li(cur, arr as i64);
+        a.li(cnt, 0);
+        a.li(lim, 2000);
+        a.label("chase");
+        a.ld(cur, cur, 0);
+        a.addi(cnt, cnt, 1);
+        a.blt(cnt, lim, "chase");
+        a.halt();
+        let prog = Rc::new(a.finish().unwrap());
+        let (mut core, t, _) = build_core(&prog);
+        core.run(3_000_000);
+        assert!(core.thread_halted(t));
+        let ipc = core.committed(t) as f64 / core.cycle() as f64;
+        assert!(ipc < 1.0, "pointer chasing should be slow, IPC={ipc}");
+    }
+
+    #[test]
+    fn wrong_path_work_is_counted() {
+        // A hard-to-predict branch causes wrong-path execution; executed
+        // must exceed committed.
+        let mut rng = r3dla_stats::Rng::new(3);
+        let vals: Vec<u64> = (0..256).map(|_| rng.range_u64(0, 2)).collect();
+        let mut a = Asm::new();
+        let arr = a.data().words(&vals);
+        let (i, n, base, v, x) =
+            (Reg::int(10), Reg::int(11), Reg::int(12), Reg::int(13), Reg::int(14));
+        a.li(i, 0);
+        a.li(n, 256);
+        a.li(base, arr as i64);
+        a.label("loop");
+        a.slli(v, i, 3);
+        a.add(v, v, base);
+        a.ld(v, v, 0);
+        a.beq(v, Reg::ZERO, "zero");
+        a.addi(x, x, 3);
+        a.addi(x, x, 5);
+        a.j("join");
+        a.label("zero");
+        a.addi(x, x, 1);
+        a.addi(x, x, 2);
+        a.label("join");
+        a.addi(i, i, 1);
+        a.blt(i, n, "loop");
+        a.halt();
+        let prog = Rc::new(a.finish().unwrap());
+        let (mut core, t, _) = build_core(&prog);
+        core.run(1_000_000);
+        assert!(core.thread_halted(t));
+        assert!(
+            core.counters.executed.get() > core.committed(t),
+            "wrong-path execution should inflate executed count"
+        );
+    }
+
+    #[test]
+    fn smt_two_threads_both_make_progress() {
+        let mut a = Asm::new();
+        let (i, n) = (Reg::int(10), Reg::int(11));
+        a.li(i, 0);
+        a.li(n, 2000);
+        a.label("loop");
+        a.addi(i, i, 1);
+        a.blt(i, n, "loop");
+        a.halt();
+        let prog = Rc::new(a.finish().unwrap());
+        let shared = Rc::new(RefCell::new(SharedLlc::new(&MemConfig::paper())));
+        let mem = CoreMem::new(&MemConfig::paper(), shared);
+        let mut core = Core::new(CoreConfig::wide_smt(), Rc::clone(&prog), mem);
+        for _ in 0..2 {
+            let vm = Rc::new(RefCell::new(VecMem::new()));
+            let dir = Box::new(PredictorDirection::new(Box::new(Tage::paper())));
+            core.add_thread(
+                prog.entry(),
+                ArchState::new(prog.entry()).regs(),
+                dir,
+                Rc::new(RefCell::new(BaseMem(vm))),
+            );
+        }
+        core.run(1_000_000);
+        assert!(core.thread_halted(0));
+        assert!(core.thread_halted(1));
+        assert_eq!(core.arch_regs(0)[10], 2000);
+        assert_eq!(core.arch_regs(1)[10], 2000);
+    }
+
+    #[test]
+    fn reboot_restarts_thread_with_new_state() {
+        let mut a = Asm::new();
+        a.label("spin");
+        a.addi(Reg::int(10), Reg::int(10), 1);
+        a.j("spin");
+        a.halt();
+        let prog = Rc::new(a.finish().unwrap());
+        let (mut core, t, _) = build_core(&prog);
+        for _ in 0..2000 {
+            core.step();
+        }
+        let before = core.committed(t);
+        assert!(before > 0);
+        let mut regs = [0u64; Reg::COUNT];
+        regs[10] = 5_000_000;
+        core.reboot_thread(t, prog.entry(), regs, 64);
+        // After reboot, the counter continues from the injected state.
+        for _ in 0..2000 {
+            core.step();
+        }
+        assert!(core.arch_regs(t)[10] >= 5_000_000, "reboot state not applied");
+    }
+
+    #[test]
+    fn fetch_buffer_capacity_is_respected() {
+        let mut a = Asm::new();
+        a.label("spin");
+        a.j("spin");
+        let prog = Rc::new(a.finish().unwrap());
+        let (mut core, t, _) = build_core(&prog);
+        for _ in 0..200 {
+            core.step();
+        }
+        let max_occ = core.thread_stats(t).fetch_occupancy.max().unwrap_or(0);
+        assert!(
+            max_occ <= CoreConfig::paper().fetch_buffer as u64,
+            "occupancy {max_occ} exceeded capacity"
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Physical register file with a free list and readiness tracking.
+//!
+//! Values are written at producer *issue* (the execute-in-execute model
+//! computes results early) but become architecturally visible to
+//! consumers only at `ready_cycle`.
+
+/// The physical register file.
+#[derive(Debug, Clone)]
+pub struct Prf {
+    values: Vec<u64>,
+    ready_cycle: Vec<u64>,
+    free: Vec<u16>,
+}
+
+impl Prf {
+    /// Creates a PRF with `size` registers, of which the first `reserved`
+    /// are pre-allocated (initial architectural mappings) and start ready.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reserved > size` or `size > u16::MAX as usize`.
+    pub fn new(size: usize, reserved: usize) -> Self {
+        assert!(reserved <= size, "reserved mappings exceed PRF size");
+        assert!(size <= u16::MAX as usize, "PRF too large for u16 tags");
+        Self {
+            values: vec![0; size],
+            ready_cycle: vec![0; size],
+            free: (reserved as u16..size as u16).rev().collect(),
+        }
+    }
+
+    /// Allocates a fresh physical register, or `None` when exhausted.
+    pub fn alloc(&mut self) -> Option<u16> {
+        let p = self.free.pop()?;
+        self.values[p as usize] = 0;
+        self.ready_cycle[p as usize] = u64::MAX;
+        Some(p)
+    }
+
+    /// Returns a register to the free list.
+    pub fn free(&mut self, p: u16) {
+        debug_assert!(!self.free.contains(&p), "double free of p{p}");
+        self.free.push(p);
+    }
+
+    /// Number of registers currently available.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Writes a value, becoming visible at `ready`.
+    #[inline]
+    pub fn write(&mut self, p: u16, value: u64, ready: u64) {
+        self.values[p as usize] = value;
+        self.ready_cycle[p as usize] = ready;
+    }
+
+    /// Reads the value (caller must have checked readiness).
+    #[inline]
+    pub fn read(&self, p: u16) -> u64 {
+        self.values[p as usize]
+    }
+
+    /// Whether `p` is ready at `cycle`.
+    #[inline]
+    pub fn is_ready(&self, p: u16, cycle: u64) -> bool {
+        self.ready_cycle[p as usize] <= cycle
+    }
+
+    /// The cycle at which `p` becomes ready (`u64::MAX` if unwritten).
+    #[inline]
+    pub fn ready_at(&self, p: u16) -> u64 {
+        self.ready_cycle[p as usize]
+    }
+
+    /// Marks an initially reserved register with a value ready at cycle 0.
+    pub fn init(&mut self, p: u16, value: u64) {
+        self.values[p as usize] = value;
+        self.ready_cycle[p as usize] = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut prf = Prf::new(8, 4);
+        assert_eq!(prf.available(), 4);
+        let a = prf.alloc().unwrap();
+        assert_eq!(prf.available(), 3);
+        prf.free(a);
+        assert_eq!(prf.available(), 4);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut prf = Prf::new(5, 4);
+        assert!(prf.alloc().is_some());
+        assert!(prf.alloc().is_none());
+    }
+
+    #[test]
+    fn alloc_resets_readiness() {
+        let mut prf = Prf::new(8, 4);
+        let a = prf.alloc().unwrap();
+        assert!(!prf.is_ready(a, 1_000_000));
+        prf.write(a, 42, 10);
+        assert!(!prf.is_ready(a, 9));
+        assert!(prf.is_ready(a, 10));
+        assert_eq!(prf.read(a), 42);
+        prf.free(a);
+        let b = prf.alloc().unwrap();
+        assert_eq!(b, a);
+        assert!(!prf.is_ready(b, 1_000_000), "reallocation must reset readiness");
+    }
+
+    #[test]
+    fn reserved_registers_start_ready() {
+        let mut prf = Prf::new(8, 4);
+        prf.init(2, 99);
+        assert!(prf.is_ready(2, 0));
+        assert_eq!(prf.read(2), 99);
+    }
+
+    #[test]
+    #[should_panic]
+    fn reserved_beyond_size_panics() {
+        let _ = Prf::new(4, 8);
+    }
+}

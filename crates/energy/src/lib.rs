@@ -1,0 +1,281 @@
+//! Activity-based CPU and DRAM energy model — the McPAT + DRAMPower
+//! substitute used for the paper's Table II, Fig 10 and the EDP claims.
+//!
+//! Per-event energies are constants in the 22 nm ballpark. Absolute joules
+//! are not the point (the paper's energy results are all *normalized to
+//! the baseline*); what matters is that the ratios respond to the same
+//! activity structure: decode/execute/commit counts, cache and DRAM
+//! traffic, and static power over time.
+//!
+//! # Examples
+//!
+//! ```
+//! use r3dla_energy::{CoreEnergy, EnergyParams};
+//! use r3dla_cpu::ActivityCounters;
+//!
+//! let mut a = ActivityCounters::default();
+//! a.committed.add(1_000_000);
+//! a.decoded.add(1_200_000);
+//! a.executed.add(1_150_000);
+//! a.cycles.add(500_000);
+//! let e = CoreEnergy::from_counters(&a, &EnergyParams::node22());
+//! assert!(e.dynamic_j > 0.0);
+//! assert!(e.static_j > 0.0);
+//! ```
+
+use r3dla_cpu::ActivityCounters;
+use r3dla_mem::{CacheStats, DramStats};
+
+/// Per-event energy constants (joules) and static power (watts).
+///
+/// Loosely calibrated to a 22 nm out-of-order core at 0.8 V / 3 GHz
+/// (paper Table I operating point).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyParams {
+    /// Energy per fetched instruction (I-cache + predecode share).
+    pub fetch_j: f64,
+    /// Energy per decoded/renamed instruction.
+    pub decode_j: f64,
+    /// Energy per issued instruction (scheduler + FU average).
+    pub execute_j: f64,
+    /// Energy per committed instruction (ROB retire + ARF update).
+    pub commit_j: f64,
+    /// Energy per register-file port access.
+    pub rf_j: f64,
+    /// Energy per issue-queue write or wakeup.
+    pub iq_j: f64,
+    /// Energy per branch-predictor lookup.
+    pub bpred_j: f64,
+    /// Energy per L1 cache access.
+    pub l1_j: f64,
+    /// Energy per L2 cache access.
+    pub l2_j: f64,
+    /// Energy per L3 cache access.
+    pub l3_j: f64,
+    /// Core static power in watts.
+    pub core_static_w: f64,
+    /// Clock frequency in Hz (converts cycles to seconds).
+    pub freq_hz: f64,
+    // --- DRAM ---
+    /// Energy per DRAM row activation (ACT+PRE pair).
+    pub dram_act_j: f64,
+    /// Energy per DRAM read burst (64 B).
+    pub dram_rd_j: f64,
+    /// Energy per DRAM write burst (64 B).
+    pub dram_wr_j: f64,
+    /// DRAM background power in watts.
+    pub dram_static_w: f64,
+}
+
+impl EnergyParams {
+    /// 22 nm-class constants (the paper's technology node).
+    pub fn node22() -> Self {
+        Self {
+            fetch_j: 25e-12,
+            decode_j: 30e-12,
+            execute_j: 45e-12,
+            commit_j: 25e-12,
+            rf_j: 6e-12,
+            iq_j: 10e-12,
+            bpred_j: 8e-12,
+            l1_j: 20e-12,
+            l2_j: 80e-12,
+            l3_j: 250e-12,
+            core_static_w: 0.45,
+            freq_hz: 3.0e9,
+            dram_act_j: 15e-9,
+            dram_rd_j: 10e-9,
+            dram_wr_j: 10e-9,
+            dram_static_w: 0.7,
+        }
+    }
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self::node22()
+    }
+}
+
+/// Energy accounting for one core over a measurement window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreEnergy {
+    /// Dynamic energy in joules.
+    pub dynamic_j: f64,
+    /// Static (leakage) energy in joules.
+    pub static_j: f64,
+    /// Window length in seconds.
+    pub seconds: f64,
+}
+
+impl CoreEnergy {
+    /// Computes core energy from activity counters.
+    pub fn from_counters(a: &ActivityCounters, p: &EnergyParams) -> Self {
+        let dynamic_j = a.fetched.get() as f64 * p.fetch_j
+            + a.icache_lines.get() as f64 * p.l1_j
+            + a.decoded.get() as f64 * p.decode_j
+            + a.executed.get() as f64 * p.execute_j
+            + a.committed.get() as f64 * p.commit_j
+            + a.rf_reads.get() as f64 * p.rf_j
+            + a.rf_writes.get() as f64 * p.rf_j
+            + (a.iq_writes.get() + a.rob_writes.get()) as f64 * p.iq_j
+            + a.bpred_lookups.get() as f64 * p.bpred_j
+            + (a.loads.get() + a.stores.get()) as f64 * p.l1_j;
+        let seconds = a.cycles.get() as f64 / p.freq_hz;
+        Self { dynamic_j, static_j: p.core_static_w * seconds, seconds }
+    }
+
+    /// Total energy.
+    pub fn total_j(&self) -> f64 {
+        self.dynamic_j + self.static_j
+    }
+
+    /// Average dynamic power in watts.
+    pub fn dynamic_w(&self) -> f64 {
+        if self.seconds == 0.0 {
+            0.0
+        } else {
+            self.dynamic_j / self.seconds
+        }
+    }
+}
+
+/// Computes cache-access energy from cache statistics deltas.
+pub fn cache_energy_j(l2: &CacheStats, l3: &CacheStats, p: &EnergyParams) -> f64 {
+    l2.accesses.get() as f64 * p.l2_j + l3.accesses.get() as f64 * p.l3_j
+}
+
+/// DRAM energy over a window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramEnergy {
+    /// Dynamic (ACT/RD/WR) energy in joules.
+    pub dynamic_j: f64,
+    /// Background energy in joules.
+    pub static_j: f64,
+}
+
+impl DramEnergy {
+    /// Computes DRAM energy from device statistics over `seconds`.
+    pub fn from_stats(d: &DramStats, seconds: f64, p: &EnergyParams) -> Self {
+        let dynamic_j = d.activations.get() as f64 * p.dram_act_j
+            + d.reads.get() as f64 * p.dram_rd_j
+            + d.writes.get() as f64 * p.dram_wr_j;
+        Self { dynamic_j, static_j: p.dram_static_w * seconds }
+    }
+
+    /// Total energy.
+    pub fn total_j(&self) -> f64 {
+        self.dynamic_j + self.static_j
+    }
+}
+
+/// Computes counter deltas between two [`ActivityCounters`] snapshots, so
+/// windows can be measured on a running system.
+pub fn counters_delta(before: &ActivityCounters, after: &ActivityCounters) -> ActivityCounters {
+    let mut d = ActivityCounters::default();
+    macro_rules! sub {
+        ($($f:ident),* $(,)?) => {
+            $(d.$f.add(after.$f.get() - before.$f.get());)*
+        };
+    }
+    sub!(
+        fetched,
+        mask_deleted,
+        icache_lines,
+        decoded,
+        executed,
+        committed,
+        squashed,
+        iq_writes,
+        rf_reads,
+        rf_writes,
+        rob_writes,
+        loads,
+        stores,
+        bpred_lookups,
+        branch_mispredicts,
+        value_predictions,
+        value_validations,
+        value_validation_skips,
+        value_mispredicts,
+        fetch_bubble_insts,
+        cycles,
+    );
+    d
+}
+
+/// Energy-delay product: total energy × window time.
+pub fn edp(total_j: f64, seconds: f64) -> f64 {
+    total_j * seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(decoded: u64, executed: u64, committed: u64, cycles: u64) -> ActivityCounters {
+        let mut a = ActivityCounters::default();
+        a.decoded.add(decoded);
+        a.executed.add(executed);
+        a.committed.add(committed);
+        a.cycles.add(cycles);
+        a
+    }
+
+    #[test]
+    fn more_activity_means_more_dynamic_energy() {
+        let p = EnergyParams::node22();
+        let small = CoreEnergy::from_counters(&counters(100, 100, 100, 1000), &p);
+        let large = CoreEnergy::from_counters(&counters(1000, 1000, 1000, 1000), &p);
+        assert!(large.dynamic_j > small.dynamic_j);
+        assert_eq!(large.static_j, small.static_j, "same cycles, same leakage");
+    }
+
+    #[test]
+    fn static_energy_scales_with_time() {
+        let p = EnergyParams::node22();
+        let short = CoreEnergy::from_counters(&counters(0, 0, 0, 1000), &p);
+        let long = CoreEnergy::from_counters(&counters(0, 0, 0, 4000), &p);
+        assert!((long.static_j / short.static_j - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn a_lighter_thread_costs_less_energy() {
+        // The Table II structure: LT decodes/executes ~35-50% of MT's
+        // activity over the same cycles → lower dynamic energy & power.
+        let p = EnergyParams::node22();
+        let mt = CoreEnergy::from_counters(&counters(1000, 1100, 1000, 2000), &p);
+        let lt = CoreEnergy::from_counters(&counters(400, 450, 350, 2000), &p);
+        assert!(lt.dynamic_j < 0.6 * mt.dynamic_j);
+        assert!(lt.dynamic_w() < mt.dynamic_w());
+    }
+
+    #[test]
+    fn dram_energy_tracks_traffic() {
+        let p = EnergyParams::node22();
+        let mut d1 = DramStats::default();
+        d1.reads.add(100);
+        d1.activations.add(20);
+        let mut d2 = DramStats::default();
+        d2.reads.add(300);
+        d2.activations.add(60);
+        let e1 = DramEnergy::from_stats(&d1, 0.001, &p);
+        let e2 = DramEnergy::from_stats(&d2, 0.001, &p);
+        assert!(e2.dynamic_j > 2.5 * e1.dynamic_j);
+        assert_eq!(e1.static_j, e2.static_j);
+    }
+
+    #[test]
+    fn counters_delta_subtracts() {
+        let a = counters(100, 110, 90, 500);
+        let b = counters(300, 330, 280, 1500);
+        let d = counters_delta(&a, &b);
+        assert_eq!(d.decoded.get(), 200);
+        assert_eq!(d.cycles.get(), 1000);
+    }
+
+    #[test]
+    fn edp_is_energy_times_delay() {
+        assert!((edp(2.0, 3.0) - 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,499 @@
+//! A small assembler: builds [`Program`]s with labels, branches and a data
+//! segment, so workload kernels read like assembly listings.
+
+use std::collections::HashMap;
+
+use crate::inst::{Inst, Op, Reg};
+use crate::program::{Program, DATA_BASE, INST_BYTES};
+
+/// Errors produced while finishing a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A branch referenced a label that was never defined.
+    UnresolvedLabel(String),
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AsmError::UnresolvedLabel(l) => write!(f, "unresolved label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Allocates and initializes the data segment.
+///
+/// A simple bump allocator starting at [`DATA_BASE`]; all allocations are
+/// 8-byte aligned.
+#[derive(Debug, Clone, Default)]
+pub struct DataBuilder {
+    next: u64,
+    image: Vec<(u64, u64)>,
+}
+
+impl DataBuilder {
+    fn new() -> Self {
+        Self { next: DATA_BASE, image: Vec::new() }
+    }
+
+    /// Reserves `n` 8-byte words and returns the base address. The words
+    /// are zero unless later initialized.
+    pub fn alloc_words(&mut self, n: usize) -> u64 {
+        let base = self.next;
+        self.next += (n as u64) * 8;
+        base
+    }
+
+    /// Allocates and initializes an array of words; returns its base.
+    pub fn words(&mut self, vals: &[u64]) -> u64 {
+        let base = self.alloc_words(vals.len());
+        for (i, &v) in vals.iter().enumerate() {
+            if v != 0 {
+                self.image.push((base + i as u64 * 8, v));
+            }
+        }
+        base
+    }
+
+    /// Allocates and initializes an array of f64 values; returns its base.
+    pub fn f64s(&mut self, vals: &[f64]) -> u64 {
+        let bits: Vec<u64> = vals.iter().map(|v| v.to_bits()).collect();
+        self.words(&bits)
+    }
+
+    /// Writes a single word into the image at an already-allocated address.
+    pub fn put_word(&mut self, addr: u64, val: u64) {
+        self.image.push((addr, val));
+    }
+
+    /// Current top of the allocated region.
+    pub fn top(&self) -> u64 {
+        self.next
+    }
+}
+
+/// The assembler: accumulates instructions and labels, then resolves them
+/// into a [`Program`].
+///
+/// # Examples
+///
+/// ```
+/// use r3dla_isa::{Asm, Reg};
+/// let mut a = Asm::new();
+/// let i = Reg::int(10);
+/// let n = Reg::int(11);
+/// a.li(i, 0);
+/// a.li(n, 10);
+/// a.label("loop");
+/// a.addi(i, i, 1);
+/// a.blt(i, n, "loop");
+/// a.halt();
+/// let prog = a.finish().unwrap();
+/// assert_eq!(prog.len(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Asm {
+    name: String,
+    insts: Vec<Inst>,
+    labels: HashMap<String, usize>,
+    fixups: Vec<(usize, String)>,
+    data_label_fixups: Vec<(u64, String)>,
+    data: DataBuilder,
+    duplicate: Option<String>,
+}
+
+impl Default for Asm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Asm {
+    /// Creates an empty assembler for an unnamed program.
+    pub fn new() -> Self {
+        Self::named("program")
+    }
+
+    /// Creates an empty assembler for a program called `name`.
+    pub fn named(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            insts: Vec::new(),
+            labels: HashMap::new(),
+            fixups: Vec::new(),
+            data_label_fixups: Vec::new(),
+            data: DataBuilder::new(),
+            duplicate: None,
+        }
+    }
+
+    /// Stores the PC of `label` into the data word at `addr` when the
+    /// program is finished — the building block for jump/dispatch tables.
+    pub fn put_label_addr(&mut self, addr: u64, label: impl Into<String>) {
+        self.data_label_fixups.push((addr, label.into()));
+    }
+
+    /// Access the data-segment builder.
+    pub fn data(&mut self) -> &mut DataBuilder {
+        &mut self.data
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Defines `label` at the current position.
+    pub fn label(&mut self, label: impl Into<String>) {
+        let label = label.into();
+        if self.labels.insert(label.clone(), self.insts.len()).is_some() {
+            self.duplicate.get_or_insert(label);
+        }
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, inst: Inst) {
+        self.insts.push(inst);
+    }
+
+    fn emit_rrr(&mut self, op: Op, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst { op, rd, rs1, rs2, imm: 0 });
+    }
+
+    fn emit_rri(&mut self, op: Op, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Inst { op, rd, rs1, rs2: Reg::ZERO, imm });
+    }
+
+    fn emit_branch(&mut self, op: Op, rs1: Reg, rs2: Reg, label: &str) {
+        self.fixups.push((self.insts.len(), label.to_string()));
+        self.emit(Inst { op, rd: Reg::ZERO, rs1, rs2, imm: 0 });
+    }
+}
+
+macro_rules! rrr_ops {
+    ($($(#[$doc:meta])* $name:ident => $op:ident),* $(,)?) => {
+        impl Asm {
+            $(
+                $(#[$doc])*
+                pub fn $name(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+                    self.emit_rrr(Op::$op, rd, rs1, rs2);
+                }
+            )*
+        }
+    };
+}
+
+rrr_ops! {
+    /// `rd = rs1 + rs2`
+    add => Add,
+    /// `rd = rs1 - rs2`
+    sub => Sub,
+    /// `rd = rs1 * rs2`
+    mul => Mul,
+    /// `rd = rs1 / rs2` (unsigned; X/0 = all-ones)
+    div => Div,
+    /// `rd = rs1 % rs2` (unsigned; X%0 = X)
+    rem => Rem,
+    /// `rd = rs1 & rs2`
+    and_ => And,
+    /// `rd = rs1 | rs2`
+    or_ => Or,
+    /// `rd = rs1 ^ rs2`
+    xor => Xor,
+    /// `rd = rs1 << (rs2 & 63)`
+    sll => Sll,
+    /// `rd = rs1 >> (rs2 & 63)` (logical)
+    srl => Srl,
+    /// `rd = rs1 >> (rs2 & 63)` (arithmetic)
+    sra => Sra,
+    /// `rd = (rs1 <s rs2) ? 1 : 0`
+    slt => Slt,
+    /// `rd = (rs1 <u rs2) ? 1 : 0`
+    sltu => Sltu,
+    /// `fd = fs1 + fs2`
+    fadd => Fadd,
+    /// `fd = fs1 - fs2`
+    fsub => Fsub,
+    /// `fd = fs1 * fs2`
+    fmul => Fmul,
+    /// `fd = fs1 / fs2`
+    fdiv => Fdiv,
+    /// `rd = (fs1 < fs2) ? 1 : 0` (rd is an integer register)
+    flt => Flt,
+}
+
+macro_rules! rri_ops {
+    ($($(#[$doc:meta])* $name:ident => $op:ident),* $(,)?) => {
+        impl Asm {
+            $(
+                $(#[$doc])*
+                pub fn $name(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+                    self.emit_rri(Op::$op, rd, rs1, imm);
+                }
+            )*
+        }
+    };
+}
+
+rri_ops! {
+    /// `rd = rs1 + imm`
+    addi => Addi,
+    /// `rd = rs1 & imm`
+    andi => Andi,
+    /// `rd = rs1 | imm`
+    ori => Ori,
+    /// `rd = rs1 ^ imm`
+    xori => Xori,
+    /// `rd = rs1 << imm`
+    slli => Slli,
+    /// `rd = rs1 >> imm` (logical)
+    srli => Srli,
+    /// `rd = rs1 >> imm` (arithmetic)
+    srai => Srai,
+    /// `rd = (rs1 <s imm) ? 1 : 0`
+    slti => Slti,
+}
+
+macro_rules! branch_ops {
+    ($($(#[$doc:meta])* $name:ident => $op:ident),* $(,)?) => {
+        impl Asm {
+            $(
+                $(#[$doc])*
+                pub fn $name(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+                    self.emit_branch(Op::$op, rs1, rs2, label);
+                }
+            )*
+        }
+    };
+}
+
+branch_ops! {
+    /// Branch to `label` if `rs1 == rs2`.
+    beq => Beq,
+    /// Branch to `label` if `rs1 != rs2`.
+    bne => Bne,
+    /// Branch to `label` if `rs1 <s rs2`.
+    blt => Blt,
+    /// Branch to `label` if `rs1 >=s rs2`.
+    bge => Bge,
+    /// Branch to `label` if `rs1 <u rs2`.
+    bltu => Bltu,
+    /// Branch to `label` if `rs1 >=u rs2`.
+    bgeu => Bgeu,
+}
+
+impl Asm {
+    /// `rd = imm` (64-bit immediate load).
+    pub fn li(&mut self, rd: Reg, imm: i64) {
+        self.emit_rri(Op::Li, rd, Reg::ZERO, imm);
+    }
+
+    /// Register move: `rd = rs`.
+    pub fn mv(&mut self, rd: Reg, rs: Reg) {
+        self.addi(rd, rs, 0);
+    }
+
+    /// `rd = mem[rs_base + off]`.
+    pub fn ld(&mut self, rd: Reg, rs_base: Reg, off: i64) {
+        self.emit_rri(Op::Ld, rd, rs_base, off);
+    }
+
+    /// `mem[rs_base + off] = rs_src`.
+    pub fn st(&mut self, rs_src: Reg, rs_base: Reg, off: i64) {
+        self.emit(Inst { op: Op::St, rd: Reg::ZERO, rs1: rs_base, rs2: rs_src, imm: off });
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn j(&mut self, label: &str) {
+        self.fixups.push((self.insts.len(), label.to_string()));
+        self.emit(Inst { op: Op::Jal, rd: Reg::ZERO, rs1: Reg::ZERO, rs2: Reg::ZERO, imm: 0 });
+    }
+
+    /// Direct call to `label` (link in `ra`).
+    pub fn call(&mut self, label: &str) {
+        self.fixups.push((self.insts.len(), label.to_string()));
+        self.emit(Inst { op: Op::Jal, rd: Reg::RA, rs1: Reg::ZERO, rs2: Reg::ZERO, imm: 0 });
+    }
+
+    /// Return (`jalr r0, ra, 0`).
+    pub fn ret(&mut self) {
+        self.emit(Inst { op: Op::Jalr, rd: Reg::ZERO, rs1: Reg::RA, rs2: Reg::ZERO, imm: 0 });
+    }
+
+    /// Indirect jump through `rs`.
+    pub fn jr(&mut self, rs: Reg) {
+        self.emit(Inst { op: Op::Jalr, rd: Reg::ZERO, rs1: rs, rs2: Reg::ZERO, imm: 0 });
+    }
+
+    /// Indirect call through `rs` (link in `ra`).
+    pub fn callr(&mut self, rs: Reg) {
+        self.emit(Inst { op: Op::Jalr, rd: Reg::RA, rs1: rs, rs2: Reg::ZERO, imm: 0 });
+    }
+
+    /// Integer-to-float convert: `fd = (f64) rs`.
+    pub fn cvtif(&mut self, fd: Reg, rs: Reg) {
+        self.emit_rri(Op::Cvtif, fd, rs, 0);
+    }
+
+    /// Float-to-integer convert: `rd = (i64) fs` (truncating).
+    pub fn cvtfi(&mut self, rd: Reg, fs: Reg) {
+        self.emit_rri(Op::Cvtfi, rd, fs, 0);
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) {
+        self.emit(Inst::NOP);
+    }
+
+    /// Stop the program.
+    pub fn halt(&mut self) {
+        self.emit(Inst { op: Op::Halt, ..Inst::NOP });
+    }
+
+    /// Resolves labels and produces the final [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UnresolvedLabel`] if a branch references an
+    /// undefined label, or [`AsmError::DuplicateLabel`] if a label was
+    /// defined more than once.
+    pub fn finish(self) -> Result<Program, AsmError> {
+        if let Some(dup) = self.duplicate {
+            return Err(AsmError::DuplicateLabel(dup));
+        }
+        let Asm { name, mut insts, labels, fixups, data_label_fixups, mut data, .. } = self;
+        for (idx, label) in fixups {
+            let target_idx = *labels
+                .get(&label)
+                .ok_or_else(|| AsmError::UnresolvedLabel(label.clone()))?;
+            insts[idx].imm =
+                (crate::program::CODE_BASE + target_idx as u64 * INST_BYTES) as i64;
+        }
+        for (addr, label) in data_label_fixups {
+            let target_idx = *labels
+                .get(&label)
+                .ok_or_else(|| AsmError::UnresolvedLabel(label.clone()))?;
+            data.image
+                .push((addr, crate::program::CODE_BASE + target_idx as u64 * INST_BYTES));
+        }
+        Ok(Program::from_parts(name, insts, 0, data.image))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{run, ArchState, VecMem};
+    use crate::program::CODE_BASE;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Asm::new();
+        let r = Reg::int(10);
+        a.li(r, 0);
+        a.label("top");
+        a.addi(r, r, 1);
+        a.beq(r, Reg::ZERO, "end"); // never taken
+        a.slti(Reg::int(11), r, 3);
+        a.bne(Reg::int(11), Reg::ZERO, "top");
+        a.label("end");
+        a.halt();
+        let p = a.finish().unwrap();
+        // beq target = "end" = index 5
+        let beq = p.insts()[2];
+        assert_eq!(beq.imm as u64, CODE_BASE + 5 * 4);
+    }
+
+    #[test]
+    fn unresolved_label_is_error() {
+        let mut a = Asm::new();
+        a.j("nowhere");
+        assert_eq!(
+            a.finish(),
+            Err(AsmError::UnresolvedLabel("nowhere".into()))
+        );
+    }
+
+    #[test]
+    fn duplicate_label_is_error() {
+        let mut a = Asm::new();
+        a.label("x");
+        a.nop();
+        a.label("x");
+        a.halt();
+        assert_eq!(a.finish(), Err(AsmError::DuplicateLabel("x".into())));
+    }
+
+    #[test]
+    fn data_builder_allocates_aligned() {
+        let mut d = DataBuilder::new();
+        let a = d.alloc_words(3);
+        let b = d.alloc_words(1);
+        assert_eq!(a % 8, 0);
+        assert_eq!(b, a + 24);
+    }
+
+    #[test]
+    fn loop_program_runs() {
+        let mut a = Asm::new();
+        let i = Reg::int(10);
+        let n = Reg::int(11);
+        let acc = Reg::int(12);
+        a.li(i, 0);
+        a.li(n, 5);
+        a.li(acc, 0);
+        a.label("loop");
+        a.add(acc, acc, i);
+        a.addi(i, i, 1);
+        a.blt(i, n, "loop");
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut st = ArchState::new(p.entry());
+        let mut mem = VecMem::new();
+        run(&p, &mut st, &mut mem, 1000).unwrap();
+        assert_eq!(st.reg(acc), 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let mut a = Asm::new();
+        let x = Reg::int(10);
+        a.li(x, 1);
+        a.call("double");
+        a.call("double");
+        a.halt();
+        a.label("double");
+        a.add(x, x, x);
+        a.ret();
+        let p = a.finish().unwrap();
+        let mut st = ArchState::new(p.entry());
+        let mut mem = VecMem::new();
+        run(&p, &mut st, &mut mem, 1000).unwrap();
+        assert_eq!(st.reg(x), 4);
+    }
+
+    #[test]
+    fn memory_round_trip_through_program() {
+        let mut a = Asm::new();
+        let base_addr = a.data().words(&[7, 0]);
+        let b = Reg::int(10);
+        let v = Reg::int(11);
+        a.li(b, base_addr as i64);
+        a.ld(v, b, 0);
+        a.add(v, v, v);
+        a.st(v, b, 8);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut st = ArchState::new(p.entry());
+        let mut mem = VecMem::new();
+        mem.load_image(p.image());
+        run(&p, &mut st, &mut mem, 100).unwrap();
+        use crate::exec::DataMem;
+        assert_eq!(mem.load(base_addr + 8), 14);
+    }
+}

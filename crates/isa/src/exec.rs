@@ -1,0 +1,448 @@
+//! Functional semantics: architectural state, single-step execution, and
+//! the ALU/branch evaluators shared with the timing model.
+
+use std::collections::HashMap;
+
+use crate::inst::{Inst, Op, Reg};
+use crate::program::Program;
+
+/// Byte-addressed 64-bit word memory backed by 4 KiB pages.
+///
+/// Unmapped reads return zero (wrong-path loads may touch arbitrary
+/// addresses); writes allocate pages on demand. Accesses are naturally
+/// aligned to 8 bytes — lower address bits are masked off.
+///
+/// # Examples
+///
+/// ```
+/// use r3dla_isa::{VecMem, DataMem};
+/// let mut m = VecMem::new();
+/// m.store(0x2000_0000, 42);
+/// assert_eq!(m.load(0x2000_0000), 42);
+/// assert_eq!(m.load(0xDEAD_0000), 0); // unmapped
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VecMem {
+    pages: HashMap<u64, Box<[u64; 512]>>,
+}
+
+/// Read/write access to data memory.
+pub trait DataMem {
+    /// Loads the aligned 64-bit word containing `addr`.
+    fn load(&mut self, addr: u64) -> u64;
+    /// Stores `val` to the aligned 64-bit word containing `addr`.
+    fn store(&mut self, addr: u64, val: u64);
+}
+
+impl VecMem {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads a program's initial data image.
+    pub fn load_image(&mut self, image: &[(u64, u64)]) {
+        for &(addr, val) in image {
+            self.store(addr, val);
+        }
+    }
+
+    /// Number of resident 4 KiB pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+impl DataMem for VecMem {
+    #[inline]
+    fn load(&mut self, addr: u64) -> u64 {
+        let a = addr & !7;
+        match self.pages.get(&(a >> 12)) {
+            Some(p) => p[((a & 0xFFF) >> 3) as usize],
+            None => 0,
+        }
+    }
+
+    #[inline]
+    fn store(&mut self, addr: u64, val: u64) {
+        let a = addr & !7;
+        let page = self
+            .pages
+            .entry(a >> 12)
+            .or_insert_with(|| Box::new([0u64; 512]));
+        page[((a & 0xFFF) >> 3) as usize] = val;
+    }
+}
+
+/// Architectural register state plus the PC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchState {
+    regs: [u64; Reg::COUNT],
+    /// The current program counter.
+    pub pc: u64,
+}
+
+impl ArchState {
+    /// Creates a fresh state with all registers zero, `sp` at the stack
+    /// top, and the PC at `entry`.
+    pub fn new(entry: u64) -> Self {
+        let mut regs = [0u64; Reg::COUNT];
+        regs[Reg::SP.index()] = crate::program::STACK_TOP;
+        Self { regs, pc: entry }
+    }
+
+    /// Reads a register (`r0` always reads zero).
+    #[inline]
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register (writes to `r0` are discarded).
+    #[inline]
+    pub fn set_reg(&mut self, r: Reg, val: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = val;
+        }
+    }
+
+    /// A copy of the full register file (used for DLA reboot transfers).
+    pub fn regs(&self) -> [u64; Reg::COUNT] {
+        self.regs
+    }
+
+    /// Overwrites the full register file (used for DLA reboot transfers).
+    pub fn set_regs(&mut self, regs: [u64; Reg::COUNT]) {
+        self.regs = regs;
+        self.regs[Reg::ZERO.index()] = 0;
+    }
+}
+
+/// Kind of memory access performed by a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemKind {
+    /// A load; the associated value is the loaded word.
+    Load,
+    /// A store; the associated value is the stored word.
+    Store,
+}
+
+/// The observable effects of executing one instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepOut {
+    /// The instruction executed.
+    pub inst: Inst,
+    /// Its PC.
+    pub pc: u64,
+    /// The next PC.
+    pub next_pc: u64,
+    /// Register write performed, if any.
+    pub wrote: Option<(Reg, u64)>,
+    /// Memory access performed, if any: kind, address, value.
+    pub mem: Option<(MemKind, u64, u64)>,
+    /// For conditional branches, whether the branch was taken.
+    pub taken: Option<bool>,
+    /// Whether the program halted on this step.
+    pub halted: bool,
+}
+
+/// Errors from functional execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The PC left the code segment.
+    PcOutOfRange(u64),
+    /// `run` hit its step limit before the program halted.
+    StepLimit(u64),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::PcOutOfRange(pc) => write!(f, "pc out of range: {pc:#x}"),
+            ExecError::StepLimit(n) => write!(f, "step limit of {n} reached before halt"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Evaluates a computational op. `b` is the second register operand; for
+/// immediate forms the immediate is used instead of `b`.
+#[inline]
+pub fn eval_alu(op: Op, a: u64, b: u64, imm: i64) -> u64 {
+    use Op::*;
+    let immu = imm as u64;
+    match op {
+        Add => a.wrapping_add(b),
+        Sub => a.wrapping_sub(b),
+        Mul => a.wrapping_mul(b),
+        Div => {
+            if b == 0 {
+                u64::MAX
+            } else {
+                a / b
+            }
+        }
+        Rem => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+        And => a & b,
+        Or => a | b,
+        Xor => a ^ b,
+        Sll => a << (b & 63),
+        Srl => a >> (b & 63),
+        Sra => ((a as i64) >> (b & 63)) as u64,
+        Slt => ((a as i64) < (b as i64)) as u64,
+        Sltu => (a < b) as u64,
+        Addi => a.wrapping_add(immu),
+        Andi => a & immu,
+        Ori => a | immu,
+        Xori => a ^ immu,
+        Slli => a << (immu & 63),
+        Srli => a >> (immu & 63),
+        Srai => ((a as i64) >> (immu & 63)) as u64,
+        Slti => ((a as i64) < imm) as u64,
+        Li => immu,
+        Fadd => (f64::from_bits(a) + f64::from_bits(b)).to_bits(),
+        Fsub => (f64::from_bits(a) - f64::from_bits(b)).to_bits(),
+        Fmul => (f64::from_bits(a) * f64::from_bits(b)).to_bits(),
+        Fdiv => (f64::from_bits(a) / f64::from_bits(b)).to_bits(),
+        Flt => (f64::from_bits(a) < f64::from_bits(b)) as u64,
+        Cvtif => ((a as i64) as f64).to_bits(),
+        Cvtfi => {
+            let f = f64::from_bits(a);
+            if f.is_nan() {
+                0
+            } else {
+                (f as i64) as u64
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Evaluates a conditional-branch comparison.
+#[inline]
+pub fn eval_cond(op: Op, a: u64, b: u64) -> bool {
+    use Op::*;
+    match op {
+        Beq => a == b,
+        Bne => a != b,
+        Blt => (a as i64) < (b as i64),
+        Bge => (a as i64) >= (b as i64),
+        Bltu => a < b,
+        Bgeu => a >= b,
+        _ => false,
+    }
+}
+
+/// Computes the effective address of a memory instruction given the value
+/// of its base register.
+#[inline]
+pub fn mem_addr(inst: &Inst, rs1_val: u64) -> u64 {
+    rs1_val.wrapping_add(inst.imm as u64) & !7
+}
+
+/// Executes one instruction, updating state and memory.
+///
+/// # Errors
+///
+/// Returns [`ExecError::PcOutOfRange`] when the PC is outside the code
+/// segment.
+pub fn step(
+    prog: &Program,
+    st: &mut ArchState,
+    mem: &mut impl DataMem,
+) -> Result<StepOut, ExecError> {
+    let pc = st.pc;
+    let inst = prog.fetch(pc).ok_or(ExecError::PcOutOfRange(pc))?;
+    let seq_pc = pc + crate::program::INST_BYTES;
+    let mut out = StepOut {
+        inst,
+        pc,
+        next_pc: seq_pc,
+        wrote: None,
+        mem: None,
+        taken: None,
+        halted: false,
+    };
+    use Op::*;
+    match inst.op {
+        Nop => {}
+        Halt => out.halted = true,
+        Ld => {
+            let addr = mem_addr(&inst, st.reg(inst.rs1));
+            let val = mem.load(addr);
+            st.set_reg(inst.rd, val);
+            out.wrote = Some((inst.rd, val));
+            out.mem = Some((MemKind::Load, addr, val));
+        }
+        St => {
+            let addr = mem_addr(&inst, st.reg(inst.rs1));
+            let val = st.reg(inst.rs2);
+            mem.store(addr, val);
+            out.mem = Some((MemKind::Store, addr, val));
+        }
+        Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+            let taken = eval_cond(inst.op, st.reg(inst.rs1), st.reg(inst.rs2));
+            out.taken = Some(taken);
+            if taken {
+                out.next_pc = inst.imm as u64;
+            }
+        }
+        Jal => {
+            if !inst.rd.is_zero() {
+                st.set_reg(inst.rd, seq_pc);
+                out.wrote = Some((inst.rd, seq_pc));
+            }
+            out.next_pc = inst.imm as u64;
+        }
+        Jalr => {
+            let target = st.reg(inst.rs1).wrapping_add(inst.imm as u64) & !3;
+            if !inst.rd.is_zero() {
+                st.set_reg(inst.rd, seq_pc);
+                out.wrote = Some((inst.rd, seq_pc));
+            }
+            out.next_pc = target;
+        }
+        _ => {
+            let a = st.reg(inst.rs1);
+            let b = st.reg(inst.rs2);
+            let val = eval_alu(inst.op, a, b, inst.imm);
+            st.set_reg(inst.rd, val);
+            out.wrote = Some((inst.rd, val));
+        }
+    }
+    st.pc = out.next_pc;
+    Ok(out)
+}
+
+/// Runs until `Halt` or the step limit; returns the number of instructions
+/// executed (including the halt).
+///
+/// # Errors
+///
+/// Propagates [`ExecError::PcOutOfRange`]; returns
+/// [`ExecError::StepLimit`] when the limit is reached before a halt.
+pub fn run(
+    prog: &Program,
+    st: &mut ArchState,
+    mem: &mut impl DataMem,
+    max_steps: u64,
+) -> Result<u64, ExecError> {
+    for n in 0..max_steps {
+        let out = step(prog, st, mem)?;
+        if out.halted {
+            return Ok(n + 1);
+        }
+    }
+    Err(ExecError::StepLimit(max_steps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+
+    #[test]
+    fn vecmem_alignment_and_default_zero() {
+        let mut m = VecMem::new();
+        m.store(0x1003, 5); // misaligned → lands at 0x1000
+        assert_eq!(m.load(0x1000), 5);
+        assert_eq!(m.load(0x1007), 5);
+        assert_eq!(m.load(0x9999_0000), 0);
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let mut st = ArchState::new(0);
+        st.set_reg(Reg::ZERO, 77);
+        assert_eq!(st.reg(Reg::ZERO), 0);
+        let mut regs = st.regs();
+        regs[0] = 5;
+        st.set_regs(regs);
+        assert_eq!(st.reg(Reg::ZERO), 0);
+    }
+
+    #[test]
+    fn alu_semantics() {
+        use Op::*;
+        assert_eq!(eval_alu(Add, 2, 3, 0), 5);
+        assert_eq!(eval_alu(Sub, 2, 3, 0), u64::MAX); // wrapping
+        assert_eq!(eval_alu(Div, 10, 0, 0), u64::MAX);
+        assert_eq!(eval_alu(Rem, 10, 0, 0), 10);
+        assert_eq!(eval_alu(Slt, (-1i64) as u64, 0, 0), 1);
+        assert_eq!(eval_alu(Sltu, (-1i64) as u64, 0, 0), 0);
+        assert_eq!(eval_alu(Srai, (-8i64) as u64, 0, 1), (-4i64) as u64);
+        assert_eq!(eval_alu(Li, 0, 0, -7), (-7i64) as u64);
+        let two = 2.0f64.to_bits();
+        let three = 3.0f64.to_bits();
+        assert_eq!(f64::from_bits(eval_alu(Fmul, two, three, 0)), 6.0);
+        assert_eq!(eval_alu(Flt, two, three, 0), 1);
+        assert_eq!(eval_alu(Cvtfi, 2.9f64.to_bits(), 0, 0), 2);
+        assert_eq!(eval_alu(Cvtfi, f64::NAN.to_bits(), 0, 0), 0);
+    }
+
+    #[test]
+    fn cond_semantics() {
+        use Op::*;
+        assert!(eval_cond(Beq, 4, 4));
+        assert!(eval_cond(Bne, 4, 5));
+        assert!(eval_cond(Blt, (-1i64) as u64, 0));
+        assert!(!eval_cond(Bltu, (-1i64) as u64, 0));
+        assert!(eval_cond(Bge, 0, 0));
+        assert!(eval_cond(Bgeu, 1, 0));
+    }
+
+    #[test]
+    fn step_reports_branch_outcome() {
+        let mut a = Asm::new();
+        a.label("top");
+        a.beq(Reg::ZERO, Reg::ZERO, "top");
+        let p = a.finish().unwrap();
+        let mut st = ArchState::new(p.entry());
+        let mut mem = VecMem::new();
+        let out = step(&p, &mut st, &mut mem).unwrap();
+        assert_eq!(out.taken, Some(true));
+        assert_eq!(out.next_pc, p.entry());
+    }
+
+    #[test]
+    fn pc_out_of_range_is_error() {
+        let mut a = Asm::new();
+        a.nop();
+        let p = a.finish().unwrap();
+        let mut st = ArchState::new(0xFFFF_0000);
+        let mut mem = VecMem::new();
+        assert!(matches!(
+            step(&p, &mut st, &mut mem),
+            Err(ExecError::PcOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn run_stops_at_halt_and_counts() {
+        let mut a = Asm::new();
+        a.nop();
+        a.nop();
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut st = ArchState::new(p.entry());
+        let mut mem = VecMem::new();
+        assert_eq!(run(&p, &mut st, &mut mem, 100), Ok(3));
+    }
+
+    #[test]
+    fn run_step_limit() {
+        let mut a = Asm::new();
+        a.label("spin");
+        a.j("spin");
+        let p = a.finish().unwrap();
+        let mut st = ArchState::new(p.entry());
+        let mut mem = VecMem::new();
+        assert_eq!(run(&p, &mut st, &mut mem, 10), Err(ExecError::StepLimit(10)));
+    }
+}

@@ -1,0 +1,162 @@
+//! The static program binary: instructions plus an initial data image.
+
+use crate::inst::Inst;
+
+/// Base address of the code segment.
+pub const CODE_BASE: u64 = 0x0001_0000;
+/// Base address of the data (heap) segment used by the data builder.
+pub const DATA_BASE: u64 = 0x2000_0000;
+/// Initial stack pointer (stack grows down).
+pub const STACK_TOP: u64 = 0x7FFF_FF00;
+/// Size of one instruction slot in bytes.
+pub const INST_BYTES: u64 = 4;
+
+/// A complete program: code, entry point and initial data image.
+///
+/// Produced by [`crate::Asm::finish`]; consumed by the functional executor
+/// and the timing cores. PCs map 1:1 to instruction indices
+/// (`pc = CODE_BASE + index * INST_BYTES`), which is what allows DLA
+/// skeletons to be plain bit vectors over the binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    insts: Vec<Inst>,
+    entry: u64,
+    image: Vec<(u64, u64)>,
+    name: String,
+}
+
+impl Program {
+    /// Creates a program from raw parts.
+    ///
+    /// `image` is a list of `(address, 64-bit word)` initializers.
+    pub fn from_parts(
+        name: impl Into<String>,
+        insts: Vec<Inst>,
+        entry_index: usize,
+        image: Vec<(u64, u64)>,
+    ) -> Self {
+        Self {
+            insts,
+            entry: CODE_BASE + entry_index as u64 * INST_BYTES,
+            image,
+            name: name.into(),
+        }
+    }
+
+    /// The program's human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Base PC of the code segment.
+    pub fn code_base(&self) -> u64 {
+        CODE_BASE
+    }
+
+    /// The entry PC.
+    pub fn entry(&self) -> u64 {
+        self.entry
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// All static instructions, in layout order.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// The initial data image as `(address, word)` pairs.
+    pub fn image(&self) -> &[(u64, u64)] {
+        &self.image
+    }
+
+    /// Converts a PC to a static instruction index, if it is in range and
+    /// properly aligned.
+    #[inline]
+    pub fn pc_to_index(&self, pc: u64) -> Option<usize> {
+        if pc < CODE_BASE || (pc - CODE_BASE) % INST_BYTES != 0 {
+            return None;
+        }
+        let idx = ((pc - CODE_BASE) / INST_BYTES) as usize;
+        (idx < self.insts.len()).then_some(idx)
+    }
+
+    /// Converts a static instruction index to its PC.
+    #[inline]
+    pub fn index_to_pc(&self, index: usize) -> u64 {
+        CODE_BASE + index as u64 * INST_BYTES
+    }
+
+    /// Fetches the instruction at `pc`, or `None` when `pc` is outside the
+    /// code segment (wrong-path fetches may run off the binary).
+    #[inline]
+    pub fn fetch(&self, pc: u64) -> Option<Inst> {
+        self.pc_to_index(pc).map(|i| self.insts[i])
+    }
+
+    /// A simple textual disassembly listing, for debugging and examples.
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, inst) in self.insts.iter().enumerate() {
+            let _ = writeln!(out, "{:#08x}:  {}", self.index_to_pc(i), inst);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Op, Reg};
+
+    fn tiny() -> Program {
+        let insts = vec![
+            Inst { op: Op::Li, rd: Reg::int(10), rs1: Reg::ZERO, rs2: Reg::ZERO, imm: 1 },
+            Inst::NOP,
+            Inst { op: Op::Halt, ..Inst::NOP },
+        ];
+        Program::from_parts("tiny", insts, 0, vec![(DATA_BASE, 99)])
+    }
+
+    #[test]
+    fn pc_index_round_trip() {
+        let p = tiny();
+        for i in 0..p.len() {
+            let pc = p.index_to_pc(i);
+            assert_eq!(p.pc_to_index(pc), Some(i));
+        }
+    }
+
+    #[test]
+    fn out_of_range_pcs_fail() {
+        let p = tiny();
+        assert_eq!(p.pc_to_index(0), None);
+        assert_eq!(p.pc_to_index(CODE_BASE + 1), None); // misaligned
+        assert_eq!(p.pc_to_index(CODE_BASE + 100 * INST_BYTES), None);
+        assert!(p.fetch(CODE_BASE + 100 * INST_BYTES).is_none());
+    }
+
+    #[test]
+    fn entry_points_at_first_instruction() {
+        let p = tiny();
+        assert_eq!(p.entry(), CODE_BASE);
+        assert_eq!(p.fetch(p.entry()).map(|i| i.op), Some(Op::Li));
+    }
+
+    #[test]
+    fn disassembly_lists_every_instruction() {
+        let p = tiny();
+        let d = p.disassemble();
+        assert_eq!(d.lines().count(), p.len());
+        assert!(d.contains("halt"));
+    }
+}

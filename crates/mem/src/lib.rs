@@ -1,0 +1,56 @@
+//! Memory hierarchy for the R3-DLA simulator: set-associative caches with
+//! MSHRs, a TLB, a DDR3-style DRAM model, and a three-level composition
+//! matching the paper's baseline (32 KiB L1s, 256 KiB L2, 2 MiB shared L3,
+//! DDR3-1600-like main memory).
+//!
+//! Caches are *timing-only* tag arrays: functional data lives in the
+//! architectural memory image (`r3dla_isa::VecMem` plus the look-ahead
+//! overlay). This mirrors how trace-driven simulators separate semantics
+//! from timing, and is what allows the look-ahead core's private caches to
+//! be "discard-dirty" (paper §III-A) with no correctness implications.
+//!
+//! # Examples
+//!
+//! ```
+//! use r3dla_mem::{CoreMem, MemConfig, SharedLlc};
+//! use std::cell::RefCell;
+//! use std::rc::Rc;
+//!
+//! let shared = Rc::new(RefCell::new(SharedLlc::new(&MemConfig::paper())));
+//! let mut core_mem = CoreMem::new(&MemConfig::paper(), shared);
+//! let out = core_mem.load(0x2000_0000, 0, 100);
+//! assert!(out.ready > 100); // cold miss goes to DRAM
+//! let out2 = core_mem.load(0x2000_0000, 0, out.ready);
+//! assert!(out2.l1_hit);
+//! ```
+
+mod cache;
+mod dram;
+mod hierarchy;
+mod tlb;
+
+pub use cache::{AccessKind, Cache, CacheConfig, CacheStats};
+pub use dram::{Dram, DramConfig, DramStats};
+pub use hierarchy::{CoreMem, LoadOutcome, MemConfig, PrefetchEngine, SharedLlc};
+pub use tlb::{Tlb, TlbConfig};
+
+/// Cache line size in bytes used throughout the hierarchy.
+pub const LINE_BYTES: u64 = 64;
+
+/// Returns the line-aligned address containing `addr`.
+#[inline]
+pub fn line_of(addr: u64) -> u64 {
+    addr & !(LINE_BYTES - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_of_masks_offset() {
+        assert_eq!(line_of(0x1000), 0x1000);
+        assert_eq!(line_of(0x103F), 0x1000);
+        assert_eq!(line_of(0x1040), 0x1040);
+    }
+}

@@ -1,0 +1,177 @@
+//! A Global History Buffer delta-correlation prefetcher (Nesbit & Smith,
+//! HPCA 2004 — the paper's reference [76]).
+//!
+//! Misses enter a circular global history buffer; an index table keyed by
+//! PC links each PC's misses together. On a miss we compute the last two
+//! deltas for the PC, search the chain for a previous occurrence of that
+//! delta pair, and prefetch the deltas that followed it.
+
+use std::collections::HashMap;
+
+use r3dla_mem::{PrefetchEngine, LINE_BYTES};
+
+#[derive(Debug, Clone, Copy)]
+struct GhbEntry {
+    line: u64,
+    prev: Option<usize>, // previous entry for the same PC (absolute slot)
+    seq: u64,
+}
+
+/// The GHB/DC prefetch engine.
+#[derive(Debug)]
+pub struct GhbPrefetcher {
+    buf: Vec<GhbEntry>,
+    head: usize,
+    seq: u64,
+    index: HashMap<u64, usize>, // pc -> newest absolute slot
+    degree: usize,
+    capacity: usize,
+}
+
+impl GhbPrefetcher {
+    /// Creates a GHB with `capacity` entries issuing up to `degree`
+    /// prefetches per trigger.
+    pub fn new(capacity: usize, degree: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            seq: 0,
+            index: HashMap::new(),
+            degree,
+            capacity,
+        }
+    }
+
+    fn push(&mut self, pc: u64, line: u64) -> usize {
+        let prev = self.index.get(&pc).copied();
+        let entry = GhbEntry { line, prev, seq: self.seq };
+        let slot = if self.buf.len() < self.capacity {
+            self.buf.push(entry);
+            self.buf.len() - 1
+        } else {
+            let s = self.head;
+            self.buf[s] = entry;
+            self.head = (self.head + 1) % self.capacity;
+            s
+        };
+        self.seq += 1;
+        self.index.insert(pc, slot);
+        slot
+    }
+
+    /// Walks the per-PC chain from `slot`, collecting up to `n` most
+    /// recent lines (newest first). Stale links (overwritten slots) are
+    /// detected via sequence numbers.
+    fn chain(&self, slot: usize, n: usize) -> Vec<u64> {
+        let mut lines = Vec::with_capacity(n);
+        let mut cur = Some(slot);
+        let mut last_seq = u64::MAX;
+        while let Some(s) = cur {
+            let e = &self.buf[s];
+            if e.seq >= last_seq {
+                break; // stale link: slot was recycled
+            }
+            last_seq = e.seq;
+            lines.push(e.line);
+            if lines.len() == n {
+                break;
+            }
+            cur = e.prev;
+        }
+        lines
+    }
+}
+
+impl PrefetchEngine for GhbPrefetcher {
+    fn name(&self) -> &str {
+        "ghb"
+    }
+
+    fn on_access(&mut self, pc: u64, line_addr: u64, miss: bool, _now: u64, out: &mut Vec<u64>) {
+        if !miss {
+            return;
+        }
+        let line = line_addr / LINE_BYTES;
+        let slot = self.push(pc, line);
+        // Need ≥ 3 older entries to form two reference deltas + history.
+        let hist = self.chain(slot, 16);
+        if hist.len() < 4 {
+            return;
+        }
+        // hist[0] = current, newest first. Deltas between consecutive.
+        let d1 = hist[0] as i64 - hist[1] as i64;
+        let d2 = hist[1] as i64 - hist[2] as i64;
+        // Search older history for the same (d2, d1) pair.
+        for w in 2..hist.len() - 1 {
+            let hd1 = hist[w] as i64 - hist[w + 1] as i64;
+            if w >= 1 {
+                let hd0 = hist[w - 1] as i64 - hist[w] as i64;
+                if hd1 == d2 && hd0 == d1 {
+                    // Replay the deltas that followed the match.
+                    let mut line_cursor = hist[0] as i64;
+                    let mut idx = w as i64 - 2;
+                    let mut issued = 0;
+                    while idx >= 0 && issued < self.degree {
+                        let delta = hist[idx as usize] as i64 - hist[idx as usize + 1] as i64;
+                        line_cursor += delta;
+                        if line_cursor > 0 {
+                            out.push(line_cursor as u64 * LINE_BYTES);
+                            issued += 1;
+                        }
+                        idx -= 1;
+                    }
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeating_delta_pattern_is_replayed() {
+        // Pattern of deltas: +1, +2, +1, +2, ... lines.
+        let mut pf = GhbPrefetcher::new(64, 2);
+        let mut out = Vec::new();
+        let mut line = 100u64;
+        let deltas = [1u64, 2, 1, 2, 1, 2, 1, 2];
+        for (i, d) in deltas.iter().enumerate() {
+            out.clear();
+            pf.on_access(0x40, line * 64, true, i as u64, &mut out);
+            line += d;
+        }
+        // After seeing (1,2) repeat, the prefetcher should predict the
+        // continuation.
+        assert!(!out.is_empty(), "expected delta-correlated prefetches");
+    }
+
+    #[test]
+    fn distinct_pcs_have_distinct_chains() {
+        let mut pf = GhbPrefetcher::new(64, 2);
+        let mut out = Vec::new();
+        for i in 0..10u64 {
+            pf.on_access(0x100, (1000 + i) * 64, true, i, &mut out);
+            pf.on_access(0x200, (9000 + i * 3) * 64, true, i, &mut out);
+        }
+        let chain_a = pf.chain(pf.index[&0x100], 4);
+        assert!(chain_a.iter().all(|&l| (1000..2000).contains(&l)));
+        let chain_b = pf.chain(pf.index[&0x200], 4);
+        assert!(chain_b.iter().all(|&l| l >= 9000));
+    }
+
+    #[test]
+    fn recycled_slots_terminate_chains() {
+        let mut pf = GhbPrefetcher::new(4, 2); // tiny buffer forces recycling
+        let mut out = Vec::new();
+        for i in 0..20u64 {
+            pf.on_access(0x100 + (i % 3) * 4, i * 64, true, i, &mut out);
+        }
+        // Just ensure chain walking never panics or loops forever.
+        for (_, &slot) in pf.index.iter() {
+            let _ = pf.chain(slot, 16);
+        }
+    }
+}

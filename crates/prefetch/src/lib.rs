@@ -1,0 +1,80 @@
+//! Hardware prefetchers for the R3-DLA simulator.
+//!
+//! The paper's baseline attaches a Best-Offset prefetcher (BOP, Michaud
+//! HPCA 2016) at L2 — chosen as the best of a group of state-of-the-art
+//! prefetchers — and Table III / Fig 12 compare a *stride prefetcher at
+//! L1* against DLA's T1 offload engine. This crate provides those engines
+//! plus next-line, stream and GHB delta-correlation alternatives, all
+//! implementing [`r3dla_mem::PrefetchEngine`].
+//!
+//! # Examples
+//!
+//! ```
+//! use r3dla_mem::PrefetchEngine;
+//! use r3dla_prefetch::StridePrefetcher;
+//!
+//! let mut pf = StridePrefetcher::paper();
+//! let mut out = Vec::new();
+//! // A strided stream from one PC trains the table…
+//! for i in 0..4u64 {
+//!     out.clear();
+//!     pf.on_access(0x400, 0x1000 + i * 128, true, i, &mut out);
+//! }
+//! // …after which prefetches run ahead of the stream.
+//! assert!(!out.is_empty());
+//! assert!(out.iter().all(|a| *a > 0x1000 + 3 * 128));
+//! ```
+
+mod bop;
+mod ghb;
+mod nextline;
+mod stream;
+mod stride;
+
+pub use bop::{BestOffset, BopConfig};
+pub use ghb::GhbPrefetcher;
+pub use nextline::NextLine;
+pub use stream::StreamPrefetcher;
+pub use stride::{StrideConfig, StridePrefetcher};
+
+use r3dla_mem::PrefetchEngine;
+
+/// Instantiates a prefetcher by name: `"bop"`, `"stride"`, `"nextline"`,
+/// `"stream"`, or `"ghb"`.
+///
+/// Supports the paper's "chosen from among N prefetchers for best
+/// performance" selection experiments.
+///
+/// # Examples
+///
+/// ```
+/// let pf = r3dla_prefetch::by_name("bop").unwrap();
+/// assert_eq!(pf.name(), "bop");
+/// ```
+pub fn by_name(name: &str) -> Option<Box<dyn PrefetchEngine>> {
+    match name {
+        "bop" => Some(Box::new(BestOffset::paper())),
+        "stride" => Some(Box::new(StridePrefetcher::paper())),
+        "nextline" => Some(Box::new(NextLine::new(1))),
+        "stream" => Some(Box::new(StreamPrefetcher::new(8, 4))),
+        "ghb" => Some(Box::new(GhbPrefetcher::new(256, 2))),
+        _ => None,
+    }
+}
+
+/// Names accepted by [`by_name`].
+pub const ALL_PREFETCHERS: &[&str] = &["bop", "stride", "nextline", "stream", "ghb"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_knows_all_names() {
+        for name in ALL_PREFETCHERS {
+            let pf = by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(pf.name(), *name);
+        }
+        assert!(by_name("bogus").is_none());
+    }
+}

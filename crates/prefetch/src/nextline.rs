@@ -1,0 +1,57 @@
+//! Next-line prefetcher: the simplest member of the comparison pool.
+
+use r3dla_mem::{PrefetchEngine, LINE_BYTES};
+
+/// Prefetches the next `degree` sequential lines on every miss.
+///
+/// # Examples
+///
+/// ```
+/// use r3dla_mem::PrefetchEngine;
+/// use r3dla_prefetch::NextLine;
+/// let mut pf = NextLine::new(2);
+/// let mut out = Vec::new();
+/// pf.on_access(0, 0x1000, true, 0, &mut out);
+/// assert_eq!(out, vec![0x1040, 0x1080]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NextLine {
+    degree: u64,
+}
+
+impl NextLine {
+    /// Creates a next-line prefetcher issuing `degree` lines per miss.
+    pub fn new(degree: u64) -> Self {
+        Self { degree }
+    }
+}
+
+impl PrefetchEngine for NextLine {
+    fn name(&self) -> &str {
+        "nextline"
+    }
+
+    fn on_access(&mut self, _pc: u64, line_addr: u64, miss: bool, _now: u64, out: &mut Vec<u64>) {
+        if !miss {
+            return;
+        }
+        for k in 1..=self.degree {
+            out.push(line_addr + k * LINE_BYTES);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issues_on_miss_only() {
+        let mut pf = NextLine::new(1);
+        let mut out = Vec::new();
+        pf.on_access(0, 0x40, false, 0, &mut out);
+        assert!(out.is_empty());
+        pf.on_access(0, 0x40, true, 0, &mut out);
+        assert_eq!(out, vec![0x80]);
+    }
+}

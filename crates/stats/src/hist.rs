@@ -1,0 +1,171 @@
+//! Integer-valued histograms, used for queue occupancies, latencies and
+//! the empirical supply/demand distributions of the fetch-buffer model.
+
+/// A dense histogram over small non-negative integer values.
+///
+/// Bins grow on demand; values are `u64` sample keys with `u64` counts.
+///
+/// # Examples
+///
+/// ```
+/// use r3dla_stats::Histogram;
+/// let mut h = Histogram::new();
+/// h.record(3);
+/// h.record(3);
+/// h.record(5);
+/// assert_eq!(h.count(3), 2);
+/// assert_eq!(h.total(), 3);
+/// assert!((h.mean() - (3.0 + 3.0 + 5.0) / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bins: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample of `value`.
+    pub fn record(&mut self, value: u64) {
+        let idx = value as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0);
+        }
+        self.bins[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Records `n` samples of `value`.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        let idx = value as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0);
+        }
+        self.bins[idx] += n;
+        self.total += n;
+    }
+
+    /// Returns the number of samples equal to `value`.
+    pub fn count(&self, value: u64) -> u64 {
+        self.bins.get(value as usize).copied().unwrap_or(0)
+    }
+
+    /// Returns the total number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Returns the largest recorded value, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        self.bins
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|i| i as u64)
+    }
+
+    /// Returns the sample mean.
+    ///
+    /// Returns 0.0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .bins
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| v as f64 * c as f64)
+            .sum();
+        sum / self.total as f64
+    }
+
+    /// Converts the histogram into a probability mass function.
+    ///
+    /// The returned vector has one entry per bin, summing to 1 (empty
+    /// histograms yield an empty vector).
+    pub fn to_pmf(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return Vec::new();
+        }
+        self.bins
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Iterates over `(value, count)` pairs with non-zero counts.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(v, &c)| (v as u64, c))
+    }
+
+    /// Removes all samples.
+    pub fn reset(&mut self) {
+        self.bins.clear();
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(7);
+        h.record_n(7, 3);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(7), 4);
+        assert_eq!(h.count(99), 0);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.max(), Some(7));
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let mut h = Histogram::new();
+        for v in [1, 1, 2, 3, 3, 3] {
+            h.record(v);
+        }
+        let pmf = h.to_pmf();
+        let sum: f64 = pmf.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((pmf[3] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_behaviour() {
+        let h = Histogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.to_pmf().is_empty());
+    }
+
+    #[test]
+    fn iter_skips_empty_bins() {
+        let mut h = Histogram::new();
+        h.record(2);
+        h.record(5);
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs, vec![(2, 1), (5, 1)]);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut h = Histogram::new();
+        h.record(4);
+        h.reset();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.count(4), 0);
+    }
+}

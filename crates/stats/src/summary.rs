@@ -1,0 +1,146 @@
+//! Suite-level summary statistics: geometric means (the paper's headline
+//! aggregation), ranges, and simple descriptive statistics.
+
+/// Returns the geometric mean of `xs`.
+///
+/// The paper reports suite-wide speedups as geometric means, so this is the
+/// canonical aggregation for experiment harnesses.
+///
+/// Returns 0.0 for an empty slice; non-positive inputs are clamped to a tiny
+/// positive value so a single degenerate measurement cannot poison a suite
+/// aggregate.
+///
+/// # Examples
+///
+/// ```
+/// use r3dla_stats::geomean;
+/// let g = geomean(&[1.0, 4.0]);
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs.iter().map(|&x| x.max(1e-12).ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Returns the arithmetic mean of `xs` (0.0 when empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Returns the median of `xs` (0.0 when empty).
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// Descriptive statistics over a set of per-benchmark values, as used to
+/// print a paper-style "bar plus I-beam" row (geometric mean plus range).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Geometric mean of the values.
+    pub geomean: f64,
+    /// Arithmetic mean of the values.
+    pub mean: f64,
+    /// Median of the values.
+    pub median: f64,
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Number of values summarized.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarizes a slice of values.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use r3dla_stats::Summary;
+    /// let s = Summary::of(&[1.0, 2.0, 4.0]);
+    /// assert_eq!(s.n, 3);
+    /// assert_eq!(s.min, 1.0);
+    /// assert_eq!(s.max, 4.0);
+    /// ```
+    pub fn of(xs: &[f64]) -> Self {
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self {
+            geomean: geomean(xs),
+            mean: mean(xs),
+            median: median(xs),
+            min: if xs.is_empty() { 0.0 } else { min },
+            max: if xs.is_empty() { 0.0 } else { max },
+            n: xs.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "gm={:.3} [{:.3}..{:.3}] (n={})",
+            self.geomean, self.min, self.max, self.n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_empty_is_zero() {
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_le_mean() {
+        // AM-GM inequality.
+        let xs = [1.0, 3.0, 9.0, 0.5];
+        assert!(geomean(&xs) <= mean(&xs) + 1e-12);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn summary_of_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn summary_display_is_nonempty() {
+        let s = Summary::of(&[1.5]);
+        assert!(!format!("{s}").is_empty());
+    }
+}

@@ -1,0 +1,383 @@
+//! CRONO-like graph kernels over CSR representations.
+//!
+//! The paper uses CRONO with google/amazon/twitter/mathoverflow/road
+//! graphs; we substitute deterministic synthetic graphs with a power-law
+//! flavour (hub-biased endpoints), which reproduces the irregular-gather
+//! behaviour those inputs exercise.
+
+use r3dla_isa::{Asm, DataBuilder, Program, Reg};
+use r3dla_stats::Rng;
+
+use crate::Scale;
+
+const T0: Reg = Reg::int(10);
+const T1: Reg = Reg::int(11);
+const T2: Reg = Reg::int(12);
+const T3: Reg = Reg::int(13);
+const T4: Reg = Reg::int(14);
+const T5: Reg = Reg::int(15);
+const T6: Reg = Reg::int(16);
+const T7: Reg = Reg::int(17);
+const S0: Reg = Reg::int(18);
+const S1: Reg = Reg::int(19);
+const S2: Reg = Reg::int(20);
+const S3: Reg = Reg::int(21);
+const S4: Reg = Reg::int(22);
+const S5: Reg = Reg::int(23);
+const S6: Reg = Reg::int(24);
+
+/// A synthetic directed graph in CSR form.
+pub struct Csr {
+    /// Row pointers, length `n + 1`.
+    pub row_ptr: Vec<u64>,
+    /// Column indices (sorted per row), length `m`.
+    pub col: Vec<u64>,
+}
+
+/// Generates a hub-biased random graph: half the endpoints are drawn from
+/// a small hub set (power-law flavour), half uniformly.
+pub fn generate_graph(rng: &mut Rng, n: usize, avg_deg: usize) -> Csr {
+    let m = n * avg_deg;
+    let hubs = (n / 16).max(1);
+    let mut adj: Vec<Vec<u64>> = vec![Vec::new(); n];
+    for _ in 0..m {
+        let src = rng.range_usize(0, n);
+        let dst = if rng.chance(0.5) {
+            rng.range_u64(0, hubs as u64)
+        } else {
+            rng.range_u64(0, n as u64)
+        };
+        adj[src].push(dst);
+    }
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut col = Vec::with_capacity(m);
+    row_ptr.push(0);
+    for list in &mut adj {
+        list.sort_unstable();
+        list.dedup();
+        col.extend_from_slice(list);
+        row_ptr.push(col.len() as u64);
+    }
+    Csr { row_ptr, col }
+}
+
+/// Lays the CSR arrays into the data segment; returns
+/// `(row_ptr_base, col_base, n, m)`.
+fn lay_out_graph(data: &mut DataBuilder, g: &Csr) -> (u64, u64, usize, usize) {
+    let rp = data.words(&g.row_ptr);
+    let cl = data.words(&g.col);
+    (rp, cl, g.row_ptr.len() - 1, g.col.len())
+}
+
+fn graph_for(scale: Scale, salt: u64, deg: usize) -> Csr {
+    let mut rng = Rng::new(scale.seed() ^ salt);
+    let n = (2048 * scale.units()) as usize;
+    generate_graph(&mut rng, n, deg)
+}
+
+/// Breadth-first search from vertex 0 with an explicit work queue.
+pub fn bfs(scale: Scale) -> Program {
+    let g = graph_for(scale, 0x6266_7300, 8);
+    let mut a = Asm::named("bfs");
+    let (rp, cl, n, _m) = lay_out_graph(a.data(), &g);
+    let visited = a.data().alloc_words(n);
+    let queue = a.data().alloc_words(n + 1);
+    a.data().put_word(visited, 1); // visited[0] = 1
+    a.data().put_word(queue, 0); // queue[0] = vertex 0
+    // head (S0), tail (S1) are *indices*; S2 = rp, S3 = cl, S4 = visited,
+    // S5 = queue, S6 = reachable count.
+    a.li(S0, 0);
+    a.li(S1, 1);
+    a.li(S2, rp as i64);
+    a.li(S3, cl as i64);
+    a.li(S4, visited as i64);
+    a.li(S5, queue as i64);
+    a.li(S6, 1);
+    a.label("pop");
+    a.bge(S0, S1, "done");
+    a.slli(T0, S0, 3);
+    a.add(T0, T0, S5);
+    a.ld(T0, T0, 0); // u
+    a.addi(S0, S0, 1);
+    // edge range [rp[u], rp[u+1])
+    a.slli(T1, T0, 3);
+    a.add(T1, T1, S2);
+    a.ld(T2, T1, 0); // begin
+    a.ld(T3, T1, 8); // end
+    a.label("edge");
+    a.bge(T2, T3, "pop");
+    a.slli(T4, T2, 3);
+    a.add(T4, T4, S3);
+    a.ld(T4, T4, 0); // v = col[e]  (irregular gather)
+    a.slli(T5, T4, 3);
+    a.add(T5, T5, S4);
+    a.ld(T6, T5, 0); // visited[v]
+    a.bne(T6, Reg::ZERO, "next_edge");
+    a.li(T6, 1);
+    a.st(T6, T5, 0); // visited[v] = 1
+    a.slli(T7, S1, 3);
+    a.add(T7, T7, S5);
+    a.st(T4, T7, 0); // queue[tail] = v
+    a.addi(S1, S1, 1);
+    a.addi(S6, S6, 1);
+    a.label("next_edge");
+    a.addi(T2, T2, 1);
+    a.j("edge");
+    a.label("done");
+    a.halt();
+    a.finish().expect("bfs assembles")
+}
+
+/// Bellman-Ford-style SSSP: fixed relaxation rounds over the edge list.
+pub fn sssp(scale: Scale) -> Program {
+    let g = graph_for(scale, 0x7373_7370, 6);
+    let rounds = 4;
+    let mut a = Asm::named("sssp");
+    let (rp, cl, n, _m) = lay_out_graph(a.data(), &g);
+    let dist = a.data().alloc_words(n);
+    let inf = 1i64 << 40;
+    for v in 1..n {
+        a.data().put_word(dist + (v as u64) * 8, inf as u64);
+    }
+    a.li(S0, 0); // round
+    a.li(S1, rounds);
+    a.label("round");
+    a.li(S2, 0); // u
+    a.li(S3, n as i64);
+    a.label("vertex");
+    a.slli(T0, S2, 3);
+    a.li(T1, rp as i64);
+    a.add(T0, T0, T1);
+    a.ld(T1, T0, 0); // begin
+    a.ld(T2, T0, 8); // end
+    // du = dist[u]
+    a.slli(T3, S2, 3);
+    a.li(T4, dist as i64);
+    a.add(T3, T3, T4);
+    a.ld(T3, T3, 0);
+    a.label("edge");
+    a.bge(T1, T2, "next_vertex");
+    a.slli(T4, T1, 3);
+    a.li(T5, cl as i64);
+    a.add(T4, T4, T5);
+    a.ld(T4, T4, 0); // v
+    // w(u,v) = (u ^ v) & 15 + 1
+    a.xor(T5, S2, T4);
+    a.andi(T5, T5, 15);
+    a.addi(T5, T5, 1);
+    a.add(T5, T3, T5); // cand = du + w
+    a.slli(T6, T4, 3);
+    a.li(T7, dist as i64);
+    a.add(T6, T6, T7);
+    a.ld(T7, T6, 0); // dist[v]
+    a.bge(T5, T7, "no_relax");
+    a.st(T5, T6, 0); // relax (scatter store)
+    a.label("no_relax");
+    a.addi(T1, T1, 1);
+    a.j("edge");
+    a.label("next_vertex");
+    a.addi(S2, S2, 1);
+    a.blt(S2, S3, "vertex");
+    a.addi(S0, S0, 1);
+    a.blt(S0, S1, "round");
+    a.halt();
+    a.finish().expect("sssp assembles")
+}
+
+/// PageRank-style iteration: gather neighbour ranks, FP combine, store.
+pub fn pagerank(scale: Scale) -> Program {
+    let g = graph_for(scale, 0x7072_0000, 6);
+    let iters = 3;
+    let mut a = Asm::named("pagerank");
+    let (rp, cl, n, _m) = lay_out_graph(a.data(), &g);
+    let rank = a.data().alloc_words(n);
+    let next = a.data().alloc_words(n);
+    let one = 1.0f64.to_bits();
+    for v in 0..n {
+        a.data().put_word(rank + (v as u64) * 8, one);
+    }
+    let f0 = Reg::fp(0);
+    let f1 = Reg::fp(1);
+    let f2 = Reg::fp(2);
+    let f3 = Reg::fp(3);
+    a.li(S0, 0); // iter
+    a.li(S1, iters);
+    a.label("iter");
+    a.li(S2, 0); // u
+    a.li(S3, n as i64);
+    a.label("vertex");
+    a.slli(T0, S2, 3);
+    a.li(T1, rp as i64);
+    a.add(T0, T0, T1);
+    a.ld(T1, T0, 0); // begin
+    a.ld(T2, T0, 8); // end
+    // sum = 0.0
+    a.li(T3, 0);
+    a.cvtif(f0, T3);
+    a.label("edge");
+    a.bge(T1, T2, "store_rank");
+    a.slli(T4, T1, 3);
+    a.li(T5, cl as i64);
+    a.add(T4, T4, T5);
+    a.ld(T4, T4, 0); // v
+    a.slli(T4, T4, 3);
+    a.li(T5, rank as i64);
+    a.add(T4, T4, T5);
+    a.ld(f1, T4, 0); // rank[v] (fp gather)
+    a.fadd(f0, f0, f1);
+    a.addi(T1, T1, 1);
+    a.j("edge");
+    a.label("store_rank");
+    // next[u] = 0.15 + 0.85 * sum / (deg+1)
+    a.ld(T5, T0, 0); // begin again
+    a.sub(T4, T2, T5); // deg
+    a.addi(T4, T4, 1);
+    a.cvtif(f1, T4);
+    a.fdiv(f0, f0, f1);
+    a.li(f2, 0.85f64.to_bits() as i64);
+    a.fmul(f0, f0, f2);
+    a.li(f3, 0.15f64.to_bits() as i64);
+    a.fadd(f0, f0, f3);
+    a.slli(T6, S2, 3);
+    a.li(T7, next as i64);
+    a.add(T6, T6, T7);
+    a.st(f0, T6, 0);
+    a.addi(S2, S2, 1);
+    a.blt(S2, S3, "vertex");
+    // swap rank/next by copying back (keeps layout simple).
+    a.li(T0, 0);
+    a.li(T1, n as i64);
+    a.label("copy");
+    a.slli(T2, T0, 3);
+    a.li(T3, next as i64);
+    a.add(T3, T3, T2);
+    a.ld(T4, T3, 0);
+    a.li(T3, rank as i64);
+    a.add(T3, T3, T2);
+    a.st(T4, T3, 0);
+    a.addi(T0, T0, 1);
+    a.blt(T0, T1, "copy");
+    a.addi(S0, S0, 1);
+    a.blt(S0, S1, "iter");
+    a.halt();
+    a.finish().expect("pagerank assembles")
+}
+
+/// Connected components by label propagation (fixed rounds).
+pub fn connected_components(scale: Scale) -> Program {
+    let g = graph_for(scale, 0x6363_0000, 6);
+    let rounds = 4;
+    let mut a = Asm::named("cc");
+    let (rp, cl, n, _m) = lay_out_graph(a.data(), &g);
+    let label_arr = a.data().alloc_words(n);
+    for v in 0..n {
+        a.data().put_word(label_arr + (v as u64) * 8, v as u64);
+    }
+    a.li(S0, 0);
+    a.li(S1, rounds);
+    a.label("round");
+    a.li(S2, 0);
+    a.li(S3, n as i64);
+    a.label("vertex");
+    a.slli(T0, S2, 3);
+    a.li(T1, rp as i64);
+    a.add(T0, T0, T1);
+    a.ld(T1, T0, 0);
+    a.ld(T2, T0, 8);
+    a.slli(T3, S2, 3);
+    a.li(T4, label_arr as i64);
+    a.add(T3, T3, T4);
+    a.ld(T4, T3, 0); // label[u]
+    a.label("edge");
+    a.bge(T1, T2, "next_vertex");
+    a.slli(T5, T1, 3);
+    a.li(T6, cl as i64);
+    a.add(T5, T5, T6);
+    a.ld(T5, T5, 0); // v
+    a.slli(T5, T5, 3);
+    a.li(T6, label_arr as i64);
+    a.add(T5, T5, T6);
+    a.ld(T6, T5, 0); // label[v]
+    a.bgeu(T6, T4, "no_adopt");
+    a.mv(T4, T6); // adopt smaller label
+    a.st(T4, T3, 0);
+    a.label("no_adopt");
+    a.bgeu(T4, T6, "fwd_done");
+    a.st(T4, T5, 0); // propagate forward
+    a.label("fwd_done");
+    a.addi(T1, T1, 1);
+    a.j("edge");
+    a.label("next_vertex");
+    a.addi(S2, S2, 1);
+    a.blt(S2, S3, "vertex");
+    a.addi(S0, S0, 1);
+    a.blt(S0, S1, "round");
+    a.halt();
+    a.finish().expect("cc assembles")
+}
+
+/// Triangle counting by sorted-adjacency merge-intersection — branch- and
+/// pointer-intensive.
+pub fn triangle_count(scale: Scale) -> Program {
+    // Smaller graph: intersection is O(deg²)-ish.
+    let mut rng = Rng::new(scale.seed() ^ 0x7463_0000);
+    let n = (512 * scale.units()) as usize;
+    let g = generate_graph(&mut rng, n, 6);
+    let mut a = Asm::named("tc");
+    let (rp, cl, n, _m) = lay_out_graph(a.data(), &g);
+    // for u: for each edge (u,v): count |adj(u) ∩ adj(v)| via merge.
+    a.li(S0, 0); // u
+    a.li(S1, n as i64);
+    a.li(S6, 0); // triangles
+    a.label("vertex");
+    a.slli(T0, S0, 3);
+    a.li(T1, rp as i64);
+    a.add(T0, T0, T1);
+    a.ld(S2, T0, 0); // ubegin
+    a.ld(S3, T0, 8); // uend
+    a.mv(S4, S2); // e iterator
+    a.label("edge");
+    a.bge(S4, S3, "next_vertex");
+    a.slli(T2, S4, 3);
+    a.li(T3, cl as i64);
+    a.add(T2, T2, T3);
+    a.ld(T2, T2, 0); // v
+    // merge-intersect adj(u) [S2..S3) with adj(v) [T3..T4)
+    a.slli(T3, T2, 3);
+    a.li(T4, rp as i64);
+    a.add(T3, T3, T4);
+    a.ld(T4, T3, 8); // vend
+    a.ld(T3, T3, 0); // vbegin
+    a.mv(T5, S2); // i over adj(u)
+    a.label("merge");
+    a.bge(T5, S3, "merge_done");
+    a.bge(T3, T4, "merge_done");
+    a.slli(T6, T5, 3);
+    a.li(T7, cl as i64);
+    a.add(T6, T6, T7);
+    a.ld(T6, T6, 0); // a = col[i]
+    a.slli(T7, T3, 3);
+    a.li(T1, cl as i64);
+    a.add(T7, T7, T1);
+    a.ld(T7, T7, 0); // b = col[j]
+    a.bltu(T6, T7, "adv_a");
+    a.bltu(T7, T6, "adv_b");
+    a.addi(S6, S6, 1); // common neighbour
+    a.addi(T5, T5, 1);
+    a.addi(T3, T3, 1);
+    a.j("merge");
+    a.label("adv_a");
+    a.addi(T5, T5, 1);
+    a.j("merge");
+    a.label("adv_b");
+    a.addi(T3, T3, 1);
+    a.j("merge");
+    a.label("merge_done");
+    a.addi(S4, S4, 1);
+    a.j("edge");
+    a.label("next_vertex");
+    a.addi(S0, S0, 1);
+    a.blt(S0, S1, "vertex");
+    a.halt();
+    a.finish().expect("tc assembles")
+}

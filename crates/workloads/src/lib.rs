@@ -1,0 +1,228 @@
+//! Synthetic benchmark kernels for the R3-DLA simulator.
+//!
+//! The paper evaluates on SPEC2006, CRONO (graphs), STARBENCH (embedded)
+//! and NPB (scientific). We cannot ship those binaries, so each suite is
+//! represented by kernels that reproduce its *dominant microarchitectural
+//! behaviour class*: pointer chasing, strided streaming, data-dependent
+//! branches, CSR graph traversal, hashing, recursion, stencils, sparse
+//! algebra, and so on. DLA's benefits are a function of these behaviour
+//! classes, not of the trademarked source code.
+//!
+//! Every kernel is generated at three [`Scale`]s; `Train` uses a different
+//! data seed than `Ref`, so offline profiling (skeleton construction) is
+//! honest about train-vs-reference input drift, exactly like the paper's
+//! methodology ("we collect these statistics by executing the programs
+//! with training inputs").
+//!
+//! # Examples
+//!
+//! ```
+//! use r3dla_workloads::{suite, Scale, Suite};
+//! let all = suite();
+//! assert!(all.len() >= 16);
+//! let bfs = all.iter().find(|w| w.name == "bfs").unwrap();
+//! assert_eq!(bfs.suite, Suite::Crono);
+//! let built = bfs.build(Scale::Tiny);
+//! assert!(built.program.len() > 10);
+//! ```
+
+mod crono;
+mod npb;
+mod spec;
+mod star;
+
+use r3dla_isa::Program;
+
+/// The benchmark suite a kernel belongs to (paper §IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPEC2006-integer-like behaviour classes.
+    SpecInt,
+    /// CRONO-like graph workloads.
+    Crono,
+    /// STARBENCH-like embedded workloads.
+    Star,
+    /// NPB-like scientific workloads.
+    Npb,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Suite::SpecInt => "spec",
+            Suite::Crono => "crono",
+            Suite::Star => "star",
+            Suite::Npb => "npb",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Input scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Very small inputs for unit tests (tens of kilo-instructions).
+    Tiny,
+    /// Training inputs for offline profiling (different data seed).
+    Train,
+    /// Reference inputs for measurement.
+    Ref,
+}
+
+impl Scale {
+    /// The data-generation seed for this scale. `Train` differs from
+    /// `Ref` so profiling cannot cheat.
+    pub fn seed(self) -> u64 {
+        match self {
+            Scale::Tiny => 0x7157,
+            Scale::Train => 0x7261_696E,
+            Scale::Ref => 0x5245_4600,
+        }
+    }
+
+    /// A baseline size knob kernels scale from.
+    pub fn units(self) -> u64 {
+        match self {
+            Scale::Tiny => 1,
+            Scale::Train => 4,
+            Scale::Ref => 8,
+        }
+    }
+}
+
+/// A built workload: the program (code + initial data image).
+#[derive(Debug, Clone)]
+pub struct BuiltWorkload {
+    /// Kernel name.
+    pub name: String,
+    /// The program binary.
+    pub program: Program,
+}
+
+/// A workload descriptor.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Kernel name (stable identifier used in experiment output).
+    pub name: &'static str,
+    /// Owning suite.
+    pub suite: Suite,
+    build_fn: fn(Scale) -> Program,
+}
+
+impl Workload {
+    /// Builds the kernel at the given scale.
+    pub fn build(&self, scale: Scale) -> BuiltWorkload {
+        BuiltWorkload { name: self.name.to_string(), program: (self.build_fn)(scale) }
+    }
+}
+
+/// All workloads, grouped suite by suite.
+pub fn suite() -> Vec<Workload> {
+    let mut v = Vec::new();
+    macro_rules! w {
+        ($name:literal, $suite:expr, $f:path) => {
+            v.push(Workload { name: $name, suite: $suite, build_fn: $f });
+        };
+    }
+    // SPEC2006-int-like.
+    w!("mcf_like", Suite::SpecInt, spec::mcf_like);
+    w!("hmmer_like", Suite::SpecInt, spec::hmmer_like);
+    w!("libq_like", Suite::SpecInt, spec::libq_like);
+    w!("gobmk_like", Suite::SpecInt, spec::gobmk_like);
+    w!("sjeng_like", Suite::SpecInt, spec::sjeng_like);
+    w!("bzip2_like", Suite::SpecInt, spec::bzip2_like);
+    w!("astar_like", Suite::SpecInt, spec::astar_like);
+    w!("xalan_like", Suite::SpecInt, spec::xalan_like);
+    // CRONO-like graph kernels.
+    w!("bfs", Suite::Crono, crono::bfs);
+    w!("sssp", Suite::Crono, crono::sssp);
+    w!("pagerank", Suite::Crono, crono::pagerank);
+    w!("cc", Suite::Crono, crono::connected_components);
+    w!("tc", Suite::Crono, crono::triangle_count);
+    // STARBENCH-like embedded kernels.
+    w!("kmeans_like", Suite::Star, star::kmeans_like);
+    w!("md5_like", Suite::Star, star::md5_like);
+    w!("rgbyuv_like", Suite::Star, star::rgbyuv_like);
+    w!("rotate_like", Suite::Star, star::rotate_like);
+    // NPB-like scientific kernels.
+    w!("cg_like", Suite::Npb, npb::cg_like);
+    w!("mg_like", Suite::Npb, npb::mg_like);
+    w!("ft_like", Suite::Npb, npb::ft_like);
+    w!("is_like", Suite::Npb, npb::is_like);
+    w!("ep_like", Suite::Npb, npb::ep_like);
+    v
+}
+
+/// The workloads belonging to one suite.
+pub fn by_suite(s: Suite) -> Vec<Workload> {
+    suite().into_iter().filter(|w| w.suite == s).collect()
+}
+
+/// Finds a workload by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    suite().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r3dla_isa::{run, ArchState, VecMem};
+
+    #[test]
+    fn every_workload_builds_and_halts_functionally() {
+        for w in suite() {
+            let built = w.build(Scale::Tiny);
+            let prog = built.program;
+            let mut st = ArchState::new(prog.entry());
+            let mut mem = VecMem::new();
+            mem.load_image(prog.image());
+            let steps = run(&prog, &mut st, &mut mem, 50_000_000)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+            assert!(
+                steps > 5_000,
+                "{} too small at Tiny scale: {steps} dynamic instructions",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn scales_are_ordered_by_work() {
+        for name in ["libq_like", "bfs", "cg_like"] {
+            let w = by_name(name).unwrap();
+            let mut counts = Vec::new();
+            for s in [Scale::Tiny, Scale::Train, Scale::Ref] {
+                let built = w.build(s);
+                let mut st = ArchState::new(built.program.entry());
+                let mut mem = VecMem::new();
+                mem.load_image(built.program.image());
+                let steps =
+                    run(&built.program, &mut st, &mut mem, 200_000_000).expect("halts");
+                counts.push(steps);
+            }
+            assert!(counts[0] < counts[1] && counts[1] < counts[2], "{name}: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn train_and_ref_differ_in_data() {
+        // Same code shape, different data image (honest profiling).
+        let w = by_name("sjeng_like").unwrap();
+        let a = w.build(Scale::Train);
+        let b = w.build(Scale::Ref);
+        assert_ne!(a.program.image(), b.program.image());
+    }
+
+    #[test]
+    fn suites_are_nonempty() {
+        for s in [Suite::SpecInt, Suite::Crono, Suite::Star, Suite::Npb] {
+            assert!(by_suite(s).len() >= 4, "suite {s} too small");
+        }
+    }
+
+    #[test]
+    fn by_name_finds_and_rejects() {
+        assert!(by_name("pagerank").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+}

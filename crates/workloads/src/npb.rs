@@ -1,0 +1,284 @@
+//! NPB-like scientific kernels: sparse algebra (CG), stencils (MG),
+//! power-of-two butterflies (FT), integer sort (IS), and embarrassingly
+//! parallel random generation (EP).
+
+use r3dla_isa::{Asm, Program, Reg};
+use r3dla_stats::Rng;
+
+use crate::crono::generate_graph;
+use crate::Scale;
+
+const T0: Reg = Reg::int(10);
+const T1: Reg = Reg::int(11);
+const T2: Reg = Reg::int(12);
+const T3: Reg = Reg::int(13);
+const T4: Reg = Reg::int(14);
+const T5: Reg = Reg::int(15);
+const S0: Reg = Reg::int(18);
+const S1: Reg = Reg::int(19);
+const S2: Reg = Reg::int(20);
+const S3: Reg = Reg::int(21);
+
+/// `CG`-like: repeated sparse matrix-vector products (CSR gather with FP
+/// multiply-accumulate).
+pub fn cg_like(scale: Scale) -> Program {
+    let mut rng = Rng::new(scale.seed() ^ 0x6367_0000);
+    let n = (2048 * scale.units()) as usize;
+    let g = generate_graph(&mut rng, n, 7);
+    let iters = 3;
+    let mut a = Asm::named("cg_like");
+    let rp = a.data().words(&g.row_ptr);
+    let cl = a.data().words(&g.col);
+    let x = a.data().alloc_words(n);
+    let y = a.data().alloc_words(n);
+    for v in 0..n {
+        a.data().put_word(x + (v as u64) * 8, (1.0 + rng.f64()).to_bits());
+    }
+    let (facc, fval, fxv) = (Reg::fp(0), Reg::fp(1), Reg::fp(2));
+    a.li(S0, 0);
+    a.li(S1, iters);
+    a.label("iter");
+    a.li(S2, 0); // row
+    a.li(S3, n as i64);
+    a.label("row");
+    a.slli(T0, S2, 3);
+    a.li(T1, rp as i64);
+    a.add(T0, T0, T1);
+    a.ld(T1, T0, 0); // begin
+    a.ld(T2, T0, 8); // end
+    a.li(T3, 0);
+    a.cvtif(facc, T3); // acc = 0.0
+    a.label("nz");
+    a.bge(T1, T2, "store");
+    a.slli(T3, T1, 3);
+    a.li(T4, cl as i64);
+    a.add(T3, T3, T4);
+    a.ld(T3, T3, 0); // col j
+    // A[i][j] = 1/(1 + ((i^j)&7))  — deterministic value from indices
+    a.xor(T4, S2, T3);
+    a.andi(T4, T4, 7);
+    a.addi(T4, T4, 1);
+    a.cvtif(fval, T4);
+    a.li(fxv, 1.0f64.to_bits() as i64);
+    a.fdiv(fval, fxv, fval);
+    a.slli(T3, T3, 3);
+    a.li(T4, x as i64);
+    a.add(T3, T3, T4);
+    a.ld(fxv, T3, 0); // x[j] gather
+    a.fmul(fval, fval, fxv);
+    a.fadd(facc, facc, fval);
+    a.addi(T1, T1, 1);
+    a.j("nz");
+    a.label("store");
+    a.slli(T3, S2, 3);
+    a.li(T4, y as i64);
+    a.add(T3, T3, T4);
+    a.st(facc, T3, 0);
+    a.addi(S2, S2, 1);
+    a.blt(S2, S3, "row");
+    // x ← y (next iteration input)
+    a.li(T0, 0);
+    a.li(T1, n as i64);
+    a.label("copy");
+    a.slli(T2, T0, 3);
+    a.li(T3, y as i64);
+    a.add(T3, T3, T2);
+    a.ld(T4, T3, 0);
+    a.li(T3, x as i64);
+    a.add(T3, T3, T2);
+    a.st(T4, T3, 0);
+    a.addi(T0, T0, 1);
+    a.blt(T0, T1, "copy");
+    a.addi(S0, S0, 1);
+    a.blt(S0, S1, "iter");
+    a.halt();
+    a.finish().expect("cg_like assembles")
+}
+
+/// `MG`-like: repeated 3-point stencil sweeps over a 1-D grid (the
+/// multigrid smoother's memory behaviour).
+pub fn mg_like(scale: Scale) -> Program {
+    let mut rng = Rng::new(scale.seed() ^ 0x6D67_0000);
+    let u = scale.units();
+    let n = (8_192 * u) as usize;
+    let sweeps = 2;
+    let mut a = Asm::named("mg_like");
+    let grid = a.data().alloc_words(n);
+    let out = a.data().alloc_words(n);
+    for _ in 0..n / 16 {
+        let idx = rng.range_u64(0, n as u64);
+        a.data().put_word(grid + idx * 8, (rng.f64() * 8.0).to_bits());
+    }
+    let (fl, fc, fr, fq) = (Reg::fp(0), Reg::fp(1), Reg::fp(2), Reg::fp(3));
+    a.li(S0, 0);
+    a.li(S1, sweeps);
+    a.label("sweep");
+    a.li(T0, (grid + 8) as i64); // &grid[1]
+    a.li(T1, (grid + ((n - 1) as u64) * 8) as i64); // &grid[n-1]
+    a.li(T2, (out + 8) as i64);
+    a.label("cell");
+    a.ld(fl, T0, -8);
+    a.ld(fc, T0, 0);
+    a.ld(fr, T0, 8);
+    a.fadd(fl, fl, fr);
+    a.li(fq, 0.25f64.to_bits() as i64);
+    a.fmul(fl, fl, fq);
+    a.li(fq, 0.5f64.to_bits() as i64);
+    a.fmul(fc, fc, fq);
+    a.fadd(fc, fc, fl);
+    a.st(fc, T2, 0);
+    a.addi(T0, T0, 8);
+    a.addi(T2, T2, 8);
+    a.bltu(T0, T1, "cell");
+    // Copy out→grid for the next sweep (second unit-stride stream).
+    a.li(T0, grid as i64);
+    a.li(T1, out as i64);
+    a.li(T3, (grid + (n as u64) * 8) as i64);
+    a.label("copyback");
+    a.ld(T4, T1, 0);
+    a.st(T4, T0, 0);
+    a.addi(T0, T0, 8);
+    a.addi(T1, T1, 8);
+    a.bltu(T0, T3, "copyback");
+    a.addi(S0, S0, 1);
+    a.blt(S0, S1, "sweep");
+    a.halt();
+    a.finish().expect("mg_like assembles")
+}
+
+/// `FT`-like: butterfly passes with power-of-two strides (FFT memory
+/// behaviour: cache-set hostile, prefetcher-ambivalent).
+pub fn ft_like(scale: Scale) -> Program {
+    let mut rng = Rng::new(scale.seed() ^ 0x6674_0000);
+    let u = scale.units();
+    let log_n = 12 + u.ilog2() as usize; // 4K..32K points
+    let n = 1usize << log_n;
+    let mut a = Asm::named("ft_like");
+    let re = a.data().alloc_words(n);
+    for i in 0..n {
+        a.data().put_word(re + (i as u64) * 8, (rng.f64() - 0.5).to_bits());
+    }
+    let (fa, fb, fs) = (Reg::fp(0), Reg::fp(1), Reg::fp(2));
+    // for s in [1, 2, 4, ..., n/2]: for i in 0..n where (i & s) == 0:
+    //   a' = a + b; b' = (a - b) * 0.5
+    a.li(S0, 1); // stride
+    a.li(S1, n as i64);
+    a.label("pass");
+    a.li(T0, 0); // i
+    a.label("bf");
+    a.and_(T1, T0, S0);
+    a.bne(T1, Reg::ZERO, "skip");
+    a.slli(T2, T0, 3);
+    a.li(T3, re as i64);
+    a.add(T2, T2, T3);
+    a.ld(fa, T2, 0);
+    a.slli(T4, S0, 3);
+    a.add(T5, T2, T4);
+    a.ld(fb, T5, 0); // strided partner
+    a.fadd(fs, fa, fb);
+    a.st(fs, T2, 0);
+    a.fsub(fs, fa, fb);
+    a.li(fa, 0.5f64.to_bits() as i64);
+    a.fmul(fs, fs, fa);
+    a.st(fs, T5, 0);
+    a.label("skip");
+    a.addi(T0, T0, 1);
+    a.blt(T0, S1, "bf");
+    a.slli(S0, S0, 1);
+    a.blt(S0, S1, "pass");
+    a.halt();
+    a.finish().expect("ft_like assembles")
+}
+
+/// `IS`-like: integer bucket sort — histogram, prefix sum, scatter.
+pub fn is_like(scale: Scale) -> Program {
+    let mut rng = Rng::new(scale.seed() ^ 0x6973_0000);
+    let u = scale.units();
+    let n = (12_288 * u) as usize;
+    let buckets = 1024usize;
+    let mut a = Asm::named("is_like");
+    let keys = a.data().alloc_words(n);
+    for i in 0..n {
+        a.data().put_word(keys + (i as u64) * 8, rng.range_u64(0, buckets as u64));
+    }
+    let hist = a.data().alloc_words(buckets);
+    let outp = a.data().alloc_words(n);
+    // Phase 1: histogram.
+    a.li(S0, keys as i64);
+    a.li(S1, (keys + (n as u64) * 8) as i64);
+    a.li(S2, hist as i64);
+    a.label("h1");
+    a.ld(T0, S0, 0);
+    a.slli(T0, T0, 3);
+    a.add(T0, T0, S2);
+    a.ld(T1, T0, 0);
+    a.addi(T1, T1, 1);
+    a.st(T1, T0, 0);
+    a.addi(S0, S0, 8);
+    a.bltu(S0, S1, "h1");
+    // Phase 2: exclusive prefix sum.
+    a.li(T0, 0); // running
+    a.li(T1, 0); // b
+    a.li(T2, buckets as i64);
+    a.label("scan");
+    a.slli(T3, T1, 3);
+    a.add(T3, T3, S2);
+    a.ld(T4, T3, 0);
+    a.st(T0, T3, 0);
+    a.add(T0, T0, T4);
+    a.addi(T1, T1, 1);
+    a.blt(T1, T2, "scan");
+    // Phase 3: scatter.
+    a.li(S0, keys as i64);
+    a.li(S3, outp as i64);
+    a.label("scatter");
+    a.ld(T0, S0, 0); // key
+    a.slli(T1, T0, 3);
+    a.add(T1, T1, S2);
+    a.ld(T2, T1, 0); // position
+    a.addi(T3, T2, 1);
+    a.st(T3, T1, 0); // bump
+    a.slli(T2, T2, 3);
+    a.add(T2, T2, S3);
+    a.st(T0, T2, 0); // out[pos] = key (scatter store)
+    a.addi(S0, S0, 8);
+    a.bltu(S0, S1, "scatter");
+    a.halt();
+    a.finish().expect("is_like assembles")
+}
+
+/// `EP`-like: embarrassingly parallel pseudo-random FP accumulation —
+/// compute bound, almost no memory traffic.
+pub fn ep_like(scale: Scale) -> Program {
+    let u = scale.units();
+    let samples = 5_000 * u;
+    let mut a = Asm::named("ep_like");
+    let (fx, fy, fs, fone) = (Reg::fp(0), Reg::fp(1), Reg::fp(2), Reg::fp(3));
+    a.li(S0, 0x2545F4914F6CDD1Du64 as i64); // rng state
+    a.li(S1, 0);
+    a.li(S2, samples as i64);
+    a.li(T5, 0);
+    a.cvtif(fs, T5);
+    a.li(fone, 1.0f64.to_bits() as i64);
+    a.label("sample");
+    // xorshift64*
+    a.srli(T0, S0, 12);
+    a.xor(S0, S0, T0);
+    a.slli(T0, S0, 25);
+    a.xor(S0, S0, T0);
+    a.srli(T0, S0, 27);
+    a.xor(S0, S0, T0);
+    // two uniform doubles from the state
+    a.srli(T1, S0, 12);
+    a.cvtif(fx, T1);
+    a.srli(T2, S0, 24);
+    a.cvtif(fy, T2);
+    a.fadd(fx, fx, fone);
+    a.fdiv(fy, fy, fx); // ratio in (0, ~4k)
+    a.fmul(fy, fy, fy);
+    a.fadd(fs, fs, fy);
+    a.addi(S1, S1, 1);
+    a.blt(S1, S2, "sample");
+    a.halt();
+    a.finish().expect("ep_like assembles")
+}

@@ -1,0 +1,447 @@
+//! SPEC2006-integer-like kernels: one per dominant behaviour class of the
+//! integer suite (pointer chasing, DP loops, streaming, recursion, hash
+//! probing, histograms, grid search, indirect dispatch).
+
+use r3dla_isa::{Asm, Program, Reg};
+use r3dla_stats::Rng;
+
+use crate::Scale;
+
+const T0: Reg = Reg::int(10);
+const T1: Reg = Reg::int(11);
+const T2: Reg = Reg::int(12);
+const T3: Reg = Reg::int(13);
+const T4: Reg = Reg::int(14);
+const T5: Reg = Reg::int(15);
+const T6: Reg = Reg::int(16);
+const T7: Reg = Reg::int(17);
+const S0: Reg = Reg::int(18);
+const S1: Reg = Reg::int(19);
+const S2: Reg = Reg::int(20);
+const S3: Reg = Reg::int(21);
+const S4: Reg = Reg::int(22);
+
+/// `mcf`-like: pointer chasing over a shuffled arc list with cost updates
+/// — the canonical memory-latency-bound integer workload.
+pub fn mcf_like(scale: Scale) -> Program {
+    let mut rng = Rng::new(scale.seed() ^ 0x6D63_6600);
+    let u = scale.units();
+    let nodes = (16_384 * u) as usize; // 3 words each: next, cost, flag
+    let steps = 9_000 * u;
+    let mut a = Asm::named("mcf_like");
+    let base = a.data().alloc_words(nodes * 3);
+    // Sattolo's algorithm: a single-cycle permutation, so the chase
+    // visits every record before repeating (no degenerate short cycles).
+    let mut perm: Vec<u64> = (0..nodes as u64).collect();
+    for i in (1..nodes).rev() {
+        let j = rng.range_usize(0, i);
+        perm.swap(i, j);
+    }
+    for (i, &p) in perm.iter().enumerate() {
+        let rec = base + (i as u64) * 24;
+        a.data().put_word(rec, base + p * 24); // next pointer
+        a.data().put_word(rec + 8, rng.range_u64(0, 1000)); // cost
+        if rng.chance(0.1) {
+            a.data().put_word(rec + 16, 1); // flag
+        }
+    }
+    // cur = base; acc = 0; for step in 0..steps { ... }
+    a.li(S0, base as i64); // cur
+    a.li(S1, 0); // acc
+    a.li(S2, 0); // step
+    a.li(S3, steps as i64);
+    a.label("chase");
+    a.ld(T0, S0, 8); // cost
+    a.ld(T1, S0, 16); // flag
+    a.beq(T1, Reg::ZERO, "no_update");
+    a.addi(T0, T0, 7);
+    a.st(T0, S0, 8); // update cost on flagged arcs
+    a.label("no_update");
+    a.andi(T2, T0, 1);
+    a.beq(T2, Reg::ZERO, "even");
+    a.add(S1, S1, T0);
+    a.j("next");
+    a.label("even");
+    a.sub(S1, S1, T0);
+    a.label("next");
+    a.ld(S0, S0, 0); // follow the pointer (serialising load)
+    a.addi(S2, S2, 1);
+    a.blt(S2, S3, "chase");
+    a.halt();
+    a.finish().expect("mcf_like assembles")
+}
+
+/// `hmmer`-like: a Viterbi-style dynamic-programming inner loop — strided
+/// loads, predictable branches, high ILP.
+pub fn hmmer_like(scale: Scale) -> Program {
+    let mut rng = Rng::new(scale.seed() ^ 0x686D_6D00);
+    let u = scale.units();
+    let cols = (512 * u) as usize;
+    let rows = 16;
+    let mut a = Asm::named("hmmer_like");
+    let mm = a.data().alloc_words(cols);
+    let dd = a.data().alloc_words(cols);
+    let sc = a.data().alloc_words(cols);
+    for j in 0..cols {
+        a.data().put_word(sc + (j as u64) * 8, rng.range_u64(0, 64));
+    }
+    a.li(S0, 0); // row
+    a.li(S1, rows as i64);
+    a.label("row");
+    a.li(T0, 1); // j
+    a.li(T1, cols as i64);
+    a.label("col");
+    a.slli(T2, T0, 3);
+    a.li(T3, mm as i64);
+    a.add(T3, T3, T2);
+    a.ld(T4, T3, -8); // m[j-1]
+    a.li(T5, dd as i64);
+    a.add(T5, T5, T2);
+    a.ld(T6, T5, -8); // d[j-1]
+    a.li(T7, sc as i64);
+    a.add(T7, T7, T2);
+    a.ld(T7, T7, 0); // sc[j]
+    a.add(T4, T4, T7); // m-path score
+    a.addi(T6, T6, 3); // d-path score
+    a.blt(T4, T6, "take_d");
+    a.st(T4, T3, 0);
+    a.j("stored");
+    a.label("take_d");
+    a.st(T6, T3, 0);
+    a.label("stored");
+    a.srli(T7, T4, 1);
+    a.st(T7, T5, 0); // d[j] = m-path / 2
+    a.addi(T0, T0, 1);
+    a.blt(T0, T1, "col");
+    a.addi(S0, S0, 1);
+    a.blt(S0, S1, "row");
+    a.halt();
+    a.finish().expect("hmmer_like assembles")
+}
+
+/// `libquantum`-like: long unit-stride sweeps over a large array with a
+/// biased conditional toggle — the prefetcher-friendly streaming class.
+pub fn libq_like(scale: Scale) -> Program {
+    let u = scale.units();
+    let n = (32_768 * u) as usize;
+    let sweeps = 3;
+    let mut a = Asm::named("libq_like");
+    let arr = a.data().alloc_words(n);
+    a.li(S0, 0); // sweep
+    a.li(S1, sweeps);
+    a.label("sweep");
+    a.li(T0, arr as i64);
+    a.li(T1, (arr + (n as u64) * 8) as i64);
+    a.label("elem");
+    a.ld(T2, T0, 0);
+    a.andi(T3, T2, 2);
+    a.beq(T3, Reg::ZERO, "skip");
+    a.xori(T2, T2, 1); // toggle control bit
+    a.st(T2, T0, 0);
+    a.label("skip");
+    a.addi(T2, T2, 1);
+    a.st(T2, T0, 0);
+    a.addi(T0, T0, 8);
+    a.bltu(T0, T1, "elem");
+    a.addi(S0, S0, 1);
+    a.blt(S0, S1, "sweep");
+    a.halt();
+    a.finish().expect("libq_like assembles")
+}
+
+/// `gobmk`-like: recursive game-tree walk with branchy evaluation — the
+/// call-heavy, hard-to-predict class (also the paper's recursive-function
+/// loop-detection case).
+pub fn gobmk_like(scale: Scale) -> Program {
+    let mut rng = Rng::new(scale.seed() ^ 0x676F_0000);
+    let u = scale.units();
+    let board = 4096usize;
+    let games = 24 * u;
+    let depth = 12;
+    let mut a = Asm::named("gobmk_like");
+    let cells = a.data().alloc_words(board);
+    for i in 0..board {
+        a.data().put_word(cells + (i as u64) * 8, rng.range_u64(0, 256));
+    }
+    // main: for g in 0..games { r10 = g*2654435761 % board; r11 = depth; call eval; acc += r12 }
+    a.li(S0, 0);
+    a.li(S1, games as i64);
+    a.li(S2, 0); // acc
+    a.label("game");
+    a.li(T0, 2654435761);
+    a.mul(T0, S0, T0);
+    a.li(T1, board as i64);
+    a.rem(T0, T0, T1); // position
+    a.li(T1, depth);
+    a.call("eval");
+    a.add(S2, S2, T2);
+    a.addi(S0, S0, 1);
+    a.blt(S0, S1, "game");
+    a.halt();
+    // eval(pos=T0, depth=T1) -> T2
+    a.label("eval");
+    a.addi(Reg::SP, Reg::SP, -32);
+    a.st(Reg::RA, Reg::SP, 0);
+    a.st(T0, Reg::SP, 8);
+    a.st(T1, Reg::SP, 16);
+    // score = cells[pos]
+    a.slli(T2, T0, 3);
+    a.li(T3, cells as i64);
+    a.add(T3, T3, T2);
+    a.ld(T2, T3, 0);
+    a.beq(T1, Reg::ZERO, "leaf");
+    // branchy: explore 1 or 2 children depending on score bits
+    a.andi(T4, T2, 3);
+    a.beq(T4, Reg::ZERO, "leaf"); // prune
+    // child A: pos' = (pos*31+7) % board, depth-1
+    a.li(T5, 31);
+    a.mul(T0, T0, T5);
+    a.addi(T0, T0, 7);
+    a.li(T5, board as i64);
+    a.rem(T0, T0, T5);
+    a.addi(T1, T1, -1);
+    a.call("eval");
+    a.st(T2, Reg::SP, 24); // save child A score
+    // maybe child B
+    a.ld(T0, Reg::SP, 8);
+    a.ld(T1, Reg::SP, 16);
+    a.slli(T3, T0, 3);
+    a.li(T4, cells as i64);
+    a.add(T4, T4, T3);
+    a.ld(T3, T4, 0);
+    a.andi(T4, T3, 4);
+    a.beq(T4, Reg::ZERO, "one_child");
+    a.li(T5, 17);
+    a.mul(T0, T0, T5);
+    a.addi(T0, T0, 3);
+    a.li(T5, board as i64);
+    a.rem(T0, T0, T5);
+    a.addi(T1, T1, -1);
+    a.call("eval");
+    a.ld(T3, Reg::SP, 24);
+    a.blt(T2, T3, "keep_b");
+    a.mv(T2, T3); // min of the two
+    a.label("keep_b");
+    a.j("unwind");
+    a.label("one_child");
+    a.ld(T2, Reg::SP, 24);
+    a.label("unwind");
+    a.ld(T3, Reg::SP, 8);
+    a.andi(T3, T3, 7);
+    a.add(T2, T2, T3);
+    a.label("leaf");
+    a.ld(Reg::RA, Reg::SP, 0);
+    a.addi(Reg::SP, Reg::SP, 32);
+    a.ret();
+    a.finish().expect("gobmk_like assembles")
+}
+
+/// `sjeng`-like: transposition-table probing — pseudo-random indexed
+/// loads with data-dependent branches (cache-hostile, predictor-hostile).
+pub fn sjeng_like(scale: Scale) -> Program {
+    let mut rng = Rng::new(scale.seed() ^ 0x736A_0000);
+    let u = scale.units();
+    let table_bits = 13 + u.ilog2() as i64; // 8K..64K entries of 2 words
+    let table = 1usize << table_bits;
+    let probes = 12_000 * u;
+    let mut a = Asm::named("sjeng_like");
+    let tbl = a.data().alloc_words(table * 2);
+    for i in 0..table {
+        if rng.chance(0.5) {
+            a.data().put_word(tbl + (i as u64) * 16, rng.next_u64() | 1);
+            a.data().put_word(tbl + (i as u64) * 16 + 8, rng.range_u64(0, 100));
+        }
+    }
+    a.li(S0, 0x9E3779B97F4A7C15u64 as i64); // hash state
+    a.li(S1, 0); // i
+    a.li(S2, probes as i64);
+    a.li(S3, 0); // hits
+    a.label("probe");
+    // xorshift hash step
+    a.srli(T0, S0, 13);
+    a.xor(S0, S0, T0);
+    a.slli(T0, S0, 7);
+    a.xor(S0, S0, T0);
+    a.srli(T0, S0, 17);
+    a.xor(S0, S0, T0);
+    // index = (hash >> 4) & (table-1)
+    a.srli(T1, S0, 4);
+    a.andi(T1, T1, (table - 1) as i64);
+    a.slli(T1, T1, 4); // ×16 bytes
+    a.li(T2, tbl as i64);
+    a.add(T2, T2, T1);
+    a.ld(T3, T2, 0); // key
+    a.beq(T3, Reg::ZERO, "miss");
+    a.ld(T4, T2, 8); // payload
+    a.add(S3, S3, T4);
+    a.andi(T5, T4, 1);
+    a.beq(T5, Reg::ZERO, "nostore");
+    a.addi(T4, T4, 1);
+    a.st(T4, T2, 8);
+    a.label("nostore");
+    a.label("miss");
+    a.addi(S1, S1, 1);
+    a.blt(S1, S2, "probe");
+    a.halt();
+    a.finish().expect("sjeng_like assembles")
+}
+
+/// `bzip2`-like: byte histogram with range-classified branches — the
+/// data-dependent-branch compression class.
+pub fn bzip2_like(scale: Scale) -> Program {
+    let mut rng = Rng::new(scale.seed() ^ 0x627A_0000);
+    let u = scale.units();
+    let n = (16_384 * u) as usize;
+    let mut a = Asm::named("bzip2_like");
+    let input = a.data().alloc_words(n);
+    for i in 0..n {
+        // Skewed byte distribution, like real text.
+        let b = if rng.chance(0.6) { rng.range_u64(97, 123) } else { rng.range_u64(0, 256) };
+        a.data().put_word(input + (i as u64) * 8, b);
+    }
+    let hist = a.data().alloc_words(256);
+    a.li(S0, input as i64);
+    a.li(S1, (input + (n as u64) * 8) as i64);
+    a.li(S2, hist as i64);
+    a.li(S3, 0); // letters seen
+    a.label("byte");
+    a.ld(T0, S0, 0);
+    a.slli(T1, T0, 3);
+    a.add(T1, T1, S2);
+    a.ld(T2, T1, 0);
+    a.addi(T2, T2, 1);
+    a.st(T2, T1, 0); // hist[b]++
+    a.slti(T3, T0, 97);
+    a.bne(T3, Reg::ZERO, "not_lower");
+    a.slti(T3, T0, 123);
+    a.beq(T3, Reg::ZERO, "not_lower");
+    a.addi(S3, S3, 1);
+    a.label("not_lower");
+    a.addi(S0, S0, 8);
+    a.bltu(S0, S1, "byte");
+    a.halt();
+    a.finish().expect("bzip2_like assembles")
+}
+
+/// `astar`-like: greedy descent over a 2-D cost grid — semi-local,
+/// data-dependent addressing with branchy minimum selection.
+pub fn astar_like(scale: Scale) -> Program {
+    let mut rng = Rng::new(scale.seed() ^ 0x6173_0000);
+    let u = scale.units();
+    let w = 128usize * (u as usize); // grid width
+    let cells = w * w;
+    let moves = 9_000 * u;
+    let mut a = Asm::named("astar_like");
+    let grid = a.data().alloc_words(cells);
+    for i in 0..cells {
+        a.data().put_word(grid + (i as u64) * 8, rng.range_u64(1, 1 << 20));
+    }
+    let wmask = (w - 1) as i64;
+    a.li(S0, (cells / 2) as i64); // position index
+    a.li(S1, 0); // step
+    a.li(S2, moves as i64);
+    a.li(S3, grid as i64);
+    a.li(S4, 0); // path cost acc
+    a.label("step");
+    // Load 4 neighbours (±1, ±w) with wraparound via masking.
+    a.andi(T0, S0, wmask); // x
+    a.srli(T1, S0, w.trailing_zeros() as i64); // y
+    // east: x+1 (mod w)
+    a.addi(T2, T0, 1);
+    a.andi(T2, T2, wmask);
+    a.slli(T3, T1, w.trailing_zeros() as i64);
+    a.add(T2, T2, T3);
+    a.slli(T2, T2, 3);
+    a.add(T2, T2, S3);
+    a.ld(T2, T2, 0); // east cost
+    // south: y+1 (mod w)
+    a.addi(T4, T1, 1);
+    a.andi(T4, T4, wmask);
+    a.slli(T4, T4, w.trailing_zeros() as i64);
+    a.add(T4, T4, T0);
+    a.slli(T4, T4, 3);
+    a.add(T4, T4, S3);
+    a.ld(T4, T4, 0); // south cost
+    // pick cheaper; move there
+    a.bltu(T2, T4, "go_east");
+    // go south
+    a.addi(T5, T1, 1);
+    a.andi(T5, T5, wmask);
+    a.slli(T5, T5, w.trailing_zeros() as i64);
+    a.add(S0, T5, T0);
+    a.add(S4, S4, T4);
+    a.j("moved");
+    a.label("go_east");
+    a.addi(T5, T0, 1);
+    a.andi(T5, T5, wmask);
+    a.slli(T6, T1, w.trailing_zeros() as i64);
+    a.add(S0, T6, T5);
+    a.add(S4, S4, T2);
+    a.label("moved");
+    // Perturb the grid so the walk does not cycle degenerately.
+    a.slli(T6, S0, 3);
+    a.add(T6, T6, S3);
+    a.ld(T7, T6, 0);
+    a.addi(T7, T7, 13);
+    a.st(T7, T6, 0);
+    a.addi(S1, S1, 1);
+    a.blt(S1, S2, "step");
+    a.halt();
+    a.finish().expect("astar_like assembles")
+}
+
+/// `xalancbmk`-like: a tokenized document processed through an indirect
+/// dispatch table — the virtual-call/switch class (indirect branches).
+pub fn xalan_like(scale: Scale) -> Program {
+    let mut rng = Rng::new(scale.seed() ^ 0x7861_0000);
+    let u = scale.units();
+    let tokens = (6_000 * u) as usize;
+    let handlers = 8;
+    let mut a = Asm::named("xalan_like");
+    let stream = a.data().alloc_words(tokens);
+    for i in 0..tokens {
+        // Skewed handler popularity, like real markup.
+        let t = if rng.chance(0.5) { 0 } else { rng.range_u64(1, handlers) };
+        a.data().put_word(stream + (i as u64) * 8, t);
+    }
+    let table = a.data().alloc_words(handlers as usize);
+    for h in 0..handlers {
+        a.put_label_addr(table + h * 8, format!("h{h}"));
+    }
+    a.li(S0, stream as i64);
+    a.li(S1, (stream + (tokens as u64) * 8) as i64);
+    a.li(S2, table as i64);
+    a.li(S3, 0); // acc
+    a.label("tok");
+    a.ld(T0, S0, 0); // token type
+    a.slli(T1, T0, 3);
+    a.add(T1, T1, S2);
+    a.ld(T1, T1, 0); // handler address
+    a.callr(T1); // indirect call
+    a.addi(S0, S0, 8);
+    a.bltu(S0, S1, "tok");
+    a.halt();
+    for h in 0..handlers {
+        a.label(format!("h{h}"));
+        // Each handler does distinct small work on the accumulator.
+        match h % 4 {
+            0 => {
+                a.addi(S3, S3, h as i64 + 1);
+            }
+            1 => {
+                a.slli(T2, S3, 1);
+                a.xor(S3, S3, T2);
+            }
+            2 => {
+                a.srli(T2, S3, 3);
+                a.add(S3, S3, T2);
+            }
+            _ => {
+                a.xori(S3, S3, 0x5A);
+                a.addi(S3, S3, 7);
+            }
+        }
+        a.ret();
+    }
+    a.finish().expect("xalan_like assembles")
+}

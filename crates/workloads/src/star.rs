@@ -1,0 +1,215 @@
+//! STARBENCH-like embedded kernels: clustering, hashing, colour-space
+//! conversion and image rotation.
+
+use r3dla_isa::{Asm, Program, Reg};
+use r3dla_stats::Rng;
+
+use crate::Scale;
+
+const T0: Reg = Reg::int(10);
+const T1: Reg = Reg::int(11);
+const T2: Reg = Reg::int(12);
+const T3: Reg = Reg::int(13);
+const T4: Reg = Reg::int(14);
+const T5: Reg = Reg::int(15);
+const S0: Reg = Reg::int(18);
+const S1: Reg = Reg::int(19);
+const S2: Reg = Reg::int(20);
+const S3: Reg = Reg::int(21);
+const S4: Reg = Reg::int(22);
+
+/// `kmeans`-like: nearest-centroid assignment over 2-D points — FP
+/// distance math with a branchy arg-min.
+pub fn kmeans_like(scale: Scale) -> Program {
+    let mut rng = Rng::new(scale.seed() ^ 0x6B6D_0000);
+    let u = scale.units();
+    let points = (3_000 * u) as usize;
+    let k = 8usize;
+    let mut a = Asm::named("kmeans_like");
+    let px = a.data().alloc_words(points * 2); // interleaved x, y
+    for i in 0..points * 2 {
+        a.data()
+            .put_word(px + (i as u64) * 8, (rng.f64() * 100.0).to_bits());
+    }
+    let cx = a.data().alloc_words(k * 2);
+    for i in 0..k * 2 {
+        a.data()
+            .put_word(cx + (i as u64) * 8, (rng.f64() * 100.0).to_bits());
+    }
+    let assign = a.data().alloc_words(points);
+    let (fx, fy, fcx, fcy, fd, fbest) = (
+        Reg::fp(0),
+        Reg::fp(1),
+        Reg::fp(2),
+        Reg::fp(3),
+        Reg::fp(4),
+        Reg::fp(5),
+    );
+    a.li(S0, 0); // point index
+    a.li(S1, points as i64);
+    a.label("point");
+    a.slli(T0, S0, 4); // ×16 (two words)
+    a.li(T1, px as i64);
+    a.add(T0, T0, T1);
+    a.ld(fx, T0, 0);
+    a.ld(fy, T0, 8);
+    a.li(fbest, f64::MAX.to_bits() as i64);
+    a.li(S2, 0); // best k
+    a.li(T2, 0); // k index
+    a.li(T3, k as i64);
+    a.label("cent");
+    a.slli(T4, T2, 4);
+    a.li(T5, cx as i64);
+    a.add(T4, T4, T5);
+    a.ld(fcx, T4, 0);
+    a.ld(fcy, T4, 8);
+    a.fsub(fcx, fx, fcx);
+    a.fmul(fcx, fcx, fcx);
+    a.fsub(fcy, fy, fcy);
+    a.fmul(fcy, fcy, fcy);
+    a.fadd(fd, fcx, fcy);
+    a.flt(T4, fd, fbest);
+    a.beq(T4, Reg::ZERO, "not_better");
+    a.mv(fbest, fd); // bitwise copy of the f64
+    a.mv(S2, T2);
+    a.label("not_better");
+    a.addi(T2, T2, 1);
+    a.blt(T2, T3, "cent");
+    a.slli(T4, S0, 3);
+    a.li(T5, assign as i64);
+    a.add(T4, T4, T5);
+    a.st(S2, T4, 0);
+    a.addi(S0, S0, 1);
+    a.blt(S0, S1, "point");
+    a.halt();
+    a.finish().expect("kmeans_like assembles")
+}
+
+/// `md5`-like: a long serial chain of mixing rounds — low-ILP ALU work
+/// with perfect branch behaviour.
+pub fn md5_like(scale: Scale) -> Program {
+    let mut rng = Rng::new(scale.seed() ^ 0x6D64_0000);
+    let u = scale.units();
+    let blocks = (1_500 * u) as usize;
+    let mut a = Asm::named("md5_like");
+    let msg = a.data().alloc_words(blocks);
+    for i in 0..blocks {
+        a.data().put_word(msg + (i as u64) * 8, rng.next_u64());
+    }
+    // state in S1..S4
+    a.li(S1, 0x6745_2301);
+    a.li(S2, 0xEFCD_AB89u32 as i64);
+    a.li(S3, 0x98BA_DCFEu32 as i64);
+    a.li(S4, 0x1032_5476);
+    a.li(S0, msg as i64);
+    a.li(T5, (msg + (blocks as u64) * 8) as i64);
+    a.label("block");
+    a.ld(T0, S0, 0);
+    // Four dependent mixing rounds per block.
+    for round in 0..4 {
+        a.xor(T1, S2, S3);
+        a.and_(T1, T1, S4);
+        a.add(S1, S1, T1);
+        a.add(S1, S1, T0);
+        a.slli(T2, S1, 7 + round);
+        a.srli(T3, S1, 57 - round);
+        a.or_(S1, T2, T3); // rotate
+        a.add(S1, S1, S2);
+        // rotate the state registers
+        a.mv(T4, S4);
+        a.mv(S4, S3);
+        a.mv(S3, S2);
+        a.mv(S2, S1);
+        a.mv(S1, T4);
+    }
+    a.addi(S0, S0, 8);
+    a.bltu(S0, T5, "block");
+    a.halt();
+    a.finish().expect("md5_like assembles")
+}
+
+/// `rgbyuv`-like: streaming colour conversion — unit-stride FP loads,
+/// multiply-accumulate, stores (the classic SIMD-friendly stream).
+pub fn rgbyuv_like(scale: Scale) -> Program {
+    let mut rng = Rng::new(scale.seed() ^ 0x7267_0000);
+    let u = scale.units();
+    let pixels = (8_000 * u) as usize;
+    let mut a = Asm::named("rgbyuv_like");
+    let rgb = a.data().alloc_words(pixels * 3);
+    for i in 0..pixels * 3 {
+        a.data()
+            .put_word(rgb + (i as u64) * 8, (rng.f64() * 255.0).to_bits());
+    }
+    let yout = a.data().alloc_words(pixels);
+    let (fr, fg, fb, fy, fc) = (Reg::fp(0), Reg::fp(1), Reg::fp(2), Reg::fp(3), Reg::fp(4));
+    a.li(S0, 0);
+    a.li(S1, pixels as i64);
+    a.label("pix");
+    a.slli(T0, S0, 3);
+    a.li(T1, 3);
+    a.mul(T2, T0, T1); // ×3 words
+    a.li(T1, rgb as i64);
+    a.add(T2, T2, T1);
+    a.ld(fr, T2, 0);
+    a.ld(fg, T2, 8);
+    a.ld(fb, T2, 16);
+    a.li(fc, 0.299f64.to_bits() as i64);
+    a.fmul(fy, fr, fc);
+    a.li(fc, 0.587f64.to_bits() as i64);
+    a.fmul(fg, fg, fc);
+    a.fadd(fy, fy, fg);
+    a.li(fc, 0.114f64.to_bits() as i64);
+    a.fmul(fb, fb, fc);
+    a.fadd(fy, fy, fb);
+    a.li(T1, yout as i64);
+    a.add(T1, T1, T0);
+    a.st(fy, T1, 0);
+    a.addi(S0, S0, 1);
+    a.blt(S0, S1, "pix");
+    a.halt();
+    a.finish().expect("rgbyuv_like assembles")
+}
+
+/// `rotate`-like: matrix transpose — column-strided reads against
+/// row-major storage (cache-set-conflict heavy).
+pub fn rotate_like(scale: Scale) -> Program {
+    let mut rng = Rng::new(scale.seed() ^ 0x726F_0000);
+    let dim = match scale {
+        Scale::Tiny => 64usize,
+        Scale::Train => 160,
+        Scale::Ref => 224,
+    };
+    let mut a = Asm::named("rotate_like");
+    let src = a.data().alloc_words(dim * dim);
+    for _ in 0..(dim * dim / 7) {
+        let idx = rng.range_u64(0, (dim * dim) as u64);
+        a.data().put_word(src + idx * 8, rng.next_u64());
+    }
+    let dst = a.data().alloc_words(dim * dim);
+    a.li(S0, 0); // i (row of src)
+    a.li(S1, dim as i64);
+    a.label("row");
+    a.li(S2, 0); // j
+    a.label("col");
+    // dst[j][dim-1-i] = src[i][j]
+    a.mul(T0, S0, S1);
+    a.add(T0, T0, S2);
+    a.slli(T0, T0, 3);
+    a.li(T1, src as i64);
+    a.add(T0, T0, T1);
+    a.ld(T2, T0, 0);
+    a.mul(T3, S2, S1);
+    a.addi(T4, S1, -1);
+    a.sub(T4, T4, S0);
+    a.add(T3, T3, T4);
+    a.slli(T3, T3, 3);
+    a.li(T1, dst as i64);
+    a.add(T3, T3, T1);
+    a.st(T2, T3, 0);
+    a.addi(S2, S2, 1);
+    a.blt(S2, S1, "col");
+    a.addi(S0, S0, 1);
+    a.blt(S0, S1, "row");
+    a.halt();
+    a.finish().expect("rotate_like assembles")
+}

@@ -1,0 +1,44 @@
+//! Graph analytics under look-ahead: runs the CRONO-like suite (BFS,
+//! SSSP, PageRank, connected components, triangle counting) on baseline
+//! vs DLA vs R3-DLA — the irregular-gather workloads the paper's
+//! introduction motivates.
+//!
+//! ```sh
+//! cargo run --release --example graph_analytics
+//! ```
+
+use r3dla::core::{DlaConfig, DlaSystem, SingleCoreSim, SkeletonOptions};
+use r3dla::cpu::CoreConfig;
+use r3dla::mem::MemConfig;
+use r3dla::workloads::{by_suite, Scale, Suite};
+
+fn main() {
+    println!("| kernel | BL IPC | DLA IPC | R3 IPC | R3 speedup | LT/MT insts |");
+    println!("|---|---|---|---|---|---|");
+    for w in by_suite(Suite::Crono) {
+        let built = w.build(Scale::Train);
+        let mut bl = SingleCoreSim::build(
+            &built,
+            CoreConfig::paper(),
+            MemConfig::paper(),
+            None,
+            Some("bop"),
+        );
+        let (bl_ipc, _, _) = bl.measure(15_000, 60_000);
+        let mut dla = DlaSystem::build(&built, DlaConfig::dla(), SkeletonOptions::default())
+            .expect("builds");
+        let d = dla.measure(15_000, 60_000);
+        let mut r3 = DlaSystem::build(&built, DlaConfig::r3(), SkeletonOptions::default())
+            .expect("builds");
+        let r = r3.measure(15_000, 60_000);
+        println!(
+            "| {} | {:.3} | {:.3} | {:.3} | {:.2}x | {:.2} |",
+            w.name,
+            bl_ipc,
+            d.mt_ipc,
+            r.mt_ipc,
+            r.mt_ipc / bl_ipc.max(1e-9),
+            r.lt_committed as f64 / r.mt_committed.max(1) as f64,
+        );
+    }
+}

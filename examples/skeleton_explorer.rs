@@ -1,0 +1,51 @@
+//! Skeleton explorer: shows what the offline analysis (paper Appendix A)
+//! produces for a kernel — per-version densities, T1 offload marks,
+//! prefetch payloads, bias conversions, and an annotated disassembly of
+//! the default skeleton.
+//!
+//! ```sh
+//! cargo run --release --example skeleton_explorer -- mcf_like
+//! ```
+
+use std::rc::Rc;
+
+use r3dla::core::{generate_skeletons, profile, Dataflow, SkeletonOptions};
+use r3dla::workloads::{by_name, Scale};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "mcf_like".into());
+    let wl = by_name(&name).expect("known workload").build(Scale::Train);
+    let program = Rc::new(wl.program.clone());
+    let df = Dataflow::analyze(&program);
+    let prof = profile(&program, 1_000_000);
+    let set = generate_skeletons(&program, &df, &prof, &SkeletonOptions::default(), true);
+
+    println!("== {name}: {} static instructions ==\n", program.len());
+    println!("| version | static density | dynamic weight | prefetch payloads | bias conversions |");
+    println!("|---|---|---|---|---|");
+    for sk in &set.versions {
+        println!(
+            "| {} | {:.2} | {:.2} | {} | {} |",
+            sk.name,
+            sk.density(),
+            sk.dynamic_weight(&prof),
+            sk.prefetch_only.iter().filter(|&&x| x).count(),
+            sk.bias_override.len(),
+        );
+    }
+    let sk = &set.versions[0];
+    println!("\n== default skeleton, annotated ==");
+    println!("(KEEP = on skeleton, PF = prefetch payload, S = T1-offloaded, . = deleted)\n");
+    for (i, inst) in program.insts().iter().enumerate() {
+        let mark = if sk.sbits[i] {
+            "S "
+        } else if sk.prefetch_only[i] {
+            "PF"
+        } else if sk.mask[i] {
+            "KEEP"
+        } else {
+            "."
+        };
+        println!("{:>4} {:5} {}", i, mark, inst);
+    }
+}

@@ -1,0 +1,45 @@
+//! SMT turbo-boosting (paper §IV-B3): compares a half-core, the full wide
+//! core, R3-DLA on two half-cores, and two-copy SMT throughput.
+//!
+//! ```sh
+//! cargo run --release --example smt_turbo
+//! ```
+
+use r3dla::core::{DlaConfig, DlaSystem, SingleCoreSim, SkeletonOptions};
+use r3dla::cpu::CoreConfig;
+use r3dla::mem::MemConfig;
+use r3dla::workloads::{by_name, Scale};
+use r3dla_bench::measure_smt;
+
+fn main() {
+    let wl = by_name("bzip2_like").expect("known workload").build(Scale::Train);
+    let mut hc = SingleCoreSim::build(
+        &wl,
+        CoreConfig::half_core(),
+        MemConfig::paper(),
+        None,
+        Some("bop"),
+    );
+    let (hc_ipc, _, _) = hc.measure(15_000, 60_000);
+    let mut fc = SingleCoreSim::build(
+        &wl,
+        CoreConfig::wide_smt(),
+        MemConfig::paper(),
+        None,
+        Some("bop"),
+    );
+    let (fc_ipc, _, _) = fc.measure(15_000, 60_000);
+    let mut cfg = DlaConfig::r3();
+    cfg.mt_core = CoreConfig::half_core();
+    cfg.mt_core.fetch_buffer = 32;
+    let mut lt = CoreConfig::half_core();
+    lt.fetch_masks = true;
+    cfg.lt_core = lt;
+    let mut r3 = DlaSystem::build(&wl, cfg, SkeletonOptions::default()).expect("builds");
+    let r3_ipc = r3.measure(15_000, 60_000).mt_ipc;
+    let smt = measure_smt(&wl, CoreConfig::wide_smt(), 2, 60_000);
+    println!("half-core (HC):        {hc_ipc:.3} IPC (1.00x)");
+    println!("full wide core (FC):   {fc_ipc:.3} IPC ({:.2}x)", fc_ipc / hc_ipc);
+    println!("R3-DLA on half-cores:  {r3_ipc:.3} IPC ({:.2}x)", r3_ipc / hc_ipc);
+    println!("SMT 2-copy throughput: {smt:.3} IPC ({:.2}x)", smt / hc_ipc);
+}

@@ -1,0 +1,52 @@
+//! # R3-DLA — Reduce, Reuse, Recycle: Decoupled Look-Ahead Architectures
+//!
+//! A from-scratch Rust reproduction of *R3-DLA (Reduce, Reuse, Recycle): A
+//! More Efficient Approach to Decoupled Look-Ahead Architectures*
+//! (Kondguli & Huang, HPCA 2019).
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! * [`isa`] — a 64-bit RISC ISA, assembler and functional semantics;
+//! * [`mem`] — caches, MSHRs, TLB and a DDR3-style DRAM model;
+//! * [`bpred`] — bimodal/gshare/TAGE-style predictors, BTB, RAS;
+//! * [`prefetch`] — stride, Best-Offset, next-line, stream and GHB
+//!   prefetchers;
+//! * [`cpu`] — a cycle-stepped out-of-order core with SMT support;
+//! * [`core`] — the paper's contribution: skeletons, BOQ/FQ, T1, value
+//!   reuse, fetch buffering and skeleton recycling;
+//! * [`baselines`] — B-Fetch, SlipStream and CRE comparators;
+//! * [`energy`] — an activity-based CPU/DRAM energy model;
+//! * [`analytic`] — the Markov-chain fetch-buffer model of Appendix B;
+//! * [`workloads`] — synthetic kernels mimicking SPEC2006 / CRONO /
+//!   STARBENCH / NPB behaviour classes;
+//! * [`stats`] — deterministic PRNGs and summary statistics.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use r3dla::core::{DlaConfig, DlaSystem, SkeletonOptions};
+//! use r3dla::workloads::{suite, Scale};
+//!
+//! // Pick a workload and build its R3-DLA system.
+//! let wl = &suite()[0];
+//! let built = wl.build(Scale::Tiny);
+//! let mut sys = DlaSystem::build(
+//!     &built,
+//!     DlaConfig::r3(),
+//!     SkeletonOptions::default(),
+//! ).unwrap();
+//! let report = sys.measure(2_000, 10_000);
+//! assert!(report.mt_committed > 0);
+//! ```
+
+pub use r3dla_analytic as analytic;
+pub use r3dla_baselines as baselines;
+pub use r3dla_bpred as bpred;
+pub use r3dla_core as core;
+pub use r3dla_cpu as cpu;
+pub use r3dla_energy as energy;
+pub use r3dla_isa as isa;
+pub use r3dla_mem as mem;
+pub use r3dla_prefetch as prefetch;
+pub use r3dla_stats as stats;
+pub use r3dla_workloads as workloads;

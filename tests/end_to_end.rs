@@ -1,0 +1,52 @@
+//! Cross-crate integration tests: the DLA system must preserve
+//! architectural semantics end to end — the main thread's committed state
+//! equals a pure functional execution, no matter how speculative the
+//! look-ahead thread got.
+
+use r3dla::core::{DlaConfig, DlaSystem, SkeletonOptions};
+use r3dla::isa::{run, ArchState, Reg, VecMem};
+use r3dla::workloads::{by_name, Scale};
+
+fn check_semantics(name: &str, cfg: DlaConfig) {
+    let wl = by_name(name).expect("workload exists").build(Scale::Tiny);
+    // Functional golden run.
+    let mut st = ArchState::new(wl.program.entry());
+    let mut mem = VecMem::new();
+    mem.load_image(wl.program.image());
+    let steps = run(&wl.program, &mut st, &mut mem, 200_000_000).expect("halts");
+    // DLA system run to completion.
+    let mut sys = DlaSystem::build(&wl, cfg, SkeletonOptions::default()).expect("builds");
+    let max_cycles = steps * 80 + 2_000_000;
+    sys.run_until_mt(u64::MAX, max_cycles);
+    assert!(sys.mt_halted(), "{name}: MT did not halt within {max_cycles} cycles");
+    assert_eq!(
+        sys.mt().committed(0),
+        steps,
+        "{name}: committed count diverged from functional execution"
+    );
+    let regs = sys.mt().arch_regs(0);
+    for r in 0..Reg::COUNT {
+        assert_eq!(regs[r], st.regs()[r], "{name}: register {r} mismatch");
+    }
+}
+
+#[test]
+fn dla_preserves_architectural_semantics() {
+    for name in ["md5_like", "gobmk_like", "xalan_like"] {
+        check_semantics(name, DlaConfig::dla());
+    }
+}
+
+#[test]
+fn r3_preserves_architectural_semantics() {
+    // R3 adds value prediction, bias-converted branches and skeleton
+    // switching — none of which may corrupt the main thread.
+    for name in ["md5_like", "bzip2_like", "mcf_like"] {
+        check_semantics(name, DlaConfig::r3());
+    }
+}
+
+#[test]
+fn r3_preserves_semantics_on_graph_code() {
+    check_semantics("bfs", DlaConfig::r3());
+}

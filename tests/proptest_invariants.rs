@@ -1,0 +1,208 @@
+//! Property-based tests over the core data structures and the analytic
+//! model (proptest).
+
+use proptest::prelude::*;
+use r3dla::analytic::FetchBufferModel;
+use r3dla::core::Boq;
+use r3dla::isa::{eval_alu, eval_cond, Op};
+use r3dla::stats::{geomean, Histogram, Rng};
+
+proptest! {
+    #[test]
+    fn alu_add_commutes(a: u64, b: u64) {
+        prop_assert_eq!(eval_alu(Op::Add, a, b, 0), eval_alu(Op::Add, b, a, 0));
+    }
+
+    #[test]
+    fn alu_xor_self_inverse(a: u64, b: u64) {
+        let x = eval_alu(Op::Xor, a, b, 0);
+        prop_assert_eq!(eval_alu(Op::Xor, x, b, 0), a);
+    }
+
+    #[test]
+    fn alu_sub_add_round_trip(a: u64, b: u64) {
+        let d = eval_alu(Op::Sub, a, b, 0);
+        prop_assert_eq!(eval_alu(Op::Add, d, b, 0), a);
+    }
+
+    #[test]
+    fn cond_blt_bge_partition(a: u64, b: u64) {
+        prop_assert_ne!(eval_cond(Op::Blt, a, b), eval_cond(Op::Bge, a, b));
+    }
+
+    #[test]
+    fn cond_beq_symmetric(a: u64, b: u64) {
+        prop_assert_eq!(eval_cond(Op::Beq, a, b), eval_cond(Op::Beq, b, a));
+    }
+
+    #[test]
+    fn histogram_pmf_sums_to_one(values in prop::collection::vec(0u64..64, 1..200)) {
+        let mut h = Histogram::new();
+        for v in &values {
+            h.record(*v);
+        }
+        let sum: f64 = h.to_pmf().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert_eq!(h.total(), values.len() as u64);
+    }
+
+    #[test]
+    fn geomean_bounded_by_extremes(values in prop::collection::vec(0.01f64..100.0, 1..50)) {
+        let g = geomean(&values);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(g >= min - 1e-9 && g <= max + 1e-9);
+    }
+
+    #[test]
+    fn rng_is_deterministic(seed: u64) {
+        let mut a = Rng::new(seed);
+        let mut b = Rng::new(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn boq_depth_never_exceeds_pushes(outcomes in prop::collection::vec(any::<bool>(), 1..100)) {
+        let mut boq = Boq::new(512);
+        for &t in &outcomes {
+            boq.push(t);
+        }
+        prop_assert_eq!(boq.depth(), outcomes.len());
+        // Consuming replays outcomes in order.
+        for &t in &outcomes {
+            prop_assert_eq!(boq.consume().map(|e| e.taken), Some(t));
+        }
+        prop_assert_eq!(boq.depth(), 0);
+    }
+
+    #[test]
+    fn boq_rewind_replays_identically(outcomes in prop::collection::vec(any::<bool>(), 2..60)) {
+        let mut boq = Boq::new(512);
+        for &t in &outcomes {
+            boq.push(t);
+        }
+        let cursor = boq.consume_cursor();
+        let first: Vec<_> = (0..outcomes.len()).map(|_| boq.consume().unwrap().taken).collect();
+        boq.rewind(cursor);
+        let second: Vec<_> = (0..outcomes.len()).map(|_| boq.consume().unwrap().taken).collect();
+        prop_assert_eq!(first, second);
+    }
+
+    #[test]
+    fn fetch_model_steady_state_is_distribution(
+        sup_raw in prop::collection::vec(0.01f64..1.0, 2..9),
+        dem_raw in prop::collection::vec(0.01f64..1.0, 2..5),
+        cap in 1usize..48,
+    ) {
+        let norm = |v: &[f64]| {
+            let s: f64 = v.iter().sum();
+            v.iter().map(|x| x / s).collect::<Vec<_>>()
+        };
+        let m = FetchBufferModel::new(norm(&sup_raw), norm(&dem_raw), cap).unwrap();
+        let q = m.steady_state();
+        let sum: f64 = q.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6);
+        prop_assert!(q.iter().all(|&x| x >= -1e-9));
+        prop_assert!(m.expected_bubbles(&q) >= 0.0);
+    }
+
+    #[test]
+    fn bigger_fetch_buffers_never_increase_bubbles(
+        sup_raw in prop::collection::vec(0.01f64..1.0, 2..9),
+        dem_raw in prop::collection::vec(0.01f64..1.0, 2..5),
+    ) {
+        let norm = |v: &[f64]| {
+            let s: f64 = v.iter().sum();
+            v.iter().map(|x| x / s).collect::<Vec<_>>()
+        };
+        let sup = norm(&sup_raw);
+        let dem = norm(&dem_raw);
+        let mut prev = f64::INFINITY;
+        for cap in [2usize, 4, 8, 16, 32] {
+            let m = FetchBufferModel::new(sup.clone(), dem.clone(), cap).unwrap();
+            let q = m.steady_state();
+            let e = m.expected_bubbles(&q);
+            prop_assert!(e <= prev + 1e-6, "E[FB] rose from {prev} to {e} at cap {cap}");
+            prev = e;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Additional structural properties: caches, dataflow slicing, T1.
+// ---------------------------------------------------------------------
+
+use r3dla::core::{Dataflow, T1};
+use r3dla::isa::{Asm, Reg};
+use r3dla::mem::{Cache, CacheConfig};
+
+proptest! {
+    #[test]
+    fn cache_never_evicts_most_recent_line(addrs in prop::collection::vec(0u64..(1 << 20), 2..200)) {
+        let mut c = Cache::new(CacheConfig { size_bytes: 4096, ways: 2, latency: 1, mshrs: 4, discard_dirty: false });
+        for &a in &addrs {
+            c.touch(a & !63);
+            prop_assert!(c.contains(a & !63), "most recent line must be resident");
+        }
+    }
+
+    #[test]
+    fn slice_grows_monotonically_with_seeds(seed_count in 1usize..6) {
+        // A chain program: each instruction depends on the previous.
+        let mut a = Asm::new();
+        let r = Reg::int(10);
+        a.li(r, 1);
+        for _ in 0..12 {
+            a.addi(r, r, 1);
+        }
+        a.halt();
+        let p = a.finish().unwrap();
+        let df = Dataflow::analyze(&p);
+        let deps = std::collections::HashMap::new();
+        let mut prev = 0;
+        for k in 1..=seed_count {
+            let seeds: Vec<usize> = (1..=k * 2).collect();
+            let slice = df.backward_slice(&seeds, &deps, 1000);
+            prop_assert!(slice.count() >= prev, "slices must grow with more seeds");
+            prev = slice.count();
+        }
+    }
+
+    #[test]
+    fn t1_only_prefetches_on_consistent_strides(stride_words in 1u64..64, n in 4u64..32) {
+        // T1 prefetches are 8-byte aligned, so probe with word strides.
+        let stride = stride_words * 8;
+        let mut t1 = T1::new(16, 200);
+        let mut out = Vec::new();
+        for i in 0..n {
+            out.clear();
+            t1.observe(0x100, 0x10_0000 + i * stride, i * 25, &mut out);
+            // Every prefetch target extends the stream in stride units.
+            for &addr in &out {
+                let delta = addr as i64 - (0x10_0000 + i * stride) as i64;
+                prop_assert_eq!(delta.rem_euclid(stride as i64), 0);
+                prop_assert!(delta > 0);
+            }
+        }
+        // Steady state reached: exactly one prefetch per iteration.
+        prop_assert!(out.len() <= 1);
+    }
+
+    #[test]
+    fn boq_commit_front_preserves_fifo(outcomes in prop::collection::vec(any::<bool>(), 2..50)) {
+        let mut boq = Boq::new(512);
+        for &t in &outcomes {
+            boq.push(t);
+        }
+        // Interleave consume + commit like MT fetch/commit do.
+        for &expected in &outcomes {
+            let served = boq.consume().unwrap();
+            prop_assert_eq!(served.taken, expected);
+            let retired = boq.commit_front().unwrap();
+            prop_assert_eq!(retired.tag, served.tag);
+        }
+        prop_assert_eq!(boq.depth(), 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Every workload must run to completion on the timing core and match
+//! the functional executor — across the whole suite (the strongest
+//! cross-crate correctness net we have).
+
+use r3dla::bpred::Tage;
+use r3dla::cpu::{BaseMem, Core, CoreConfig, PredictorDirection};
+use r3dla::isa::{run, ArchState, Reg, VecMem};
+use r3dla::mem::{CoreMem, MemConfig, SharedLlc};
+use r3dla::workloads::{suite, Scale};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+#[test]
+fn timing_core_matches_functional_on_every_workload() {
+    for w in suite() {
+        let built = w.build(Scale::Tiny);
+        let program = Rc::new(built.program.clone());
+        // Functional golden run.
+        let mut st = ArchState::new(program.entry());
+        let mut fm = VecMem::new();
+        fm.load_image(program.image());
+        let steps = run(&program, &mut st, &mut fm, 500_000_000).expect("halts");
+        // Timing run.
+        let shared = Rc::new(RefCell::new(SharedLlc::new(&MemConfig::paper())));
+        let mem = CoreMem::new(&MemConfig::paper(), shared);
+        let mut core = Core::new(CoreConfig::paper(), Rc::clone(&program), mem);
+        let vm = Rc::new(RefCell::new(VecMem::new()));
+        vm.borrow_mut().load_image(program.image());
+        let dir = Box::new(PredictorDirection::new(Box::new(Tage::paper())));
+        let t = core.add_thread(
+            program.entry(),
+            ArchState::new(program.entry()).regs(),
+            dir,
+            Rc::new(RefCell::new(BaseMem(vm))),
+        );
+        core.run(steps * 60 + 2_000_000);
+        assert!(core.thread_halted(t), "{}: timing core did not halt", w.name);
+        assert_eq!(core.committed(t), steps, "{}: instruction count", w.name);
+        for r in 0..Reg::COUNT {
+            assert_eq!(
+                core.arch_regs(t)[r],
+                st.regs()[r],
+                "{}: register {r}",
+                w.name
+            );
+        }
+    }
+}
