@@ -96,6 +96,7 @@ impl FetchBufferModel {
         // length i; boundary rows absorb the out-of-range mass
         // (paper Appendix B-B).
         let mut p = vec![vec![0.0; n + 1]; n + 1];
+        #[allow(clippy::needless_range_loop)] // `j` also feeds the clamped row index
         for j in 0..=n {
             for (k, &pc) in c.iter().enumerate() {
                 let delta = k as i64 - offset as i64;
@@ -104,7 +105,11 @@ impl FetchBufferModel {
                 p[i][j] += pc;
             }
         }
-        Ok(Self { transition: p, demand, capacity })
+        Ok(Self {
+            transition: p,
+            demand,
+            capacity,
+        })
     }
 
     /// Queue capacity `N`.
@@ -123,13 +128,12 @@ impl FetchBufferModel {
             for x in next.iter_mut() {
                 *x = 0.0;
             }
-            for i in 0..=n {
-                let row = &self.transition[i];
+            for (nx, row) in next.iter_mut().zip(&self.transition) {
                 let mut acc = 0.0;
-                for j in 0..=n {
-                    acc += row[j] * q[j];
+                for (rj, qj) in row.iter().zip(&q) {
+                    acc += rj * qj;
                 }
-                next[i] = acc;
+                *nx = acc;
             }
             let mut delta = 0.0;
             for i in 0..=n {

@@ -70,9 +70,7 @@ impl Walker {
                 if inst.is_mem() {
                     let base = inst.rs1;
                     if self.known[base.index()] {
-                        out = Some(
-                            self.regs[base.index()].wrapping_add(inst.imm as u64) & !7,
-                        );
+                        out = Some(self.regs[base.index()].wrapping_add(inst.imm as u64) & !7);
                     }
                     if inst.is_load() {
                         // The loaded value is unknown to the walker.
@@ -83,11 +81,7 @@ impl Walker {
                 } else if let Some(rd) = inst.def() {
                     // Evaluate simple value-generating instructions when
                     // operands are known; otherwise poison the result.
-                    let srcs_known = inst
-                        .uses()
-                        .iter()
-                        .flatten()
-                        .all(|r| self.known[r.index()]);
+                    let srcs_known = inst.uses().iter().flatten().all(|r| self.known[r.index()]);
                     if srcs_known && !inst.is_branch() {
                         let a = self.regs[inst.rs1.index()];
                         let b = self.regs[inst.rs2.index()];
@@ -146,7 +140,12 @@ impl BFetchSim {
             known: [false; Reg::COUNT],
             walked: WALK_LIMIT,
         };
-        Self { sim, walker, resync_interval: 64, last_resync: 0 }
+        Self {
+            sim,
+            walker,
+            resync_interval: 64,
+            last_resync: 0,
+        }
     }
 
     /// Steps core + walker one cycle.
@@ -154,9 +153,7 @@ impl BFetchSim {
         let cycle = self.sim.core().cycle();
         // Periodically re-sync the walker with committed state (the
         // register snapshot B-Fetch reads at branch dispatch).
-        if cycle - self.last_resync >= self.resync_interval
-            || self.walker.walked >= WALK_LIMIT
-        {
+        if cycle - self.last_resync >= self.resync_interval || self.walker.walked >= WALK_LIMIT {
             let pc = self.sim.core().arch_pc(0);
             let regs = self.sim.core().arch_regs(0);
             self.walker.restart(pc, regs);
@@ -194,7 +191,11 @@ impl BFetchSim {
         let insts = self.sim.core().committed(0) - c0;
         let cycles = self.sim.core().cycle() - y0;
         (
-            if cycles == 0 { 0.0 } else { insts as f64 / cycles as f64 },
+            if cycles == 0 {
+                0.0
+            } else {
+                insts as f64 / cycles as f64
+            },
             insts,
             cycles,
         )

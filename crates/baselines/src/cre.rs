@@ -19,7 +19,7 @@ use std::rc::Rc;
 
 use r3dla_core::{Dataflow, SingleCoreSim};
 use r3dla_cpu::{CommitRecord, CommitSink, CoreConfig};
-use r3dla_isa::{eval_alu, mem_addr, Inst, Program, Reg, VecMem, DataMem};
+use r3dla_isa::{eval_alu, mem_addr, DataMem, Inst, Program, Reg, VecMem};
 use r3dla_mem::MemConfig;
 use r3dla_workloads::BuiltWorkload;
 
@@ -42,12 +42,7 @@ struct TrackerSink {
 impl CommitSink for TrackerSink {
     fn on_commit(&mut self, rec: &CommitRecord) {
         if rec.inst.is_load() && rec.l2_miss {
-            *self
-                .tracker
-                .borrow_mut()
-                .misses
-                .entry(rec.pc)
-                .or_insert(0) += 1;
+            *self.tracker.borrow_mut().misses.entry(rec.pc).or_insert(0) += 1;
         }
     }
 }
@@ -179,8 +174,12 @@ impl CreSim {
             Some("bop"),
         );
         let tracker = Rc::new(RefCell::new(MissTracker::default()));
-        sim.core_mut()
-            .set_commit_sink(0, Rc::new(RefCell::new(TrackerSink { tracker: tracker.clone() })));
+        sim.core_mut().set_commit_sink(
+            0,
+            Rc::new(RefCell::new(TrackerSink {
+                tracker: tracker.clone(),
+            })),
+        );
         // The engine reads committed memory: mirror the image.
         let arch_mem = Rc::new(RefCell::new(VecMem::new()));
         arch_mem.borrow_mut().load_image(program.image());
@@ -212,7 +211,9 @@ impl CreSim {
             return;
         };
         drop(tracker);
-        let Some(idx) = self.program.pc_to_index(pc) else { return };
+        let Some(idx) = self.program.pc_to_index(pc) else {
+            return;
+        };
         if let Some(chain) = extract_chain(&self.program, &self.dataflow, idx) {
             let regs = self.sim.core().arch_regs(0);
             self.engine.dispatch(chain, regs);
@@ -261,7 +262,11 @@ impl CreSim {
         let insts = self.sim.core().committed(0) - c0;
         let cycles = self.sim.core().cycle() - y0;
         (
-            if cycles == 0 { 0.0 } else { insts as f64 / cycles as f64 },
+            if cycles == 0 {
+                0.0
+            } else {
+                insts as f64 / cycles as f64
+            },
             insts,
             cycles,
         )

@@ -32,8 +32,8 @@ pub fn slipstream_system(built: &BuiltWorkload) -> DlaSystem {
     // loads. Model that with seed thresholds that exclude all miss-driven
     // seeds and a slightly laxer bias threshold.
     let opt = SkeletonOptions {
-        l1_seed_rate: 2.0,  // > 1.0: no L1-miss seeds can qualify
-        l2_seed_rate: 2.0,  // no L2-miss seeds either
+        l1_seed_rate: 2.0, // > 1.0: no L1-miss seeds can qualify
+        l2_seed_rate: 2.0, // no L2-miss seeds either
         bias_threshold: 0.99,
         ..SkeletonOptions::default()
     };
@@ -41,7 +41,9 @@ pub fn slipstream_system(built: &BuiltWorkload) -> DlaSystem {
     // Use the bias-converted version as the A-stream (version 4 in the
     // generator's layout); keep only that one so no recycling happens.
     let a_stream = set.versions[4].clone();
-    let single = SkeletonSet { versions: vec![a_stream] };
+    let single = SkeletonSet {
+        versions: vec![a_stream],
+    };
     DlaSystem::assemble(program, cfg, single, prof)
 }
 

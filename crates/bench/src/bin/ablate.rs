@@ -10,14 +10,36 @@ fn run(name: &str, cfg: DlaConfig) -> f64 {
 fn main() {
     for name in ["cg_like", "libq_like", "hmmer_like", "pagerank"] {
         let base = run(name, DlaConfig::dla());
-        let t1 = { let mut c = DlaConfig::dla(); c.t1 = true; run(name, c) };
-        let vr = { let mut c = DlaConfig::dla(); c.value_reuse = true; run(name, c) };
-        let fb = { let mut c = DlaConfig::dla(); c.mt_core.fetch_buffer = 32; run(name, c) };
-        let rc = { let mut c = DlaConfig::dla(); c.recycle = RecycleMode::Dynamic; run(name, c) };
+        let t1 = {
+            let mut c = DlaConfig::dla();
+            c.t1 = true;
+            run(name, c)
+        };
+        let vr = {
+            let mut c = DlaConfig::dla();
+            c.value_reuse = true;
+            run(name, c)
+        };
+        let fb = {
+            let mut c = DlaConfig::dla();
+            c.mt_core.fetch_buffer = 32;
+            run(name, c)
+        };
+        let rc = {
+            let mut c = DlaConfig::dla();
+            c.recycle = RecycleMode::Dynamic;
+            run(name, c)
+        };
         let r3 = run(name, DlaConfig::r3());
-        println!("{:12} DLA {:.3} | +T1 {:+.1}% +VR {:+.1}% +FB {:+.1}% +RC {:+.1}% | R3 {:+.1}%",
-            name, base,
-            (t1/base-1.0)*100.0, (vr/base-1.0)*100.0, (fb/base-1.0)*100.0,
-            (rc/base-1.0)*100.0, (r3/base-1.0)*100.0);
+        println!(
+            "{:12} DLA {:.3} | +T1 {:+.1}% +VR {:+.1}% +FB {:+.1}% +RC {:+.1}% | R3 {:+.1}%",
+            name,
+            base,
+            (t1 / base - 1.0) * 100.0,
+            (vr / base - 1.0) * 100.0,
+            (fb / base - 1.0) * 100.0,
+            (rc / base - 1.0) * 100.0,
+            (r3 / base - 1.0) * 100.0
+        );
     }
 }

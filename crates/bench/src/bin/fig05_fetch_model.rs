@@ -37,9 +37,12 @@ fn main() {
         for cap in [8usize, 32] {
             let m = FetchBufferModel::new(sup.clone(), demand.clone(), cap).unwrap();
             let q = m.steady_state();
-            let head: Vec<String> =
-                q.iter().take(13).map(|x| format!("{x:.3}")).collect();
-            println!("{name} cap={cap:2}: [{}]  P(empty)={:.3}", head.join(" "), q[0]);
+            let head: Vec<String> = q.iter().take(13).map(|x| format!("{x:.3}")).collect();
+            println!(
+                "{name} cap={cap:2}: [{}]  P(empty)={:.3}",
+                head.join(" "),
+                q[0]
+            );
         }
     }
     println!("\n# FIG5b — expected fetch bubbles vs capacity\n");

@@ -38,8 +38,7 @@ fn main() {
     println!("| group | BL(noPF) (0.79) | BL (1.00) | DLA(noPF) (1.02) | DLA (1.12) | R3(noPF) (1.23) | R3-DLA (1.40) |");
     println!("|---|---|---|---|---|---|---|");
     // Aggregate per suite.
-    let summaries: Vec<Vec<(String, f64)>> =
-        cols.iter().map(|c| suite_summary(c)).collect();
+    let summaries: Vec<Vec<(String, f64)>> = cols.iter().map(|c| suite_summary(c)).collect();
     let groups = summaries[0].len();
     for g in 0..groups {
         let mut cells = vec![summaries[0][g].0.clone()];

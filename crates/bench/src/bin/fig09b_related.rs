@@ -17,7 +17,10 @@ fn main() {
     let mut cols: Vec<Vec<(r3dla_workloads::Suite, f64)>> = vec![Vec::new(); 5];
     for p in &prepared {
         let bl = p.measure_single(CoreConfig::paper(), None, Some("bop"), warm, win);
-        let bf = { let mut s = BFetchSim::build(p.built()); s.measure(warm, win).0 };
+        let bf = {
+            let mut s = BFetchSim::build(p.built());
+            s.measure(warm, win).0
+        };
         let ss = {
             let mut sys = slipstream_system(p.built());
             sys.measure(warm, win).mt_ipc

@@ -18,7 +18,12 @@ fn main() {
     let mut edp = [Vec::new(), Vec::new()];
     for p in &prepared {
         let mut bl = SingleCoreSim::build(
-            p.built(), CoreConfig::paper(), MemConfig::paper(), None, Some("bop"));
+            p.built(),
+            CoreConfig::paper(),
+            MemConfig::paper(),
+            None,
+            Some("bop"),
+        );
         bl.run_until(warm, warm * 60 + 500_000);
         let b0 = bl.core().counters.clone();
         let bt0 = bl.dram_traffic();
@@ -48,7 +53,9 @@ fn main() {
             cpu[i].push((p.suite, total / bl_total.max(1e-18)));
             let mut dstats = r3dla_mem::DramStats::default();
             dstats.reads.add(s1.dram.reads.get() - s0.dram.reads.get());
-            dstats.writes.add(s1.dram.writes.get() - s0.dram.writes.get());
+            dstats
+                .writes
+                .add(s1.dram.writes.get() - s0.dram.writes.get());
             dstats
                 .activations
                 .add(s1.dram.activations.get() - s0.dram.activations.get());

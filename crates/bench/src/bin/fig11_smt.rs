@@ -43,7 +43,9 @@ fn main() {
         }
         println!("{}", r3dla_bench::row(&cells));
     }
-    println!("\n## Geometric means (paper: FC 1.23, DLA < FC on avg, R3-DLA 1.44, SMT for throughput)\n");
+    println!(
+        "\n## Geometric means (paper: FC 1.23, DLA < FC on avg, R3-DLA 1.44, SMT for throughput)\n"
+    );
     for (k, name) in ["FC", "DLA", "R3-DLA", "SMT"].iter().enumerate() {
         println!("- {name}: {:.3}", suite_summary(&cols[k]).last().unwrap().1);
     }

@@ -10,7 +10,9 @@ fn main() {
     let win = arg_u64("--window", WINDOW);
     let prepared = prepare_all(Scale::Ref);
     println!("# FIG12 — DLA+stride vs DLA+T1 (speedup over DLA; traffic normalized)\n");
-    println!("| bench | speedup DLA+stride | speedup DLA+T1 | traffic DLA+stride | traffic DLA+T1 |");
+    println!(
+        "| bench | speedup DLA+stride | speedup DLA+T1 | traffic DLA+stride | traffic DLA+T1 |"
+    );
     println!("|---|---|---|---|---|");
     let mut sp = [Vec::new(), Vec::new()];
     let mut tr = [Vec::new(), Vec::new()];
@@ -36,9 +38,23 @@ fn main() {
         tr[0].push((p.suite, t0));
         tr[1].push((p.suite, t1t));
     }
-    println!("\n## Geomeans (paper: speedup stride 1.06 vs T1 1.13-1.14; T1 traffic below stride)\n");
-    println!("- speedup DLA+stride: {:.3}", suite_summary(&sp[0]).last().unwrap().1);
-    println!("- speedup DLA+T1:     {:.3}", suite_summary(&sp[1]).last().unwrap().1);
-    println!("- traffic DLA+stride: {:.3}", suite_summary(&tr[0]).last().unwrap().1);
-    println!("- traffic DLA+T1:     {:.3}", suite_summary(&tr[1]).last().unwrap().1);
+    println!(
+        "\n## Geomeans (paper: speedup stride 1.06 vs T1 1.13-1.14; T1 traffic below stride)\n"
+    );
+    println!(
+        "- speedup DLA+stride: {:.3}",
+        suite_summary(&sp[0]).last().unwrap().1
+    );
+    println!(
+        "- speedup DLA+T1:     {:.3}",
+        suite_summary(&sp[1]).last().unwrap().1
+    );
+    println!(
+        "- traffic DLA+stride: {:.3}",
+        suite_summary(&tr[0]).last().unwrap().1
+    );
+    println!(
+        "- traffic DLA+T1:     {:.3}",
+        suite_summary(&tr[1]).last().unwrap().1
+    );
 }

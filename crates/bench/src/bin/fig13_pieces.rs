@@ -15,8 +15,7 @@ fn static_tuned_ipc(p: &Prepared, warm: u64, win: u64) -> f64 {
     // training window, attribute per-loop IPC, build the static map, then
     // measure the tuned system.
     let base = p.dla_system(DlaConfig::dla());
-    let mut tuned =
-        r3dla_core::build_static_tuned(&base, DlaConfig::dla(), (win / 2).max(20_000));
+    let mut tuned = r3dla_core::build_static_tuned(&base, DlaConfig::dla(), (win / 2).max(20_000));
     tuned.measure(warm, win).mt_ipc
 }
 
@@ -82,12 +81,23 @@ fn main() {
         }
     }
     println!("# FIG13a — fetch-buffer speedup (paper: BL +4% avg, DLA +8%)\n");
-    println!("- FB over BL:  {:.3}", suite_summary(&fb_bl).last().unwrap().1);
-    println!("- FB over DLA: {:.3}", suite_summary(&fb_dla).last().unwrap().1);
+    println!(
+        "- FB over BL:  {:.3}",
+        suite_summary(&fb_bl).last().unwrap().1
+    );
+    println!(
+        "- FB over DLA: {:.3}",
+        suite_summary(&fb_dla).last().unwrap().1
+    );
     println!("\n# FIG13b — recycle tuning (paper: dynamic 1.08, static 1.10)\n");
     println!("- dynamic: {:.3}", suite_summary(&rc_dyn).last().unwrap().1);
-    println!("- static:  {:.3}", suite_summary(&rc_static).last().unwrap().1);
-    println!("\n# FIG13c — synergy: technique applied first vs last (paper: 2-5% first, 6-8% last)\n");
+    println!(
+        "- static:  {:.3}",
+        suite_summary(&rc_static).last().unwrap().1
+    );
+    println!(
+        "\n# FIG13c — synergy: technique applied first vs last (paper: 2-5% first, 6-8% last)\n"
+    );
     println!("| technique | first | last |");
     println!("|---|---|---|");
     for (k, name) in ["AS/RC", "VR", "FB"].iter().enumerate() {

@@ -31,8 +31,8 @@ fn main() {
                 Err(_) => break,
             };
             chunk += 1;
-            let taken = out.taken == Some(true)
-                || (out.inst.is_branch() && !out.inst.is_cond_branch());
+            let taken =
+                out.taken == Some(true) || (out.inst.is_branch() && !out.inst.is_cond_branch());
             if taken || chunk == 8 {
                 hist.record(chunk);
                 chunk = 0;
@@ -73,9 +73,8 @@ fn main() {
     }
     let tv: f64 = (0..=32)
         .map(|i| {
-            (theoretical.get(i).copied().unwrap_or(0.0)
-                - simulated.get(i).copied().unwrap_or(0.0))
-            .abs()
+            (theoretical.get(i).copied().unwrap_or(0.0) - simulated.get(i).copied().unwrap_or(0.0))
+                .abs()
         })
         .sum::<f64>()
         / 2.0;

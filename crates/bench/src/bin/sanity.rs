@@ -6,9 +6,22 @@ use r3dla_workloads::{by_name, Scale};
 fn main() {
     let warm = 30_000;
     let win = 80_000;
-    for name in ["mcf_like", "libq_like", "sjeng_like", "bfs", "cg_like", "md5_like"] {
+    for name in [
+        "mcf_like",
+        "libq_like",
+        "sjeng_like",
+        "bfs",
+        "cg_like",
+        "md5_like",
+    ] {
         let wl = by_name(name).unwrap().build(Scale::Ref);
-        let mut bl = SingleCoreSim::build(&wl, CoreConfig::paper(), MemConfig::paper(), None, Some("bop"));
+        let mut bl = SingleCoreSim::build(
+            &wl,
+            CoreConfig::paper(),
+            MemConfig::paper(),
+            None,
+            Some("bop"),
+        );
         let (bl_ipc, _, _) = bl.measure(warm, win);
         let mut dla = DlaSystem::build(&wl, DlaConfig::dla(), SkeletonOptions::default()).unwrap();
         let d = dla.measure(warm, win);

@@ -20,23 +20,39 @@ struct Acc {
 
 impl Acc {
     fn new() -> Self {
-        Self { d: vec![], x: vec![], c: vec![], e: vec![], pdyn: vec![], ptot: vec![] }
+        Self {
+            d: vec![],
+            x: vec![],
+            c: vec![],
+            e: vec![],
+            pdyn: vec![],
+            ptot: vec![],
+        }
     }
     fn push(&mut self, t: &ActivityCounters, bl: &ActivityCounters, p: &EnergyParams) {
         let te = CoreEnergy::from_counters(t, p);
         let be = CoreEnergy::from_counters(bl, p);
-        self.d.push(t.decoded.get() as f64 / bl.decoded.get().max(1) as f64);
-        self.x.push(t.executed.get() as f64 / bl.executed.get().max(1) as f64);
-        self.c.push(t.committed.get() as f64 / bl.committed.get().max(1) as f64);
+        self.d
+            .push(t.decoded.get() as f64 / bl.decoded.get().max(1) as f64);
+        self.x
+            .push(t.executed.get() as f64 / bl.executed.get().max(1) as f64);
+        self.c
+            .push(t.committed.get() as f64 / bl.committed.get().max(1) as f64);
         self.e.push(te.dynamic_j / be.dynamic_j.max(1e-18));
         self.pdyn.push(te.dynamic_w() / be.dynamic_w().max(1e-18));
-        self.ptot.push(te.total_j() / te.seconds.max(1e-12) / (be.total_j() / be.seconds.max(1e-12)));
+        self.ptot
+            .push(te.total_j() / te.seconds.max(1e-12) / (be.total_j() / be.seconds.max(1e-12)));
     }
     fn row(&self, label: &str) -> String {
         let m = |v: &[f64]| format!("{:.0}%", 100.0 * r3dla_stats::mean(v));
         format!(
             "| {label} | {} | {} | {} | {} | {} | {} |",
-            m(&self.d), m(&self.x), m(&self.c), m(&self.e), m(&self.pdyn), m(&self.ptot)
+            m(&self.d),
+            m(&self.x),
+            m(&self.c),
+            m(&self.e),
+            m(&self.pdyn),
+            m(&self.ptot)
         )
     }
 }
@@ -50,7 +66,12 @@ fn main() {
     for p in &prepared {
         // Baseline counters over the same committed window.
         let mut bl = SingleCoreSim::build(
-            p.built(), CoreConfig::paper(), MemConfig::paper(), None, Some("bop"));
+            p.built(),
+            CoreConfig::paper(),
+            MemConfig::paper(),
+            None,
+            Some("bop"),
+        );
         bl.run_until(warm, warm * 60 + 500_000);
         let b0 = bl.core().counters.clone();
         bl.run_until(win, win * 60 + 500_000);

@@ -63,7 +63,12 @@ fn main() {
         // BL and BL+stride.
         for (k, l1pf) in [None, Some("stride")].into_iter().enumerate() {
             let mut sim = SingleCoreSim::build(
-                p.built(), CoreConfig::paper(), MemConfig::paper(), l1pf, Some("bop"));
+                p.built(),
+                CoreConfig::paper(),
+                MemConfig::paper(),
+                l1pf,
+                Some("bop"),
+            );
             let sink = Rc::new(RefCell::new(SplitSink {
                 strided_pcs: pcs.clone(),
                 ..Default::default()

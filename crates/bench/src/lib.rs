@@ -65,7 +65,11 @@ impl Prepared {
 
     /// Assembles a DLA system with the pre-computed analysis.
     pub fn dla_system(&self, cfg: DlaConfig) -> DlaSystem {
-        let set = if cfg.t1 { &self.skeletons_t1 } else { &self.skeletons_plain };
+        let set = if cfg.t1 {
+            &self.skeletons_t1
+        } else {
+            &self.skeletons_plain
+        };
         DlaSystem::assemble(
             Rc::clone(&self.program),
             cfg,
@@ -123,7 +127,9 @@ pub fn measure_smt(built: &BuiltWorkload, core_cfg: CoreConfig, copies: usize, w
     for _ in 0..copies {
         let vm = Rc::new(RefCell::new(VecMem::new()));
         vm.borrow_mut().load_image(program.image());
-        let dir = Box::new(PredictorDirection::new(Box::new(r3dla_bpred::Tage::paper())));
+        let dir = Box::new(PredictorDirection::new(
+            Box::new(r3dla_bpred::Tage::paper()),
+        ));
         core.add_thread(
             program.entry(),
             ArchState::new(program.entry()).regs(),
@@ -167,8 +173,11 @@ pub fn row(cells: &[String]) -> String {
 pub fn suite_summary(pairs: &[(Suite, f64)]) -> Vec<(String, f64)> {
     let mut out = Vec::new();
     for s in [Suite::SpecInt, Suite::Crono, Suite::Star, Suite::Npb] {
-        let vals: Vec<f64> =
-            pairs.iter().filter(|(ps, _)| *ps == s).map(|(_, v)| *v).collect();
+        let vals: Vec<f64> = pairs
+            .iter()
+            .filter(|(ps, _)| *ps == s)
+            .map(|(_, v)| *v)
+            .collect();
         if !vals.is_empty() {
             out.push((s.to_string(), r3dla_stats::geomean(&vals)));
         }
@@ -207,7 +216,11 @@ mod tests {
 
     #[test]
     fn suite_summary_aggregates() {
-        let pairs = vec![(Suite::SpecInt, 2.0), (Suite::SpecInt, 8.0), (Suite::Crono, 1.0)];
+        let pairs = vec![
+            (Suite::SpecInt, 2.0),
+            (Suite::SpecInt, 8.0),
+            (Suite::Crono, 1.0),
+        ];
         let s = suite_summary(&pairs);
         let spec = s.iter().find(|(n, _)| n == "spec").unwrap().1;
         assert!((spec - 4.0).abs() < 1e-9);

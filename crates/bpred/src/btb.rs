@@ -14,7 +14,10 @@ pub struct BtbConfig {
 impl BtbConfig {
     /// The paper's 4K-entry BTB (4-way).
     pub fn paper() -> Self {
-        Self { entries: 4096, ways: 4 }
+        Self {
+            entries: 4096,
+            ways: 4,
+        }
     }
 }
 
@@ -103,7 +106,12 @@ impl Btb {
             .iter_mut()
             .min_by_key(|e| if e.valid { e.stamp } else { 0 })
             .expect("nonzero ways");
-        *victim = BtbEntry { pc, target, valid: true, stamp };
+        *victim = BtbEntry {
+            pc,
+            target,
+            valid: true,
+            stamp,
+        };
     }
 }
 
@@ -112,7 +120,10 @@ mod tests {
     use super::*;
 
     fn tiny() -> Btb {
-        Btb::new(BtbConfig { entries: 8, ways: 2 })
+        Btb::new(BtbConfig {
+            entries: 8,
+            ways: 2,
+        })
     }
 
     #[test]
@@ -135,6 +146,7 @@ mod tests {
     #[test]
     fn lru_within_set() {
         let mut b = tiny(); // 4 sets × 2 ways; pcs 16 bytes apart collide per set of 4
+
         // Set index uses pc>>2 & 3: pcs 0x100, 0x110, 0x120 all map to set 0.
         b.update(0x100, 1);
         b.update(0x110, 2);

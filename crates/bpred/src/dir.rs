@@ -55,7 +55,10 @@ impl Bimodal {
     /// power of two), initialized weakly taken.
     pub fn new(entries: usize) -> Self {
         let n = entries.next_power_of_two();
-        Self { counters: vec![2; n], mask: n - 1 }
+        Self {
+            counters: vec![2; n],
+            mask: n - 1,
+        }
     }
 
     #[inline]
@@ -97,7 +100,12 @@ impl Gshare {
     /// global history.
     pub fn new(entries: usize, hist_bits: u32) -> Self {
         let n = entries.next_power_of_two();
-        Self { counters: vec![2; n], mask: n - 1, history: 0, hist_bits }
+        Self {
+            counters: vec![2; n],
+            mask: n - 1,
+            history: 0,
+            hist_bits,
+        }
     }
 
     #[inline]
@@ -137,8 +145,7 @@ impl DirectionPredictor for Gshare {
     fn restore_history(&mut self, history: u64, resolved_taken: Option<bool>) {
         self.history = history;
         if let Some(t) = resolved_taken {
-            self.history =
-                ((self.history << 1) | t as u64) & ((1 << self.hist_bits) - 1);
+            self.history = ((self.history << 1) | t as u64) & ((1 << self.hist_bits) - 1);
         }
     }
 }
@@ -209,8 +216,8 @@ impl Tage {
     #[inline]
     fn tag(&self, pc: u64, t: usize) -> u16 {
         let f = self.folded_history(TAGE_HIST[t], TAGE_TAG_BITS);
-        ((((pc >> 2) ^ (pc >> 12)) as u64 ^ (f << 1)) & ((1 << TAGE_TAG_BITS) - 1)) as u16
-            | 1 // tag 0 means empty
+        ((((pc >> 2) ^ (pc >> 12)) ^ (f << 1)) & ((1 << TAGE_TAG_BITS) - 1)) as u16 | 1
+        // tag 0 means empty
     }
 
     /// Finds the longest matching table, returning (table, index).
@@ -394,8 +401,7 @@ mod tests {
         // exceed ~60% (which would indicate training on future data).
         let mut rng = r3dla_stats::Rng::new(9);
         let mut p = Tage::paper();
-        let outcomes: Vec<(u64, bool)> =
-            (0..20_000).map(|_| (0x500, rng.chance(0.5))).collect();
+        let outcomes: Vec<(u64, bool)> = (0..20_000).map(|_| (0x500, rng.chance(0.5))).collect();
         let acc = train(&mut p, outcomes.into_iter());
         assert!((0.4..0.6).contains(&acc), "acc={acc}");
     }

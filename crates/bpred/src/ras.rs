@@ -43,7 +43,11 @@ impl Ras {
 
     /// Creates an empty stack.
     pub fn new() -> Self {
-        Self { entries: [0; Self::DEPTH], top: 0, len: 0 }
+        Self {
+            entries: [0; Self::DEPTH],
+            top: 0,
+            len: 0,
+        }
     }
 
     /// Pushes a return address (a call was fetched). Overwrites the oldest
@@ -69,7 +73,11 @@ impl Ras {
 
     /// Captures the complete state for squash recovery.
     pub fn snapshot(&self) -> RasState {
-        RasState { entries: self.entries, top: self.top, len: self.len }
+        RasState {
+            entries: self.entries,
+            top: self.top,
+            len: self.len,
+        }
     }
 
     /// Restores a previously captured state.

@@ -16,7 +16,10 @@ pub struct BitSet {
 impl BitSet {
     /// Creates an empty set over `len` elements.
     pub fn new(len: usize) -> Self {
-        Self { words: vec![0; len.div_ceil(64)], len }
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// Inserts `i`; returns whether it was newly inserted.
@@ -126,7 +129,7 @@ impl Dataflow {
         };
         // Successors.
         let mut succs: Vec<Vec<usize>> = vec![Vec::new(); nb];
-        for b in 0..nb {
+        for (b, succ) in succs.iter_mut().enumerate() {
             let last = block_end(b) - 1;
             let inst = &insts[last];
             let fallthrough = !matches!(
@@ -138,12 +141,12 @@ impl Dataflow {
                 )
             ) && inst.op != r3dla_isa::Op::Halt;
             if fallthrough && last + 1 < n {
-                succs[b].push(block_of[last + 1]);
+                succ.push(block_of[last + 1]);
             }
             if inst.has_static_target() {
                 let t = ((inst.imm as u64).wrapping_sub(CODE_BASE) / INST_BYTES) as usize;
                 if t < n {
-                    succs[b].push(block_of[t]);
+                    succ.push(block_of[t]);
                 }
             }
             // Calls also continue at the return point; returns/indirect
@@ -152,7 +155,11 @@ impl Dataflow {
             // def flow; conservatively link rets to all call fallthroughs.
             if matches!(
                 inst.branch_kind(),
-                Some(r3dla_isa::BranchKind::Ret | r3dla_isa::BranchKind::IndJump | r3dla_isa::BranchKind::IndCall)
+                Some(
+                    r3dla_isa::BranchKind::Ret
+                        | r3dla_isa::BranchKind::IndJump
+                        | r3dla_isa::BranchKind::IndCall
+                )
             ) {
                 for (i, other) in insts.iter().enumerate() {
                     if matches!(
@@ -160,7 +167,7 @@ impl Dataflow {
                         Some(r3dla_isa::BranchKind::Call | r3dla_isa::BranchKind::IndCall)
                     ) && i + 1 < n
                     {
-                        succs[b].push(block_of[i + 1]);
+                        succ.push(block_of[i + 1]);
                     }
                     // Indirect jumps may target any block leader that is
                     // the target of a data-table entry; approximate with
@@ -168,12 +175,12 @@ impl Dataflow {
                 }
                 if matches!(inst.branch_kind(), Some(r3dla_isa::BranchKind::IndJump)) {
                     for (bb, _) in block_starts.iter().enumerate() {
-                        succs[b].push(bb);
+                        succ.push(bb);
                     }
                 }
             }
-            succs[b].sort_unstable();
-            succs[b].dedup();
+            succ.sort_unstable();
+            succ.dedup();
         }
         // --- Reaching definitions ----------------------------------------
         // def_sites[r] = list of instruction indices defining register r.
@@ -186,22 +193,26 @@ impl Dataflow {
         // Per block: last def of each register in the block (gen), and
         // whether the block kills the register.
         let mut block_gen: Vec<HashMap<usize, usize>> = vec![HashMap::new(); nb];
-        for b in 0..nb {
-            for i in block_starts[b]..block_end(b) {
-                if let Some(rd) = insts[i].def() {
-                    block_gen[b].insert(rd.index(), i);
+        for (b, bgen) in block_gen.iter_mut().enumerate() {
+            let (start, end) = (block_starts[b], block_end(b));
+            for (i, inst) in insts.iter().enumerate().take(end).skip(start) {
+                if let Some(rd) = inst.def() {
+                    bgen.insert(rd.index(), i);
                 }
             }
         }
         // IN/OUT per block: map register -> BitSet of def sites. To keep
         // it compact, store per (block, reg) bitsets only for registers
         // that are ever defined.
-        let live_regs: Vec<usize> = (0..Reg::COUNT).filter(|&r| !def_sites[r].is_empty()).collect();
+        let live_regs: Vec<usize> = (0..Reg::COUNT)
+            .filter(|&r| !def_sites[r].is_empty())
+            .collect();
         let reg_slot: HashMap<usize, usize> =
             live_regs.iter().enumerate().map(|(s, &r)| (r, s)).collect();
         let nslots = live_regs.len();
-        let mut in_sets: Vec<Vec<BitSet>> =
-            (0..nb).map(|_| (0..nslots).map(|_| BitSet::new(n)).collect()).collect();
+        let mut in_sets: Vec<Vec<BitSet>> = (0..nb)
+            .map(|_| (0..nslots).map(|_| BitSet::new(n)).collect())
+            .collect();
         let mut out_sets = in_sets.clone();
         // Initialize OUT with gen.
         for b in 0..nb {
@@ -272,7 +283,12 @@ impl Dataflow {
                 }
             }
         }
-        Self { producers, addr_producers, dependents, n }
+        Self {
+            producers,
+            addr_producers,
+            dependents,
+            n,
+        }
     }
 
     /// The instructions whose definitions may feed instruction `i`.

@@ -109,8 +109,7 @@ pub fn ilp_limit(prog: &Program, window: usize, model: LimitModel, max_insts: u6
                 if mispredicted {
                     let h = predictor.history();
                     predictor.restore_history(h >> 1, Some(taken));
-                    fetch_serial_point =
-                        fetch_serial_point.max(done + MISPREDICT_PENALTY);
+                    fetch_serial_point = fetch_serial_point.max(done + MISPREDICT_PENALTY);
                 }
                 predictor.update(pc, taken, mispredicted);
             }
@@ -125,7 +124,11 @@ pub fn ilp_limit(prog: &Program, window: usize, model: LimitModel, max_insts: u6
         }
     }
     let cycles = horizon.max(1);
-    LimitResult { instructions: count, cycles, ipc: count as f64 / cycles as f64 }
+    LimitResult {
+        instructions: count,
+        cycles,
+        ipc: count as f64 / cycles as f64,
+    }
 }
 
 #[cfg(test)]
@@ -183,7 +186,12 @@ mod tests {
         let p = independent_work();
         let small = ilp_limit(&p, 128, LimitModel::Ideal, 100_000);
         let large = ilp_limit(&p, 2048, LimitModel::Ideal, 100_000);
-        assert!(large.ipc >= small.ipc * 0.99, "{} vs {}", large.ipc, small.ipc);
+        assert!(
+            large.ipc >= small.ipc * 0.99,
+            "{} vs {}",
+            large.ipc,
+            small.ipc
+        );
     }
 
     #[test]
@@ -197,8 +205,13 @@ mod tests {
         for i in 0..n {
             a.data().put_word(arr + (i as u64) * 8, rng.next_u64());
         }
-        let (i, lim, b, v, acc) =
-            (Reg::int(10), Reg::int(11), Reg::int(12), Reg::int(13), Reg::int(14));
+        let (i, lim, b, v, acc) = (
+            Reg::int(10),
+            Reg::int(11),
+            Reg::int(12),
+            Reg::int(13),
+            Reg::int(14),
+        );
         a.li(i, 0);
         a.li(lim, n as i64);
         a.li(b, arr as i64);

@@ -21,7 +21,10 @@ pub struct OverlayMem {
 impl OverlayMem {
     /// Creates an overlay over the shared memory.
     pub fn new(base: Rc<RefCell<VecMem>>) -> Self {
-        Self { base, delta: HashMap::new() }
+        Self {
+            base,
+            delta: HashMap::new(),
+        }
     }
 
     /// Discards all speculative state (reboot).

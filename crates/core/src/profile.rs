@@ -142,9 +142,7 @@ pub fn profile_functional(prog: &Program, max_insts: u64) -> ProfileData {
             }
             last_stride[idx] = stride;
             last_addr[idx] = addr;
-            data.in_loop[idx] = loop_depth_marker
-                .iter()
-                .any(|&(t, b)| pc >= t && pc <= b);
+            data.in_loop[idx] = loop_depth_marker.iter().any(|&(t, b)| pc >= t && pc <= b);
             match kind {
                 MemKind::Store => {
                     last_writer.insert(addr, idx);
@@ -262,7 +260,11 @@ mod tests {
         let d = profile_functional(&p, 1_000_000);
         // Find the load.
         let load_idx = p.insts().iter().position(|i| i.is_load()).unwrap();
-        assert!(d.stride_ratio(load_idx) > 0.9, "ratio={}", d.stride_ratio(load_idx));
+        assert!(
+            d.stride_ratio(load_idx) > 0.9,
+            "ratio={}",
+            d.stride_ratio(load_idx)
+        );
         assert!(d.in_loop[load_idx]);
         let br_idx = p.insts().iter().position(|i| i.is_cond_branch()).unwrap();
         assert!(d.bias(br_idx) > 0.99);

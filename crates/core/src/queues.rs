@@ -321,7 +321,10 @@ mod tests {
         fq.push(5, Footnote::L1Prefetch(0x300));
         let mut out = Vec::new();
         fq.release_up_to(2, &mut out);
-        assert_eq!(out, vec![Footnote::L1Prefetch(0x100), Footnote::TlbHint(0x200)]);
+        assert_eq!(
+            out,
+            vec![Footnote::L1Prefetch(0x100), Footnote::TlbHint(0x200)]
+        );
         out.clear();
         fq.release_up_to(10, &mut out);
         assert_eq!(out, vec![Footnote::L1Prefetch(0x300)]);
@@ -347,6 +350,107 @@ mod tests {
         assert_eq!(dir.predict(0x40), Some(true));
         dir.resolve(0x40, false, true);
         assert!(boq.borrow().misfeed);
+    }
+
+    #[test]
+    fn boq_reboot_flush_resets_everything() {
+        let mut b = Boq::new(4);
+        b.push(true);
+        b.push(false);
+        b.consume();
+        b.misfeed = true;
+        b.clear();
+        assert_eq!(b.depth(), 0);
+        assert_eq!(b.consume_cursor(), 0);
+        assert!(!b.misfeed);
+        assert_eq!(b.consume(), None);
+        assert_eq!(b.commit_front(), None);
+        // Tags keep growing across reboots so FQ alignment stays unique.
+        let t = b.push(true);
+        assert!(t >= 3, "tags must not be reissued after a reboot: got {t}");
+    }
+
+    #[test]
+    fn boq_counters_track_push_and_consume() {
+        let mut b = Boq::new(8);
+        for i in 0..5 {
+            b.push(i % 2 == 0);
+        }
+        for _ in 0..3 {
+            b.consume();
+        }
+        // A squash replays two entries.
+        b.rewind(1);
+        b.consume();
+        b.consume();
+        assert_eq!(b.pushed.get(), 5);
+        assert_eq!(b.consumed.get(), 5, "re-consumption after replay counts");
+        assert_eq!(b.depth(), 2);
+    }
+
+    #[test]
+    fn boq_backpressure_follows_unread_depth() {
+        // `full()` gates LT pushes on *unread* depth (the look-ahead
+        // distance), not physical occupancy: MT consuming an entry frees
+        // push capacity immediately, while consumed-but-uncommitted
+        // entries are retained for squash replay without counting
+        // against it.
+        let mut b = Boq::new(2);
+        b.push(true);
+        b.push(true);
+        assert!(b.full());
+        b.consume();
+        b.consume();
+        assert!(!b.full());
+        // Retiring keeps the consume cursor aligned so depth stays
+        // correct as new outcomes arrive.
+        b.commit_front();
+        b.push(false);
+        assert_eq!(b.depth(), 1);
+        assert!(!b.full());
+        b.push(false);
+        assert!(b.full());
+    }
+
+    #[test]
+    fn fq_preserves_push_order_within_a_tag() {
+        let mut fq = FootnoteQueue::new(8);
+        fq.push(3, Footnote::L1Prefetch(0xA));
+        fq.push(3, Footnote::TlbHint(0xB));
+        fq.push(3, Footnote::L1Prefetch(0xC));
+        let mut out = Vec::new();
+        fq.release_up_to(3, &mut out);
+        assert_eq!(
+            out,
+            vec![
+                Footnote::L1Prefetch(0xA),
+                Footnote::TlbHint(0xB),
+                Footnote::L1Prefetch(0xC),
+            ]
+        );
+        assert_eq!(fq.pushed.get(), 3);
+        assert_eq!(fq.dropped.get(), 0);
+    }
+
+    #[test]
+    fn fq_reboot_flush_drops_pending_hints() {
+        let mut fq = FootnoteQueue::new(4);
+        fq.push(1, Footnote::L1Prefetch(0x100));
+        fq.push(
+            2,
+            Footnote::Value {
+                tag: 2,
+                offset: 1,
+                pc: 0x40,
+                value: 7,
+            },
+        );
+        assert_eq!(fq.len(), 2);
+        fq.clear();
+        assert!(fq.is_empty());
+        let mut out = Vec::new();
+        fq.release_up_to(u64::MAX, &mut out);
+        assert!(out.is_empty(), "flushed hints must never be released");
     }
 
     #[test]

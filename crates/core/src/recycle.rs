@@ -27,7 +27,13 @@ impl ActiveSkeleton {
     pub fn new(set: SkeletonSet, prog: &Program) -> Self {
         let n = prog.len();
         let versions = set.len();
-        Self { set, active: 0, code_base: prog.code_base(), n, usage: vec![0; versions] }
+        Self {
+            set,
+            active: 0,
+            code_base: prog.code_base(),
+            n,
+            usage: vec![0; versions],
+        }
     }
 
     /// Index of the active version.
@@ -88,7 +94,10 @@ impl FetchFilter for ActiveSkeleton {
 
 impl BranchOverride for ActiveSkeleton {
     fn force(&self, pc: u64) -> Option<bool> {
-        self.set.versions[self.active].bias_override.get(&pc).copied()
+        self.set.versions[self.active]
+            .bias_override
+            .get(&pc)
+            .copied()
     }
 }
 
@@ -252,7 +261,12 @@ impl RecycleController {
             return;
         }
         if self.lct.len() < self.lct_capacity {
-            self.lct.push(LctEntry { loop_pc, version, stamp, default_ipc });
+            self.lct.push(LctEntry {
+                loop_pc,
+                version,
+                stamp,
+                default_ipc,
+            });
             return;
         }
         let victim = self
@@ -260,7 +274,12 @@ impl RecycleController {
             .iter_mut()
             .min_by_key(|e| e.stamp)
             .expect("nonempty LCT");
-        *victim = LctEntry { loop_pc, version, stamp, default_ipc };
+        *victim = LctEntry {
+            loop_pc,
+            version,
+            stamp,
+            default_ipc,
+        };
     }
 
     /// Called for every committed MT instruction.
@@ -368,8 +387,7 @@ impl RecycleController {
         }
         s.iters_this_version += 1;
         let insts = self.committed - s.insts_at_start;
-        if s.iters_this_version >= self.iters_per_version && insts >= self.min_insts_per_version
-        {
+        if s.iters_this_version >= self.iters_per_version && insts >= self.min_insts_per_version {
             let cycles = (cycle - s.cycles_at_start).max(1);
             let ipc = insts as f64 / cycles as f64;
             let confirming = s.testing >= active.versions();
@@ -487,7 +505,9 @@ mod tests {
             prefetch_only: vec![false; n],
             bias_override: HashMap::new(),
         };
-        SkeletonSet { versions: vec![mk("all", 1), mk("half", 2), mk("third", 3)] }
+        SkeletonSet {
+            versions: vec![mk("all", 1), mk("half", 2), mk("third", 3)],
+        }
     }
 
     #[test]
@@ -578,6 +598,134 @@ mod tests {
         }
         assert_eq!(active.active(), 0);
         assert_eq!(rc.switches.get(), 0);
+    }
+
+    #[test]
+    fn reboot_storm_demotes_to_default_and_pins_lct() {
+        let p = tiny_program();
+        let mut active = ActiveSkeleton::new(three_version_set(&p), &p);
+        let mut rc = RecycleController::new(RecycleMode::Dynamic);
+        // Enter a loop and force a non-default version as if a search had
+        // chosen it.
+        rc.on_loop_branch(0x100, 0, &mut active);
+        rc.on_loop_branch(0x100, 1, &mut active);
+        active.switch_to(2);
+        // Two reboots: below the storm threshold, nothing happens.
+        rc.on_reboot(&mut active);
+        rc.on_reboot(&mut active);
+        assert_eq!(active.active(), 2);
+        assert_eq!(rc.storm_demotions.get(), 0);
+        // Third consecutive reboot trips the guard.
+        rc.on_reboot(&mut active);
+        assert_eq!(active.active(), 0, "storm guard must demote to default");
+        assert_eq!(rc.storm_demotions.get(), 1);
+        // The LCT is pinned to version 0: revisiting the loop after going
+        // elsewhere is a hit that keeps the default.
+        rc.on_loop_branch(0x900, 10, &mut active);
+        rc.on_loop_branch(0x900, 11, &mut active);
+        rc.on_loop_branch(0x100, 20, &mut active);
+        rc.on_loop_branch(0x100, 21, &mut active);
+        assert_eq!(rc.lct_hits.get(), 1);
+        assert_eq!(active.active(), 0);
+    }
+
+    #[test]
+    fn reboots_on_default_version_reset_the_storm_counter() {
+        let p = tiny_program();
+        let mut active = ActiveSkeleton::new(three_version_set(&p), &p);
+        let mut rc = RecycleController::new(RecycleMode::Dynamic);
+        active.switch_to(1);
+        rc.on_reboot(&mut active);
+        rc.on_reboot(&mut active);
+        // A reboot while the default is active clears the streak.
+        active.switch_to(0);
+        rc.on_reboot(&mut active);
+        active.switch_to(1);
+        rc.on_reboot(&mut active);
+        rc.on_reboot(&mut active);
+        assert_eq!(
+            rc.storm_demotions.get(),
+            0,
+            "streak must restart after reset"
+        );
+        rc.on_reboot(&mut active);
+        assert_eq!(rc.storm_demotions.get(), 1);
+        assert_eq!(active.active(), 0);
+    }
+
+    #[test]
+    fn monitor_reverts_when_chosen_version_underperforms() {
+        let p = tiny_program();
+        let mut active = ActiveSkeleton::new(three_version_set(&p), &p);
+        let mut rc = RecycleController::new(RecycleMode::Dynamic);
+        rc.iters_per_version = 2;
+        rc.min_insts_per_version = 1;
+        rc.settle_insts = 0;
+        let mut cycle = 0u64;
+        let lp = 0x200;
+        // Search: make version 1 look fastest, as in
+        // `lct_hit_restores_previous_choice`.
+        rc.on_loop_branch(lp, cycle, &mut active);
+        rc.on_loop_branch(lp, cycle, &mut active);
+        for v in 0..3 {
+            rc.on_loop_branch(lp, cycle, &mut active);
+            for _ in 0..2 {
+                let commits = if v == 1 { 40 } else { 10 };
+                for _ in 0..commits {
+                    rc.on_commit(&mut active);
+                }
+                cycle += 100;
+                rc.on_loop_branch(lp, cycle, &mut active);
+            }
+        }
+        rc.on_loop_branch(lp, cycle, &mut active);
+        for _ in 0..2 {
+            for _ in 0..10 {
+                rc.on_commit(&mut active);
+            }
+            cycle += 100;
+            rc.on_loop_branch(lp, cycle, &mut active);
+        }
+        assert_eq!(active.active(), 1, "search must crown version 1");
+        let switches_after_search = rc.switches.get();
+        // Monitor phase: version 1 now runs far below the default IPC the
+        // search recorded — the controller must revert and pin version 0.
+        for _ in 0..(2 * rc.iters_per_version + 1) {
+            rc.on_commit(&mut active); // 1 commit per 100 cycles: slow
+            cycle += 100;
+            rc.on_loop_branch(lp, cycle, &mut active);
+        }
+        assert_eq!(active.active(), 0, "monitor must revert a regression");
+        assert!(rc.switches.get() > switches_after_search);
+        // Re-entry hits the pinned LCT entry and stays on the default.
+        rc.on_loop_branch(0x900, cycle, &mut active);
+        rc.on_loop_branch(0x900, cycle + 1, &mut active);
+        rc.on_loop_branch(lp, cycle + 2, &mut active);
+        rc.on_loop_branch(lp, cycle + 3, &mut active);
+        assert_eq!(active.active(), 0);
+    }
+
+    #[test]
+    fn lct_evicts_least_recently_stamped_entry() {
+        let p = tiny_program();
+        let _active = ActiveSkeleton::new(three_version_set(&p), &p);
+        let mut rc = RecycleController::new(RecycleMode::Dynamic);
+        // Fill the 16-entry LCT directly through the insert path.
+        for i in 0..16u64 {
+            rc.committed = i; // distinct stamps
+            rc.lct_insert(0x1000 + i * 8, 1, 1.0);
+        }
+        // Touch the oldest so the second-oldest becomes the victim.
+        rc.committed = 100;
+        assert!(rc.lct_lookup(0x1000).is_some());
+        rc.committed = 101;
+        rc.lct_insert(0x9000, 2, 1.0);
+        assert!(
+            rc.lct_lookup(0x1000).is_some(),
+            "recently used entry survives"
+        );
+        assert!(rc.lct_lookup(0x1008).is_none(), "LRU entry evicted");
+        assert_eq!(rc.lct_lookup(0x9000).map(|(v, _)| v), Some(2));
     }
 
     #[test]

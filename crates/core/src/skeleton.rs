@@ -179,6 +179,7 @@ fn classify(prog: &Program, df: &Dataflow, profile: &ProfileData, opt: &Skeleton
     s
 }
 
+#[allow(clippy::too_many_arguments)] // one flag per §III-E1 seed-vector dimension
 fn build_one(
     name: &str,
     prog: &Program,
@@ -246,27 +247,39 @@ fn build_one(
             }
         }
     }
-    closure(&mut included, &mut queue, prog, df, profile, opt.max_mem_dep_distance);
+    closure(
+        &mut included,
+        &mut queue,
+        prog,
+        df,
+        profile,
+        opt.max_mem_dep_distance,
+    );
     // ---- Phase 2: prefetch payloads -----------------------------------
     // Missing memory instructions not already needed for their values are
     // included as prefetch payloads: only their *address* chains join the
     // skeleton and LT never stalls on their data (paper §III-A).
     let mut prefetch_only = vec![false; n];
     let mut prefetch_seeds: Vec<usize> = Vec::new();
-    // T1-offloaded loads keep their prefetch payloads in the skeleton:
-    // in this substrate payloads are non-blocking and nearly free for LT
-    // (unlike the paper's 3-instruction cost), so removing them would
-    // trade deep look-ahead prefetch for T1's shallower commit-time
-    // prefetch. T1 offload therefore governs the S bits (the MT-side
-    // FSM) while the payloads stay; `t1_add_back` is retained as the
-    // recycle option that *also* restores their full dependence chains.
-    let _ = t1_add_back;
+    // The *reduce* optimization (paper §III-B): loads offloaded to the T1
+    // FSM leave the skeleton entirely — T1 regenerates their strided
+    // address streams at MT commit, so keeping their payloads (and the
+    // address chains feeding them) in LT would be redundant work. The
+    // `t1back` recycle version sets `t1_add_back` to restore the payloads
+    // for loops where T1's shallower commit-time prefetch loses to deep
+    // look-ahead prefetch. Loads whose *values* feed the control slice
+    // were already included in phase 1 and are never removed.
+    let drop_for_t1 = |m: usize| t1_set.contains(&m) && !t1_add_back;
     for &m in &seeds.l2_targets {
-        prefetch_seeds.push(m);
+        if !drop_for_t1(m) {
+            prefetch_seeds.push(m);
+        }
     }
     if include_l1 {
         for &m in &seeds.l1_targets {
-            prefetch_seeds.push(m);
+            if !drop_for_t1(m) {
+                prefetch_seeds.push(m);
+            }
         }
     }
     for m in prefetch_seeds {
@@ -280,7 +293,14 @@ fn build_one(
                 queue.push(p);
             }
         }
-        closure(&mut included, &mut queue, prog, df, profile, opt.max_mem_dep_distance);
+        closure(
+            &mut included,
+            &mut queue,
+            prog,
+            df,
+            profile,
+            opt.max_mem_dep_distance,
+        );
     }
     let mut mask = vec![false; n];
     for i in included.iter() {
@@ -310,7 +330,13 @@ fn build_one(
             bias_override.insert(prog.index_to_pc(b), profile.biased_taken(b));
         }
     }
-    Skeleton { name: name.to_string(), mask, sbits, prefetch_only, bias_override }
+    Skeleton {
+        name: name.to_string(),
+        mask,
+        sbits,
+        prefetch_only,
+        bias_override,
+    }
 }
 
 /// Generates the skeleton set.
@@ -337,7 +363,9 @@ pub fn generate_skeletons(
 ) -> SkeletonSet {
     let seeds = classify(prog, df, profile, opt);
     let mk = |name, l1, vr, back, bias| {
-        build_one(name, prog, df, profile, opt, &seeds, l1, vr, t1_enabled, back, bias)
+        build_one(
+            name, prog, df, profile, opt, &seeds, l1, vr, t1_enabled, back, bias,
+        )
     };
     SkeletonSet {
         versions: vec![
@@ -373,8 +401,14 @@ mod tests {
         for (i, &p) in perm.iter().enumerate() {
             a.data().put_word(chase + (i as u64) * 8, chase + p * 8);
         }
-        let (i, lim, b, v, cur, dead) =
-            (Reg::int(10), Reg::int(11), Reg::int(12), Reg::int(13), Reg::int(14), Reg::int(15));
+        let (i, lim, b, v, cur, dead) = (
+            Reg::int(10),
+            Reg::int(11),
+            Reg::int(12),
+            Reg::int(13),
+            Reg::int(14),
+            Reg::int(15),
+        );
         a.li(i, 0); // 0
         a.li(lim, n as i64); // 1
         a.li(b, arr as i64); // 2
@@ -386,6 +420,7 @@ mod tests {
         a.ld(cur, cur, 0); // 7: pointer chase
         a.addi(dead, dead, 5); // 8: dead compute
         a.mul(dead, dead, dead); // 9: dead compute
+
         // A forward guard branch that is never taken (rare-error check):
         // the canonical bias-conversion target.
         a.blt(i, Reg::ZERO, "guard"); // 10: biased forward branch
@@ -421,17 +456,30 @@ mod tests {
         let (df, prof) = profile_of(&p);
         let without = generate_skeletons(&p, &df, &prof, &SkeletonOptions::default(), false);
         let with = generate_skeletons(&p, &df, &prof, &SkeletonOptions::default(), true);
-        // The strided load (6) carries an S bit; it stays on the skeleton
-        // as a non-blocking prefetch payload (substrate note in the
-        // generator: payloads are nearly free for LT here, so T1 governs
-        // the MT-side FSM rather than shrinking the skeleton).
+        // The strided load (6) carries an S bit and is *removed* from the
+        // skeleton — T1 regenerates its address stream at MT commit, so
+        // LT does not spend fetch/commit bandwidth on it (the paper's
+        // "reduce" optimization).
         assert!(with.versions[0].sbits[6], "strided load S-bit set");
-        assert!(with.versions[0].mask[6], "payload stays on the skeleton");
         assert!(
-            with.versions[0].prefetch_only[6],
-            "strided load is a non-blocking payload"
+            !with.versions[0].mask[6],
+            "offloaded payload leaves the skeleton"
         );
-        assert!(without.versions[0].mask[6], "baseline keeps the strided load");
+        assert!(
+            without.versions[0].mask[6],
+            "baseline keeps the strided load"
+        );
+        assert!(
+            without.versions[0].prefetch_only[6],
+            "baseline carries it as a non-blocking payload"
+        );
+        // The `t1back` recycle version restores the payload for loops
+        // where deep look-ahead prefetch beats T1's shallow stream.
+        assert!(with.versions[3].mask[6], "t1back restores the payload");
+        assert!(
+            with.versions[3].prefetch_only[6],
+            "restored payload is still non-blocking"
+        );
         assert!(!with.versions[0].sbits[7], "pointer chase not T1-eligible");
         assert!(!without.versions[0].sbits[6], "no S bits without T1");
     }

@@ -114,11 +114,7 @@ pub fn static_recycle_mode(
 
 /// Builds a statically tuned system for a config: tunes on a training
 /// window, then assembles the final system with the resulting map.
-pub fn build_static_tuned(
-    base: &DlaSystem,
-    cfg: DlaConfig,
-    tune_window: u64,
-) -> DlaSystem {
+pub fn build_static_tuned(base: &DlaSystem, cfg: DlaConfig, tune_window: u64) -> DlaSystem {
     let program = Rc::clone(base.program());
     let skeletons = base.active_skeleton().borrow().set().clone();
     let profile = base.profile.clone();
@@ -131,12 +127,7 @@ pub fn build_static_tuned(
         move || {
             let mut c = cfg.clone();
             c.recycle = RecycleMode::Off;
-            DlaSystem::assemble(
-                Rc::clone(&program),
-                c,
-                skeletons.clone(),
-                profile.clone(),
-            )
+            DlaSystem::assemble(Rc::clone(&program), c, skeletons.clone(), profile.clone())
         }
     };
     let mode = static_recycle_mode(mk, versions, tune_window);
@@ -154,8 +145,7 @@ mod tests {
     #[test]
     fn tuner_attributes_loops_and_produces_a_map() {
         let wl = by_name("hmmer_like").unwrap().build(Scale::Tiny);
-        let base =
-            DlaSystem::build(&wl, DlaConfig::dla(), SkeletonOptions::default()).unwrap();
+        let base = DlaSystem::build(&wl, DlaConfig::dla(), SkeletonOptions::default()).unwrap();
         let program = Rc::clone(base.program());
         let skeletons = base.active_skeleton().borrow().set().clone();
         let profile = base.profile.clone();
@@ -180,8 +170,7 @@ mod tests {
     #[test]
     fn statically_tuned_system_runs() {
         let wl = by_name("libq_like").unwrap().build(Scale::Tiny);
-        let base =
-            DlaSystem::build(&wl, DlaConfig::dla(), SkeletonOptions::default()).unwrap();
+        let base = DlaSystem::build(&wl, DlaConfig::dla(), SkeletonOptions::default()).unwrap();
         let mut tuned = build_static_tuned(&base, DlaConfig::dla(), 20_000);
         let rep = tuned.measure(5_000, 20_000);
         assert!(rep.mt_ipc > 0.0);

@@ -14,6 +14,7 @@ use r3dla_isa::{ArchState, Program, VecMem};
 use r3dla_mem::{CacheStats, CoreMem, DramStats, MemConfig, SharedLlc};
 use r3dla_workloads::BuiltWorkload;
 
+use crate::dataflow::Dataflow;
 use crate::overlay::OverlayMem;
 use crate::profile::{profile, ProfileData};
 use crate::queues::{Boq, BoqDirection, Footnote, FootnoteQueue};
@@ -21,7 +22,6 @@ use crate::recycle::{ActiveSkeleton, RecycleController, RecycleMode};
 use crate::skeleton::{generate_skeletons, SkeletonOptions, SkeletonSet};
 use crate::t1::T1;
 use crate::value_reuse::{Sif, VrSource};
-use crate::dataflow::Dataflow;
 
 /// Configuration of a DLA/R3-DLA system.
 #[derive(Debug, Clone)]
@@ -151,9 +151,13 @@ impl CommitSink for LtSink {
         }
         if rec.inst.is_branch() && !rec.inst.has_static_target() {
             // Indirect branch: send the target hint.
-            self.fq
-                .borrow_mut()
-                .push(tag, Footnote::BranchTarget { pc: rec.pc, target: rec.next_pc });
+            self.fq.borrow_mut().push(
+                tag,
+                Footnote::BranchTarget {
+                    pc: rec.pc,
+                    target: rec.next_pc,
+                },
+            );
         }
         if rec.inst.is_load() {
             if let Some(addr) = rec.mem_addr {
@@ -168,14 +172,23 @@ impl CommitSink for LtSink {
         if self.value_reuse && !rec.inst.is_branch() {
             if let Some(value) = rec.value {
                 if self.sif.borrow().should_reuse(rec.pc) {
-                    self.fq
-                        .borrow_mut()
-                        .push(tag, Footnote::Value { tag, offset: 0, pc: rec.pc, value });
+                    self.fq.borrow_mut().push(
+                        tag,
+                        Footnote::Value {
+                            tag,
+                            offset: 0,
+                            pc: rec.pc,
+                            value,
+                        },
+                    );
                 }
             }
         }
     }
 }
+
+/// An optional, late-bound commit observer shared across sinks.
+type SharedObserver = Rc<RefCell<Option<Rc<RefCell<dyn CommitSink>>>>>;
 
 struct MtSink {
     boq: Rc<RefCell<Boq>>,
@@ -186,7 +199,7 @@ struct MtSink {
     recycle: Rc<RefCell<RecycleController>>,
     active: Rc<RefCell<ActiveSkeleton>>,
     value_reuse: bool,
-    observer: Rc<RefCell<Option<Rc<RefCell<dyn CommitSink>>>>>,
+    observer: SharedObserver,
 }
 
 impl CommitSink for MtSink {
@@ -222,12 +235,8 @@ impl CommitSink for MtSink {
         if let Some(t1) = &self.t1 {
             if self.sbit_pcs.contains(&rec.pc) {
                 if let Some(addr) = rec.mem_addr {
-                    t1.borrow_mut().observe(
-                        rec.pc,
-                        addr,
-                        rec.cycle,
-                        &mut self.t1_out.borrow_mut(),
-                    );
+                    t1.borrow_mut()
+                        .observe(rec.pc, addr, rec.cycle, &mut self.t1_out.borrow_mut());
                 }
             }
         }
@@ -291,7 +300,7 @@ pub struct DlaSystem {
     overlay: Rc<RefCell<OverlayMem>>,
     active: Rc<RefCell<ActiveSkeleton>>,
     recycle: Rc<RefCell<RecycleController>>,
-    mt_observer: Rc<RefCell<Option<Rc<RefCell<dyn CommitSink>>>>>,
+    mt_observer: SharedObserver,
     note_buf: Vec<Footnote>,
     cycle: u64,
     pending_reboot: bool,
@@ -355,10 +364,7 @@ impl DlaSystem {
             .t1
             .then(|| Rc::new(RefCell::new(T1::new(cfg.t1_entries, 200))));
         let t1_out = Rc::new(RefCell::new(Vec::new()));
-        let active = Rc::new(RefCell::new(ActiveSkeleton::new(
-            skeletons,
-            &program,
-        )));
+        let active = Rc::new(RefCell::new(ActiveSkeleton::new(skeletons, &program)));
         let recycle = Rc::new(RefCell::new(RecycleController::new(cfg.recycle.clone())));
         // S-bit PCs come from the default skeleton version.
         let sbit_pcs: HashSet<u64> = active.borrow().set().versions[0]
@@ -395,8 +401,7 @@ impl DlaSystem {
             mt.set_value_source(0, vr.clone());
             vr
         });
-        let mt_observer: Rc<RefCell<Option<Rc<RefCell<dyn CommitSink>>>>> =
-            Rc::new(RefCell::new(None));
+        let mt_observer: SharedObserver = Rc::new(RefCell::new(None));
         let mt_sink = Rc::new(RefCell::new(MtSink {
             boq: Rc::clone(&boq),
             sif: Rc::clone(&sif),
@@ -422,12 +427,7 @@ impl DlaSystem {
         let mut lt = Core::new(cfg.lt_core.clone(), Rc::clone(&program), lt_mem);
         let overlay = Rc::new(RefCell::new(OverlayMem::new(Rc::clone(&arch_mem))));
         let lt_dir = Box::new(PredictorDirection::new(Box::new(Tage::paper())));
-        let lt_tid = lt.add_thread(
-            program.entry(),
-            entry_state.regs(),
-            lt_dir,
-            overlay.clone(),
-        );
+        let lt_tid = lt.add_thread(program.entry(), entry_state.regs(), lt_dir, overlay.clone());
         debug_assert_eq!(lt_tid, 0);
         lt.set_fetch_filter(0, active.clone());
         lt.set_branch_override(0, active.clone());
@@ -516,7 +516,9 @@ impl DlaSystem {
         // Release footnotes up to the last served BOQ tag and apply them.
         let served = self.boq.borrow().last_served_tag();
         self.note_buf.clear();
-        self.fq.borrow_mut().release_up_to(served, &mut self.note_buf);
+        self.fq
+            .borrow_mut()
+            .release_up_to(served, &mut self.note_buf);
         for i in 0..self.note_buf.len() {
             match self.note_buf[i] {
                 Footnote::L1Prefetch(addr) => {
@@ -665,7 +667,9 @@ pub struct SingleCoreSim {
 
 impl std::fmt::Debug for SingleCoreSim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SingleCoreSim").field("cycle", &self.cycle).finish()
+        f.debug_struct("SingleCoreSim")
+            .field("cycle", &self.cycle)
+            .finish()
     }
 }
 
@@ -739,12 +743,21 @@ impl SingleCoreSim {
         self.run_until(window_insts, window_insts * 60 + 500_000);
         let insts = self.core.committed(0) - c0;
         let cycles = self.core.cycle() - y0;
-        let ipc = if cycles == 0 { 0.0 } else { insts as f64 / cycles as f64 };
+        let ipc = if cycles == 0 {
+            0.0
+        } else {
+            insts as f64 / cycles as f64
+        };
         (ipc, insts, cycles)
     }
 
     /// DRAM traffic lines so far.
     pub fn dram_traffic(&self) -> u64 {
-        self.core.mem().shared().borrow().dram_stats().traffic_lines()
+        self.core
+            .mem()
+            .shared()
+            .borrow()
+            .dram_stats()
+            .traffic_lines()
     }
 }

@@ -135,8 +135,7 @@ impl T1 {
                     // burst is capped: a mistrained entry must not flood
                     // the hierarchy, and the steady per-iteration stream
                     // closes the remaining distance anyway.
-                    let distance =
-                        (self.avg_mem_latency / iter_time).clamp(1, Self::MAX_DISTANCE);
+                    let distance = (self.avg_mem_latency / iter_time).clamp(1, Self::MAX_DISTANCE);
                     e.pref_distance = distance;
                     for k in 1..=distance.min(Self::MAX_BURST) {
                         self.push_prefetch(addr, stride, k, out);
@@ -211,6 +210,7 @@ mod tests {
         assert_eq!(out.len(), 1);
         out.clear();
         t1.observe(0x100, 0x1080, 100, &mut out); // confirmed → catch-up
+
         // distance = 100/50 = 2 → two catch-up prefetches.
         assert_eq!(out, vec![0x10C0, 0x1100]);
     }
@@ -221,7 +221,12 @@ mod tests {
         let mut rng = r3dla_stats::Rng::new(4);
         let mut out = Vec::new();
         for i in 0..50u64 {
-            t1.observe(0x200, rng.range_u64(0x1000, 0x100000) & !7, i * 10, &mut out);
+            t1.observe(
+                0x200,
+                rng.range_u64(0x1000, 0x100000) & !7,
+                i * 10,
+                &mut out,
+            );
         }
         // A couple of lucky transient prefetches at most.
         assert!(out.len() < 10, "issued {}", out.len());

@@ -129,7 +129,13 @@ impl CoreConfigBuilder {
     }
 
     /// Sets all four pipeline widths at once.
-    pub fn widths(&mut self, fetch: usize, decode: usize, issue: usize, commit: usize) -> &mut Self {
+    pub fn widths(
+        &mut self,
+        fetch: usize,
+        decode: usize,
+        issue: usize,
+        commit: usize,
+    ) -> &mut Self {
         self.cfg.fetch_width = fetch;
         self.cfg.decode_width = decode;
         self.cfg.issue_width = issue;

@@ -137,6 +137,7 @@ struct Thread {
     rob_head_seq: u64,
     next_seq: u64,
     store_queue: VecDeque<u64>, // seqs of in-flight stores, oldest first
+
     // Architectural state.
     arch_regs: [u64; Reg::COUNT],
     arch_pc: u64,
@@ -410,7 +411,9 @@ impl Core {
     fn commit_one(&mut self, tid: usize) -> bool {
         let cycle = self.cycle;
         let t = &mut self.threads[tid];
-        let Some(head) = t.rob.front() else { return false };
+        let Some(head) = t.rob.front() else {
+            return false;
+        };
         if head.stage != Stage::Done || head.exec_done > cycle {
             return false;
         }
@@ -714,8 +717,7 @@ impl Core {
             return IssueResult::NotReady;
         }
         let prefetch_only = e.inst.is_load()
-            && self
-                .threads[tid]
+            && self.threads[tid]
                 .filter
                 .clone()
                 .map(|f| f.borrow_mut().prefetch_only(e.pc))
@@ -885,10 +887,7 @@ impl Core {
             let tid = (cycle as usize + k) % nthreads;
             let depth = self.cfg.frontend_depth;
             let t = &mut self.threads[tid];
-            while drain_budget > 0
-                && t.decode_pipe.len() < pipe_cap
-                && !t.fetch_buffer.is_empty()
-            {
+            while drain_budget > 0 && t.decode_pipe.len() < pipe_cap && !t.fetch_buffer.is_empty() {
                 let mut f = t.fetch_buffer.pop_front().expect("nonempty");
                 f.decode_ready = cycle + depth;
                 t.decode_pipe.push_back(f);
@@ -997,7 +996,11 @@ impl Core {
             seq,
             pc: f.pc,
             inst: f.inst,
-            stage: if skip_validation { Stage::Done } else { Stage::Dispatched },
+            stage: if skip_validation {
+                Stage::Done
+            } else {
+                Stage::Dispatched
+            },
             exec_done: if skip_validation { cycle + 1 } else { u64::MAX },
             dest_new,
             dest_old,

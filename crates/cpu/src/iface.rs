@@ -200,7 +200,7 @@ mod tests {
         let mut d = PredictorDirection::new(Box::new(Bimodal::new(64)));
         for _ in 0..10 {
             let p = d.predict(0x40).unwrap();
-            d.resolve(0x40, true, p != true);
+            d.resolve(0x40, true, !p);
         }
         assert_eq!(d.predict(0x40), Some(true));
         assert_eq!(d.name(), "bimodal");

@@ -190,8 +190,13 @@ mod tests {
             vals.push(rng.range_u64(0, 2));
         }
         let arr = a.data().words(&vals);
-        let (i, n, base, v, acc) =
-            (Reg::int(10), Reg::int(11), Reg::int(12), Reg::int(13), Reg::int(14));
+        let (i, n, base, v, acc) = (
+            Reg::int(10),
+            Reg::int(11),
+            Reg::int(12),
+            Reg::int(13),
+            Reg::int(14),
+        );
         a.li(i, 0);
         a.li(n, 128);
         a.li(base, arr as i64);
@@ -292,8 +297,13 @@ mod tests {
         let vals: Vec<u64> = (0..256).map(|_| rng.range_u64(0, 2)).collect();
         let mut a = Asm::new();
         let arr = a.data().words(&vals);
-        let (i, n, base, v, x) =
-            (Reg::int(10), Reg::int(11), Reg::int(12), Reg::int(13), Reg::int(14));
+        let (i, n, base, v, x) = (
+            Reg::int(10),
+            Reg::int(11),
+            Reg::int(12),
+            Reg::int(13),
+            Reg::int(14),
+        );
         a.li(i, 0);
         a.li(n, 256);
         a.li(base, arr as i64);
@@ -374,7 +384,10 @@ mod tests {
         for _ in 0..2000 {
             core.step();
         }
-        assert!(core.arch_regs(t)[10] >= 5_000_000, "reboot state not applied");
+        assert!(
+            core.arch_regs(t)[10] >= 5_000_000,
+            "reboot state not applied"
+        );
     }
 
     #[test]

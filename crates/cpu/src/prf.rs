@@ -113,7 +113,10 @@ mod tests {
         prf.free(a);
         let b = prf.alloc().unwrap();
         assert_eq!(b, a);
-        assert!(!prf.is_ready(b, 1_000_000), "reallocation must reset readiness");
+        assert!(
+            !prf.is_ready(b, 1_000_000),
+            "reallocation must reset readiness"
+        );
     }
 
     #[test]

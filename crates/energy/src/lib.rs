@@ -122,7 +122,11 @@ impl CoreEnergy {
             + a.bpred_lookups.get() as f64 * p.bpred_j
             + (a.loads.get() + a.stores.get()) as f64 * p.l1_j;
         let seconds = a.cycles.get() as f64 / p.freq_hz;
-        Self { dynamic_j, static_j: p.core_static_w * seconds, seconds }
+        Self {
+            dynamic_j,
+            static_j: p.core_static_w * seconds,
+            seconds,
+        }
     }
 
     /// Total energy.
@@ -160,7 +164,10 @@ impl DramEnergy {
         let dynamic_j = d.activations.get() as f64 * p.dram_act_j
             + d.reads.get() as f64 * p.dram_rd_j
             + d.writes.get() as f64 * p.dram_wr_j;
-        Self { dynamic_j, static_j: p.dram_static_w * seconds }
+        Self {
+            dynamic_j,
+            static_j: p.dram_static_w * seconds,
+        }
     }
 
     /// Total energy.

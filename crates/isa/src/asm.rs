@@ -38,7 +38,10 @@ pub struct DataBuilder {
 
 impl DataBuilder {
     fn new() -> Self {
-        Self { next: DATA_BASE, image: Vec::new() }
+        Self {
+            next: DATA_BASE,
+            image: Vec::new(),
+        }
     }
 
     /// Reserves `n` 8-byte words and returns the base address. The words
@@ -151,7 +154,11 @@ impl Asm {
     /// Defines `label` at the current position.
     pub fn label(&mut self, label: impl Into<String>) {
         let label = label.into();
-        if self.labels.insert(label.clone(), self.insts.len()).is_some() {
+        if self
+            .labels
+            .insert(label.clone(), self.insts.len())
+            .is_some()
+        {
             self.duplicate.get_or_insert(label);
         }
     }
@@ -162,16 +169,34 @@ impl Asm {
     }
 
     fn emit_rrr(&mut self, op: Op, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Inst { op, rd, rs1, rs2, imm: 0 });
+        self.emit(Inst {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm: 0,
+        });
     }
 
     fn emit_rri(&mut self, op: Op, rd: Reg, rs1: Reg, imm: i64) {
-        self.emit(Inst { op, rd, rs1, rs2: Reg::ZERO, imm });
+        self.emit(Inst {
+            op,
+            rd,
+            rs1,
+            rs2: Reg::ZERO,
+            imm,
+        });
     }
 
     fn emit_branch(&mut self, op: Op, rs1: Reg, rs2: Reg, label: &str) {
         self.fixups.push((self.insts.len(), label.to_string()));
-        self.emit(Inst { op, rd: Reg::ZERO, rs1, rs2, imm: 0 });
+        self.emit(Inst {
+            op,
+            rd: Reg::ZERO,
+            rs1,
+            rs2,
+            imm: 0,
+        });
     }
 }
 
@@ -305,34 +330,70 @@ impl Asm {
 
     /// `mem[rs_base + off] = rs_src`.
     pub fn st(&mut self, rs_src: Reg, rs_base: Reg, off: i64) {
-        self.emit(Inst { op: Op::St, rd: Reg::ZERO, rs1: rs_base, rs2: rs_src, imm: off });
+        self.emit(Inst {
+            op: Op::St,
+            rd: Reg::ZERO,
+            rs1: rs_base,
+            rs2: rs_src,
+            imm: off,
+        });
     }
 
     /// Unconditional jump to `label`.
     pub fn j(&mut self, label: &str) {
         self.fixups.push((self.insts.len(), label.to_string()));
-        self.emit(Inst { op: Op::Jal, rd: Reg::ZERO, rs1: Reg::ZERO, rs2: Reg::ZERO, imm: 0 });
+        self.emit(Inst {
+            op: Op::Jal,
+            rd: Reg::ZERO,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            imm: 0,
+        });
     }
 
     /// Direct call to `label` (link in `ra`).
     pub fn call(&mut self, label: &str) {
         self.fixups.push((self.insts.len(), label.to_string()));
-        self.emit(Inst { op: Op::Jal, rd: Reg::RA, rs1: Reg::ZERO, rs2: Reg::ZERO, imm: 0 });
+        self.emit(Inst {
+            op: Op::Jal,
+            rd: Reg::RA,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            imm: 0,
+        });
     }
 
     /// Return (`jalr r0, ra, 0`).
     pub fn ret(&mut self) {
-        self.emit(Inst { op: Op::Jalr, rd: Reg::ZERO, rs1: Reg::RA, rs2: Reg::ZERO, imm: 0 });
+        self.emit(Inst {
+            op: Op::Jalr,
+            rd: Reg::ZERO,
+            rs1: Reg::RA,
+            rs2: Reg::ZERO,
+            imm: 0,
+        });
     }
 
     /// Indirect jump through `rs`.
     pub fn jr(&mut self, rs: Reg) {
-        self.emit(Inst { op: Op::Jalr, rd: Reg::ZERO, rs1: rs, rs2: Reg::ZERO, imm: 0 });
+        self.emit(Inst {
+            op: Op::Jalr,
+            rd: Reg::ZERO,
+            rs1: rs,
+            rs2: Reg::ZERO,
+            imm: 0,
+        });
     }
 
     /// Indirect call through `rs` (link in `ra`).
     pub fn callr(&mut self, rs: Reg) {
-        self.emit(Inst { op: Op::Jalr, rd: Reg::RA, rs1: rs, rs2: Reg::ZERO, imm: 0 });
+        self.emit(Inst {
+            op: Op::Jalr,
+            rd: Reg::RA,
+            rs1: rs,
+            rs2: Reg::ZERO,
+            imm: 0,
+        });
     }
 
     /// Integer-to-float convert: `fd = (f64) rs`.
@@ -352,7 +413,10 @@ impl Asm {
 
     /// Stop the program.
     pub fn halt(&mut self) {
-        self.emit(Inst { op: Op::Halt, ..Inst::NOP });
+        self.emit(Inst {
+            op: Op::Halt,
+            ..Inst::NOP
+        });
     }
 
     /// Resolves labels and produces the final [`Program`].
@@ -366,20 +430,29 @@ impl Asm {
         if let Some(dup) = self.duplicate {
             return Err(AsmError::DuplicateLabel(dup));
         }
-        let Asm { name, mut insts, labels, fixups, data_label_fixups, mut data, .. } = self;
+        let Asm {
+            name,
+            mut insts,
+            labels,
+            fixups,
+            data_label_fixups,
+            mut data,
+            ..
+        } = self;
         for (idx, label) in fixups {
             let target_idx = *labels
                 .get(&label)
                 .ok_or_else(|| AsmError::UnresolvedLabel(label.clone()))?;
-            insts[idx].imm =
-                (crate::program::CODE_BASE + target_idx as u64 * INST_BYTES) as i64;
+            insts[idx].imm = (crate::program::CODE_BASE + target_idx as u64 * INST_BYTES) as i64;
         }
         for (addr, label) in data_label_fixups {
             let target_idx = *labels
                 .get(&label)
                 .ok_or_else(|| AsmError::UnresolvedLabel(label.clone()))?;
-            data.image
-                .push((addr, crate::program::CODE_BASE + target_idx as u64 * INST_BYTES));
+            data.image.push((
+                addr,
+                crate::program::CODE_BASE + target_idx as u64 * INST_BYTES,
+            ));
         }
         Ok(Program::from_parts(name, insts, 0, data.image))
     }
@@ -413,10 +486,7 @@ mod tests {
     fn unresolved_label_is_error() {
         let mut a = Asm::new();
         a.j("nowhere");
-        assert_eq!(
-            a.finish(),
-            Err(AsmError::UnresolvedLabel("nowhere".into()))
-        );
+        assert_eq!(a.finish(), Err(AsmError::UnresolvedLabel("nowhere".into())));
     }
 
     #[test]

@@ -175,13 +175,7 @@ pub fn eval_alu(op: Op, a: u64, b: u64, imm: i64) -> u64 {
         Add => a.wrapping_add(b),
         Sub => a.wrapping_sub(b),
         Mul => a.wrapping_mul(b),
-        Div => {
-            if b == 0 {
-                u64::MAX
-            } else {
-                a / b
-            }
-        }
+        Div => a.checked_div(b).unwrap_or(u64::MAX),
         Rem => {
             if b == 0 {
                 a
@@ -443,6 +437,9 @@ mod tests {
         let p = a.finish().unwrap();
         let mut st = ArchState::new(p.entry());
         let mut mem = VecMem::new();
-        assert_eq!(run(&p, &mut st, &mut mem, 10), Err(ExecError::StepLimit(10)));
+        assert_eq!(
+            run(&p, &mut st, &mut mem, 10),
+            Err(ExecError::StepLimit(10))
+        );
     }
 }

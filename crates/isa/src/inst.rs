@@ -232,9 +232,9 @@ impl Inst {
     pub fn def(&self) -> Option<Reg> {
         use Op::*;
         let rd = match self.op {
-            Add | Sub | Mul | Div | Rem | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu
-            | Addi | Andi | Ori | Xori | Slli | Srli | Srai | Slti | Li | Ld | Fadd | Fsub
-            | Fmul | Fdiv | Flt | Cvtif | Cvtfi => Some(self.rd),
+            Add | Sub | Mul | Div | Rem | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Addi
+            | Andi | Ori | Xori | Slli | Srli | Srai | Slti | Li | Ld | Fadd | Fsub | Fmul
+            | Fdiv | Flt | Cvtif | Cvtfi => Some(self.rd),
             Jal | Jalr => Some(self.rd),
             St | Beq | Bne | Blt | Bge | Bltu | Bgeu | Nop | Halt => None,
         };
@@ -245,10 +245,11 @@ impl Inst {
     pub fn uses(&self) -> [Option<Reg>; 2] {
         use Op::*;
         let (a, b) = match self.op {
-            Add | Sub | Mul | Div | Rem | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu
-            | Fadd | Fsub | Fmul | Fdiv | Flt => (Some(self.rs1), Some(self.rs2)),
-            Addi | Andi | Ori | Xori | Slli | Srli | Srai | Slti | Ld | Jalr | Cvtif
-            | Cvtfi => (Some(self.rs1), None),
+            Add | Sub | Mul | Div | Rem | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Fadd
+            | Fsub | Fmul | Fdiv | Flt => (Some(self.rs1), Some(self.rs2)),
+            Addi | Andi | Ori | Xori | Slli | Srli | Srai | Slti | Ld | Jalr | Cvtif | Cvtfi => {
+                (Some(self.rs1), None)
+            }
             St => (Some(self.rs1), Some(self.rs2)),
             Beq | Bne | Blt | Bge | Bltu | Bgeu => (Some(self.rs1), Some(self.rs2)),
             Li | Jal | Nop | Halt => (None, None),
@@ -358,11 +359,7 @@ impl fmt::Display for Inst {
             Addi | Andi | Ori | Xori | Slli | Srli | Srai | Slti => {
                 write!(f, "{:?} {}, {}, {}", self.op, self.rd, self.rs1, self.imm)
             }
-            _ => write!(
-                f,
-                "{:?} {}, {}, {}",
-                self.op, self.rd, self.rs1, self.rs2
-            ),
+            _ => write!(f, "{:?} {}, {}, {}", self.op, self.rd, self.rs1, self.rs2),
         }
     }
 }
@@ -432,7 +429,10 @@ mod tests {
             imm: 0x100,
         };
         assert_eq!(jal_call.branch_kind(), Some(BranchKind::Call));
-        let jal_jump = Inst { rd: Reg::ZERO, ..jal_call };
+        let jal_jump = Inst {
+            rd: Reg::ZERO,
+            ..jal_call
+        };
         assert_eq!(jal_jump.branch_kind(), Some(BranchKind::Jump));
         let ret = Inst {
             op: Op::Jalr,
@@ -442,7 +442,10 @@ mod tests {
             imm: 0,
         };
         assert_eq!(ret.branch_kind(), Some(BranchKind::Ret));
-        let ind = Inst { rs1: Reg::int(9), ..ret };
+        let ind = Inst {
+            rs1: Reg::int(9),
+            ..ret
+        };
         assert_eq!(ind.branch_kind(), Some(BranchKind::IndJump));
     }
 

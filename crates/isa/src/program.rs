@@ -82,7 +82,7 @@ impl Program {
     /// properly aligned.
     #[inline]
     pub fn pc_to_index(&self, pc: u64) -> Option<usize> {
-        if pc < CODE_BASE || (pc - CODE_BASE) % INST_BYTES != 0 {
+        if pc < CODE_BASE || !(pc - CODE_BASE).is_multiple_of(INST_BYTES) {
             return None;
         }
         let idx = ((pc - CODE_BASE) / INST_BYTES) as usize;
@@ -120,9 +120,18 @@ mod tests {
 
     fn tiny() -> Program {
         let insts = vec![
-            Inst { op: Op::Li, rd: Reg::int(10), rs1: Reg::ZERO, rs2: Reg::ZERO, imm: 1 },
+            Inst {
+                op: Op::Li,
+                rd: Reg::int(10),
+                rs1: Reg::ZERO,
+                rs2: Reg::ZERO,
+                imm: 1,
+            },
             Inst::NOP,
-            Inst { op: Op::Halt, ..Inst::NOP },
+            Inst {
+                op: Op::Halt,
+                ..Inst::NOP
+            },
         ];
         Program::from_parts("tiny", insts, 0, vec![(DATA_BASE, 99)])
     }

@@ -25,17 +25,35 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// The paper's 32 KiB 4-way L1 (1 ns ≈ 3 cycles at 3 GHz).
     pub fn l1() -> Self {
-        Self { size_bytes: 32 * 1024, ways: 4, latency: 3, mshrs: 32, discard_dirty: false }
+        Self {
+            size_bytes: 32 * 1024,
+            ways: 4,
+            latency: 3,
+            mshrs: 32,
+            discard_dirty: false,
+        }
     }
 
     /// The paper's 256 KiB 8-way L2 (3 ns ≈ 9 cycles).
     pub fn l2() -> Self {
-        Self { size_bytes: 256 * 1024, ways: 8, latency: 9, mshrs: 32, discard_dirty: false }
+        Self {
+            size_bytes: 256 * 1024,
+            ways: 8,
+            latency: 9,
+            mshrs: 32,
+            discard_dirty: false,
+        }
     }
 
     /// The paper's 2 MiB 16-way L3 (12 ns ≈ 36 cycles).
     pub fn l3() -> Self {
-        Self { size_bytes: 2 * 1024 * 1024, ways: 16, latency: 36, mshrs: 64, discard_dirty: false }
+        Self {
+            size_bytes: 2 * 1024 * 1024,
+            ways: 16,
+            latency: 36,
+            mshrs: 64,
+            discard_dirty: false,
+        }
     }
 
     fn num_sets(&self) -> usize {
@@ -98,8 +116,14 @@ struct Line {
     touched: bool,
 }
 
-const INVALID_LINE: Line =
-    Line { tag: 0, valid: false, dirty: false, stamp: 0, prefetched: false, touched: false };
+const INVALID_LINE: Line = Line {
+    tag: 0,
+    valid: false,
+    dirty: false,
+    stamp: 0,
+    prefetched: false,
+    touched: false,
+};
 
 #[derive(Debug, Clone, Copy)]
 struct Mshr {
@@ -191,7 +215,14 @@ impl Cache {
             .iter_mut()
             .min_by_key(|l| if l.valid { l.stamp } else { 0 })
             .expect("nonzero ways");
-        *victim = Line { tag: line_addr, valid: true, dirty: false, stamp, prefetched: false, touched: true };
+        *victim = Line {
+            tag: line_addr,
+            valid: true,
+            dirty: false,
+            stamp,
+            prefetched: false,
+            touched: true,
+        };
         false
     }
 
@@ -222,7 +253,10 @@ impl Cache {
                 self.stats.prefetch_late.inc();
             }
             let ready = m.ready.max(now + self.cfg.latency);
-            if let Some(l) = self.sets[si].iter_mut().find(|l| l.valid && l.tag == line_addr) {
+            if let Some(l) = self.sets[si]
+                .iter_mut()
+                .find(|l| l.valid && l.tag == line_addr)
+            {
                 l.stamp = stamp;
                 if kind == AccessKind::Write {
                     l.dirty = true;
@@ -274,7 +308,11 @@ impl Cache {
         self.stamp += 1;
         let stamp = self.stamp;
         if self.mshrs.len() < self.cfg.mshrs {
-            self.mshrs.push(Mshr { line_addr, ready, prefetch });
+            self.mshrs.push(Mshr {
+                line_addr,
+                ready,
+                prefetch,
+            });
         }
         let set = &mut self.sets[si];
         if let Some(l) = set.iter_mut().find(|l| l.valid && l.tag == line_addr) {
@@ -335,7 +373,13 @@ mod tests {
     use super::*;
 
     fn tiny_cfg() -> CacheConfig {
-        CacheConfig { size_bytes: 1024, ways: 2, latency: 2, mshrs: 4, discard_dirty: false }
+        CacheConfig {
+            size_bytes: 1024,
+            ways: 2,
+            latency: 2,
+            mshrs: 4,
+            discard_dirty: false,
+        }
     }
 
     #[test]

@@ -101,7 +101,13 @@ impl Dram {
     /// Creates the device from its configuration.
     pub fn new(cfg: DramConfig) -> Self {
         Self {
-            banks: vec![Bank { open_row: None, busy_until: 0 }; cfg.total_banks()],
+            banks: vec![
+                Bank {
+                    open_row: None,
+                    busy_until: 0
+                };
+                cfg.total_banks()
+            ],
             channel_busy_until: vec![0; cfg.channels],
             stats: DramStats::default(),
             cfg,

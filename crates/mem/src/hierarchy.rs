@@ -71,7 +71,10 @@ pub struct SharedLlc {
 impl SharedLlc {
     /// Builds the shared levels from a configuration.
     pub fn new(cfg: &MemConfig) -> Self {
-        Self { l3: Cache::new(cfg.l3.clone()), dram: Dram::new(cfg.dram.clone()) }
+        Self {
+            l3: Cache::new(cfg.l3.clone()),
+            dram: Dram::new(cfg.dram.clone()),
+        }
     }
 
     /// Services an L2 miss; returns the data-ready cycle.
@@ -221,8 +224,8 @@ impl CoreMem {
             let mut buf = std::mem::take(&mut self.pf_buf);
             buf.clear();
             pf.on_access(0, crate::line_of(addr), trigger, now, &mut buf);
-            for i in 0..buf.len() {
-                self.prefetch_into_l2(buf[i], now);
+            for &line in &buf {
+                self.prefetch_into_l2(line, now);
             }
             self.pf_buf = buf;
         }
@@ -237,7 +240,8 @@ impl CoreMem {
             Probe::Merge(t, _) => (t, false, true, true),
             Probe::Miss => {
                 let admit = self.l1d.mshr_admit_cycle(start);
-                let (ready, l2_hit, l3_hit) = self.l2_and_below(addr, AccessKind::Read, admit, true);
+                let (ready, l2_hit, l3_hit) =
+                    self.l2_and_below(addr, AccessKind::Read, admit, true);
                 if let Some(dirty) = self.l1d.fill(addr, kind, ready, false) {
                     self.writeback_to_l2(dirty, ready);
                 }
@@ -248,12 +252,18 @@ impl CoreMem {
             let mut buf = std::mem::take(&mut self.pf_buf);
             buf.clear();
             pf.on_access(pc, crate::line_of(addr), !l1_hit, now, &mut buf);
-            for i in 0..buf.len() {
-                self.prefetch_into_l1(buf[i], now);
+            for &line in &buf {
+                self.prefetch_into_l1(line, now);
             }
             self.pf_buf = buf;
         }
-        LoadOutcome { ready, l1_hit, l2_hit, l3_hit, tlb_penalty }
+        LoadOutcome {
+            ready,
+            l1_hit,
+            l2_hit,
+            l3_hit,
+            tlb_penalty,
+        }
     }
 
     /// Performs a timed load.
@@ -417,7 +427,10 @@ mod tests {
             lt.load(base + i * 8192, 0, 1000 * i);
         }
         let dram_writes = shared.borrow().dram_stats().writes.get();
-        assert_eq!(dram_writes, 0, "look-ahead dirty data must never reach DRAM");
+        assert_eq!(
+            dram_writes, 0,
+            "look-ahead dirty data must never reach DRAM"
+        );
     }
 
     #[test]

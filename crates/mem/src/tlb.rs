@@ -19,7 +19,11 @@ pub struct TlbConfig {
 impl TlbConfig {
     /// A 64-entry 4 KiB-page DTLB with a 30-cycle walk.
     pub fn paper() -> Self {
-        Self { entries: 64, page_bytes: 4096, miss_penalty: 30 }
+        Self {
+            entries: 64,
+            page_bytes: 4096,
+            miss_penalty: 30,
+        }
     }
 }
 
@@ -51,7 +55,10 @@ impl Tlb {
     ///
     /// Panics if `page_bytes` is not a power of two or `entries` is zero.
     pub fn new(cfg: TlbConfig) -> Self {
-        assert!(cfg.page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            cfg.page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         assert!(cfg.entries > 0, "TLB needs at least one entry");
         Self {
             entries: Vec::with_capacity(cfg.entries),
@@ -118,7 +125,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> Tlb {
-        Tlb::new(TlbConfig { entries: 2, page_bytes: 4096, miss_penalty: 30 })
+        Tlb::new(TlbConfig {
+            entries: 2,
+            page_bytes: 4096,
+            miss_penalty: 30,
+        })
     }
 
     #[test]

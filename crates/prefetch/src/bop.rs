@@ -162,7 +162,8 @@ impl PrefetchEngine for BestOffset {
         // The base enters the RR table when its prefetch would complete —
         // the timeliness filter that steers BOP toward offsets large
         // enough to cover the memory latency.
-        self.pending.push_back((now + self.cfg.insert_delay, line_addr));
+        self.pending
+            .push_back((now + self.cfg.insert_delay, line_addr));
         if self.pending.len() > 64 {
             if let Some((_, l)) = self.pending.pop_front() {
                 self.rr_insert(l);
@@ -237,7 +238,12 @@ mod tests {
             bop.on_access(0, i * 4 * 64, true, i * 100, &mut out);
         }
         // The best offset should be a multiple of the stride.
-        assert_eq!(bop.current_offset().rem_euclid(4), 0, "best={}", bop.current_offset());
+        assert_eq!(
+            bop.current_offset().rem_euclid(4),
+            0,
+            "best={}",
+            bop.current_offset()
+        );
     }
 
     #[test]

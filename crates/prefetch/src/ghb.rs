@@ -44,7 +44,11 @@ impl GhbPrefetcher {
 
     fn push(&mut self, pc: u64, line: u64) -> usize {
         let prev = self.index.get(&pc).copied();
-        let entry = GhbEntry { line, prev, seq: self.seq };
+        let entry = GhbEntry {
+            line,
+            prev,
+            seq: self.seq,
+        };
         let slot = if self.buf.len() < self.capacity {
             self.buf.push(entry);
             self.buf.len() - 1

@@ -25,7 +25,11 @@ impl StreamPrefetcher {
     /// Creates a prefetcher tracking `streams` concurrent streams and
     /// running `depth` lines ahead.
     pub fn new(streams: usize, depth: u64) -> Self {
-        Self { streams: vec![Stream::default(); streams], depth, stamp: 0 }
+        Self {
+            streams: vec![Stream::default(); streams],
+            depth,
+            stamp: 0,
+        }
     }
 }
 
@@ -42,9 +46,10 @@ impl PrefetchEngine for StreamPrefetcher {
         let stamp = self.stamp;
         let line = line_addr / LINE_BYTES;
         // Find a stream this miss extends (within 4 lines either way).
-        let hit = self.streams.iter_mut().find(|s| {
-            s.valid && (line.abs_diff(s.last_line)) <= 4 && line != s.last_line
-        });
+        let hit = self
+            .streams
+            .iter_mut()
+            .find(|s| s.valid && (line.abs_diff(s.last_line)) <= 4 && line != s.last_line);
         match hit {
             Some(s) => {
                 let dir = if line > s.last_line { 1 } else { -1 };
@@ -71,7 +76,13 @@ impl PrefetchEngine for StreamPrefetcher {
                     .iter_mut()
                     .min_by_key(|s| if s.valid { s.stamp } else { 0 })
                     .expect("nonzero streams");
-                *v = Stream { last_line: line, dir: 0, confirmations: 0, valid: true, stamp };
+                *v = Stream {
+                    last_line: line,
+                    dir: 0,
+                    confirmations: 0,
+                    valid: true,
+                    stamp,
+                };
             }
         }
     }

@@ -23,7 +23,11 @@ pub struct StrideConfig {
 impl StrideConfig {
     /// The paper's tuned configuration: 32 strides, degree 4.
     pub fn paper() -> Self {
-        Self { entries: 32, degree: 4, threshold: 2 }
+        Self {
+            entries: 32,
+            degree: 4,
+            threshold: 2,
+        }
     }
 }
 
@@ -53,7 +57,11 @@ impl StridePrefetcher {
 
     /// Creates the prefetcher from a configuration.
     pub fn new(cfg: StrideConfig) -> Self {
-        Self { table: vec![Entry::default(); cfg.entries], stamp: 0, cfg }
+        Self {
+            table: vec![Entry::default(); cfg.entries],
+            stamp: 0,
+            cfg,
+        }
     }
 }
 
@@ -143,7 +151,9 @@ mod tests {
     fn no_prefetch_for_random_pattern() {
         let mut pf = StridePrefetcher::paper();
         let mut rng = r3dla_stats::Rng::new(1);
-        let addrs: Vec<u64> = (0..50).map(|_| rng.range_u64(0x1000, 0x100000) & !63).collect();
+        let addrs: Vec<u64> = (0..50)
+            .map(|_| rng.range_u64(0x1000, 0x100000) & !63)
+            .collect();
         let issued = drive(&mut pf, 0x40, &addrs);
         assert!(
             issued.len() < 10,
@@ -172,7 +182,11 @@ mod tests {
 
     #[test]
     fn capacity_eviction_is_lru() {
-        let mut pf = StridePrefetcher::new(StrideConfig { entries: 2, degree: 1, threshold: 1 });
+        let mut pf = StridePrefetcher::new(StrideConfig {
+            entries: 2,
+            degree: 1,
+            threshold: 1,
+        });
         let mut out = Vec::new();
         // Train pc 1 and pc 2, then a third pc evicts the older (pc 1).
         for i in 0..4u64 {

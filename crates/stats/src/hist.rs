@@ -61,10 +61,7 @@ impl Histogram {
 
     /// Returns the largest recorded value, or `None` if empty.
     pub fn max(&self) -> Option<u64> {
-        self.bins
-            .iter()
-            .rposition(|&c| c > 0)
-            .map(|i| i as u64)
+        self.bins.iter().rposition(|&c| c > 0).map(|i| i as u64)
     }
 
     /// Returns the sample mean.

@@ -84,6 +84,7 @@ pub fn bfs(scale: Scale) -> Program {
     let queue = a.data().alloc_words(n + 1);
     a.data().put_word(visited, 1); // visited[0] = 1
     a.data().put_word(queue, 0); // queue[0] = vertex 0
+
     // head (S0), tail (S1) are *indices*; S2 = rp, S3 = cl, S4 = visited,
     // S5 = queue, S6 = reachable count.
     a.li(S0, 0);
@@ -150,6 +151,7 @@ pub fn sssp(scale: Scale) -> Program {
     a.add(T0, T0, T1);
     a.ld(T1, T0, 0); // begin
     a.ld(T2, T0, 8); // end
+
     // du = dist[u]
     a.slli(T3, S2, 3);
     a.li(T4, dist as i64);
@@ -161,6 +163,7 @@ pub fn sssp(scale: Scale) -> Program {
     a.li(T5, cl as i64);
     a.add(T4, T4, T5);
     a.ld(T4, T4, 0); // v
+
     // w(u,v) = (u ^ v) & 15 + 1
     a.xor(T5, S2, T4);
     a.andi(T5, T5, 15);
@@ -211,6 +214,7 @@ pub fn pagerank(scale: Scale) -> Program {
     a.add(T0, T0, T1);
     a.ld(T1, T0, 0); // begin
     a.ld(T2, T0, 8); // end
+
     // sum = 0.0
     a.li(T3, 0);
     a.cvtif(f0, T3);
@@ -342,6 +346,7 @@ pub fn triangle_count(scale: Scale) -> Program {
     a.li(T3, cl as i64);
     a.add(T2, T2, T3);
     a.ld(T2, T2, 0); // v
+
     // merge-intersect adj(u) [S2..S3) with adj(v) [T3..T4)
     a.slli(T3, T2, 3);
     a.li(T4, rp as i64);

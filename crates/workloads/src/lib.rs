@@ -112,7 +112,10 @@ pub struct Workload {
 impl Workload {
     /// Builds the kernel at the given scale.
     pub fn build(&self, scale: Scale) -> BuiltWorkload {
-        BuiltWorkload { name: self.name.to_string(), program: (self.build_fn)(scale) }
+        BuiltWorkload {
+            name: self.name.to_string(),
+            program: (self.build_fn)(scale),
+        }
     }
 }
 
@@ -121,7 +124,11 @@ pub fn suite() -> Vec<Workload> {
     let mut v = Vec::new();
     macro_rules! w {
         ($name:literal, $suite:expr, $f:path) => {
-            v.push(Workload { name: $name, suite: $suite, build_fn: $f });
+            v.push(Workload {
+                name: $name,
+                suite: $suite,
+                build_fn: $f,
+            });
         };
     }
     // SPEC2006-int-like.
@@ -196,11 +203,13 @@ mod tests {
                 let mut st = ArchState::new(built.program.entry());
                 let mut mem = VecMem::new();
                 mem.load_image(built.program.image());
-                let steps =
-                    run(&built.program, &mut st, &mut mem, 200_000_000).expect("halts");
+                let steps = run(&built.program, &mut st, &mut mem, 200_000_000).expect("halts");
                 counts.push(steps);
             }
-            assert!(counts[0] < counts[1] && counts[1] < counts[2], "{name}: {counts:?}");
+            assert!(
+                counts[0] < counts[1] && counts[1] < counts[2],
+                "{name}: {counts:?}"
+            );
         }
     }
 

@@ -32,7 +32,8 @@ pub fn cg_like(scale: Scale) -> Program {
     let x = a.data().alloc_words(n);
     let y = a.data().alloc_words(n);
     for v in 0..n {
-        a.data().put_word(x + (v as u64) * 8, (1.0 + rng.f64()).to_bits());
+        a.data()
+            .put_word(x + (v as u64) * 8, (1.0 + rng.f64()).to_bits());
     }
     let (facc, fval, fxv) = (Reg::fp(0), Reg::fp(1), Reg::fp(2));
     a.li(S0, 0);
@@ -54,6 +55,7 @@ pub fn cg_like(scale: Scale) -> Program {
     a.li(T4, cl as i64);
     a.add(T3, T3, T4);
     a.ld(T3, T3, 0); // col j
+
     // A[i][j] = 1/(1 + ((i^j)&7))  — deterministic value from indices
     a.xor(T4, S2, T3);
     a.andi(T4, T4, 7);
@@ -107,7 +109,8 @@ pub fn mg_like(scale: Scale) -> Program {
     let out = a.data().alloc_words(n);
     for _ in 0..n / 16 {
         let idx = rng.range_u64(0, n as u64);
-        a.data().put_word(grid + idx * 8, (rng.f64() * 8.0).to_bits());
+        a.data()
+            .put_word(grid + idx * 8, (rng.f64() * 8.0).to_bits());
     }
     let (fl, fc, fr, fq) = (Reg::fp(0), Reg::fp(1), Reg::fp(2), Reg::fp(3));
     a.li(S0, 0);
@@ -156,7 +159,8 @@ pub fn ft_like(scale: Scale) -> Program {
     let mut a = Asm::named("ft_like");
     let re = a.data().alloc_words(n);
     for i in 0..n {
-        a.data().put_word(re + (i as u64) * 8, (rng.f64() - 0.5).to_bits());
+        a.data()
+            .put_word(re + (i as u64) * 8, (rng.f64() - 0.5).to_bits());
     }
     let (fa, fb, fs) = (Reg::fp(0), Reg::fp(1), Reg::fp(2));
     // for s in [1, 2, 4, ..., n/2]: for i in 0..n where (i & s) == 0:
@@ -199,7 +203,8 @@ pub fn is_like(scale: Scale) -> Program {
     let mut a = Asm::named("is_like");
     let keys = a.data().alloc_words(n);
     for i in 0..n {
-        a.data().put_word(keys + (i as u64) * 8, rng.range_u64(0, buckets as u64));
+        a.data()
+            .put_word(keys + (i as u64) * 8, rng.range_u64(0, buckets as u64));
     }
     let hist = a.data().alloc_words(buckets);
     let outp = a.data().alloc_words(n);

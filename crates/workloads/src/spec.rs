@@ -161,7 +161,8 @@ pub fn gobmk_like(scale: Scale) -> Program {
     let mut a = Asm::named("gobmk_like");
     let cells = a.data().alloc_words(board);
     for i in 0..board {
-        a.data().put_word(cells + (i as u64) * 8, rng.range_u64(0, 256));
+        a.data()
+            .put_word(cells + (i as u64) * 8, rng.range_u64(0, 256));
     }
     // main: for g in 0..games { r10 = g*2654435761 % board; r11 = depth; call eval; acc += r12 }
     a.li(S0, 0);
@@ -193,6 +194,7 @@ pub fn gobmk_like(scale: Scale) -> Program {
     // branchy: explore 1 or 2 children depending on score bits
     a.andi(T4, T2, 3);
     a.beq(T4, Reg::ZERO, "leaf"); // prune
+
     // child A: pos' = (pos*31+7) % board, depth-1
     a.li(T5, 31);
     a.mul(T0, T0, T5);
@@ -202,6 +204,7 @@ pub fn gobmk_like(scale: Scale) -> Program {
     a.addi(T1, T1, -1);
     a.call("eval");
     a.st(T2, Reg::SP, 24); // save child A score
+
     // maybe child B
     a.ld(T0, Reg::SP, 8);
     a.ld(T1, Reg::SP, 16);
@@ -249,7 +252,8 @@ pub fn sjeng_like(scale: Scale) -> Program {
     for i in 0..table {
         if rng.chance(0.5) {
             a.data().put_word(tbl + (i as u64) * 16, rng.next_u64() | 1);
-            a.data().put_word(tbl + (i as u64) * 16 + 8, rng.range_u64(0, 100));
+            a.data()
+                .put_word(tbl + (i as u64) * 16 + 8, rng.range_u64(0, 100));
         }
     }
     a.li(S0, 0x9E3779B97F4A7C15u64 as i64); // hash state
@@ -296,7 +300,11 @@ pub fn bzip2_like(scale: Scale) -> Program {
     let input = a.data().alloc_words(n);
     for i in 0..n {
         // Skewed byte distribution, like real text.
-        let b = if rng.chance(0.6) { rng.range_u64(97, 123) } else { rng.range_u64(0, 256) };
+        let b = if rng.chance(0.6) {
+            rng.range_u64(97, 123)
+        } else {
+            rng.range_u64(0, 256)
+        };
         a.data().put_word(input + (i as u64) * 8, b);
     }
     let hist = a.data().alloc_words(256);
@@ -334,7 +342,8 @@ pub fn astar_like(scale: Scale) -> Program {
     let mut a = Asm::named("astar_like");
     let grid = a.data().alloc_words(cells);
     for i in 0..cells {
-        a.data().put_word(grid + (i as u64) * 8, rng.range_u64(1, 1 << 20));
+        a.data()
+            .put_word(grid + (i as u64) * 8, rng.range_u64(1, 1 << 20));
     }
     let wmask = (w - 1) as i64;
     a.li(S0, (cells / 2) as i64); // position index
@@ -346,6 +355,7 @@ pub fn astar_like(scale: Scale) -> Program {
     // Load 4 neighbours (±1, ±w) with wraparound via masking.
     a.andi(T0, S0, wmask); // x
     a.srli(T1, S0, w.trailing_zeros() as i64); // y
+
     // east: x+1 (mod w)
     a.addi(T2, T0, 1);
     a.andi(T2, T2, wmask);
@@ -354,6 +364,7 @@ pub fn astar_like(scale: Scale) -> Program {
     a.slli(T2, T2, 3);
     a.add(T2, T2, S3);
     a.ld(T2, T2, 0); // east cost
+
     // south: y+1 (mod w)
     a.addi(T4, T1, 1);
     a.andi(T4, T4, wmask);
@@ -362,6 +373,7 @@ pub fn astar_like(scale: Scale) -> Program {
     a.slli(T4, T4, 3);
     a.add(T4, T4, S3);
     a.ld(T4, T4, 0); // south cost
+
     // pick cheaper; move there
     a.bltu(T2, T4, "go_east");
     // go south
@@ -401,7 +413,11 @@ pub fn xalan_like(scale: Scale) -> Program {
     let stream = a.data().alloc_words(tokens);
     for i in 0..tokens {
         // Skewed handler popularity, like real markup.
-        let t = if rng.chance(0.5) { 0 } else { rng.range_u64(1, handlers) };
+        let t = if rng.chance(0.5) {
+            0
+        } else {
+            rng.range_u64(1, handlers)
+        };
         a.data().put_word(stream + (i as u64) * 8, t);
     }
     let table = a.data().alloc_words(handlers as usize);

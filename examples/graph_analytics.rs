@@ -25,11 +25,11 @@ fn main() {
             Some("bop"),
         );
         let (bl_ipc, _, _) = bl.measure(15_000, 60_000);
-        let mut dla = DlaSystem::build(&built, DlaConfig::dla(), SkeletonOptions::default())
-            .expect("builds");
+        let mut dla =
+            DlaSystem::build(&built, DlaConfig::dla(), SkeletonOptions::default()).expect("builds");
         let d = dla.measure(15_000, 60_000);
-        let mut r3 = DlaSystem::build(&built, DlaConfig::r3(), SkeletonOptions::default())
-            .expect("builds");
+        let mut r3 =
+            DlaSystem::build(&built, DlaConfig::r3(), SkeletonOptions::default()).expect("builds");
         let r = r3.measure(15_000, 60_000);
         println!(
             "| {} | {:.3} | {:.3} | {:.3} | {:.2}x | {:.2} |",

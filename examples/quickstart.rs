@@ -13,8 +13,14 @@ use r3dla::workloads::{by_name, Scale};
 fn main() {
     // cg_like: a sparse-matrix kernel — the memory-bound behaviour class
     // decoupled look-ahead was designed for.
-    let wl = by_name("cg_like").expect("known workload").build(Scale::Train);
-    println!("workload: {} ({} static instructions)", wl.name, wl.program.len());
+    let wl = by_name("cg_like")
+        .expect("known workload")
+        .build(Scale::Train);
+    println!(
+        "workload: {} ({} static instructions)",
+        wl.name,
+        wl.program.len()
+    );
 
     // Baseline: the paper's Table I out-of-order core with a Best-Offset
     // prefetcher at L2.
@@ -30,8 +36,8 @@ fn main() {
 
     // R3-DLA: the same core pair with look-ahead, T1 offload, value reuse,
     // a 32-entry fetch buffer and dynamic skeleton recycling.
-    let mut r3 = DlaSystem::build(&wl, DlaConfig::r3(), SkeletonOptions::default())
-        .expect("system builds");
+    let mut r3 =
+        DlaSystem::build(&wl, DlaConfig::r3(), SkeletonOptions::default()).expect("system builds");
     let report = r3.measure(20_000, 100_000);
     println!(
         "R3-DLA IPC: {:.3}  (look-ahead thread ran {:.0}% of the instructions)",

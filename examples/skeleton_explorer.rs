@@ -21,7 +21,9 @@ fn main() {
     let set = generate_skeletons(&program, &df, &prof, &SkeletonOptions::default(), true);
 
     println!("== {name}: {} static instructions ==\n", program.len());
-    println!("| version | static density | dynamic weight | prefetch payloads | bias conversions |");
+    println!(
+        "| version | static density | dynamic weight | prefetch payloads | bias conversions |"
+    );
     println!("|---|---|---|---|---|");
     for sk in &set.versions {
         println!(

@@ -12,7 +12,9 @@ use r3dla::workloads::{by_name, Scale};
 use r3dla_bench::measure_smt;
 
 fn main() {
-    let wl = by_name("bzip2_like").expect("known workload").build(Scale::Train);
+    let wl = by_name("bzip2_like")
+        .expect("known workload")
+        .build(Scale::Train);
     let mut hc = SingleCoreSim::build(
         &wl,
         CoreConfig::half_core(),
@@ -39,7 +41,13 @@ fn main() {
     let r3_ipc = r3.measure(15_000, 60_000).mt_ipc;
     let smt = measure_smt(&wl, CoreConfig::wide_smt(), 2, 60_000);
     println!("half-core (HC):        {hc_ipc:.3} IPC (1.00x)");
-    println!("full wide core (FC):   {fc_ipc:.3} IPC ({:.2}x)", fc_ipc / hc_ipc);
-    println!("R3-DLA on half-cores:  {r3_ipc:.3} IPC ({:.2}x)", r3_ipc / hc_ipc);
+    println!(
+        "full wide core (FC):   {fc_ipc:.3} IPC ({:.2}x)",
+        fc_ipc / hc_ipc
+    );
+    println!(
+        "R3-DLA on half-cores:  {r3_ipc:.3} IPC ({:.2}x)",
+        r3_ipc / hc_ipc
+    );
     println!("SMT 2-copy throughput: {smt:.3} IPC ({:.2}x)", smt / hc_ipc);
 }

@@ -4,7 +4,7 @@
 //! look-ahead thread got.
 
 use r3dla::core::{DlaConfig, DlaSystem, SkeletonOptions};
-use r3dla::isa::{run, ArchState, Reg, VecMem};
+use r3dla::isa::{run, ArchState, VecMem};
 use r3dla::workloads::{by_name, Scale};
 
 fn check_semantics(name: &str, cfg: DlaConfig) {
@@ -18,15 +18,18 @@ fn check_semantics(name: &str, cfg: DlaConfig) {
     let mut sys = DlaSystem::build(&wl, cfg, SkeletonOptions::default()).expect("builds");
     let max_cycles = steps * 80 + 2_000_000;
     sys.run_until_mt(u64::MAX, max_cycles);
-    assert!(sys.mt_halted(), "{name}: MT did not halt within {max_cycles} cycles");
+    assert!(
+        sys.mt_halted(),
+        "{name}: MT did not halt within {max_cycles} cycles"
+    );
     assert_eq!(
         sys.mt().committed(0),
         steps,
         "{name}: committed count diverged from functional execution"
     );
     let regs = sys.mt().arch_regs(0);
-    for r in 0..Reg::COUNT {
-        assert_eq!(regs[r], st.regs()[r], "{name}: register {r} mismatch");
+    for (r, (got, want)) in regs.iter().zip(st.regs().iter()).enumerate() {
+        assert_eq!(got, want, "{name}: register {r} mismatch");
     }
 }
 

@@ -53,11 +53,13 @@ fn reboots_are_rare() {
 
 #[test]
 fn t1_reduces_lt_workload() {
-    // The *reduce* optimization: with T1, LT fetches/commits less.
-    let wl = by_name("libq_like").unwrap().build(Scale::Tiny);
+    // The *reduce* optimization (paper §III-B): strided loads whose
+    // values the skeleton does not need are offloaded to the T1 FSM and
+    // leave the skeleton, so LT commits strictly less. A streaming media
+    // kernel is the paper's representative case for T1.
+    let wl = by_name("rgbyuv_like").unwrap().build(Scale::Tiny);
     let base = {
-        let mut sys =
-            DlaSystem::build(&wl, DlaConfig::dla(), SkeletonOptions::default()).unwrap();
+        let mut sys = DlaSystem::build(&wl, DlaConfig::dla(), SkeletonOptions::default()).unwrap();
         sys.measure(10_000, 40_000)
     };
     let with_t1 = {
@@ -66,9 +68,10 @@ fn t1_reduces_lt_workload() {
         let mut sys = DlaSystem::build(&wl, cfg, SkeletonOptions::default()).unwrap();
         sys.measure(10_000, 40_000)
     };
+    assert!(with_t1.lt_committed > 0, "LT must still run under T1");
     assert!(
-        with_t1.lt_committed <= base.lt_committed,
-        "T1 offload should not grow LT: {} vs {}",
+        (with_t1.lt_committed as f64) < 0.9 * base.lt_committed as f64,
+        "T1 offload should shrink LT by >10%: {} vs {}",
         with_t1.lt_committed,
         base.lt_committed
     );
@@ -83,14 +86,15 @@ fn value_reuse_serves_predictions() {
     sys.run_until_mt(80_000, 30_000_000);
     let preds = sys.mt().counters.value_predictions.get();
     let wrong = sys.mt().counters.value_mispredicts.get();
-    // Value reuse may fire rarely (targets must be slow + in the SIF) but
-    // when it fires it must be overwhelmingly correct (paper: >98%).
-    if preds > 50 {
-        assert!(
-            (wrong as f64) < 0.25 * preds as f64,
-            "too many value mispredicts: {wrong}/{preds}"
-        );
-    }
+    // Value reuse must actually fire on mcf_like at this scale (measured
+    // ~10k predictions) — a bare `if preds > 50` guard would let the
+    // accuracy assertion silently go vacuous — and when it fires it must
+    // be overwhelmingly correct (paper: >98%).
+    assert!(preds > 50, "value reuse never fired: {preds} predictions");
+    assert!(
+        (wrong as f64) < 0.25 * preds as f64,
+        "too many value mispredicts: {wrong}/{preds}"
+    );
 }
 
 #[test]

@@ -34,7 +34,11 @@ fn timing_core_matches_functional_on_every_workload() {
             Rc::new(RefCell::new(BaseMem(vm))),
         );
         core.run(steps * 60 + 2_000_000);
-        assert!(core.thread_halted(t), "{}: timing core did not halt", w.name);
+        assert!(
+            core.thread_halted(t),
+            "{}: timing core did not halt",
+            w.name
+        );
         assert_eq!(core.committed(t), steps, "{}: instruction count", w.name);
         for r in 0..Reg::COUNT {
             assert_eq!(

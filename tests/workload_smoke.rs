@@ -1,0 +1,23 @@
+//! Smoke test: every workload in the suite must build and make forward
+//! progress under the full R3-DLA configuration at `Scale::Tiny`. This
+//! keeps newly added workloads from silently rotting — a workload that
+//! panics, fails to build a skeleton, or deadlocks the MT/LT pair fails
+//! here within a short window.
+
+use r3dla::core::{DlaConfig, DlaSystem, SkeletonOptions};
+use r3dla::workloads::{suite, Scale};
+
+#[test]
+fn every_workload_smokes_under_r3() {
+    for w in suite() {
+        let wl = w.build(Scale::Tiny);
+        assert!(!wl.program.is_empty(), "{}: empty program", w.name);
+        let mut sys = DlaSystem::build(&wl, DlaConfig::r3(), SkeletonOptions::default())
+            .unwrap_or_else(|e| panic!("{}: DlaSystem::build failed: {e:?}", w.name));
+        // A short window: enough to exercise fetch/commit on both
+        // threads without turning the smoke test into a benchmark.
+        sys.run_until_mt(2_000, 2_000_000);
+        let committed = sys.mt().committed(0);
+        assert!(committed > 0, "{}: MT committed nothing", w.name);
+    }
+}

@@ -1,0 +1,158 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! The build environment has no network access, so this vendored crate
+//! implements exactly the API surface the workspace's benches use:
+//! [`Criterion`], [`Criterion::benchmark_group`], `sample_size`,
+//! `bench_function`, `finish`, plus the [`criterion_group!`] /
+//! [`criterion_main!`] macros and [`black_box`].
+//!
+//! Timing is real (monotonic clock, median-of-samples) but there is no
+//! statistical analysis, plotting or HTML report — benches print a
+//! one-line `name  median  mean` summary per function.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from deleting a computed value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Entry point handed to `criterion_group!` targets.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        run_one(&id.into(), sample_size, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time `f` and print a one-line summary.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// End the group (report-flushing is a no-op here).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(samples),
+        per_sample_iters: 1,
+        budget: Duration::from_millis(200),
+        requested_samples: samples,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<44} (no samples)");
+        return;
+    }
+    b.samples.sort();
+    let median = b.samples[b.samples.len() / 2];
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    println!(
+        "{name:<44} median {:>12.3?}  mean {:>12.3?}  ({} samples)",
+        median,
+        mean,
+        b.samples.len()
+    );
+}
+
+/// Passed to the closure given to `bench_function`; call [`Bencher::iter`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    per_sample_iters: u32,
+    budget: Duration,
+    requested_samples: usize,
+}
+
+impl Bencher {
+    /// Time the routine, collecting up to the configured number of samples
+    /// within a fixed wall-clock budget so huge workloads stay bounded.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start_all = Instant::now();
+        for _ in 0..self.requested_samples {
+            let t0 = Instant::now();
+            for _ in 0..self.per_sample_iters {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / self.per_sample_iters);
+            if start_all.elapsed() > self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// Declare a benchmark group: `criterion_group!(benches, bench_fn, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generate `fn main` running the given groups (benches use `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench`; `cargo test` may pass
+            // `--test` and expects the harness to exit cleanly.
+            let args: Vec<String> = std::env::args().collect();
+            if args.iter().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}

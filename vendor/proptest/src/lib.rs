@@ -1,0 +1,336 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! The build environment has no network access, so this vendored crate
+//! implements the subset of the proptest API that the workspace's tests
+//! use:
+//!
+//! * the [`proptest!`] macro with both `name: Type` (arbitrary) and
+//!   `name in strategy` parameter forms;
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`;
+//! * `any::<T>()` for the primitive types;
+//! * numeric range strategies (`0u64..64`, `0.01f64..1.0`, …);
+//! * `prop::collection::vec(strategy, size_range)`.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics
+//! immediately and prints the deterministic case index so it can be
+//! replayed. Case count defaults to 64 and can be overridden with the
+//! `PROPTEST_CASES` environment variable.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    // Sampling a strategy through a reference (ranges are sampled behind
+    // `&` by the `proptest!` macro expansion).
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let r = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                    (self.start as i128 + r as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let r = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                    (lo as i128 + r as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                    self.start + (self.end - self.start) * unit as $t
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32, f64);
+
+    /// Strategy yielding a constant value (`Just` in real proptest).
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary_with(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_with(rng)
+        }
+    }
+
+    /// Strategy producing any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_with(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_with(rng: &mut TestRng) -> $t {
+                    // Mix in edge values now and then: property tests over
+                    // plain `any::<uN>()` care about 0 / MAX far more often
+                    // than a uniform draw would produce them.
+                    match rng.next_u64() % 16 {
+                        0 => 0,
+                        1 => <$t>::MAX,
+                        2 => <$t>::MIN,
+                        3 => 1 as $t,
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary_with(rng: &mut TestRng) -> f64 {
+            // Finite doubles spanning many magnitudes.
+            let mag = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let exp = (rng.next_u64() % 64) as i32 - 32;
+            let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+            sign * mag * (2f64).powi(exp)
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary_with(rng: &mut TestRng) -> f32 {
+            f64::arbitrary_with(rng) as f32
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a size range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `prop::collection::vec(element_strategy, size_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Deterministic splitmix64 generator; each test case gets its own
+    /// stream derived from a fixed base seed plus the case index.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn for_case(case: u64) -> TestRng {
+            TestRng {
+                state: 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case.wrapping_add(0x1234_5678)),
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Number of cases run per property (`PROPTEST_CASES` overrides).
+    pub fn cases() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace mirror of real proptest's `prelude::prop` module.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Property-test entry macro. Supports multiple `#[test] fn` items, each
+/// with parameters of the form `name: Type` or `name in strategy_expr`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for __proptest_case in 0..$crate::test_runner::cases() {
+                    let mut __proptest_rng =
+                        $crate::test_runner::TestRng::for_case(__proptest_case);
+                    let run = || {
+                        $crate::__proptest_bind!(__proptest_rng, ($($params)*) $body);
+                    };
+                    if let Err(e) = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(run),
+                    ) {
+                        eprintln!(
+                            "proptest: property `{}` failed at case {} of {}",
+                            stringify!($name),
+                            __proptest_case,
+                            $crate::test_runner::cases(),
+                        );
+                        ::std::panic::resume_unwind(e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Internal helper: recursively bind each parameter, then run the body.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, () $body:block) => { $body };
+    ($rng:ident, ($name:ident in $strat:expr) $body:block) => {{
+        let $name = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng, () $body)
+    }};
+    ($rng:ident, ($name:ident in $strat:expr, $($rest:tt)*) $body:block) => {{
+        let $name = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng, ($($rest)*) $body)
+    }};
+    ($rng:ident, ($name:ident : $ty:ty) $body:block) => {{
+        let $name: $ty = $crate::strategy::Strategy::sample(
+            &$crate::arbitrary::any::<$ty>(),
+            &mut $rng,
+        );
+        $crate::__proptest_bind!($rng, () $body)
+    }};
+    ($rng:ident, ($name:ident : $ty:ty, $($rest:tt)*) $body:block) => {{
+        let $name: $ty = $crate::strategy::Strategy::sample(
+            &$crate::arbitrary::any::<$ty>(),
+            &mut $rng,
+        );
+        $crate::__proptest_bind!($rng, ($($rest)*) $body)
+    }};
+}
+
+/// Assert a condition inside a property (panics — no shrinking here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn typed_and_strategy_params_mix(a: u64, xs in prop::collection::vec(0u32..10, 1..5), f in 0.5f64..1.0) {
+            prop_assert_eq!(a, a);
+            prop_assert!(!xs.is_empty() && xs.len() < 5);
+            prop_assert!(xs.iter().all(|&x| x < 10));
+            prop_assert!((0.5..1.0).contains(&f));
+        }
+
+        #[test]
+        fn bools_vary(bits in prop::collection::vec(any::<bool>(), 64..65)) {
+            // 64 fair coin flips are essentially never all identical.
+            let ones = bits.iter().filter(|&&b| b).count();
+            prop_assert!(ones > 0 && ones < 64);
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let mut a = crate::test_runner::TestRng::for_case(7);
+        let mut b = crate::test_runner::TestRng::for_case(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}
