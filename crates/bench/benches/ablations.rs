@@ -1,5 +1,10 @@
 //! Ablation benches for design choices called out in DESIGN.md: BOQ
 //! depth, reboot cost, and value-reuse latency threshold.
+//!
+//! The reboot-cost sweep is live: `DlaConfig::reboot_cost` is threaded
+//! through `DlaSystem::do_reboot` into the LT restart stall, so the
+//! `reboot_cost_*` points below measure real behaviour differences (see
+//! the `reboot_cost_is_honored` regression test in `r3dla-core`).
 use criterion::{criterion_group, criterion_main, Criterion};
 use r3dla_bench::prepare_some;
 use r3dla_core::DlaConfig;

@@ -2,36 +2,35 @@
 //! windows of 128/512/2048 instructions, ideal vs realistic data and
 //! instruction supply.
 
-use r3dla_bench::arg_u64;
+use r3dla_bench::{arg_threads, arg_u64, parallel_map, row};
 use r3dla_core::{ilp_limit, LimitModel};
 use r3dla_workloads::{by_suite, Scale, Suite};
 
 fn main() {
     let insts = arg_u64("--insts", 200_000);
+    let threads = arg_threads();
     println!("# FIG1 — implicit parallelism (IPC), ideal vs real\n");
     println!("| bench | ideal:128 | ideal:512 | ideal:2048 | real:128 | real:512 | real:2048 |");
     println!("|---|---|---|---|---|---|---|");
-    let mut ratios = Vec::new();
-    for w in by_suite(Suite::SpecInt) {
+    let workloads = by_suite(Suite::SpecInt);
+    // Six limit studies per kernel, fanned out across the worker pool.
+    let rows = parallel_map(&workloads, threads, |w| {
         let b = w.build(Scale::Ref);
-        let mut cells = vec![w.name.to_string()];
-        let mut ideal512 = 0.0;
-        let mut real512 = 0.0;
+        let mut vals = Vec::new();
         for model in [LimitModel::Ideal, LimitModel::Real] {
             for win in [128usize, 512, 2048] {
-                let r = ilp_limit(&b.program, win, model, insts);
-                if win == 512 {
-                    if model == LimitModel::Ideal {
-                        ideal512 = r.ipc;
-                    } else {
-                        real512 = r.ipc;
-                    }
-                }
-                cells.push(format!("{:.2}", r.ipc));
+                vals.push(ilp_limit(&b.program, win, model, insts).ipc);
             }
         }
-        ratios.push(ideal512 / real512.max(1e-9));
-        println!("{}", r3dla_bench::row(&cells));
+        (w.name.to_string(), vals)
+    });
+    let mut ratios = Vec::new();
+    for (name, vals) in &rows {
+        let mut cells = vec![name.clone()];
+        cells.extend(vals.iter().map(|v| format!("{v:.2}")));
+        // ideal:512 over real:512.
+        ratios.push(vals[1] / vals[4].max(1e-9));
+        println!("{}", row(&cells));
     }
     println!(
         "\ngeometric-mean ideal:512 / real:512 ratio = {:.2}x (paper: ~5x)",

@@ -1,7 +1,7 @@
 //! Fig 9-a: overall speedups of BL(noPF)/BL/DLA(noPF)/DLA/R3(noPF)/R3,
 //! normalized to BL (baseline with BOP at L2).
 
-use r3dla_bench::{arg_u64, prepare_all, row, suite_summary, WARMUP, WINDOW};
+use r3dla_bench::{arg_threads, arg_u64, prepare_all_threads, ExperimentSpec, WARMUP, WINDOW};
 use r3dla_core::DlaConfig;
 use r3dla_cpu::CoreConfig;
 use r3dla_workloads::Scale;
@@ -9,42 +9,31 @@ use r3dla_workloads::Scale;
 fn main() {
     let warm = arg_u64("--warm", WARMUP);
     let win = arg_u64("--window", WINDOW);
-    let prepared = prepare_all(Scale::Ref);
+    let threads = arg_threads();
+    let prepared = prepare_all_threads(Scale::Ref, threads);
+    let spec = ExperimentSpec::new(
+        "FIG9a",
+        &["BL(noPF)", "BL", "DLA(noPF)", "DLA", "R3(noPF)", "R3-DLA"],
+        move |p| {
+            let bl = p.measure_single(CoreConfig::paper(), None, Some("bop"), warm, win);
+            let bl_nopf = p.measure_single(CoreConfig::paper(), None, None, warm, win);
+            let dla_nopf = p
+                .measure_dla(DlaConfig::dla().without_prefetcher(), warm, win)
+                .mt_ipc;
+            let dla = p.measure_dla(DlaConfig::dla(), warm, win).mt_ipc;
+            let r3_nopf = p
+                .measure_dla(DlaConfig::r3().without_prefetcher(), warm, win)
+                .mt_ipc;
+            let r3 = p.measure_dla(DlaConfig::r3(), warm, win).mt_ipc;
+            [bl_nopf, bl, dla_nopf, dla, r3_nopf, r3]
+                .iter()
+                .map(|v| v / bl.max(1e-9))
+                .collect()
+        },
+    );
+    let res = spec.execute(&prepared, threads);
     println!("# FIG9a — speedup over BL (aggressive OoO + BOP)\n");
-    println!("| bench | BL(noPF) | BL | DLA(noPF) | DLA | R3(noPF) | R3-DLA |");
-    println!("|---|---|---|---|---|---|---|");
-    let mut cols: Vec<Vec<(r3dla_workloads::Suite, f64)>> = vec![Vec::new(); 6];
-    for p in &prepared {
-        let bl = p.measure_single(CoreConfig::paper(), None, Some("bop"), warm, win);
-        let bl_nopf = p.measure_single(CoreConfig::paper(), None, None, warm, win);
-        let dla_nopf = p
-            .measure_dla(DlaConfig::dla().without_prefetcher(), warm, win)
-            .mt_ipc;
-        let dla = p.measure_dla(DlaConfig::dla(), warm, win).mt_ipc;
-        let r3_nopf = p
-            .measure_dla(DlaConfig::r3().without_prefetcher(), warm, win)
-            .mt_ipc;
-        let r3 = p.measure_dla(DlaConfig::r3(), warm, win).mt_ipc;
-        let vals = [bl_nopf, bl, dla_nopf, dla, r3_nopf, r3];
-        let mut cells = vec![p.name.clone()];
-        for (k, v) in vals.iter().enumerate() {
-            let speedup = v / bl.max(1e-9);
-            cells.push(format!("{speedup:.3}"));
-            cols[k].push((p.suite, speedup));
-        }
-        println!("{}", row(&cells));
-    }
-    println!("\n## Suite geometric means (paper Fig 9-a values in parentheses)\n");
-    println!("| group | BL(noPF) (0.79) | BL (1.00) | DLA(noPF) (1.02) | DLA (1.12) | R3(noPF) (1.23) | R3-DLA (1.40) |");
-    println!("|---|---|---|---|---|---|---|");
-    // Aggregate per suite.
-    let summaries: Vec<Vec<(String, f64)>> = cols.iter().map(|c| suite_summary(c)).collect();
-    let groups = summaries[0].len();
-    for g in 0..groups {
-        let mut cells = vec![summaries[0][g].0.clone()];
-        for s in &summaries {
-            cells.push(format!("{:.3}", s[g].1));
-        }
-        println!("{}", row(&cells));
-    }
+    res.print_markdown();
+    println!("\n## Suite geometric means (paper Fig 9-a: BL(noPF) 0.79, BL 1.00, DLA(noPF) 1.02, DLA 1.12, R3(noPF) 1.23, R3-DLA 1.40)\n");
+    res.print_geomeans();
 }

@@ -2,7 +2,7 @@
 //! CRE, DLA and R3-DLA, normalized to BL.
 
 use r3dla_baselines::{slipstream_system, BFetchSim, CreSim};
-use r3dla_bench::{arg_u64, prepare_all, suite_summary, WARMUP, WINDOW};
+use r3dla_bench::{arg_threads, arg_u64, prepare_all_threads, ExperimentSpec, WARMUP, WINDOW};
 use r3dla_core::DlaConfig;
 use r3dla_cpu::CoreConfig;
 use r3dla_workloads::Scale;
@@ -10,40 +10,27 @@ use r3dla_workloads::Scale;
 fn main() {
     let warm = arg_u64("--warm", WARMUP);
     let win = arg_u64("--window", WINDOW);
-    let prepared = prepare_all(Scale::Ref);
+    let threads = arg_threads();
+    let prepared = prepare_all_threads(Scale::Ref, threads);
+    let spec = ExperimentSpec::new(
+        "FIG9b",
+        &["B-Fetch", "S-Stream", "CRE", "DLA", "R3-DLA"],
+        move |p| {
+            let bl = p.measure_single(CoreConfig::paper(), None, Some("bop"), warm, win);
+            let bf = BFetchSim::build(p.built()).measure(warm, win).0;
+            let ss = slipstream_system(p.built()).measure(warm, win).mt_ipc;
+            let cre = CreSim::build(p.built()).measure(warm, win).0;
+            let dla = p.measure_dla(DlaConfig::dla(), warm, win).mt_ipc;
+            let r3 = p.measure_dla(DlaConfig::r3(), warm, win).mt_ipc;
+            [bf, ss, cre, dla, r3]
+                .iter()
+                .map(|v| v / bl.max(1e-9))
+                .collect()
+        },
+    );
+    let res = spec.execute(&prepared, threads);
     println!("# FIG9b — related approaches, speedup over BL\n");
-    println!("| bench | B-Fetch | S-Stream | CRE | DLA | R3-DLA |");
-    println!("|---|---|---|---|---|---|");
-    let mut cols: Vec<Vec<(r3dla_workloads::Suite, f64)>> = vec![Vec::new(); 5];
-    for p in &prepared {
-        let bl = p.measure_single(CoreConfig::paper(), None, Some("bop"), warm, win);
-        let bf = {
-            let mut s = BFetchSim::build(p.built());
-            s.measure(warm, win).0
-        };
-        let ss = {
-            let mut sys = slipstream_system(p.built());
-            sys.measure(warm, win).mt_ipc
-        };
-        let cre = {
-            let mut sys = CreSim::build(p.built());
-            sys.measure(warm, win).0
-        };
-        let dla = p.measure_dla(DlaConfig::dla(), warm, win).mt_ipc;
-        let r3 = p.measure_dla(DlaConfig::r3(), warm, win).mt_ipc;
-        let vals = [bf, ss, cre, dla, r3];
-        let mut cells = vec![p.name.clone()];
-        for (k, v) in vals.iter().enumerate() {
-            let sp = v / bl.max(1e-9);
-            cells.push(format!("{sp:.3}"));
-            cols[k].push((p.suite, sp));
-        }
-        println!("{}", r3dla_bench::row(&cells));
-    }
-    println!("\n## Overall geometric means (paper: B-Fetch 1.05, S-Stream 1.08, CRE 1.09, DLA 1.12, R3-DLA 1.40)\n");
-    let names = ["B-Fetch", "S-Stream", "CRE", "DLA", "R3-DLA"];
-    for (k, name) in names.iter().enumerate() {
-        let all = suite_summary(&cols[k]);
-        println!("- {name}: {:.3}", all.last().unwrap().1);
-    }
+    res.print_markdown();
+    println!("\n## Geometric means (paper: B-Fetch 1.05, S-Stream 1.08, CRE 1.09, DLA 1.12, R3-DLA 1.40)\n");
+    res.print_geomeans();
 }

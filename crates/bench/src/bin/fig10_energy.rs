@@ -1,7 +1,7 @@
 //! Fig 10: CPU and DRAM energy of DLA and R3-DLA normalized to baseline,
 //! per suite (plus the EDP claims of §IV-B2).
 
-use r3dla_bench::{arg_u64, prepare_all, suite_summary, WARMUP, WINDOW};
+use r3dla_bench::{arg_threads, arg_u64, prepare_all_threads, ExperimentSpec, WARMUP, WINDOW};
 use r3dla_core::{DlaConfig, SingleCoreSim};
 use r3dla_cpu::CoreConfig;
 use r3dla_energy::{counters_delta, CoreEnergy, DramEnergy, EnergyParams};
@@ -11,80 +11,79 @@ use r3dla_workloads::Scale;
 fn main() {
     let warm = arg_u64("--warm", WARMUP);
     let win = arg_u64("--window", WINDOW);
-    let prepared = prepare_all(Scale::Ref);
+    let threads = arg_threads();
+    let prepared = prepare_all_threads(Scale::Ref, threads);
     let params = EnergyParams::node22();
-    let mut cpu = [Vec::new(), Vec::new()];
-    let mut dram = [Vec::new(), Vec::new()];
-    let mut edp = [Vec::new(), Vec::new()];
-    for p in &prepared {
-        let mut bl = SingleCoreSim::build(
-            p.built(),
-            CoreConfig::paper(),
-            MemConfig::paper(),
-            None,
-            Some("bop"),
-        );
-        bl.run_until(warm, warm * 60 + 500_000);
-        let b0 = bl.core().counters.clone();
-        let bt0 = bl.dram_traffic();
-        let shared = bl.core().mem().shared();
-        let ba0 = shared.borrow().dram_stats().activations.get();
-        bl.run_until(win, win * 60 + 500_000);
-        let bld = counters_delta(&b0, &bl.core().counters);
-        let bl_core_e = CoreEnergy::from_counters(&bld, &params);
-        let mut bl_dram = r3dla_mem::DramStats::default();
-        bl_dram.reads.add(bl.dram_traffic() - bt0);
-        bl_dram
-            .activations
-            .add(shared.borrow().dram_stats().activations.get() - ba0);
-        let bl_dram_e = DramEnergy::from_stats(&bl_dram, bl_core_e.seconds, &params);
-        let bl_total = bl_core_e.total_j();
-        for (i, cfg) in [DlaConfig::dla(), DlaConfig::r3()].into_iter().enumerate() {
-            let mut sys = p.dla_system(cfg);
-            sys.run_until_mt(warm, warm * 60 + 500_000);
-            let s0 = sys.snapshot();
-            sys.run_until_mt(win, win * 60 + 500_000);
-            let s1 = sys.snapshot();
-            let lt = counters_delta(&s0.lt_counters, &s1.lt_counters);
-            let mt = counters_delta(&s0.mt_counters, &s1.mt_counters);
-            let lt_e = CoreEnergy::from_counters(&lt, &params);
-            let mt_e = CoreEnergy::from_counters(&mt, &params);
-            let total = lt_e.total_j() + mt_e.total_j();
-            cpu[i].push((p.suite, total / bl_total.max(1e-18)));
-            let mut dstats = r3dla_mem::DramStats::default();
-            dstats.reads.add(s1.dram.reads.get() - s0.dram.reads.get());
-            dstats
-                .writes
-                .add(s1.dram.writes.get() - s0.dram.writes.get());
-            dstats
+    let spec = ExperimentSpec::new(
+        "FIG10",
+        &[
+            "DLA cpu", "R3 cpu", "DLA dram", "R3 dram", "DLA edp", "R3 edp",
+        ],
+        move |p| {
+            let mut bl = SingleCoreSim::build(
+                p.built(),
+                CoreConfig::paper(),
+                MemConfig::paper(),
+                None,
+                Some("bop"),
+            );
+            bl.run_until(warm, warm * 60 + 500_000);
+            let b0 = bl.core().counters.clone();
+            let bt0 = bl.dram_traffic();
+            let shared = bl.core().mem().shared();
+            let ba0 = shared.borrow().dram_stats().activations.get();
+            bl.run_until(win, win * 60 + 500_000);
+            let bld = counters_delta(&b0, &bl.core().counters);
+            let bl_core_e = CoreEnergy::from_counters(&bld, &params);
+            let mut bl_dram = r3dla_mem::DramStats::default();
+            bl_dram.reads.add(bl.dram_traffic() - bt0);
+            bl_dram
                 .activations
-                .add(s1.dram.activations.get() - s0.dram.activations.get());
-            let de = DramEnergy::from_stats(&dstats, mt_e.seconds, &params);
-            dram[i].push((p.suite, de.total_j() / bl_dram_e.total_j().max(1e-18)));
-            // EDP vs baseline: energy × time (time ∝ cycles at equal insts).
-            let e_ratio = (total + de.total_j()) / (bl_total + bl_dram_e.total_j()).max(1e-18);
-            let t_ratio = mt_e.seconds / bl_core_e.seconds.max(1e-12);
-            edp[i].push((p.suite, e_ratio * t_ratio));
-        }
-    }
+                .add(shared.borrow().dram_stats().activations.get() - ba0);
+            let bl_dram_e = DramEnergy::from_stats(&bl_dram, bl_core_e.seconds, &params);
+            let bl_total = bl_core_e.total_j();
+            let mut cpu = [0.0f64; 2];
+            let mut dram = [0.0f64; 2];
+            let mut edp = [0.0f64; 2];
+            for (i, cfg) in [DlaConfig::dla(), DlaConfig::r3()].into_iter().enumerate() {
+                let mut sys = p.dla_system(cfg);
+                sys.run_until_mt(warm, warm * 60 + 500_000);
+                let s0 = sys.snapshot();
+                sys.run_until_mt(win, win * 60 + 500_000);
+                let s1 = sys.snapshot();
+                let lt = counters_delta(&s0.lt_counters, &s1.lt_counters);
+                let mt = counters_delta(&s0.mt_counters, &s1.mt_counters);
+                let lt_e = CoreEnergy::from_counters(&lt, &params);
+                let mt_e = CoreEnergy::from_counters(&mt, &params);
+                let total = lt_e.total_j() + mt_e.total_j();
+                cpu[i] = total / bl_total.max(1e-18);
+                let mut dstats = r3dla_mem::DramStats::default();
+                dstats.reads.add(s1.dram.reads.get() - s0.dram.reads.get());
+                dstats
+                    .writes
+                    .add(s1.dram.writes.get() - s0.dram.writes.get());
+                dstats
+                    .activations
+                    .add(s1.dram.activations.get() - s0.dram.activations.get());
+                let de = DramEnergy::from_stats(&dstats, mt_e.seconds, &params);
+                dram[i] = de.total_j() / bl_dram_e.total_j().max(1e-18);
+                // EDP vs baseline: energy × time (time ∝ cycles at equal
+                // insts).
+                let e_ratio = (total + de.total_j()) / (bl_total + bl_dram_e.total_j()).max(1e-18);
+                let t_ratio = mt_e.seconds / bl_core_e.seconds.max(1e-12);
+                edp[i] = e_ratio * t_ratio;
+            }
+            vec![cpu[0], cpu[1], dram[0], dram[1], edp[0], edp[1]]
+        },
+    );
+    let res = spec.execute(&prepared, threads);
     println!("# FIG10 — normalized energy (geomean per suite)\n");
-    println!("| group | DLA cpu | R3 cpu | DLA dram | R3 dram |");
-    println!("|---|---|---|---|---|");
-    let c0 = suite_summary(&cpu[0]);
-    let c1 = suite_summary(&cpu[1]);
-    let d0 = suite_summary(&dram[0]);
-    let d1 = suite_summary(&dram[1]);
-    for g in 0..c0.len() {
-        println!(
-            "| {} | {:.3} | {:.3} | {:.3} | {:.3} |",
-            c0[g].0, c0[g].1, c1[g].1, d0[g].1, d1[g].1
-        );
-    }
+    res.print_geomeans();
     println!("\n(paper: cpu 1.11x geomean for R3; dram 0.9x)\n");
     println!("## EDP vs baseline (geomean; paper: DLA +6%, R3 −19%)\n");
     println!(
         "- DLA EDP: {:.3}\n- R3-DLA EDP: {:.3}",
-        suite_summary(&edp[0]).last().unwrap().1,
-        suite_summary(&edp[1]).last().unwrap().1
+        res.geomean(4),
+        res.geomean(5)
     );
 }

@@ -2,29 +2,29 @@
 //! half-cores, and SMT (two program copies on the wide core), all
 //! normalized to a half-core (HC).
 
-use r3dla_bench::{arg_u64, measure_smt, prepare_all, suite_summary, WARMUP, WINDOW};
+use r3dla_bench::{
+    arg_threads, arg_u64, measure_smt, prepare_all_threads, ExperimentSpec, WARMUP, WINDOW,
+};
 use r3dla_core::DlaConfig;
 use r3dla_cpu::CoreConfig;
 use r3dla_workloads::Scale;
 
+fn mk_half(mut cfg: DlaConfig) -> DlaConfig {
+    cfg.mt_core = CoreConfig::half_core();
+    let mut lt = CoreConfig::half_core();
+    lt.fetch_masks = true;
+    cfg.lt_core = lt;
+    cfg
+}
+
 fn main() {
     let warm = arg_u64("--warm", WARMUP);
     let win = arg_u64("--window", WINDOW);
-    let prepared = prepare_all(Scale::Ref);
-    println!("# FIG11 — throughput normalized to a half-core\n");
-    println!("| bench | FC | DLA | R3-DLA | SMT |");
-    println!("|---|---|---|---|---|");
-    let mut cols: Vec<Vec<(r3dla_workloads::Suite, f64)>> = vec![Vec::new(); 4];
-    for p in &prepared {
+    let threads = arg_threads();
+    let prepared = prepare_all_threads(Scale::Ref, threads);
+    let spec = ExperimentSpec::new("FIG11", &["FC", "DLA", "R3-DLA", "SMT"], move |p| {
         let hc = p.measure_single(CoreConfig::half_core(), None, Some("bop"), warm, win);
         let fc = p.measure_single(CoreConfig::wide_smt(), None, Some("bop"), warm, win);
-        let mk_half = |mut cfg: DlaConfig| {
-            cfg.mt_core = CoreConfig::half_core();
-            let mut lt = CoreConfig::half_core();
-            lt.fetch_masks = true;
-            cfg.lt_core = lt;
-            cfg
-        };
         let dla = p.measure_dla(mk_half(DlaConfig::dla()), warm, win).mt_ipc;
         let mut r3_cfg = mk_half(DlaConfig::r3());
         r3_cfg.mt_core.fetch_buffer = 32;
@@ -34,19 +34,16 @@ fn main() {
         // benchmark granularity that is max(R3-half, FC).
         let r3_smt = r3.max(fc);
         let smt = measure_smt(p.built(), CoreConfig::wide_smt(), 2, win);
-        let vals = [fc, dla, r3_smt, smt];
-        let mut cells = vec![p.name.clone()];
-        for (k, v) in vals.iter().enumerate() {
-            let norm = v / hc.max(1e-9);
-            cells.push(format!("{norm:.3}"));
-            cols[k].push((p.suite, norm));
-        }
-        println!("{}", r3dla_bench::row(&cells));
-    }
+        [fc, dla, r3_smt, smt]
+            .iter()
+            .map(|v| v / hc.max(1e-9))
+            .collect()
+    });
+    let res = spec.execute(&prepared, threads);
+    println!("# FIG11 — throughput normalized to a half-core\n");
+    res.print_markdown();
     println!(
         "\n## Geometric means (paper: FC 1.23, DLA < FC on avg, R3-DLA 1.44, SMT for throughput)\n"
     );
-    for (k, name) in ["FC", "DLA", "R3-DLA", "SMT"].iter().enumerate() {
-        println!("- {name}: {:.3}", suite_summary(&cols[k]).last().unwrap().1);
-    }
+    res.print_geomeans();
 }

@@ -1,60 +1,48 @@
 //! Fig 12: DLA+stride-prefetcher vs DLA+T1 — speedup over baseline DLA
 //! and normalized memory traffic.
 
-use r3dla_bench::{arg_u64, prepare_all, suite_summary, WARMUP, WINDOW};
+use r3dla_bench::{arg_threads, arg_u64, prepare_all_threads, ExperimentSpec, WARMUP, WINDOW};
 use r3dla_core::DlaConfig;
 use r3dla_workloads::Scale;
 
 fn main() {
     let warm = arg_u64("--warm", WARMUP);
     let win = arg_u64("--window", WINDOW);
-    let prepared = prepare_all(Scale::Ref);
-    println!("# FIG12 — DLA+stride vs DLA+T1 (speedup over DLA; traffic normalized)\n");
-    println!(
-        "| bench | speedup DLA+stride | speedup DLA+T1 | traffic DLA+stride | traffic DLA+T1 |"
+    let threads = arg_threads();
+    let prepared = prepare_all_threads(Scale::Ref, threads);
+    let spec = ExperimentSpec::new(
+        "FIG12",
+        &[
+            "speedup DLA+stride",
+            "speedup DLA+T1",
+            "traffic DLA+stride",
+            "traffic DLA+T1",
+        ],
+        move |p| {
+            let base = p.measure_dla(DlaConfig::dla(), warm, win);
+            let stride = {
+                let mut c = DlaConfig::dla();
+                c.mt_l1_prefetcher = Some("stride");
+                p.measure_dla(c, warm, win)
+            };
+            let t1 = {
+                let mut c = DlaConfig::dla();
+                c.t1 = true;
+                p.measure_dla(c, warm, win)
+            };
+            vec![
+                stride.mt_ipc / base.mt_ipc.max(1e-9),
+                t1.mt_ipc / base.mt_ipc.max(1e-9),
+                stride.dram_traffic as f64 / base.dram_traffic.max(1) as f64,
+                t1.dram_traffic as f64 / base.dram_traffic.max(1) as f64,
+            ]
+        },
     );
-    println!("|---|---|---|---|---|");
-    let mut sp = [Vec::new(), Vec::new()];
-    let mut tr = [Vec::new(), Vec::new()];
-    for p in &prepared {
-        let base = p.measure_dla(DlaConfig::dla(), warm, win);
-        let stride = {
-            let mut c = DlaConfig::dla();
-            c.mt_l1_prefetcher = Some("stride");
-            p.measure_dla(c, warm, win)
-        };
-        let t1 = {
-            let mut c = DlaConfig::dla();
-            c.t1 = true;
-            p.measure_dla(c, warm, win)
-        };
-        let s0 = stride.mt_ipc / base.mt_ipc.max(1e-9);
-        let s1 = t1.mt_ipc / base.mt_ipc.max(1e-9);
-        let t0 = stride.dram_traffic as f64 / base.dram_traffic.max(1) as f64;
-        let t1t = t1.dram_traffic as f64 / base.dram_traffic.max(1) as f64;
-        println!("| {} | {s0:.3} | {s1:.3} | {t0:.3} | {t1t:.3} |", p.name);
-        sp[0].push((p.suite, s0));
-        sp[1].push((p.suite, s1));
-        tr[0].push((p.suite, t0));
-        tr[1].push((p.suite, t1t));
-    }
+    let res = spec.execute(&prepared, threads);
+    println!("# FIG12 — DLA+stride vs DLA+T1 (speedup over DLA; traffic normalized)\n");
+    res.print_markdown();
     println!(
         "\n## Geomeans (paper: speedup stride 1.06 vs T1 1.13-1.14; T1 traffic below stride)\n"
     );
-    println!(
-        "- speedup DLA+stride: {:.3}",
-        suite_summary(&sp[0]).last().unwrap().1
-    );
-    println!(
-        "- speedup DLA+T1:     {:.3}",
-        suite_summary(&sp[1]).last().unwrap().1
-    );
-    println!(
-        "- traffic DLA+stride: {:.3}",
-        suite_summary(&tr[0]).last().unwrap().1
-    );
-    println!(
-        "- traffic DLA+T1:     {:.3}",
-        suite_summary(&tr[1]).last().unwrap().1
-    );
+    res.print_geomeans();
 }

@@ -1,7 +1,9 @@
 //! Fig 13: (a) fetch buffer over BL vs over DLA; (b) dynamic vs static
 //! recycling; (c) synergy — each technique applied first vs last.
 
-use r3dla_bench::{arg_u64, prepare_all, suite_summary, Prepared, WARMUP, WINDOW};
+use r3dla_bench::{
+    arg_threads, arg_u64, prepare_all_threads, ExperimentSpec, Prepared, WARMUP, WINDOW,
+};
 use r3dla_core::{DlaConfig, RecycleMode};
 use r3dla_cpu::CoreConfig;
 use r3dla_workloads::Scale;
@@ -22,79 +24,91 @@ fn static_tuned_ipc(p: &Prepared, warm: u64, win: u64) -> f64 {
 fn main() {
     let warm = arg_u64("--warm", WARMUP);
     let win = arg_u64("--window", WINDOW);
-    let prepared = prepare_all(Scale::Ref);
-    let mut fb_bl = Vec::new();
-    let mut fb_dla = Vec::new();
-    let mut rc_dyn = Vec::new();
-    let mut rc_static = Vec::new();
-    let mut first = [Vec::new(), Vec::new(), Vec::new()];
-    let mut last = [Vec::new(), Vec::new(), Vec::new()];
-    for p in &prepared {
-        // ---- (a) fetch buffer ------------------------------------------
-        let bl8 = p.measure_single(CoreConfig::paper(), None, Some("bop"), warm, win);
-        let bl32 = {
-            let mut c = CoreConfig::paper();
-            c.fetch_buffer = 32;
-            p.measure_single(c, None, Some("bop"), warm, win)
-        };
-        let dla = p.measure_dla(DlaConfig::dla(), warm, win).mt_ipc;
-        let dla_fb = {
-            let mut c = DlaConfig::dla();
-            fb(&mut c);
-            p.measure_dla(c, warm, win).mt_ipc
-        };
-        fb_bl.push((p.suite, bl32 / bl8.max(1e-9)));
-        fb_dla.push((p.suite, dla_fb / dla.max(1e-9)));
-        // ---- (b) recycle: dynamic vs static ----------------------------
-        let dynamic = {
-            let mut c = DlaConfig::dla();
-            c.recycle = RecycleMode::Dynamic;
-            p.measure_dla(c, warm, win).mt_ipc
-        };
-        let static_ipc = static_tuned_ipc(p, warm, win);
-        rc_dyn.push((p.suite, dynamic / dla.max(1e-9)));
-        rc_static.push((p.suite, static_ipc / dla.max(1e-9)));
-        // ---- (c) synergy: first vs last --------------------------------
-        let r3 = p.measure_dla(DlaConfig::r3(), warm, win).mt_ipc;
-        // Apply techniques: 0 = AS/RC (adaptive skeleton), 1 = VR, 2 = FB.
-        for k in 0..3 {
-            let mut only = DlaConfig::dla();
-            let mut without = DlaConfig::r3();
-            match k {
-                0 => {
-                    only.recycle = RecycleMode::Dynamic;
-                    without.recycle = RecycleMode::Off;
+    let threads = arg_threads();
+    let prepared = prepare_all_threads(Scale::Ref, threads);
+    // One row extractor computes all three sub-figures so the shared DLA
+    // baseline is measured once per workload.
+    let spec = ExperimentSpec::new(
+        "FIG13",
+        &[
+            "FB/BL",
+            "FB/DLA",
+            "RC dyn",
+            "RC static",
+            "AS/RC first",
+            "VR first",
+            "FB first",
+            "AS/RC last",
+            "VR last",
+            "FB last",
+        ],
+        move |p| {
+            // ---- (a) fetch buffer ------------------------------------
+            let bl8 = p.measure_single(CoreConfig::paper(), None, Some("bop"), warm, win);
+            let bl32 = {
+                let mut c = CoreConfig::paper();
+                c.fetch_buffer = 32;
+                p.measure_single(c, None, Some("bop"), warm, win)
+            };
+            let dla = p.measure_dla(DlaConfig::dla(), warm, win).mt_ipc;
+            let dla_fb = {
+                let mut c = DlaConfig::dla();
+                fb(&mut c);
+                p.measure_dla(c, warm, win).mt_ipc
+            };
+            // ---- (b) recycle: dynamic vs static ----------------------
+            let dynamic = {
+                let mut c = DlaConfig::dla();
+                c.recycle = RecycleMode::Dynamic;
+                p.measure_dla(c, warm, win).mt_ipc
+            };
+            let static_ipc = static_tuned_ipc(p, warm, win);
+            // ---- (c) synergy: first vs last --------------------------
+            let r3 = p.measure_dla(DlaConfig::r3(), warm, win).mt_ipc;
+            let mut firsts = Vec::new();
+            let mut lasts = Vec::new();
+            // Apply techniques: 0 = AS/RC (adaptive skeleton), 1 = VR,
+            // 2 = FB.
+            for k in 0..3 {
+                let mut only = DlaConfig::dla();
+                let mut without = DlaConfig::r3();
+                match k {
+                    0 => {
+                        only.recycle = RecycleMode::Dynamic;
+                        without.recycle = RecycleMode::Off;
+                    }
+                    1 => {
+                        only.value_reuse = true;
+                        without.value_reuse = false;
+                    }
+                    _ => {
+                        fb(&mut only);
+                        without.mt_core.fetch_buffer = 8;
+                    }
                 }
-                1 => {
-                    only.value_reuse = true;
-                    without.value_reuse = false;
-                }
-                _ => {
-                    fb(&mut only);
-                    without.mt_core.fetch_buffer = 8;
-                }
+                let only_ipc = p.measure_dla(only, warm, win).mt_ipc;
+                let without_ipc = p.measure_dla(without, warm, win).mt_ipc;
+                firsts.push(only_ipc / dla.max(1e-9));
+                lasts.push(r3 / without_ipc.max(1e-9));
             }
-            let only_ipc = p.measure_dla(only, warm, win).mt_ipc;
-            let without_ipc = p.measure_dla(without, warm, win).mt_ipc;
-            first[k].push((p.suite, only_ipc / dla.max(1e-9)));
-            last[k].push((p.suite, r3 / without_ipc.max(1e-9)));
-        }
-    }
+            let mut row = vec![
+                bl32 / bl8.max(1e-9),
+                dla_fb / dla.max(1e-9),
+                dynamic / dla.max(1e-9),
+                static_ipc / dla.max(1e-9),
+            ];
+            row.extend(firsts);
+            row.extend(lasts);
+            row
+        },
+    );
+    let res = spec.execute(&prepared, threads);
     println!("# FIG13a — fetch-buffer speedup (paper: BL +4% avg, DLA +8%)\n");
-    println!(
-        "- FB over BL:  {:.3}",
-        suite_summary(&fb_bl).last().unwrap().1
-    );
-    println!(
-        "- FB over DLA: {:.3}",
-        suite_summary(&fb_dla).last().unwrap().1
-    );
+    println!("- FB over BL:  {:.3}", res.geomean(0));
+    println!("- FB over DLA: {:.3}", res.geomean(1));
     println!("\n# FIG13b — recycle tuning (paper: dynamic 1.08, static 1.10)\n");
-    println!("- dynamic: {:.3}", suite_summary(&rc_dyn).last().unwrap().1);
-    println!(
-        "- static:  {:.3}",
-        suite_summary(&rc_static).last().unwrap().1
-    );
+    println!("- dynamic: {:.3}", res.geomean(2));
+    println!("- static:  {:.3}", res.geomean(3));
     println!(
         "\n# FIG13c — synergy: technique applied first vs last (paper: 2-5% first, 6-8% last)\n"
     );
@@ -103,8 +117,8 @@ fn main() {
     for (k, name) in ["AS/RC", "VR", "FB"].iter().enumerate() {
         println!(
             "| {name} | {:.3} | {:.3} |",
-            suite_summary(&first[k]).last().unwrap().1,
-            suite_summary(&last[k]).last().unwrap().1
+            res.geomean(4 + k),
+            res.geomean(7 + k)
         );
     }
 }

@@ -1,0 +1,101 @@
+//! The parallel experiment runner CLI: measures a (workload ×
+//! configuration) grid on a worker pool and writes machine-readable JSON.
+//!
+//! ```text
+//! runner [--scale tiny|train|ref] [--threads N] [--warm N] [--window N]
+//!        [--workloads a,b,c] [--configs bl,dla,r3,...] [--out FILE]
+//!        [--timing]
+//! ```
+//!
+//! The default JSON is byte-identical across `--threads` settings;
+//! `--timing` adds wall-clock fields. Exits non-zero when any cell
+//! commits zero instructions.
+
+use r3dla_bench::runner::{run_grid, scale_by_name, ConfigSpec, GridSpec};
+use r3dla_bench::{arg_flag, arg_str, arg_threads, arg_u64, WARMUP, WINDOW};
+use r3dla_workloads::{by_name, suite, Scale};
+
+fn main() {
+    let scale = match arg_str("--scale") {
+        Some(s) => scale_by_name(&s).unwrap_or_else(|| {
+            eprintln!("unknown scale '{s}' (expected tiny|train|ref)");
+            std::process::exit(2);
+        }),
+        None => Scale::Ref,
+    };
+    let threads = arg_threads();
+    let warm = arg_u64("--warm", WARMUP);
+    let win = arg_u64("--window", WINDOW);
+    let workloads = match arg_str("--workloads") {
+        Some(list) => list
+            .split(',')
+            .map(|n| {
+                by_name(n.trim()).unwrap_or_else(|| {
+                    eprintln!("unknown workload '{n}'");
+                    std::process::exit(2);
+                })
+            })
+            .collect(),
+        None => suite(),
+    };
+    let configs: Vec<ConfigSpec> = match arg_str("--configs") {
+        Some(list) => list
+            .split(',')
+            .map(|n| {
+                ConfigSpec::by_name(n.trim()).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown config '{n}' (known: {})",
+                        ConfigSpec::known_names().join(", ")
+                    );
+                    std::process::exit(2);
+                })
+            })
+            .collect(),
+        None => ["bl", "dla", "r3"]
+            .iter()
+            .map(|n| ConfigSpec::by_name(n).unwrap())
+            .collect(),
+    };
+
+    let spec = GridSpec {
+        scale,
+        workloads,
+        configs,
+        warm,
+        win,
+    };
+    eprintln!(
+        "runner: {} workloads x {} configs on {} threads",
+        spec.workloads.len(),
+        spec.configs.len(),
+        threads
+    );
+    let result = run_grid(&spec, threads);
+    let json = result.to_json(arg_flag("--timing"));
+    match arg_str("--out") {
+        Some(path) => {
+            std::fs::write(&path, &json).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("runner: wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+    eprintln!(
+        "runner: prepared in {} ms, measured {} cells in {} ms",
+        result.prep_ms,
+        result.cells.len(),
+        result.measure_ms
+    );
+    let empty = result.empty_cells();
+    if !empty.is_empty() {
+        for c in &empty {
+            eprintln!(
+                "runner: FAIL cell ({}, {}) committed zero instructions",
+                c.workload, c.config
+            );
+        }
+        std::process::exit(1);
+    }
+}

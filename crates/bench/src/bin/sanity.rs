@@ -1,38 +1,57 @@
-use r3dla_core::{DlaConfig, DlaSystem, SingleCoreSim, SkeletonOptions};
+//! Quick end-to-end sanity check: BL vs DLA vs R3 IPC, reboot counts and
+//! LT/MT commit ratio on a handful of kernels.
+
+use r3dla_bench::{arg_threads, prepare_some_threads, ExperimentSpec};
+use r3dla_core::DlaConfig;
 use r3dla_cpu::CoreConfig;
-use r3dla_mem::MemConfig;
-use r3dla_workloads::{by_name, Scale};
+use r3dla_workloads::Scale;
 
 fn main() {
-    let warm = 30_000;
-    let win = 80_000;
-    for name in [
-        "mcf_like",
-        "libq_like",
-        "sjeng_like",
-        "bfs",
-        "cg_like",
-        "md5_like",
-    ] {
-        let wl = by_name(name).unwrap().build(Scale::Ref);
-        let mut bl = SingleCoreSim::build(
-            &wl,
-            CoreConfig::paper(),
-            MemConfig::paper(),
-            None,
-            Some("bop"),
-        );
-        let (bl_ipc, _, _) = bl.measure(warm, win);
-        let mut dla = DlaSystem::build(&wl, DlaConfig::dla(), SkeletonOptions::default()).unwrap();
-        let d = dla.measure(warm, win);
-        let mut r3 = DlaSystem::build(&wl, DlaConfig::r3(), SkeletonOptions::default()).unwrap();
-        let r = r3.measure(warm, win);
+    let threads = arg_threads();
+    let prepared = prepare_some_threads(
+        &[
+            "mcf_like",
+            "libq_like",
+            "sjeng_like",
+            "bfs",
+            "cg_like",
+            "md5_like",
+        ],
+        Scale::Ref,
+        threads,
+    );
+    let (warm, win) = (30_000, 80_000);
+    let spec = ExperimentSpec::new(
+        "SANITY",
+        &["BL", "DLA", "R3", "DLA reboots", "R3 reboots", "lt/mt"],
+        move |p| {
+            let bl = p.measure_single(CoreConfig::paper(), None, Some("bop"), warm, win);
+            let d = p.measure_dla(DlaConfig::dla(), warm, win);
+            let r = p.measure_dla(DlaConfig::r3(), warm, win);
+            vec![
+                bl,
+                d.mt_ipc,
+                r.mt_ipc,
+                d.reboots as f64,
+                r.reboots as f64,
+                d.lt_committed as f64 / d.mt_committed.max(1) as f64,
+            ]
+        },
+    );
+    let res = spec.execute(&prepared, threads);
+    for r in &res.rows {
+        let (bl, dla, r3) = (r.values[0], r.values[1], r.values[2]);
         println!(
-            "{:12} BL {:.3}  DLA {:.3} ({:+.1}%)  R3 {:.3} ({:+.1}%)  reboots {}/{} depth {} lt/mt {:.2}",
-            name, bl_ipc, d.mt_ipc, (d.mt_ipc / bl_ipc - 1.0) * 100.0,
-            r.mt_ipc, (r.mt_ipc / bl_ipc - 1.0) * 100.0,
-            d.reboots, r.reboots, dla.lookahead_depth(),
-            d.lt_committed as f64 / d.mt_committed.max(1) as f64,
+            "{:12} BL {:.3}  DLA {:.3} ({:+.1}%)  R3 {:.3} ({:+.1}%)  reboots {}/{}  lt/mt {:.2}",
+            r.workload,
+            bl,
+            dla,
+            (dla / bl - 1.0) * 100.0,
+            r3,
+            (r3 / bl - 1.0) * 100.0,
+            r.values[3] as u64,
+            r.values[4] as u64,
+            r.values[5],
         );
     }
 }

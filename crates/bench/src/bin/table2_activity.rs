@@ -2,68 +2,43 @@
 //! dynamic power and static power for DLA and R3-DLA, normalized to the
 //! baseline core running the same window.
 
-use r3dla_bench::{arg_u64, prepare_all, WARMUP, WINDOW};
+use r3dla_bench::{arg_threads, arg_u64, prepare_all_threads, ExperimentSpec, WARMUP, WINDOW};
 use r3dla_core::{DlaConfig, SingleCoreSim};
 use r3dla_cpu::{ActivityCounters, CoreConfig};
 use r3dla_energy::{counters_delta, CoreEnergy, EnergyParams};
 use r3dla_mem::MemConfig;
 use r3dla_workloads::Scale;
 
-struct Acc {
-    d: Vec<f64>,
-    x: Vec<f64>,
-    c: Vec<f64>,
-    e: Vec<f64>,
-    pdyn: Vec<f64>,
-    ptot: Vec<f64>,
-}
-
-impl Acc {
-    fn new() -> Self {
-        Self {
-            d: vec![],
-            x: vec![],
-            c: vec![],
-            e: vec![],
-            pdyn: vec![],
-            ptot: vec![],
-        }
-    }
-    fn push(&mut self, t: &ActivityCounters, bl: &ActivityCounters, p: &EnergyParams) {
-        let te = CoreEnergy::from_counters(t, p);
-        let be = CoreEnergy::from_counters(bl, p);
-        self.d
-            .push(t.decoded.get() as f64 / bl.decoded.get().max(1) as f64);
-        self.x
-            .push(t.executed.get() as f64 / bl.executed.get().max(1) as f64);
-        self.c
-            .push(t.committed.get() as f64 / bl.committed.get().max(1) as f64);
-        self.e.push(te.dynamic_j / be.dynamic_j.max(1e-18));
-        self.pdyn.push(te.dynamic_w() / be.dynamic_w().max(1e-18));
-        self.ptot
-            .push(te.total_j() / te.seconds.max(1e-12) / (be.total_j() / be.seconds.max(1e-12)));
-    }
-    fn row(&self, label: &str) -> String {
-        let m = |v: &[f64]| format!("{:.0}%", 100.0 * r3dla_stats::mean(v));
-        format!(
-            "| {label} | {} | {} | {} | {} | {} | {} |",
-            m(&self.d),
-            m(&self.x),
-            m(&self.c),
-            m(&self.e),
-            m(&self.pdyn),
-            m(&self.ptot)
-        )
-    }
+/// D/X/C activity plus energy/power ratios of `t` vs baseline `bl`.
+fn ratios(t: &ActivityCounters, bl: &ActivityCounters, p: &EnergyParams) -> [f64; 6] {
+    let te = CoreEnergy::from_counters(t, p);
+    let be = CoreEnergy::from_counters(bl, p);
+    [
+        t.decoded.get() as f64 / bl.decoded.get().max(1) as f64,
+        t.executed.get() as f64 / bl.executed.get().max(1) as f64,
+        t.committed.get() as f64 / bl.committed.get().max(1) as f64,
+        te.dynamic_j / be.dynamic_j.max(1e-18),
+        te.dynamic_w() / be.dynamic_w().max(1e-18),
+        te.total_j() / te.seconds.max(1e-12) / (be.total_j() / be.seconds.max(1e-12)),
+    ]
 }
 
 fn main() {
     let warm = arg_u64("--warm", WARMUP);
     let win = arg_u64("--window", WINDOW);
-    let prepared = prepare_all(Scale::Ref);
+    let threads = arg_threads();
+    let prepared = prepare_all_threads(Scale::Ref, threads);
     let params = EnergyParams::node22();
-    let mut rows = [Acc::new(), Acc::new(), Acc::new(), Acc::new()];
-    for p in &prepared {
+    // 4 threads-of-interest (DLA LT/MT, R3 LT/MT) × 6 metrics, row-major.
+    let labels = [
+        "DLA LT (paper 49/48/48/48/54/71%)",
+        "DLA MT (paper 77/86/100/88/96/97%)",
+        "R3 LT (paper 35/29/29/30/42/64%)",
+        "R3 MT (paper 77/82/100/80/110/103%)",
+    ];
+    let columns: Vec<String> = (0..24).map(|k| format!("m{k}")).collect();
+    let column_refs: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
+    let spec = ExperimentSpec::new("TABLE2", &column_refs, move |p| {
         // Baseline counters over the same committed window.
         let mut bl = SingleCoreSim::build(
             p.built(),
@@ -76,22 +51,30 @@ fn main() {
         let b0 = bl.core().counters.clone();
         bl.run_until(win, win * 60 + 500_000);
         let bld = counters_delta(&b0, &bl.core().counters);
-        for (i, cfg) in [DlaConfig::dla(), DlaConfig::r3()].into_iter().enumerate() {
+        let mut row = Vec::with_capacity(24);
+        for cfg in [DlaConfig::dla(), DlaConfig::r3()] {
             let mut sys = p.dla_system(cfg);
             sys.run_until_mt(warm, warm * 60 + 500_000);
             let s0 = sys.snapshot();
             sys.run_until_mt(win, win * 60 + 500_000);
             let lt = counters_delta(&s0.lt_counters, &sys.lt().counters);
             let mt = counters_delta(&s0.mt_counters, &sys.mt().counters);
-            rows[i * 2].push(&lt, &bld, &params);
-            rows[i * 2 + 1].push(&mt, &bld, &params);
+            row.extend(ratios(&lt, &bld, &params));
+            row.extend(ratios(&mt, &bld, &params));
         }
-    }
+        row
+    });
+    let res = spec.execute(&prepared, threads);
     println!("# TABLE II — activity / energy / power vs baseline (arithmetic means)\n");
     println!("| thread | D | X | C | dyn.energy | dyn.power | power |");
     println!("|---|---|---|---|---|---|---|");
-    println!("{}", rows[0].row("DLA LT (paper 49/48/48/48/54/71%)"));
-    println!("{}", rows[1].row("DLA MT (paper 77/86/100/88/96/97%)"));
-    println!("{}", rows[2].row("R3 LT (paper 35/29/29/30/42/64%)"));
-    println!("{}", rows[3].row("R3 MT (paper 77/82/100/80/110/103%)"));
+    for (r, label) in labels.iter().enumerate() {
+        let cells: Vec<String> = (0..6)
+            .map(|m| {
+                let vals: Vec<f64> = res.column(r * 6 + m).iter().map(|(_, v)| *v).collect();
+                format!("{:.0}%", 100.0 * r3dla_stats::mean(&vals))
+            })
+            .collect();
+        println!("| {label} | {} |", cells.join(" | "));
+    }
 }

@@ -5,7 +5,9 @@ use std::cell::RefCell;
 use std::collections::HashSet;
 use std::rc::Rc;
 
-use r3dla_bench::{arg_u64, prepare_all, Prepared, WARMUP, WINDOW};
+use r3dla_bench::{
+    arg_threads, arg_u64, prepare_all_threads, ExperimentSpec, Prepared, WARMUP, WINDOW,
+};
 use r3dla_core::{DlaConfig, SingleCoreSim};
 use r3dla_cpu::{CommitRecord, CommitSink, CoreConfig};
 use r3dla_mem::MemConfig;
@@ -56,45 +58,59 @@ fn mpki(sink: &Rc<RefCell<SplitSink>>) -> (f64, f64) {
 fn main() {
     let warm = arg_u64("--warm", WARMUP);
     let win = arg_u64("--window", WINDOW);
-    let prepared = prepare_all(Scale::Ref);
-    let mut agg: Vec<Vec<(f64, f64)>> = vec![Vec::new(); 4];
-    for p in &prepared {
-        let pcs = strided_pcs(p);
-        // BL and BL+stride.
-        for (k, l1pf) in [None, Some("stride")].into_iter().enumerate() {
-            let mut sim = SingleCoreSim::build(
-                p.built(),
-                CoreConfig::paper(),
-                MemConfig::paper(),
-                l1pf,
-                Some("bop"),
-            );
-            let sink = Rc::new(RefCell::new(SplitSink {
-                strided_pcs: pcs.clone(),
-                ..Default::default()
-            }));
-            sim.core_mut().set_commit_sink(0, sink.clone());
-            sim.run_until(warm, warm * 60 + 500_000);
-            sink.borrow_mut().active = true;
-            sim.run_until(win, win * 60 + 500_000);
-            agg[k].push(mpki(&sink));
-        }
-        // DLA and DLA+T1.
-        for (k, t1) in [(2usize, false), (3, true)] {
-            let mut cfg = DlaConfig::dla();
-            cfg.t1 = t1;
-            let mut sys = p.dla_system(cfg);
-            let sink = Rc::new(RefCell::new(SplitSink {
-                strided_pcs: pcs.clone(),
-                ..Default::default()
-            }));
-            sys.set_mt_observer(sink.clone());
-            sys.run_until_mt(warm, warm * 60 + 500_000);
-            sink.borrow_mut().active = true;
-            sys.run_until_mt(win, win * 60 + 500_000);
-            agg[k].push(mpki(&sink));
-        }
-    }
+    let threads = arg_threads();
+    let prepared = prepare_all_threads(Scale::Ref, threads);
+    // 4 configs × (strided, other) MPKI, row-major.
+    let spec = ExperimentSpec::new(
+        "TABLE3",
+        &[
+            "bl_s", "bl_o", "str_s", "str_o", "dla_s", "dla_o", "t1_s", "t1_o",
+        ],
+        move |p| {
+            let pcs = strided_pcs(p);
+            let mut row = Vec::with_capacity(8);
+            // BL and BL+stride.
+            for l1pf in [None, Some("stride")] {
+                let mut sim = SingleCoreSim::build(
+                    p.built(),
+                    CoreConfig::paper(),
+                    MemConfig::paper(),
+                    l1pf,
+                    Some("bop"),
+                );
+                let sink = Rc::new(RefCell::new(SplitSink {
+                    strided_pcs: pcs.clone(),
+                    ..Default::default()
+                }));
+                sim.core_mut().set_commit_sink(0, sink.clone());
+                sim.run_until(warm, warm * 60 + 500_000);
+                sink.borrow_mut().active = true;
+                sim.run_until(win, win * 60 + 500_000);
+                let (s, o) = mpki(&sink);
+                row.push(s);
+                row.push(o);
+            }
+            // DLA and DLA+T1.
+            for t1 in [false, true] {
+                let mut cfg = DlaConfig::dla();
+                cfg.t1 = t1;
+                let mut sys = p.dla_system(cfg);
+                let sink = Rc::new(RefCell::new(SplitSink {
+                    strided_pcs: pcs.clone(),
+                    ..Default::default()
+                }));
+                sys.set_mt_observer(sink.clone());
+                sys.run_until_mt(warm, warm * 60 + 500_000);
+                sink.borrow_mut().active = true;
+                sys.run_until_mt(win, win * 60 + 500_000);
+                let (s, o) = mpki(&sink);
+                row.push(s);
+                row.push(o);
+            }
+            row
+        },
+    );
+    let res = spec.execute(&prepared, threads);
     println!("# TABLE III — L1 MPKI by access class (mean / median over benchmarks)\n");
     println!("| config | strided mean | strided median | other mean | other median |");
     println!("|---|---|---|---|---|");
@@ -106,8 +122,8 @@ fn main() {
         "(paper 2.1/1.1, 4.8/3.2)",
     ];
     for (k, name) in names.iter().enumerate() {
-        let strided: Vec<f64> = agg[k].iter().map(|x| x.0).collect();
-        let other: Vec<f64> = agg[k].iter().map(|x| x.1).collect();
+        let strided: Vec<f64> = res.column(2 * k).iter().map(|(_, v)| *v).collect();
+        let other: Vec<f64> = res.column(2 * k + 1).iter().map(|(_, v)| *v).collect();
         println!(
             "| {name} {} | {:.1} | {:.1} | {:.1} | {:.1} |",
             paper[k],

@@ -1,9 +1,13 @@
 //! Shared experiment harness: prepared workloads (profile + skeletons
 //! computed once), measurement helpers with common warmup/window sizing,
-//! and table formatting for the per-figure binaries.
+//! the parallel experiment runner ([`runner`]), and table formatting for
+//! the per-figure binaries.
+
+pub mod runner;
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use r3dla_core::{
     generate_skeletons, profile, Dataflow, DlaConfig, DlaSystem, ProfileData, SingleCoreSim,
@@ -14,6 +18,11 @@ use r3dla_isa::{ArchState, Program, VecMem};
 use r3dla_mem::{CoreMem, MemConfig, SharedLlc};
 use r3dla_workloads::{suite, BuiltWorkload, Scale, Suite, Workload};
 
+pub use runner::{
+    parallel_map, run_grid, CellKind, CellResult, ConfigSpec, ExperimentResult, ExperimentSpec,
+    GridResult, GridSpec,
+};
+
 /// Default warmup instructions for measurement windows.
 pub const WARMUP: u64 = 40_000;
 /// Default measurement window in committed MT instructions.
@@ -21,13 +30,18 @@ pub const WINDOW: u64 = 150_000;
 
 /// A workload with its offline analysis performed once, so each system
 /// configuration can be assembled without re-profiling.
+///
+/// `Prepared` is `Send + Sync`: the runner prepares workloads on a worker
+/// pool and shares them by reference across measurement threads. The
+/// non-thread-safe simulation state (`Rc`/`RefCell` inside [`DlaSystem`])
+/// is only created per-cell, inside one thread, by [`Prepared::dla_system`].
 pub struct Prepared {
     /// Kernel name.
     pub name: String,
     /// Owning suite.
     pub suite: Suite,
     /// The program.
-    pub program: Rc<Program>,
+    pub program: Arc<Program>,
     /// Training profile.
     pub profile: ProfileData,
     /// Skeletons with T1 offload applied.
@@ -37,13 +51,24 @@ pub struct Prepared {
     built: BuiltWorkload,
 }
 
+// Every field is plain data: preparation results may cross threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Prepared>();
+};
+
 impl Prepared {
     /// Profiles and generates skeletons for one workload.
     pub fn new(w: &Workload, scale: Scale) -> Self {
         let built = w.build(scale);
-        let program = Rc::new(built.program.clone());
+        let program = Arc::new(built.program.clone());
         let df = Dataflow::analyze(&program);
-        let prof = profile(&program, DlaConfig::dla().profile_insts);
+        // Profiling assembles a (thread-confined) timing core, which
+        // shares the program by `Rc`.
+        let prof = profile(
+            &Rc::new(built.program.clone()),
+            DlaConfig::dla().profile_insts,
+        );
         let opt = SkeletonOptions::default();
         let skeletons_t1 = generate_skeletons(&program, &df, &prof, &opt, true);
         let skeletons_plain = generate_skeletons(&program, &df, &prof, &opt, false);
@@ -71,7 +96,7 @@ impl Prepared {
             &self.skeletons_plain
         };
         DlaSystem::assemble(
-            Rc::clone(&self.program),
+            Rc::new((*self.program).clone()),
             cfg,
             set.clone(),
             self.profile.clone(),
@@ -93,25 +118,79 @@ impl Prepared {
         warm: u64,
         win: u64,
     ) -> f64 {
+        self.measure_single_report(core, l1pf, l2pf, warm, win)
+            .mt_ipc
+    }
+
+    /// Measures a single-core configuration with the full windowed
+    /// counter set (LT fields zero) — the grid runner's `bl*` cells.
+    pub fn measure_single_report(
+        &self,
+        core: CoreConfig,
+        l1pf: Option<&str>,
+        l2pf: Option<&str>,
+        warm: u64,
+        win: u64,
+    ) -> WindowReport {
         let mut sim = SingleCoreSim::build(&self.built, core, MemConfig::paper(), l1pf, l2pf);
-        sim.measure(warm, win).0
+        sim.run_until(warm, warm * 60 + 500_000);
+        let c0 = sim.core().committed(0);
+        let y0 = sim.core().cycle();
+        let d0 = sim.dram_traffic();
+        let l1d0 = sim.core().mem().l1d_stats().clone();
+        sim.run_until(win, win * 60 + 500_000);
+        let cycles = sim.core().cycle() - y0;
+        let committed = sim.core().committed(0) - c0;
+        let l1d = sim.core().mem().l1d_stats().clone();
+        WindowReport {
+            cycles,
+            mt_committed: committed,
+            lt_committed: 0,
+            mt_ipc: if cycles == 0 {
+                0.0
+            } else {
+                committed as f64 / cycles as f64
+            },
+            dram_traffic: sim.dram_traffic() - d0,
+            mt_l1d_misses: l1d.misses.get() - l1d0.misses.get(),
+            mt_l1d_accesses: l1d.accesses.get() - l1d0.accesses.get(),
+            reboots: 0,
+        }
     }
 }
 
 /// Prepares every workload of the standard suite at the given scale.
 /// This is the expensive step (training profile per kernel); binaries
-/// call it once and reuse.
+/// call it once and reuse. Fans out across [`default_threads`] workers.
 pub fn prepare_all(scale: Scale) -> Vec<Prepared> {
-    suite().iter().map(|w| Prepared::new(w, scale)).collect()
+    prepare_all_threads(scale, default_threads())
 }
 
-/// Prepares a named subset.
+/// Prepares the full suite on an explicit number of worker threads.
+pub fn prepare_all_threads(scale: Scale, threads: usize) -> Vec<Prepared> {
+    let ws = suite();
+    parallel_map(&ws, threads, |w| Prepared::new(w, scale))
+}
+
+/// Prepares a named subset across [`default_threads`] workers.
 pub fn prepare_some(names: &[&str], scale: Scale) -> Vec<Prepared> {
-    suite()
-        .iter()
+    prepare_some_threads(names, scale, default_threads())
+}
+
+/// Prepares a named subset on an explicit number of worker threads.
+pub fn prepare_some_threads(names: &[&str], scale: Scale, threads: usize) -> Vec<Prepared> {
+    let ws: Vec<Workload> = suite()
+        .into_iter()
         .filter(|w| names.contains(&w.name))
-        .map(|w| Prepared::new(w, scale))
-        .collect()
+        .collect();
+    parallel_map(&ws, threads, |w| Prepared::new(w, scale))
+}
+
+/// Worker-thread default: the machine's available parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Runs an SMT throughput measurement: `copies` identical threads on the
@@ -187,17 +266,53 @@ pub fn suite_summary(pairs: &[(Suite, f64)]) -> Vec<(String, f64)> {
     out
 }
 
-/// Parses `--window N` / `--warm N` style overrides from argv.
+/// Parses `--window N` / `--warm N` style overrides from argv. A flag
+/// that is present but unparsable aborts instead of silently running
+/// with the default.
 pub fn arg_u64(name: &str, default: u64) -> u64 {
+    match arg_str(name) {
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value '{s}' for {name} (expected an integer)");
+            std::process::exit(2);
+        }),
+        None => default,
+    }
+}
+
+/// Parses a `--threads N` style usize override from argv; aborts on an
+/// unparsable value like [`arg_u64`].
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    match arg_str(name) {
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value '{s}' for {name} (expected an integer)");
+            std::process::exit(2);
+        }),
+        None => default,
+    }
+}
+
+/// Returns the string argument following `name` in argv, if present.
+pub fn arg_str(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
     for i in 0..args.len() {
         if args[i] == name {
-            if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
-                return v;
+            if let Some(v) = args.get(i + 1) {
+                return Some(v.clone());
             }
         }
     }
-    default
+    None
+}
+
+/// Whether a bare `--flag` is present in argv.
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// The `--threads` override, defaulting to the machine's parallelism —
+/// the knob every figure binary exposes.
+pub fn arg_threads() -> usize {
+    arg_usize("--threads", default_threads())
 }
 
 #[cfg(test)]

@@ -1,0 +1,560 @@
+//! The parallel experiment runner: fans a (workload × configuration)
+//! grid out across scoped worker threads.
+//!
+//! Every cell constructs its own thread-confined [`DlaSystem`] (or
+//! [`SingleCoreSim`]) from a shared, immutable [`Prepared`] workload, so
+//! the simulator's `Rc`/`RefCell` internals never cross a thread
+//! boundary — only `Send + Sync` specs go in and plain-data reports come
+//! out. Results keep deterministic (grid) order no matter which worker
+//! ran them, so `--threads 1` and `--threads N` produce byte-identical
+//! JSON.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use r3dla_core::{DlaConfig, WindowReport};
+use r3dla_cpu::CoreConfig;
+use r3dla_workloads::{suite, Scale, Suite, Workload};
+
+use crate::{Prepared, WARMUP, WINDOW};
+
+/// Maps `f` over `items` on `threads` scoped workers pulling cell indices
+/// from a shared queue. Results are returned in input order regardless of
+/// which worker computed them; with `threads <= 1` the map runs inline on
+/// the calling thread.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
+        .collect()
+}
+
+/// What one grid cell simulates.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // a handful of specs per grid
+pub enum CellKind {
+    /// A two-core DLA/R3 system.
+    Dla(DlaConfig),
+    /// A conventional single core with optional L1/L2 prefetchers.
+    Single {
+        /// Core parameters.
+        core: CoreConfig,
+        /// L1 prefetcher name (per `r3dla_prefetch::by_name`).
+        l1pf: Option<&'static str>,
+        /// L2 prefetcher name.
+        l2pf: Option<&'static str>,
+    },
+}
+
+/// A named configuration column of the grid.
+#[derive(Debug, Clone)]
+pub struct ConfigSpec {
+    /// Stable label used in output and `--configs` selection.
+    pub label: String,
+    /// What to simulate.
+    pub kind: CellKind,
+}
+
+impl ConfigSpec {
+    /// A DLA-system column.
+    pub fn dla(label: &str, cfg: DlaConfig) -> Self {
+        Self {
+            label: label.to_string(),
+            kind: CellKind::Dla(cfg),
+        }
+    }
+
+    /// A single-core column.
+    pub fn single(label: &str, core: CoreConfig, l1pf: Option<&'static str>) -> Self {
+        Self {
+            label: label.to_string(),
+            kind: CellKind::Single {
+                core,
+                l1pf,
+                l2pf: Some("bop"),
+            },
+        }
+    }
+
+    /// Names accepted by [`ConfigSpec::by_name`] / the runner's
+    /// `--configs` flag.
+    pub fn known_names() -> &'static [&'static str] {
+        &[
+            "bl",
+            "bl_nopf",
+            "dla",
+            "dla_nopf",
+            "dla_t1",
+            "dla_vr",
+            "dla_fb",
+            "dla_rc",
+            "dla_stride",
+            "r3",
+            "r3_nopf",
+        ]
+    }
+
+    /// Resolves a standard configuration by name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        let spec = match name {
+            "bl" => Self::single("bl", CoreConfig::paper(), None),
+            "bl_nopf" => Self {
+                label: "bl_nopf".to_string(),
+                kind: CellKind::Single {
+                    core: CoreConfig::paper(),
+                    l1pf: None,
+                    l2pf: None,
+                },
+            },
+            "dla" => Self::dla("dla", DlaConfig::dla()),
+            "dla_nopf" => Self::dla("dla_nopf", DlaConfig::dla().without_prefetcher()),
+            "dla_t1" => {
+                let mut c = DlaConfig::dla();
+                c.t1 = true;
+                Self::dla("dla_t1", c)
+            }
+            "dla_vr" => {
+                let mut c = DlaConfig::dla();
+                c.value_reuse = true;
+                Self::dla("dla_vr", c)
+            }
+            "dla_fb" => {
+                let mut c = DlaConfig::dla();
+                c.mt_core.fetch_buffer = 32;
+                Self::dla("dla_fb", c)
+            }
+            "dla_rc" => {
+                let mut c = DlaConfig::dla();
+                c.recycle = r3dla_core::RecycleMode::Dynamic;
+                Self::dla("dla_rc", c)
+            }
+            "dla_stride" => {
+                let mut c = DlaConfig::dla();
+                c.mt_l1_prefetcher = Some("stride");
+                Self::dla("dla_stride", c)
+            }
+            "r3" => Self::dla("r3", DlaConfig::r3()),
+            "r3_nopf" => Self::dla("r3_nopf", DlaConfig::r3().without_prefetcher()),
+            _ => return None,
+        };
+        Some(spec)
+    }
+}
+
+/// A (workload × configuration) grid to run.
+#[derive(Debug, Clone)]
+pub struct GridSpec {
+    /// Input scale.
+    pub scale: Scale,
+    /// Grid rows.
+    pub workloads: Vec<Workload>,
+    /// Grid columns.
+    pub configs: Vec<ConfigSpec>,
+    /// Warmup committed instructions per cell.
+    pub warm: u64,
+    /// Measured committed instructions per cell.
+    pub win: u64,
+}
+
+impl GridSpec {
+    /// The standard grid: the whole suite under `bl` / `dla` / `r3` with
+    /// the default window sizing.
+    pub fn standard(scale: Scale) -> Self {
+        Self {
+            scale,
+            workloads: suite(),
+            configs: ["bl", "dla", "r3"]
+                .iter()
+                .map(|n| ConfigSpec::by_name(n).unwrap())
+                .collect(),
+            warm: WARMUP,
+            win: WINDOW,
+        }
+    }
+}
+
+/// One finished grid cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Workload name.
+    pub workload: String,
+    /// Workload suite.
+    pub suite: Suite,
+    /// Configuration label.
+    pub config: String,
+    /// The measured window.
+    pub report: WindowReport,
+    /// Wall-clock the cell took (excluded from deterministic JSON).
+    pub wall_ms: u64,
+}
+
+/// All results of a grid run.
+#[derive(Debug, Clone)]
+pub struct GridResult {
+    /// Scale the grid ran at.
+    pub scale: Scale,
+    /// Warmup instructions per cell.
+    pub warm: u64,
+    /// Window instructions per cell.
+    pub win: u64,
+    /// Cells in deterministic grid order (workload-major).
+    pub cells: Vec<CellResult>,
+    /// Wall-clock of the preparation phase.
+    pub prep_ms: u64,
+    /// Wall-clock of the measurement phase.
+    pub measure_ms: u64,
+}
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Tiny => "tiny",
+        Scale::Train => "train",
+        Scale::Ref => "ref",
+    }
+}
+
+/// Parses a scale name accepted by the runner CLI.
+pub fn scale_by_name(name: &str) -> Option<Scale> {
+    match name {
+        "tiny" => Some(Scale::Tiny),
+        "train" => Some(Scale::Train),
+        "ref" => Some(Scale::Ref),
+        _ => None,
+    }
+}
+
+/// Runs one cell of a grid against a prepared workload.
+pub fn run_cell(p: &Prepared, spec: &ConfigSpec, warm: u64, win: u64) -> WindowReport {
+    match &spec.kind {
+        CellKind::Dla(cfg) => p.measure_dla(cfg.clone(), warm, win),
+        CellKind::Single { core, l1pf, l2pf } => {
+            p.measure_single_report(core.clone(), *l1pf, *l2pf, warm, win)
+        }
+    }
+}
+
+/// Prepares the grid's workloads and measures every cell, both phases on
+/// the same `threads`-wide worker pool.
+pub fn run_grid(spec: &GridSpec, threads: usize) -> GridResult {
+    let t0 = Instant::now();
+    let prepared = parallel_map(&spec.workloads, threads, |w| Prepared::new(w, spec.scale));
+    let prep_ms = t0.elapsed().as_millis() as u64;
+
+    let cells: Vec<(usize, usize)> = (0..prepared.len())
+        .flat_map(|wi| (0..spec.configs.len()).map(move |ci| (wi, ci)))
+        .collect();
+    let t1 = Instant::now();
+    let results = parallel_map(&cells, threads, |&(wi, ci)| {
+        let p = &prepared[wi];
+        let cfg = &spec.configs[ci];
+        let c0 = Instant::now();
+        let report = run_cell(p, cfg, spec.warm, spec.win);
+        CellResult {
+            workload: p.name.clone(),
+            suite: p.suite,
+            config: cfg.label.clone(),
+            report,
+            wall_ms: c0.elapsed().as_millis() as u64,
+        }
+    });
+    GridResult {
+        scale: spec.scale,
+        warm: spec.warm,
+        win: spec.win,
+        cells: results,
+        prep_ms,
+        measure_ms: t1.elapsed().as_millis() as u64,
+    }
+}
+
+impl GridResult {
+    /// Serializes the results as JSON (`BENCH_*.json` schema). The output
+    /// is a pure function of the grid spec — wall-clock fields are
+    /// emitted only when `timing` is set, so the default serialization is
+    /// byte-identical across `--threads` settings.
+    pub fn to_json(&self, timing: bool) -> String {
+        let mut out = String::with_capacity(256 + self.cells.len() * 220);
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"r3dla-bench-grid-v1\",\n");
+        out.push_str(&format!("  \"scale\": \"{}\",\n", scale_name(self.scale)));
+        out.push_str(&format!("  \"warm\": {},\n", self.warm));
+        out.push_str(&format!("  \"window\": {},\n", self.win));
+        if timing {
+            out.push_str(&format!("  \"prep_ms\": {},\n", self.prep_ms));
+            out.push_str(&format!("  \"measure_ms\": {},\n", self.measure_ms));
+        }
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let r = &c.report;
+            out.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"suite\": \"{}\", \"config\": \"{}\", \
+                 \"mt_ipc\": {:.6}, \"cycles\": {}, \"mt_committed\": {}, \
+                 \"lt_committed\": {}, \"dram_traffic\": {}, \"mt_l1d_misses\": {}, \
+                 \"mt_l1d_accesses\": {}, \"reboots\": {}",
+                c.workload,
+                c.suite,
+                c.config,
+                r.mt_ipc,
+                r.cycles,
+                r.mt_committed,
+                r.lt_committed,
+                r.dram_traffic,
+                r.mt_l1d_misses,
+                r.mt_l1d_accesses,
+                r.reboots,
+            ));
+            if timing {
+                out.push_str(&format!(", \"wall_ms\": {}", c.wall_ms));
+            }
+            out.push('}');
+            if i + 1 < self.cells.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Cells that committed zero MT instructions — a sick simulation the
+    /// CI gate fails on.
+    pub fn empty_cells(&self) -> Vec<&CellResult> {
+        self.cells
+            .iter()
+            .filter(|c| c.report.mt_committed == 0)
+            .collect()
+    }
+}
+
+/// Per-workload row output of one [`ExperimentSpec`] metric extraction.
+#[derive(Debug, Clone)]
+pub struct ExperimentRow {
+    /// Workload name.
+    pub workload: String,
+    /// Workload suite.
+    pub suite: Suite,
+    /// One value per spec column.
+    pub values: Vec<f64>,
+}
+
+/// A figure/table experiment: named metric columns extracted per
+/// workload. The shared descriptor the per-figure binaries build instead
+/// of hand-rolled prepare/measure/print loops; rows fan out across the
+/// runner's worker pool.
+pub struct ExperimentSpec {
+    /// Experiment name (heading).
+    pub name: String,
+    /// Column labels (match `run`'s output ordering).
+    pub columns: Vec<String>,
+    /// Extracts all column values for one prepared workload.
+    #[allow(clippy::type_complexity)]
+    pub run: Box<dyn Fn(&Prepared) -> Vec<f64> + Send + Sync>,
+}
+
+impl ExperimentSpec {
+    /// Builds a spec from a name, column labels and a row extractor.
+    pub fn new<F>(name: &str, columns: &[&str], run: F) -> Self
+    where
+        F: Fn(&Prepared) -> Vec<f64> + Send + Sync + 'static,
+    {
+        Self {
+            name: name.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            run: Box::new(run),
+        }
+    }
+
+    /// Runs the extractor over every prepared workload on `threads`
+    /// workers; rows come back in workload order.
+    pub fn execute(&self, prepared: &[Prepared], threads: usize) -> ExperimentResult {
+        let rows = parallel_map(prepared, threads, |p| {
+            let values = (self.run)(p);
+            debug_assert_eq!(values.len(), self.columns.len());
+            ExperimentRow {
+                workload: p.name.clone(),
+                suite: p.suite,
+                values,
+            }
+        });
+        ExperimentResult {
+            name: self.name.clone(),
+            columns: self.columns.clone(),
+            rows,
+        }
+    }
+}
+
+/// Executed experiment: per-workload rows plus aggregation helpers.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Experiment name.
+    pub name: String,
+    /// Column labels.
+    pub columns: Vec<String>,
+    /// Per-workload rows in workload order.
+    pub rows: Vec<ExperimentRow>,
+}
+
+impl ExperimentResult {
+    /// The `(suite, value)` pairs of column `k` (for
+    /// [`crate::suite_summary`]).
+    pub fn column(&self, k: usize) -> Vec<(Suite, f64)> {
+        self.rows.iter().map(|r| (r.suite, r.values[k])).collect()
+    }
+
+    /// Overall geometric mean of column `k`.
+    pub fn geomean(&self, k: usize) -> f64 {
+        let vals: Vec<f64> = self.rows.iter().map(|r| r.values[k]).collect();
+        r3dla_stats::geomean(&vals)
+    }
+
+    /// Prints the per-workload markdown table.
+    pub fn print_markdown(&self) {
+        println!("| bench | {} |", self.columns.join(" | "));
+        println!("|---{}|", "|---".repeat(self.columns.len()));
+        for r in &self.rows {
+            let cells: Vec<String> = r.values.iter().map(|v| format!("{v:.3}")).collect();
+            println!("| {} | {} |", r.workload, cells.join(" | "));
+        }
+    }
+
+    /// Prints the per-suite + overall geometric-mean summary table.
+    pub fn print_geomeans(&self) {
+        println!("| group | {} |", self.columns.join(" | "));
+        println!("|---{}|", "|---".repeat(self.columns.len()));
+        let summaries: Vec<Vec<(String, f64)>> = (0..self.columns.len())
+            .map(|k| crate::suite_summary(&self.column(k)))
+            .collect();
+        for g in 0..summaries[0].len() {
+            let cells: Vec<String> = summaries.iter().map(|s| format!("{:.3}", s[g].1)).collect();
+            println!("| {} | {} |", summaries[0][g].0, cells.join(" | "));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r3dla_workloads::by_name;
+
+    #[test]
+    fn parallel_map_keeps_input_order() {
+        let items: Vec<usize> = (0..97).collect();
+        let serial = parallel_map(&items, 1, |&x| x * 3 + 1);
+        let parallel = parallel_map(&items, 8, |&x| x * 3 + 1);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[41], 124);
+    }
+
+    #[test]
+    fn parallel_map_uses_worker_pool() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let items: Vec<u32> = (0..64).collect();
+        parallel_map(&items, 4, |&x| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            x
+        });
+        assert!(
+            seen.lock().unwrap().len() > 1,
+            "work must fan out across more than one worker thread"
+        );
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_oversubscription() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, 4, |&x| x).is_empty());
+        let two = vec![7u32, 9];
+        assert_eq!(parallel_map(&two, 64, |&x| x + 1), vec![8, 10]);
+    }
+
+    fn tiny_grid() -> GridSpec {
+        GridSpec {
+            scale: Scale::Tiny,
+            workloads: ["libq_like", "md5_like"]
+                .iter()
+                .map(|n| by_name(n).unwrap())
+                .collect(),
+            configs: ["bl", "dla"]
+                .iter()
+                .map(|n| ConfigSpec::by_name(n).unwrap())
+                .collect(),
+            warm: 1_000,
+            win: 4_000,
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_grids_are_byte_identical() {
+        let spec = tiny_grid();
+        let serial = run_grid(&spec, 1);
+        let parallel = run_grid(&spec, 4);
+        assert_eq!(serial.cells.len(), 4);
+        assert_eq!(serial.to_json(false), parallel.to_json(false));
+        for c in &serial.cells {
+            assert!(c.report.mt_committed > 0, "empty cell {c:?}");
+        }
+        assert!(serial.empty_cells().is_empty());
+    }
+
+    #[test]
+    fn grid_json_shape() {
+        let spec = tiny_grid();
+        let res = run_grid(&spec, 2);
+        let json = res.to_json(false);
+        assert!(json.contains("\"schema\": \"r3dla-bench-grid-v1\""));
+        assert!(json.contains("\"scale\": \"tiny\""));
+        assert!(json.contains("\"workload\": \"libq_like\""));
+        assert!(json.contains("\"config\": \"dla\""));
+        assert!(!json.contains("wall_ms"), "default JSON is deterministic");
+        assert!(res.to_json(true).contains("wall_ms"));
+    }
+
+    #[test]
+    fn experiment_spec_rows_follow_workload_order() {
+        let prepared = crate::prepare_some_threads(&["libq_like", "md5_like"], Scale::Tiny, 2);
+        let spec = ExperimentSpec::new("t", &["len"], |p| vec![p.name.len() as f64]);
+        let res = spec.execute(&prepared, 4);
+        assert_eq!(res.rows.len(), 2);
+        assert_eq!(res.rows[0].workload, prepared[0].name);
+        assert_eq!(res.rows[1].workload, prepared[1].name);
+        assert_eq!(res.rows[0].values[0], prepared[0].name.len() as f64);
+        assert!(res.geomean(0) > 0.0);
+    }
+
+    #[test]
+    fn config_registry_resolves_all_known_names() {
+        for name in ConfigSpec::known_names() {
+            let spec = ConfigSpec::by_name(name).expect(name);
+            assert_eq!(&spec.label, name);
+        }
+        assert!(ConfigSpec::by_name("bogus").is_none());
+    }
+}

@@ -136,51 +136,92 @@ struct LtSink {
     sif: Rc<RefCell<Sif>>,
     value_reuse: bool,
     fq_hints: bool,
-    last_tag: u64,
+    /// Tag of the last BOQ entry pushed, or `None` before the first
+    /// conditional branch commits (and again right after a reboot).
+    last_tag: Option<u64>,
+    /// Hints committed before the first branch: held here and re-tagged
+    /// with that branch's tag so `release_up_to` delivers them
+    /// just-in-time instead of immediately.
+    pending: Vec<Footnote>,
+    pending_cap: usize,
+}
+
+impl LtSink {
+    fn push_note(&mut self, note: Footnote) {
+        match self.last_tag {
+            Some(tag) => self.fq.borrow_mut().push(tag, note),
+            None => {
+                if self.pending.len() < self.pending_cap {
+                    self.pending.push(note);
+                }
+            }
+        }
+    }
+
+    /// Forgets the aligning-branch state after a reboot: the next hints
+    /// must wait for the first post-reboot branch again.
+    fn reset(&mut self) {
+        self.last_tag = None;
+        self.pending.clear();
+    }
 }
 
 impl CommitSink for LtSink {
     fn on_commit(&mut self, rec: &CommitRecord) {
         if rec.inst.is_cond_branch() {
-            self.last_tag = self.boq.borrow_mut().push(rec.taken.unwrap_or(false));
+            let tag = self.boq.borrow_mut().push(rec.taken.unwrap_or(false));
+            // Flush hints that preceded any branch: this branch is their
+            // aligning BOQ entry.
+            if !self.pending.is_empty() {
+                let mut fq = self.fq.borrow_mut();
+                for note in self.pending.drain(..) {
+                    let note = match note {
+                        Footnote::Value {
+                            offset, pc, value, ..
+                        } => Footnote::Value {
+                            tag,
+                            offset,
+                            pc,
+                            value,
+                        },
+                        other => other,
+                    };
+                    fq.push(tag, note);
+                }
+            }
+            self.last_tag = Some(tag);
             return;
         }
-        let tag = self.last_tag;
         if !self.fq_hints {
             return;
         }
         if rec.inst.is_branch() && !rec.inst.has_static_target() {
             // Indirect branch: send the target hint.
-            self.fq.borrow_mut().push(
-                tag,
-                Footnote::BranchTarget {
-                    pc: rec.pc,
-                    target: rec.next_pc,
-                },
-            );
+            self.push_note(Footnote::BranchTarget {
+                pc: rec.pc,
+                target: rec.next_pc,
+            });
         }
         if rec.inst.is_load() {
             if let Some(addr) = rec.mem_addr {
                 if rec.l1_miss {
-                    self.fq.borrow_mut().push(tag, Footnote::L1Prefetch(addr));
+                    self.push_note(Footnote::L1Prefetch(addr));
                 }
                 if rec.tlb_miss {
-                    self.fq.borrow_mut().push(tag, Footnote::TlbHint(addr));
+                    self.push_note(Footnote::TlbHint(addr));
                 }
             }
         }
         if self.value_reuse && !rec.inst.is_branch() {
             if let Some(value) = rec.value {
                 if self.sif.borrow().should_reuse(rec.pc) {
-                    self.fq.borrow_mut().push(
+                    let tag = self.last_tag.unwrap_or(0);
+                    self.push_note(Footnote::Value {
                         tag,
-                        Footnote::Value {
-                            tag,
-                            offset: 0,
-                            pc: rec.pc,
-                            value,
-                        },
-                    );
+                        offset: 0,
+                        pc: rec.pc,
+                        value,
+                    });
                 }
             }
         }
@@ -266,7 +307,7 @@ pub struct SysSnapshot {
 }
 
 /// Windowed measurement derived from two snapshots.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WindowReport {
     /// Cycles elapsed.
     pub cycles: u64,
@@ -301,8 +342,10 @@ pub struct DlaSystem {
     active: Rc<RefCell<ActiveSkeleton>>,
     recycle: Rc<RefCell<RecycleController>>,
     mt_observer: SharedObserver,
+    lt_sink: Rc<RefCell<LtSink>>,
     note_buf: Vec<Footnote>,
     cycle: u64,
+    reboot_cost: u64,
     pending_reboot: bool,
     pending_since: u64,
     /// Total reboots performed.
@@ -437,9 +480,11 @@ impl DlaSystem {
             sif: Rc::clone(&sif),
             value_reuse: cfg.value_reuse,
             fq_hints: cfg.fq_hints,
-            last_tag: 0,
+            last_tag: None,
+            pending: Vec::new(),
+            pending_cap: cfg.fq_capacity,
         }));
-        lt.set_commit_sink(0, lt_sink);
+        lt.set_commit_sink(0, Rc::clone(&lt_sink) as _);
         Self {
             program,
             mt,
@@ -454,8 +499,10 @@ impl DlaSystem {
             active,
             recycle,
             mt_observer,
+            lt_sink,
             note_buf: Vec::new(),
             cycle: 0,
+            reboot_cost: cfg.reboot_cost,
             pending_reboot: false,
             pending_since: 0,
             reboots: 0,
@@ -507,6 +554,13 @@ impl DlaSystem {
     /// (used by experiment harnesses for per-PC attribution).
     pub fn set_mt_observer(&mut self, sink: Rc<RefCell<dyn CommitSink>>) {
         *self.mt_observer.borrow_mut() = Some(sink);
+    }
+
+    /// Injects a BOQ misfeed, as if MT had just detected a wrong fed
+    /// direction — a fault-injection hook for reboot-path tests and
+    /// reboot-cost experiments.
+    pub fn inject_misfeed(&mut self) {
+        self.boq.borrow_mut().misfeed = true;
     }
 
     /// Advances the whole system by one cycle.
@@ -581,13 +635,17 @@ impl DlaSystem {
     fn do_reboot(&mut self) {
         let pc = self.mt.arch_pc(0);
         let regs = self.mt.arch_regs(0);
-        self.lt.reboot_thread(0, pc, regs, 64);
+        self.lt.reboot_thread(0, pc, regs, self.reboot_cost);
         self.overlay.borrow_mut().clear();
         self.boq.borrow_mut().clear();
         self.fq.borrow_mut().clear();
         if let Some(vr) = &self.vr {
             vr.borrow_mut().clear();
         }
+        // Indirect-branch targets learned before the misfeed would steer
+        // MT fetch down stale paths after the restart.
+        self.ind_targets.borrow_mut().clear();
+        self.lt_sink.borrow_mut().reset();
         self.pending_reboot = false;
         self.reboots += 1;
         // Storm guard: repeated reboots under a recycled skeleton demote
@@ -759,5 +817,266 @@ impl SingleCoreSim {
             .borrow()
             .dram_stats()
             .traffic_lines()
+    }
+}
+
+// The experiment-descriptor surface must be shareable across the parallel
+// runner's worker threads: specs go in, reports come out, while every
+// `DlaSystem` (with its `Rc`/`RefCell` internals) stays thread-confined.
+#[allow(dead_code)]
+fn spec_surface_is_send_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<DlaConfig>();
+    assert_send_sync::<SkeletonOptions>();
+    assert_send_sync::<crate::skeleton::SkeletonSet>();
+    assert_send_sync::<ProfileData>();
+    assert_send_sync::<SysSnapshot>();
+    assert_send_sync::<WindowReport>();
+    assert_send_sync::<BuildError>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r3dla_isa::{Inst, Op, Reg};
+    use r3dla_workloads::{by_name, Scale};
+
+    fn record(inst: Inst, pc: u64) -> CommitRecord {
+        CommitRecord {
+            thread: 0,
+            seq: 0,
+            inst,
+            pc,
+            cycle: 0,
+            next_pc: pc + 4,
+            taken: None,
+            value: None,
+            mem_addr: None,
+            l1_miss: false,
+            l2_miss: false,
+            tlb_miss: false,
+            dispatch_to_exec: 0,
+        }
+    }
+
+    fn load_record(pc: u64, addr: u64) -> CommitRecord {
+        let inst = Inst {
+            op: Op::Ld,
+            rd: Reg::int(3),
+            rs1: Reg::int(4),
+            rs2: Reg::ZERO,
+            imm: 0,
+        };
+        let mut r = record(inst, pc);
+        r.mem_addr = Some(addr);
+        r.l1_miss = true;
+        r
+    }
+
+    fn branch_record(pc: u64, taken: bool) -> CommitRecord {
+        let inst = Inst {
+            op: Op::Bne,
+            rd: Reg::ZERO,
+            rs1: Reg::int(3),
+            rs2: Reg::int(4),
+            imm: 0x100,
+        };
+        let mut r = record(inst, pc);
+        r.taken = Some(taken);
+        r
+    }
+
+    fn test_sink() -> (Rc<RefCell<Boq>>, Rc<RefCell<FootnoteQueue>>, LtSink) {
+        let boq = Rc::new(RefCell::new(Boq::new(16)));
+        let fq = Rc::new(RefCell::new(FootnoteQueue::new(16)));
+        let sink = LtSink {
+            boq: Rc::clone(&boq),
+            fq: Rc::clone(&fq),
+            sif: Rc::new(RefCell::new(Sif::new())),
+            value_reuse: false,
+            fq_hints: true,
+            last_tag: None,
+            pending: Vec::new(),
+            pending_cap: 16,
+        };
+        (boq, fq, sink)
+    }
+
+    #[test]
+    fn pre_branch_hints_wait_for_their_aligning_branch() {
+        let (_boq, fq, mut sink) = test_sink();
+        // Two hints commit before any conditional branch.
+        sink.on_commit(&load_record(0x40, 0x1000));
+        sink.on_commit(&load_record(0x44, 0x2000));
+        // They must NOT be releasable yet — tag 0 would release them
+        // immediately (served tag starts at 0).
+        let mut out = Vec::new();
+        fq.borrow_mut().release_up_to(0, &mut out);
+        assert!(out.is_empty(), "pre-branch hints must be held, got {out:?}");
+        assert!(fq.borrow().is_empty(), "hints stay buffered in the sink");
+        // The first branch commits: the hints are re-tagged with its tag.
+        sink.on_commit(&branch_record(0x48, true));
+        fq.borrow_mut().release_up_to(0, &mut out);
+        assert!(out.is_empty(), "still held until MT consumes the branch");
+        fq.borrow_mut().release_up_to(1, &mut out);
+        assert_eq!(
+            out,
+            vec![Footnote::L1Prefetch(0x1000), Footnote::L1Prefetch(0x2000)],
+            "hints release just-in-time with their aligning branch"
+        );
+    }
+
+    #[test]
+    fn post_branch_hints_keep_streaming() {
+        let (_boq, fq, mut sink) = test_sink();
+        sink.on_commit(&branch_record(0x40, false));
+        sink.on_commit(&load_record(0x44, 0x3000));
+        let mut out = Vec::new();
+        fq.borrow_mut().release_up_to(1, &mut out);
+        assert_eq!(out, vec![Footnote::L1Prefetch(0x3000)]);
+    }
+
+    #[test]
+    fn sink_reset_reenters_pre_branch_holding() {
+        let (_boq, fq, mut sink) = test_sink();
+        sink.on_commit(&branch_record(0x40, true));
+        sink.reset();
+        // After a reboot, hints must wait for the first post-reboot
+        // branch again instead of reusing the stale tag.
+        sink.on_commit(&load_record(0x44, 0x4000));
+        let mut out = Vec::new();
+        fq.borrow_mut().release_up_to(u64::MAX, &mut out);
+        assert!(out.is_empty());
+        sink.on_commit(&branch_record(0x48, true));
+        fq.borrow_mut().release_up_to(2, &mut out);
+        assert_eq!(out, vec![Footnote::L1Prefetch(0x4000)]);
+    }
+
+    /// A branchy workload used by the reboot tests (kept in one place so
+    /// they stay in sync).
+    const MISFEED_WORKLOAD: &str = "xalan_like";
+
+    /// Runs a fixed committed-instruction window over `MISFEED_WORKLOAD`
+    /// with a misfeed injected every 5k instructions — a deterministic
+    /// misfeed-heavy scenario.
+    fn misfeed_heavy_window(reboot_cost: u64) -> WindowReport {
+        let wl = by_name(MISFEED_WORKLOAD).unwrap().build(Scale::Tiny);
+        let mut cfg = DlaConfig::dla();
+        cfg.reboot_cost = reboot_cost;
+        cfg.profile_insts = 200_000;
+        let mut sys = DlaSystem::build(&wl, cfg, SkeletonOptions::default()).unwrap();
+        sys.run_until_mt(2_000, 500_000);
+        let snap = sys.snapshot();
+        for _ in 0..6 {
+            sys.run_until_mt(5_000, 2_000_000);
+            sys.inject_misfeed();
+        }
+        sys.run_until_mt(5_000, 2_000_000);
+        sys.window_since(&snap)
+    }
+
+    #[test]
+    fn reboot_cost_is_honored() {
+        let cheap = misfeed_heavy_window(64);
+        assert!(
+            cheap.reboots > 0,
+            "workload must reboot for this test to be meaningful; got 0"
+        );
+        let dear = misfeed_heavy_window(200);
+        assert_eq!(dear.reboots, cheap.reboots);
+        // A costlier register copy stalls the LT restart longer, so the
+        // same committed window must take at least as many cycles.
+        assert!(
+            dear.cycles >= cheap.cycles,
+            "reboot_cost=200 finished faster than 64: {} < {}",
+            dear.cycles,
+            cheap.cycles
+        );
+        assert!(
+            dear != cheap,
+            "reboot_cost sweep produced identical WindowReports — the \
+             config value is not reaching reboot_thread"
+        );
+    }
+
+    #[test]
+    fn reboot_clears_indirect_target_hints() {
+        let wl = by_name(MISFEED_WORKLOAD).unwrap().build(Scale::Tiny);
+        let mut sys = DlaSystem::build(&wl, DlaConfig::dla(), SkeletonOptions::default()).unwrap();
+        sys.run_until_mt(2_000, 1_000_000);
+        // Plant a stale indirect target, then force a misfeed.
+        sys.ind_targets.borrow_mut().insert(0xDEAD, 0xBEEF);
+        sys.inject_misfeed();
+        let before = sys.reboots;
+        let limit = sys.cycle() + 200_000;
+        while sys.reboots == before && sys.cycle() < limit && !sys.mt_halted() {
+            sys.step();
+        }
+        assert!(sys.reboots > before, "forced misfeed must reboot");
+        assert!(
+            !sys.ind_targets.borrow().contains_key(&0xDEAD),
+            "stale indirect-branch targets must not survive a reboot"
+        );
+    }
+
+    #[test]
+    fn window_report_is_impl_eq() {
+        // `reboot_cost_is_honored` compares whole reports; keep the
+        // comparison meaningful if fields are added.
+        let r = WindowReport {
+            cycles: 1,
+            mt_committed: 2,
+            lt_committed: 3,
+            mt_ipc: 2.0,
+            dram_traffic: 4,
+            mt_l1d_misses: 5,
+            mt_l1d_accesses: 6,
+            reboots: 7,
+        };
+        assert_eq!(r, r.clone());
+    }
+
+    #[test]
+    fn snapshot_window_counter_diffs() {
+        let wl = by_name("libq_like").unwrap().build(Scale::Tiny);
+        let mut sys = DlaSystem::build(&wl, DlaConfig::dla(), SkeletonOptions::default()).unwrap();
+        sys.run_until_mt(1_000, 500_000);
+        let snap = sys.snapshot();
+        sys.run_until_mt(5_000, 1_000_000);
+        let rep = sys.window_since(&snap);
+        assert_eq!(rep.cycles, sys.cycle() - snap.cycles);
+        assert_eq!(rep.mt_committed, sys.mt().committed(0) - snap.mt_committed);
+        assert!(rep.mt_committed >= 5_000);
+        let ipc = rep.mt_committed as f64 / rep.cycles as f64;
+        assert!((rep.mt_ipc - ipc).abs() < 1e-12);
+        assert!(rep.mt_l1d_accesses >= rep.mt_l1d_misses);
+    }
+
+    #[test]
+    fn zero_cycle_window_reports_zero() {
+        let wl = by_name("libq_like").unwrap().build(Scale::Tiny);
+        let sys = DlaSystem::build(&wl, DlaConfig::dla(), SkeletonOptions::default()).unwrap();
+        let rep = sys.window_since(&sys.snapshot());
+        assert_eq!(rep.cycles, 0);
+        assert_eq!(rep.mt_committed, 0);
+        assert_eq!(rep.mt_ipc, 0.0);
+        assert_eq!(rep.dram_traffic, 0);
+        assert_eq!(rep.reboots, 0);
+    }
+
+    #[test]
+    fn window_counts_reboots() {
+        let wl = by_name(MISFEED_WORKLOAD).unwrap().build(Scale::Tiny);
+        let mut sys = DlaSystem::build(&wl, DlaConfig::dla(), SkeletonOptions::default()).unwrap();
+        sys.run_until_mt(1_000, 500_000);
+        let snap = sys.snapshot();
+        sys.inject_misfeed();
+        let limit = sys.cycle() + 200_000;
+        while sys.reboots == snap.reboots && sys.cycle() < limit && !sys.mt_halted() {
+            sys.step();
+        }
+        let rep = sys.window_since(&snap);
+        assert_eq!(rep.reboots, sys.reboots - snap.reboots);
+        assert!(rep.reboots >= 1);
     }
 }
