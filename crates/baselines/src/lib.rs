@@ -6,6 +6,16 @@
 //! mechanism class that defines the original design on the same
 //! substrate, so the Fig 9-b ordering (B-Fetch < SlipStream < CRE < DLA <
 //! R3-DLA) is reproduced structurally rather than numerically.
+//!
+//! # Event-driven fast path
+//!
+//! [`slipstream_system`] returns a `DlaSystem` and the plain single-core
+//! baselines run on `SingleCoreSim`, so both inherit event-driven cycle
+//! skipping from `r3dla-core` automatically. [`BFetchSim`] and
+//! [`CreSim`] deliberately do **not** skip: their side engines (the
+//! B-Fetch walker, the runahead engine) do real work every cycle by
+//! design, so they are never quiescent and fast-forwarding them would
+//! change what the models compute, not just how fast.
 
 mod bfetch;
 mod cre;

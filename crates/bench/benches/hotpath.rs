@@ -1,0 +1,107 @@
+//! Microbenchmarks pinning the simulator's hot paths: `VecMem`
+//! functional memory, `Core::step` on a single core, and a full
+//! `DlaSystem` kernel — with and without event-driven cycle skipping, so
+//! the fast path's speedup is a number, not a vibe.
+//!
+//! Run with `cargo bench -p r3dla-bench --bench hotpath`; passing
+//! `-- --test` (as the CI bench-smoke job does for compile checks) exits
+//! without timing.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use r3dla_bench::Prepared;
+use r3dla_core::{DlaConfig, SingleCoreSim};
+use r3dla_cpu::CoreConfig;
+use r3dla_isa::{DataMem, VecMem};
+use r3dla_mem::MemConfig;
+use r3dla_workloads::{by_name, Scale};
+
+fn bench_vecmem(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vecmem");
+    g.sample_size(20);
+    g.bench_function("store_load_sequential_64k", |b| {
+        b.iter(|| {
+            let mut m = VecMem::new();
+            let mut acc = 0u64;
+            for i in 0..65_536u64 {
+                m.store(0x2000_0000 + i * 8, i);
+            }
+            for i in 0..65_536u64 {
+                acc = acc.wrapping_add(m.load(0x2000_0000 + i * 8));
+            }
+            acc
+        })
+    });
+    g.bench_function("load_page_interleaved_64k", |b| {
+        let mut m = VecMem::new();
+        for i in 0..65_536u64 {
+            m.store(0x2000_0000 + i * 8, i);
+        }
+        b.iter(|| {
+            let mut acc = 0u64;
+            // Alternate between two pages: worst case for the last-page
+            // cache, pure page-table pressure.
+            for i in 0..32_768u64 {
+                acc = acc.wrapping_add(m.load(0x2000_0000 + (i & 0x1FF) * 8));
+                acc = acc.wrapping_add(m.load(0x2004_0000 + (i & 0x1FF) * 8));
+            }
+            acc
+        })
+    });
+    g.bench_function("load_unmapped_wrong_path", |b| {
+        let mut m = VecMem::new();
+        m.store(0x1000, 1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..65_536u64 {
+                acc = acc.wrapping_add(m.load(0xDEAD_0000 + i * 4096));
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_core_step(c: &mut Criterion) {
+    let wl = by_name("libq_like").unwrap();
+    let mut g = c.benchmark_group("core_step");
+    g.sample_size(10);
+    for (name, fast) in [("cycle_by_cycle_20k", false), ("event_driven_20k", true)] {
+        g.bench_function(name, |b| {
+            let built = Rc::new(RefCell::new(wl.build(Scale::Tiny)));
+            b.iter(|| {
+                let mut sim = SingleCoreSim::build(
+                    &built.borrow(),
+                    CoreConfig::paper(),
+                    MemConfig::paper(),
+                    None,
+                    Some("bop"),
+                );
+                sim.set_fast_forward(fast);
+                sim.run_until(20_000, 2_000_000);
+                black_box(sim.core().committed(0))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dla_system(c: &mut Criterion) {
+    let prepared = Prepared::new(&by_name("libq_like").unwrap(), Scale::Tiny);
+    let mut g = c.benchmark_group("dla_system");
+    g.sample_size(10);
+    for (name, fast) in [("cycle_by_cycle_libq", false), ("event_driven_libq", true)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let rep = prepared.measure_dla_ff(DlaConfig::dla(), 5_000, 20_000, fast);
+                black_box(rep.mt_committed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_vecmem, bench_core_step, bench_dla_system);
+criterion_main!(benches);

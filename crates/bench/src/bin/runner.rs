@@ -4,12 +4,15 @@
 //! ```text
 //! runner [--scale tiny|train|ref] [--threads N] [--warm N] [--window N]
 //!        [--workloads a,b,c] [--configs bl,dla,r3,...] [--out FILE]
-//!        [--timing]
+//!        [--timing] [--timing-out FILE] [--no-skip]
 //! ```
 //!
-//! The default JSON is byte-identical across `--threads` settings;
-//! `--timing` adds wall-clock fields. Exits non-zero when any cell
-//! commits zero instructions.
+//! The default JSON is byte-identical across `--threads` settings and
+//! across `--no-skip` (which disables the behavior-preserving
+//! event-driven cycle skipping — CI diffs the two paths); `--timing`
+//! adds wall-clock and simulated-MIPS fields, and `--timing-out FILE`
+//! writes that timed variant alongside the deterministic one from the
+//! same run. Exits non-zero when any cell commits zero instructions.
 
 use r3dla_bench::runner::{run_grid, scale_by_name, ConfigSpec, GridSpec};
 use r3dla_bench::{arg_flag, arg_str, arg_threads, arg_u64, WARMUP, WINDOW};
@@ -63,12 +66,18 @@ fn main() {
         configs,
         warm,
         win,
+        fast_forward: !arg_flag("--no-skip"),
     };
     eprintln!(
-        "runner: {} workloads x {} configs on {} threads",
+        "runner: {} workloads x {} configs on {} threads{}",
         spec.workloads.len(),
         spec.configs.len(),
-        threads
+        threads,
+        if spec.fast_forward {
+            ""
+        } else {
+            " (cycle skipping off)"
+        }
     );
     let result = run_grid(&spec, threads);
     let json = result.to_json(arg_flag("--timing"));
@@ -82,11 +91,19 @@ fn main() {
         }
         None => print!("{json}"),
     }
+    if let Some(path) = arg_str("--timing-out") {
+        std::fs::write(&path, result.to_json(true)).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("runner: wrote {path} (timing variant)");
+    }
     eprintln!(
-        "runner: prepared in {} ms, measured {} cells in {} ms",
+        "runner: prepared in {} ms, measured {} cells in {} ms ({:.2} simulated MIPS)",
         result.prep_ms,
         result.cells.len(),
-        result.measure_ms
+        result.measure_ms,
+        result.sim_mips()
     );
     let empty = result.empty_cells();
     if !empty.is_empty() {

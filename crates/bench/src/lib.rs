@@ -105,7 +105,22 @@ impl Prepared {
 
     /// Measures a DLA configuration; returns the window report.
     pub fn measure_dla(&self, cfg: DlaConfig, warm: u64, win: u64) -> WindowReport {
+        self.measure_dla_ff(cfg, warm, win, true)
+    }
+
+    /// [`measure_dla`](Self::measure_dla) with event-driven cycle
+    /// skipping explicitly enabled or disabled — the reports are
+    /// identical either way (only wall-clock differs); the knob exists
+    /// for equivalence checks.
+    pub fn measure_dla_ff(
+        &self,
+        cfg: DlaConfig,
+        warm: u64,
+        win: u64,
+        fast_forward: bool,
+    ) -> WindowReport {
         let mut sys = self.dla_system(cfg);
+        sys.set_fast_forward(fast_forward);
         sys.measure(warm, win)
     }
 
@@ -132,7 +147,22 @@ impl Prepared {
         warm: u64,
         win: u64,
     ) -> WindowReport {
+        self.measure_single_report_ff(core, l1pf, l2pf, warm, win, true)
+    }
+
+    /// [`measure_single_report`](Self::measure_single_report) with
+    /// event-driven cycle skipping explicitly enabled or disabled.
+    pub fn measure_single_report_ff(
+        &self,
+        core: CoreConfig,
+        l1pf: Option<&str>,
+        l2pf: Option<&str>,
+        warm: u64,
+        win: u64,
+        fast_forward: bool,
+    ) -> WindowReport {
         let mut sim = SingleCoreSim::build(&self.built, core, MemConfig::paper(), l1pf, l2pf);
+        sim.set_fast_forward(fast_forward);
         sim.run_until(warm, warm * 60 + 500_000);
         let c0 = sim.core().committed(0);
         let y0 = sim.core().cycle();

@@ -178,6 +178,10 @@ pub struct GridSpec {
     pub warm: u64,
     /// Measured committed instructions per cell.
     pub win: u64,
+    /// Event-driven cycle skipping (on by default; the reports are
+    /// byte-identical either way — the off position exists for
+    /// equivalence checks and the runner's `--no-skip` flag).
+    pub fast_forward: bool,
 }
 
 impl GridSpec {
@@ -193,6 +197,7 @@ impl GridSpec {
                 .collect(),
             warm: WARMUP,
             win: WINDOW,
+            fast_forward: true,
         }
     }
 }
@@ -210,6 +215,44 @@ pub struct CellResult {
     pub report: WindowReport,
     /// Wall-clock the cell took (excluded from deterministic JSON).
     pub wall_ms: u64,
+}
+
+impl CellResult {
+    /// The deterministic JSON fields of this cell's row — everything
+    /// except the timing-only additions. Shared by
+    /// [`GridResult::to_json`] and the skip-equivalence suite so the
+    /// compared format cannot drift from the real schema.
+    pub fn stat_fields(&self) -> String {
+        let r = &self.report;
+        format!(
+            "\"workload\": \"{}\", \"suite\": \"{}\", \"config\": \"{}\", \
+             \"mt_ipc\": {:.6}, \"cycles\": {}, \"mt_committed\": {}, \
+             \"lt_committed\": {}, \"dram_traffic\": {}, \"mt_l1d_misses\": {}, \
+             \"mt_l1d_accesses\": {}, \"reboots\": {}",
+            self.workload,
+            self.suite,
+            self.config,
+            r.mt_ipc,
+            r.cycles,
+            r.mt_committed,
+            r.lt_committed,
+            r.dram_traffic,
+            r.mt_l1d_misses,
+            r.mt_l1d_accesses,
+            r.reboots,
+        )
+    }
+
+    /// Simulated throughput in MIPS: committed instructions (MT + LT,
+    /// measured window only, so warmup makes this a mild underestimate)
+    /// per host second of the whole cell.
+    pub fn sim_mips(&self) -> f64 {
+        if self.wall_ms == 0 {
+            return 0.0;
+        }
+        (self.report.mt_committed + self.report.lt_committed) as f64
+            / (self.wall_ms as f64 * 1000.0)
+    }
 }
 
 /// All results of a grid run.
@@ -247,12 +290,19 @@ pub fn scale_by_name(name: &str) -> Option<Scale> {
     }
 }
 
-/// Runs one cell of a grid against a prepared workload.
-pub fn run_cell(p: &Prepared, spec: &ConfigSpec, warm: u64, win: u64) -> WindowReport {
+/// Runs one cell of a grid against a prepared workload. `fast_forward`
+/// selects the event-driven fast path (results are identical either way).
+pub fn run_cell(
+    p: &Prepared,
+    spec: &ConfigSpec,
+    warm: u64,
+    win: u64,
+    fast_forward: bool,
+) -> WindowReport {
     match &spec.kind {
-        CellKind::Dla(cfg) => p.measure_dla(cfg.clone(), warm, win),
+        CellKind::Dla(cfg) => p.measure_dla_ff(cfg.clone(), warm, win, fast_forward),
         CellKind::Single { core, l1pf, l2pf } => {
-            p.measure_single_report(core.clone(), *l1pf, *l2pf, warm, win)
+            p.measure_single_report_ff(core.clone(), *l1pf, *l2pf, warm, win, fast_forward)
         }
     }
 }
@@ -272,7 +322,7 @@ pub fn run_grid(spec: &GridSpec, threads: usize) -> GridResult {
         let p = &prepared[wi];
         let cfg = &spec.configs[ci];
         let c0 = Instant::now();
-        let report = run_cell(p, cfg, spec.warm, spec.win);
+        let report = run_cell(p, cfg, spec.warm, spec.win, spec.fast_forward);
         CellResult {
             workload: p.name.clone(),
             suite: p.suite,
@@ -293,9 +343,11 @@ pub fn run_grid(spec: &GridSpec, threads: usize) -> GridResult {
 
 impl GridResult {
     /// Serializes the results as JSON (`BENCH_*.json` schema). The output
-    /// is a pure function of the grid spec — wall-clock fields are
-    /// emitted only when `timing` is set, so the default serialization is
-    /// byte-identical across `--threads` settings.
+    /// is a pure function of the grid spec — wall-clock and throughput
+    /// fields (`host_ms`, `sim_mips`, per-cell `wall_ms`) are emitted
+    /// only when `timing` is set, so the default serialization is
+    /// byte-identical across `--threads` settings and across the
+    /// cycle-skipping on/off paths.
     pub fn to_json(&self, timing: bool) -> String {
         let mut out = String::with_capacity(256 + self.cells.len() * 220);
         out.push_str("{\n");
@@ -306,29 +358,18 @@ impl GridResult {
         if timing {
             out.push_str(&format!("  \"prep_ms\": {},\n", self.prep_ms));
             out.push_str(&format!("  \"measure_ms\": {},\n", self.measure_ms));
+            out.push_str(&format!("  \"host_ms\": {},\n", self.host_ms()));
+            out.push_str(&format!("  \"sim_mips\": {:.3},\n", self.sim_mips()));
         }
         out.push_str("  \"cells\": [\n");
         for (i, c) in self.cells.iter().enumerate() {
-            let r = &c.report;
-            out.push_str(&format!(
-                "    {{\"workload\": \"{}\", \"suite\": \"{}\", \"config\": \"{}\", \
-                 \"mt_ipc\": {:.6}, \"cycles\": {}, \"mt_committed\": {}, \
-                 \"lt_committed\": {}, \"dram_traffic\": {}, \"mt_l1d_misses\": {}, \
-                 \"mt_l1d_accesses\": {}, \"reboots\": {}",
-                c.workload,
-                c.suite,
-                c.config,
-                r.mt_ipc,
-                r.cycles,
-                r.mt_committed,
-                r.lt_committed,
-                r.dram_traffic,
-                r.mt_l1d_misses,
-                r.mt_l1d_accesses,
-                r.reboots,
-            ));
+            out.push_str(&format!("    {{{}", c.stat_fields()));
             if timing {
-                out.push_str(&format!(", \"wall_ms\": {}", c.wall_ms));
+                out.push_str(&format!(
+                    ", \"wall_ms\": {}, \"sim_mips\": {:.3}",
+                    c.wall_ms,
+                    c.sim_mips()
+                ));
             }
             out.push('}');
             if i + 1 < self.cells.len() {
@@ -338,6 +379,28 @@ impl GridResult {
         }
         out.push_str("  ]\n}\n");
         out
+    }
+
+    /// Total host wall-clock: preparation plus measurement.
+    pub fn host_ms(&self) -> u64 {
+        self.prep_ms + self.measure_ms
+    }
+
+    /// Aggregate simulated throughput in MIPS over the measurement
+    /// phase: all cells' committed instructions (MT + LT, measured
+    /// windows only) per host second of grid measurement. With a worker
+    /// pool this exceeds any single cell's rate — it is the grid's
+    /// effective simulation speed.
+    pub fn sim_mips(&self) -> f64 {
+        if self.measure_ms == 0 {
+            return 0.0;
+        }
+        let insts: u64 = self
+            .cells
+            .iter()
+            .map(|c| c.report.mt_committed + c.report.lt_committed)
+            .sum();
+        insts as f64 / (self.measure_ms as f64 * 1000.0)
     }
 
     /// Cells that committed zero MT instructions — a sick simulation the
@@ -508,6 +571,7 @@ mod tests {
                 .collect(),
             warm: 1_000,
             win: 4_000,
+            fast_forward: true,
         }
     }
 
@@ -534,7 +598,24 @@ mod tests {
         assert!(json.contains("\"workload\": \"libq_like\""));
         assert!(json.contains("\"config\": \"dla\""));
         assert!(!json.contains("wall_ms"), "default JSON is deterministic");
-        assert!(res.to_json(true).contains("wall_ms"));
+        assert!(!json.contains("sim_mips"), "throughput is timing-only");
+        let timed = res.to_json(true);
+        assert!(timed.contains("wall_ms"));
+        assert!(timed.contains("\"sim_mips\""));
+        assert!(timed.contains("\"host_ms\""));
+    }
+
+    #[test]
+    fn grid_skip_on_and_off_are_byte_identical() {
+        let mut spec = tiny_grid();
+        let fast = run_grid(&spec, 2);
+        spec.fast_forward = false;
+        let slow = run_grid(&spec, 2);
+        assert_eq!(
+            fast.to_json(false),
+            slow.to_json(false),
+            "cycle skipping must not change any reported statistic"
+        );
     }
 
     #[test]

@@ -3,11 +3,10 @@
 //! "containment of speculation").
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use r3dla_cpu::ThreadMem;
-use r3dla_isa::{DataMem, VecMem};
+use r3dla_isa::{DataMem, FxHashMap, VecMem};
 
 /// LT's memory view: reads prefer LT's own (speculative) stores, falling
 /// back to the shared architectural memory; writes never escape the
@@ -15,7 +14,7 @@ use r3dla_isa::{DataMem, VecMem};
 #[derive(Debug)]
 pub struct OverlayMem {
     base: Rc<RefCell<VecMem>>,
-    delta: HashMap<u64, u64>,
+    delta: FxHashMap<u64, u64>,
 }
 
 impl OverlayMem {
@@ -23,7 +22,7 @@ impl OverlayMem {
     pub fn new(base: Rc<RefCell<VecMem>>) -> Self {
         Self {
             base,
-            delta: HashMap::new(),
+            delta: FxHashMap::default(),
         }
     }
 

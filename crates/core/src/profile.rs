@@ -205,8 +205,11 @@ pub fn profile_timing(prog: &Rc<Program>, data: &mut ProfileData, max_insts: u64
     }));
     core.set_commit_sink(t, sink.clone());
     let max_cycles = max_insts * 30; // generous bound
+    let mut last_probe = u64::MAX;
     while !core.halted() && core.committed(t) < max_insts && core.cycle() < max_cycles {
-        core.step();
+        // Fast-forward quiescent stretches (cold-cache stalls dominate
+        // the training run); identical results to stepping every cycle.
+        core.step_or_skip(max_cycles, &mut last_probe);
     }
     let sink = sink.borrow();
     for i in 0..prog.len() {

@@ -3,10 +3,10 @@
 //! BOQ-driven fetch-direction source for the main thread.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use r3dla_cpu::FetchDirection;
+use r3dla_isa::FxHashMap;
 use r3dla_stats::Counter;
 
 /// One BOQ entry: a committed conditional-branch outcome from LT.
@@ -190,6 +190,15 @@ impl FootnoteQueue {
         }
     }
 
+    /// Whether [`release_up_to`](Self::release_up_to) with `served_tag`
+    /// would deliver anything — the cycle-skipping path must not
+    /// fast-forward past a pending release.
+    pub fn has_releasable(&self, served_tag: u64) -> bool {
+        self.entries
+            .front()
+            .is_some_and(|&(tag, _)| tag <= served_tag)
+    }
+
     /// Entries currently queued.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -212,12 +221,12 @@ impl FootnoteQueue {
 pub struct BoqDirection {
     boq: Rc<RefCell<Boq>>,
     /// Indirect-target hints delivered through the FQ.
-    pub ind_targets: Rc<RefCell<HashMap<u64, u64>>>,
+    pub ind_targets: Rc<RefCell<FxHashMap<u64, u64>>>,
 }
 
 impl BoqDirection {
     /// Creates the source over a shared BOQ.
-    pub fn new(boq: Rc<RefCell<Boq>>, ind_targets: Rc<RefCell<HashMap<u64, u64>>>) -> Self {
+    pub fn new(boq: Rc<RefCell<Boq>>, ind_targets: Rc<RefCell<FxHashMap<u64, u64>>>) -> Self {
         Self { boq, ind_targets }
     }
 }
@@ -235,6 +244,10 @@ impl FetchDirection for BoqDirection {
 
     fn predict(&mut self, _pc: u64) -> Option<bool> {
         self.boq.borrow_mut().consume().map(|e| e.taken)
+    }
+
+    fn available(&self) -> bool {
+        self.boq.borrow().depth() > 0
     }
 
     fn indirect_target(&mut self, pc: u64) -> Option<u64> {
@@ -343,7 +356,7 @@ mod tests {
     #[test]
     fn boq_direction_stalls_on_empty_and_detects_misfeed() {
         let boq = Rc::new(RefCell::new(Boq::new(4)));
-        let targets = Rc::new(RefCell::new(HashMap::new()));
+        let targets = Rc::new(RefCell::new(FxHashMap::default()));
         let mut dir = BoqDirection::new(Rc::clone(&boq), targets);
         assert_eq!(dir.predict(0x40), None, "empty BOQ must stall fetch");
         boq.borrow_mut().push(true);
@@ -456,7 +469,7 @@ mod tests {
     #[test]
     fn boq_direction_snapshot_restore() {
         let boq = Rc::new(RefCell::new(Boq::new(4)));
-        let targets = Rc::new(RefCell::new(HashMap::new()));
+        let targets = Rc::new(RefCell::new(FxHashMap::default()));
         let mut dir = BoqDirection::new(Rc::clone(&boq), targets);
         boq.borrow_mut().push(true);
         boq.borrow_mut().push(false);

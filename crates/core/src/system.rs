@@ -3,14 +3,14 @@
 //! the footnote queue, and the R3 optimizations wired in.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::rc::Rc;
 
 use r3dla_bpred::Tage;
 use r3dla_cpu::{
     ActivityCounters, BaseMem, CommitRecord, CommitSink, Core, CoreConfig, PredictorDirection,
 };
-use r3dla_isa::{ArchState, Program, VecMem};
+use r3dla_isa::{ArchState, FxHashMap, Program, VecMem};
 use r3dla_mem::{CacheStats, CoreMem, DramStats, MemConfig, SharedLlc};
 use r3dla_workloads::BuiltWorkload;
 
@@ -327,6 +327,10 @@ pub struct WindowReport {
     pub reboots: u64,
 }
 
+/// Cycles a reboot waits for MT's pipeline to drain before forcing the
+/// restart anyway.
+const REBOOT_DRAIN_TIMEOUT: u64 = 10_000;
+
 /// The complete DLA / R3-DLA system: two cores plus queues.
 pub struct DlaSystem {
     program: Rc<Program>,
@@ -334,7 +338,7 @@ pub struct DlaSystem {
     lt: Core,
     boq: Rc<RefCell<Boq>>,
     fq: Rc<RefCell<FootnoteQueue>>,
-    ind_targets: Rc<RefCell<HashMap<u64, u64>>>,
+    ind_targets: Rc<RefCell<FxHashMap<u64, u64>>>,
     vr: Option<Rc<RefCell<VrSource>>>,
     sif: Rc<RefCell<Sif>>,
     t1_out: Rc<RefCell<Vec<u64>>>,
@@ -348,6 +352,7 @@ pub struct DlaSystem {
     reboot_cost: u64,
     pending_reboot: bool,
     pending_since: u64,
+    fast_forward: bool,
     /// Total reboots performed.
     pub reboots: u64,
     /// The profile used for skeleton generation.
@@ -401,7 +406,7 @@ impl DlaSystem {
         // Queues and hint state.
         let boq = Rc::new(RefCell::new(Boq::new(cfg.boq_capacity)));
         let fq = Rc::new(RefCell::new(FootnoteQueue::new(cfg.fq_capacity)));
-        let ind_targets = Rc::new(RefCell::new(HashMap::new()));
+        let ind_targets = Rc::new(RefCell::new(FxHashMap::default()));
         let sif = Rc::new(RefCell::new(Sif::new()));
         let t1 = cfg
             .t1
@@ -505,6 +510,7 @@ impl DlaSystem {
             reboot_cost: cfg.reboot_cost,
             pending_reboot: false,
             pending_since: 0,
+            fast_forward: true,
             reboots: 0,
             profile: prof,
         }
@@ -618,7 +624,7 @@ impl DlaSystem {
         }
         if self.pending_reboot {
             let drained = self.mt.in_flight(0) == 0;
-            let timeout = self.cycle - self.pending_since > 10_000;
+            let timeout = self.cycle - self.pending_since > REBOOT_DRAIN_TIMEOUT;
             if drained || timeout {
                 self.do_reboot();
             }
@@ -655,15 +661,102 @@ impl DlaSystem {
             .on_reboot(&mut self.active.borrow_mut());
     }
 
+    /// Enables or disables event-driven cycle skipping in
+    /// [`run_until_mt`](Self::run_until_mt) (on by default).
+    ///
+    /// Skipping is behavior-preserving: committed-instruction counts, all
+    /// activity counters and every report are byte-identical either way —
+    /// only host wall-clock changes. The switch exists for equivalence
+    /// tests and the runner's `--no-skip` flag.
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
+    }
+
+    /// Number of quiescent cycles (≤ `limit`) the whole system can
+    /// fast-forward from the current cycle, or 0 when any component may
+    /// act now.
+    ///
+    /// The system is skippable only when MT is quiescent, no footnote is
+    /// pending release, no un-serviced misfeed is latched, and — unless a
+    /// reboot drain is in progress or LT is frozen (BOQ full) or halted —
+    /// LT is quiescent too. The window is the minimum of both cores'
+    /// wake bounds (translated into the global clock: LT's own clock lags
+    /// whenever the BOQ freezes it) and, during a reboot drain, the
+    /// drain-timeout cycle.
+    fn skip_window(&self, limit: u64) -> u64 {
+        if self.boq.borrow().misfeed && !self.pending_reboot {
+            return 0; // the next step latches the reboot
+        }
+        // Footnotes released by LT commits are applied at the top of the
+        // *next* step; a pending release means the next cycle acts.
+        if self
+            .fq
+            .borrow()
+            .has_releasable(self.boq.borrow().last_served_tag())
+        {
+            return 0;
+        }
+        let Some(mt_wake) = self.mt.next_event_at() else {
+            return 0;
+        };
+        let mut wake = mt_wake;
+        if self.pending_reboot {
+            if self.mt.in_flight(0) == 0 {
+                return 0; // drained: the next step reboots
+            }
+            wake = wake.min(self.pending_since + REBOOT_DRAIN_TIMEOUT + 1);
+        } else if !self.boq.borrow().full() && !self.lt.halted() {
+            let Some(lt_wake) = self.lt.next_event_at() else {
+                return 0;
+            };
+            // LT's clock only advances on cycles it actually steps, so
+            // translate its wake into the global clock (saturating: a
+            // forever-quiescent LT reports `u64::MAX`).
+            wake = wake.min(self.cycle.saturating_add(lt_wake - self.lt.cycle()));
+        }
+        wake.saturating_sub(self.cycle).min(limit)
+    }
+
+    /// Fast-forwards `n` quiescent cycles (caller must have obtained `n`
+    /// from [`skip_window`](Self::skip_window)).
+    fn do_skip(&mut self, n: u64) {
+        let lt_active = !self.pending_reboot && !self.boq.borrow().full() && !self.lt.halted();
+        self.mt.skip_to(self.mt.cycle() + n);
+        if lt_active {
+            self.lt.skip_to(self.lt.cycle() + n);
+        }
+        self.cycle += n;
+    }
+
     /// Runs until MT commits `target` more instructions, halts, or
     /// `max_cycles` pass. Returns the cycles elapsed.
+    ///
+    /// With fast-forwarding enabled (the default), stretches where both
+    /// cores are provably stalled — e.g. LT blocked on DRAM while MT
+    /// waits on an empty BOQ — are skipped to the next wakeup instead of
+    /// being stepped cycle by cycle, with byte-identical results.
     pub fn run_until_mt(&mut self, target: u64, max_cycles: u64) -> u64 {
         let start_cycles = self.cycle;
         let start_committed = self.mt.committed(0);
+        let mut last_probe = u64::MAX;
         while self.mt.committed(0) - start_committed < target
             && !self.mt_halted()
             && self.cycle - start_cycles < max_cycles
         {
+            if self.fast_forward {
+                // Only pay for the quiescence proof when the previous
+                // cycle already looked idle on both cores.
+                let probe = self.mt.activity_probe() + self.lt.activity_probe();
+                if probe == last_probe {
+                    let limit = max_cycles - (self.cycle - start_cycles);
+                    let n = self.skip_window(limit);
+                    if n > 0 {
+                        self.do_skip(n);
+                        continue;
+                    }
+                }
+                last_probe = probe;
+            }
             self.step();
         }
         self.cycle - start_cycles
@@ -721,6 +814,7 @@ impl DlaSystem {
 pub struct SingleCoreSim {
     core: Core,
     cycle: u64,
+    fast_forward: bool,
 }
 
 impl std::fmt::Debug for SingleCoreSim {
@@ -764,7 +858,18 @@ impl SingleCoreSim {
             dir,
             Rc::new(RefCell::new(BaseMem(arch_mem))),
         );
-        Self { core, cycle: 0 }
+        Self {
+            core,
+            cycle: 0,
+            fast_forward: true,
+        }
+    }
+
+    /// Enables or disables event-driven cycle skipping in
+    /// [`run_until`](Self::run_until) (on by default; behavior-preserving
+    /// either way).
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
     }
 
     /// The core (counters, stats).
@@ -782,11 +887,17 @@ impl SingleCoreSim {
     pub fn run_until(&mut self, target: u64, max_cycles: u64) -> u64 {
         let start_cycles = self.core.cycle();
         let start_committed = self.core.committed(0);
+        let mut last_probe = u64::MAX;
         while self.core.committed(0) - start_committed < target
             && !self.core.halted()
             && self.core.cycle() - start_cycles < max_cycles
         {
-            self.core.step();
+            if self.fast_forward {
+                self.core
+                    .step_or_skip(start_cycles.saturating_add(max_cycles), &mut last_probe);
+            } else {
+                self.core.step();
+            }
         }
         self.cycle = self.core.cycle();
         self.core.cycle() - start_cycles
@@ -958,13 +1069,15 @@ mod tests {
 
     /// Runs a fixed committed-instruction window over `MISFEED_WORKLOAD`
     /// with a misfeed injected every 5k instructions — a deterministic
-    /// misfeed-heavy scenario.
-    fn misfeed_heavy_window(reboot_cost: u64) -> WindowReport {
+    /// misfeed-heavy scenario. `fast_forward` selects the cycle-skipping
+    /// path; the report must not depend on it.
+    fn misfeed_heavy_window_ff(reboot_cost: u64, fast_forward: bool) -> WindowReport {
         let wl = by_name(MISFEED_WORKLOAD).unwrap().build(Scale::Tiny);
         let mut cfg = DlaConfig::dla();
         cfg.reboot_cost = reboot_cost;
         cfg.profile_insts = 200_000;
         let mut sys = DlaSystem::build(&wl, cfg, SkeletonOptions::default()).unwrap();
+        sys.set_fast_forward(fast_forward);
         sys.run_until_mt(2_000, 500_000);
         let snap = sys.snapshot();
         for _ in 0..6 {
@@ -973,6 +1086,10 @@ mod tests {
         }
         sys.run_until_mt(5_000, 2_000_000);
         sys.window_since(&snap)
+    }
+
+    fn misfeed_heavy_window(reboot_cost: u64) -> WindowReport {
+        misfeed_heavy_window_ff(reboot_cost, true)
     }
 
     #[test]
@@ -1062,6 +1179,71 @@ mod tests {
         assert_eq!(rep.mt_ipc, 0.0);
         assert_eq!(rep.dram_traffic, 0);
         assert_eq!(rep.reboots, 0);
+    }
+
+    /// Deep fingerprint of a system's observable state for the
+    /// skip-equivalence tests: window report plus both cores' activity
+    /// counters, per-thread statistics and the MT L1D prefetch counters
+    /// (which the footnote-queue hints feed).
+    fn system_fingerprint(sys: &DlaSystem, rep: &WindowReport) -> String {
+        format!(
+            "{rep:?} cycle={} reboots={} mt_counters={:?} lt_counters={:?} \
+             mt_stats={:?} lt_stats={:?} l1d={:?}",
+            sys.cycle(),
+            sys.reboots,
+            sys.mt().counters,
+            sys.lt().counters,
+            sys.mt().thread_stats(0),
+            sys.lt().thread_stats(0),
+            sys.mt().mem().l1d_stats(),
+        )
+    }
+
+    /// Runs one DLA config over a workload with skipping on and off and
+    /// asserts every observable statistic matches.
+    fn assert_skip_equivalent(workload: &str, cfg: DlaConfig, warm: u64, win: u64) {
+        let wl = by_name(workload).unwrap().build(Scale::Tiny);
+        let run = |fast_forward: bool| {
+            let mut sys = DlaSystem::build(&wl, cfg.clone(), SkeletonOptions::default()).unwrap();
+            sys.set_fast_forward(fast_forward);
+            sys.run_until_mt(warm, warm * 60 + 500_000);
+            let snap = sys.snapshot();
+            sys.run_until_mt(win, win * 60 + 500_000);
+            let rep = sys.window_since(&snap);
+            system_fingerprint(&sys, &rep)
+        };
+        assert_eq!(run(true), run(false), "{workload}: skip on/off diverged");
+    }
+
+    #[test]
+    fn skip_equivalence_under_hint_queue_wakeups() {
+        // libq_like is memory-bound: the FQ carries a steady stream of
+        // L1-prefetch/TLB hints whose releases must not be jumped over,
+        // and both cores spend long stretches stalled — the prime
+        // fast-forward scenario. dla() keeps every hint kind enabled.
+        let mut cfg = DlaConfig::dla();
+        cfg.profile_insts = 200_000;
+        assert_skip_equivalent("libq_like", cfg, 2_000, 10_000);
+    }
+
+    #[test]
+    fn skip_equivalence_with_value_reuse_and_t1() {
+        // The full R3 feature set: value-reuse footnotes, T1 prefetch
+        // drains and dynamic recycling all ride the per-cycle paths the
+        // skipper must respect.
+        let mut cfg = DlaConfig::r3();
+        cfg.profile_insts = 200_000;
+        assert_skip_equivalent("rgbyuv_like", cfg, 2_000, 10_000);
+    }
+
+    #[test]
+    fn skip_equivalence_across_reboots() {
+        // Misfeed-driven reboots interleave drain windows, LT freezes and
+        // queue flushes with the skipping machinery (reboot mid-skip).
+        let fast = misfeed_heavy_window_ff(64, true);
+        let slow = misfeed_heavy_window_ff(64, false);
+        assert!(fast.reboots > 0, "scenario must actually reboot");
+        assert_eq!(fast, slow, "reboot path diverged between skip on/off");
     }
 
     #[test]

@@ -378,13 +378,235 @@ impl Core {
     }
 
     /// Runs until all threads halt or `max_cycles` elapse; returns cycles
-    /// executed.
+    /// executed. Quiescent stretches are fast-forwarded through
+    /// [`Core::next_event_at`] / [`Core::skip_to`]; the result is
+    /// identical to stepping every cycle.
     pub fn run(&mut self, max_cycles: u64) -> u64 {
         let start = self.cycle;
+        let mut last_probe = u64::MAX;
         while !self.halted() && self.cycle - start < max_cycles {
-            self.step();
+            self.step_or_skip(start.saturating_add(max_cycles), &mut last_probe);
         }
         self.cycle - start
+    }
+
+    /// One fast-path iteration of a single-core run loop: fast-forwards
+    /// to the next event when the previous iteration already looked idle
+    /// (and quiescence proves out), else steps one cycle. `cap` bounds
+    /// the skip target; `last_probe` carries the idleness gate across
+    /// calls (seed it with `u64::MAX`). Shared by [`Core::run`], the
+    /// single-core simulators and the profiler so the gate logic cannot
+    /// drift between them.
+    pub fn step_or_skip(&mut self, cap: u64, last_probe: &mut u64) {
+        // Only pay for the quiescence proof when the previous cycle
+        // already looked idle.
+        let probe = self.activity_probe();
+        if probe == *last_probe {
+            if let Some(wake) = self.next_event_at() {
+                self.skip_to(wake.min(cap));
+                return;
+            }
+        }
+        *last_probe = probe;
+        self.step();
+    }
+
+    // ------------------------------------------------------------------
+    // Event-driven fast path
+    // ------------------------------------------------------------------
+
+    /// A cheap monotone activity signature: unchanged across a cycle
+    /// means that cycle (very likely) did no observable work, so a run
+    /// loop should bother asking [`Core::next_event_at`]. It may miss
+    /// rare progress kinds (a writeback with nothing else, a
+    /// drain-only cycle) — that only costs one wasted query, never
+    /// correctness, because `next_event_at` re-proves quiescence itself.
+    pub fn activity_probe(&self) -> u64 {
+        let c = &self.counters;
+        c.fetched.get()
+            + c.mask_deleted.get()
+            + c.icache_lines.get()
+            + c.decoded.get()
+            + c.executed.get()
+            + c.committed.get()
+            + c.squashed.get()
+    }
+
+    /// Earliest-activity query for the event-driven fast path.
+    ///
+    /// Returns `None` when the core may change state at the *current*
+    /// cycle — the caller must [`step`](Core::step). Returns `Some(wake)`
+    /// with `wake > cycle()` when the core is provably quiescent until
+    /// `wake`: every cycle before it would only advance clocks and record
+    /// per-cycle occupancy samples, which [`Core::skip_to`] replays in
+    /// bulk. The bound aggregates, per thread, the fetch-stall expiry,
+    /// the decode-pipe head's ready cycle, the commit head's completion,
+    /// every in-flight instruction's `exec_done`, and each issue-queue
+    /// entry's earliest source-ready cycle (for loads, also the earliest
+    /// resolve of a blocking older store).
+    ///
+    /// `wake` is a lower bound, not a prediction: waking early merely
+    /// re-asks the question next cycle; waking late can never happen. A
+    /// direction-starved thread (BOQ-fed fetch at a conditional branch
+    /// with an empty queue) is quiescent with no intrinsic wake — only a
+    /// sibling core can refill its queue, so the system-level scheduler
+    /// combines both cores' bounds.
+    pub fn next_event_at(&self) -> Option<u64> {
+        let now = self.cycle;
+        let mut wake = u64::MAX;
+        let pipe_cap = self.cfg.decode_width * self.cfg.frontend_depth as usize + 1;
+        for t in &self.threads {
+            // Fetch buffer → decode pipe drain possible this cycle?
+            if !t.fetch_buffer.is_empty() && t.decode_pipe.len() < pipe_cap {
+                return None;
+            }
+            // Rename.
+            if let Some(f) = t.decode_pipe.front() {
+                if f.decode_ready > now {
+                    wake = wake.min(f.decode_ready);
+                } else if self.iq.len() < self.cfg.iq_size
+                    && self.prf.available() > 0
+                    && t.rob.len() < self.cfg.rob_size
+                    && !(f.inst.is_store() && t.store_queue.len() >= self.cfg.lsq_size)
+                {
+                    return None; // rename absorbs it this cycle
+                }
+                // Otherwise blocked on backend capacity, which frees only
+                // at an issue or commit event — both accounted for below.
+            }
+            // Fetch.
+            if !t.halted && !t.halted_fetch {
+                if t.fetch_stall_until > now {
+                    wake = wake.min(t.fetch_stall_until);
+                } else if t.fetch_buffer.len() < self.cfg.fetch_buffer {
+                    match self.program.fetch(t.fetch_pc) {
+                        // Direction-starved: quiescent with no intrinsic
+                        // wake (see above).
+                        Some(inst) if inst.is_cond_branch() && !t.dir.available() => {}
+                        // Anything else fetches — or mutates cache and
+                        // front-end state trying to.
+                        _ => return None,
+                    }
+                }
+                // A full fetch buffer only records the per-cycle
+                // zero-fetch sample, replayed by `skip_to`.
+            }
+            // Commit: a completed head retires at its exec_done.
+            if let Some(head) = t.rob.front() {
+                if head.stage == Stage::Done {
+                    if head.exec_done <= now {
+                        return None;
+                    }
+                    wake = wake.min(head.exec_done);
+                }
+            }
+            // Writeback: issued, unresolved entries complete at exec_done.
+            for e in &t.rob {
+                if e.stage == Stage::Issued && !e.resolved {
+                    if e.exec_done <= now {
+                        return None;
+                    }
+                    wake = wake.min(e.exec_done);
+                }
+            }
+        }
+        // Issue: earliest cycle any queued entry could become ready.
+        for q in &self.iq {
+            let Some(idx) = self.entry_index(q.thread, q.seq) else {
+                return None; // stale entry: compacting it away is an event
+            };
+            let t = &self.threads[q.thread];
+            let e = &t.rob[idx];
+            let mut ready = Self::entry_ready_bound(&self.prf, e);
+            // A load also waits for older stores with unresolved
+            // addresses. Skeleton-filtered threads may issue some loads
+            // as prefetch payloads that bypass that check, so the
+            // refinement applies only to unfiltered threads (for the
+            // others the plain source bound is already a valid floor).
+            if e.inst.is_load() && t.filter.is_none() {
+                ready = ready.max(Self::load_block_bound(&self.prf, t, q.seq));
+            }
+            if ready <= now {
+                return None;
+            }
+            wake = wake.min(ready);
+        }
+        Some(wake)
+    }
+
+    /// Lower bound on the cycle at which `e` could issue: past its
+    /// dispatch cycle with every present source readable.
+    fn entry_ready_bound(prf: &Prf, e: &RobEntry) -> u64 {
+        let mut ready = e.dispatch_cycle + 1;
+        for src in e.src.iter().flatten() {
+            ready = ready.max(prf.ready_at(*src));
+        }
+        ready
+    }
+
+    /// Lower bound on the cycle at which the oldest address-unresolved
+    /// store blocking loads at `seq` could resolve (0 when none blocks).
+    fn load_block_bound(prf: &Prf, t: &Thread, seq: u64) -> u64 {
+        for &sseq in &t.store_queue {
+            if sseq >= seq {
+                break;
+            }
+            let idx = (sseq - t.rob_head_seq) as usize;
+            let se = &t.rob[idx];
+            if se.addr.is_none() {
+                // The store resolves its address no earlier than it can
+                // issue.
+                return Self::entry_ready_bound(prf, se);
+            }
+        }
+        0
+    }
+
+    /// Bulk-advances a quiescent core to `target`, replaying exactly the
+    /// per-cycle effects that idle stepping would have produced: the
+    /// cycle counter, the fetch-bubble accounting, and the per-thread
+    /// occupancy/zero-throughput samples.
+    ///
+    /// The caller must have proven quiescence with
+    /// [`Core::next_event_at`] and must not pass a `target` beyond the
+    /// returned wake cycle; the two together keep counters and state
+    /// byte-identical to the cycle-by-cycle path.
+    pub fn skip_to(&mut self, target: u64) {
+        let n = target.saturating_sub(self.cycle);
+        if n == 0 {
+            return;
+        }
+        self.counters.cycles.add(n);
+        if self.cfg.decode_width > 0
+            && self.backend_has_room()
+            && self.threads.iter().any(|t| !t.halted)
+        {
+            self.counters
+                .fetch_bubble_insts
+                .add(n * self.cfg.decode_width as u64);
+        }
+        let now = self.cycle;
+        let fetch_cap = self.cfg.fetch_buffer;
+        for t in &mut self.threads {
+            t.stats
+                .fetch_occupancy
+                .record_n(t.fetch_buffer.len() as u64, n);
+            t.stats.renamed_per_cycle.record_n(0, n);
+            // Only a buffer-full thread reaches its per-cycle zero-fetch
+            // sample; stalled, starved or halted threads return before
+            // recording.
+            if !t.halted
+                && !t.halted_fetch
+                && t.fetch_stall_until <= now
+                && t.fetch_buffer.len() >= fetch_cap
+            {
+                t.stats.fetched_per_cycle.record_n(0, n);
+            }
+        }
+        self.mem_used_this_cycle = 0;
+        self.int_used_this_cycle = 0;
+        self.fp_used_this_cycle = 0;
+        self.cycle = target;
     }
 
     // ------------------------------------------------------------------
@@ -451,8 +673,10 @@ impl Core {
             }
         }
         self.counters.committed.inc();
-        let sink = t.commit_sink.clone();
-        if let Some(sink) = sink {
+        // Borrow the sink in place — no per-commit `Rc` refcount churn.
+        // The record is built entirely from the popped entry, so no core
+        // borrow is live while the sink runs.
+        if let Some(sink) = &self.threads[tid].commit_sink {
             let rec = CommitRecord {
                 thread: tid,
                 seq: e.seq,
@@ -518,7 +742,7 @@ impl Core {
             self.counters.value_validations.inc();
             let actual = e.result.unwrap_or(0);
             let correct = actual == pred;
-            if let Some(src) = self.threads[tid].value_source.clone() {
+            if let Some(src) = &self.threads[tid].value_source {
                 src.borrow_mut().on_outcome(e.pc, correct);
             }
             if !correct {
@@ -672,21 +896,29 @@ impl Core {
     }
 
     fn stage_issue(&mut self) {
+        // Single age-ordered pass with in-place compaction: issued and
+        // stale entries are dropped by not copying them forward, so one
+        // cycle costs O(iq) instead of O(iq²) `Vec::remove` shifts.
+        // Entries past the issue-width cutoff are copied through
+        // untouched, exactly as the shifting loop left them.
         let mut issued = 0usize;
-        let mut i = 0;
-        while i < self.iq.len() && issued < self.cfg.issue_width {
+        let mut kept = 0usize;
+        for i in 0..self.iq.len() {
             let q = self.iq[i];
-            match self.try_issue(q.thread, q.seq) {
-                IssueResult::Issued => {
-                    self.iq.remove(i);
-                    issued += 1;
-                }
-                IssueResult::NotReady => i += 1,
-                IssueResult::Gone => {
-                    self.iq.remove(i);
+            if issued < self.cfg.issue_width {
+                match self.try_issue(q.thread, q.seq) {
+                    IssueResult::Issued => {
+                        issued += 1;
+                        continue;
+                    }
+                    IssueResult::Gone => continue,
+                    IssueResult::NotReady => {}
                 }
             }
+            self.iq[kept] = q;
+            kept += 1;
         }
+        self.iq.truncate(kept);
     }
 
     fn entry_index(&self, tid: usize, seq: u64) -> Option<usize> {
@@ -719,7 +951,7 @@ impl Core {
         let prefetch_only = e.inst.is_load()
             && self.threads[tid]
                 .filter
-                .clone()
+                .as_ref()
                 .map(|f| f.borrow_mut().prefetch_only(e.pc))
                 .unwrap_or(false);
         if e.inst.is_load() && !prefetch_only && !self.load_may_issue(tid, seq) {
@@ -758,7 +990,7 @@ impl Core {
             }
             Op::Beq | Op::Bne | Op::Blt | Op::Bge | Op::Bltu | Op::Bgeu => {
                 let mut taken = eval_cond(e.inst.op, a, b);
-                if let Some(ov) = self.threads[tid].branch_override.clone() {
+                if let Some(ov) = &self.threads[tid].branch_override {
                     if let Some(forced) = ov.borrow().force(e.pc) {
                         taken = forced;
                     }
@@ -894,11 +1126,16 @@ impl Core {
                 drain_budget -= 1;
             }
         }
+        // Shared backend capacity is computed once per cycle and tracked
+        // as the loop consumes it, instead of re-derived per renamed
+        // instruction.
         let mut budget = self.cfg.decode_width;
+        let mut iq_free = self.cfg.iq_size.saturating_sub(self.iq.len());
+        let mut prf_free = self.prf.available();
         let mut renamed_per_thread = vec![0u64; nthreads];
         for k in 0..nthreads {
             let tid = (self.cycle as usize + k) % nthreads;
-            while budget > 0 && self.rename_one(tid) {
+            while budget > 0 && self.rename_one(tid, &mut iq_free, &mut prf_free) {
                 budget -= 1;
                 renamed_per_thread[tid] += 1;
             }
@@ -918,9 +1155,9 @@ impl Core {
             && self.iq.len() < self.cfg.iq_size
     }
 
-    fn rename_one(&mut self, tid: usize) -> bool {
+    fn rename_one(&mut self, tid: usize, iq_free: &mut usize, prf_free: &mut usize) -> bool {
         let cycle = self.cycle;
-        if self.iq.len() >= self.cfg.iq_size || self.prf.available() == 0 {
+        if *iq_free == 0 || *prf_free == 0 {
             return false;
         }
         {
@@ -944,7 +1181,7 @@ impl Core {
             .expect("presence checked");
         // Value-prediction lookup (main-thread value reuse).
         let mut vpred = None;
-        if let Some(src) = self.threads[tid].value_source.clone() {
+        if let Some(src) = &self.threads[tid].value_source {
             vpred = src
                 .borrow_mut()
                 .predict(f.pc, f.branch_tag, f.branch_offset);
@@ -959,6 +1196,7 @@ impl Core {
         let (dest_new, dest_old) = match f.inst.def() {
             Some(rd) => {
                 let p = self.prf.alloc().expect("availability checked");
+                *prf_free -= 1;
                 let old = t.rat[rd.index()];
                 t.rat[rd.index()] = p;
                 (Some(p), Some(old))
@@ -1029,6 +1267,7 @@ impl Core {
         self.counters.rob_writes.inc();
         if !skip_validation {
             self.iq.push(IqEntry { thread: tid, seq });
+            *iq_free -= 1;
             self.counters.iq_writes.inc();
         }
         true
@@ -1061,6 +1300,18 @@ impl Core {
                 break;
             }
             let pc = self.threads[tid].fetch_pc;
+            // Decoded once here; consumed after the icache probe below.
+            let fetched = self.program.fetch(pc);
+            // Direction starvation (a BOQ-fed thread with an empty BOQ at
+            // a conditional branch) stalls fetch before any cache or
+            // predictor state is touched: the stalled cycles are then
+            // perfectly quiescent, which is what lets `next_event_at`
+            // prove the thread skippable while it waits for the queue.
+            if let Some(inst) = &fetched {
+                if inst.is_cond_branch() && !self.threads[tid].dir.available() {
+                    return;
+                }
+            }
             let line = pc & !63;
             if line != current_line {
                 let (ready, hit) = self.mem.inst_fetch(pc, cycle);
@@ -1081,7 +1332,7 @@ impl Core {
                 }
                 current_line = line;
             }
-            let Some(inst) = self.program.fetch(pc) else {
+            let Some(inst) = fetched else {
                 // Ran off the binary (deep wrong path): wait for a squash.
                 self.threads[tid].halted_fetch = true;
                 return;
@@ -1089,12 +1340,14 @@ impl Core {
             slots += 1;
             // Skeleton masking: deleted instructions consume a fetch slot
             // but never enter the fetch buffer (paper §III-A iii).
-            if let Some(filter) = self.threads[tid].filter.clone() {
-                if !filter.borrow_mut().keep(pc) {
-                    self.counters.mask_deleted.inc();
-                    self.threads[tid].fetch_pc = pc + INST_BYTES;
-                    continue;
-                }
+            let mask_deleted = match &self.threads[tid].filter {
+                Some(filter) => !filter.borrow_mut().keep(pc),
+                None => false,
+            };
+            if mask_deleted {
+                self.counters.mask_deleted.inc();
+                self.threads[tid].fetch_pc = pc + INST_BYTES;
+                continue;
             }
             let mut next_pc = pc + INST_BYTES;
             let mut is_taken_branch = false;

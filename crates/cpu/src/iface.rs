@@ -20,6 +20,15 @@ pub trait FetchDirection {
     fn name(&self) -> &str;
     /// Predicts the branch at `pc`, or `None` to stall fetch this cycle.
     fn predict(&mut self, pc: u64) -> Option<bool>;
+    /// Whether a direction is currently available, without consuming it.
+    ///
+    /// Must agree with [`predict`](Self::predict): `predict` returns
+    /// `Some` iff this returns `true`. The fetch stage uses it to detect
+    /// a direction-starved thread *before* touching any cache state, and
+    /// the event-driven fast path uses it to prove the thread quiescent.
+    fn available(&self) -> bool {
+        true
+    }
     /// Supplies a target for an indirect branch at `pc` beyond the BTB
     /// (the DLA footnote-queue branch-target hint path).
     fn indirect_target(&mut self, _pc: u64) -> Option<u64> {

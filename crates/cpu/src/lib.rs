@@ -71,7 +71,7 @@ pub use prf::Prf;
 mod tests {
     use super::*;
     use r3dla_bpred::Tage;
-    use r3dla_isa::{ArchState, Asm, Program, Reg, VecMem};
+    use r3dla_isa::{ArchState, Asm, DataMem, Program, Reg, VecMem};
     use r3dla_mem::{CoreMem, MemConfig, SharedLlc};
     use std::cell::RefCell;
     use std::rc::Rc;
@@ -405,5 +405,245 @@ mod tests {
             max_occ <= CoreConfig::paper().fetch_buffer as u64,
             "occupancy {max_occ} exceeded capacity"
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Event-driven fast path (`next_event_at` / `skip_to`)
+    // ------------------------------------------------------------------
+
+    /// A pointer-chase program over a shuffled permutation — every load
+    /// depends on the previous one and misses, producing the long
+    /// quiescent stalls the fast path exists for.
+    fn chase_program(iters: i64) -> Rc<Program> {
+        let mut rng = r3dla_stats::Rng::new(7);
+        let n = 4096usize;
+        let mut perm: Vec<u64> = (0..n as u64).collect();
+        rng.shuffle(&mut perm);
+        let mut a = Asm::new();
+        let arr = a.data().alloc_words(n);
+        for (i, &p) in perm.iter().enumerate() {
+            a.data().put_word(arr + (i as u64) * 8, arr + p * 8);
+        }
+        let (cur, cnt, lim) = (Reg::int(10), Reg::int(11), Reg::int(12));
+        a.li(cur, arr as i64);
+        a.li(cnt, 0);
+        a.li(lim, iters);
+        a.label("chase");
+        a.ld(cur, cur, 0);
+        a.addi(cnt, cnt, 1);
+        a.blt(cnt, lim, "chase");
+        a.halt();
+        Rc::new(a.finish().unwrap())
+    }
+
+    /// Full observable state of a core, for skip-equivalence comparisons:
+    /// clock, per-thread architectural state, activity counters and
+    /// per-cycle statistics (histograms included).
+    fn core_fingerprint(core: &Core, threads: usize) -> String {
+        let mut s = format!("cycle={} counters={:?}", core.cycle(), core.counters);
+        for t in 0..threads {
+            s.push_str(&format!(
+                " t{}: committed={} pc={:#x} regs={:?} stats={:?}",
+                t,
+                core.committed(t),
+                core.arch_pc(t),
+                core.arch_regs(t),
+                core.thread_stats(t),
+            ));
+        }
+        s
+    }
+
+    /// Drives `core` cycle by cycle (the reference path).
+    fn run_slow(core: &mut Core, max_cycles: u64) {
+        let start = core.cycle();
+        while !core.halted() && core.cycle() - start < max_cycles {
+            core.step();
+        }
+    }
+
+    /// Drives `core` through the event-driven fast path; returns the
+    /// number of cycles fast-forwarded (to prove the path was exercised).
+    fn run_fast(core: &mut Core, max_cycles: u64) -> u64 {
+        let start = core.cycle();
+        let mut skipped = 0;
+        while !core.halted() && core.cycle() - start < max_cycles {
+            match core.next_event_at() {
+                Some(wake) => {
+                    let target = wake.min(start + max_cycles);
+                    skipped += target - core.cycle();
+                    core.skip_to(target);
+                }
+                None => core.step(),
+            }
+        }
+        skipped
+    }
+
+    #[test]
+    fn skip_equivalence_on_memory_stalls() {
+        let prog = chase_program(1_500);
+        let (mut fast, tf, _) = build_core(&prog);
+        let (mut slow, ts, _) = build_core(&prog);
+        let skipped = run_fast(&mut fast, 3_000_000);
+        run_slow(&mut slow, 3_000_000);
+        assert!(fast.thread_halted(tf) && slow.thread_halted(ts));
+        assert!(
+            skipped > 10_000,
+            "a memory-bound chase must fast-forward substantially, skipped {skipped}"
+        );
+        assert_eq!(core_fingerprint(&fast, 1), core_fingerprint(&slow, 1));
+    }
+
+    #[test]
+    fn skip_equivalence_smt_with_early_thread_halt() {
+        // Two SMT threads of very different lengths on one backend (the
+        // trip count loads from thread-private memory, so one program
+        // serves both): the fast path must stay exact across the short
+        // thread's halt and keep fast-forwarding the survivor's stalls.
+        let mut rng = r3dla_stats::Rng::new(11);
+        let n = 4096usize;
+        let mut perm: Vec<u64> = (0..n as u64).collect();
+        rng.shuffle(&mut perm);
+        let mut a = Asm::new();
+        let arr = a.data().alloc_words(n);
+        for (i, &p) in perm.iter().enumerate() {
+            a.data().put_word(arr + (i as u64) * 8, arr + p * 8);
+        }
+        let limword = a.data().alloc_words(1);
+        a.data().put_word(limword, 400);
+        let (cur, cnt, lim) = (Reg::int(10), Reg::int(11), Reg::int(12));
+        a.li(cur, arr as i64);
+        a.li(cnt, 0);
+        a.li(lim, limword as i64);
+        a.ld(lim, lim, 0);
+        a.label("chase");
+        a.ld(cur, cur, 0);
+        a.addi(cnt, cnt, 1);
+        a.blt(cnt, lim, "chase");
+        a.halt();
+        let prog = Rc::new(a.finish().unwrap());
+        let build_pair = || {
+            let shared = Rc::new(RefCell::new(SharedLlc::new(&MemConfig::paper())));
+            let mem = CoreMem::new(&MemConfig::paper(), shared);
+            let mut core = Core::new(CoreConfig::paper(), Rc::clone(&prog), mem);
+            for iters in [400u64, 40] {
+                let vm = Rc::new(RefCell::new(VecMem::new()));
+                vm.borrow_mut().load_image(prog.image());
+                vm.borrow_mut().store(limword, iters);
+                let dir = Box::new(PredictorDirection::new(Box::new(Tage::paper())));
+                core.add_thread(
+                    prog.entry(),
+                    ArchState::new(prog.entry()).regs(),
+                    dir,
+                    Rc::new(RefCell::new(BaseMem(vm))),
+                );
+            }
+            core
+        };
+        let mut fast = build_pair();
+        let mut slow = build_pair();
+        let skipped = run_fast(&mut fast, 4_000_000);
+        run_slow(&mut slow, 4_000_000);
+        assert!(fast.halted() && slow.halted(), "both SMT threads must halt");
+        assert!(
+            fast.committed(0) > fast.committed(1),
+            "thread 1 must be the short one"
+        );
+        assert!(skipped > 0, "SMT chase must still fast-forward");
+        assert_eq!(core_fingerprint(&fast, 2), core_fingerprint(&slow, 2));
+    }
+
+    /// A direction source whose supply is refilled externally — the
+    /// core-level model of a BOQ-fed main thread.
+    struct QueueDirection {
+        supply: Rc<RefCell<std::collections::VecDeque<bool>>>,
+    }
+
+    impl FetchDirection for QueueDirection {
+        fn name(&self) -> &str {
+            "queue"
+        }
+        fn predict(&mut self, _pc: u64) -> Option<bool> {
+            self.supply.borrow_mut().pop_front()
+        }
+        fn available(&self) -> bool {
+            !self.supply.borrow().is_empty()
+        }
+        fn resolve(&mut self, _pc: u64, _taken: bool, _mispredicted: bool) {}
+    }
+
+    #[test]
+    fn direction_starved_thread_is_quiescent_until_refill() {
+        // A loop whose only control is a conditional branch, fed from an
+        // external queue. Once the queue empties and the pipeline drains,
+        // the core must report unbounded quiescence; refilling the queue
+        // must make it runnable again — the hint-queue wakeup contract.
+        let mut a = Asm::new();
+        let (x, lim) = (Reg::int(10), Reg::int(11));
+        a.li(x, 0);
+        a.li(lim, 1_000_000);
+        a.label("loop");
+        a.addi(x, x, 1);
+        a.blt(x, lim, "loop");
+        a.halt();
+        let prog = Rc::new(a.finish().unwrap());
+        let build = || {
+            let supply = Rc::new(RefCell::new(std::collections::VecDeque::new()));
+            for _ in 0..32 {
+                supply.borrow_mut().push_back(true);
+            }
+            let shared = Rc::new(RefCell::new(SharedLlc::new(&MemConfig::paper())));
+            let mem = CoreMem::new(&MemConfig::paper(), shared);
+            let mut core = Core::new(CoreConfig::paper(), Rc::clone(&prog), mem);
+            let vm = Rc::new(RefCell::new(VecMem::new()));
+            vm.borrow_mut().load_image(prog.image());
+            let dir = Box::new(QueueDirection {
+                supply: Rc::clone(&supply),
+            });
+            core.add_thread(
+                prog.entry(),
+                ArchState::new(prog.entry()).regs(),
+                dir,
+                Rc::new(RefCell::new(BaseMem(vm))),
+            );
+            // Drain the 32 supplied directions and the pipeline.
+            for _ in 0..4_000 {
+                core.step();
+            }
+            assert!(supply.borrow().is_empty(), "supply must be exhausted");
+            (core, supply)
+        };
+        let (mut fast, fast_supply) = build();
+        let (mut slow, slow_supply) = build();
+        assert_eq!(
+            fast.next_event_at(),
+            Some(u64::MAX),
+            "a drained, direction-starved core has no intrinsic wakeup"
+        );
+        // Skipping 100 starved cycles must equal stepping through them.
+        fast.skip_to(fast.cycle() + 100);
+        for _ in 0..100 {
+            slow.step();
+        }
+        assert_eq!(core_fingerprint(&fast, 1), core_fingerprint(&slow, 1));
+        // Refill: both cores must wake and make identical progress again.
+        let committed_before = fast.committed(0);
+        for supply in [&fast_supply, &slow_supply] {
+            for _ in 0..64 {
+                supply.borrow_mut().push_back(true);
+            }
+        }
+        assert_eq!(
+            fast.next_event_at(),
+            None,
+            "a refilled direction queue makes the thread runnable now"
+        );
+        for _ in 0..2_000 {
+            fast.step();
+            slow.step();
+        }
+        assert!(fast.committed(0) > committed_before);
+        assert_eq!(core_fingerprint(&fast, 1), core_fingerprint(&slow, 1));
     }
 }

@@ -1,16 +1,24 @@
 //! Functional semantics: architectural state, single-step execution, and
 //! the ALU/branch evaluators shared with the timing model.
 
-use std::collections::HashMap;
-
+use crate::hash::FxHashMap;
 use crate::inst::{Inst, Op, Reg};
 use crate::program::Program;
+
+/// Sentinel page index meaning "last-page cache empty" (real page
+/// indices are `addr >> 12`, which never reaches `u64::MAX`).
+const NO_PAGE: u64 = u64::MAX;
 
 /// Byte-addressed 64-bit word memory backed by 4 KiB pages.
 ///
 /// Unmapped reads return zero (wrong-path loads may touch arbitrary
 /// addresses); writes allocate pages on demand. Accesses are naturally
 /// aligned to 8 bytes — lower address bits are masked off.
+///
+/// Pages live in a flat slot arena indexed through an FxHash page table,
+/// and a one-entry last-page cache short-circuits the table for the
+/// spatially local access streams the workloads produce — this is the
+/// functional-memory hot path under every timing core.
 ///
 /// # Examples
 ///
@@ -21,9 +29,23 @@ use crate::program::Program;
 /// assert_eq!(m.load(0x2000_0000), 42);
 /// assert_eq!(m.load(0xDEAD_0000), 0); // unmapped
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct VecMem {
-    pages: HashMap<u64, Box<[u64; 512]>>,
+    pages: FxHashMap<u64, u32>,
+    storage: Vec<Box<[u64; 512]>>,
+    last_page: u64,
+    last_slot: u32,
+}
+
+impl Default for VecMem {
+    fn default() -> Self {
+        Self {
+            pages: FxHashMap::default(),
+            storage: Vec::new(),
+            last_page: NO_PAGE,
+            last_slot: 0,
+        }
+    }
 }
 
 /// Read/write access to data memory.
@@ -49,7 +71,7 @@ impl VecMem {
 
     /// Number of resident 4 KiB pages.
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.storage.len()
     }
 }
 
@@ -57,8 +79,17 @@ impl DataMem for VecMem {
     #[inline]
     fn load(&mut self, addr: u64) -> u64 {
         let a = addr & !7;
-        match self.pages.get(&(a >> 12)) {
-            Some(p) => p[((a & 0xFFF) >> 3) as usize],
+        let page = a >> 12;
+        let word = ((a & 0xFFF) >> 3) as usize;
+        if page == self.last_page {
+            return self.storage[self.last_slot as usize][word];
+        }
+        match self.pages.get(&page) {
+            Some(&slot) => {
+                self.last_page = page;
+                self.last_slot = slot;
+                self.storage[slot as usize][word]
+            }
             None => 0,
         }
     }
@@ -66,11 +97,24 @@ impl DataMem for VecMem {
     #[inline]
     fn store(&mut self, addr: u64, val: u64) {
         let a = addr & !7;
-        let page = self
-            .pages
-            .entry(a >> 12)
-            .or_insert_with(|| Box::new([0u64; 512]));
-        page[((a & 0xFFF) >> 3) as usize] = val;
+        let page = a >> 12;
+        let word = ((a & 0xFFF) >> 3) as usize;
+        if page == self.last_page {
+            self.storage[self.last_slot as usize][word] = val;
+            return;
+        }
+        let slot = match self.pages.get(&page) {
+            Some(&slot) => slot,
+            None => {
+                let slot = u32::try_from(self.storage.len()).expect("page arena overflow");
+                self.storage.push(Box::new([0u64; 512]));
+                self.pages.insert(page, slot);
+                slot
+            }
+        };
+        self.last_page = page;
+        self.last_slot = slot;
+        self.storage[slot as usize][word] = val;
     }
 }
 
@@ -348,6 +392,36 @@ mod tests {
         assert_eq!(m.load(0x1000), 5);
         assert_eq!(m.load(0x1007), 5);
         assert_eq!(m.load(0x9999_0000), 0);
+    }
+
+    #[test]
+    fn vecmem_last_page_cache_tracks_page_switches() {
+        let mut m = VecMem::new();
+        // Interleave two pages so every access flips the cached page.
+        for i in 0..64u64 {
+            m.store(0x1000 + i * 8, i);
+            m.store(0x9000 + i * 8, 1000 + i);
+        }
+        for i in 0..64u64 {
+            assert_eq!(m.load(0x1000 + i * 8), i);
+            assert_eq!(m.load(0x9000 + i * 8), 1000 + i);
+        }
+        assert_eq!(m.resident_pages(), 2);
+        // An unmapped read between hits must not poison the cache.
+        assert_eq!(m.load(0x4444_0000), 0);
+        assert_eq!(m.load(0x1000), 0);
+        m.store(0x1000, 9);
+        assert_eq!(m.load(0x1000), 9);
+    }
+
+    #[test]
+    fn vecmem_clone_is_independent() {
+        let mut a = VecMem::new();
+        a.store(0x2000, 1);
+        let mut b = a.clone();
+        b.store(0x2000, 2);
+        assert_eq!(a.load(0x2000), 1);
+        assert_eq!(b.load(0x2000), 2);
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! A vendored FxHash-style hasher for the simulator's hot lookup tables.
+//!
+//! The default `std::collections::HashMap` hasher (SipHash-1-3) is
+//! DoS-resistant but costs tens of cycles per lookup — measurable on the
+//! per-instruction paths (`VecMem` page lookups, indirect-target hints,
+//! the LT memory overlay). Simulation state is never attacker-controlled,
+//! so we trade that resistance for the multiply-xor mix used by rustc's
+//! `FxHasher`: one rotate, one xor and one multiply per word.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative mixing constant (golden-ratio derived, as in rustc's
+/// `FxHasher`).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic hasher for trusted keys.
+///
+/// # Examples
+///
+/// ```
+/// use r3dla_isa::FxHashMap;
+/// let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+/// m.insert(0x4000, 7);
+/// assert_eq!(m.get(&0x4000), Some(&7));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.mix(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.mix(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.mix(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.mix(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_keys_hash_identically() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(0xDEAD_BEEF);
+        b.write_u64(0xDEAD_BEEF);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn different_keys_usually_differ() {
+        let hashes: FxHashSet<u64> = (0..1000u64)
+            .map(|k| {
+                let mut h = FxHasher::default();
+                h.write_u64(k);
+                h.finish()
+            })
+            .collect();
+        assert_eq!(hashes.len(), 1000, "1000 small keys must not collide");
+    }
+
+    #[test]
+    fn byte_writes_cover_partial_chunks() {
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]); // one full chunk + remainder
+        let full = h.finish();
+        let mut h2 = FxHasher::default();
+        h2.write(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_ne!(full, h2.finish(), "trailing bytes must affect the hash");
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        for k in 0..64u64 {
+            m.insert(k << 12, "page");
+        }
+        assert_eq!(m.len(), 64);
+        assert!(m.contains_key(&(5u64 << 12)));
+        assert!(!m.contains_key(&1));
+    }
+}

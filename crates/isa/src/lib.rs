@@ -37,6 +37,7 @@
 
 mod asm;
 mod exec;
+mod hash;
 mod inst;
 mod program;
 
@@ -45,5 +46,6 @@ pub use exec::{
     eval_alu, eval_cond, mem_addr, run, step, ArchState, DataMem, ExecError, MemKind, StepOut,
     VecMem,
 };
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use inst::{BranchKind, FuClass, Inst, Op, Reg};
 pub use program::{Program, CODE_BASE, DATA_BASE, INST_BYTES, STACK_TOP};

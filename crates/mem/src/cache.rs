@@ -282,6 +282,23 @@ impl Cache {
         Probe::Miss
     }
 
+    /// Earliest cycle strictly after `now` at which an outstanding fill
+    /// completes, or `None` when no fill is in flight.
+    ///
+    /// Fill timing in this model is *pull-based*: `fill` installs the
+    /// line immediately with its data-ready stamp, and consumers carry
+    /// that stamp in their own wakeups (a load's `exec_done`), so
+    /// nothing needs to poll this. It exists for the event-driven
+    /// scheduler's observability: the next MSHR completion bounds when
+    /// cache occupancy can next change.
+    pub fn next_mshr_ready(&self, now: u64) -> Option<u64> {
+        self.mshrs
+            .iter()
+            .map(|m| m.ready)
+            .filter(|&r| r > now)
+            .min()
+    }
+
     /// Earliest cycle at which a new miss can be accepted, given MSHR
     /// occupancy (structural hazard on MSHRs).
     pub(crate) fn mshr_admit_cycle(&mut self, now: u64) -> u64 {

@@ -134,6 +134,21 @@ impl Dram {
         (ch, flat, row)
     }
 
+    /// Earliest cycle strictly after `now` at which a currently busy
+    /// bank or channel frees up, or `None` when the device is idle.
+    ///
+    /// Like the caches, the DRAM model is pull-based — `access` returns
+    /// the completion cycle up front — so this is an observability hook
+    /// for the event-driven scheduler, not something the cores poll.
+    pub fn next_idle_at(&self, now: u64) -> Option<u64> {
+        self.banks
+            .iter()
+            .map(|b| b.busy_until)
+            .chain(self.channel_busy_until.iter().copied())
+            .filter(|&t| t > now)
+            .min()
+    }
+
     /// Performs one 64-byte access; returns the cycle the data transfer
     /// completes. `write` selects the transfer direction (timing is
     /// symmetrical; energy is not).

@@ -118,6 +118,17 @@ impl SharedLlc {
     pub fn l3_mut(&mut self) -> &mut Cache {
         &mut self.l3
     }
+
+    /// Earliest cycle strictly after `now` at which an outstanding L3
+    /// fill completes or a DRAM bank/channel frees, or `None` when the
+    /// shared levels are fully idle. Observability for the event-driven
+    /// scheduler (see [`CoreMem::next_event_at`]).
+    pub fn next_event_at(&self, now: u64) -> Option<u64> {
+        [self.l3.next_mshr_ready(now), self.dram.next_idle_at(now)]
+            .into_iter()
+            .flatten()
+            .min()
+    }
 }
 
 /// The timing outcome of one data access.
@@ -356,6 +367,27 @@ impl CoreMem {
         self.dtlb.misses.get()
     }
 
+    /// Earliest cycle strictly after `now` at which any outstanding fill
+    /// anywhere in this core's hierarchy (L1I/L1D/L2 MSHRs, shared L3,
+    /// DRAM occupancy) completes, or `None` when everything is idle.
+    ///
+    /// The timing model is pull-based — every probe/fill returns its
+    /// data-ready cycle up front and consumers carry that stamp in their
+    /// own wakeups — so the core's event-driven fast path never needs to
+    /// poll this; it exists so tools and tests can bound when the memory
+    /// system can next change state.
+    pub fn next_event_at(&self, now: u64) -> Option<u64> {
+        [
+            self.l1i.next_mshr_ready(now),
+            self.l1d.next_mshr_ready(now),
+            self.l2.next_mshr_ready(now),
+            self.shared.borrow().next_event_at(now),
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+    }
+
     /// Handle to the shared levels.
     pub fn shared(&self) -> Rc<RefCell<SharedLlc>> {
         Rc::clone(&self.shared)
@@ -498,6 +530,23 @@ mod tests {
         let t = m.load(a, 0, 0).ready; // miss → prefetch a+64 into L2
         let out = m.load(a + 64, 0, t + 500);
         assert!(out.l2_hit, "next line should be resident in L2");
+    }
+
+    #[test]
+    fn next_event_tracks_outstanding_fills() {
+        let (mut m, _s) = system();
+        assert_eq!(m.next_event_at(0), None, "cold hierarchy is idle");
+        let out = m.load(0x2000_0000, 0x10, 0);
+        let wake = m
+            .next_event_at(0)
+            .expect("a DRAM-bound miss leaves outstanding work");
+        assert!(
+            wake <= out.ready,
+            "first memory event at {wake} cannot be after the load's data ready {}",
+            out.ready
+        );
+        // Long after the fill lands the hierarchy is idle again.
+        assert_eq!(m.next_event_at(out.ready + 10_000), None);
     }
 
     #[test]
