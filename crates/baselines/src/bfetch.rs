@@ -231,7 +231,7 @@ mod tests {
             None,
             Some("bop"),
         );
-        let (base_ipc, _, _) = plain.measure(5_000, 20_000);
+        let base_ipc = plain.measure(5_000, 20_000).mt_ipc;
         let mut bf = BFetchSim::build(&wl);
         let (bf_ipc, _, _) = bf.measure(5_000, 20_000);
         assert!(

@@ -1,7 +1,9 @@
 //! Microbenchmarks pinning the simulator's hot paths: `VecMem`
-//! functional memory, `Core::step` on a single core, and a full
-//! `DlaSystem` kernel — with and without event-driven cycle skipping, so
-//! the fast path's speedup is a number, not a vibe.
+//! functional memory, `Core::step` on a single core, a full `DlaSystem`
+//! kernel — with and without event-driven cycle skipping, so the fast
+//! path's speedup is a number, not a vibe — and the sampled-simulation
+//! functional emulator, so fast-forward throughput regressions are
+//! pinned the same way.
 //!
 //! Run with `cargo bench -p r3dla-bench --bench hotpath`; passing
 //! `-- --test` (as the CI bench-smoke job does for compile checks) exits
@@ -9,6 +11,7 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use r3dla_bench::Prepared;
@@ -16,6 +19,7 @@ use r3dla_core::{DlaConfig, SingleCoreSim};
 use r3dla_cpu::CoreConfig;
 use r3dla_isa::{DataMem, VecMem};
 use r3dla_mem::MemConfig;
+use r3dla_sample::{Emulator, ImageMem};
 use r3dla_workloads::{by_name, Scale};
 
 fn bench_vecmem(c: &mut Criterion) {
@@ -103,5 +107,48 @@ fn bench_dla_system(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_vecmem, bench_core_step, bench_dla_system);
+fn bench_emulator(c: &mut Criterion) {
+    // Mixed load/store/branch stream (libq) and a branchy integer kernel
+    // (gobmk): the two shapes that bound functional fast-forward speed.
+    let mut g = c.benchmark_group("emulator");
+    g.sample_size(20);
+    for name in ["libq_like", "gobmk_like"] {
+        let prog = Arc::new(by_name(name).unwrap().build(Scale::Tiny).program);
+        let image = Arc::new(ImageMem::of(prog.image()));
+        // Loop the whole program if it is shorter than the budget: the
+        // metric is emulated instructions per host second either way.
+        g.bench_function(format!("fast_forward_200k_{name}"), |b| {
+            b.iter(|| {
+                let mut executed = 0u64;
+                while executed < 200_000 {
+                    let mut e = Emulator::with_image(Arc::clone(&prog), Arc::clone(&image));
+                    executed += e.run(200_000 - executed);
+                }
+                black_box(executed)
+            })
+        });
+    }
+    // Checkpoint capture + restore round trip mid-workload: the per-
+    // interval planning cost.
+    let prog = Arc::new(by_name("libq_like").unwrap().build(Scale::Tiny).program);
+    let image = Arc::new(ImageMem::of(prog.image()));
+    let mut em = Emulator::with_image(Arc::clone(&prog), Arc::clone(&image));
+    em.run(100_000);
+    g.bench_function("checkpoint_capture_restore", |b| {
+        b.iter(|| {
+            let ckpt = em.checkpoint();
+            let resumed = Emulator::from_checkpoint(Arc::clone(&prog), Arc::clone(&image), &ckpt);
+            black_box(resumed.icount())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_vecmem,
+    bench_core_step,
+    bench_dla_system,
+    bench_emulator
+);
 criterion_main!(benches);

@@ -20,7 +20,7 @@ fn bench(c: &mut Criterion) {
                 Some("stride"),
                 Some("bop"),
             );
-            sim.measure(2_000, 8_000).0
+            sim.measure(2_000, 8_000).mt_ipc
         })
     });
     g.bench_function("dla_t1", |b| {

@@ -5,6 +5,8 @@
 //! runner [--scale tiny|train|ref] [--threads N] [--warm N] [--window N]
 //!        [--workloads a,b,c] [--configs bl,dla,r3,...] [--out FILE]
 //!        [--timing] [--timing-out FILE] [--no-skip]
+//!        [--filter W[/C]] [--list]
+//!        [--sample k:U:W] [--check-against FILE] [--check-tolerance T]
 //! ```
 //!
 //! The default JSON is byte-identical across `--threads` settings and
@@ -13,12 +15,39 @@
 //! adds wall-clock and simulated-MIPS fields, and `--timing-out FILE`
 //! writes that timed variant alongside the deterministic one from the
 //! same run. Exits non-zero when any cell commits zero instructions.
+//!
+//! `--filter W[/C]` narrows the grid to workloads containing `W` and
+//! configs containing `C` (rerun one cell without the whole suite);
+//! `--list` prints the available names and exits.
+//!
+//! `--sample k:U:W` switches to checkpoint-based interval sampling: each
+//! workload is split into `k` intervals of `U` detailed instructions
+//! warmed per `W` (`none`, `functional[:N]`, `detailed[:N]`), and rows
+//! carry `ipc_mean`/`ipc_ci95` (and `speedup_*` when `bl` is in the
+//! grid). `--check-against FILE` then validates every sampled mean
+//! against a full-run `r3dla-bench-grid-v1` reference: the full-run IPC
+//! must fall inside each cell's reported 95% CI widened by the
+//! `--check-tolerance` relative bias budget (default 0.25 — the CI only
+//! covers sampling variance; see `check_against_reference`).
 
 use r3dla_bench::runner::{run_grid, scale_by_name, ConfigSpec, GridSpec};
-use r3dla_bench::{arg_flag, arg_str, arg_threads, arg_u64, WARMUP, WINDOW};
-use r3dla_workloads::{by_name, suite, Scale};
+use r3dla_bench::sampled::{check_against_reference, run_grid_sampled};
+use r3dla_bench::{arg_f64, arg_flag, arg_str, arg_threads, arg_u64, WARMUP, WINDOW};
+use r3dla_sample::SampleSpec;
+use r3dla_workloads::{by_name, suite, Scale, Workload};
 
 fn main() {
+    if arg_flag("--list") {
+        println!("workloads:");
+        for w in suite() {
+            println!("  {} ({})", w.name, w.suite);
+        }
+        println!("configs:");
+        for c in ConfigSpec::known_names() {
+            println!("  {c}");
+        }
+        return;
+    }
     let scale = match arg_str("--scale") {
         Some(s) => scale_by_name(&s).unwrap_or_else(|| {
             eprintln!("unknown scale '{s}' (expected tiny|train|ref)");
@@ -29,7 +58,7 @@ fn main() {
     let threads = arg_threads();
     let warm = arg_u64("--warm", WARMUP);
     let win = arg_u64("--window", WINDOW);
-    let workloads = match arg_str("--workloads") {
+    let mut workloads: Vec<Workload> = match arg_str("--workloads") {
         Some(list) => list
             .split(',')
             .map(|n| {
@@ -41,7 +70,7 @@ fn main() {
             .collect(),
         None => suite(),
     };
-    let configs: Vec<ConfigSpec> = match arg_str("--configs") {
+    let mut configs: Vec<ConfigSpec> = match arg_str("--configs") {
         Some(list) => list
             .split(',')
             .map(|n| {
@@ -59,6 +88,26 @@ fn main() {
             .map(|n| ConfigSpec::by_name(n).unwrap())
             .collect(),
     };
+    if let Some(filter) = arg_str("--filter") {
+        let (wf, cf) = match filter.split_once('/') {
+            Some((w, c)) => (w.to_string(), c.to_string()),
+            None => (filter.clone(), String::new()),
+        };
+        workloads.retain(|w| w.name.contains(&wf));
+        configs.retain(|c| c.label.contains(&cf));
+        if workloads.is_empty() || configs.is_empty() {
+            eprintln!("--filter '{filter}' matched no cells (try --list)");
+            std::process::exit(2);
+        }
+    }
+    let sample = arg_str("--sample").map(|s| {
+        SampleSpec::parse(&s).unwrap_or_else(|| {
+            eprintln!(
+                "invalid --sample '{s}' (expected k:U:none|functional[:N]|detailed[:N], k >= 2)"
+            );
+            std::process::exit(2);
+        })
+    });
 
     let spec = GridSpec {
         scale,
@@ -69,28 +118,86 @@ fn main() {
         fast_forward: !arg_flag("--no-skip"),
     };
     eprintln!(
-        "runner: {} workloads x {} configs on {} threads{}",
+        "runner: {} workloads x {} configs on {} threads{}{}",
         spec.workloads.len(),
         spec.configs.len(),
         threads,
+        match &sample {
+            Some(s) => format!(" (sampled {})", s.label()),
+            None => String::new(),
+        },
         if spec.fast_forward {
             ""
         } else {
             " (cycle skipping off)"
         }
     );
-    let result = run_grid(&spec, threads);
-    let json = result.to_json(arg_flag("--timing"));
-    match arg_str("--out") {
+
+    let write_out = |json: &str| match arg_str("--out") {
         Some(path) => {
-            std::fs::write(&path, &json).unwrap_or_else(|e| {
+            std::fs::write(&path, json).unwrap_or_else(|e| {
                 eprintln!("cannot write {path}: {e}");
                 std::process::exit(2);
             });
             eprintln!("runner: wrote {path}");
         }
         None => print!("{json}"),
+    };
+
+    if let Some(sample) = sample {
+        let result = run_grid_sampled(&spec, &sample, threads);
+        write_out(&result.to_json(arg_flag("--timing")));
+        if let Some(path) = arg_str("--timing-out") {
+            std::fs::write(&path, result.to_json(true)).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("runner: wrote {path} (timing variant)");
+        }
+        eprintln!(
+            "runner: prepared in {} ms, planned {} checkpoints in {} ms, \
+             measured {} interval cells ({} rows) in {} ms",
+            result.prep_ms,
+            result.planned_checkpoints,
+            result.plan_ms,
+            result.measured_intervals,
+            result.cells.len(),
+            result.measure_ms,
+        );
+        let mut failed = false;
+        if let Some(path) = arg_str("--check-against") {
+            let reference = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            });
+            let tolerance = arg_f64("--check-tolerance", 0.25);
+            let failures = check_against_reference(&result, &reference, tolerance);
+            for f in &failures {
+                eprintln!("runner: CHECK FAIL {f}");
+            }
+            if failures.is_empty() {
+                eprintln!(
+                    "runner: all {} sampled means contain their full-run reference IPC",
+                    result.cells.len()
+                );
+            }
+            failed |= !failures.is_empty();
+        }
+        for c in result.empty_cells() {
+            eprintln!(
+                "runner: FAIL cell ({}, {}) committed zero instructions",
+                c.workload, c.config
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        return;
     }
+
+    let result = run_grid(&spec, threads);
+    write_out(&result.to_json(arg_flag("--timing")));
     if let Some(path) = arg_str("--timing-out") {
         std::fs::write(&path, result.to_json(true)).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");

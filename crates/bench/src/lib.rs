@@ -4,6 +4,7 @@
 //! the per-figure binaries.
 
 pub mod runner;
+pub mod sampled;
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -21,6 +22,10 @@ use r3dla_workloads::{suite, BuiltWorkload, Scale, Suite, Workload};
 pub use runner::{
     parallel_map, run_grid, CellKind, CellResult, ConfigSpec, ExperimentResult, ExperimentSpec,
     GridResult, GridSpec,
+};
+pub use sampled::{
+    check_against_reference, run_grid_sampled, run_sampled_cell, SampledCellResult,
+    SampledGridResult,
 };
 
 /// Default warmup instructions for measurement windows.
@@ -103,6 +108,27 @@ impl Prepared {
         )
     }
 
+    /// Assembles a DLA system resumed from an architectural checkpoint
+    /// (sampled-simulation cells).
+    pub fn dla_system_from_checkpoint(
+        &self,
+        cfg: DlaConfig,
+        ckpt: &r3dla_isa::ArchCheckpoint,
+    ) -> DlaSystem {
+        let set = if cfg.t1 {
+            &self.skeletons_t1
+        } else {
+            &self.skeletons_plain
+        };
+        DlaSystem::restore_from_checkpoint(
+            Rc::new((*self.program).clone()),
+            cfg,
+            set.clone(),
+            self.profile.clone(),
+            ckpt,
+        )
+    }
+
     /// Measures a DLA configuration; returns the window report.
     pub fn measure_dla(&self, cfg: DlaConfig, warm: u64, win: u64) -> WindowReport {
         self.measure_dla_ff(cfg, warm, win, true)
@@ -163,29 +189,7 @@ impl Prepared {
     ) -> WindowReport {
         let mut sim = SingleCoreSim::build(&self.built, core, MemConfig::paper(), l1pf, l2pf);
         sim.set_fast_forward(fast_forward);
-        sim.run_until(warm, warm * 60 + 500_000);
-        let c0 = sim.core().committed(0);
-        let y0 = sim.core().cycle();
-        let d0 = sim.dram_traffic();
-        let l1d0 = sim.core().mem().l1d_stats().clone();
-        sim.run_until(win, win * 60 + 500_000);
-        let cycles = sim.core().cycle() - y0;
-        let committed = sim.core().committed(0) - c0;
-        let l1d = sim.core().mem().l1d_stats().clone();
-        WindowReport {
-            cycles,
-            mt_committed: committed,
-            lt_committed: 0,
-            mt_ipc: if cycles == 0 {
-                0.0
-            } else {
-                committed as f64 / cycles as f64
-            },
-            dram_traffic: sim.dram_traffic() - d0,
-            mt_l1d_misses: l1d.misses.get() - l1d0.misses.get(),
-            mt_l1d_accesses: l1d.accesses.get() - l1d0.accesses.get(),
-            reboots: 0,
-        }
+        sim.measure(warm, win)
     }
 }
 
@@ -303,6 +307,18 @@ pub fn arg_u64(name: &str, default: u64) -> u64 {
     match arg_str(name) {
         Some(s) => s.parse().unwrap_or_else(|_| {
             eprintln!("invalid value '{s}' for {name} (expected an integer)");
+            std::process::exit(2);
+        }),
+        None => default,
+    }
+}
+
+/// Parses a `--tolerance 0.25` style float override from argv; aborts on
+/// an unparsable value like [`arg_u64`].
+pub fn arg_f64(name: &str, default: f64) -> f64 {
+    match arg_str(name) {
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value '{s}' for {name} (expected a number)");
             std::process::exit(2);
         }),
         None => default,

@@ -1,0 +1,491 @@
+//! Sampled-grid execution: the `r3dla-sample` systematic sampler fanned
+//! over the experiment runner's worker pool.
+//!
+//! A sampled grid splits every workload into k checkpointed intervals
+//! (one functional fast-forward pass per workload) and measures each
+//! independent (checkpoint × configuration) cell as its own detailed
+//! simulation through [`parallel_map`]. Per-interval IPC aggregates into
+//! mean ± 95% CI rows; like the plain grid, the deterministic JSON is a
+//! pure function of the spec and byte-identical at any `--threads`.
+
+use r3dla_core::{SingleCoreSim, WindowReport};
+use r3dla_mem::MemConfig;
+use r3dla_sample::{
+    ipc_estimate, plan_intervals, warm_and_measure, IntervalCheckpoint, SampleSpec,
+};
+use r3dla_stats::{mean_ci95, MeanCi};
+use r3dla_workloads::Suite;
+
+use crate::runner::{parallel_map, CellKind, ConfigSpec, GridSpec};
+use crate::Prepared;
+
+/// Measures one sampled cell: restore the interval checkpoint into the
+/// configured system, warm it per the spec, run the detailed window.
+pub fn run_sampled_cell(
+    p: &Prepared,
+    spec: &ConfigSpec,
+    sample: &SampleSpec,
+    iv: &IntervalCheckpoint,
+    fast_forward: bool,
+) -> WindowReport {
+    match &spec.kind {
+        CellKind::Dla(cfg) => {
+            let mut sys = p.dla_system_from_checkpoint(cfg.clone(), &iv.ckpt);
+            sys.set_fast_forward(fast_forward);
+            warm_and_measure(&mut sys, sample, iv)
+        }
+        CellKind::Single { core, l1pf, l2pf } => {
+            let mut sim = SingleCoreSim::restore_from_checkpoint(
+                p.built(),
+                core.clone(),
+                MemConfig::paper(),
+                *l1pf,
+                *l2pf,
+                &iv.ckpt,
+            );
+            sim.set_fast_forward(fast_forward);
+            warm_and_measure(&mut sim, sample, iv)
+        }
+    }
+}
+
+/// One finished sampled cell: a workload × configuration with its
+/// per-interval reports and aggregates.
+#[derive(Debug, Clone)]
+pub struct SampledCellResult {
+    /// Workload name.
+    pub workload: String,
+    /// Workload suite.
+    pub suite: Suite,
+    /// Configuration label.
+    pub config: String,
+    /// Per-interval window reports, in interval order.
+    pub reports: Vec<WindowReport>,
+    /// Mean ± 95% CI of per-interval MT IPC.
+    pub ipc: MeanCi,
+    /// Mean ± 95% CI of per-interval speedup over the grid's `bl`
+    /// column (paired by interval); absent for the `bl` column itself or
+    /// when the grid has no `bl`.
+    pub speedup: Option<MeanCi>,
+    /// Host wall-clock summed over the cell's intervals (excluded from
+    /// deterministic JSON).
+    pub wall_ms: u64,
+}
+
+impl SampledCellResult {
+    /// Total MT instructions committed across the intervals.
+    pub fn mt_committed(&self) -> u64 {
+        self.reports.iter().map(|r| r.mt_committed).sum()
+    }
+
+    /// The deterministic JSON fields of this cell's row.
+    pub fn stat_fields(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!(
+            "\"workload\": \"{}\", \"suite\": \"{}\", \"config\": \"{}\", \
+             \"intervals\": {}, \"ipc_mean\": {:.6}, \"ipc_ci95\": {:.6}",
+            self.workload,
+            self.suite,
+            self.config,
+            self.reports.len(),
+            self.ipc.mean,
+            self.ipc.half,
+        );
+        if let Some(sp) = &self.speedup {
+            let _ = write!(
+                s,
+                ", \"speedup_mean\": {:.6}, \"speedup_ci95\": {:.6}",
+                sp.mean, sp.half
+            );
+        }
+        let sums = |f: fn(&WindowReport) -> u64| -> u64 { self.reports.iter().map(f).sum() };
+        let _ = write!(
+            s,
+            ", \"mt_committed\": {}, \"cycles\": {}, \"dram_traffic\": {}, \"reboots\": {}",
+            sums(|r| r.mt_committed),
+            sums(|r| r.cycles),
+            sums(|r| r.dram_traffic),
+            sums(|r| r.reboots),
+        );
+        let ipcs: Vec<String> = self
+            .reports
+            .iter()
+            .map(|r| format!("{:.6}", r.mt_ipc))
+            .collect();
+        let _ = write!(s, ", \"ipc\": [{}]", ipcs.join(", "));
+        s
+    }
+}
+
+/// All results of a sampled grid run.
+#[derive(Debug, Clone)]
+pub struct SampledGridResult {
+    /// Scale the grid ran at.
+    pub scale: r3dla_workloads::Scale,
+    /// The sampling request.
+    pub spec: SampleSpec,
+    /// Cells in deterministic grid order (workload-major).
+    pub cells: Vec<SampledCellResult>,
+    /// Checkpoints the planner captured (across all workloads — each is
+    /// shared by every config column).
+    pub planned_checkpoints: usize,
+    /// Interval cells measured (checkpoints × configs).
+    pub measured_intervals: usize,
+    /// Wall-clock of workload preparation.
+    pub prep_ms: u64,
+    /// Wall-clock of fast-forward interval planning.
+    pub plan_ms: u64,
+    /// Wall-clock of the detailed measurement phase.
+    pub measure_ms: u64,
+}
+
+impl SampledGridResult {
+    /// Serializes as JSON (`r3dla-bench-sample-v1` schema). Deterministic
+    /// unless `timing` adds wall-clock fields.
+    pub fn to_json(&self, timing: bool) -> String {
+        let mut out = String::with_capacity(256 + self.cells.len() * 300);
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"r3dla-bench-sample-v1\",\n");
+        out.push_str(&format!(
+            "  \"scale\": \"{}\",\n",
+            match self.scale {
+                r3dla_workloads::Scale::Tiny => "tiny",
+                r3dla_workloads::Scale::Train => "train",
+                r3dla_workloads::Scale::Ref => "ref",
+            }
+        ));
+        out.push_str(&format!("  \"k\": {},\n", self.spec.k));
+        out.push_str(&format!("  \"detailed\": {},\n", self.spec.detailed));
+        out.push_str(&format!("  \"warmup\": \"{}\",\n", self.spec.warmup));
+        if timing {
+            out.push_str(&format!("  \"prep_ms\": {},\n", self.prep_ms));
+            out.push_str(&format!("  \"plan_ms\": {},\n", self.plan_ms));
+            out.push_str(&format!("  \"measure_ms\": {},\n", self.measure_ms));
+            out.push_str(&format!("  \"host_ms\": {},\n", self.host_ms()));
+        }
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            out.push_str(&format!("    {{{}", c.stat_fields()));
+            if timing {
+                out.push_str(&format!(", \"wall_ms\": {}", c.wall_ms));
+            }
+            out.push('}');
+            if i + 1 < self.cells.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Total host wall-clock across all phases.
+    pub fn host_ms(&self) -> u64 {
+        self.prep_ms + self.plan_ms + self.measure_ms
+    }
+
+    /// Cells with no intervals at all, or with *any* interval that
+    /// committed zero MT instructions — a sick simulation the CI gate
+    /// fails on (one wedged interval would otherwise silently drag the
+    /// cell's `ipc_mean` toward zero while the run exits clean).
+    pub fn empty_cells(&self) -> Vec<&SampledCellResult> {
+        self.cells
+            .iter()
+            .filter(|c| c.reports.is_empty() || c.reports.iter().any(|r| r.mt_committed == 0))
+            .collect()
+    }
+}
+
+/// Prepares the grid's workloads, plans k checkpoints per workload with
+/// the functional emulator, measures every (checkpoint × configuration)
+/// cell on the worker pool, and aggregates per-cell confidence
+/// intervals. `spec.warm`/`spec.win` are ignored — `sample` sizes the
+/// windows.
+pub fn run_grid_sampled(spec: &GridSpec, sample: &SampleSpec, threads: usize) -> SampledGridResult {
+    let t0 = std::time::Instant::now();
+    let prepared = parallel_map(&spec.workloads, threads, |w| Prepared::new(w, spec.scale));
+    let prep_ms = t0.elapsed().as_millis() as u64;
+
+    let t1 = std::time::Instant::now();
+    let plans: Vec<Vec<IntervalCheckpoint>> =
+        parallel_map(&prepared, threads, |p| plan_intervals(&p.program, sample));
+    let plan_ms = t1.elapsed().as_millis() as u64;
+
+    // Every (workload, config, interval) is an independent cell.
+    let mut cells: Vec<(usize, usize, usize)> = Vec::new();
+    for (wi, plan) in plans.iter().enumerate() {
+        for ci in 0..spec.configs.len() {
+            for ii in 0..plan.len() {
+                cells.push((wi, ci, ii));
+            }
+        }
+    }
+    let t2 = std::time::Instant::now();
+    let measured: Vec<(WindowReport, u64)> = parallel_map(&cells, threads, |&(wi, ci, ii)| {
+        let c0 = std::time::Instant::now();
+        let rep = run_sampled_cell(
+            &prepared[wi],
+            &spec.configs[ci],
+            sample,
+            &plans[wi][ii],
+            spec.fast_forward,
+        );
+        (rep, c0.elapsed().as_millis() as u64)
+    });
+    let measure_ms = t2.elapsed().as_millis() as u64;
+
+    // Regroup interval results into per-(workload, config) cells.
+    let mut grouped: Vec<SampledCellResult> =
+        Vec::with_capacity(prepared.len() * spec.configs.len());
+    let mut cursor = 0;
+    for (wi, p) in prepared.iter().enumerate() {
+        for cfg in &spec.configs {
+            let n = plans[wi].len();
+            let slice = &measured[cursor..cursor + n];
+            cursor += n;
+            let reports: Vec<WindowReport> = slice.iter().map(|(r, _)| r.clone()).collect();
+            grouped.push(SampledCellResult {
+                workload: p.name.clone(),
+                suite: p.suite,
+                config: cfg.label.clone(),
+                ipc: ipc_estimate(&reports),
+                speedup: None,
+                wall_ms: slice.iter().map(|(_, ms)| ms).sum(),
+                reports,
+            });
+        }
+    }
+    attach_speedups(&mut grouped, &spec.configs);
+    SampledGridResult {
+        scale: spec.scale,
+        spec: *sample,
+        cells: grouped,
+        planned_checkpoints: plans.iter().map(Vec::len).sum(),
+        measured_intervals: cells.len(),
+        prep_ms,
+        plan_ms,
+        measure_ms,
+    }
+}
+
+/// Computes per-interval speedups over the grid's `bl` column (paired by
+/// interval index) for every non-`bl` cell.
+fn attach_speedups(cells: &mut [SampledCellResult], configs: &[ConfigSpec]) {
+    if !configs.iter().any(|c| c.label == "bl") {
+        return;
+    }
+    let per_workload = configs.len();
+    for chunk in cells.chunks_mut(per_workload) {
+        let Some(bl_idx) = chunk.iter().position(|c| c.config == "bl") else {
+            continue;
+        };
+        let bl_ipcs: Vec<f64> = chunk[bl_idx].reports.iter().map(|r| r.mt_ipc).collect();
+        for cell in chunk.iter_mut() {
+            if cell.config == "bl" || cell.reports.len() != bl_ipcs.len() {
+                continue;
+            }
+            let ratios: Vec<f64> = cell
+                .reports
+                .iter()
+                .zip(&bl_ipcs)
+                .map(|(r, &b)| r.mt_ipc / b.max(1e-9))
+                .collect();
+            cell.speedup = Some(mean_ci95(&ratios));
+        }
+    }
+}
+
+/// Extracts a `"key": "value"` string field from one JSON row line.
+fn json_str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(&line[start..start + end])
+}
+
+/// Extracts a `"key": number` field from one JSON row line.
+fn json_num_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Validates a sampled run against a full-run reference grid JSON
+/// (`r3dla-bench-grid-v1`): every sampled cell's IPC mean must contain
+/// the reference cell's full-run IPC within its reported 95% CI, widened
+/// by a relative `tolerance` budget for non-sampling bias (|mean − full|
+/// ≤ ci95 + tolerance·full). The CI only covers sampling variance across
+/// intervals; cold-start residue after warmup, window-boundary effects
+/// and microarchitectural hysteresis (a continuous run's cache/predictor
+/// state depends on its whole past, which no bounded warmup reproduces)
+/// are systematic and need an explicit allowance — SMARTS budgets ~2–3%
+/// for real workloads; the tiny synthetic kernels here are far more
+/// phase-heavy relative to k·U, so CI passes a looser gate.
+///
+/// Returns human-readable failure lines (empty = pass). Cells missing
+/// from the reference are themselves failures, as is an empty
+/// intersection — the check must never pass vacuously.
+pub fn check_against_reference(
+    sampled: &SampledGridResult,
+    reference_json: &str,
+    tolerance: f64,
+) -> Vec<String> {
+    let mut reference = std::collections::HashMap::new();
+    for line in reference_json.lines() {
+        if let (Some(w), Some(c), Some(ipc)) = (
+            json_str_field(line, "workload"),
+            json_str_field(line, "config"),
+            json_num_field(line, "mt_ipc"),
+        ) {
+            reference.insert((w.to_string(), c.to_string()), ipc);
+        }
+    }
+    let mut failures = Vec::new();
+    let mut checked = 0;
+    for cell in &sampled.cells {
+        let key = (cell.workload.clone(), cell.config.clone());
+        match reference.get(&key) {
+            Some(&full) => {
+                checked += 1;
+                let limit = cell.ipc.half + tolerance * full.abs();
+                if (full - cell.ipc.mean).abs() > limit {
+                    failures.push(format!(
+                        "({}, {}): full-run IPC {:.4} outside sampled {} + {:.0}% bias budget",
+                        cell.workload,
+                        cell.config,
+                        full,
+                        cell.ipc,
+                        tolerance * 100.0
+                    ));
+                }
+            }
+            None => failures.push(format!(
+                "({}, {}): no reference cell in the full-run JSON",
+                cell.workload, cell.config
+            )),
+        }
+    }
+    if checked == 0 {
+        failures.push("no sampled cell matched the reference grid".to_string());
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r3dla_workloads::{by_name, Scale};
+
+    fn sampled_tiny_grid() -> (GridSpec, SampleSpec) {
+        let grid = GridSpec {
+            scale: Scale::Tiny,
+            workloads: ["libq_like", "md5_like"]
+                .iter()
+                .map(|n| by_name(n).unwrap())
+                .collect(),
+            configs: ["bl", "dla"]
+                .iter()
+                .map(|n| ConfigSpec::by_name(n).unwrap())
+                .collect(),
+            warm: 0,
+            win: 0,
+            fast_forward: true,
+        };
+        (grid, SampleSpec::parse("3:2000:functional:4000").unwrap())
+    }
+
+    #[test]
+    fn sampled_grid_is_thread_count_invariant() {
+        let (grid, sample) = sampled_tiny_grid();
+        let serial = run_grid_sampled(&grid, &sample, 1);
+        let parallel = run_grid_sampled(&grid, &sample, 4);
+        assert_eq!(serial.cells.len(), 4);
+        assert_eq!(serial.to_json(false), parallel.to_json(false));
+        assert!(serial.empty_cells().is_empty());
+        for c in &serial.cells {
+            assert_eq!(c.reports.len(), 3, "every interval must report");
+            assert!(c.ipc.mean > 0.0, "cell {} has zero IPC", c.workload);
+        }
+    }
+
+    #[test]
+    fn sampled_json_carries_ci_and_speedup_fields() {
+        let (grid, sample) = sampled_tiny_grid();
+        let res = run_grid_sampled(&grid, &sample, 2);
+        let json = res.to_json(false);
+        assert!(json.contains("\"schema\": \"r3dla-bench-sample-v1\""));
+        assert!(json.contains("\"k\": 3"));
+        assert!(json.contains("\"warmup\": \"functional:4000\""));
+        assert!(json.contains("\"ipc_mean\""));
+        assert!(json.contains("\"ipc_ci95\""));
+        assert!(json.contains("\"speedup_mean\""), "dla rows pair with bl");
+        assert!(!json.contains("wall_ms"), "default JSON is deterministic");
+        let timed = res.to_json(true);
+        assert!(timed.contains("\"plan_ms\"") && timed.contains("wall_ms"));
+        // bl rows never carry a speedup against themselves.
+        for line in json.lines().filter(|l| l.contains("\"config\": \"bl\"")) {
+            assert!(!line.contains("speedup_mean"), "{line}");
+        }
+    }
+
+    #[test]
+    fn reference_check_parses_grid_rows() {
+        let reference = concat!(
+            "{\n  \"cells\": [\n",
+            "    {\"workload\": \"a\", \"suite\": \"spec\", \"config\": \"bl\", ",
+            "\"mt_ipc\": 1.500000, \"cycles\": 10}\n",
+            "  ]\n}\n"
+        );
+        let cell = |mean: f64, half: f64| SampledCellResult {
+            workload: "a".into(),
+            suite: Suite::SpecInt,
+            config: "bl".into(),
+            reports: Vec::new(),
+            ipc: MeanCi { mean, half, n: 4 },
+            speedup: None,
+            wall_ms: 0,
+        };
+        let mut res = SampledGridResult {
+            scale: Scale::Tiny,
+            spec: SampleSpec::parse("4:100:none").unwrap(),
+            cells: vec![cell(1.45, 0.1)],
+            planned_checkpoints: 4,
+            measured_intervals: 4,
+            prep_ms: 0,
+            plan_ms: 0,
+            measure_ms: 0,
+        };
+        assert!(check_against_reference(&res, reference, 0.0).is_empty());
+        res.cells = vec![cell(1.2, 0.1)];
+        let fails = check_against_reference(&res, reference, 0.0);
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        // The bias budget widens the gate: 1.5 vs 1.2 ± 0.1 is inside
+        // CI + 20% · 1.5.
+        assert!(check_against_reference(&res, reference, 0.2).is_empty());
+        // A cell absent from the reference fails rather than passing
+        // silently.
+        res.cells[0].workload = "zzz".into();
+        assert!(!check_against_reference(&res, reference, 0.0).is_empty());
+        // So does an empty reference.
+        res.cells[0].workload = "a".into();
+        assert!(!check_against_reference(&res, "{}", 0.0).is_empty());
+    }
+
+    #[test]
+    fn sampled_grid_skip_on_off_equivalent() {
+        let (mut grid, sample) = sampled_tiny_grid();
+        grid.workloads.truncate(1);
+        let fast = run_grid_sampled(&grid, &sample, 2);
+        grid.fast_forward = false;
+        let slow = run_grid_sampled(&grid, &sample, 2);
+        assert_eq!(
+            fast.to_json(false),
+            slow.to_json(false),
+            "cycle skipping must not change sampled statistics"
+        );
+    }
+}

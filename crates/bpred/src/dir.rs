@@ -27,6 +27,21 @@ pub trait DirectionPredictor {
     /// Restores speculative history after a squash, then re-inserts the
     /// resolved outcome of the mispredicted branch.
     fn restore_history(&mut self, _history: u64, _resolved_taken: Option<bool>) {}
+
+    /// Trains on one architectural outcome without a pipeline around it —
+    /// functional warmup for sampled simulation. Follows the core's real
+    /// discipline: predict (advancing speculative history), repair history
+    /// on a wrong guess, then update with the true outcome, so a warmed
+    /// predictor is indistinguishable from one that ran the same stream
+    /// in a mispredict-free pipeline.
+    fn warm(&mut self, pc: u64, taken: bool) {
+        let pred = self.predict(pc);
+        if pred != taken {
+            let h = self.history();
+            self.restore_history(h >> 1, Some(taken));
+        }
+        self.update(pc, taken, pred != taken);
+    }
 }
 
 #[inline]
@@ -382,6 +397,35 @@ mod tests {
         });
         let acc = train(&mut p, seq);
         assert!(acc > 0.9, "acc={acc}");
+    }
+
+    #[test]
+    fn warm_matches_pipeline_discipline() {
+        // `warm` must leave the predictor in exactly the state the
+        // `train` harness (which models the core's predict/repair/update
+        // discipline) produces for the same outcome stream.
+        let seq: Vec<(u64, bool)> = (0..2000u64)
+            .map(|i| (0x40 + (i % 7) * 4, i % 3 != 0))
+            .collect();
+        let mut warmed = Tage::paper();
+        for &(pc, t) in &seq {
+            warmed.warm(pc, t);
+        }
+        let mut trained = Tage::paper();
+        train(&mut trained, seq.iter().copied());
+        assert_eq!(warmed.history(), trained.history());
+        for &(pc, _) in seq.iter().take(7) {
+            assert_eq!(warmed.predict(pc), trained.predict(pc));
+        }
+    }
+
+    #[test]
+    fn warm_learns_bias() {
+        let mut p = Tage::paper();
+        for _ in 0..64 {
+            p.warm(0x4000, true);
+        }
+        assert!(p.predict(0x4000));
     }
 
     #[test]

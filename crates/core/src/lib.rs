@@ -51,6 +51,9 @@ pub use queues::{Boq, BoqDirection, BoqEntry, Footnote, FootnoteQueue};
 pub use recycle::{ActiveSkeleton, RecycleController, RecycleMode};
 pub use skeleton::{generate_skeletons, Skeleton, SkeletonOptions, SkeletonSet};
 pub use static_tune::{build_static_tuned, static_recycle_mode, static_tune};
-pub use system::{BuildError, DlaConfig, DlaSystem, SingleCoreSim, SysSnapshot, WindowReport};
+pub use system::{
+    measure_window, BuildError, DlaConfig, DlaSystem, MeasureTarget, SingleCoreSim, SysSnapshot,
+    WindowReport,
+};
 pub use t1::T1;
 pub use value_reuse::{Sif, VrSource};

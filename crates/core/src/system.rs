@@ -10,7 +10,7 @@ use r3dla_bpred::Tage;
 use r3dla_cpu::{
     ActivityCounters, BaseMem, CommitRecord, CommitSink, Core, CoreConfig, PredictorDirection,
 };
-use r3dla_isa::{ArchState, FxHashMap, Program, VecMem};
+use r3dla_isa::{ArchCheckpoint, ArchState, FxHashMap, Program, VecMem};
 use r3dla_mem::{CacheStats, CoreMem, DramStats, MemConfig, SharedLlc};
 use r3dla_workloads::BuiltWorkload;
 
@@ -390,6 +390,30 @@ impl DlaSystem {
         Ok(Self::assemble(program, cfg, skeletons, prof))
     }
 
+    /// Like [`build`](Self::build), but resumes from an architectural
+    /// checkpoint instead of the program entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::EmptyProgram`] for empty programs.
+    pub fn build_from_checkpoint(
+        built: &BuiltWorkload,
+        cfg: DlaConfig,
+        opt: SkeletonOptions,
+        ckpt: &ArchCheckpoint,
+    ) -> Result<Self, BuildError> {
+        if built.program.is_empty() {
+            return Err(BuildError::EmptyProgram);
+        }
+        let program = Rc::new(built.program.clone());
+        let df = Dataflow::analyze(&program);
+        let prof = profile(&program, cfg.profile_insts);
+        let skeletons = generate_skeletons(&program, &df, &prof, &opt, cfg.t1);
+        Ok(Self::restore_from_checkpoint(
+            program, cfg, skeletons, prof, ckpt,
+        ))
+    }
+
     /// Builds the system with pre-generated skeletons (used by the static
     /// recycle tuner and ablation benches).
     pub fn assemble(
@@ -398,9 +422,38 @@ impl DlaSystem {
         skeletons: SkeletonSet,
         prof: ProfileData,
     ) -> Self {
+        Self::assemble_at(program, cfg, skeletons, prof, None)
+    }
+
+    /// Assembles the system resumed from an architectural checkpoint:
+    /// memory is the pristine image plus the checkpoint's dirty-page
+    /// delta, and both cores' threads start at the checkpoint PC with
+    /// the checkpoint register file. Microarchitectural state (caches,
+    /// predictors, queues) starts cold — sampled simulation warms it
+    /// explicitly per interval.
+    pub fn restore_from_checkpoint(
+        program: Rc<Program>,
+        cfg: DlaConfig,
+        skeletons: SkeletonSet,
+        prof: ProfileData,
+        ckpt: &ArchCheckpoint,
+    ) -> Self {
+        Self::assemble_at(program, cfg, skeletons, prof, Some(ckpt))
+    }
+
+    fn assemble_at(
+        program: Rc<Program>,
+        cfg: DlaConfig,
+        skeletons: SkeletonSet,
+        prof: ProfileData,
+        restore: Option<&ArchCheckpoint>,
+    ) -> Self {
         // Shared architectural memory.
         let arch_mem = Rc::new(RefCell::new(VecMem::new()));
         arch_mem.borrow_mut().load_image(program.image());
+        if let Some(ckpt) = restore {
+            ckpt.apply_to(&mut arch_mem.borrow_mut());
+        }
         // Shared L3 + DRAM.
         let shared = Rc::new(RefCell::new(SharedLlc::new(&cfg.mem)));
         // Queues and hint state.
@@ -435,11 +488,14 @@ impl DlaSystem {
             }
         }
         let mut mt = Core::new(cfg.mt_core.clone(), Rc::clone(&program), mt_mem);
-        let entry_state = ArchState::new(program.entry());
+        let (start_pc, start_regs) = match restore {
+            Some(ckpt) => (ckpt.pc(), ckpt.regs()),
+            None => (program.entry(), ArchState::new(program.entry()).regs()),
+        };
         let mt_dir = Box::new(BoqDirection::new(Rc::clone(&boq), Rc::clone(&ind_targets)));
         let mt_tid = mt.add_thread(
-            program.entry(),
-            entry_state.regs(),
+            start_pc,
+            start_regs,
             mt_dir,
             Rc::new(RefCell::new(BaseMem(Rc::clone(&arch_mem)))),
         );
@@ -475,7 +531,7 @@ impl DlaSystem {
         let mut lt = Core::new(cfg.lt_core.clone(), Rc::clone(&program), lt_mem);
         let overlay = Rc::new(RefCell::new(OverlayMem::new(Rc::clone(&arch_mem))));
         let lt_dir = Box::new(PredictorDirection::new(Box::new(Tage::paper())));
-        let lt_tid = lt.add_thread(program.entry(), entry_state.regs(), lt_dir, overlay.clone());
+        let lt_tid = lt.add_thread(start_pc, start_regs, lt_dir, overlay.clone());
         debug_assert_eq!(lt_tid, 0);
         lt.set_fetch_filter(0, active.clone());
         lt.set_branch_override(0, active.clone());
@@ -567,6 +623,29 @@ impl DlaSystem {
     /// reboot-cost experiments.
     pub fn inject_misfeed(&mut self) {
         self.boq.borrow_mut().misfeed = true;
+    }
+
+    /// Functional warm touch of both cores' data paths: tag-array install
+    /// plus TLB prefill, no timing or statistics effects. The sampled-
+    /// simulation harness replays the emulator's load/store stream
+    /// through this before a detailed window.
+    pub fn warm_data(&mut self, addr: u64) {
+        self.mt.mem_mut().warm_data(addr);
+        self.lt.mem_mut().warm_data(addr);
+    }
+
+    /// Functional warm touch of both cores' instruction paths.
+    pub fn warm_inst(&mut self, pc: u64) {
+        self.mt.mem_mut().warm_inst(pc);
+        self.lt.mem_mut().warm_inst(pc);
+    }
+
+    /// Functionally trains the look-ahead core's branch predictor with
+    /// one architectural outcome (the main thread's BOQ-fed direction
+    /// source ignores warmup by design).
+    pub fn warm_branch(&mut self, pc: u64, taken: bool) {
+        self.mt.warm_branch(0, pc, taken);
+        self.lt.warm_branch(0, pc, taken);
     }
 
     /// Advances the whole system by one cycle.
@@ -802,11 +881,62 @@ impl DlaSystem {
     /// Convenience: warm up, then measure a window. Returns the report
     /// over the measured window.
     pub fn measure(&mut self, warmup_insts: u64, window_insts: u64) -> WindowReport {
-        self.run_until_mt(warmup_insts, warmup_insts * 60 + 500_000);
-        let snap = self.snapshot();
-        self.run_until_mt(window_insts, window_insts * 60 + 500_000);
-        self.window_since(&snap)
+        measure_window(self, warmup_insts, window_insts)
     }
+}
+
+/// The windowed-measurement surface shared by [`DlaSystem`] and
+/// [`SingleCoreSim`], so the grid runner, figure binaries and the
+/// sampled-simulation harness measure through one entry point
+/// ([`measure_window`]) instead of two hand-rolled copies.
+pub trait MeasureTarget {
+    /// Runs until `target` more instructions commit on the measured
+    /// (main) thread, the program halts, or `max_cycles` pass; returns
+    /// elapsed cycles.
+    fn run_insts(&mut self, target: u64, max_cycles: u64) -> u64;
+    /// Takes a consistent counter snapshot.
+    fn counters_snapshot(&self) -> SysSnapshot;
+    /// Derives the window report for everything since `snap`.
+    fn window_report(&self, snap: &SysSnapshot) -> WindowReport;
+}
+
+impl MeasureTarget for DlaSystem {
+    fn run_insts(&mut self, target: u64, max_cycles: u64) -> u64 {
+        self.run_until_mt(target, max_cycles)
+    }
+
+    fn counters_snapshot(&self) -> SysSnapshot {
+        self.snapshot()
+    }
+
+    fn window_report(&self, snap: &SysSnapshot) -> WindowReport {
+        self.window_since(snap)
+    }
+}
+
+impl MeasureTarget for SingleCoreSim {
+    fn run_insts(&mut self, target: u64, max_cycles: u64) -> u64 {
+        self.run_until(target, max_cycles)
+    }
+
+    fn counters_snapshot(&self) -> SysSnapshot {
+        self.snapshot()
+    }
+
+    fn window_report(&self, snap: &SysSnapshot) -> WindowReport {
+        self.window_since(snap)
+    }
+}
+
+/// Warms up over `warm` committed instructions, then measures a window
+/// of `win` — the single measurement helper behind every `measure`
+/// method. Cycle budgets match the historical implementations: 60 cycles
+/// per targeted instruction plus 500k slack.
+pub fn measure_window<S: MeasureTarget + ?Sized>(sys: &mut S, warm: u64, win: u64) -> WindowReport {
+    sys.run_insts(warm, warm * 60 + 500_000);
+    let snap = sys.counters_snapshot();
+    sys.run_insts(win, win * 60 + 500_000);
+    sys.window_report(&snap)
 }
 
 /// A single-core (non-DLA) simulation wrapper with the same windowed
@@ -835,6 +965,39 @@ impl SingleCoreSim {
         l1_prefetcher: Option<&str>,
         l2_prefetcher: Option<&str>,
     ) -> Self {
+        Self::build_at(built, core_cfg, mem_cfg, l1_prefetcher, l2_prefetcher, None)
+    }
+
+    /// Like [`build`](Self::build), but resumes from an architectural
+    /// checkpoint: memory is the image plus the checkpoint delta and the
+    /// thread starts at the checkpoint PC/registers. Caches and the
+    /// predictor start cold — sampled simulation warms them explicitly.
+    pub fn restore_from_checkpoint(
+        built: &BuiltWorkload,
+        core_cfg: CoreConfig,
+        mem_cfg: MemConfig,
+        l1_prefetcher: Option<&str>,
+        l2_prefetcher: Option<&str>,
+        ckpt: &ArchCheckpoint,
+    ) -> Self {
+        Self::build_at(
+            built,
+            core_cfg,
+            mem_cfg,
+            l1_prefetcher,
+            l2_prefetcher,
+            Some(ckpt),
+        )
+    }
+
+    fn build_at(
+        built: &BuiltWorkload,
+        core_cfg: CoreConfig,
+        mem_cfg: MemConfig,
+        l1_prefetcher: Option<&str>,
+        l2_prefetcher: Option<&str>,
+        restore: Option<&ArchCheckpoint>,
+    ) -> Self {
         let program = Rc::new(built.program.clone());
         let shared = Rc::new(RefCell::new(SharedLlc::new(&mem_cfg)));
         let mut mem = CoreMem::new(&mem_cfg, shared);
@@ -851,10 +1014,17 @@ impl SingleCoreSim {
         let mut core = Core::new(core_cfg, Rc::clone(&program), mem);
         let arch_mem = Rc::new(RefCell::new(VecMem::new()));
         arch_mem.borrow_mut().load_image(program.image());
+        let (start_pc, start_regs) = match restore {
+            Some(ckpt) => {
+                ckpt.apply_to(&mut arch_mem.borrow_mut());
+                (ckpt.pc(), ckpt.regs())
+            }
+            None => (program.entry(), ArchState::new(program.entry()).regs()),
+        };
         let dir = Box::new(PredictorDirection::new(Box::new(Tage::paper())));
         core.add_thread(
-            program.entry(),
-            ArchState::new(program.entry()).regs(),
+            start_pc,
+            start_regs,
             dir,
             Rc::new(RefCell::new(BaseMem(arch_mem))),
         );
@@ -903,21 +1073,63 @@ impl SingleCoreSim {
         self.core.cycle() - start_cycles
     }
 
-    /// Warm up, then measure a window; returns `(window IPC, committed,
-    /// cycles)`.
-    pub fn measure(&mut self, warmup_insts: u64, window_insts: u64) -> (f64, u64, u64) {
-        self.run_until(warmup_insts, warmup_insts * 60 + 500_000);
-        let c0 = self.core.committed(0);
-        let y0 = self.core.cycle();
-        self.run_until(window_insts, window_insts * 60 + 500_000);
-        let insts = self.core.committed(0) - c0;
-        let cycles = self.core.cycle() - y0;
-        let ipc = if cycles == 0 {
-            0.0
-        } else {
-            insts as f64 / cycles as f64
-        };
-        (ipc, insts, cycles)
+    /// Takes a counter snapshot for windowed measurement (LT fields are
+    /// zero — there is no look-ahead core here).
+    pub fn snapshot(&self) -> SysSnapshot {
+        SysSnapshot {
+            cycles: self.core.cycle(),
+            mt_committed: self.core.committed(0),
+            lt_committed: 0,
+            mt_counters: self.core.counters.clone(),
+            lt_counters: ActivityCounters::default(),
+            dram: self.core.mem().shared().borrow().dram_stats().clone(),
+            mt_l1d: self.core.mem().l1d_stats().clone(),
+            reboots: 0,
+        }
+    }
+
+    /// Derives a window report from a snapshot taken earlier.
+    pub fn window_since(&self, snap: &SysSnapshot) -> WindowReport {
+        let now = self.snapshot();
+        let cycles = now.cycles - snap.cycles;
+        let mt_committed = now.mt_committed - snap.mt_committed;
+        WindowReport {
+            cycles,
+            mt_committed,
+            lt_committed: 0,
+            mt_ipc: if cycles == 0 {
+                0.0
+            } else {
+                mt_committed as f64 / cycles as f64
+            },
+            dram_traffic: now.dram.traffic_lines() - snap.dram.traffic_lines(),
+            mt_l1d_misses: now.mt_l1d.misses.get() - snap.mt_l1d.misses.get(),
+            mt_l1d_accesses: now.mt_l1d.accesses.get() - snap.mt_l1d.accesses.get(),
+            reboots: 0,
+        }
+    }
+
+    /// Warm up, then measure a window; returns the window report (the
+    /// same shape [`DlaSystem::measure`] produces, LT fields zero).
+    pub fn measure(&mut self, warmup_insts: u64, window_insts: u64) -> WindowReport {
+        measure_window(self, warmup_insts, window_insts)
+    }
+
+    /// Functional warm touch of the data path (sampled-simulation
+    /// warmup; no timing or statistics effects).
+    pub fn warm_data(&mut self, addr: u64) {
+        self.core.mem_mut().warm_data(addr);
+    }
+
+    /// Functional warm touch of the instruction path.
+    pub fn warm_inst(&mut self, pc: u64) {
+        self.core.mem_mut().warm_inst(pc);
+    }
+
+    /// Functionally trains the branch predictor with one architectural
+    /// outcome.
+    pub fn warm_branch(&mut self, pc: u64, taken: bool) {
+        self.core.warm_branch(0, pc, taken);
     }
 
     /// DRAM traffic lines so far.

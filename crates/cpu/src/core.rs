@@ -261,6 +261,14 @@ impl Core {
         self.threads.len() - 1
     }
 
+    /// Functionally warms a thread's branch-direction source with one
+    /// architectural outcome (no-op for queue-fed sources). Part of the
+    /// sampled-simulation warmup surface; see
+    /// [`FetchDirection::warm_outcome`].
+    pub fn warm_branch(&mut self, thread: usize, pc: u64, taken: bool) {
+        self.threads[thread].dir.warm_outcome(pc, taken);
+    }
+
     /// Attaches a branch-direction override (bias-converted skeleton
     /// branches in a look-ahead thread).
     pub fn set_branch_override(&mut self, thread: usize, ov: Rc<RefCell<dyn BranchOverride>>) {

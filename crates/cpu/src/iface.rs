@@ -50,6 +50,11 @@ pub trait FetchDirection {
     /// Restores a snapshot after a squash; `resolved` carries the true
     /// outcome of the branch that caused it (if it was conditional).
     fn restore(&mut self, _snapshot: u64, _resolved: Option<bool>) {}
+    /// Functional warmup with one architectural branch outcome (sampled
+    /// simulation replays the emulator's branch stream through this
+    /// before a detailed window). Predictor-backed sources train on it;
+    /// queue-fed sources (the BOQ main thread) ignore it.
+    fn warm_outcome(&mut self, _pc: u64, _taken: bool) {}
 }
 
 /// [`FetchDirection`] backed by an ordinary direction predictor.
@@ -91,6 +96,10 @@ impl FetchDirection for PredictorDirection {
 
     fn restore(&mut self, snapshot: u64, resolved: Option<bool>) {
         self.predictor.restore_history(snapshot, resolved);
+    }
+
+    fn warm_outcome(&mut self, pc: u64, taken: bool) {
+        self.predictor.warm(pc, taken);
     }
 }
 

@@ -1,0 +1,143 @@
+//! Architectural checkpoints: a resumable snapshot of register file,
+//! program counter, instruction count, and a copy-on-write memory delta
+//! against the pristine [`Program`](crate::Program) image.
+//!
+//! A checkpoint deliberately carries *only* the pages written since the
+//! image was loaded, so k checkpoints over one workload cost k deltas,
+//! not k full memories. Restoring is "load the image, then overlay the
+//! delta" — see [`ArchCheckpoint::apply_to`].
+//!
+//! The type lives in `r3dla-isa` (below every simulator crate) so both
+//! the functional emulator that *captures* checkpoints and the timing
+//! systems that *restore* them can name it without dependency cycles.
+
+use crate::exec::VecMem;
+use crate::inst::Reg;
+
+/// Words per 4 KiB page (the granularity [`VecMem`] and the emulator's
+/// copy-on-write memory share).
+pub const PAGE_WORDS: usize = 512;
+
+/// One 4 KiB page of 64-bit words.
+pub type Page = [u64; PAGE_WORDS];
+
+/// A resumable architectural snapshot: registers, PC, retired-instruction
+/// count, and the dirty-page delta against the pristine program image.
+///
+/// Plain data (`Send + Sync`): checkpoints are captured once on the
+/// planning thread and fanned out read-only across measurement workers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchCheckpoint {
+    regs: [u64; Reg::COUNT],
+    pc: u64,
+    icount: u64,
+    /// Dirty pages, sorted by page index for deterministic iteration.
+    pages: Vec<(u64, Box<Page>)>,
+}
+
+impl ArchCheckpoint {
+    /// Builds a checkpoint from raw parts. `pages` are `(page_index,
+    /// contents)` pairs (`page_index = addr >> 12`); they are sorted here
+    /// so equality and application order are canonical.
+    pub fn new(
+        regs: [u64; Reg::COUNT],
+        pc: u64,
+        icount: u64,
+        mut pages: Vec<(u64, Box<Page>)>,
+    ) -> Self {
+        pages.sort_unstable_by_key(|&(p, _)| p);
+        Self {
+            regs,
+            pc,
+            icount,
+            pages,
+        }
+    }
+
+    /// The architectural register file at the checkpoint.
+    pub fn regs(&self) -> [u64; Reg::COUNT] {
+        self.regs
+    }
+
+    /// The PC of the next instruction to execute.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Instructions retired before this checkpoint.
+    pub fn icount(&self) -> u64 {
+        self.icount
+    }
+
+    /// The dirty-page delta, sorted by page index.
+    pub fn pages(&self) -> &[(u64, Box<Page>)] {
+        &self.pages
+    }
+
+    /// Number of dirty pages the checkpoint carries.
+    pub fn dirty_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Overlays the delta onto `mem`. The caller must have loaded the
+    /// pristine program image first; together that reconstructs the full
+    /// architectural memory at the checkpoint.
+    pub fn apply_to(&self, mem: &mut VecMem) {
+        for (page, data) in &self.pages {
+            mem.install_page(*page, data);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::DataMem;
+
+    fn page_with(word: usize, val: u64) -> Box<Page> {
+        let mut p = Box::new([0u64; PAGE_WORDS]);
+        p[word] = val;
+        p
+    }
+
+    #[test]
+    fn pages_are_canonically_sorted() {
+        let a = ArchCheckpoint::new(
+            [0; Reg::COUNT],
+            0,
+            0,
+            vec![(7, page_with(0, 1)), (2, page_with(0, 2))],
+        );
+        let b = ArchCheckpoint::new(
+            [0; Reg::COUNT],
+            0,
+            0,
+            vec![(2, page_with(0, 2)), (7, page_with(0, 1))],
+        );
+        assert_eq!(a, b);
+        assert_eq!(a.pages()[0].0, 2);
+        assert_eq!(a.dirty_pages(), 2);
+    }
+
+    #[test]
+    fn apply_overlays_delta_on_image() {
+        let mut mem = VecMem::new();
+        mem.load_image(&[(0x2000_0000, 11), (0x2000_1008, 22)]);
+        // Delta rewrites page 0x20001 and adds page 0x20002.
+        let ck = ArchCheckpoint::new(
+            [0; Reg::COUNT],
+            0x40,
+            123,
+            vec![
+                (0x2000_1008 >> 12, page_with(1, 99)),
+                (0x2000_2000 >> 12, page_with(0, 77)),
+            ],
+        );
+        ck.apply_to(&mut mem);
+        assert_eq!(mem.load(0x2000_0000), 11, "untouched page survives");
+        assert_eq!(mem.load(0x2000_1008), 99, "delta page replaces image page");
+        assert_eq!(mem.load(0x2000_2000), 77, "new delta page appears");
+        assert_eq!(ck.pc(), 0x40);
+        assert_eq!(ck.icount(), 123);
+    }
+}

@@ -73,6 +73,20 @@ impl VecMem {
     pub fn resident_pages(&self) -> usize {
         self.storage.len()
     }
+
+    /// Installs an entire page (`page = addr >> 12`), replacing any
+    /// resident contents — the checkpoint-restore fast path (one copy per
+    /// dirty page instead of 512 word stores).
+    pub fn install_page(&mut self, page: u64, words: &crate::checkpoint::Page) {
+        match self.pages.get(&page) {
+            Some(&slot) => self.storage[slot as usize].copy_from_slice(words),
+            None => {
+                let slot = u32::try_from(self.storage.len()).expect("page arena overflow");
+                self.storage.push(Box::new(*words));
+                self.pages.insert(page, slot);
+            }
+        }
+    }
 }
 
 impl DataMem for VecMem {

@@ -36,12 +36,14 @@
 //! ```
 
 mod asm;
+mod checkpoint;
 mod exec;
 mod hash;
 mod inst;
 mod program;
 
 pub use asm::{Asm, AsmError, DataBuilder};
+pub use checkpoint::{ArchCheckpoint, Page, PAGE_WORDS};
 pub use exec::{
     eval_alu, eval_cond, mem_addr, run, step, ArchState, DataMem, ExecError, MemKind, StepOut,
     VecMem,

@@ -119,6 +119,13 @@ impl SharedLlc {
         &mut self.l3
     }
 
+    /// Functional warm touch: installs the line in the L3 tag array with
+    /// an LRU refresh but no timing, MSHR or statistics effects. Driven
+    /// by the sampled-simulation warmup replay.
+    pub fn warm(&mut self, addr: u64) {
+        self.l3.touch(addr);
+    }
+
     /// Earliest cycle strictly after `now` at which an outstanding L3
     /// fill completes or a DRAM bank/channel frees, or `None` when the
     /// shared levels are fully idle. Observability for the event-driven
@@ -347,6 +354,26 @@ impl CoreMem {
         self.dtlb.fill(addr);
     }
 
+    /// Functional warm touch of the data path: installs the line in
+    /// L1D/L2/shared L3 tag arrays and prefills the TLB, with LRU
+    /// refreshes but no timing, MSHR or statistics effects — the
+    /// microarchitectural warmup primitive for sampled simulation, driven
+    /// by the functional emulator's load/store stream.
+    pub fn warm_data(&mut self, addr: u64) {
+        self.dtlb.fill(addr);
+        self.l1d.touch(addr);
+        self.l2.touch(addr);
+        self.shared.borrow_mut().warm(addr);
+    }
+
+    /// Functional warm touch of the instruction path: L1I/L2/shared L3,
+    /// same no-stats contract as [`warm_data`](Self::warm_data).
+    pub fn warm_inst(&mut self, pc: u64) {
+        self.l1i.touch(pc);
+        self.l2.touch(pc);
+        self.shared.borrow_mut().warm(pc);
+    }
+
     /// L1I statistics.
     pub fn l1i_stats(&self) -> &CacheStats {
         &self.l1i.stats
@@ -547,6 +574,24 @@ mod tests {
         );
         // Long after the fill lands the hierarchy is idle again.
         assert_eq!(m.next_event_at(out.ready + 10_000), None);
+    }
+
+    #[test]
+    fn warm_touches_install_lines_without_stats() {
+        let (mut m, shared) = system();
+        let a = 0x2000_0000;
+        m.warm_data(a);
+        m.warm_inst(0x1_0000);
+        assert_eq!(m.l1d_stats().accesses.get(), 0, "warming must be free");
+        assert_eq!(m.l1i_stats().accesses.get(), 0);
+        assert_eq!(shared.borrow().l3_stats().accesses.get(), 0);
+        assert_eq!(shared.borrow().dram_stats().reads.get(), 0);
+        // A later demand access hits everywhere and skips the TLB walk.
+        let out = m.load(a, 0, 0);
+        assert!(out.l1_hit);
+        assert_eq!(out.tlb_penalty, 0);
+        let (_, ihit) = m.inst_fetch(0x1_0000, 0);
+        assert!(ihit);
     }
 
     #[test]

@@ -1,0 +1,436 @@
+//! The functional emulator: executes programs architecturally
+//! (registers + memory, no pipeline) at tens of MIPS, for
+//! fast-forwarding to sampling intervals and capturing
+//! [`ArchCheckpoint`]s.
+//!
+//! Memory is copy-on-write against a shared, immutable page image of the
+//! program's initial data ([`ImageMem`]): only written pages are
+//! materialized, so a checkpoint is exactly the dirty-page delta and k
+//! checkpoints over one workload never cost k full memories.
+
+use std::sync::Arc;
+
+use r3dla_isa::{
+    step, ArchCheckpoint, ArchState, DataMem, ExecError, FxHashMap, Page, Program, StepOut,
+    PAGE_WORDS,
+};
+
+/// Sentinel for "last-page cache empty" (real page indices are
+/// `addr >> 12`, which never reaches `u64::MAX`).
+const NO_PAGE: u64 = u64::MAX;
+
+/// An immutable page-granular snapshot of a program's initial data
+/// image, shared (`Arc`) across every emulator and restore of the same
+/// workload.
+#[derive(Debug)]
+pub struct ImageMem {
+    pages: FxHashMap<u64, Box<Page>>,
+}
+
+impl ImageMem {
+    /// Builds the page image from `(address, word)` initializers (the
+    /// [`Program::image`] format).
+    pub fn of(image: &[(u64, u64)]) -> Self {
+        let mut pages: FxHashMap<u64, Box<Page>> = FxHashMap::default();
+        for &(addr, val) in image {
+            let a = addr & !7;
+            let page = a >> 12;
+            let word = ((a & 0xFFF) >> 3) as usize;
+            pages
+                .entry(page)
+                .or_insert_with(|| Box::new([0; PAGE_WORDS]))[word] = val;
+        }
+        Self { pages }
+    }
+
+    /// The pristine contents of `page`, if the image touches it.
+    #[inline]
+    fn page(&self, page: u64) -> Option<&Page> {
+        self.pages.get(&page).map(|b| &**b)
+    }
+
+    /// Number of pages the image occupies.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+/// Copy-on-write memory: reads fall through to the shared [`ImageMem`],
+/// writes materialize private copies of the touched pages. The dirty set
+/// *is* the checkpoint delta.
+///
+/// Mirrors `VecMem`'s slot-arena + last-page-cache layout so the
+/// emulator's hot loop stays allocation-free on spatially local streams.
+#[derive(Debug, Clone)]
+pub struct DeltaMem {
+    base: Arc<ImageMem>,
+    dirty: FxHashMap<u64, u32>,
+    storage: Vec<Box<Page>>,
+    last_page: u64,
+    last_slot: u32,
+}
+
+impl DeltaMem {
+    /// An empty delta over `base`.
+    pub fn new(base: Arc<ImageMem>) -> Self {
+        Self {
+            base,
+            dirty: FxHashMap::default(),
+            storage: Vec::new(),
+            last_page: NO_PAGE,
+            last_slot: 0,
+        }
+    }
+
+    /// A delta pre-populated from a checkpoint's dirty pages.
+    pub fn from_checkpoint(base: Arc<ImageMem>, ckpt: &ArchCheckpoint) -> Self {
+        let mut m = Self::new(base);
+        for (page, data) in ckpt.pages() {
+            let slot = m.storage.len() as u32;
+            m.storage.push(data.clone());
+            m.dirty.insert(*page, slot);
+        }
+        m
+    }
+
+    /// Number of pages written since construction.
+    pub fn dirty_pages(&self) -> usize {
+        self.storage.len()
+    }
+
+    /// Clones the dirty-page delta (sorted by [`ArchCheckpoint::new`]).
+    pub fn capture(&self) -> Vec<(u64, Box<Page>)> {
+        self.dirty
+            .iter()
+            .map(|(&page, &slot)| (page, self.storage[slot as usize].clone()))
+            .collect()
+    }
+
+    #[cold]
+    fn materialize(&mut self, page: u64) -> u32 {
+        let slot = u32::try_from(self.storage.len()).expect("page arena overflow");
+        let contents = match self.base.page(page) {
+            Some(p) => Box::new(*p),
+            None => Box::new([0u64; PAGE_WORDS]),
+        };
+        self.storage.push(contents);
+        self.dirty.insert(page, slot);
+        slot
+    }
+}
+
+impl DataMem for DeltaMem {
+    #[inline]
+    fn load(&mut self, addr: u64) -> u64 {
+        let a = addr & !7;
+        let page = a >> 12;
+        let word = ((a & 0xFFF) >> 3) as usize;
+        if page == self.last_page {
+            return self.storage[self.last_slot as usize][word];
+        }
+        if let Some(&slot) = self.dirty.get(&page) {
+            self.last_page = page;
+            self.last_slot = slot;
+            return self.storage[slot as usize][word];
+        }
+        match self.base.page(page) {
+            Some(p) => p[word],
+            None => 0,
+        }
+    }
+
+    #[inline]
+    fn store(&mut self, addr: u64, val: u64) {
+        let a = addr & !7;
+        let page = a >> 12;
+        let word = ((a & 0xFFF) >> 3) as usize;
+        if page == self.last_page {
+            self.storage[self.last_slot as usize][word] = val;
+            return;
+        }
+        let slot = match self.dirty.get(&page) {
+            Some(&slot) => slot,
+            None => self.materialize(page),
+        };
+        self.last_page = page;
+        self.last_slot = slot;
+        self.storage[slot as usize][word] = val;
+    }
+}
+
+/// The architectural fast-forward engine: program + register state +
+/// copy-on-write memory + retired-instruction count.
+#[derive(Debug)]
+pub struct Emulator {
+    program: Arc<Program>,
+    state: ArchState,
+    mem: DeltaMem,
+    icount: u64,
+    halted: bool,
+}
+
+impl Emulator {
+    /// An emulator at the program entry (builds a private [`ImageMem`];
+    /// use [`with_image`](Self::with_image) to share one across runs).
+    pub fn new(program: Arc<Program>) -> Self {
+        let image = Arc::new(ImageMem::of(program.image()));
+        Self::with_image(program, image)
+    }
+
+    /// An emulator at the program entry over a shared page image.
+    pub fn with_image(program: Arc<Program>, image: Arc<ImageMem>) -> Self {
+        let state = ArchState::new(program.entry());
+        Self {
+            program,
+            state,
+            mem: DeltaMem::new(image),
+            icount: 0,
+            halted: false,
+        }
+    }
+
+    /// An emulator resumed from a checkpoint (registers, PC, instruction
+    /// count and memory delta all restored).
+    pub fn from_checkpoint(
+        program: Arc<Program>,
+        image: Arc<ImageMem>,
+        ckpt: &ArchCheckpoint,
+    ) -> Self {
+        let mut state = ArchState::new(ckpt.pc());
+        state.set_regs(ckpt.regs());
+        state.pc = ckpt.pc();
+        Self {
+            program,
+            state,
+            mem: DeltaMem::from_checkpoint(image, ckpt),
+            icount: ckpt.icount(),
+            halted: false,
+        }
+    }
+
+    /// Instructions retired so far.
+    pub fn icount(&self) -> u64 {
+        self.icount
+    }
+
+    /// Whether the program has halted (or left the code segment).
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The current architectural state.
+    pub fn state(&self) -> &ArchState {
+        &self.state
+    }
+
+    /// The copy-on-write memory (dirty-page introspection, tests).
+    pub fn mem(&self) -> &DeltaMem {
+        &self.mem
+    }
+
+    /// Functional load from the emulator's current memory.
+    pub fn peek(&mut self, addr: u64) -> u64 {
+        self.mem.load(addr)
+    }
+
+    /// Captures the architectural state as a restartable checkpoint.
+    pub fn checkpoint(&self) -> ArchCheckpoint {
+        ArchCheckpoint::new(
+            self.state.regs(),
+            self.state.pc,
+            self.icount,
+            self.mem.capture(),
+        )
+    }
+
+    #[inline]
+    fn step_once(&mut self) -> Option<StepOut> {
+        match step(&self.program, &mut self.state, &mut self.mem) {
+            Ok(out) => {
+                self.icount += 1;
+                if out.halted {
+                    self.halted = true;
+                }
+                Some(out)
+            }
+            Err(ExecError::PcOutOfRange(_)) | Err(ExecError::StepLimit(_)) => {
+                self.halted = true;
+                None
+            }
+        }
+    }
+
+    /// Executes up to `n` instructions (stops early at halt); returns the
+    /// number executed. This is the silent fast-forward hot loop.
+    pub fn run(&mut self, n: u64) -> u64 {
+        let start = self.icount;
+        while self.icount - start < n && !self.halted {
+            if self.step_once().is_none() {
+                break;
+            }
+        }
+        self.icount - start
+    }
+
+    /// Like [`run`](Self::run), but invokes `obs` with every step's
+    /// observable effects — the warmup touch-stream source.
+    pub fn run_observed(&mut self, n: u64, mut obs: impl FnMut(&StepOut)) -> u64 {
+        let start = self.icount;
+        while self.icount - start < n && !self.halted {
+            match self.step_once() {
+                Some(out) => obs(&out),
+                None => break,
+            }
+        }
+        self.icount - start
+    }
+
+    /// Runs to halt (or `cap` instructions); returns the final retired
+    /// count — the workload-length probe interval planning uses.
+    pub fn run_to_halt(&mut self, cap: u64) -> u64 {
+        while !self.halted && self.icount < cap {
+            if self.step_once().is_none() {
+                break;
+            }
+        }
+        self.icount
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r3dla_isa::{Asm, Reg, VecMem};
+
+    /// A loop writing arr[i] = 2i and summing it, then halting.
+    fn summing_program() -> Arc<Program> {
+        let mut a = Asm::new();
+        let arr = a.data().words(&[7; 64]);
+        let (i, n, base, v) = (Reg::int(10), Reg::int(11), Reg::int(12), Reg::int(13));
+        a.li(i, 0);
+        a.li(n, 64);
+        a.li(base, arr as i64);
+        a.label("loop");
+        a.slli(v, i, 1);
+        a.slli(Reg::int(14), i, 3);
+        a.add(Reg::int(14), Reg::int(14), base);
+        a.st(v, Reg::int(14), 0);
+        a.ld(Reg::int(15), Reg::int(14), 0);
+        a.add(Reg::int(16), Reg::int(16), Reg::int(15));
+        a.addi(i, i, 1);
+        a.blt(i, n, "loop");
+        a.halt();
+        Arc::new(a.finish().unwrap())
+    }
+
+    #[test]
+    fn emulator_matches_reference_interpreter() {
+        let prog = summing_program();
+        let mut e = Emulator::new(Arc::clone(&prog));
+        let total = e.run_to_halt(1_000_000);
+        assert!(e.halted());
+        // Reference: the isa crate's own interpreter over a full VecMem.
+        let mut st = ArchState::new(prog.entry());
+        let mut vm = VecMem::new();
+        vm.load_image(prog.image());
+        let steps = r3dla_isa::run(&prog, &mut st, &mut vm, 1_000_000).unwrap();
+        assert_eq!(total, steps);
+        assert_eq!(e.state().regs(), st.regs());
+        assert_eq!(e.state().regs()[16], 64 * 63);
+    }
+
+    #[test]
+    fn delta_mem_copy_on_write_against_image() {
+        let image = Arc::new(ImageMem::of(&[(0x2000_0000, 11), (0x2000_0008, 22)]));
+        let mut m = DeltaMem::new(Arc::clone(&image));
+        assert_eq!(m.load(0x2000_0000), 11, "read-through to the image");
+        assert_eq!(m.dirty_pages(), 0, "reads must not materialize pages");
+        m.store(0x2000_0000, 99);
+        assert_eq!(m.dirty_pages(), 1);
+        assert_eq!(m.load(0x2000_0000), 99);
+        assert_eq!(
+            m.load(0x2000_0008),
+            22,
+            "other words of a materialized page keep image contents"
+        );
+        // A second delta over the same image is unaffected.
+        let mut m2 = DeltaMem::new(image);
+        assert_eq!(m2.load(0x2000_0000), 11);
+    }
+
+    #[test]
+    fn unmapped_reads_are_zero_and_free() {
+        let mut m = DeltaMem::new(Arc::new(ImageMem::of(&[])));
+        assert_eq!(m.load(0xDEAD_0000), 0);
+        assert_eq!(m.dirty_pages(), 0);
+        m.store(0x5000, 1);
+        assert_eq!(m.load(0x5000), 1);
+        // Unmapped read between hits must not poison the last-page cache.
+        assert_eq!(m.load(0x9999_0000), 0);
+        assert_eq!(m.load(0x5000), 1);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_resumes_identically() {
+        let prog = summing_program();
+        // Uninterrupted reference.
+        let mut whole = Emulator::new(Arc::clone(&prog));
+        whole.run(150);
+        // Capture at 60, restore, run the remaining 90.
+        let image = Arc::new(ImageMem::of(prog.image()));
+        let mut first = Emulator::with_image(Arc::clone(&prog), Arc::clone(&image));
+        first.run(60);
+        let ckpt = first.checkpoint();
+        assert_eq!(ckpt.icount(), 60);
+        assert!(ckpt.dirty_pages() >= 1, "the store loop dirties the array");
+        let mut resumed = Emulator::from_checkpoint(Arc::clone(&prog), image, &ckpt);
+        resumed.run(90);
+        assert_eq!(resumed.icount(), whole.icount());
+        assert_eq!(resumed.state().regs(), whole.state().regs());
+        assert_eq!(resumed.state().pc, whole.state().pc);
+        // Memory agrees word-for-word over the touched region.
+        for w in 0..64u64 {
+            let addr = 0x2000_0000 + w * 8;
+            assert_eq!(resumed.peek(addr), whole.peek(addr), "word {w}");
+        }
+        // And the re-captured checkpoint is byte-identical to a
+        // checkpoint of the uninterrupted run at the same icount.
+        let mut again = Emulator::new(Arc::clone(&prog));
+        again.run(150);
+        assert_eq!(resumed.checkpoint(), again.checkpoint());
+    }
+
+    #[test]
+    fn observed_run_reports_touch_stream() {
+        let prog = summing_program();
+        let mut e = Emulator::new(prog);
+        let mut loads = 0;
+        let mut stores = 0;
+        let mut branches = 0;
+        e.run_observed(10_000, |out| {
+            if let Some((kind, _, _)) = out.mem {
+                match kind {
+                    r3dla_isa::MemKind::Load => loads += 1,
+                    r3dla_isa::MemKind::Store => stores += 1,
+                }
+            }
+            if out.taken.is_some() {
+                branches += 1;
+            }
+        });
+        assert_eq!(loads, 64);
+        assert_eq!(stores, 64);
+        assert_eq!(branches, 64);
+    }
+
+    #[test]
+    fn pc_out_of_range_halts_instead_of_panicking() {
+        let mut a = Asm::new();
+        a.nop(); // runs off the end of the code segment
+        let prog = Arc::new(a.finish().unwrap());
+        let mut e = Emulator::new(prog);
+        e.run(100);
+        assert!(e.halted());
+        assert_eq!(e.icount(), 1);
+    }
+}

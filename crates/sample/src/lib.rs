@@ -1,0 +1,56 @@
+//! Checkpoint + sampled-simulation subsystem for the R3-DLA simulator.
+//!
+//! The detailed two-core model runs at well under a MIPS, so measuring
+//! anything but startup transients needs the standard simulator escape
+//! hatch: **functional fast-forward** to interesting regions,
+//! **checkpoint** them, **warm** the microarchitecture, and measure many
+//! short detailed windows whose spread yields a **confidence interval**
+//! (SMARTS-style systematic sampling).
+//!
+//! The pieces:
+//!
+//! * [`Emulator`] — architectural execution (registers + copy-on-write
+//!   memory over a shared [`ImageMem`]) at tens of MIPS;
+//! * [`ArchCheckpoint`] (re-exported from `r3dla-isa`) — the resumable
+//!   snapshot; restore with `DlaSystem::restore_from_checkpoint` /
+//!   `SingleCoreSim::restore_from_checkpoint`;
+//! * [`WarmupMode`] / [`WarmTarget`] — cold-start bias control:
+//!   functional cache/predictor touch-warming from the emulator's
+//!   instruction stream, or detailed pre-window cycles;
+//! * [`SampleSpec`] / [`plan_intervals`] / [`warm_and_measure`] — the
+//!   systematic sampler; `r3dla-bench` fans the (checkpoint × config)
+//!   cells over its worker pool and reports mean ± 95% CI per cell.
+//!
+//! # Examples
+//!
+//! Fast-forward, checkpoint, restore and resume — bit-exactly:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use r3dla_sample::{Emulator, ImageMem};
+//! use r3dla_workloads::{by_name, Scale};
+//!
+//! let prog = Arc::new(by_name("md5_like").unwrap().build(Scale::Tiny).program);
+//! let image = Arc::new(ImageMem::of(prog.image()));
+//! let mut em = Emulator::with_image(Arc::clone(&prog), Arc::clone(&image));
+//! em.run(10_000);
+//! let ckpt = em.checkpoint();
+//! em.run(5_000);
+//! let mut resumed = Emulator::from_checkpoint(prog, image, &ckpt);
+//! resumed.run(5_000);
+//! assert_eq!(resumed.state().regs(), em.state().regs());
+//! ```
+
+mod emulator;
+mod sampler;
+mod warmup;
+
+pub use emulator::{DeltaMem, Emulator, ImageMem};
+pub use r3dla_isa::ArchCheckpoint;
+pub use sampler::{
+    ipc_estimate, plan_intervals, warm_and_measure, IntervalCheckpoint, SampleSpec, FF_CAP,
+    FUNCTIONAL_SETTLE,
+};
+pub use warmup::{
+    apply_cache_touches, apply_touches, record_touches, Touch, WarmTarget, WarmupMode,
+};

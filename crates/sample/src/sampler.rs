@@ -1,0 +1,254 @@
+//! Systematic interval sampling (SMARTS/SimPoint-style): split a
+//! workload into k evenly spaced intervals, checkpoint each interval
+//! start with one functional pass, then measure every (checkpoint ×
+//! configuration) cell in detail and aggregate per-interval IPC into a
+//! mean ± 95% confidence interval.
+//!
+//! Planning is a pure function of `(program, spec)` and every cell is a
+//! pure function of `(checkpoint, config)`, so a sampled grid fans out
+//! across worker threads (the bench runner's `parallel_map`) with
+//! byte-identical results at any thread count.
+
+use std::sync::Arc;
+
+use r3dla_core::{measure_window, MeasureTarget, WindowReport};
+use r3dla_isa::{ArchCheckpoint, Program};
+use r3dla_stats::{mean_ci95, MeanCi};
+
+use crate::emulator::{Emulator, ImageMem};
+use crate::warmup::{apply_cache_touches, record_touches, Touch, WarmTarget, WarmupMode};
+
+/// Fast-forward cap: a workload that has not halted after this many
+/// functional instructions is treated as this long (interval planning
+/// samples the first `FF_CAP` instructions).
+pub const FF_CAP: u64 = 200_000_000;
+
+/// A sampling request: `k` intervals of `detailed` measured instructions
+/// each, warmed per `warmup`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleSpec {
+    /// Number of intervals (≥ 2 so the confidence interval is defined).
+    pub k: usize,
+    /// Detailed instructions measured per interval.
+    pub detailed: u64,
+    /// Warmup mode applied to each restored interval.
+    pub warmup: WarmupMode,
+}
+
+impl SampleSpec {
+    /// Parses the runner's `k:U:W` syntax, e.g. `4:5000:functional` or
+    /// `8:10000:detailed:20000`. Returns `None` for malformed specs,
+    /// `k < 2` or `U == 0`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let (k, rest) = s.split_once(':')?;
+        let (u, warm) = rest.split_once(':')?;
+        let k: usize = k.parse().ok()?;
+        let detailed: u64 = u.parse().ok()?;
+        if k < 2 || detailed == 0 {
+            return None;
+        }
+        Some(Self {
+            k,
+            detailed,
+            warmup: WarmupMode::parse(warm, detailed)?,
+        })
+    }
+
+    /// The canonical `k:U:W` label (parse round-trips through it).
+    pub fn label(&self) -> String {
+        format!("{}:{}:{}", self.k, self.detailed, self.warmup)
+    }
+}
+
+/// One planned interval: its checkpoint plus the recorded pre-interval
+/// touch stream for functional warmup. Plain data — fanned out read-only
+/// across measurement workers.
+#[derive(Debug, Clone)]
+pub struct IntervalCheckpoint {
+    /// Interval index within the plan.
+    pub index: usize,
+    /// Architectural state at the interval start.
+    pub ckpt: ArchCheckpoint,
+    /// Touches of the `warmup` instructions preceding the interval
+    /// (empty unless the spec asked for functional warmup).
+    pub warm: Vec<Touch>,
+}
+
+// Plans cross the runner's worker threads by reference.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<IntervalCheckpoint>();
+    assert_send_sync::<SampleSpec>();
+};
+
+/// Plans `spec.k` systematic intervals over `program`: one functional
+/// pass measures the workload length, a second captures a checkpoint at
+/// each interval start (recording the preceding warmup touch stream on
+/// the way). Returns fewer than `k` intervals only when the program is
+/// too short for the plan.
+pub fn plan_intervals(program: &Arc<Program>, spec: &SampleSpec) -> Vec<IntervalCheckpoint> {
+    let image = Arc::new(ImageMem::of(program.image()));
+    // Pass 1: workload length.
+    let mut probe = Emulator::with_image(Arc::clone(program), Arc::clone(&image));
+    let total = probe.run_to_halt(FF_CAP);
+    // Interval starts: one per stride, centred so the measured window
+    // sits mid-stride (falling back to the stride start when U ≥ stride).
+    let k = spec.k as u64;
+    let stride = (total / k).max(1);
+    let offset = stride.saturating_sub(spec.detailed) / 2;
+    let warm_len = spec.warmup.functional_insts();
+    // Pass 2: capture.
+    let mut em = Emulator::with_image(Arc::clone(program), image);
+    let mut out = Vec::with_capacity(spec.k);
+    let mut prev_start = None;
+    for i in 0..k {
+        // Clamp so the measured window fits before the halt. When the
+        // program is shorter than the plan, clamped starts collide —
+        // skip the duplicates rather than measuring one region twice
+        // and counting it as independent samples in the CI.
+        let start = (i * stride + offset).min(total.saturating_sub(spec.detailed));
+        if prev_start.is_some_and(|p| start <= p) {
+            continue;
+        }
+        prev_start = Some(start);
+        let warm_begin = start.saturating_sub(warm_len).max(em.icount());
+        em.run(warm_begin - em.icount());
+        let mut warm = Vec::new();
+        if start > em.icount() {
+            em.run_observed(start - em.icount(), |o| record_touches(o, &mut warm));
+        }
+        if em.halted() || em.icount() < start {
+            break;
+        }
+        out.push(IntervalCheckpoint {
+            index: out.len(),
+            ckpt: em.checkpoint(),
+            warm,
+        });
+    }
+    out
+}
+
+/// Detailed settle window for functional warmup: after the cache/TLB
+/// touch replay, this many instructions run in detail (capped at the
+/// measured window) before measurement opens, so the branch predictor
+/// and pipeline reach a realistic operating point (see
+/// [`apply_cache_touches`] for why predictors are not touch-warmed).
+pub const FUNCTIONAL_SETTLE: u64 = 2_000;
+
+/// Warms a restored system per the spec, then measures the interval's
+/// detailed window — the single per-cell measurement path for both the
+/// DLA and single-core systems.
+pub fn warm_and_measure<S: WarmTarget + MeasureTarget>(
+    sys: &mut S,
+    spec: &SampleSpec,
+    iv: &IntervalCheckpoint,
+) -> WindowReport {
+    match spec.warmup {
+        WarmupMode::None => measure_window(sys, 0, spec.detailed),
+        WarmupMode::Functional(_) => {
+            apply_cache_touches(sys, &iv.warm);
+            measure_window(sys, FUNCTIONAL_SETTLE.min(spec.detailed), spec.detailed)
+        }
+        WarmupMode::Detailed(cycles) => {
+            sys.run_insts(u64::MAX, cycles);
+            measure_window(sys, 0, spec.detailed)
+        }
+    }
+}
+
+/// Aggregates per-interval reports into the sampled estimate: mean ± 95%
+/// CI of per-interval IPC (Student-t, small-k aware).
+pub fn ipc_estimate(reports: &[WindowReport]) -> MeanCi {
+    let ipcs: Vec<f64> = reports.iter().map(|r| r.mt_ipc).collect();
+    mean_ci95(&ipcs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r3dla_workloads::{by_name, Scale};
+
+    fn tiny_program(name: &str) -> Arc<Program> {
+        Arc::new(by_name(name).unwrap().build(Scale::Tiny).program)
+    }
+
+    #[test]
+    fn spec_parse_round_trips() {
+        let s = SampleSpec::parse("4:5000:functional").unwrap();
+        assert_eq!(s.k, 4);
+        assert_eq!(s.detailed, 5_000);
+        assert_eq!(s.warmup, WarmupMode::Functional(20_000));
+        assert_eq!(SampleSpec::parse(&s.label()), Some(s));
+        assert!(SampleSpec::parse("1:5000:none").is_none(), "k >= 2");
+        assert!(SampleSpec::parse("4:0:none").is_none());
+        assert!(SampleSpec::parse("4:5000").is_none());
+        assert!(SampleSpec::parse("4:5000:warmish").is_none());
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_ordered() {
+        let prog = tiny_program("md5_like");
+        let spec = SampleSpec::parse("4:2000:functional:4000").unwrap();
+        let a = plan_intervals(&prog, &spec);
+        let b = plan_intervals(&prog, &spec);
+        assert_eq!(a.len(), 4, "tiny workloads fit 4 intervals");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.index, y.index);
+            assert_eq!(x.ckpt, y.ckpt);
+            assert_eq!(x.warm, y.warm);
+        }
+        // Starts strictly increase and carry monotonically growing deltas.
+        for w in a.windows(2) {
+            assert!(w[0].ckpt.icount() < w[1].ckpt.icount());
+            assert!(w[0].ckpt.dirty_pages() <= w[1].ckpt.dirty_pages());
+        }
+    }
+
+    #[test]
+    fn functional_mode_records_warm_stream() {
+        let prog = tiny_program("libq_like");
+        let spec = SampleSpec::parse("2:1000:functional:2000").unwrap();
+        let plan = plan_intervals(&prog, &spec);
+        assert_eq!(plan.len(), 2);
+        // Interval 1 sits mid-run, so its full warm window exists.
+        let touches = &plan[1].warm;
+        let insts = touches
+            .iter()
+            .filter(|t| matches!(t, Touch::Inst(_)))
+            .count();
+        assert_eq!(insts, 2_000, "warm stream covers the requested window");
+        assert!(touches.iter().any(|t| matches!(t, Touch::Data(_))));
+        assert!(touches.iter().any(|t| matches!(t, Touch::Branch { .. })));
+    }
+
+    #[test]
+    fn too_short_programs_yield_deduplicated_intervals() {
+        // ~3k dynamic instructions against a 4×5000 plan: every start
+        // clamps to 0, which must produce ONE interval, not four copies
+        // of the same region masquerading as independent samples.
+        use r3dla_isa::{Asm, Reg};
+        let mut a = Asm::new();
+        let (i, n) = (Reg::int(10), Reg::int(11));
+        a.li(i, 0);
+        a.li(n, 1_000);
+        a.label("loop");
+        a.addi(i, i, 1);
+        a.blt(i, n, "loop");
+        a.halt();
+        let prog = Arc::new(a.finish().unwrap());
+        let spec = SampleSpec::parse("4:5000:none").unwrap();
+        let plan = plan_intervals(&prog, &spec);
+        assert_eq!(plan.len(), 1, "collided starts must deduplicate");
+        assert_eq!(plan[0].index, 0);
+        assert_eq!(plan[0].ckpt.icount(), 0);
+    }
+
+    #[test]
+    fn none_mode_records_nothing() {
+        let prog = tiny_program("md5_like");
+        let spec = SampleSpec::parse("2:1000:none").unwrap();
+        let plan = plan_intervals(&prog, &spec);
+        assert!(plan.iter().all(|iv| iv.warm.is_empty()));
+    }
+}

@@ -1,0 +1,146 @@
+//! Confidence intervals for sampled simulation (SMARTS-style interval
+//! sampling reports mean ± 95% CI over per-interval measurements).
+//!
+//! Sample counts are small (a handful to a few dozen intervals), so the
+//! half-width uses the Student-t critical value for the actual degrees of
+//! freedom instead of the normal 1.96.
+
+/// Two-sided 95% Student-t critical values for 1..=30 degrees of freedom.
+const T95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// The two-sided 95% Student-t critical value for `df` degrees of
+/// freedom (the normal approximation 1.96 beyond the table).
+pub fn t_crit95(df: usize) -> f64 {
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => T95[df - 1],
+        _ => 1.96,
+    }
+}
+
+/// Unbiased sample variance (n−1 denominator); 0.0 for fewer than two
+/// samples.
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = crate::mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// A sample mean with its 95% confidence half-width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanCi {
+    /// Arithmetic mean of the samples.
+    pub mean: f64,
+    /// Half-width of the two-sided 95% confidence interval
+    /// (`t · s / √n`); 0.0 when fewer than two samples exist.
+    pub half: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl MeanCi {
+    /// Whether `value` lies within the interval `mean ± half`.
+    pub fn contains(&self, value: f64) -> bool {
+        (value - self.mean).abs() <= self.half
+    }
+
+    /// Relative half-width (`half / mean`); 0.0 for a zero mean.
+    pub fn relative(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.half / self.mean.abs()
+        }
+    }
+}
+
+impl std::fmt::Display for MeanCi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4} ± {:.4} (n={})", self.mean, self.half, self.n)
+    }
+}
+
+/// Mean ± 95% confidence half-width of `xs` using the Student-t
+/// distribution (small-sample aware).
+///
+/// # Examples
+///
+/// ```
+/// use r3dla_stats::mean_ci95;
+/// let ci = mean_ci95(&[1.0, 2.0, 3.0, 4.0]);
+/// assert!((ci.mean - 2.5).abs() < 1e-12);
+/// assert!(ci.contains(2.5) && !ci.contains(10.0));
+/// ```
+pub fn mean_ci95(xs: &[f64]) -> MeanCi {
+    let n = xs.len();
+    let mean = crate::mean(xs);
+    if n < 2 {
+        return MeanCi { mean, half: 0.0, n };
+    }
+    let s = sample_variance(xs).sqrt();
+    MeanCi {
+        mean,
+        half: t_crit95(n - 1) * s / (n as f64).sqrt(),
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_table_shrinks_toward_normal() {
+        assert!(t_crit95(1) > t_crit95(3));
+        assert!(t_crit95(3) > t_crit95(30));
+        assert!((t_crit95(31) - 1.96).abs() < 1e-12);
+        assert!((t_crit95(3) - 3.182).abs() < 1e-12);
+        assert!(t_crit95(0).is_infinite());
+    }
+
+    #[test]
+    fn variance_matches_hand_computation() {
+        // xs = [2, 4, 4, 4, 5, 5, 7, 9]: mean 5, sum sq dev 32, s² = 32/7.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((sample_variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(sample_variance(&[3.0]), 0.0);
+        assert_eq!(sample_variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn ci_hand_computed_k4() {
+        // k=4, df=3, t=3.182. xs = [1, 2, 3, 4]: mean 2.5, s² = 5/3.
+        let ci = mean_ci95(&[1.0, 2.0, 3.0, 4.0]);
+        let expect = 3.182 * (5.0f64 / 3.0).sqrt() / 2.0;
+        assert!((ci.half - expect).abs() < 1e-9);
+        assert_eq!(ci.n, 4);
+    }
+
+    #[test]
+    fn identical_samples_have_zero_width() {
+        let ci = mean_ci95(&[1.5, 1.5, 1.5]);
+        assert_eq!(ci.half, 0.0);
+        assert!(ci.contains(1.5));
+        assert!(!ci.contains(1.5001));
+    }
+
+    #[test]
+    fn singleton_is_degenerate() {
+        let ci = mean_ci95(&[7.0]);
+        assert_eq!(ci.mean, 7.0);
+        assert_eq!(ci.half, 0.0);
+        assert_eq!(ci.relative(), 0.0 / 7.0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = format!("{}", mean_ci95(&[1.0, 3.0]));
+        assert!(s.contains("±") && s.contains("n=2"));
+    }
+}

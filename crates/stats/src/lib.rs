@@ -15,10 +15,12 @@
 //! assert_eq!(a, b);
 //! ```
 
+mod ci;
 mod hist;
 mod rng;
 mod summary;
 
+pub use ci::{mean_ci95, sample_variance, t_crit95, MeanCi};
 pub use hist::Histogram;
 pub use rng::Rng;
 pub use summary::{geomean, mean, median, Summary};

@@ -24,7 +24,7 @@ fn main() {
             None,
             Some("bop"),
         );
-        let (bl_ipc, _, _) = bl.measure(15_000, 60_000);
+        let bl_ipc = bl.measure(15_000, 60_000).mt_ipc;
         let mut dla =
             DlaSystem::build(&built, DlaConfig::dla(), SkeletonOptions::default()).expect("builds");
         let d = dla.measure(15_000, 60_000);

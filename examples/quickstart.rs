@@ -31,7 +31,7 @@ fn main() {
         None,
         Some("bop"),
     );
-    let (bl_ipc, _, _) = baseline.measure(20_000, 100_000);
+    let bl_ipc = baseline.measure(20_000, 100_000).mt_ipc;
     println!("baseline IPC: {bl_ipc:.3}");
 
     // R3-DLA: the same core pair with look-ahead, T1 offload, value reuse,

@@ -22,7 +22,7 @@ fn main() {
         None,
         Some("bop"),
     );
-    let (hc_ipc, _, _) = hc.measure(15_000, 60_000);
+    let hc_ipc = hc.measure(15_000, 60_000).mt_ipc;
     let mut fc = SingleCoreSim::build(
         &wl,
         CoreConfig::wide_smt(),
@@ -30,7 +30,7 @@ fn main() {
         None,
         Some("bop"),
     );
-    let (fc_ipc, _, _) = fc.measure(15_000, 60_000);
+    let fc_ipc = fc.measure(15_000, 60_000).mt_ipc;
     let mut cfg = DlaConfig::r3();
     cfg.mt_core = CoreConfig::half_core();
     cfg.mt_core.fetch_buffer = 32;

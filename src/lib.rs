@@ -19,7 +19,10 @@
 //! * [`analytic`] — the Markov-chain fetch-buffer model of Appendix B;
 //! * [`workloads`] — synthetic kernels mimicking SPEC2006 / CRONO /
 //!   STARBENCH / NPB behaviour classes;
-//! * [`stats`] — deterministic PRNGs and summary statistics.
+//! * [`stats`] — deterministic PRNGs and summary statistics;
+//! * [`sample`] — checkpoints and sampled simulation: functional
+//!   fast-forward, microarchitectural warmup, systematic interval
+//!   sampling with confidence intervals.
 //!
 //! # Quickstart
 //!
@@ -48,5 +51,6 @@ pub use r3dla_energy as energy;
 pub use r3dla_isa as isa;
 pub use r3dla_mem as mem;
 pub use r3dla_prefetch as prefetch;
+pub use r3dla_sample as sample;
 pub use r3dla_stats as stats;
 pub use r3dla_workloads as workloads;

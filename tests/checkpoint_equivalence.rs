@@ -1,0 +1,146 @@
+//! Checkpoint round-trip equivalence suite (the sampled-simulation
+//! analogue of `skip_equivalence.rs`).
+//!
+//! Three contracts:
+//!
+//! 1. **Functional round trip is bit-exact**: capture at instruction N,
+//!    restore, run to N+M — registers, PC, instruction count and memory
+//!    delta are byte-identical to an uninterrupted run to N+M.
+//! 2. **Restored timing runs are architecturally correct**: a `dla` or
+//!    `bl` system restored mid-workload and run to halt ends with
+//!    exactly the architectural register file the functional reference
+//!    produces (the golden-model check, from a checkpoint).
+//! 3. **Restored measurement is deterministic**: measuring the same
+//!    (checkpoint × config) cell twice yields byte-identical runner
+//!    report rows, for both `dla` and baseline configs — which is what
+//!    makes sampled `BENCH_*.json` reproducible at any thread count.
+
+use std::sync::Arc;
+
+use r3dla_bench::runner::{CellResult, ConfigSpec};
+use r3dla_bench::sampled::run_sampled_cell;
+use r3dla_bench::Prepared;
+use r3dla_core::WindowReport;
+use r3dla_cpu::CoreConfig;
+use r3dla_mem::MemConfig;
+use r3dla_sample::{plan_intervals, Emulator, ImageMem, SampleSpec};
+use r3dla_workloads::{by_name, Scale};
+
+/// Capture at N, restore, run M more: every piece of architectural
+/// state — including the re-captured checkpoint, i.e. the memory delta —
+/// must equal an uninterrupted run to N+M.
+#[test]
+fn functional_round_trip_is_byte_identical() {
+    for name in ["libq_like", "gobmk_like", "bfs"] {
+        let prog = Arc::new(by_name(name).unwrap().build(Scale::Tiny).program);
+        let image = Arc::new(ImageMem::of(prog.image()));
+        let (n, m) = (10_000, 7_500);
+        let mut whole = Emulator::with_image(Arc::clone(&prog), Arc::clone(&image));
+        whole.run(n + m);
+        let mut first = Emulator::with_image(Arc::clone(&prog), Arc::clone(&image));
+        first.run(n);
+        let ckpt = first.checkpoint();
+        assert_eq!(ckpt.icount(), n, "{name}: capture point drifted");
+        let mut resumed = Emulator::from_checkpoint(Arc::clone(&prog), image, &ckpt);
+        resumed.run(m);
+        assert_eq!(resumed.icount(), whole.icount(), "{name}: icount");
+        assert_eq!(resumed.state().pc, whole.state().pc, "{name}: pc");
+        assert_eq!(resumed.state().regs(), whole.state().regs(), "{name}: regs");
+        assert_eq!(
+            resumed.checkpoint(),
+            whole.checkpoint(),
+            "{name}: memory delta diverged across the round trip"
+        );
+    }
+}
+
+/// A timing system restored from a mid-workload checkpoint and run to
+/// halt must finish with the functional reference's architectural
+/// registers — for the two-core DLA system and the single-core baseline.
+#[test]
+fn restored_timing_runs_reach_the_functional_end_state() {
+    let name = "md5_like";
+    let wl = by_name(name).unwrap().build(Scale::Tiny);
+    let prog = Arc::new(wl.program.clone());
+    let image = Arc::new(ImageMem::of(prog.image()));
+    // Functional reference: run to halt.
+    let mut reference = Emulator::with_image(Arc::clone(&prog), Arc::clone(&image));
+    let total = reference.run_to_halt(10_000_000);
+    // Checkpoint mid-run.
+    let mut em = Emulator::with_image(Arc::clone(&prog), image);
+    em.run(total / 2);
+    let ckpt = em.checkpoint();
+
+    let p = Prepared::new(&by_name(name).unwrap(), Scale::Tiny);
+    // Baseline single core.
+    let mut bl = r3dla_core::SingleCoreSim::restore_from_checkpoint(
+        &wl,
+        CoreConfig::paper(),
+        MemConfig::paper(),
+        None,
+        Some("bop"),
+        &ckpt,
+    );
+    bl.run_until(u64::MAX, 50_000_000);
+    assert!(bl.core().halted(), "restored bl run must reach the halt");
+    assert_eq!(
+        bl.core().committed(0),
+        total - total / 2,
+        "restored bl run commits exactly the remaining instructions"
+    );
+    assert_eq!(bl.core().arch_regs(0), reference.state().regs(), "bl regs");
+    // Two-core DLA system.
+    let mut dla = p.dla_system_from_checkpoint(r3dla_core::DlaConfig::dla(), &ckpt);
+    dla.run_until_mt(u64::MAX, 50_000_000);
+    assert!(dla.mt_halted(), "restored dla run must reach the halt");
+    assert_eq!(
+        dla.mt().committed(0),
+        total - total / 2,
+        "restored dla run commits exactly the remaining instructions"
+    );
+    assert_eq!(dla.mt().arch_regs(0), reference.state().regs(), "dla regs");
+}
+
+/// The runner's deterministic per-cell JSON row for a sampled interval,
+/// via the very formatter `BENCH_*.json` uses.
+fn cell_row(p: &Prepared, config: &str, report: WindowReport) -> String {
+    CellResult {
+        workload: p.name.clone(),
+        suite: p.suite,
+        config: config.to_string(),
+        report,
+        wall_ms: 0,
+    }
+    .stat_fields()
+}
+
+/// Measuring the same (checkpoint × config) cell twice is byte-identical
+/// — counters and report rows — for dla and baseline configs, with
+/// functional warmup applied both times.
+#[test]
+fn restored_measurement_is_deterministic() {
+    let spec = SampleSpec::parse("2:3000:functional").unwrap();
+    for workload in ["libq_like", "xalan_like"] {
+        let p = Prepared::new(&by_name(workload).unwrap(), Scale::Tiny);
+        let plan = plan_intervals(&p.program, &spec);
+        assert_eq!(plan.len(), 2, "{workload}: plan must fill");
+        for config in ["bl", "dla"] {
+            let cfg = ConfigSpec::by_name(config).unwrap();
+            for iv in &plan {
+                let a = run_sampled_cell(&p, &cfg, &spec, iv, true);
+                let b = run_sampled_cell(&p, &cfg, &spec, iv, true);
+                assert!(
+                    a.mt_committed > 0,
+                    "({workload}, {config}): interval {} committed nothing",
+                    iv.index
+                );
+                assert_eq!(
+                    cell_row(&p, config, a),
+                    cell_row(&p, config, b),
+                    "({workload}, {config}): interval {} not deterministic",
+                    iv.index
+                );
+            }
+        }
+    }
+}
