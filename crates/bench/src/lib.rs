@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! Shared experiment harness: prepared workloads (profile + skeletons
 //! computed once), measurement helpers with common warmup/window sizing,
 //! the parallel experiment runner ([`runner`]), and table formatting for
@@ -47,6 +48,10 @@ pub struct Prepared {
     pub suite: Suite,
     /// The program.
     pub program: Arc<Program>,
+    /// Reaching-definitions analysis (kept so alternative skeleton
+    /// options can be regenerated without re-deriving it — the DSE
+    /// search sweeps [`SkeletonOptions`] thresholds).
+    pub dataflow: Dataflow,
     /// Training profile.
     pub profile: ProfileData,
     /// Skeletons with T1 offload applied.
@@ -81,11 +86,26 @@ impl Prepared {
             name: w.name.to_string(),
             suite: w.suite,
             program,
+            dataflow: df,
             profile: prof,
             skeletons_t1,
             skeletons_plain,
             built,
         }
+    }
+
+    /// Generates a skeleton set under non-default options, reusing the
+    /// stored dataflow analysis and training profile. With default
+    /// options this returns a clone of the precomputed set.
+    pub fn skeletons_for(&self, opt: &SkeletonOptions, t1: bool) -> SkeletonSet {
+        if *opt == SkeletonOptions::default() {
+            return if t1 {
+                self.skeletons_t1.clone()
+            } else {
+                self.skeletons_plain.clone()
+            };
+        }
+        generate_skeletons(&self.program, &self.dataflow, &self.profile, opt, t1)
     }
 
     /// The built workload (for single-core and baseline systems).
@@ -124,6 +144,25 @@ impl Prepared {
             Rc::new((*self.program).clone()),
             cfg,
             set.clone(),
+            self.profile.clone(),
+            ckpt,
+        )
+    }
+
+    /// Like [`dla_system_from_checkpoint`](Self::dla_system_from_checkpoint)
+    /// but with an explicit skeleton set — the DSE evaluator's entry
+    /// point, where the set comes from swept [`SkeletonOptions`] rather
+    /// than the two precomputed defaults.
+    pub fn dla_system_from_checkpoint_with(
+        &self,
+        cfg: DlaConfig,
+        set: SkeletonSet,
+        ckpt: &r3dla_isa::ArchCheckpoint,
+    ) -> DlaSystem {
+        DlaSystem::restore_from_checkpoint(
+            Rc::new((*self.program).clone()),
+            cfg,
+            set,
             self.profile.clone(),
             ckpt,
         )

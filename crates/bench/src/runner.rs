@@ -1,8 +1,10 @@
 //! The parallel experiment runner: fans a (workload × configuration)
 //! grid out across scoped worker threads.
 //!
-//! Every cell constructs its own thread-confined [`DlaSystem`] (or
-//! [`SingleCoreSim`]) from a shared, immutable [`Prepared`] workload, so
+//! Every cell constructs its own thread-confined
+//! [`DlaSystem`](r3dla_core::DlaSystem) (or
+//! [`SingleCoreSim`](r3dla_core::SingleCoreSim)) from a shared,
+//! immutable [`Prepared`] workload, so
 //! the simulator's `Rc`/`RefCell` internals never cross a thread
 //! boundary — only `Send + Sync` specs go in and plain-data reports come
 //! out. Results keep deterministic (grid) order no matter which worker

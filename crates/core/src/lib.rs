@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! R3-DLA: the paper's contribution — a decoupled look-ahead system with
 //! the *reduce* (T1 offload), *reuse* (value + control-flow reuse) and
 //! *recycle* (skeleton cycling) optimizations, built on the `r3dla-cpu`
@@ -41,6 +42,7 @@ mod skeleton;
 mod static_tune;
 mod system;
 mod t1;
+mod tunables;
 mod value_reuse;
 
 pub use dataflow::{BitSet, Dataflow};

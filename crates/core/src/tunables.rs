@@ -1,0 +1,240 @@
+//! Canonical configuration serialization for design-space exploration
+//! (the `r3dla-dse` crate's content-addressed result cache).
+//!
+//! Off-line tuning ([`static_tune`](crate::static_tune)) searches one
+//! axis (skeleton versions) of one configuration; the DSE subsystem
+//! searches the whole `DlaConfig × SkeletonOptions` space and must be
+//! able to *name* each point stably: two runs that simulate the same
+//! point must derive the same cache key, and any knob change must change
+//! it. Derived `Debug` output is not that name — `RecycleMode::Static`
+//! carries a `HashMap` whose iteration order is unspecified — so this
+//! module provides an explicit canonical form.
+//!
+//! The canonical key lists every field that can influence a simulation
+//! result, in a fixed order, with floats rendered by Rust's
+//! shortest-round-trip formatter (two floats share a rendering iff they
+//! are the same value).
+
+use crate::skeleton::SkeletonOptions;
+use crate::system::DlaConfig;
+use crate::RecycleMode;
+
+/// Renders a float in its shortest round-trip form (`{:?}`), so canonical
+/// keys are stable and distinct floats never collide.
+fn f(v: f64) -> String {
+    format!("{v:?}")
+}
+
+impl RecycleMode {
+    /// A short, stable label of the mode *kind* (`off`, `dynamic`,
+    /// `static`) — what CLIs and reports print.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            RecycleMode::Off => "off",
+            RecycleMode::Dynamic => "dynamic",
+            RecycleMode::Static(_) => "static",
+        }
+    }
+
+    /// The canonical serialization of the mode, including a
+    /// deterministically ordered dump of a static map (sorted by loop
+    /// PC) — unlike derived `Debug`, which inherits `HashMap`'s
+    /// unspecified iteration order.
+    pub fn canonical_key(&self) -> String {
+        match self {
+            RecycleMode::Static(map) => {
+                let mut pairs: Vec<(u64, usize)> = map.iter().map(|(&k, &v)| (k, v)).collect();
+                pairs.sort_unstable();
+                let body: Vec<String> = pairs
+                    .iter()
+                    .map(|(pc, v)| format!("{pc:#x}->{v}"))
+                    .collect();
+                format!("static[{}]", body.join(","))
+            }
+            other => other.kind_label().to_string(),
+        }
+    }
+}
+
+impl SkeletonOptions {
+    /// Canonical `key=value` serialization of every skeleton-construction
+    /// threshold, in declaration order. Equal options produce equal keys;
+    /// changing any field changes the key.
+    pub fn canonical_key(&self) -> String {
+        format!(
+            "l1_seed_rate={};l2_seed_rate={};max_mem_dep_distance={};\
+             t1_stride_ratio={};t1_min_instances={};vr_latency={};\
+             vr_min_dependents={};bias_threshold={};bias_min_instances={}",
+            f(self.l1_seed_rate),
+            f(self.l2_seed_rate),
+            self.max_mem_dep_distance,
+            f(self.t1_stride_ratio),
+            self.t1_min_instances,
+            f(self.vr_latency),
+            self.vr_min_dependents,
+            f(self.bias_threshold),
+            self.bias_min_instances,
+        )
+    }
+}
+
+impl DlaConfig {
+    /// Canonical `key=value` serialization of the whole configuration —
+    /// every field that can influence a simulated result, including the
+    /// nested core and memory configurations (whose derived `Debug` is
+    /// deterministic: they are plain scalar structs).
+    ///
+    /// This is the configuration half of a DSE cache key: two configs
+    /// produce the same key iff every knob matches.
+    pub fn canonical_key(&self) -> String {
+        format!(
+            "boq={};fq={};reboot_cost={};t1={};t1_entries={};value_reuse={};\
+             vr_capacity={};recycle={};mt_l2_pf={};lt_l2_pf={};mt_l1_pf={};\
+             profile_insts={};fq_hints={};mt_core={:?};lt_core={:?};mem={:?}",
+            self.boq_capacity,
+            self.fq_capacity,
+            self.reboot_cost,
+            self.t1,
+            self.t1_entries,
+            self.value_reuse,
+            self.vr_capacity,
+            self.recycle.canonical_key(),
+            self.mt_l2_prefetcher.unwrap_or("none"),
+            self.lt_l2_prefetcher.unwrap_or("none"),
+            self.mt_l1_prefetcher.unwrap_or("none"),
+            self.profile_insts,
+            self.fq_hints,
+            self.mt_core,
+            self.lt_core,
+            self.mem,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn equal_configs_share_a_key() {
+        assert_eq!(
+            DlaConfig::r3().canonical_key(),
+            DlaConfig::r3().canonical_key()
+        );
+        assert_eq!(
+            SkeletonOptions::default().canonical_key(),
+            SkeletonOptions::default().canonical_key()
+        );
+    }
+
+    #[test]
+    fn every_dla_knob_moves_the_key() {
+        let base = DlaConfig::dla().canonical_key();
+        let mutations: Vec<DlaConfig> = vec![
+            {
+                let mut c = DlaConfig::dla();
+                c.boq_capacity = 256;
+                c
+            },
+            {
+                let mut c = DlaConfig::dla();
+                c.fq_capacity = 64;
+                c
+            },
+            {
+                let mut c = DlaConfig::dla();
+                c.t1 = true;
+                c
+            },
+            {
+                let mut c = DlaConfig::dla();
+                c.t1_entries = 8;
+                c
+            },
+            {
+                let mut c = DlaConfig::dla();
+                c.value_reuse = true;
+                c
+            },
+            {
+                let mut c = DlaConfig::dla();
+                c.vr_capacity = 16;
+                c
+            },
+            {
+                let mut c = DlaConfig::dla();
+                c.recycle = RecycleMode::Dynamic;
+                c
+            },
+            {
+                let mut c = DlaConfig::dla();
+                c.mt_l2_prefetcher = Some("stride");
+                c
+            },
+            DlaConfig::dla().without_prefetcher(),
+            {
+                let mut c = DlaConfig::dla();
+                c.mt_core.fetch_buffer = 32;
+                c
+            },
+            {
+                let mut c = DlaConfig::dla();
+                c.reboot_cost = 32;
+                c
+            },
+        ];
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(base);
+        for m in mutations {
+            assert!(
+                seen.insert(m.canonical_key()),
+                "mutation failed to move the canonical key: {m:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_skeleton_threshold_moves_the_key() {
+        let base = SkeletonOptions::default();
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(base.canonical_key());
+        macro_rules! mutate {
+            ($field:ident, $value:expr) => {{
+                let mut o = SkeletonOptions::default();
+                o.$field = $value;
+                assert!(
+                    seen.insert(o.canonical_key()),
+                    concat!(stringify!($field), " failed to move the key")
+                );
+            }};
+        }
+        mutate!(l1_seed_rate, 0.05);
+        mutate!(l2_seed_rate, 0.01);
+        mutate!(max_mem_dep_distance, 500);
+        mutate!(t1_stride_ratio, 0.8);
+        mutate!(t1_min_instances, 32);
+        mutate!(vr_latency, 10.0);
+        mutate!(vr_min_dependents, 3);
+        mutate!(bias_threshold, 0.9);
+        mutate!(bias_min_instances, 50);
+    }
+
+    #[test]
+    fn static_map_serialization_is_order_independent() {
+        let mut a = HashMap::new();
+        a.insert(0x2000u64, 1usize);
+        a.insert(0x1000, 2);
+        a.insert(0x3000, 0);
+        let mut b = HashMap::new();
+        b.insert(0x3000u64, 0usize);
+        b.insert(0x1000, 2);
+        b.insert(0x2000, 1);
+        assert_eq!(
+            RecycleMode::Static(a).canonical_key(),
+            RecycleMode::Static(b).canonical_key()
+        );
+        assert_eq!(RecycleMode::Dynamic.canonical_key(), "dynamic");
+        assert_eq!(RecycleMode::Off.kind_label(), "off");
+    }
+}

@@ -1,0 +1,327 @@
+//! The content-addressed, on-disk result cache behind resumable
+//! searches.
+//!
+//! Every measured cell — one (workload, configuration, sample spec,
+//! interval) — is stored in its own file named by the 64-bit FxHash of
+//! the cell's full canonical description. The description itself is kept
+//! inside the file and verified on load, so a (vanishingly unlikely)
+//! hash collision degrades to a cache miss instead of silently serving
+//! the wrong result.
+//!
+//! Two properties matter more than speed here:
+//!
+//! * **resumability** — files are written atomically (temp file +
+//!   rename), so a search killed mid-run leaves only whole entries and
+//!   the next run picks up exactly where it stopped;
+//! * **bit-exactness** — counters are stored as decimal `u64`s and every
+//!   float as its IEEE-754 bit pattern, so a result that round-trips
+//!   through the cache is *identical* to the freshly computed one and a
+//!   resumed search reproduces a fresh report byte-for-byte.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use r3dla_core::WindowReport;
+use r3dla_isa::FxHasher;
+
+/// Schema tag stored in (and expected from) every cache entry.
+pub const CACHE_SCHEMA: &str = "r3dla-dse-cache-v1";
+
+/// A cell's content address: the canonical description and its hash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheKey {
+    /// The full canonical description of the cell.
+    pub descr: String,
+    /// 64-bit FxHash of `descr` — the entry's file name.
+    pub hash: u64,
+}
+
+impl CacheKey {
+    /// Builds the key for one measured cell. `trial_key` is the
+    /// configuration's canonical serialization
+    /// ([`DlaConfig::canonical_key`](r3dla_core::DlaConfig::canonical_key)
+    /// plus skeleton options, or the single-core baseline descriptor);
+    /// `workload_fp` is [`program_fingerprint`] of the workload binary.
+    pub fn cell(
+        workload: &str,
+        workload_fp: u64,
+        scale: &str,
+        sample_label: &str,
+        interval: usize,
+        trial_key: &str,
+    ) -> Self {
+        let descr = format!(
+            "{CACHE_SCHEMA}|workload={workload}|fp={workload_fp:016x}|scale={scale}\
+             |sample={sample_label}|interval={interval}|{trial_key}"
+        );
+        let hash = fxhash_str(&descr);
+        Self { descr, hash }
+    }
+
+    /// The entry's file name (16 hex digits + extension).
+    pub fn file_name(&self) -> String {
+        format!("{:016x}.dsecache", self.hash)
+    }
+}
+
+/// Hashes a string with the simulator's vendored FxHasher (stable across
+/// runs and platforms — no randomized state).
+pub fn fxhash_str(s: &str) -> u64 {
+    use std::hash::Hasher as _;
+    let mut h = FxHasher::default();
+    h.write(s.as_bytes());
+    h.finish()
+}
+
+/// A stable fingerprint of a workload binary: entry PC, static
+/// instruction listing and the initial data image. Any change to the
+/// program — code or image — moves the fingerprint and therefore every
+/// cache key derived from it.
+pub fn program_fingerprint(program: &r3dla_isa::Program) -> u64 {
+    use std::hash::Hasher as _;
+    let mut h = FxHasher::default();
+    h.write_u64(program.entry());
+    h.write_u64(program.len() as u64);
+    h.write(program.disassemble().as_bytes());
+    for &(addr, word) in program.image() {
+        h.write_u64(addr);
+        h.write_u64(word);
+    }
+    h.finish()
+}
+
+/// One measured cell: the detailed window report plus the window's
+/// modeled energy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalResult {
+    /// The detailed window report.
+    pub report: WindowReport,
+    /// Total modeled energy over the measured window (both cores plus
+    /// DRAM), in joules.
+    pub energy_j: f64,
+}
+
+impl IntervalResult {
+    /// Serializes the result (plus its key description) into the cache
+    /// entry format: a line-oriented text record, floats as bit
+    /// patterns.
+    pub fn serialize(&self, key: &CacheKey) -> String {
+        let r = &self.report;
+        format!(
+            "{CACHE_SCHEMA}\nkey {}\ncycles {}\nmt_committed {}\nlt_committed {}\n\
+             dram_traffic {}\nmt_l1d_misses {}\nmt_l1d_accesses {}\nreboots {}\n\
+             mt_ipc_bits {:016x}\nenergy_j_bits {:016x}\n",
+            key.descr,
+            r.cycles,
+            r.mt_committed,
+            r.lt_committed,
+            r.dram_traffic,
+            r.mt_l1d_misses,
+            r.mt_l1d_accesses,
+            r.reboots,
+            r.mt_ipc.to_bits(),
+            self.energy_j.to_bits(),
+        )
+    }
+
+    /// Parses a cache entry, verifying both the schema line and that the
+    /// stored key description matches `key` exactly (hash-collision and
+    /// truncated-write guard). Returns `None` on any mismatch.
+    pub fn deserialize(text: &str, key: &CacheKey) -> Option<Self> {
+        let mut lines = text.lines();
+        if lines.next()? != CACHE_SCHEMA {
+            return None;
+        }
+        if lines.next()?.strip_prefix("key ")? != key.descr {
+            return None;
+        }
+        let mut field =
+            |name: &str| -> Option<&str> { lines.next()?.strip_prefix(name).map(str::trim_start) };
+        let cycles: u64 = field("cycles")?.parse().ok()?;
+        let mt_committed: u64 = field("mt_committed")?.parse().ok()?;
+        let lt_committed: u64 = field("lt_committed")?.parse().ok()?;
+        let dram_traffic: u64 = field("dram_traffic")?.parse().ok()?;
+        let mt_l1d_misses: u64 = field("mt_l1d_misses")?.parse().ok()?;
+        let mt_l1d_accesses: u64 = field("mt_l1d_accesses")?.parse().ok()?;
+        let reboots: u64 = field("reboots")?.parse().ok()?;
+        let mt_ipc = f64::from_bits(u64::from_str_radix(field("mt_ipc_bits")?, 16).ok()?);
+        let energy_j = f64::from_bits(u64::from_str_radix(field("energy_j_bits")?, 16).ok()?);
+        Some(Self {
+            report: WindowReport {
+                cycles,
+                mt_committed,
+                lt_committed,
+                mt_ipc,
+                dram_traffic,
+                mt_l1d_misses,
+                mt_l1d_accesses,
+                reboots,
+            },
+            energy_j,
+        })
+    }
+}
+
+/// The on-disk cache: a directory of [`CacheKey`]-named entries, shared
+/// read/write by every worker thread of a search.
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: Option<PathBuf>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl ResultCache {
+    /// A disabled cache: every lookup misses and stores are dropped
+    /// (`--no-cache`).
+    pub fn disabled() -> Self {
+        Self {
+            dir: None,
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Opens (creating if needed) the cache directory.
+    pub fn at(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir: Some(dir),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        })
+    }
+
+    /// Whether the cache persists to disk.
+    pub fn is_enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// Looks up a cell. A corrupt, truncated or mismatched entry reads
+    /// as a miss.
+    pub fn load(&self, key: &CacheKey) -> Option<IntervalResult> {
+        let dir = self.dir.as_ref()?;
+        let loaded = std::fs::read_to_string(dir.join(key.file_name()))
+            .ok()
+            .and_then(|text| IntervalResult::deserialize(&text, key));
+        match loaded {
+            Some(r) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(r)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a cell atomically (unique temp file, then rename), so an
+    /// interrupted search never leaves a half-written entry behind.
+    pub fn store(&self, key: &CacheKey, result: &IntervalResult) {
+        let Some(dir) = self.dir.as_ref() else {
+            return;
+        };
+        let tmp = dir.join(format!("{:016x}.tmp{}", key.hash, std::process::id()));
+        let write = || -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(result.serialize(key).as_bytes())?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, dir.join(key.file_name()))
+        };
+        if let Err(e) = write() {
+            let _ = std::fs::remove_file(&tmp);
+            eprintln!("r3dla-dse: cache write failed for {}: {e}", key.file_name());
+        }
+    }
+
+    /// `(hits, misses)` counted so far — stderr diagnostics only; these
+    /// depend on cache state and must never reach the deterministic
+    /// report.
+    pub fn stats(&self) -> (usize, usize) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_result() -> IntervalResult {
+        IntervalResult {
+            report: WindowReport {
+                cycles: 12_345,
+                mt_committed: 5_000,
+                lt_committed: 3_210,
+                mt_ipc: 5_000.0 / 12_345.0,
+                dram_traffic: 42,
+                mt_l1d_misses: 7,
+                mt_l1d_accesses: 900,
+                reboots: 1,
+            },
+            energy_j: 1.234e-6,
+        }
+    }
+
+    #[test]
+    fn entry_round_trips_bit_exactly() {
+        let key = CacheKey::cell("md5_like", 0xabcd, "tiny", "3:2000:none", 2, "cfg=x");
+        let r = sample_result();
+        let text = r.serialize(&key);
+        let back = IntervalResult::deserialize(&text, &key).expect("round trip");
+        assert_eq!(back, r);
+        assert_eq!(back.report.mt_ipc.to_bits(), r.report.mt_ipc.to_bits());
+        assert_eq!(back.energy_j.to_bits(), r.energy_j.to_bits());
+    }
+
+    #[test]
+    fn mismatched_key_reads_as_miss() {
+        let key = CacheKey::cell("md5_like", 1, "tiny", "3:2000:none", 0, "cfg=x");
+        let other = CacheKey::cell("md5_like", 1, "tiny", "3:2000:none", 1, "cfg=x");
+        let text = sample_result().serialize(&key);
+        assert!(IntervalResult::deserialize(&text, &other).is_none());
+        assert!(IntervalResult::deserialize("garbage", &key).is_none());
+        assert!(IntervalResult::deserialize(&text[..text.len() / 2], &key).is_none());
+    }
+
+    #[test]
+    fn key_components_all_move_the_hash() {
+        let base = CacheKey::cell("w", 1, "tiny", "3:2000:none", 0, "cfg=x");
+        let variants = [
+            CacheKey::cell("w2", 1, "tiny", "3:2000:none", 0, "cfg=x"),
+            CacheKey::cell("w", 2, "tiny", "3:2000:none", 0, "cfg=x"),
+            CacheKey::cell("w", 1, "train", "3:2000:none", 0, "cfg=x"),
+            CacheKey::cell("w", 1, "tiny", "4:2000:none", 0, "cfg=x"),
+            CacheKey::cell("w", 1, "tiny", "3:2000:none", 1, "cfg=x"),
+            CacheKey::cell("w", 1, "tiny", "3:2000:none", 0, "cfg=y"),
+        ];
+        let mut hashes = std::collections::HashSet::new();
+        hashes.insert(base.hash);
+        for v in &variants {
+            assert!(hashes.insert(v.hash), "collision for {}", v.descr);
+        }
+    }
+
+    #[test]
+    fn disk_cache_stores_and_loads() {
+        let dir = std::env::temp_dir().join(format!("r3dla-dse-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::at(&dir).unwrap();
+        let key = CacheKey::cell("w", 1, "tiny", "3:2000:none", 0, "cfg=x");
+        assert!(cache.load(&key).is_none());
+        let r = sample_result();
+        cache.store(&key, &r);
+        assert_eq!(cache.load(&key), Some(r));
+        assert_eq!(cache.stats(), (1, 1));
+        // A disabled cache ignores everything.
+        let off = ResultCache::disabled();
+        off.store(&key, &sample_result());
+        assert!(off.load(&key).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

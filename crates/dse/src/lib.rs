@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+//! Budget-aware design-space exploration for the R3-DLA simulator.
+//!
+//! The paper's *recycle* machinery and its §V ablations are, at heart, a
+//! design-space search: the right skeleton/feature mix differs per
+//! workload. This crate automates that search over the
+//! `DlaConfig × SkeletonOptions` space using the sampled simulator
+//! (`r3dla-sample`) as a cheap evaluator and the bench runner's worker
+//! pool for parallelism. The pieces:
+//!
+//! * [`SearchSpace`] — the declarative knob space (T1, value reuse,
+//!   recycling, queue capacities, prefetchers, fetch buffer, skeleton
+//!   thresholds), addressed by flat mixed-radix indices;
+//! * [`Strategy`] — exhaustive, seeded-random, or successive-halving
+//!   walks under a trial budget, always including the `dla`/`r3`
+//!   incumbents so a budgeted search never regresses below the paper's
+//!   shipped configuration;
+//! * [`ResultCache`] — a content-addressed, on-disk cache of measured
+//!   cells keyed by `hash(workload, config, skeleton options, sample
+//!   spec, interval)`; interrupted or repeated searches resume
+//!   incrementally, and a resumed run's report is byte-identical to a
+//!   fresh one (floats round-trip as bit patterns);
+//! * [`run_dse`] / [`report`] — the driver and the deterministic
+//!   `r3dla-dse-v1` JSON with per-workload best configs, paired
+//!   speedup-vs-`bl` confidence intervals, and an IPC-vs-energy Pareto
+//!   frontier from the `r3dla-energy` model.
+//!
+//! The `r3dla-dse` binary wraps all of this in a CLI; see the README's
+//! "Design-space exploration" section.
+//!
+//! # Examples
+//!
+//! A tiny cached search (the `quick` 16-point space):
+//!
+//! ```no_run
+//! use r3dla_dse::{run_dse, DseSpec, ResultCache, SearchSpace, Strategy};
+//! use r3dla_sample::SampleSpec;
+//! use r3dla_workloads::{by_name, Scale};
+//!
+//! let spec = DseSpec {
+//!     scale: Scale::Tiny,
+//!     workloads: vec![by_name("libq_like").unwrap()],
+//!     space: SearchSpace::quick(),
+//!     strategy: Strategy::Random { seed: 1, budget: 6 },
+//!     sample: SampleSpec::parse("3:2000:functional").unwrap(),
+//!     fast_forward: true,
+//! };
+//! let cache = ResultCache::at("DSE_CACHE").unwrap();
+//! let result = run_dse(&spec, &cache, 4);
+//! println!("{}", r3dla_dse::report::to_json(&result));
+//! ```
+
+pub mod cache;
+pub mod report;
+pub mod search;
+pub mod space;
+
+pub use cache::{program_fingerprint, CacheKey, IntervalResult, ResultCache, CACHE_SCHEMA};
+pub use report::{pareto_indices, summary_markdown, to_json};
+pub use search::{
+    candidates, run_dse, scale_name, DseResult, DseSpec, Strategy, TrialSummary, WorkloadOutcome,
+};
+pub use space::{SearchSpace, TrialPoint, KNOBS};

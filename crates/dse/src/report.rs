@@ -1,0 +1,211 @@
+//! Report generation: the deterministic `r3dla-dse-v1` JSON and the
+//! human summary.
+//!
+//! Like the bench grids, the JSON is a pure function of the search spec
+//! (plus the simulator, which is bit-reproducible): no wall-clock, no
+//! cache-hit counts, floats printed with fixed precision from
+//! bit-identical doubles. A search resumed from a half-filled cache
+//! therefore reproduces a fresh run's report byte-for-byte — CI runs the
+//! search twice and `cmp`s the files.
+
+use std::fmt::Write as _;
+
+use r3dla_stats::MeanCi;
+
+use crate::search::{DseResult, TrialSummary, WorkloadOutcome};
+
+/// Indices (into a sorted-by-IPC trial list) of the IPC-vs-energy Pareto
+/// frontier: trials no other trial beats on both mean IPC (higher is
+/// better) and energy per instruction (lower is better). Dominance is
+/// checked pairwise (trial counts are budget-sized), so IPC ties — which
+/// really happen when a swept knob is inert, e.g. `vr_capacity` with
+/// value reuse off — resolve correctly instead of leaking a dominated
+/// point into the frontier.
+pub fn pareto_indices(trials: &[TrialSummary]) -> Vec<usize> {
+    let dominated = |i: usize| {
+        trials.iter().enumerate().any(|(j, other)| {
+            let t = &trials[i];
+            j != i
+                && ((other.ipc.mean > t.ipc.mean && other.epi_nj <= t.epi_nj)
+                    || (other.ipc.mean >= t.ipc.mean && other.epi_nj < t.epi_nj))
+        })
+    };
+    (0..trials.len()).filter(|&i| !dominated(i)).collect()
+}
+
+fn ci_fields(name: &str, ci: &MeanCi) -> String {
+    format!(
+        "\"{name}_mean\": {:.6}, \"{name}_ci95\": {:.6}",
+        ci.mean, ci.half
+    )
+}
+
+fn trial_fields(t: &TrialSummary) -> String {
+    let mut s = format!(
+        "\"id\": \"{}\", \"label\": \"{}\", \"intervals\": {}, {}",
+        t.id,
+        t.label,
+        t.intervals,
+        ci_fields("ipc", &t.ipc),
+    );
+    if let Some(sp) = &t.speedup {
+        let _ = write!(s, ", {}", ci_fields("speedup", sp));
+    }
+    let _ = write!(s, ", \"epi_nj\": {:.6}", t.epi_nj);
+    if let Some(inc) = t.incumbent {
+        let _ = write!(s, ", \"incumbent\": \"{inc}\"");
+    }
+    s
+}
+
+fn workload_json(w: &WorkloadOutcome) -> String {
+    let mut s = String::with_capacity(1024);
+    let _ = writeln!(
+        s,
+        "    {{\"workload\": \"{}\", \"suite\": \"{}\", \"trials\": {}, \
+         \"eliminated\": {}, \"interval_sims\": {},",
+        w.workload,
+        w.suite,
+        w.trials.len(),
+        w.eliminated.len(),
+        w.interval_sims
+    );
+    let _ = writeln!(s, "     \"bl\": {{{}}},", trial_fields(&w.bl));
+    let _ = writeln!(s, "     \"best\": {{{}}},", trial_fields(w.best()));
+    if let Some(r3) = w.r3() {
+        let _ = writeln!(s, "     \"r3\": {{{}}},", trial_fields(r3));
+    }
+    let pareto = pareto_indices(&w.trials);
+    s.push_str("     \"pareto\": [");
+    for (j, &i) in pareto.iter().enumerate() {
+        let t = &w.trials[i];
+        let _ = write!(
+            s,
+            "{}{{\"id\": \"{}\", \"ipc_mean\": {:.6}, \"epi_nj\": {:.6}}}",
+            if j > 0 { ", " } else { "" },
+            t.id,
+            t.ipc.mean,
+            t.epi_nj
+        );
+    }
+    s.push_str("],\n");
+    s.push_str("     \"ranked\": [\n");
+    for (j, t) in w.trials.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "       {{{}}}{}",
+            trial_fields(t),
+            if j + 1 < w.trials.len() { "," } else { "" }
+        );
+    }
+    s.push_str("     ]}");
+    s
+}
+
+/// Serializes the search result as deterministic `r3dla-dse-v1` JSON.
+pub fn to_json(r: &DseResult) -> String {
+    let mut out = String::with_capacity(512 + r.workloads.len() * 2048);
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"r3dla-dse-v1\",\n");
+    let _ = writeln!(
+        out,
+        "  \"scale\": \"{}\",",
+        crate::search::scale_name(r.scale)
+    );
+    let _ = writeln!(out, "  \"sample\": \"{}\",", r.sample.label());
+    let _ = writeln!(out, "  \"strategy\": \"{}\",", r.strategy);
+    let _ = writeln!(out, "  \"space_points\": {},", r.space_points);
+    out.push_str("  \"workloads\": [\n");
+    for (i, w) in r.workloads.iter().enumerate() {
+        out.push_str(&workload_json(w));
+        if i + 1 < r.workloads.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the human summary table (one row per workload) printed to
+/// stderr by the CLI.
+pub fn summary_markdown(r: &DseResult) -> String {
+    let mut s = String::new();
+    s.push_str("| workload | best config | best ipc | speedup vs bl | r3 ipc | pareto |\n");
+    s.push_str("|---|---|---|---|---|---|\n");
+    for w in &r.workloads {
+        let best = w.best();
+        let speedup = best
+            .speedup
+            .as_ref()
+            .map(|sp| format!("{:.3} ± {:.3}", sp.mean, sp.half))
+            .unwrap_or_else(|| "-".to_string());
+        let r3 = w
+            .r3()
+            .map(|t| format!("{:.3}", t.ipc.mean))
+            .unwrap_or_else(|| "-".to_string());
+        let _ = writeln!(
+            s,
+            "| {} | {} | {:.3} ± {:.3} | {} | {} | {} pts |",
+            w.workload,
+            best.label,
+            best.ipc.mean,
+            best.ipc.half,
+            speedup,
+            r3,
+            pareto_indices(&w.trials).len()
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(id: &str, ipc: f64, epi: f64) -> TrialSummary {
+        TrialSummary {
+            id: id.to_string(),
+            label: format!("trial-{id}"),
+            incumbent: None,
+            intervals: 3,
+            ipc: MeanCi {
+                mean: ipc,
+                half: 0.1,
+                n: 3,
+            },
+            epi_nj: epi,
+            speedup: None,
+            any_empty: false,
+        }
+    }
+
+    #[test]
+    fn pareto_keeps_only_undominated_trials() {
+        // Sorted by IPC desc already. (1.2, 5.0) dominates (1.1, 6.0);
+        // (0.9, 2.0) survives on energy.
+        let trials = vec![t("a", 1.2, 5.0), t("b", 1.1, 6.0), t("c", 0.9, 2.0)];
+        assert_eq!(pareto_indices(&trials), vec![0, 2]);
+        // A single trial is trivially on the frontier.
+        assert_eq!(pareto_indices(&trials[..1]), vec![0]);
+        assert!(pareto_indices(&[]).is_empty());
+    }
+
+    #[test]
+    fn trial_fields_include_optionals_only_when_present() {
+        let mut a = t("a", 1.0, 3.0);
+        let s = trial_fields(&a);
+        assert!(s.contains("\"ipc_mean\": 1.000000"));
+        assert!(!s.contains("speedup"));
+        assert!(!s.contains("incumbent"));
+        a.speedup = Some(MeanCi {
+            mean: 1.5,
+            half: 0.2,
+            n: 3,
+        });
+        a.incumbent = Some("r3");
+        let s = trial_fields(&a);
+        assert!(s.contains("\"speedup_mean\": 1.500000"));
+        assert!(s.contains("\"incumbent\": \"r3\""));
+    }
+}

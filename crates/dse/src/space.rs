@@ -1,0 +1,351 @@
+//! The declarative search space: which knobs exist, which values each
+//! knob may take, and how a chosen point materializes into a runnable
+//! `(DlaConfig, SkeletonOptions)` pair.
+//!
+//! A space is a small cartesian product. Points are addressed by a flat
+//! mixed-radix index (knob order is fixed), which gives every strategy —
+//! exhaustive sweep, seeded random sampling, successive halving — the
+//! same cheap, deterministic enumeration primitive, and lets candidate
+//! sets be deduplicated as plain `u64` sets.
+
+use r3dla_core::{DlaConfig, RecycleMode, SkeletonOptions};
+
+/// Number of knobs in a [`SearchSpace`].
+pub const KNOBS: usize = 11;
+
+/// A declarative `DlaConfig × SkeletonOptions` search space: one list of
+/// candidate values per knob. Every list must be non-empty; index 0 of
+/// each list is the knob's default.
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    /// T1 strided-prefetch offload (*reduce*) on/off.
+    pub t1: Vec<bool>,
+    /// T1 table entries.
+    pub t1_entries: Vec<usize>,
+    /// Value reuse (*reuse*) on/off.
+    pub value_reuse: Vec<bool>,
+    /// Pending value-reuse entries retained MT-side.
+    pub vr_capacity: Vec<usize>,
+    /// Skeleton recycling (*recycle*): `false` = off, `true` = the
+    /// dynamic per-loop controller.
+    pub recycle_dynamic: Vec<bool>,
+    /// Branch-outcome-queue capacity (bounds look-ahead depth).
+    pub boq_capacity: Vec<usize>,
+    /// Footnote-queue capacity.
+    pub fq_capacity: Vec<usize>,
+    /// MT-side L2 prefetcher (`None` disables it).
+    pub mt_l2_prefetcher: Vec<Option<&'static str>>,
+    /// MT fetch-buffer capacity (the paper's FB optimization).
+    pub fetch_buffer: Vec<usize>,
+    /// Skeleton seed threshold: L1 miss rate above which a memory
+    /// instruction seeds the backward slice.
+    pub l1_seed_rate: Vec<f64>,
+    /// Skeleton bias threshold: branch bias above which LT treats a
+    /// conditional branch as unconditional.
+    pub bias_threshold: Vec<f64>,
+}
+
+/// One chosen point: a value index per knob, in [`SearchSpace`] knob
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TrialPoint(pub [usize; KNOBS]);
+
+impl SearchSpace {
+    /// The full default space (3072 points): every `DlaConfig` knob the
+    /// paper ablates plus two skeleton-construction thresholds.
+    pub fn full() -> Self {
+        Self {
+            t1: vec![false, true],
+            t1_entries: vec![16, 8],
+            value_reuse: vec![false, true],
+            vr_capacity: vec![32, 16],
+            recycle_dynamic: vec![false, true],
+            boq_capacity: vec![512, 256],
+            fq_capacity: vec![128, 64],
+            mt_l2_prefetcher: vec![Some("bop"), Some("stride"), None],
+            fetch_buffer: vec![8, 32],
+            l1_seed_rate: vec![0.01, 0.05],
+            bias_threshold: vec![0.995, 0.9],
+        }
+    }
+
+    /// A 16-point smoke space sweeping only the three R3 optimizations
+    /// and the fetch buffer (everything else fixed at the paper default,
+    /// so no skeleton regeneration is needed). CI's `dse-smoke` job and
+    /// the integration tests use this.
+    pub fn quick() -> Self {
+        Self {
+            t1: vec![false, true],
+            t1_entries: vec![16],
+            value_reuse: vec![false, true],
+            vr_capacity: vec![32],
+            recycle_dynamic: vec![false, true],
+            boq_capacity: vec![512],
+            fq_capacity: vec![128],
+            mt_l2_prefetcher: vec![Some("bop")],
+            fetch_buffer: vec![8, 32],
+            l1_seed_rate: vec![0.01],
+            bias_threshold: vec![0.995],
+        }
+    }
+
+    /// Resolves a space preset by CLI name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "full" => Some(Self::full()),
+            "quick" => Some(Self::quick()),
+            _ => None,
+        }
+    }
+
+    /// Per-knob cardinalities, in knob order.
+    pub fn dims(&self) -> [usize; KNOBS] {
+        [
+            self.t1.len(),
+            self.t1_entries.len(),
+            self.value_reuse.len(),
+            self.vr_capacity.len(),
+            self.recycle_dynamic.len(),
+            self.boq_capacity.len(),
+            self.fq_capacity.len(),
+            self.mt_l2_prefetcher.len(),
+            self.fetch_buffer.len(),
+            self.l1_seed_rate.len(),
+            self.bias_threshold.len(),
+        ]
+    }
+
+    /// Total number of points (the product of the knob cardinalities).
+    pub fn size(&self) -> u64 {
+        self.dims().iter().map(|&d| d as u64).product()
+    }
+
+    /// Decodes a flat mixed-radix index into a point. Panics if `flat`
+    /// is out of range.
+    pub fn point(&self, flat: u64) -> TrialPoint {
+        assert!(flat < self.size(), "flat index {flat} out of space");
+        let dims = self.dims();
+        let mut rest = flat;
+        let mut idx = [0usize; KNOBS];
+        for k in (0..KNOBS).rev() {
+            idx[k] = (rest % dims[k] as u64) as usize;
+            rest /= dims[k] as u64;
+        }
+        TrialPoint(idx)
+    }
+
+    /// Encodes a point back to its flat index.
+    pub fn flat(&self, p: &TrialPoint) -> u64 {
+        let mut flat = 0u64;
+        for (&dim, &i) in self.dims().iter().zip(&p.0) {
+            debug_assert!(i < dim);
+            flat = flat * dim as u64 + i as u64;
+        }
+        flat
+    }
+
+    /// Materializes a point into the simulator configuration it denotes.
+    /// Knobs build on [`DlaConfig::dla`] / [`SkeletonOptions::default`],
+    /// so the all-zeros point of [`full`](Self::full) is exactly the
+    /// baseline DLA.
+    pub fn materialize(&self, p: &TrialPoint) -> (DlaConfig, SkeletonOptions) {
+        let i = &p.0;
+        let mut cfg = DlaConfig::dla();
+        cfg.t1 = self.t1[i[0]];
+        cfg.t1_entries = self.t1_entries[i[1]];
+        cfg.value_reuse = self.value_reuse[i[2]];
+        cfg.vr_capacity = self.vr_capacity[i[3]];
+        cfg.recycle = if self.recycle_dynamic[i[4]] {
+            RecycleMode::Dynamic
+        } else {
+            RecycleMode::Off
+        };
+        cfg.boq_capacity = self.boq_capacity[i[5]];
+        cfg.fq_capacity = self.fq_capacity[i[6]];
+        cfg.mt_l2_prefetcher = self.mt_l2_prefetcher[i[7]];
+        cfg.mt_core.fetch_buffer = self.fetch_buffer[i[8]];
+        let opt = SkeletonOptions {
+            l1_seed_rate: self.l1_seed_rate[i[9]],
+            bias_threshold: self.bias_threshold[i[10]],
+            ..SkeletonOptions::default()
+        };
+        (cfg, opt)
+    }
+
+    /// A short human-readable knob listing for reports,
+    /// e.g. `t1=on,vr=on,rc=dyn,fb=32`.
+    pub fn label(&self, p: &TrialPoint) -> String {
+        let i = &p.0;
+        let onoff = |b: bool| if b { "on" } else { "off" };
+        format!(
+            "t1={},t1e={},vr={},vrc={},rc={},boq={},fq={},pf={},fb={},seed={:?},bias={:?}",
+            onoff(self.t1[i[0]]),
+            self.t1_entries[i[1]],
+            onoff(self.value_reuse[i[2]]),
+            self.vr_capacity[i[3]],
+            if self.recycle_dynamic[i[4]] {
+                "dyn"
+            } else {
+                "off"
+            },
+            self.boq_capacity[i[5]],
+            self.fq_capacity[i[6]],
+            self.mt_l2_prefetcher[i[7]].unwrap_or("none"),
+            self.fetch_buffer[i[8]],
+            self.l1_seed_rate[i[9]],
+            self.bias_threshold[i[10]],
+        )
+    }
+
+    /// The point denoting [`DlaConfig::dla`] with default skeleton
+    /// options, if the space contains it (presets do: index 0 of every
+    /// knob is the default).
+    pub fn dla_point(&self) -> Option<TrialPoint> {
+        self.point_of(&DlaConfig::dla(), &SkeletonOptions::default())
+    }
+
+    /// The point denoting [`DlaConfig::r3`] with default skeleton
+    /// options, if the space contains it. The search always evaluates
+    /// this incumbent, so a budgeted run's best-found config can never
+    /// lose to the paper's shipped configuration.
+    pub fn r3_point(&self) -> Option<TrialPoint> {
+        self.point_of(&DlaConfig::r3(), &SkeletonOptions::default())
+    }
+
+    /// Finds the point denoting `(cfg, opt)`, if every relevant knob
+    /// value is present in the space.
+    pub fn point_of(&self, cfg: &DlaConfig, opt: &SkeletonOptions) -> Option<TrialPoint> {
+        let pos = |ok: &mut bool, found: Option<usize>| -> usize {
+            match found {
+                Some(i) => i,
+                None => {
+                    *ok = false;
+                    0
+                }
+            }
+        };
+        let mut ok = true;
+        let recycle_dyn = match cfg.recycle {
+            RecycleMode::Off => false,
+            RecycleMode::Dynamic => true,
+            RecycleMode::Static(_) => return None,
+        };
+        let idx = [
+            pos(&mut ok, self.t1.iter().position(|&v| v == cfg.t1)),
+            pos(
+                &mut ok,
+                self.t1_entries.iter().position(|&v| v == cfg.t1_entries),
+            ),
+            pos(
+                &mut ok,
+                self.value_reuse.iter().position(|&v| v == cfg.value_reuse),
+            ),
+            pos(
+                &mut ok,
+                self.vr_capacity.iter().position(|&v| v == cfg.vr_capacity),
+            ),
+            pos(
+                &mut ok,
+                self.recycle_dynamic.iter().position(|&v| v == recycle_dyn),
+            ),
+            pos(
+                &mut ok,
+                self.boq_capacity
+                    .iter()
+                    .position(|&v| v == cfg.boq_capacity),
+            ),
+            pos(
+                &mut ok,
+                self.fq_capacity.iter().position(|&v| v == cfg.fq_capacity),
+            ),
+            pos(
+                &mut ok,
+                self.mt_l2_prefetcher
+                    .iter()
+                    .position(|&v| v == cfg.mt_l2_prefetcher),
+            ),
+            pos(
+                &mut ok,
+                self.fetch_buffer
+                    .iter()
+                    .position(|&v| v == cfg.mt_core.fetch_buffer),
+            ),
+            pos(
+                &mut ok,
+                self.l1_seed_rate
+                    .iter()
+                    .position(|&v| v == opt.l1_seed_rate),
+            ),
+            pos(
+                &mut ok,
+                self.bias_threshold
+                    .iter()
+                    .position(|&v| v == opt.bias_threshold),
+            ),
+        ];
+        let p = TrialPoint(idx);
+        // The remaining materialized fields must also match (a space
+        // cannot represent, say, a custom reboot cost).
+        if !ok {
+            return None;
+        }
+        let (mcfg, mopt) = self.materialize(&p);
+        (mcfg.canonical_key() == cfg.canonical_key() && mopt == *opt).then_some(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_index_round_trips() {
+        let space = SearchSpace::full();
+        let n = space.size();
+        assert!(n > 1_000, "full space must be a real product ({n})");
+        for flat in [0, 1, 17, n / 2, n - 1] {
+            let p = space.point(flat);
+            assert_eq!(space.flat(&p), flat);
+        }
+    }
+
+    #[test]
+    fn zero_point_is_baseline_dla() {
+        let space = SearchSpace::full();
+        let (cfg, opt) = space.materialize(&space.point(0));
+        assert_eq!(cfg.canonical_key(), DlaConfig::dla().canonical_key());
+        assert_eq!(opt, SkeletonOptions::default());
+    }
+
+    #[test]
+    fn presets_contain_the_incumbents() {
+        for space in [SearchSpace::full(), SearchSpace::quick()] {
+            let dla = space.dla_point().expect("dla point");
+            let r3 = space.r3_point().expect("r3 point");
+            assert_ne!(dla, r3);
+            let (cfg, _) = space.materialize(&r3);
+            assert_eq!(cfg.canonical_key(), DlaConfig::r3().canonical_key());
+        }
+        assert_eq!(SearchSpace::quick().size(), 16);
+    }
+
+    #[test]
+    fn labels_and_keys_distinguish_points() {
+        let space = SearchSpace::quick();
+        let mut labels = std::collections::HashSet::new();
+        let mut keys = std::collections::HashSet::new();
+        for flat in 0..space.size() {
+            let p = space.point(flat);
+            assert!(labels.insert(space.label(&p)));
+            let (cfg, opt) = space.materialize(&p);
+            assert!(keys.insert(format!("{};{}", cfg.canonical_key(), opt.canonical_key())));
+        }
+    }
+
+    #[test]
+    fn by_name_resolves_presets() {
+        assert!(SearchSpace::by_name("full").is_some());
+        assert!(SearchSpace::by_name("quick").is_some());
+        assert!(SearchSpace::by_name("huge").is_none());
+    }
+}

@@ -1,0 +1,141 @@
+//! Resumability and cache-key integration tests: a search interrupted
+//! (or repeated) against a half-filled cache must reproduce the fresh
+//! run's report byte-for-byte, and every input that can change a
+//! measurement must move the cache key.
+
+use r3dla_dse::{run_dse, to_json, CacheKey, DseSpec, ResultCache, SearchSpace, Strategy};
+use r3dla_sample::SampleSpec;
+use r3dla_workloads::{by_name, Scale};
+
+fn tiny_spec() -> DseSpec {
+    DseSpec {
+        scale: Scale::Tiny,
+        workloads: vec![by_name("libq_like").unwrap()],
+        space: SearchSpace::quick(),
+        strategy: Strategy::Random { seed: 7, budget: 4 },
+        sample: SampleSpec::parse("2:800:none").unwrap(),
+        fast_forward: true,
+    }
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("r3dla-dse-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn interrupted_search_resumes_byte_identically() {
+    let spec = tiny_spec();
+
+    // Fresh run, empty cache.
+    let dir_a = temp_dir("fresh");
+    let cache_a = ResultCache::at(&dir_a).unwrap();
+    let fresh = to_json(&run_dse(&spec, &cache_a, 2));
+
+    // "Interrupt": keep only half of the fresh run's cache entries (a
+    // killed search leaves an arbitrary subset — atomic writes mean
+    // whole entries), then resume.
+    let dir_b = temp_dir("resume");
+    std::fs::create_dir_all(&dir_b).unwrap();
+    let mut entries: Vec<_> = std::fs::read_dir(&dir_a)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    entries.sort();
+    assert!(entries.len() >= 4, "search must have cached several cells");
+    for p in entries.iter().step_by(2) {
+        std::fs::copy(p, dir_b.join(p.file_name().unwrap())).unwrap();
+    }
+    let cache_b = ResultCache::at(&dir_b).unwrap();
+    let resumed = to_json(&run_dse(&spec, &cache_b, 2));
+    assert_eq!(fresh, resumed, "resumed report must equal the fresh one");
+    let (hits, misses) = cache_b.stats();
+    assert!(hits > 0, "resume must actually use the surviving entries");
+    assert!(misses > 0, "resume must re-simulate the lost entries");
+
+    // A second complete run is pure cache replay, still byte-identical.
+    let cache_c = ResultCache::at(&dir_a).unwrap();
+    let replay = to_json(&run_dse(&spec, &cache_c, 1));
+    assert_eq!(fresh, replay);
+    assert_eq!(cache_c.stats().1, 0, "replay must not re-simulate");
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn best_found_config_never_loses_to_the_r3_incumbent() {
+    let spec = tiny_spec();
+    let result = run_dse(&spec, &ResultCache::disabled(), 2);
+    for w in &result.workloads {
+        let r3 = w.r3().expect("quick space contains the r3 point");
+        assert!(
+            w.best().ipc.mean >= r3.ipc.mean,
+            "{}: best {} < r3 {}",
+            w.workload,
+            w.best().ipc.mean,
+            r3.ipc.mean
+        );
+        assert!(w.empty_trials().is_empty(), "{}: sick cell", w.workload);
+    }
+}
+
+#[test]
+fn cache_keys_move_with_every_input() {
+    let space = SearchSpace::quick();
+    let sample = SampleSpec::parse("2:800:none").unwrap();
+    let key_for = |trial_key: &str, sample: &SampleSpec, fp: u64| {
+        CacheKey::cell("libq_like", fp, "tiny", &sample.label(), 0, trial_key)
+    };
+    let (cfg, opt) = space.materialize(&space.point(0));
+    let base_trial = format!("{};skeleton={}", cfg.canonical_key(), opt.canonical_key());
+    let base = key_for(&base_trial, &sample, 1);
+
+    // Any knob change moves the trial key and therefore the cache key.
+    for flat in 1..space.size() {
+        let (c, o) = space.materialize(&space.point(flat));
+        let k = key_for(
+            &format!("{};skeleton={}", c.canonical_key(), o.canonical_key()),
+            &sample,
+            1,
+        );
+        assert_ne!(base.hash, k.hash, "knob point {flat} collided");
+    }
+    // A different sample spec moves it.
+    let other_sample = SampleSpec::parse("3:800:none").unwrap();
+    assert_ne!(base.hash, key_for(&base_trial, &other_sample, 1).hash);
+    // A different workload image (fingerprint) moves it.
+    assert_ne!(base.hash, key_for(&base_trial, &sample, 2).hash);
+}
+
+#[test]
+fn workload_fingerprint_tracks_code_and_image() {
+    use r3dla_dse::program_fingerprint;
+    use r3dla_isa::Program;
+    let built = by_name("md5_like").unwrap().build(Scale::Tiny);
+    let p = built.program;
+    let base = program_fingerprint(&p);
+    assert_eq!(
+        base,
+        program_fingerprint(&p.clone()),
+        "stable across clones"
+    );
+
+    // Perturb one image word: the fingerprint must move.
+    let mut image = p.image().to_vec();
+    assert!(!image.is_empty(), "workload must have a data image");
+    image[0].1 ^= 1;
+    let entry_index = p.pc_to_index(p.entry()).unwrap();
+    let patched = Program::from_parts(p.name(), p.insts().to_vec(), entry_index, image);
+    assert_ne!(base, program_fingerprint(&patched));
+
+    // Dropping an instruction must move it too.
+    let shorter = Program::from_parts(
+        p.name(),
+        p.insts()[..p.insts().len() - 1].to_vec(),
+        entry_index,
+        p.image().to_vec(),
+    );
+    assert_ne!(base, program_fingerprint(&shorter));
+}

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! Checkpoint + sampled-simulation subsystem for the R3-DLA simulator.
 //!
 //! The detailed two-core model runs at well under a MIPS, so measuring
@@ -48,8 +49,8 @@ mod warmup;
 pub use emulator::{DeltaMem, Emulator, ImageMem};
 pub use r3dla_isa::ArchCheckpoint;
 pub use sampler::{
-    ipc_estimate, plan_intervals, warm_and_measure, IntervalCheckpoint, SampleSpec, FF_CAP,
-    FUNCTIONAL_SETTLE,
+    apply_warmup, ipc_estimate, plan_intervals, warm_and_measure, IntervalCheckpoint, SampleSpec,
+    FF_CAP, FUNCTIONAL_SETTLE,
 };
 pub use warmup::{
     apply_cache_touches, apply_touches, record_touches, Touch, WarmTarget, WarmupMode,

@@ -136,6 +136,30 @@ pub fn plan_intervals(program: &Arc<Program>, spec: &SampleSpec) -> Vec<Interval
 /// [`apply_cache_touches`] for why predictors are not touch-warmed).
 pub const FUNCTIONAL_SETTLE: u64 = 2_000;
 
+/// Applies the spec's warmup to a freshly restored system and returns
+/// the detailed settle-instruction count the measurement window must be
+/// preceded by (the `warm` argument of [`measure_window`]). Split out of
+/// [`warm_and_measure`] so callers that need their own window
+/// bookkeeping (the DSE evaluator snapshots activity counters for the
+/// energy model) warm through the identical path.
+pub fn apply_warmup<S: WarmTarget + MeasureTarget>(
+    sys: &mut S,
+    spec: &SampleSpec,
+    iv: &IntervalCheckpoint,
+) -> u64 {
+    match spec.warmup {
+        WarmupMode::None => 0,
+        WarmupMode::Functional(_) => {
+            apply_cache_touches(sys, &iv.warm);
+            FUNCTIONAL_SETTLE.min(spec.detailed)
+        }
+        WarmupMode::Detailed(cycles) => {
+            sys.run_insts(u64::MAX, cycles);
+            0
+        }
+    }
+}
+
 /// Warms a restored system per the spec, then measures the interval's
 /// detailed window — the single per-cell measurement path for both the
 /// DLA and single-core systems.
@@ -144,17 +168,8 @@ pub fn warm_and_measure<S: WarmTarget + MeasureTarget>(
     spec: &SampleSpec,
     iv: &IntervalCheckpoint,
 ) -> WindowReport {
-    match spec.warmup {
-        WarmupMode::None => measure_window(sys, 0, spec.detailed),
-        WarmupMode::Functional(_) => {
-            apply_cache_touches(sys, &iv.warm);
-            measure_window(sys, FUNCTIONAL_SETTLE.min(spec.detailed), spec.detailed)
-        }
-        WarmupMode::Detailed(cycles) => {
-            sys.run_insts(u64::MAX, cycles);
-            measure_window(sys, 0, spec.detailed)
-        }
-    }
+    let settle = apply_warmup(sys, spec, iv);
+    measure_window(sys, settle, spec.detailed)
 }
 
 /// Aggregates per-interval reports into the sampled estimate: mean ± 95%
