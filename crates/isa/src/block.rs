@@ -1,0 +1,1537 @@
+//! Decoded superblock traces: predicted instruction paths pre-decoded
+//! into flat uop arrays, for GIPS-class functional fast-forwarding.
+//!
+//! The per-instruction interpreter ([`crate::step`]) pays for a PC range
+//! check, an instruction fetch, a full [`StepOut`](crate::StepOut)
+//! record and an `Option` return on *every* instruction. A
+//! [`DecodedBlock`] pays those costs once per *trace* instead: at first
+//! entry, decoding follows the statically predicted path from the entry
+//! PC — through direct jumps, and through conditional branches along
+//! their likely edge (backward taken, forward not-taken), so loops
+//! unroll into long straight uop runs — until a `halt`, an indirect
+//! jump, the [`MAX_BLOCK_UOPS`] cap or the code-segment edge ends the
+//! trace. Subsequent executions dispatch the whole trace with
+//! [`exec_uops`]: a tight jump-table loop with no fetch, no range check
+//! and no per-step observability record, in which a conditional branch
+//! is one compare — execution stays on the trace while the branch goes
+//! the predicted way and side-exits with the correct PC the moment it
+//! does not.
+//!
+//! Terminators (`halt`, indirect jumps) and any *observed* or
+//! budget-limited replay go through [`crate::exec_inst`], the same
+//! function [`crate::step`] uses, so trace-cached execution is
+//! bit-identical to single stepping — the checkpoint-equivalence suites
+//! gate on exactly that.
+//!
+//! Code is immutable in this ISA (stores cannot reach the code segment),
+//! so decoded traces never need invalidation and a [`BlockCache`] is a
+//! plain map from entry PC to trace, fronted by a direct-mapped
+//! recent-trace table.
+
+use crate::exec::{eval_alu, exec_inst, ArchState, DataMem};
+use crate::hash::FxHashMap;
+use crate::inst::{Inst, Op, Reg};
+use crate::program::{Program, INST_BYTES};
+
+/// Maximum body length of one decoded trace, in uops (= instructions).
+/// Long predicted paths — loop unrolls included — split with a
+/// [`Terminator::Fall`] into the successor trace, bounding both decode
+/// latency and per-dispatch work.
+pub const MAX_BLOCK_UOPS: usize = 512;
+
+/// One pre-decoded operation on a trace's predicted path.
+///
+/// The common ALU operations get their own variants so [`exec_uops`]
+/// dispatches each uop with a *single* jump-table branch — folding the
+/// interpreter's secondary `eval_alu` match into decode. Rare ops
+/// (div/rem, floating point, conversions) stay behind [`Uop::Exotic`]
+/// and route through [`eval_alu`]. Conditional branches on the path
+/// become per-condition branch side-exits ([`Uop::BrEq`] and its five
+/// siblings). A peephole pass then fuses the dependent pairs that
+/// dominate steady loop bodies — `addi`+`st` ([`Uop::AddiStore`]),
+/// `addi`+branch ([`Uop::AddiBrEq`] and siblings), `mul`+`add`
+/// ([`Uop::MulAdd`]) and base+index `add`+`ld`/`st` ([`Uop::AddLoad`],
+/// [`Uop::AddStore`]) — into two-instruction uops, cutting dispatches
+/// per loop iteration; direct jumps become [`Uop::Nop`]
+/// (or [`Uop::Li`] writing the link register), since decode already
+/// followed them. Register operands are carried directly so execution
+/// needs no re-decode; the original [`Inst`] path is kept alongside in
+/// the trace (see [`DecodedBlock::insts`]) for observed replays that
+/// must reproduce the interpreter's exact [`StepOut`](crate::StepOut)
+/// stream.
+///
+/// Tuple operand order is `(rd, rs1, rs2)` / `(rd, rs1, imm)` — the
+/// assembly operand order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Uop {
+    /// `rd = rs1 + rs2` (wrapping).
+    Add(Reg, Reg, Reg),
+    /// `rd = rs1 - rs2` (wrapping).
+    Sub(Reg, Reg, Reg),
+    /// `rd = rs1 * rs2` (wrapping).
+    Mul(Reg, Reg, Reg),
+    /// `rd = rs1 & rs2`.
+    And(Reg, Reg, Reg),
+    /// `rd = rs1 | rs2`.
+    Or(Reg, Reg, Reg),
+    /// `rd = rs1 ^ rs2`.
+    Xor(Reg, Reg, Reg),
+    /// `rd = rs1 << (rs2 & 63)`.
+    Sll(Reg, Reg, Reg),
+    /// `rd = rs1 >> (rs2 & 63)` (logical).
+    Srl(Reg, Reg, Reg),
+    /// `rd = rs1 >> (rs2 & 63)` (arithmetic).
+    Sra(Reg, Reg, Reg),
+    /// `rd = (rs1 < rs2)` signed.
+    Slt(Reg, Reg, Reg),
+    /// `rd = (rs1 < rs2)` unsigned.
+    Sltu(Reg, Reg, Reg),
+    /// `rd = rs1 + imm` (wrapping).
+    Addi(Reg, Reg, i64),
+    /// `rd = rs1 & imm`.
+    Andi(Reg, Reg, i64),
+    /// `rd = rs1 | imm`.
+    Ori(Reg, Reg, i64),
+    /// `rd = rs1 ^ imm`.
+    Xori(Reg, Reg, i64),
+    /// `rd = rs1 << (imm & 63)`.
+    Slli(Reg, Reg, i64),
+    /// `rd = rs1 >> (imm & 63)` (logical).
+    Srli(Reg, Reg, i64),
+    /// `rd = rs1 >> (imm & 63)` (arithmetic).
+    Srai(Reg, Reg, i64),
+    /// `rd = (rs1 < imm)` signed.
+    Slti(Reg, Reg, i64),
+    /// `rd = imm` (also encodes a direct jump's link-register write —
+    /// the jump itself was followed at decode time).
+    Li(Reg, i64),
+    /// `rd = mem[(rs1 + imm) & !7]`.
+    Load(Reg, Reg, i64),
+    /// `mem[(rs1 + imm) & !7] = rs2`; operands `(rs1, rs2, imm)`.
+    Store(Reg, Reg, i64),
+    /// No architectural effect (also a followed direct jump with no
+    /// link write).
+    Nop,
+    /// `beq` on the trace: continue while `(a == b) == assume`, leave
+    /// the trace at `exit` otherwise. One specialized variant per
+    /// condition keeps branch evaluation a single dispatch (no
+    /// secondary condition match); `assume` is the predicted (and
+    /// decoded-along) direction, `true` = taken.
+    BrEq {
+        /// First compared register.
+        a: Reg,
+        /// Second compared register.
+        b: Reg,
+        /// PC control transfers to on a mispredicted direction.
+        exit: u64,
+        /// The predicted direction.
+        assume: bool,
+    },
+    /// `bne` on the trace (see [`Uop::BrEq`]).
+    BrNe {
+        /// First compared register.
+        a: Reg,
+        /// Second compared register.
+        b: Reg,
+        /// PC control transfers to on a mispredicted direction.
+        exit: u64,
+        /// The predicted direction.
+        assume: bool,
+    },
+    /// `blt` (signed) on the trace (see [`Uop::BrEq`]).
+    BrLt {
+        /// First compared register.
+        a: Reg,
+        /// Second compared register.
+        b: Reg,
+        /// PC control transfers to on a mispredicted direction.
+        exit: u64,
+        /// The predicted direction.
+        assume: bool,
+    },
+    /// `bge` (signed) on the trace (see [`Uop::BrEq`]).
+    BrGe {
+        /// First compared register.
+        a: Reg,
+        /// Second compared register.
+        b: Reg,
+        /// PC control transfers to on a mispredicted direction.
+        exit: u64,
+        /// The predicted direction.
+        assume: bool,
+    },
+    /// `bltu` (unsigned) on the trace (see [`Uop::BrEq`]).
+    BrLtu {
+        /// First compared register.
+        a: Reg,
+        /// Second compared register.
+        b: Reg,
+        /// PC control transfers to on a mispredicted direction.
+        exit: u64,
+        /// The predicted direction.
+        assume: bool,
+    },
+    /// `bgeu` (unsigned) on the trace (see [`Uop::BrEq`]).
+    BrGeu {
+        /// First compared register.
+        a: Reg,
+        /// Second compared register.
+        b: Reg,
+        /// PC control transfers to on a mispredicted direction.
+        exit: u64,
+        /// The predicted direction.
+        assume: bool,
+    },
+    /// Fused `addi` + `st` pair — two instructions, one dispatch:
+    /// `rd = rs + k`, then `mem[(base + off) & !7] = src` (the store
+    /// reads registers *after* the add, so `base`/`src` may be `rd`).
+    /// Decode fuses the pair only when both immediates fit `i16`; wider
+    /// ones keep the unfused uops. Retires two instructions.
+    AddiStore {
+        /// Add destination.
+        rd: Reg,
+        /// Add source.
+        rs: Reg,
+        /// Add immediate.
+        k: i16,
+        /// Store base-address register.
+        base: Reg,
+        /// Store source register.
+        src: Reg,
+        /// Store offset.
+        off: i16,
+    },
+    /// Fused `addi` + `beq` pair — the loop-counter-update/compare-branch
+    /// idiom that ends almost every hot loop body: `rd = rs + k`, then
+    /// branch exactly as [`Uop::BrEq`] (the compare reads registers after
+    /// the add). Decode fuses only when `k` fits `i16` and `exit` fits
+    /// `u32` (code PCs always do). Retires two instructions; a side-exit
+    /// retires both before leaving.
+    AddiBrEq {
+        /// Add destination.
+        rd: Reg,
+        /// Add source.
+        rs: Reg,
+        /// Add immediate.
+        k: i16,
+        /// First compared register.
+        a: Reg,
+        /// Second compared register.
+        b: Reg,
+        /// PC control transfers to on a mispredicted direction.
+        exit: u32,
+        /// The predicted direction.
+        assume: bool,
+    },
+    /// Fused `addi` + `bne` (see [`Uop::AddiBrEq`]).
+    AddiBrNe {
+        /// Add destination.
+        rd: Reg,
+        /// Add source.
+        rs: Reg,
+        /// Add immediate.
+        k: i16,
+        /// First compared register.
+        a: Reg,
+        /// Second compared register.
+        b: Reg,
+        /// PC control transfers to on a mispredicted direction.
+        exit: u32,
+        /// The predicted direction.
+        assume: bool,
+    },
+    /// Fused `addi` + `blt` (see [`Uop::AddiBrEq`]).
+    AddiBrLt {
+        /// Add destination.
+        rd: Reg,
+        /// Add source.
+        rs: Reg,
+        /// Add immediate.
+        k: i16,
+        /// First compared register.
+        a: Reg,
+        /// Second compared register.
+        b: Reg,
+        /// PC control transfers to on a mispredicted direction.
+        exit: u32,
+        /// The predicted direction.
+        assume: bool,
+    },
+    /// Fused `addi` + `bge` (see [`Uop::AddiBrEq`]).
+    AddiBrGe {
+        /// Add destination.
+        rd: Reg,
+        /// Add source.
+        rs: Reg,
+        /// Add immediate.
+        k: i16,
+        /// First compared register.
+        a: Reg,
+        /// Second compared register.
+        b: Reg,
+        /// PC control transfers to on a mispredicted direction.
+        exit: u32,
+        /// The predicted direction.
+        assume: bool,
+    },
+    /// Fused `addi` + `bltu` (see [`Uop::AddiBrEq`]).
+    AddiBrLtu {
+        /// Add destination.
+        rd: Reg,
+        /// Add source.
+        rs: Reg,
+        /// Add immediate.
+        k: i16,
+        /// First compared register.
+        a: Reg,
+        /// Second compared register.
+        b: Reg,
+        /// PC control transfers to on a mispredicted direction.
+        exit: u32,
+        /// The predicted direction.
+        assume: bool,
+    },
+    /// Fused `addi` + `bgeu` (see [`Uop::AddiBrEq`]).
+    AddiBrGeu {
+        /// Add destination.
+        rd: Reg,
+        /// Add source.
+        rs: Reg,
+        /// Add immediate.
+        k: i16,
+        /// First compared register.
+        a: Reg,
+        /// Second compared register.
+        b: Reg,
+        /// PC control transfers to on a mispredicted direction.
+        exit: u32,
+        /// The predicted direction.
+        assume: bool,
+    },
+    /// Fused `mul` + `add` pair — the row-major index computation
+    /// (`row * stride` then `+ col`) and multiply-accumulate idiom:
+    /// `rd1 = a * b`, then `rd2 = c + d` (the add reads registers after
+    /// the mul, so `c`/`d` may be `rd1`). Retires two instructions.
+    MulAdd {
+        /// Mul destination.
+        rd1: Reg,
+        /// First mul source.
+        a: Reg,
+        /// Second mul source.
+        b: Reg,
+        /// Add destination.
+        rd2: Reg,
+        /// First add source.
+        c: Reg,
+        /// Second add source.
+        d: Reg,
+    },
+    /// Fused `add` + `ld` pair — base+index addressing: `rd1 = a + b`,
+    /// then `rd2 = mem[(rs + off) & !7]` (the load reads registers after
+    /// the add, so `rs` is usually `rd1`). Fused only when `off` fits
+    /// `i16`. Retires two instructions.
+    AddLoad {
+        /// Add destination.
+        rd1: Reg,
+        /// First add source.
+        a: Reg,
+        /// Second add source.
+        b: Reg,
+        /// Load destination.
+        rd2: Reg,
+        /// Load base-address register.
+        rs: Reg,
+        /// Load offset.
+        off: i16,
+    },
+    /// Fused `add` + `st` pair — base+index addressing on the store
+    /// side: `rd1 = a + b`, then `mem[(base + off) & !7] = src` (the
+    /// store reads registers after the add). Fused only when `off` fits
+    /// `i16`. Retires two instructions.
+    AddStore {
+        /// Add destination.
+        rd1: Reg,
+        /// First add source.
+        a: Reg,
+        /// Second add source.
+        b: Reg,
+        /// Store base-address register.
+        base: Reg,
+        /// Store source register.
+        src: Reg,
+        /// Store offset.
+        off: i16,
+    },
+    /// `rd = eval_alu(op, rs1, rs2, imm)` — the rare computational ops
+    /// (div/rem, floating point, conversions) not worth a variant.
+    Exotic {
+        /// The ALU operation.
+        op: Op,
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs1: Reg,
+        /// Second source register (immediate forms ignore it).
+        rs2: Reg,
+        /// Immediate operand.
+        imm: i64,
+    },
+}
+
+/// How a decoded trace ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Terminator {
+    /// An instruction decode cannot follow — `halt` or an indirect jump
+    /// (`jalr`) — at `pc`. Executed through [`crate::exec_inst`] (one
+    /// retired instruction).
+    Inst {
+        /// The terminating instruction.
+        inst: Inst,
+        /// Its PC.
+        pc: u64,
+    },
+    /// The predicted path reached [`MAX_BLOCK_UOPS`]; execution
+    /// continues at `next` (no instruction retires for this terminator).
+    Fall {
+        /// Entry PC of the successor trace.
+        next: u64,
+    },
+    /// `pc` is outside the code segment (the program ran off the end).
+    /// Execution halts without retiring an instruction, mirroring the
+    /// interpreter's `PcOutOfRange` path.
+    OutOfRange {
+        /// The out-of-range PC.
+        pc: u64,
+    },
+}
+
+/// A trace decoded at `entry`: the flat uop body of its predicted
+/// instruction path plus its [`Terminator`], and the original
+/// instructions with their PCs for exact replay.
+///
+/// Pair fusion makes uops coarser than instructions, so the body keeps
+/// two parallel indexings: `uops` (dispatch order) and `insts`/`pcs`
+/// (instruction order, the replay and accounting domain), bridged by
+/// `ends`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedBlock {
+    entry: u64,
+    uops: Vec<Uop>,
+    insts: Vec<Inst>,
+    /// `pcs[i]` is the PC of body instruction `i`; `pcs[len]` is the
+    /// terminator slot's PC (predicted paths are not PC-contiguous, so
+    /// this cannot be computed from `entry`).
+    pcs: Vec<u64>,
+    /// `ends[u]` is the number of body *instructions* covered once uop
+    /// `u` completes — the retired-instruction count when a branch uop
+    /// side-exits, and the `insts` index one past the uop's last
+    /// instruction. `ends[u] == u + 1` until the first fused uop.
+    ends: Vec<u32>,
+    term: Terminator,
+}
+
+impl DecodedBlock {
+    /// The trace's entry PC.
+    pub fn entry(&self) -> u64 {
+        self.entry
+    }
+
+    /// The pre-decoded body (the predicted instruction path).
+    pub fn uops(&self) -> &[Uop] {
+        &self.uops
+    }
+
+    /// The original body instructions (same length and order as
+    /// [`uops`](Self::uops)) — the replay source for observed and
+    /// budget-limited runs.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// How the trace ends.
+    pub fn term(&self) -> Terminator {
+        self.term
+    }
+
+    /// Number of body instructions on the predicted path (the
+    /// terminator, when it is an instruction, is not counted). Fusion
+    /// makes this larger than `uops().len()` on most hot traces.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the body is empty (the entry PC is itself a terminator).
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// PC of the `i`-th body instruction; `pc_at(len())` is the
+    /// terminator slot's PC. Replays compare the post-instruction PC
+    /// against `pc_at(i + 1)` to detect the trace exit.
+    pub fn pc_at(&self, i: usize) -> u64 {
+        self.pcs[i]
+    }
+}
+
+/// Decodes the trace entered at `entry`, following the statically
+/// predicted path: direct jumps are followed unconditionally,
+/// conditional branches along their likely edge (backward taken —
+/// unrolling loops — forward not-taken). Decoding stops at `halt`, an
+/// indirect jump, the code-segment boundary, or [`MAX_BLOCK_UOPS`].
+pub fn decode_block(prog: &Program, entry: u64) -> DecodedBlock {
+    decode_block_hinted(prog, entry, &FxHashMap::default())
+}
+
+/// [`decode_block`] with per-branch-PC direction overrides from
+/// [`BlockCache`]'s exit-driven learner; branches absent from `hints`
+/// use the static heuristic.
+fn decode_block_hinted(prog: &Program, entry: u64, hints: &FxHashMap<u64, bool>) -> DecodedBlock {
+    let mut uops = Vec::new();
+    let mut insts = Vec::new();
+    let mut pcs = Vec::new();
+    let mut pc = entry;
+    let term = loop {
+        if uops.len() == MAX_BLOCK_UOPS {
+            break Terminator::Fall { next: pc };
+        }
+        let Some(inst) = prog.fetch(pc) else {
+            break Terminator::OutOfRange { pc };
+        };
+        use Op::*;
+        let seq = pc + INST_BYTES;
+        let (rd, rs1, rs2, imm) = (inst.rd, inst.rs1, inst.rs2, inst.imm);
+        let next = match inst.op {
+            Halt | Jalr => break Terminator::Inst { inst, pc },
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+                let target = imm as u64;
+                // Backward (or self) => taken, unless learning overrode.
+                let assume = hints.get(&pc).copied().unwrap_or(target <= pc);
+                let exit = if assume { seq } else { target };
+                let (a, b) = (rs1, rs2);
+                uops.push(match inst.op {
+                    Beq => Uop::BrEq { a, b, exit, assume },
+                    Bne => Uop::BrNe { a, b, exit, assume },
+                    Blt => Uop::BrLt { a, b, exit, assume },
+                    Bge => Uop::BrGe { a, b, exit, assume },
+                    Bltu => Uop::BrLtu { a, b, exit, assume },
+                    _ => Uop::BrGeu { a, b, exit, assume },
+                });
+                if assume {
+                    target
+                } else {
+                    seq
+                }
+            }
+            Jal => {
+                // Followed at decode time; only the link write remains.
+                uops.push(if rd.is_zero() {
+                    Uop::Nop
+                } else {
+                    Uop::Li(rd, seq as i64)
+                });
+                imm as u64
+            }
+            Add => {
+                uops.push(Uop::Add(rd, rs1, rs2));
+                seq
+            }
+            Sub => {
+                uops.push(Uop::Sub(rd, rs1, rs2));
+                seq
+            }
+            Mul => {
+                uops.push(Uop::Mul(rd, rs1, rs2));
+                seq
+            }
+            And => {
+                uops.push(Uop::And(rd, rs1, rs2));
+                seq
+            }
+            Or => {
+                uops.push(Uop::Or(rd, rs1, rs2));
+                seq
+            }
+            Xor => {
+                uops.push(Uop::Xor(rd, rs1, rs2));
+                seq
+            }
+            Sll => {
+                uops.push(Uop::Sll(rd, rs1, rs2));
+                seq
+            }
+            Srl => {
+                uops.push(Uop::Srl(rd, rs1, rs2));
+                seq
+            }
+            Sra => {
+                uops.push(Uop::Sra(rd, rs1, rs2));
+                seq
+            }
+            Slt => {
+                uops.push(Uop::Slt(rd, rs1, rs2));
+                seq
+            }
+            Sltu => {
+                uops.push(Uop::Sltu(rd, rs1, rs2));
+                seq
+            }
+            Addi => {
+                uops.push(Uop::Addi(rd, rs1, imm));
+                seq
+            }
+            Andi => {
+                uops.push(Uop::Andi(rd, rs1, imm));
+                seq
+            }
+            Ori => {
+                uops.push(Uop::Ori(rd, rs1, imm));
+                seq
+            }
+            Xori => {
+                uops.push(Uop::Xori(rd, rs1, imm));
+                seq
+            }
+            Slli => {
+                uops.push(Uop::Slli(rd, rs1, imm));
+                seq
+            }
+            Srli => {
+                uops.push(Uop::Srli(rd, rs1, imm));
+                seq
+            }
+            Srai => {
+                uops.push(Uop::Srai(rd, rs1, imm));
+                seq
+            }
+            Slti => {
+                uops.push(Uop::Slti(rd, rs1, imm));
+                seq
+            }
+            Li => {
+                uops.push(Uop::Li(rd, imm));
+                seq
+            }
+            Ld => {
+                uops.push(Uop::Load(rd, rs1, imm));
+                seq
+            }
+            St => {
+                uops.push(Uop::Store(rs1, rs2, imm));
+                seq
+            }
+            Nop => {
+                uops.push(Uop::Nop);
+                seq
+            }
+            Div | Rem | Fadd | Fsub | Fmul | Fdiv | Flt | Cvtif | Cvtfi => {
+                uops.push(Uop::Exotic {
+                    op: inst.op,
+                    rd,
+                    rs1,
+                    rs2,
+                    imm,
+                });
+                seq
+            }
+        };
+        insts.push(inst);
+        pcs.push(pc);
+        pc = next;
+    };
+    // Every break leaves `pc` at the terminator slot: the terminating
+    // instruction, the Fall continuation point, or the bad address.
+    pcs.push(pc);
+    let (uops, ends) = fuse(uops);
+    DecodedBlock {
+        entry,
+        uops,
+        insts,
+        pcs,
+        ends,
+        term,
+    }
+}
+
+/// Whether `imm` survives an `i16` round trip (fused uops carry
+/// immediates compactly so [`Uop`] stays 16 bytes).
+fn fits_i16(imm: i64) -> bool {
+    imm as i16 as i64 == imm
+}
+
+/// The fused `addi`+branch uop for `(Addi(rd, rs, k), br)`, if `br` is a
+/// branch uop and the compact fields fit.
+fn fuse_addi_branch(rd: Reg, rs: Reg, k: i64, br: Uop) -> Option<Uop> {
+    use Uop::*;
+    if !fits_i16(k) {
+        return None;
+    }
+    let k = k as i16;
+    let (a, b, exit, assume) = match br {
+        BrEq { a, b, exit, assume }
+        | BrNe { a, b, exit, assume }
+        | BrLt { a, b, exit, assume }
+        | BrGe { a, b, exit, assume }
+        | BrLtu { a, b, exit, assume }
+        | BrGeu { a, b, exit, assume } => (a, b, u32::try_from(exit).ok()?, assume),
+        _ => return None,
+    };
+    Some(match br {
+        BrEq { .. } => AddiBrEq {
+            rd,
+            rs,
+            k,
+            a,
+            b,
+            exit,
+            assume,
+        },
+        BrNe { .. } => AddiBrNe {
+            rd,
+            rs,
+            k,
+            a,
+            b,
+            exit,
+            assume,
+        },
+        BrLt { .. } => AddiBrLt {
+            rd,
+            rs,
+            k,
+            a,
+            b,
+            exit,
+            assume,
+        },
+        BrGe { .. } => AddiBrGe {
+            rd,
+            rs,
+            k,
+            a,
+            b,
+            exit,
+            assume,
+        },
+        BrLtu { .. } => AddiBrLtu {
+            rd,
+            rs,
+            k,
+            a,
+            b,
+            exit,
+            assume,
+        },
+        _ => AddiBrGeu {
+            rd,
+            rs,
+            k,
+            a,
+            b,
+            exit,
+            assume,
+        },
+    })
+}
+
+/// Peephole pair fusion over a freshly decoded (one uop per
+/// instruction) body: merges the dependent pairs steady loops are made
+/// of — `addi`+`st` and `addi`+branch (pointer-bump-then-store,
+/// bump-counter-then-loop), `mul`+`add` (row-major index computation)
+/// and `add`+`ld`/`st` (base+index addressing) — into single
+/// two-instruction uops. Returns the fused body and its `ends` map
+/// (cumulative instruction count per uop). Fusion only coarsens
+/// dispatch; the instruction-indexed `insts`/`pcs` replay arrays are
+/// untouched, so observed and budget-limited replays never see a fused
+/// pair.
+fn fuse(raw: Vec<Uop>) -> (Vec<Uop>, Vec<u32>) {
+    use Uop::*;
+    let mut uops = Vec::with_capacity(raw.len());
+    let mut ends = Vec::with_capacity(raw.len());
+    let mut i = 0;
+    while i < raw.len() {
+        let pair = match (raw[i], raw.get(i + 1)) {
+            (Addi(rd, rs, k), Some(&Store(base, src, off))) if fits_i16(k) && fits_i16(off) => {
+                let (k, off) = (k as i16, off as i16);
+                Some(AddiStore {
+                    rd,
+                    rs,
+                    k,
+                    base,
+                    src,
+                    off,
+                })
+            }
+            (Addi(rd, rs, k), Some(&br)) => fuse_addi_branch(rd, rs, k, br),
+            (Mul(rd1, a, b), Some(&Add(rd2, c, d))) => Some(MulAdd {
+                rd1,
+                a,
+                b,
+                rd2,
+                c,
+                d,
+            }),
+            (Add(rd1, a, b), Some(&Load(rd2, rs, off))) if fits_i16(off) => {
+                let off = off as i16;
+                Some(AddLoad {
+                    rd1,
+                    a,
+                    b,
+                    rd2,
+                    rs,
+                    off,
+                })
+            }
+            (Add(rd1, a, b), Some(&Store(base, src, off))) if fits_i16(off) => {
+                let off = off as i16;
+                Some(AddStore {
+                    rd1,
+                    a,
+                    b,
+                    base,
+                    src,
+                    off,
+                })
+            }
+            _ => None,
+        };
+        if let Some(u) = pair {
+            uops.push(u);
+            i += 2;
+        } else {
+            uops.push(raw[i]);
+            i += 1;
+        }
+        ends.push(i as u32);
+    }
+    (uops, ends)
+}
+
+/// Executes `block`'s trace body against `st`/`mem` — the silent
+/// fast-forward inner loop: one jump-table dispatch per uop (which,
+/// after pair fusion, is often two instructions), arithmetic inlined
+/// per variant.
+///
+/// Returns `(instructions_retired, exited)`. While execution stays on
+/// the predicted path the PC is *not* advanced per uop; a branch uop
+/// that goes against its prediction sets `st.pc` to the true successor
+/// and returns with `exited = true` (a fused `addi`+branch retires both
+/// of its instructions before exiting). When the whole body runs
+/// (`exited = false`) the caller owns the PC — set it to the stop point
+/// or execute the terminator. Register and memory effects are exactly
+/// [`crate::exec_inst`]'s for the same instruction path (each arm
+/// mirrors the corresponding [`eval_alu`] arm).
+#[inline]
+pub fn exec_uops(block: &DecodedBlock, st: &mut ArchState, mem: &mut impl DataMem) -> (u64, bool) {
+    use Uop::*;
+    for (i, u) in block.uops.iter().enumerate() {
+        match *u {
+            Add(rd, a, b) => st.set_reg(rd, st.reg(a).wrapping_add(st.reg(b))),
+            Sub(rd, a, b) => st.set_reg(rd, st.reg(a).wrapping_sub(st.reg(b))),
+            Mul(rd, a, b) => st.set_reg(rd, st.reg(a).wrapping_mul(st.reg(b))),
+            And(rd, a, b) => st.set_reg(rd, st.reg(a) & st.reg(b)),
+            Or(rd, a, b) => st.set_reg(rd, st.reg(a) | st.reg(b)),
+            Xor(rd, a, b) => st.set_reg(rd, st.reg(a) ^ st.reg(b)),
+            Sll(rd, a, b) => st.set_reg(rd, st.reg(a) << (st.reg(b) & 63)),
+            Srl(rd, a, b) => st.set_reg(rd, st.reg(a) >> (st.reg(b) & 63)),
+            Sra(rd, a, b) => st.set_reg(rd, ((st.reg(a) as i64) >> (st.reg(b) & 63)) as u64),
+            Slt(rd, a, b) => st.set_reg(rd, ((st.reg(a) as i64) < (st.reg(b) as i64)) as u64),
+            Sltu(rd, a, b) => st.set_reg(rd, (st.reg(a) < st.reg(b)) as u64),
+            Addi(rd, a, imm) => st.set_reg(rd, st.reg(a).wrapping_add(imm as u64)),
+            Andi(rd, a, imm) => st.set_reg(rd, st.reg(a) & imm as u64),
+            Ori(rd, a, imm) => st.set_reg(rd, st.reg(a) | imm as u64),
+            Xori(rd, a, imm) => st.set_reg(rd, st.reg(a) ^ imm as u64),
+            Slli(rd, a, imm) => st.set_reg(rd, st.reg(a) << (imm as u64 & 63)),
+            Srli(rd, a, imm) => st.set_reg(rd, st.reg(a) >> (imm as u64 & 63)),
+            Srai(rd, a, imm) => st.set_reg(rd, ((st.reg(a) as i64) >> (imm as u64 & 63)) as u64),
+            Slti(rd, a, imm) => st.set_reg(rd, ((st.reg(a) as i64) < imm) as u64),
+            Li(rd, imm) => st.set_reg(rd, imm as u64),
+            Load(rd, a, imm) => {
+                let addr = st.reg(a).wrapping_add(imm as u64) & !7;
+                let val = mem.load(addr);
+                st.set_reg(rd, val);
+            }
+            Store(a, v, imm) => {
+                let addr = st.reg(a).wrapping_add(imm as u64) & !7;
+                mem.store(addr, st.reg(v));
+            }
+            Nop => {}
+            BrEq { a, b, exit, assume } => {
+                if (st.reg(a) == st.reg(b)) != assume {
+                    st.pc = exit;
+                    return (block.ends[i] as u64, true);
+                }
+            }
+            BrNe { a, b, exit, assume } => {
+                if (st.reg(a) != st.reg(b)) != assume {
+                    st.pc = exit;
+                    return (block.ends[i] as u64, true);
+                }
+            }
+            BrLt { a, b, exit, assume } => {
+                if ((st.reg(a) as i64) < (st.reg(b) as i64)) != assume {
+                    st.pc = exit;
+                    return (block.ends[i] as u64, true);
+                }
+            }
+            BrGe { a, b, exit, assume } => {
+                if ((st.reg(a) as i64) >= (st.reg(b) as i64)) != assume {
+                    st.pc = exit;
+                    return (block.ends[i] as u64, true);
+                }
+            }
+            BrLtu { a, b, exit, assume } => {
+                if (st.reg(a) < st.reg(b)) != assume {
+                    st.pc = exit;
+                    return (block.ends[i] as u64, true);
+                }
+            }
+            BrGeu { a, b, exit, assume } => {
+                if (st.reg(a) >= st.reg(b)) != assume {
+                    st.pc = exit;
+                    return (block.ends[i] as u64, true);
+                }
+            }
+            AddiStore {
+                rd,
+                rs,
+                k,
+                base,
+                src,
+                off,
+            } => {
+                st.set_reg(rd, st.reg(rs).wrapping_add(k as i64 as u64));
+                let addr = st.reg(base).wrapping_add(off as i64 as u64) & !7;
+                mem.store(addr, st.reg(src));
+            }
+            AddiBrEq {
+                rd,
+                rs,
+                k,
+                a,
+                b,
+                exit,
+                assume,
+            } => {
+                st.set_reg(rd, st.reg(rs).wrapping_add(k as i64 as u64));
+                if (st.reg(a) == st.reg(b)) != assume {
+                    st.pc = exit as u64;
+                    return (block.ends[i] as u64, true);
+                }
+            }
+            AddiBrNe {
+                rd,
+                rs,
+                k,
+                a,
+                b,
+                exit,
+                assume,
+            } => {
+                st.set_reg(rd, st.reg(rs).wrapping_add(k as i64 as u64));
+                if (st.reg(a) != st.reg(b)) != assume {
+                    st.pc = exit as u64;
+                    return (block.ends[i] as u64, true);
+                }
+            }
+            AddiBrLt {
+                rd,
+                rs,
+                k,
+                a,
+                b,
+                exit,
+                assume,
+            } => {
+                st.set_reg(rd, st.reg(rs).wrapping_add(k as i64 as u64));
+                if ((st.reg(a) as i64) < (st.reg(b) as i64)) != assume {
+                    st.pc = exit as u64;
+                    return (block.ends[i] as u64, true);
+                }
+            }
+            AddiBrGe {
+                rd,
+                rs,
+                k,
+                a,
+                b,
+                exit,
+                assume,
+            } => {
+                st.set_reg(rd, st.reg(rs).wrapping_add(k as i64 as u64));
+                if ((st.reg(a) as i64) >= (st.reg(b) as i64)) != assume {
+                    st.pc = exit as u64;
+                    return (block.ends[i] as u64, true);
+                }
+            }
+            AddiBrLtu {
+                rd,
+                rs,
+                k,
+                a,
+                b,
+                exit,
+                assume,
+            } => {
+                st.set_reg(rd, st.reg(rs).wrapping_add(k as i64 as u64));
+                if (st.reg(a) < st.reg(b)) != assume {
+                    st.pc = exit as u64;
+                    return (block.ends[i] as u64, true);
+                }
+            }
+            AddiBrGeu {
+                rd,
+                rs,
+                k,
+                a,
+                b,
+                exit,
+                assume,
+            } => {
+                st.set_reg(rd, st.reg(rs).wrapping_add(k as i64 as u64));
+                if (st.reg(a) >= st.reg(b)) != assume {
+                    st.pc = exit as u64;
+                    return (block.ends[i] as u64, true);
+                }
+            }
+            MulAdd {
+                rd1,
+                a,
+                b,
+                rd2,
+                c,
+                d,
+            } => {
+                st.set_reg(rd1, st.reg(a).wrapping_mul(st.reg(b)));
+                st.set_reg(rd2, st.reg(c).wrapping_add(st.reg(d)));
+            }
+            AddLoad {
+                rd1,
+                a,
+                b,
+                rd2,
+                rs,
+                off,
+            } => {
+                st.set_reg(rd1, st.reg(a).wrapping_add(st.reg(b)));
+                let addr = st.reg(rs).wrapping_add(off as i64 as u64) & !7;
+                let val = mem.load(addr);
+                st.set_reg(rd2, val);
+            }
+            AddStore {
+                rd1,
+                a,
+                b,
+                base,
+                src,
+                off,
+            } => {
+                st.set_reg(rd1, st.reg(a).wrapping_add(st.reg(b)));
+                let addr = st.reg(base).wrapping_add(off as i64 as u64) & !7;
+                mem.store(addr, st.reg(src));
+            }
+            Exotic {
+                op,
+                rd,
+                rs1,
+                rs2,
+                imm,
+            } => {
+                let val = eval_alu(op, st.reg(rs1), st.reg(rs2), imm);
+                st.set_reg(rd, val);
+            }
+        }
+    }
+    (block.insts.len() as u64, false)
+}
+
+/// Ways in the [`BlockCache`]'s direct-mapped recent-trace table. Must
+/// be a power of two; sized to cover every trace of a hot loop nest so
+/// steady-state dispatch never touches the hash map.
+const RECENT_WAYS: usize = 128;
+
+/// Recent-table tag for "empty" (PCs are 4-byte aligned and far below
+/// `u64::MAX`).
+const NO_PC: u64 = u64::MAX;
+
+/// Consecutive side-exits at one branch site before [`BlockCache::run`]
+/// pins that branch's predicted direction to the observed one and marks
+/// resident traces for re-decode. High enough that decode churn stays
+/// negligible, low enough that a mispredicted hot loop heals within its
+/// first hundred iterations.
+const FLIP_AFTER: u32 = 64;
+
+/// A demand-filled map from entry PC to [`DecodedBlock`]. Code cannot be
+/// written in this ISA, so decoded traces are never invalidated by
+/// execution; overlapping traces from distinct entry PCs into the same
+/// region simply coexist. Traces *are* re-decoded — lazily, in place —
+/// when exit-driven learning (see [`run`](Self::run)) changes a branch's
+/// predicted direction; predictions only steer decode, never
+/// architectural results.
+///
+/// Traces live in an append-only arena; a direct-mapped recent table in
+/// front of the PC→slot hash map makes steady-state dispatch (hot loops
+/// re-entering the same few traces) a one-compare lookup.
+#[derive(Debug)]
+pub struct BlockCache {
+    recent: [(u64, u32); RECENT_WAYS],
+    map: FxHashMap<u64, u32>,
+    arena: Vec<DecodedBlock>,
+    /// `gens[slot]` is the value of `gen` when `arena[slot]` was last
+    /// decoded; a mismatch means prediction hints changed since and the
+    /// trace re-decodes on its next dispatch. (A stale trace is still
+    /// architecturally exact — staleness only costs exits.)
+    gens: Vec<u32>,
+    gen: u32,
+    /// Learned branch directions, by branch PC: decode-time overrides
+    /// for the static backward-taken/forward-not-taken heuristic.
+    hints: FxHashMap<u64, bool>,
+    /// Branch PC of the current consecutive-exit run, and its length.
+    exit_run_pc: u64,
+    exit_run: u32,
+}
+
+impl Default for BlockCache {
+    fn default() -> Self {
+        Self {
+            recent: [(NO_PC, 0); RECENT_WAYS],
+            map: FxHashMap::default(),
+            arena: Vec::new(),
+            gens: Vec::new(),
+            gen: 0,
+            hints: FxHashMap::default(),
+            exit_run_pc: NO_PC,
+            exit_run: 0,
+        }
+    }
+}
+
+impl BlockCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arena slot of the trace entered at `pc`, decoding (or
+    /// re-decoding, after a prediction change) on demand.
+    #[inline]
+    fn slot_for(&mut self, prog: &Program, pc: u64) -> usize {
+        let way = ((pc >> 2) as usize) & (RECENT_WAYS - 1);
+        let (tag, slot) = self.recent[way];
+        if tag == pc && self.gens[slot as usize] == self.gen {
+            return slot as usize;
+        }
+        self.miss(prog, pc, way)
+    }
+
+    /// Recent-table miss: consult the hash map, decoding on first use
+    /// (or re-decoding a trace made stale by new prediction hints), and
+    /// refill the way.
+    fn miss(&mut self, prog: &Program, pc: u64, way: usize) -> usize {
+        let slot = match self.map.get(&pc) {
+            Some(&slot) => {
+                if self.gens[slot as usize] != self.gen {
+                    let b = decode_block_hinted(prog, pc, &self.hints);
+                    self.arena[slot as usize] = b;
+                    self.gens[slot as usize] = self.gen;
+                }
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.arena.len()).expect("block arena overflow");
+                self.arena.push(decode_block_hinted(prog, pc, &self.hints));
+                self.gens.push(self.gen);
+                self.map.insert(pc, slot);
+                slot
+            }
+        };
+        self.recent[way] = (pc, slot);
+        slot as usize
+    }
+
+    /// The trace entered at `pc`, decoding it on first use.
+    #[inline]
+    pub fn get_or_decode(&mut self, prog: &Program, pc: u64) -> &DecodedBlock {
+        let slot = self.slot_for(prog, pc);
+        &self.arena[slot]
+    }
+
+    /// The silent fast-forward engine: dispatches whole traces from
+    /// `st.pc` until `budget` instructions have retired or the program
+    /// halts (or leaves the code segment). Returns
+    /// `(instructions_retired, halted)`.
+    ///
+    /// Per dispatch this is one recent-table probe and one [`exec_uops`]
+    /// call; terminators retire through [`exec_inst`], and a budget
+    /// expiring inside a trace replays instruction-by-instruction
+    /// through [`exec_inst`] so the stop point is exactly the
+    /// interpreter's. Side-exits feed a learner: a run of
+    /// consecutive exits at one branch site flips that branch's
+    /// prediction hint and lazily re-decode resident traces, so a
+    /// statically mispredicted hot loop (a biased always-taken forward
+    /// branch, say) heals into a fully unrolled trace instead of
+    /// exiting every iteration.
+    pub fn run(
+        &mut self,
+        prog: &Program,
+        st: &mut ArchState,
+        mem: &mut impl DataMem,
+        budget: u64,
+    ) -> (u64, bool) {
+        let mut remaining = budget;
+        let mut halted = false;
+        while remaining > 0 {
+            let slot = self.slot_for(prog, st.pc);
+            let block = &self.arena[slot];
+            let body = block.insts.len() as u64;
+            let term = block.term;
+            if remaining <= body {
+                // The budget expires inside the trace body: replay
+                // through exec_inst (which advances the PC itself) until
+                // it runs out or a branch leaves the trace. Every
+                // replayed instruction retires.
+                let take = remaining as usize;
+                let mut done = 0u64;
+                for i in 0..take {
+                    exec_inst(block.insts[i], st, mem);
+                    done += 1;
+                    if st.pc != block.pcs[i + 1] {
+                        break; // trace exit: re-dispatch at the new PC
+                    }
+                }
+                remaining -= done;
+                continue;
+            }
+            let (done, exited) = exec_uops(block, st, mem);
+            remaining -= done;
+            if exited {
+                // The branch uop already set the PC.
+                self.learn_exit(slot, done as usize, st.pc);
+                continue;
+            }
+            match term {
+                Terminator::Inst { inst, pc } => {
+                    st.pc = pc;
+                    let out = exec_inst(inst, st, mem);
+                    remaining -= 1;
+                    if out.halted {
+                        halted = true;
+                        break;
+                    }
+                }
+                Terminator::Fall { next } => st.pc = next,
+                Terminator::OutOfRange { pc } => {
+                    // Halt without retiring, PC parked on the bad
+                    // address — the interpreter's PcOutOfRange path.
+                    st.pc = pc;
+                    halted = true;
+                    break;
+                }
+            }
+        }
+        (budget - remaining, halted)
+    }
+
+    /// Records a side-exit from trace `slot` after `done` retired body
+    /// instructions (the last of which is the mispredicted branch, for
+    /// fused and unfused branch uops alike), with `exit_pc` the PC the
+    /// exit transferred to. After [`FLIP_AFTER`] consecutive exits at
+    /// the same branch site, pins that branch's prediction to the
+    /// observed direction and bumps the generation so resident traces
+    /// re-decode on next dispatch.
+    fn learn_exit(&mut self, slot: usize, done: usize, exit_pc: u64) {
+        let block = &self.arena[slot];
+        let bpc = block.pcs[done - 1];
+        if self.exit_run_pc != bpc {
+            self.exit_run_pc = bpc;
+            self.exit_run = 1;
+            return;
+        }
+        self.exit_run += 1;
+        if self.exit_run < FLIP_AFTER {
+            return;
+        }
+        // The trace kept predicting one way; execution kept going the
+        // other. The exit edge is the branch's target exactly when the
+        // observed (non-predicted) direction is taken.
+        let inst = block.insts[done - 1];
+        debug_assert!(
+            matches!(
+                inst.op,
+                Op::Beq | Op::Bne | Op::Blt | Op::Bge | Op::Bltu | Op::Bgeu
+            ),
+            "side exits only come from branch uops"
+        );
+        self.hints.insert(bpc, exit_pc == inst.imm as u64);
+        self.gen = self.gen.wrapping_add(1);
+        self.exit_run_pc = NO_PC;
+        self.exit_run = 0;
+    }
+
+    /// Number of decoded traces resident.
+    pub fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Whether no trace has been decoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.arena.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::exec::{step, VecMem};
+    use crate::program::CODE_BASE;
+
+    /// li / add / ld / st / nop straight line, then a backward branch.
+    fn loop_program() -> Program {
+        let mut a = Asm::new();
+        let (i, n, acc) = (Reg::int(10), Reg::int(11), Reg::int(12));
+        a.li(i, 0);
+        a.li(n, 8);
+        a.label("loop");
+        a.addi(acc, acc, 3);
+        a.nop();
+        a.st(acc, Reg::int(13), 0x100);
+        a.ld(Reg::int(14), Reg::int(13), 0x100);
+        a.addi(i, i, 1);
+        a.blt(i, n, "loop");
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn decode_unrolls_backward_branches_and_stops_at_halt() {
+        let p = loop_program();
+        let head = decode_block(&p, p.entry());
+        // The backward blt is predicted taken, so the 6-instruction loop
+        // body unrolls until the uop cap.
+        assert_eq!(head.len(), MAX_BLOCK_UOPS);
+        assert!(matches!(head.term(), Terminator::Fall { .. }));
+        // One branch per unrolled iteration — fused with the preceding
+        // counter `addi` — predicted taken, exiting to the fall-through
+        // halt.
+        let halt_pc = CODE_BASE + 8 * INST_BYTES;
+        let branches: Vec<_> = head
+            .uops()
+            .iter()
+            .filter(|u| matches!(u, Uop::AddiBrLt { .. }))
+            .collect();
+        assert!(branches.len() > 10, "the loop must unroll");
+        assert!(branches.iter().all(|u| matches!(
+            u,
+            Uop::AddiBrLt { assume: true, exit, .. } if u64::from(*exit) == halt_pc
+        )));
+        // PCs wrap around the loop: instruction 2 + 6 is the loop head
+        // again, one instruction past the backward branch's slot.
+        assert_eq!(head.pc_at(2), CODE_BASE + 2 * INST_BYTES);
+        assert_eq!(head.pc_at(2 + 6), CODE_BASE + 2 * INST_BYTES);
+        // Entering at the halt is a zero-uop trace.
+        let halt = decode_block(&p, halt_pc);
+        assert!(halt.is_empty());
+        assert_eq!(halt.pc_at(0), halt_pc);
+        assert!(matches!(
+            halt.term(),
+            Terminator::Inst { inst, .. } if inst.op == Op::Halt
+        ));
+    }
+
+    #[test]
+    fn decode_follows_forward_branches_not_taken_and_direct_jumps() {
+        let mut a = Asm::new();
+        let (i, n) = (Reg::int(10), Reg::int(11));
+        a.blt(i, n, "skip"); // forward: predicted not-taken
+        a.addi(i, i, 1);
+        a.j("join"); // direct jump: followed
+        a.label("skip");
+        a.addi(i, i, 2);
+        a.label("join");
+        a.halt();
+        let p = a.finish().unwrap();
+        let b = decode_block(&p, p.entry());
+        // Path: branch (not-taken), addi, j — landing on halt. The
+        // skipped `addi i, 2` is not on the trace.
+        assert_eq!(b.len(), 3);
+        let skip_pc = CODE_BASE + 3 * INST_BYTES;
+        assert!(matches!(
+            b.uops()[0],
+            Uop::BrLt { assume: false, exit, .. } if exit == skip_pc
+        ));
+        assert!(matches!(b.uops()[1], Uop::Addi(..)));
+        assert!(
+            matches!(b.uops()[2], Uop::Nop),
+            "a plain jump decodes to a followed Nop"
+        );
+        // The jump is followed: the terminator is the halt at `join`.
+        let join_pc = CODE_BASE + 4 * INST_BYTES;
+        assert!(matches!(
+            b.term(),
+            Terminator::Inst { inst, pc } if inst.op == Op::Halt && pc == join_pc
+        ));
+        assert_eq!(b.pc_at(3), join_pc);
+    }
+
+    #[test]
+    fn decode_stops_at_code_segment_boundary() {
+        let mut a = Asm::new();
+        a.nop();
+        a.nop();
+        let p = a.finish().unwrap();
+        let b = decode_block(&p, p.entry());
+        assert_eq!(b.len(), 2, "both nops belong to the body");
+        assert_eq!(
+            b.term(),
+            Terminator::OutOfRange {
+                pc: CODE_BASE + 2 * INST_BYTES
+            }
+        );
+        // An entry PC outside the segment is an empty out-of-range trace.
+        let oob = decode_block(&p, 0xDEAD_0000);
+        assert!(oob.is_empty());
+        assert_eq!(oob.term(), Terminator::OutOfRange { pc: 0xDEAD_0000 });
+    }
+
+    #[test]
+    fn overlong_straight_line_falls_through() {
+        let mut a = Asm::new();
+        for _ in 0..(MAX_BLOCK_UOPS + 10) {
+            a.addi(Reg::int(10), Reg::int(10), 1);
+        }
+        a.halt();
+        let p = a.finish().unwrap();
+        let b = decode_block(&p, p.entry());
+        assert_eq!(b.len(), MAX_BLOCK_UOPS);
+        let Terminator::Fall { next } = b.term() else {
+            panic!("expected fall terminator, got {:?}", b.term());
+        };
+        assert_eq!(next, CODE_BASE + MAX_BLOCK_UOPS as u64 * INST_BYTES);
+        assert_eq!(b.pc_at(b.len()), next);
+        let tail = decode_block(&p, next);
+        assert_eq!(tail.len(), 10);
+        assert!(matches!(
+            tail.term(),
+            Terminator::Inst { inst, .. } if inst.op == Op::Halt
+        ));
+    }
+
+    #[test]
+    fn exec_uops_matches_single_stepping_through_the_exit() {
+        let p = loop_program();
+        let b = decode_block(&p, p.entry());
+        // Trace path: the 8-iteration loop unrolls further than the
+        // program actually iterates, so execution exits at the 9th
+        // unrolled branch.
+        let mut st = ArchState::new(p.entry());
+        let mut mem = VecMem::new();
+        let (done, exited) = exec_uops(&b, &mut st, &mut mem);
+        assert!(exited, "the over-unrolled trace must side-exit");
+        assert_eq!(done, 2 + 8 * 6, "setup + 8 full iterations");
+        // Reference: step the interpreter the same number of times.
+        let mut st_ref = ArchState::new(p.entry());
+        let mut mem_ref = VecMem::new();
+        for _ in 0..done {
+            step(&p, &mut st_ref, &mut mem_ref).unwrap();
+        }
+        assert_eq!(st, st_ref, "registers and exit PC match the interpreter");
+        assert_eq!(mem.load(0x100), mem_ref.load(0x100));
+    }
+
+    #[test]
+    fn block_cache_decodes_once_per_entry() {
+        let p = loop_program();
+        let mut cache = BlockCache::new();
+        assert!(cache.is_empty());
+        let first = cache.get_or_decode(&p, p.entry()).clone();
+        assert_eq!(cache.len(), 1);
+        let again = cache.get_or_decode(&p, p.entry()).clone();
+        assert_eq!(cache.len(), 1, "same entry must not re-decode");
+        assert_eq!(first, again);
+        cache.get_or_decode(&p, CODE_BASE + 2 * INST_BYTES);
+        assert_eq!(cache.len(), 2, "overlapping entries coexist");
+    }
+
+    /// The dispatch loop's speed rests on uops staying two per cache
+    /// line; a variant that grows the enum past 16 bytes is a silent
+    /// regression everywhere.
+    #[test]
+    fn uop_stays_sixteen_bytes() {
+        assert!(std::mem::size_of::<Uop>() <= 16);
+    }
+
+    #[test]
+    fn fusion_coarsens_dispatch_but_not_instruction_accounting() {
+        let p = loop_program();
+        let b = decode_block(&p, p.entry());
+        // Each unrolled iteration fuses its `addi i` + `blt` pair: five
+        // uops cover six instructions.
+        assert!(b.uops().len() < b.len());
+        assert!(b.uops().iter().any(|u| matches!(u, Uop::AddiBrLt { .. })));
+        // `ends` is strictly increasing, steps by 1 or 2, and covers
+        // every instruction exactly once.
+        let mut prev = 0u32;
+        for (u, &e) in b.uops().iter().zip(&b.ends) {
+            assert!(e == prev + 1 || e == prev + 2, "bad ends step at {u:?}");
+            assert_eq!(
+                e,
+                prev + if matches!(u, Uop::AddiStore { .. } | Uop::AddiBrLt { .. }) {
+                    2
+                } else {
+                    1
+                }
+            );
+            prev = e;
+        }
+        assert_eq!(prev as usize, b.len());
+    }
+
+    #[test]
+    fn fused_store_reading_its_own_add_result_matches_stepping() {
+        // `addi p, p, 8` then `st acc, p, 0`: the store's base is the
+        // register the fused add just wrote — sequential semantics.
+        let mut a = Asm::new();
+        let (p_reg, acc) = (Reg::int(10), Reg::int(11));
+        a.li(p_reg, 0x100);
+        a.li(acc, 0xBEEF);
+        a.addi(p_reg, p_reg, 8);
+        a.st(acc, p_reg, 0);
+        a.halt();
+        let p = a.finish().unwrap();
+        let b = decode_block(&p, p.entry());
+        assert!(b.uops().iter().any(|u| matches!(u, Uop::AddiStore { .. })));
+        let mut st = ArchState::new(p.entry());
+        let mut mem = VecMem::new();
+        let (done, exited) = exec_uops(&b, &mut st, &mut mem);
+        assert_eq!((done, exited), (4, false));
+        let mut st_ref = ArchState::new(p.entry());
+        let mut mem_ref = VecMem::new();
+        for _ in 0..done {
+            step(&p, &mut st_ref, &mut mem_ref).unwrap();
+        }
+        st.pc = st_ref.pc; // exec_uops leaves the PC to its caller
+        assert_eq!(st, st_ref);
+        assert_eq!(mem.load(0x108), 0xBEEF);
+        assert_eq!(mem_ref.load(0x108), 0xBEEF);
+    }
+
+    #[test]
+    fn wide_immediates_stay_unfused() {
+        let mut a = Asm::new();
+        let (x, base) = (Reg::int(10), Reg::int(11));
+        // Offset and increment beyond i16: the pairs must keep their
+        // exact unfused uops.
+        a.addi(x, x, 0x2_0000);
+        a.st(x, base, 0x1_0000);
+        a.addi(x, x, 1);
+        a.st(x, base, 0x1_0000);
+        a.halt();
+        let p = a.finish().unwrap();
+        let b = decode_block(&p, p.entry());
+        assert_eq!(b.uops().len(), 4, "nothing fuses across wide imms");
+        assert!(matches!(b.uops()[0], Uop::Addi(_, _, 0x2_0000)));
+        assert!(matches!(b.uops()[1], Uop::Store(_, _, 0x1_0000)));
+        assert!(matches!(b.uops()[2], Uop::Addi(_, _, 1)));
+        assert!(matches!(b.uops()[3], Uop::Store(_, _, 0x1_0000)));
+    }
+}

@@ -31,6 +31,7 @@ pub struct ArchCheckpoint {
     regs: [u64; Reg::COUNT],
     pc: u64,
     icount: u64,
+    halted: bool,
     /// Dirty pages, sorted by page index for deterministic iteration.
     pages: Vec<(u64, Box<Page>)>,
 }
@@ -39,10 +40,17 @@ impl ArchCheckpoint {
     /// Builds a checkpoint from raw parts. `pages` are `(page_index,
     /// contents)` pairs (`page_index = addr >> 12`); they are sorted here
     /// so equality and application order are canonical.
+    ///
+    /// `halted` records whether execution had already halted when the
+    /// snapshot was taken. It must be carried explicitly: after a `halt`
+    /// the PC points at the *next* instruction slot, which may be a
+    /// perfectly valid instruction, so halt state cannot be re-derived
+    /// from the PC on restore.
     pub fn new(
         regs: [u64; Reg::COUNT],
         pc: u64,
         icount: u64,
+        halted: bool,
         mut pages: Vec<(u64, Box<Page>)>,
     ) -> Self {
         pages.sort_unstable_by_key(|&(p, _)| p);
@@ -50,6 +58,7 @@ impl ArchCheckpoint {
             regs,
             pc,
             icount,
+            halted,
             pages,
         }
     }
@@ -67,6 +76,14 @@ impl ArchCheckpoint {
     /// Instructions retired before this checkpoint.
     pub fn icount(&self) -> u64 {
         self.icount
+    }
+
+    /// Whether execution had halted (`halt` retired, or the PC left the
+    /// code segment) when this checkpoint was captured. Restored
+    /// emulators and systems must treat a halted checkpoint as final
+    /// rather than resuming as runnable.
+    pub fn halted(&self) -> bool {
+        self.halted
     }
 
     /// The dirty-page delta, sorted by page index.
@@ -106,12 +123,14 @@ mod tests {
             [0; Reg::COUNT],
             0,
             0,
+            false,
             vec![(7, page_with(0, 1)), (2, page_with(0, 2))],
         );
         let b = ArchCheckpoint::new(
             [0; Reg::COUNT],
             0,
             0,
+            false,
             vec![(2, page_with(0, 2)), (7, page_with(0, 1))],
         );
         assert_eq!(a, b);
@@ -128,6 +147,7 @@ mod tests {
             [0; Reg::COUNT],
             0x40,
             123,
+            false,
             vec![
                 (0x2000_1008 >> 12, page_with(1, 99)),
                 (0x2000_2000 >> 12, page_with(0, 77)),
@@ -139,5 +159,17 @@ mod tests {
         assert_eq!(mem.load(0x2000_2000), 77, "new delta page appears");
         assert_eq!(ck.pc(), 0x40);
         assert_eq!(ck.icount(), 123);
+        assert!(!ck.halted());
+    }
+
+    #[test]
+    fn halt_state_distinguishes_otherwise_equal_checkpoints() {
+        let running = ArchCheckpoint::new([0; Reg::COUNT], 0x40, 9, false, Vec::new());
+        let halted = ArchCheckpoint::new([0; Reg::COUNT], 0x40, 9, true, Vec::new());
+        assert!(halted.halted());
+        assert_ne!(
+            running, halted,
+            "halt state is architectural and must affect equality"
+        );
     }
 }

@@ -311,6 +311,19 @@ pub fn step(
 ) -> Result<StepOut, ExecError> {
     let pc = st.pc;
     let inst = prog.fetch(pc).ok_or(ExecError::PcOutOfRange(pc))?;
+    Ok(exec_inst(inst, st, mem))
+}
+
+/// Executes an already fetched `inst` whose PC is the current `st.pc`,
+/// updating state and memory — [`step`] minus the fetch/range check.
+///
+/// This is the single source of per-instruction semantics: the decoded
+/// superblock dispatcher (see [`crate::block`]) replays bodies and
+/// terminators through it, which is what makes block-cached execution
+/// bit-identical to single stepping.
+#[inline]
+pub fn exec_inst(inst: Inst, st: &mut ArchState, mem: &mut impl DataMem) -> StepOut {
+    let pc = st.pc;
     let seq_pc = pc + crate::program::INST_BYTES;
     let mut out = StepOut {
         inst,
@@ -369,7 +382,7 @@ pub fn step(
         }
     }
     st.pc = out.next_pc;
-    Ok(out)
+    out
 }
 
 /// Runs until `Halt` or the step limit; returns the number of instructions

@@ -63,9 +63,14 @@ impl Reg {
     }
 
     /// Flat index in 0..64 (integer then fp).
+    ///
+    /// The mask is a no-op (every constructor checks `< 64`) but proves
+    /// the in-bounds invariant to the optimizer, so register-file
+    /// indexing compiles without bounds checks in the emulator and core
+    /// hot loops.
     #[inline]
     pub const fn index(self) -> usize {
-        self.0 as usize
+        (self.0 & (Reg::COUNT as u8 - 1)) as usize
     }
 
     /// Whether this is an integer register.

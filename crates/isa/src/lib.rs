@@ -36,6 +36,7 @@
 //! ```
 
 mod asm;
+pub mod block;
 mod checkpoint;
 mod exec;
 mod hash;
@@ -43,10 +44,11 @@ mod inst;
 mod program;
 
 pub use asm::{Asm, AsmError, DataBuilder};
+pub use block::{decode_block, exec_uops, BlockCache, DecodedBlock, Terminator, Uop};
 pub use checkpoint::{ArchCheckpoint, Page, PAGE_WORDS};
 pub use exec::{
-    eval_alu, eval_cond, mem_addr, run, step, ArchState, DataMem, ExecError, MemKind, StepOut,
-    VecMem,
+    eval_alu, eval_cond, exec_inst, mem_addr, run, step, ArchState, DataMem, ExecError, MemKind,
+    StepOut, VecMem,
 };
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use inst::{BranchKind, FuClass, Inst, Op, Reg};

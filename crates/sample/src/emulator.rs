@@ -1,7 +1,20 @@
 //! The functional emulator: executes programs architecturally
-//! (registers + memory, no pipeline) at tens of MIPS, for
-//! fast-forwarding to sampling intervals and capturing
-//! [`ArchCheckpoint`]s.
+//! (registers + memory, no pipeline), for fast-forwarding to sampling
+//! intervals and capturing [`ArchCheckpoint`]s.
+//!
+//! Fast-forward runs on a **decoded-superblock cache**
+//! ([`r3dla_isa::BlockCache`]): predicted instruction paths — direct
+//! jumps followed, backward branches assumed taken so loops unroll —
+//! are decoded once into flat uop traces and then dispatched whole, so
+//! the silent hot loop pays no per-instruction fetch, PC range check or
+//! `StepOut` materialization, and a predicted branch costs one compare.
+//! Branches that go against their prediction side-exit the trace with
+//! the correct PC; observed runs and trace terminators replay through
+//! [`r3dla_isa::exec_inst`] — the interpreter's own per-instruction
+//! function — so trace-cached execution is bit-identical to single
+//! stepping (set the `R3DLA_BLOCK_CACHE=0` environment variable or call
+//! [`Emulator::set_block_cache`] to force the per-instruction
+//! interpreter and verify exactly that).
 //!
 //! Memory is copy-on-write against a shared, immutable page image of the
 //! program's initial data ([`ImageMem`]): only written pages are
@@ -11,8 +24,8 @@
 use std::sync::Arc;
 
 use r3dla_isa::{
-    step, ArchCheckpoint, ArchState, DataMem, ExecError, FxHashMap, Page, Program, StepOut,
-    PAGE_WORDS,
+    exec_inst, step, ArchCheckpoint, ArchState, BlockCache, DataMem, ExecError, FxHashMap, Page,
+    Program, StepOut, Terminator, PAGE_WORDS,
 };
 
 /// Sentinel for "last-page cache empty" (real page indices are
@@ -22,31 +35,41 @@ const NO_PAGE: u64 = u64::MAX;
 /// An immutable page-granular snapshot of a program's initial data
 /// image, shared (`Arc`) across every emulator and restore of the same
 /// workload.
+///
+/// Pages are individually `Arc`'d so a [`DeltaMem`] can hold a cursor
+/// straight into the page it last read from (see [`DataMem::load`] on
+/// `DeltaMem`) without a hash lookup per access.
 #[derive(Debug)]
 pub struct ImageMem {
-    pages: FxHashMap<u64, Box<Page>>,
+    pages: FxHashMap<u64, Arc<Page>>,
+    /// A shared all-zero page: the read target for unmapped addresses.
+    zero: Arc<Page>,
 }
 
 impl ImageMem {
     /// Builds the page image from `(address, word)` initializers (the
     /// [`Program::image`] format).
     pub fn of(image: &[(u64, u64)]) -> Self {
-        let mut pages: FxHashMap<u64, Box<Page>> = FxHashMap::default();
+        let mut pages: FxHashMap<u64, Arc<Page>> = FxHashMap::default();
         for &(addr, val) in image {
             let a = addr & !7;
             let page = a >> 12;
             let word = ((a & 0xFFF) >> 3) as usize;
-            pages
+            let p = pages
                 .entry(page)
-                .or_insert_with(|| Box::new([0; PAGE_WORDS]))[word] = val;
+                .or_insert_with(|| Arc::new([0; PAGE_WORDS]));
+            Arc::get_mut(p).expect("image pages are unshared while building")[word] = val;
         }
-        Self { pages }
+        Self {
+            pages,
+            zero: Arc::new([0; PAGE_WORDS]),
+        }
     }
 
     /// The pristine contents of `page`, if the image touches it.
     #[inline]
-    fn page(&self, page: u64) -> Option<&Page> {
-        self.pages.get(&page).map(|b| &**b)
+    fn page(&self, page: u64) -> Option<&Arc<Page>> {
+        self.pages.get(&page)
     }
 
     /// Number of pages the image occupies.
@@ -61,24 +84,35 @@ impl ImageMem {
 ///
 /// Mirrors `VecMem`'s slot-arena + last-page-cache layout so the
 /// emulator's hot loop stays allocation-free on spatially local streams.
+/// A second cursor (`clean_page`/`clean`) covers the last *clean* page
+/// read through to the image, so read-heavy scans over never-written
+/// data are also one hash lookup per page change, not per access.
 #[derive(Debug, Clone)]
 pub struct DeltaMem {
     base: Arc<ImageMem>,
     dirty: FxHashMap<u64, u32>,
-    storage: Vec<Box<Page>>,
+    /// Dirty pages stored inline (not boxed): one indirection per
+    /// access on the hot cursor path. Slots are append-only, so indices
+    /// stay stable across reallocation.
+    storage: Vec<Page>,
     last_page: u64,
     last_slot: u32,
+    clean_page: u64,
+    clean: Arc<Page>,
 }
 
 impl DeltaMem {
     /// An empty delta over `base`.
     pub fn new(base: Arc<ImageMem>) -> Self {
+        let zero = Arc::clone(&base.zero);
         Self {
             base,
             dirty: FxHashMap::default(),
             storage: Vec::new(),
             last_page: NO_PAGE,
             last_slot: 0,
+            clean_page: NO_PAGE,
+            clean: zero,
         }
     }
 
@@ -87,7 +121,7 @@ impl DeltaMem {
         let mut m = Self::new(base);
         for (page, data) in ckpt.pages() {
             let slot = m.storage.len() as u32;
-            m.storage.push(data.clone());
+            m.storage.push(**data);
             m.dirty.insert(*page, slot);
         }
         m
@@ -102,7 +136,7 @@ impl DeltaMem {
     pub fn capture(&self) -> Vec<(u64, Box<Page>)> {
         self.dirty
             .iter()
-            .map(|(&page, &slot)| (page, self.storage[slot as usize].clone()))
+            .map(|(&page, &slot)| (page, Box::new(self.storage[slot as usize])))
             .collect()
     }
 
@@ -110,12 +144,33 @@ impl DeltaMem {
     fn materialize(&mut self, page: u64) -> u32 {
         let slot = u32::try_from(self.storage.len()).expect("page arena overflow");
         let contents = match self.base.page(page) {
-            Some(p) => Box::new(*p),
-            None => Box::new([0u64; PAGE_WORDS]),
+            Some(p) => **p,
+            None => [0u64; PAGE_WORDS],
         };
         self.storage.push(contents);
         self.dirty.insert(page, slot);
+        // The page is dirty now; the clean cursor must not shadow it.
+        if self.clean_page == page {
+            self.clean_page = NO_PAGE;
+        }
         slot
+    }
+
+    /// Both cursors missed: consult the dirty map, then the image
+    /// (parking the clean cursor on whatever page answers — the shared
+    /// zero page for unmapped addresses).
+    fn load_miss(&mut self, page: u64, word: usize) -> u64 {
+        if let Some(&slot) = self.dirty.get(&page) {
+            self.last_page = page;
+            self.last_slot = slot;
+            return self.storage[slot as usize][word];
+        }
+        self.clean_page = page;
+        self.clean = match self.base.page(page) {
+            Some(p) => Arc::clone(p),
+            None => Arc::clone(&self.base.zero),
+        };
+        self.clean[word]
     }
 }
 
@@ -128,15 +183,10 @@ impl DataMem for DeltaMem {
         if page == self.last_page {
             return self.storage[self.last_slot as usize][word];
         }
-        if let Some(&slot) = self.dirty.get(&page) {
-            self.last_page = page;
-            self.last_slot = slot;
-            return self.storage[slot as usize][word];
+        if page == self.clean_page {
+            return self.clean[word];
         }
-        match self.base.page(page) {
-            Some(p) => p[word],
-            None => 0,
-        }
+        self.load_miss(page, word)
     }
 
     #[inline]
@@ -158,8 +208,17 @@ impl DataMem for DeltaMem {
     }
 }
 
+/// Whether the decoded-superblock dispatcher is enabled by default.
+/// `R3DLA_BLOCK_CACHE=0` forces the per-instruction interpreter — the CI
+/// byte-identity comparison runs the sampled grid both ways and `cmp`s
+/// the JSON.
+fn block_cache_default() -> bool {
+    std::env::var_os("R3DLA_BLOCK_CACHE").is_none_or(|v| v != "0")
+}
+
 /// The architectural fast-forward engine: program + register state +
-/// copy-on-write memory + retired-instruction count.
+/// copy-on-write memory + retired-instruction count, dispatched through
+/// a demand-decoded superblock cache.
 #[derive(Debug)]
 pub struct Emulator {
     program: Arc<Program>,
@@ -167,6 +226,8 @@ pub struct Emulator {
     mem: DeltaMem,
     icount: u64,
     halted: bool,
+    blocks: BlockCache,
+    use_blocks: bool,
 }
 
 impl Emulator {
@@ -186,11 +247,14 @@ impl Emulator {
             mem: DeltaMem::new(image),
             icount: 0,
             halted: false,
+            blocks: BlockCache::new(),
+            use_blocks: block_cache_default(),
         }
     }
 
     /// An emulator resumed from a checkpoint (registers, PC, instruction
-    /// count and memory delta all restored).
+    /// count, halt state and memory delta all restored — a checkpoint
+    /// captured at or after the halt stays halted).
     pub fn from_checkpoint(
         program: Arc<Program>,
         image: Arc<ImageMem>,
@@ -204,8 +268,28 @@ impl Emulator {
             state,
             mem: DeltaMem::from_checkpoint(image, ckpt),
             icount: ckpt.icount(),
-            halted: false,
+            halted: ckpt.halted(),
+            blocks: BlockCache::new(),
+            use_blocks: block_cache_default(),
         }
+    }
+
+    /// Enables or disables the decoded-superblock dispatcher (on by
+    /// default unless `R3DLA_BLOCK_CACHE=0`). Both paths are bit-exact;
+    /// off exists for equivalence checks and throughput comparison.
+    pub fn set_block_cache(&mut self, on: bool) {
+        self.use_blocks = on;
+    }
+
+    /// Whether the decoded-superblock dispatcher is active.
+    pub fn block_cache_enabled(&self) -> bool {
+        self.use_blocks
+    }
+
+    /// Number of superblocks decoded so far (0 until the first
+    /// block-dispatched run).
+    pub fn decoded_blocks(&self) -> usize {
+        self.blocks.len()
     }
 
     /// Instructions retired so far.
@@ -239,6 +323,7 @@ impl Emulator {
             self.state.regs(),
             self.state.pc,
             self.icount,
+            self.halted,
             self.mem.capture(),
         )
     }
@@ -261,8 +346,31 @@ impl Emulator {
     }
 
     /// Executes up to `n` instructions (stops early at halt); returns the
-    /// number executed. This is the silent fast-forward hot loop.
+    /// number executed. This is the silent fast-forward hot loop —
+    /// [`BlockCache::run`], which dispatches whole decoded traces,
+    /// side-exits mispredicted branches with the correct PC, learns
+    /// persistent branch directions from repeated exits, and retires
+    /// terminators through [`exec_inst`].
     pub fn run(&mut self, n: u64) -> u64 {
+        if !self.use_blocks {
+            return self.run_interpreted(n);
+        }
+        if self.halted {
+            return 0;
+        }
+        let (done, halted) = self
+            .blocks
+            .run(&self.program, &mut self.state, &mut self.mem, n);
+        self.icount += done;
+        if halted {
+            self.halted = true;
+        }
+        done
+    }
+
+    /// The per-instruction fallback for [`run`](Self::run) (block cache
+    /// disabled).
+    fn run_interpreted(&mut self, n: u64) -> u64 {
         let start = self.icount;
         while self.icount - start < n && !self.halted {
             if self.step_once().is_none() {
@@ -273,8 +381,54 @@ impl Emulator {
     }
 
     /// Like [`run`](Self::run), but invokes `obs` with every step's
-    /// observable effects — the warmup touch-stream source.
+    /// observable effects — the warmup touch-stream source. Traces are
+    /// used only to skip the per-step fetch/range check: every body
+    /// instruction and terminator replays through [`exec_inst`], so the
+    /// observed stream is bit-identical to the interpreter's. A branch
+    /// that leaves the trace mid-replay just re-dispatches at the true
+    /// successor.
     pub fn run_observed(&mut self, n: u64, mut obs: impl FnMut(&StepOut)) -> u64 {
+        if !self.use_blocks {
+            return self.run_observed_interpreted(n, obs);
+        }
+        let start = self.icount;
+        let mut remaining = n;
+        'dispatch: while remaining > 0 && !self.halted {
+            let block = self.blocks.get_or_decode(&self.program, self.state.pc);
+            let take = (block.len() as u64).min(remaining) as usize;
+            // exec_inst advances the PC, so the replay walks the trace
+            // exactly like single stepping.
+            for i in 0..take {
+                let out = exec_inst(block.insts()[i], &mut self.state, &mut self.mem);
+                self.icount += 1;
+                remaining -= 1;
+                obs(&out);
+                if self.state.pc != block.pc_at(i + 1) {
+                    continue 'dispatch; // trace exit
+                }
+            }
+            if take < block.len() || remaining == 0 {
+                break;
+            }
+            match block.term() {
+                Terminator::Inst { inst, .. } => {
+                    let out = exec_inst(inst, &mut self.state, &mut self.mem);
+                    self.icount += 1;
+                    remaining -= 1;
+                    if out.halted {
+                        self.halted = true;
+                    }
+                    obs(&out);
+                }
+                Terminator::Fall { .. } => {}
+                Terminator::OutOfRange { .. } => self.halted = true,
+            }
+        }
+        self.icount - start
+    }
+
+    /// The per-instruction fallback for [`run_observed`](Self::run_observed).
+    fn run_observed_interpreted(&mut self, n: u64, mut obs: impl FnMut(&StepOut)) -> u64 {
         let start = self.icount;
         while self.icount - start < n && !self.halted {
             match self.step_once() {
@@ -285,14 +439,17 @@ impl Emulator {
         self.icount - start
     }
 
-    /// Runs to halt (or `cap` instructions); returns the final retired
-    /// count — the workload-length probe interval planning uses.
+    /// Runs to halt or for `cap` **additional** instructions, whichever
+    /// comes first; returns the final total retired count — the
+    /// workload-length probe interval planning uses.
+    ///
+    /// The cap is relative to the current [`icount`](Self::icount): an
+    /// emulator resumed from a mid-run checkpoint gets the full `cap`
+    /// budget, exactly like a fresh emulator. (It was an absolute icount
+    /// bound before, which silently ran *zero* instructions on any
+    /// emulator restored past the cap.)
     pub fn run_to_halt(&mut self, cap: u64) -> u64 {
-        while !self.halted && self.icount < cap {
-            if self.step_once().is_none() {
-                break;
-            }
-        }
+        self.run(cap);
         self.icount
     }
 }
@@ -428,9 +585,172 @@ mod tests {
         let mut a = Asm::new();
         a.nop(); // runs off the end of the code segment
         let prog = Arc::new(a.finish().unwrap());
-        let mut e = Emulator::new(prog);
+        for blocks in [true, false] {
+            let mut e = Emulator::new(Arc::clone(&prog));
+            e.set_block_cache(blocks);
+            e.run(100);
+            assert!(e.halted(), "blocks={blocks}");
+            assert_eq!(e.icount(), 1, "blocks={blocks}");
+            // The out-of-range "halt" is not a retired instruction; the
+            // PC stays parked on the bad address, like the interpreter.
+            assert_eq!(e.state().pc, prog.entry() + 4, "blocks={blocks}");
+            assert!(e.checkpoint().halted(), "blocks={blocks}");
+        }
+    }
+
+    /// Every stop point — mid-block, exactly on a terminator, across
+    /// resumes — must leave block-dispatched state identical to the
+    /// per-instruction interpreter's.
+    #[test]
+    fn block_dispatch_matches_interpreter_at_every_stop_point() {
+        let prog = summing_program();
+        // One instruction at a time in both modes: worst case for
+        // mid-block stops (every boundary lands inside a superblock).
+        for chunk in [1u64, 3, 7, 64, 1_000_000] {
+            let mut with_blocks = Emulator::new(Arc::clone(&prog));
+            with_blocks.set_block_cache(true);
+            let mut interp = Emulator::new(Arc::clone(&prog));
+            interp.set_block_cache(false);
+            loop {
+                let a = with_blocks.run(chunk);
+                let b = interp.run(chunk);
+                assert_eq!(a, b, "chunk {chunk}: executed counts diverge");
+                assert_eq!(with_blocks.icount(), interp.icount(), "chunk {chunk}");
+                assert_eq!(
+                    with_blocks.state().pc,
+                    interp.state().pc,
+                    "chunk {chunk} at icount {}",
+                    interp.icount()
+                );
+                assert_eq!(
+                    with_blocks.state().regs(),
+                    interp.state().regs(),
+                    "chunk {chunk} at icount {}",
+                    interp.icount()
+                );
+                assert_eq!(with_blocks.halted(), interp.halted(), "chunk {chunk}");
+                if a == 0 {
+                    break;
+                }
+            }
+            assert_eq!(
+                with_blocks.checkpoint(),
+                interp.checkpoint(),
+                "chunk {chunk}: final checkpoints (memory deltas) diverge"
+            );
+            assert!(with_blocks.decoded_blocks() > 0, "blocks were dispatched");
+            assert_eq!(interp.decoded_blocks(), 0, "interpreter decodes nothing");
+        }
+    }
+
+    /// A single-uop trace: the budget expiring exactly on a branch parks
+    /// the PC on it, and the next dispatch decodes a trace whose body is
+    /// just that (forward, predicted-not-taken) branch before the halt.
+    #[test]
+    fn single_instruction_block_at_branch_target() {
+        use r3dla_isa::{block::decode_block, Terminator, Uop};
+        let mut a = Asm::new();
+        let (i, n) = (Reg::int(10), Reg::int(11));
+        a.li(i, 0);
+        a.li(n, 5);
+        a.label("top"); // target is a forward branch: a 1-uop trace
+        a.blt(i, n, "body");
+        a.halt();
+        a.label("body");
+        a.addi(i, i, 1);
+        a.j("top");
+        let prog = Arc::new(a.finish().unwrap());
+        // The trace at "top" is the branch itself, predicted not-taken,
+        // falling onto the halt terminator.
+        let top_pc = prog.entry() + 2 * 4;
+        let b = decode_block(&prog, top_pc);
+        assert_eq!(b.len(), 1);
+        assert!(matches!(b.uops()[0], Uop::BrLt { assume: false, .. }));
+        assert!(matches!(
+            b.term(),
+            Terminator::Inst { inst, .. } if inst.op == r3dla_isa::Op::Halt
+        ));
+        // Stop exactly on the branch (after li, li), then resume.
+        let mut e = Emulator::new(Arc::clone(&prog));
+        assert_eq!(e.run(2), 2);
+        assert_eq!(e.state().pc, top_pc, "parked on the terminator");
+        let mut interp = Emulator::new(Arc::clone(&prog));
+        interp.set_block_cache(false);
+        interp.run(2);
+        assert_eq!(e.state().regs(), interp.state().regs());
+        // Resume both to halt; 5 loop iterations then fall out.
+        e.run(1_000);
+        interp.run(1_000);
+        assert!(e.halted() && interp.halted());
+        assert_eq!(e.checkpoint(), interp.checkpoint());
+        assert_eq!(e.state().reg(i), 5);
+    }
+
+    /// `run_observed` with `n` landing inside a superblock must emit
+    /// exactly the interpreter's per-step stream and stop at the same
+    /// mid-block instruction.
+    #[test]
+    fn observed_stream_is_bit_identical_across_dispatch_modes() {
+        let prog = summing_program();
+        for n in [5u64, 17, 100, 1_000_000] {
+            let mut blocks_stream = Vec::new();
+            let mut e = Emulator::new(Arc::clone(&prog));
+            e.set_block_cache(true);
+            let ran_blocks = e.run_observed(n, |o| blocks_stream.push(*o));
+            let mut interp_stream = Vec::new();
+            let mut i = Emulator::new(Arc::clone(&prog));
+            i.set_block_cache(false);
+            let ran_interp = i.run_observed(n, |o| interp_stream.push(*o));
+            assert_eq!(ran_blocks, ran_interp, "n={n}");
+            assert_eq!(blocks_stream, interp_stream, "n={n}: StepOut streams");
+            assert_eq!(e.state().pc, i.state().pc, "n={n}");
+            assert_eq!(e.checkpoint(), i.checkpoint(), "n={n}");
+        }
+    }
+
+    /// Regression: `run_to_halt(cap)` treats `cap` as a *relative*
+    /// budget. An emulator resumed from a checkpoint with `icount >= cap`
+    /// used to silently run zero instructions.
+    #[test]
+    fn run_to_halt_cap_is_relative_after_checkpoint_resume() {
+        let prog = summing_program();
+        let image = Arc::new(ImageMem::of(prog.image()));
+        let mut e = Emulator::with_image(Arc::clone(&prog), Arc::clone(&image));
         e.run(100);
+        let ckpt = e.checkpoint();
+        assert_eq!(ckpt.icount(), 100);
+        let mut resumed = Emulator::from_checkpoint(Arc::clone(&prog), image, &ckpt);
+        // Resumed icount (100) exceeds the cap (50): the cap must budget
+        // 50 MORE instructions, not compare against the absolute icount.
+        let total = resumed.run_to_halt(50);
+        assert_eq!(total, 150, "cap is a relative budget");
+        assert!(!resumed.halted());
+        // And a generous relative cap still runs to the real halt.
+        let final_count = resumed.run_to_halt(1_000_000);
+        assert!(resumed.halted());
+        let mut whole = Emulator::new(Arc::clone(&prog));
+        assert_eq!(whole.run_to_halt(1_000_000), final_count);
+    }
+
+    /// Regression: a checkpoint captured at (or after) the halt must
+    /// resume halted instead of re-running as a live emulator.
+    #[test]
+    fn halted_checkpoint_resumes_halted() {
+        let prog = summing_program();
+        let image = Arc::new(ImageMem::of(prog.image()));
+        let mut e = Emulator::with_image(Arc::clone(&prog), Arc::clone(&image));
+        let total = e.run_to_halt(1_000_000);
         assert!(e.halted());
-        assert_eq!(e.icount(), 1);
+        let ckpt = e.checkpoint();
+        assert!(ckpt.halted(), "capture carries the halt state");
+        let mut resumed = Emulator::from_checkpoint(Arc::clone(&prog), image, &ckpt);
+        assert!(resumed.halted(), "restore carries the halt state");
+        assert_eq!(resumed.run(1_000), 0, "a halted emulator runs nothing");
+        assert_eq!(resumed.run_to_halt(1_000), total);
+        assert_eq!(
+            resumed.checkpoint(),
+            ckpt,
+            "the round trip is the identity on a halted checkpoint"
+        );
     }
 }

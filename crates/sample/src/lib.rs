@@ -11,7 +11,14 @@
 //! The pieces:
 //!
 //! * [`Emulator`] — architectural execution (registers + copy-on-write
-//!   memory over a shared [`ImageMem`]) at tens of MIPS;
+//!   memory over a shared [`ImageMem`]). Fast-forward runs dispatch
+//!   through a decoded-superblock cache (basic blocks pre-decoded into
+//!   flat uop arrays, re-exported from `r3dla-isa` as
+//!   [`BlockCache`]/[`DecodedBlock`]), which skips per-instruction fetch
+//!   and decode; results are bit-identical to single-stepping, and the
+//!   `R3DLA_BLOCK_CACHE=0` environment variable (or
+//!   [`Emulator::set_block_cache`]) falls back to the per-instruction
+//!   interpreter for cross-checking;
 //! * [`ArchCheckpoint`] (re-exported from `r3dla-isa`) — the resumable
 //!   snapshot; restore with `DlaSystem::restore_from_checkpoint` /
 //!   `SingleCoreSim::restore_from_checkpoint`;
@@ -47,7 +54,7 @@ mod sampler;
 mod warmup;
 
 pub use emulator::{DeltaMem, Emulator, ImageMem};
-pub use r3dla_isa::ArchCheckpoint;
+pub use r3dla_isa::{ArchCheckpoint, BlockCache, DecodedBlock};
 pub use sampler::{
     apply_warmup, ipc_estimate, plan_intervals, warm_and_measure, IntervalCheckpoint, SampleSpec,
     FF_CAP, FUNCTIONAL_SETTLE,

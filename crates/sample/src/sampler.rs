@@ -84,8 +84,17 @@ const _: () = {
 /// Plans `spec.k` systematic intervals over `program`: one functional
 /// pass measures the workload length, a second captures a checkpoint at
 /// each interval start (recording the preceding warmup touch stream on
-/// the way). Returns fewer than `k` intervals only when the program is
-/// too short for the plan.
+/// the way).
+///
+/// Returns fewer than `k` intervals when the program is too short for
+/// the plan: measurement windows are `detailed` instructions long, and
+/// any planned start whose window would overlap its predecessor's
+/// (including starts clamped into collision near the halt, and strides
+/// shorter than the window when `detailed > total/k`) is skipped rather
+/// than measured twice — overlapping windows are not independent draws
+/// and would understate the confidence interval. The returned plan
+/// length is therefore the **effective k** that [`ipc_estimate`] sees
+/// (reported per cell as the `intervals` field of the sampled JSON).
 pub fn plan_intervals(program: &Arc<Program>, spec: &SampleSpec) -> Vec<IntervalCheckpoint> {
     let image = Arc::new(ImageMem::of(program.image()));
     // Pass 1: workload length.
@@ -102,12 +111,14 @@ pub fn plan_intervals(program: &Arc<Program>, spec: &SampleSpec) -> Vec<Interval
     let mut out = Vec::with_capacity(spec.k);
     let mut prev_start = None;
     for i in 0..k {
-        // Clamp so the measured window fits before the halt. When the
-        // program is shorter than the plan, clamped starts collide —
-        // skip the duplicates rather than measuring one region twice
-        // and counting it as independent samples in the CI.
+        // Clamp so the measured window fits before the halt. Skip any
+        // start whose window [start, start+U) would overlap the
+        // previous interval's: clamped starts collide near the halt,
+        // and when U > stride every successor window overlaps — either
+        // way the overlap region would be measured twice and fed to
+        // the CI as independent samples it is not.
         let start = (i * stride + offset).min(total.saturating_sub(spec.detailed));
-        if prev_start.is_some_and(|p| start <= p) {
+        if prev_start.is_some_and(|p| start < p + spec.detailed) {
             continue;
         }
         prev_start = Some(start);
@@ -257,6 +268,63 @@ mod tests {
         assert_eq!(plan.len(), 1, "collided starts must deduplicate");
         assert_eq!(plan[0].index, 0);
         assert_eq!(plan[0].ckpt.icount(), 0);
+    }
+
+    /// Counting loop of a chosen dynamic length (2 + 2·iters + 1).
+    fn counting_program(iters: i64) -> Arc<Program> {
+        use r3dla_isa::{Asm, Reg};
+        let mut a = Asm::new();
+        let (i, n) = (Reg::int(10), Reg::int(11));
+        a.li(i, 0);
+        a.li(n, iters);
+        a.label("loop");
+        a.addi(i, i, 1);
+        a.blt(i, n, "loop");
+        a.halt();
+        Arc::new(a.finish().unwrap())
+    }
+
+    #[test]
+    fn overlapping_windows_are_skipped_when_detailed_exceeds_stride() {
+        // ~20k dynamic instructions, 4 intervals of 8_000: stride 5_000
+        // is shorter than the window, so consecutive windows overlap.
+        // Only non-overlapping windows may survive — overlapping windows
+        // are not independent draws for the CI.
+        let prog = counting_program(10_000); // 20_003 dynamic insts
+        let spec = SampleSpec::parse("4:8000:none").unwrap();
+        let plan = plan_intervals(&prog, &spec);
+        assert!(
+            plan.len() < spec.k,
+            "overlapping windows must reduce the effective k"
+        );
+        // Surviving windows are pairwise disjoint.
+        for w in plan.windows(2) {
+            assert!(
+                w[1].ckpt.icount() >= w[0].ckpt.icount() + spec.detailed,
+                "windows [{}, +{}) and [{}, +{}) overlap",
+                w[0].ckpt.icount(),
+                spec.detailed,
+                w[1].ckpt.icount(),
+                spec.detailed
+            );
+        }
+        // Concretely: starts 0, 5000, 10000, 12003 keep 0 and 10000.
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan[0].ckpt.icount(), 0);
+        assert_eq!(plan[1].ckpt.icount(), 10_000);
+        assert_eq!(plan[1].index, 1, "indices stay dense after skips");
+    }
+
+    #[test]
+    fn non_overlapping_plans_are_unaffected_by_the_overlap_rule() {
+        // Same program, windows that fit the stride: all 4 survive.
+        let prog = counting_program(10_000);
+        let spec = SampleSpec::parse("4:4000:none").unwrap();
+        let plan = plan_intervals(&prog, &spec);
+        assert_eq!(plan.len(), 4);
+        for w in plan.windows(2) {
+            assert!(w[1].ckpt.icount() >= w[0].ckpt.icount() + spec.detailed);
+        }
     }
 
     #[test]

@@ -101,6 +101,44 @@ fn restored_timing_runs_reach_the_functional_end_state() {
     assert_eq!(dla.mt().arch_regs(0), reference.state().regs(), "dla regs");
 }
 
+/// Block-cache dispatch and the per-instruction interpreter must agree
+/// byte-for-byte: same checkpoints (registers, PC, icount, halt state,
+/// memory delta) at a mid-run capture point and at the halt, and the
+/// same sampled plan. This is the in-process twin of CI's
+/// `R3DLA_BLOCK_CACHE=0` grid comparison.
+#[test]
+fn block_cache_dispatch_matches_interpreter_checkpoints() {
+    for name in ["libq_like", "gobmk_like", "md5_like", "bfs"] {
+        let prog = Arc::new(by_name(name).unwrap().build(Scale::Tiny).program);
+        let image = Arc::new(ImageMem::of(prog.image()));
+        let mut fast = Emulator::with_image(Arc::clone(&prog), Arc::clone(&image));
+        fast.set_block_cache(true);
+        let mut slow = Emulator::with_image(Arc::clone(&prog), Arc::clone(&image));
+        slow.set_block_cache(false);
+        // Mid-run capture at an arbitrary (non-block-aligned) icount.
+        fast.run(12_345);
+        slow.run(12_345);
+        assert_eq!(
+            fast.checkpoint(),
+            slow.checkpoint(),
+            "{name}: mid-run checkpoints diverge across dispatch modes"
+        );
+        // And at the halt, where terminator handling is exercised.
+        let a = fast.run_to_halt(10_000_000);
+        let b = slow.run_to_halt(10_000_000);
+        assert_eq!(a, b, "{name}: total instruction counts diverge");
+        assert_eq!(
+            fast.checkpoint(),
+            slow.checkpoint(),
+            "{name}: final checkpoints diverge across dispatch modes"
+        );
+        assert!(
+            fast.decoded_blocks() > 0,
+            "{name}: fast path never exercised the block cache"
+        );
+    }
+}
+
 /// The runner's deterministic per-cell JSON row for a sampled interval,
 /// via the very formatter `BENCH_*.json` uses.
 fn cell_row(p: &Prepared, config: &str, report: WindowReport) -> String {
