@@ -110,6 +110,11 @@ pub struct BFetchSim {
     walker: Walker,
     resync_interval: u64,
     last_resync: u64,
+    /// MT committed-instruction count at the last walker restart
+    /// (`u64::MAX` before the first): a resync only fires after commit
+    /// progress, so a stalled core leaves the walker exhausted and pure.
+    last_restart_commits: u64,
+    fast_forward: bool,
 }
 
 impl std::fmt::Debug for BFetchSim {
@@ -145,19 +150,37 @@ impl BFetchSim {
             walker,
             resync_interval: 64,
             last_resync: 0,
+            last_restart_commits: u64::MAX,
+            fast_forward: true,
         }
+    }
+
+    /// Enables or disables the event-driven fast path in
+    /// [`run_until`](Self::run_until) (on by default; behavior-preserving
+    /// either way — the off position exists for equivalence tests).
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
     }
 
     /// Steps core + walker one cycle.
     pub fn step(&mut self) {
         let cycle = self.sim.core().cycle();
+        let commits = self.sim.core().committed(0);
         // Periodically re-sync the walker with committed state (the
-        // register snapshot B-Fetch reads at branch dispatch).
-        if cycle - self.last_resync >= self.resync_interval || self.walker.walked >= WALK_LIMIT {
+        // register snapshot B-Fetch reads at branch dispatch) — but only
+        // once the core has committed since the last restart: re-walking
+        // the identical predicted path from the identical snapshot would
+        // issue the identical prefetches, and gating on progress leaves
+        // a stalled core with an exhausted, side-effect-free walker,
+        // which is what makes stall stretches provably quiescent.
+        let due =
+            cycle - self.last_resync >= self.resync_interval || self.walker.walked >= WALK_LIMIT;
+        if due && commits != self.last_restart_commits {
             let pc = self.sim.core().arch_pc(0);
             let regs = self.sim.core().arch_regs(0);
             self.walker.restart(pc, regs);
             self.last_resync = cycle;
+            self.last_restart_commits = commits;
         }
         for _ in 0..WALK_RATE {
             if let Some(addr) = self.walker.step() {
@@ -167,17 +190,47 @@ impl BFetchSim {
         self.sim.core_mut().step();
     }
 
+    /// Event-source surface for the run loop: `None` when the next cycle
+    /// may act (walker mid-walk, restart pending, or the core itself),
+    /// else the earliest cycle anything can happen — a lower bound with
+    /// the same contract as `Core::next_event_at`, so a kernel can host
+    /// this baseline like any other actor.
+    pub fn next_event_at(&self) -> Option<u64> {
+        // Walker mid-walk: it mutates its own state (and may prefetch)
+        // every cycle until the window exhausts.
+        if self.walker.walked < WALK_LIMIT {
+            return None;
+        }
+        // Commit progress since the last restart arms a resync.
+        if self.sim.core().committed(0) != self.last_restart_commits {
+            return None;
+        }
+        self.sim.core().next_event_at()
+    }
+
     /// Runs until `target` instructions commit (bounded by `max_cycles`).
+    /// Stretches where the core is provably stalled and the walker is
+    /// exhausted are skipped to the next wakeup, byte-identically.
     pub fn run_until(&mut self, target: u64, max_cycles: u64) -> u64 {
         let c0 = self.sim.core().committed(0);
         let y0 = self.sim.core().cycle();
+        let cap = y0.saturating_add(max_cycles);
+        let mut last_probe = u64::MAX;
         while self.sim.core().committed(0) - c0 < target
             && !self.sim.core().halted()
             && self.sim.core().cycle() - y0 < max_cycles
         {
+            if self.fast_forward {
+                let probe = self.sim.core().activity_probe();
+                if probe == last_probe {
+                    if let Some(wake) = self.next_event_at() {
+                        self.sim.core_mut().skip_to(wake.min(cap));
+                        continue;
+                    }
+                }
+                last_probe = probe;
+            }
             self.step();
-            // Feed the walker's predictor from architectural outcomes.
-            let _ = &self.walker;
         }
         self.sim.core().cycle() - y0
     }
@@ -238,6 +291,30 @@ mod tests {
             bf_ipc > base_ipc * 0.9,
             "B-Fetch should not cripple the core: {bf_ipc} vs {base_ipc}"
         );
+    }
+
+    #[test]
+    fn fast_forward_is_equivalent() {
+        // The event-driven fast path must be invisible in every
+        // statistic: measure the same memory-bound workload with
+        // skipping on and off and compare everything observable.
+        let wl = by_name("libq_like").unwrap().build(Scale::Tiny);
+        let mut fast = BFetchSim::build(&wl);
+        let mut slow = BFetchSim::build(&wl);
+        slow.set_fast_forward(false);
+        assert_eq!(fast.measure(2_000, 8_000), slow.measure(2_000, 8_000));
+        let fp = |bf: &BFetchSim| {
+            let core = bf.sim().core();
+            format!(
+                "{} {} {} {} {}",
+                core.cycle(),
+                core.committed(0),
+                core.mem().l1d_stats().accesses.get(),
+                core.mem().l1d_stats().misses.get(),
+                core.mem().shared().borrow().dram_stats().traffic_lines(),
+            )
+        };
+        assert_eq!(fp(&fast), fp(&slow), "skipping changed simulated state");
     }
 
     #[test]

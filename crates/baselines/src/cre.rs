@@ -149,6 +149,7 @@ pub struct CreSim {
     redispatch_interval: u64,
     last_dispatch: u64,
     prefetch_buf: Vec<u64>,
+    fast_forward: bool,
     /// Prefetches the engine has issued.
     pub prefetches: u64,
 }
@@ -200,8 +201,16 @@ impl CreSim {
             redispatch_interval: 512,
             last_dispatch: 0,
             prefetch_buf: Vec::new(),
+            fast_forward: true,
             prefetches: 0,
         }
+    }
+
+    /// Enables or disables the event-driven fast path in
+    /// [`run_until`](Self::run_until) (on by default; behavior-preserving
+    /// either way — the off position exists for equivalence tests).
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
     }
 
     fn redispatch(&mut self) {
@@ -240,14 +249,55 @@ impl CreSim {
         self.sim.core_mut().step();
     }
 
+    /// Event-source surface for the run loop: `None` when the next cycle
+    /// may act (a redispatch is due, the engine still runs its chain, or
+    /// the core itself), else the earliest cycle anything can happen.
+    /// The redispatch boundary is a known future event even while the
+    /// core sleeps, so the bound includes it — the same lower-bound
+    /// contract as `Core::next_event_at`.
+    pub fn next_event_at(&self) -> Option<u64> {
+        let cycle = self.sim.core().cycle();
+        // A redispatch fires on the very next step (it mutates
+        // `last_dispatch` even when no chain qualifies).
+        if cycle - self.last_dispatch >= self.redispatch_interval {
+            return None;
+        }
+        // The engine executes chain instructions every cycle until it
+        // exhausts its iteration budget.
+        let exhausted = match &self.engine.chain {
+            None => true,
+            Some(_) => self.engine.iterations >= MAX_ITERATIONS,
+        };
+        if !exhausted {
+            return None;
+        }
+        let wake = self.sim.core().next_event_at()?;
+        Some(wake.min(self.last_dispatch + self.redispatch_interval))
+    }
+
     /// Runs until `target` instructions commit (bounded by `max_cycles`).
+    /// Stretches where the core is provably stalled and the engine is
+    /// exhausted are skipped to the next wakeup (or the next redispatch
+    /// boundary, whichever is earlier), byte-identically.
     pub fn run_until(&mut self, target: u64, max_cycles: u64) -> u64 {
         let c0 = self.sim.core().committed(0);
         let y0 = self.sim.core().cycle();
+        let cap = y0.saturating_add(max_cycles);
+        let mut last_probe = u64::MAX;
         while self.sim.core().committed(0) - c0 < target
             && !self.sim.core().halted()
             && self.sim.core().cycle() - y0 < max_cycles
         {
+            if self.fast_forward {
+                let probe = self.sim.core().activity_probe();
+                if probe == last_probe {
+                    if let Some(wake) = self.next_event_at() {
+                        self.sim.core_mut().skip_to(wake.min(cap));
+                        continue;
+                    }
+                }
+                last_probe = probe;
+            }
             self.step();
         }
         self.sim.core().cycle() - y0
@@ -298,6 +348,30 @@ mod tests {
             "a delinquent chain should have been dispatched"
         );
         assert!(cre.prefetches > 0, "the engine should issue prefetches");
+    }
+
+    #[test]
+    fn fast_forward_is_equivalent() {
+        // Skipping must be invisible: same workload, fast path on and
+        // off, every observable statistic identical.
+        let wl = by_name("mcf_like").unwrap().build(Scale::Tiny);
+        let mut fast = CreSim::build(&wl);
+        let mut slow = CreSim::build(&wl);
+        slow.set_fast_forward(false);
+        assert_eq!(fast.measure(2_000, 8_000), slow.measure(2_000, 8_000));
+        let fp = |cre: &CreSim| {
+            let core = cre.sim().core();
+            format!(
+                "{} {} {} {} {} {}",
+                core.cycle(),
+                core.committed(0),
+                cre.prefetches,
+                core.mem().l1d_stats().accesses.get(),
+                core.mem().l1d_stats().misses.get(),
+                core.mem().shared().borrow().dram_stats().traffic_lines(),
+            )
+        };
+        assert_eq!(fp(&fast), fp(&slow), "skipping changed simulated state");
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use r3dla_bench::Prepared;
-use r3dla_core::{DlaConfig, SingleCoreSim};
+use r3dla_core::{DlaConfig, Kernel, SingleCoreSim};
 use r3dla_cpu::CoreConfig;
 use r3dla_isa::{DataMem, VecMem};
 use r3dla_mem::MemConfig;
@@ -100,6 +100,65 @@ fn bench_dla_system(c: &mut Criterion) {
         g.bench_function(name, |b| {
             b.iter(|| {
                 let rep = prepared.measure_dla_ff(DlaConfig::dla(), 5_000, 20_000, fast);
+                black_box(rep.mt_committed)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel");
+    g.sample_size(20);
+    // Raw scheduler churn: schedule + pop round trips through the
+    // calendar wheel, near-future (bucket append) and far-future
+    // (overflow list + rebase) alike.
+    g.bench_function("schedule_pop_near_100k", |b| {
+        b.iter(|| {
+            let mut k = Kernel::new();
+            let ids: Vec<_> = (0..4).map(|_| k.add_actor()).collect();
+            let mut dispatched = 0u64;
+            for round in 0..25_000u64 {
+                for (i, &id) in ids.iter().enumerate() {
+                    k.schedule(id, k.now() + 1 + (round + i as u64) % 7);
+                }
+                for _ in 0..ids.len() {
+                    let (t, _) = k.pop().unwrap();
+                    dispatched += t;
+                }
+            }
+            black_box(dispatched)
+        })
+    });
+    g.bench_function("schedule_pop_far_rebase_100k", |b| {
+        b.iter(|| {
+            let mut k = Kernel::new();
+            let a = k.add_actor();
+            let b2 = k.add_actor();
+            let mut dispatched = 0u64;
+            for round in 0..50_000u64 {
+                // One near, one several wheel-horizons out: every few
+                // rounds the wheel drains and rebases onto the far list.
+                k.schedule(a, k.now() + 3);
+                k.schedule(b2, k.now() + 2_000 + round % 11);
+                let (t1, _) = k.pop().unwrap();
+                let (t2, _) = k.pop().unwrap();
+                dispatched += t1 + t2;
+            }
+            black_box(dispatched)
+        })
+    });
+    g.finish();
+    // End-to-end: a memory-bound DLA cell pumped by the event kernel vs
+    // the legacy lockstep loop — the refactor's overhead as a number.
+    let prepared = Prepared::new(&by_name("mcf_like").unwrap(), Scale::Tiny);
+    let mut g = c.benchmark_group("kernel_cell");
+    g.sample_size(10);
+    for (name, event_kernel) in [("legacy_loop_mcf", false), ("event_kernel_mcf", true)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let rep =
+                    prepared.measure_dla_mode(DlaConfig::dla(), 5_000, 20_000, true, event_kernel);
                 black_box(rep.mt_committed)
             })
         });
@@ -202,6 +261,7 @@ criterion_group!(
     bench_vecmem,
     bench_core_step,
     bench_dla_system,
+    bench_kernel,
     bench_emulator
 );
 criterion_main!(benches);

@@ -18,6 +18,9 @@
 //!   §III-E;
 //! * [`DlaSystem`] — the assembled two-core system; [`SingleCoreSim`] —
 //!   the conventional baseline;
+//! * [`Kernel`] / [`Cluster`] — the deterministic discrete-event
+//!   scheduler the run loops pump, and the multi-tenant driver hosting N
+//!   systems (shared LLC/DRAM) under one global clock;
 //! * [`ilp_limit`] — the Fig 1 implicit-parallelism limit study.
 //!
 //! # Examples
@@ -33,6 +36,7 @@
 //! ```
 
 mod dataflow;
+mod kernel;
 mod limit;
 mod overlay;
 mod profile;
@@ -46,6 +50,7 @@ mod tunables;
 mod value_reuse;
 
 pub use dataflow::{BitSet, Dataflow};
+pub use kernel::{event_kernel_default, ActorId, Cluster, EventQueue, Kernel, KernelActor};
 pub use limit::{ilp_limit, LimitModel, LimitResult};
 pub use overlay::OverlayMem;
 pub use profile::{dynamic_length, profile, profile_functional, profile_timing, ProfileData};

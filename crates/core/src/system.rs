@@ -15,6 +15,7 @@ use r3dla_mem::{CacheStats, CoreMem, DramStats, MemConfig, SharedLlc};
 use r3dla_workloads::BuiltWorkload;
 
 use crate::dataflow::Dataflow;
+use crate::kernel::{event_kernel_default, Kernel, KernelActor};
 use crate::overlay::OverlayMem;
 use crate::profile::{profile, ProfileData};
 use crate::queues::{Boq, BoqDirection, Footnote, FootnoteQueue};
@@ -353,6 +354,7 @@ pub struct DlaSystem {
     pending_reboot: bool,
     pending_since: u64,
     fast_forward: bool,
+    event_kernel: bool,
     /// Total reboots performed.
     pub reboots: u64,
     /// The profile used for skeleton generation.
@@ -390,6 +392,30 @@ impl DlaSystem {
         Ok(Self::assemble(program, cfg, skeletons, prof))
     }
 
+    /// Like [`build`](Self::build), but assembling over an externally
+    /// owned shared LLC/DRAM — the multi-tenant path: build several
+    /// systems over the same handle and host them in one
+    /// [`Cluster`](crate::Cluster).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::EmptyProgram`] for empty programs.
+    pub fn build_shared(
+        built: &BuiltWorkload,
+        cfg: DlaConfig,
+        opt: SkeletonOptions,
+        shared: Rc<RefCell<SharedLlc>>,
+    ) -> Result<Self, BuildError> {
+        if built.program.is_empty() {
+            return Err(BuildError::EmptyProgram);
+        }
+        let program = Rc::new(built.program.clone());
+        let df = Dataflow::analyze(&program);
+        let prof = profile(&program, cfg.profile_insts);
+        let skeletons = generate_skeletons(&program, &df, &prof, &opt, cfg.t1);
+        Ok(Self::assemble_shared(program, cfg, skeletons, prof, shared))
+    }
+
     /// Like [`build`](Self::build), but resumes from an architectural
     /// checkpoint instead of the program entry.
     ///
@@ -422,7 +448,23 @@ impl DlaSystem {
         skeletons: SkeletonSet,
         prof: ProfileData,
     ) -> Self {
-        Self::assemble_at(program, cfg, skeletons, prof, None)
+        Self::assemble_at(program, cfg, skeletons, prof, None, None)
+    }
+
+    /// Like [`assemble`](Self::assemble), but over an externally owned
+    /// shared LLC/DRAM model instead of a private one — the multi-tenant
+    /// constructor: every [`Cluster`](crate::Cluster) tenant built over
+    /// the same handle contends for the same L3 capacity, MSHRs and DRAM
+    /// channel. `cfg.mem`'s L3/DRAM parameters are ignored in favor of
+    /// the handle's.
+    pub fn assemble_shared(
+        program: Rc<Program>,
+        cfg: DlaConfig,
+        skeletons: SkeletonSet,
+        prof: ProfileData,
+        shared: Rc<RefCell<SharedLlc>>,
+    ) -> Self {
+        Self::assemble_at(program, cfg, skeletons, prof, None, Some(shared))
     }
 
     /// Assembles the system resumed from an architectural checkpoint:
@@ -438,7 +480,7 @@ impl DlaSystem {
         prof: ProfileData,
         ckpt: &ArchCheckpoint,
     ) -> Self {
-        Self::assemble_at(program, cfg, skeletons, prof, Some(ckpt))
+        Self::assemble_at(program, cfg, skeletons, prof, Some(ckpt), None)
     }
 
     fn assemble_at(
@@ -447,6 +489,7 @@ impl DlaSystem {
         skeletons: SkeletonSet,
         prof: ProfileData,
         restore: Option<&ArchCheckpoint>,
+        external_llc: Option<Rc<RefCell<SharedLlc>>>,
     ) -> Self {
         // Shared architectural memory.
         let arch_mem = Rc::new(RefCell::new(VecMem::new()));
@@ -454,8 +497,10 @@ impl DlaSystem {
         if let Some(ckpt) = restore {
             ckpt.apply_to(&mut arch_mem.borrow_mut());
         }
-        // Shared L3 + DRAM.
-        let shared = Rc::new(RefCell::new(SharedLlc::new(&cfg.mem)));
+        // Shared L3 + DRAM: private by default, or an external handle
+        // when several tenant systems contend for one memory side.
+        let shared =
+            external_llc.unwrap_or_else(|| Rc::new(RefCell::new(SharedLlc::new(&cfg.mem))));
         // Queues and hint state.
         let boq = Rc::new(RefCell::new(Boq::new(cfg.boq_capacity)));
         let fq = Rc::new(RefCell::new(FootnoteQueue::new(cfg.fq_capacity)));
@@ -567,6 +612,7 @@ impl DlaSystem {
             pending_reboot: false,
             pending_since: 0,
             fast_forward: true,
+            event_kernel: event_kernel_default(),
             reboots: 0,
             profile: prof,
         }
@@ -709,8 +755,9 @@ impl DlaSystem {
             }
         } else {
             // Look-ahead core advances unless the BOQ says it is far
-            // enough ahead (paper §III-A ®: depth control).
-            if !self.boq.borrow().full() && !self.lt.halted() {
+            // enough ahead (paper §III-A ®: depth control) — the same
+            // eligibility predicate the skip path uses.
+            if self.lt_runnable() {
                 self.lt.step();
             }
         }
@@ -751,20 +798,48 @@ impl DlaSystem {
         self.fast_forward = on;
     }
 
+    /// Selects the event-kernel run loop (default per
+    /// [`event_kernel_default`](crate::event_kernel_default), i.e. on
+    /// unless `R3DLA_EVENT_KERNEL=0`). Both loops are byte-identical; the
+    /// legacy lockstep loop survives one release as the `cmp` reference.
+    pub fn set_event_kernel(&mut self, on: bool) {
+        self.event_kernel = on;
+    }
+
+    /// Whether LT participates in the current cycle: not frozen by a
+    /// pending reboot drain or a full BOQ, and not halted. The single
+    /// eligibility predicate shared by [`step`](Self::step),
+    /// [`skip_window`](Self::skip_window) and [`do_skip`](Self::do_skip),
+    /// so stepping and skipping can never disagree about LT.
+    ///
+    /// Eligibility is stable across a skip window by construction: it can
+    /// only change through an MT action (consuming or committing a BOQ
+    /// entry, detecting a misfeed, finishing a reboot drain) or an LT
+    /// action (halting, filling the BOQ), and a window exists only while
+    /// both cores are provably quiescent — so no mid-window thaw is
+    /// reachable. [`do_skip`](Self::do_skip) asserts this invariant.
+    fn lt_runnable(&self) -> bool {
+        !self.pending_reboot && !self.boq.borrow().full() && !self.lt.halted()
+    }
+
     /// Number of quiescent cycles (≤ `limit`) the whole system can
-    /// fast-forward from the current cycle, or 0 when any component may
-    /// act now.
+    /// fast-forward from the current cycle — 0 when any component may act
+    /// now — paired with the LT-eligibility flag the window was computed
+    /// under (to be handed to [`do_skip`](Self::do_skip) unchanged).
     ///
     /// The system is skippable only when MT is quiescent, no footnote is
-    /// pending release, no un-serviced misfeed is latched, and — unless a
-    /// reboot drain is in progress or LT is frozen (BOQ full) or halted —
-    /// LT is quiescent too. The window is the minimum of both cores'
-    /// wake bounds (translated into the global clock: LT's own clock lags
+    /// pending release, no un-serviced misfeed is latched, and — unless
+    /// LT is ineligible ([`lt_runnable`](Self::lt_runnable)) — LT is
+    /// quiescent too. The window is the minimum of both cores' wake
+    /// bounds (translated into the global clock: LT's own clock lags
     /// whenever the BOQ freezes it) and, during a reboot drain, the
-    /// drain-timeout cycle.
-    fn skip_window(&self, limit: u64) -> u64 {
+    /// drain-timeout cycle; bounding by every wake-eligibility event this
+    /// way means a window can never straddle a cycle on which LT's
+    /// eligibility flips.
+    fn skip_window(&self, limit: u64) -> (u64, bool) {
+        let lt_active = self.lt_runnable();
         if self.boq.borrow().misfeed && !self.pending_reboot {
-            return 0; // the next step latches the reboot
+            return (0, lt_active); // the next step latches the reboot
         }
         // Footnotes released by LT commits are applied at the top of the
         // *next* step; a pending release means the next cycle acts.
@@ -773,38 +848,71 @@ impl DlaSystem {
             .borrow()
             .has_releasable(self.boq.borrow().last_served_tag())
         {
-            return 0;
+            return (0, lt_active);
         }
         let Some(mt_wake) = self.mt.next_event_at() else {
-            return 0;
+            return (0, lt_active);
         };
         let mut wake = mt_wake;
         if self.pending_reboot {
             if self.mt.in_flight(0) == 0 {
-                return 0; // drained: the next step reboots
+                return (0, lt_active); // drained: the next step reboots
             }
             wake = wake.min(self.pending_since + REBOOT_DRAIN_TIMEOUT + 1);
-        } else if !self.boq.borrow().full() && !self.lt.halted() {
+        } else if lt_active {
             let Some(lt_wake) = self.lt.next_event_at() else {
-                return 0;
+                return (0, lt_active);
             };
             // LT's clock only advances on cycles it actually steps, so
             // translate its wake into the global clock (saturating: a
             // forever-quiescent LT reports `u64::MAX`).
             wake = wake.min(self.cycle.saturating_add(lt_wake - self.lt.cycle()));
         }
-        wake.saturating_sub(self.cycle).min(limit)
+        (wake.saturating_sub(self.cycle).min(limit), lt_active)
     }
 
-    /// Fast-forwards `n` quiescent cycles (caller must have obtained `n`
-    /// from [`skip_window`](Self::skip_window)).
-    fn do_skip(&mut self, n: u64) {
-        let lt_active = !self.pending_reboot && !self.boq.borrow().full() && !self.lt.halted();
+    /// Fast-forwards `n` quiescent cycles. Both `n` and `lt_active` must
+    /// come from one [`skip_window`](Self::skip_window) evaluation: the
+    /// skip replays exactly the cycles the window proved quiescent, under
+    /// exactly the LT participation the proof assumed.
+    fn do_skip(&mut self, n: u64, lt_active: bool) {
+        debug_assert_eq!(
+            lt_active,
+            self.lt_runnable(),
+            "LT eligibility changed between skip_window and do_skip"
+        );
         self.mt.skip_to(self.mt.cycle() + n);
         if lt_active {
             self.lt.skip_to(self.lt.cycle() + n);
         }
         self.cycle += n;
+    }
+
+    /// One scheduler quantum — the system's event-source surface: a
+    /// single [`step`](Self::step), or (with fast-forwarding on, when the
+    /// activity probe shows the previous dispatch already idle) a
+    /// proven-quiescent skip bounded by `cap`. Returns the global cycle
+    /// at which the system must next be dispatched — its next wakeup.
+    /// This is the one advance path under both run loops, so the skip
+    /// bookkeeping (occupancy histograms, fetch-bubble accounting inside
+    /// `Core::skip_to`) cannot diverge between them.
+    fn advance_once(&mut self, cap: u64, last_probe: &mut u64) -> u64 {
+        if self.fast_forward {
+            // Only pay for the quiescence proof when the previous
+            // cycle already looked idle on both cores.
+            let probe = self.mt.activity_probe() + self.lt.activity_probe();
+            if probe == *last_probe {
+                let limit = cap.saturating_sub(self.cycle);
+                let (n, lt_active) = self.skip_window(limit);
+                if n > 0 {
+                    self.do_skip(n, lt_active);
+                    return self.cycle;
+                }
+            }
+            *last_probe = probe;
+        }
+        self.step();
+        self.cycle
     }
 
     /// Runs until MT commits `target` more instructions, halts, or
@@ -813,24 +921,46 @@ impl DlaSystem {
     /// With fast-forwarding enabled (the default), stretches where both
     /// cores are provably stalled — e.g. LT blocked on DRAM while MT
     /// waits on an empty BOQ — are skipped to the next wakeup instead of
-    /// being stepped cycle by cycle, with byte-identical results.
+    /// being stepped cycle by cycle, with byte-identical results. The
+    /// loop itself is a thin driver pumping a single-actor
+    /// [`Kernel`](crate::Kernel) (or the legacy lockstep `while` loop
+    /// under `R3DLA_EVENT_KERNEL=0` — byte-identical, kept for the CI
+    /// `cmp` gate).
     pub fn run_until_mt(&mut self, target: u64, max_cycles: u64) -> u64 {
         let start_cycles = self.cycle;
         let start_committed = self.mt.committed(0);
+        if self.event_kernel {
+            let cap = start_cycles.saturating_add(max_cycles);
+            let mut kernel = Kernel::new();
+            let me = kernel.add_actor();
+            kernel.schedule(me, self.cycle);
+            let mut last_probe = u64::MAX;
+            while let Some((_, actor)) = kernel.pop() {
+                debug_assert_eq!(actor, me);
+                if self.mt.committed(0) - start_committed >= target
+                    || self.mt_halted()
+                    || self.cycle - start_cycles >= max_cycles
+                {
+                    break;
+                }
+                let next = self.advance_once(cap, &mut last_probe);
+                kernel.schedule(me, next);
+            }
+            return self.cycle - start_cycles;
+        }
+        // Legacy lockstep loop (R3DLA_EVENT_KERNEL=0).
         let mut last_probe = u64::MAX;
         while self.mt.committed(0) - start_committed < target
             && !self.mt_halted()
             && self.cycle - start_cycles < max_cycles
         {
             if self.fast_forward {
-                // Only pay for the quiescence proof when the previous
-                // cycle already looked idle on both cores.
                 let probe = self.mt.activity_probe() + self.lt.activity_probe();
                 if probe == last_probe {
                     let limit = max_cycles - (self.cycle - start_cycles);
-                    let n = self.skip_window(limit);
+                    let (n, lt_active) = self.skip_window(limit);
                     if n > 0 {
-                        self.do_skip(n);
+                        self.do_skip(n, lt_active);
                         continue;
                     }
                 }
@@ -928,6 +1058,42 @@ impl MeasureTarget for SingleCoreSim {
     }
 }
 
+impl KernelActor for DlaSystem {
+    fn local_cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn halted(&self) -> bool {
+        self.mt_halted()
+    }
+
+    fn committed(&self) -> u64 {
+        self.mt.committed(0)
+    }
+
+    fn advance_quantum(&mut self, cap: u64, last_probe: &mut u64) -> u64 {
+        self.advance_once(cap, last_probe)
+    }
+}
+
+impl KernelActor for SingleCoreSim {
+    fn local_cycle(&self) -> u64 {
+        self.core.cycle()
+    }
+
+    fn halted(&self) -> bool {
+        self.core.halted()
+    }
+
+    fn committed(&self) -> u64 {
+        self.core.committed(0)
+    }
+
+    fn advance_quantum(&mut self, cap: u64, last_probe: &mut u64) -> u64 {
+        self.advance_once(cap, last_probe)
+    }
+}
+
 /// Warms up over `warm` committed instructions, then measures a window
 /// of `win` — the single measurement helper behind every `measure`
 /// method. Cycle budgets match the historical implementations: 60 cycles
@@ -945,6 +1111,7 @@ pub struct SingleCoreSim {
     core: Core,
     cycle: u64,
     fast_forward: bool,
+    event_kernel: bool,
 }
 
 impl std::fmt::Debug for SingleCoreSim {
@@ -1032,6 +1199,7 @@ impl SingleCoreSim {
             core,
             cycle: 0,
             fast_forward: true,
+            event_kernel: event_kernel_default(),
         }
     }
 
@@ -1040,6 +1208,13 @@ impl SingleCoreSim {
     /// either way).
     pub fn set_fast_forward(&mut self, on: bool) {
         self.fast_forward = on;
+    }
+
+    /// Selects the event-kernel run loop (default per
+    /// [`event_kernel_default`](crate::event_kernel_default)); the legacy
+    /// polling loop under `R3DLA_EVENT_KERNEL=0` is byte-identical.
+    pub fn set_event_kernel(&mut self, on: bool) {
+        self.event_kernel = on;
     }
 
     /// The core (counters, stats).
@@ -1052,19 +1227,54 @@ impl SingleCoreSim {
         &mut self.core
     }
 
+    /// One scheduler quantum — the event-source surface the kernel loop
+    /// dispatches: defers to [`Core::advance_quantum`] (step or
+    /// proven-quiescent skip) and returns the core's next wakeup.
+    fn advance_once(&mut self, cap: u64, last_probe: &mut u64) -> u64 {
+        if self.fast_forward {
+            self.cycle = self.core.advance_quantum(cap, last_probe);
+        } else {
+            self.core.step();
+            self.cycle = self.core.cycle();
+        }
+        self.cycle
+    }
+
     /// Runs until `target` more instructions commit, the program halts,
-    /// or `max_cycles` pass; returns elapsed cycles.
+    /// or `max_cycles` pass; returns elapsed cycles. A thin driver
+    /// pumping a single-actor [`Kernel`](crate::Kernel) (legacy polling
+    /// loop under `R3DLA_EVENT_KERNEL=0`; byte-identical).
     pub fn run_until(&mut self, target: u64, max_cycles: u64) -> u64 {
         let start_cycles = self.core.cycle();
         let start_committed = self.core.committed(0);
+        let cap = start_cycles.saturating_add(max_cycles);
+        if self.event_kernel {
+            let mut kernel = Kernel::new();
+            let me = kernel.add_actor();
+            kernel.schedule(me, self.core.cycle());
+            let mut last_probe = u64::MAX;
+            while let Some((_, actor)) = kernel.pop() {
+                debug_assert_eq!(actor, me);
+                if self.core.committed(0) - start_committed >= target
+                    || self.core.halted()
+                    || self.core.cycle() - start_cycles >= max_cycles
+                {
+                    break;
+                }
+                let next = self.advance_once(cap, &mut last_probe);
+                kernel.schedule(me, next);
+            }
+            self.cycle = self.core.cycle();
+            return self.core.cycle() - start_cycles;
+        }
+        // Legacy polling loop (R3DLA_EVENT_KERNEL=0).
         let mut last_probe = u64::MAX;
         while self.core.committed(0) - start_committed < target
             && !self.core.halted()
             && self.core.cycle() - start_cycles < max_cycles
         {
             if self.fast_forward {
-                self.core
-                    .step_or_skip(start_cycles.saturating_add(max_cycles), &mut last_probe);
+                self.core.step_or_skip(cap, &mut last_probe);
             } else {
                 self.core.step();
             }
@@ -1435,6 +1645,20 @@ mod tests {
         // fast-forward scenario. dla() keeps every hint kind enabled.
         let mut cfg = DlaConfig::dla();
         cfg.profile_insts = 200_000;
+        assert_skip_equivalent("libq_like", cfg, 2_000, 10_000);
+    }
+
+    #[test]
+    fn skip_equivalence_under_tiny_boq_freeze_thaw() {
+        // A 4-entry BOQ makes the LT freeze (queue full) and thaw (MT
+        // consumes an outcome) every few cycles, so LT wake-eligibility
+        // flips constantly. Regression test for the asymmetric skip
+        // accounting this exercised: `skip_window` evaluates eligibility
+        // once, bounds the window by the events that could change it,
+        // and `do_skip` replays exactly that evaluation.
+        let mut cfg = DlaConfig::dla();
+        cfg.profile_insts = 200_000;
+        cfg.boq_capacity = 4;
         assert_skip_equivalent("libq_like", cfg, 2_000, 10_000);
     }
 

@@ -419,6 +419,21 @@ impl Core {
         self.step();
     }
 
+    /// The core as an event *source* for a discrete-event kernel: one
+    /// scheduler quantum ([`step_or_skip`](Core::step_or_skip) — a single
+    /// cycle, or a proven-quiescent skip capped at `cap`), returning the
+    /// cycle at which the kernel must next dispatch this core. After a
+    /// skip that is exactly the wakeup [`next_event_at`](Core::next_event_at)
+    /// reported; after a step it is the very next cycle (the core may act
+    /// again immediately). The kernel thus never polls
+    /// [`activity_probe`](Core::activity_probe) itself — the probe memo
+    /// lives in `last_probe`, owned by the caller, and the quiescence
+    /// question stays inside the core.
+    pub fn advance_quantum(&mut self, cap: u64, last_probe: &mut u64) -> u64 {
+        self.step_or_skip(cap, last_probe);
+        self.cycle
+    }
+
     // ------------------------------------------------------------------
     // Event-driven fast path
     // ------------------------------------------------------------------

@@ -1,0 +1,104 @@
+//! Event-kernel equivalence suite: the discrete-event run loop must be
+//! byte-identical to the legacy lockstep loop in every reported
+//! statistic.
+//!
+//! For every workload in the suite at `Scale::Tiny`, each configuration
+//! is measured twice — once pumped by the event kernel, once by the
+//! legacy loop (`R3DLA_EVENT_KERNEL=0` path) — and the deterministic
+//! `BENCH_*.json` cell row is compared verbatim. The loops are pinned
+//! per instance (not via the environment) because the test harness runs
+//! in parallel.
+//!
+//! A second group checks the multi-tenant [`Cluster`]: two systems over
+//! one shared LLC/DRAM, run twice from scratch, must produce identical
+//! per-tenant reports with both tenants committing work.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use r3dla_bench::runner::{run_cell_mode, CellResult, ConfigSpec};
+use r3dla_bench::{parallel_map, Prepared};
+use r3dla_core::{Cluster, DlaConfig, WindowReport};
+use r3dla_mem::SharedLlc;
+use r3dla_workloads::{suite, Scale};
+
+fn cell_row(p: &Prepared, config: &str, report: WindowReport) -> String {
+    CellResult {
+        workload: p.name.clone(),
+        suite: p.suite,
+        config: config.to_string(),
+        report,
+        wall_ms: 0,
+    }
+    .stat_fields()
+}
+
+fn assert_loops_equivalent(p: &Prepared, spec: &ConfigSpec, warm: u64, win: u64) {
+    let kernel = run_cell_mode(p, spec, warm, win, true, true);
+    let legacy = run_cell_mode(p, spec, warm, win, true, false);
+    assert!(
+        kernel.mt_committed > 0,
+        "({}, {}): cell committed nothing",
+        p.name,
+        spec.label,
+    );
+    assert_eq!(
+        cell_row(p, &spec.label, kernel),
+        cell_row(p, &spec.label, legacy),
+        "({}, {}): the event kernel changed the report",
+        p.name,
+        spec.label,
+    );
+}
+
+/// Every workload in the suite, under the single-core baseline, the
+/// plain DLA system and the full R3 system.
+#[test]
+fn every_workload_is_loop_equivalent_under_bl_dla_and_r3() {
+    let workloads = suite();
+    let prepared = parallel_map(&workloads, 1, |w| Prepared::new(w, Scale::Tiny));
+    for config in ["bl", "dla", "r3"] {
+        let spec = ConfigSpec::by_name(config).unwrap();
+        for p in &prepared {
+            assert_loops_equivalent(p, &spec, 1_000, 4_000);
+        }
+    }
+}
+
+/// Two tenants over one shared LLC/DRAM: the cluster must be
+/// deterministic (two runs from scratch agree verbatim) and both tenants
+/// must make progress while contending.
+#[test]
+fn shared_llc_cluster_is_deterministic_and_both_tenants_commit() {
+    let names = ["libq_like", "mcf_like"];
+    let workloads: Vec<_> = suite()
+        .into_iter()
+        .filter(|w| names.contains(&w.name))
+        .collect();
+    assert_eq!(workloads.len(), names.len(), "subset names must all exist");
+    let prepared = parallel_map(&workloads, 1, |w| Prepared::new(w, Scale::Tiny));
+
+    let run = || {
+        let cfg = DlaConfig::r3();
+        let shared = Rc::new(RefCell::new(SharedLlc::new(&cfg.mem)));
+        let mut cluster = Cluster::with_shared(shared.clone());
+        for p in &prepared {
+            cluster.push(p.dla_system_shared(cfg.clone(), shared.clone()));
+        }
+        let rows: Vec<String> = cluster
+            .measure_each(1_000, 4_000)
+            .into_iter()
+            .zip(&prepared)
+            .map(|(report, p)| {
+                assert!(
+                    report.mt_committed > 0,
+                    "tenant {} committed nothing while co-running",
+                    p.name
+                );
+                cell_row(p, "r3+shared", report)
+            })
+            .collect();
+        rows
+    };
+    assert_eq!(run(), run(), "cluster run is not deterministic");
+}
