@@ -216,10 +216,14 @@ impl BFetchSim {
         let y0 = self.sim.core().cycle();
         let cap = y0.saturating_add(max_cycles);
         let mut last_probe = u64::MAX;
+        let mut guard_last = y0;
         while self.sim.core().committed(0) - c0 < target
             && !self.sim.core().halted()
             && self.sim.core().cycle() - y0 < max_cycles
         {
+            if r3dla_core::guard::tick_since(self.sim.core().cycle(), &mut guard_last) {
+                break;
+            }
             if self.fast_forward {
                 let probe = self.sim.core().activity_probe();
                 if probe == last_probe {

@@ -21,7 +21,8 @@ use std::rc::Rc;
 use r3dla_bench::runner::{
     parallel_map, scale_by_name, scale_name, CellKind, CellResult, ConfigSpec,
 };
-use r3dla_bench::{arg_str, arg_threads, arg_u64, Prepared, WARMUP, WINDOW};
+use r3dla_bench::supervise::CellStatus;
+use r3dla_bench::{arg_str, arg_threads, arg_u64, Prepared, Supervisor, WARMUP, WINDOW};
 use r3dla_core::{Cluster, DlaConfig};
 use r3dla_mem::SharedLlc;
 use r3dla_workloads::{by_name, Scale, Workload};
@@ -94,28 +95,54 @@ fn main() {
 
     // Each pair gets its own shared memory side and its own kernel; the
     // pairs themselves are independent, so they fan out across workers
-    // without affecting the (deterministic) per-pair interleaving.
-    let rows: Vec<Vec<CellResult>> = parallel_map(&pairs, threads, |(a, b)| {
-        let shared = Rc::new(RefCell::new(SharedLlc::new(&cfg.mem)));
-        let mut cluster = Cluster::with_shared(shared.clone());
-        for p in [find(a.name), find(b.name)] {
-            cluster.push(p.dla_system_shared(cfg.clone(), shared.clone()));
-        }
-        let t0 = std::time::Instant::now();
-        let reports = cluster.measure_each(warm, win);
-        let wall_ms = t0.elapsed().as_millis() as u64;
-        [a, b]
-            .iter()
-            .zip(reports)
-            .map(|(w, report)| CellResult {
-                workload: w.name.to_string(),
-                suite: w.suite,
-                config: config_name.clone(),
-                report,
-                wall_ms,
-            })
-            .collect()
-    });
+    // without affecting the (deterministic) per-pair interleaving. The
+    // supervisor contains a panicking/runaway pair to a pair of status
+    // rows instead of killing the whole mix.
+    let sup = Supervisor::from_env();
+    let scale_label = scale_name(scale);
+    let outcomes = sup.map(
+        &pairs,
+        threads,
+        |(a, b)| {
+            format!(
+                "mix|{scale_label}|{warm}|{win}|{config_name}|{}+{}",
+                a.name, b.name
+            )
+        },
+        |(a, b)| {
+            let shared = Rc::new(RefCell::new(SharedLlc::new(&cfg.mem)));
+            let mut cluster = Cluster::with_shared(shared.clone());
+            for p in [find(a.name), find(b.name)] {
+                cluster.push(p.dla_system_shared(cfg.clone(), shared.clone()));
+            }
+            let t0 = std::time::Instant::now();
+            let reports = cluster.measure_each(warm, win);
+            Ok((reports, t0.elapsed().as_millis() as u64))
+        },
+    );
+    let rows: Vec<Vec<CellResult>> = pairs
+        .iter()
+        .zip(outcomes)
+        .map(|((a, b), o)| {
+            let (reports, wall_ms) = o
+                .value
+                .unwrap_or_else(|| (vec![Default::default(), Default::default()], 0));
+            [a, b]
+                .iter()
+                .zip(reports)
+                .map(|(w, report)| CellResult {
+                    workload: w.name.to_string(),
+                    suite: w.suite,
+                    config: config_name.clone(),
+                    report,
+                    wall_ms,
+                    status: o.status,
+                    attempts: o.attempts,
+                    error: o.error.clone(),
+                })
+                .collect()
+        })
+        .collect();
 
     let mut out = String::new();
     out.push_str("{\n");
@@ -130,7 +157,16 @@ fn main() {
     for (pi, pair_rows) in rows.iter().enumerate() {
         let pair_label = format!("{}+{}", pairs[pi].0.name, pairs[pi].1.name);
         for (ti, cell) in pair_rows.iter().enumerate() {
-            if cell.report.mt_committed == 0 {
+            if cell.status != CellStatus::Ok {
+                eprintln!(
+                    "mix: tenant {ti} of ({pair_label}) failed: {} ({})",
+                    cell.status.label(),
+                    cell.error.as_deref().unwrap_or("")
+                );
+                // Expected casualties under an active fault plan; fatal
+                // otherwise.
+                failed |= !sup.plan().active();
+            } else if cell.report.mt_committed == 0 {
                 eprintln!("mix: FAIL tenant {ti} of ({pair_label}) committed zero instructions");
                 failed = true;
             }

@@ -32,7 +32,7 @@
 
 use r3dla_bench::runner::{run_grid, scale_by_name, ConfigSpec, GridSpec};
 use r3dla_bench::sampled::{check_against_reference, run_grid_sampled};
-use r3dla_bench::{arg_f64, arg_flag, arg_str, arg_threads, arg_u64, WARMUP, WINDOW};
+use r3dla_bench::{arg_f64, arg_flag, arg_str, arg_threads, arg_u64, FaultPlan, WARMUP, WINDOW};
 use r3dla_sample::SampleSpec;
 use r3dla_workloads::{by_name, suite, Scale, Workload};
 
@@ -190,6 +190,19 @@ fn main() {
             );
             failed = true;
         }
+        for c in result.failed_cells() {
+            eprintln!(
+                "runner: cell ({}, {}) failed after {} attempt(s): {} ({})",
+                c.workload,
+                c.config,
+                c.attempts,
+                c.status.label(),
+                c.error.as_deref().unwrap_or("")
+            );
+            // Status rows are the expected product of a chaos run; a
+            // failure without an active fault plan is real.
+            failed |= !FaultPlan::from_env().active();
+        }
         if failed {
             std::process::exit(1);
         }
@@ -212,14 +225,26 @@ fn main() {
         result.measure_ms,
         result.sim_mips()
     );
-    let empty = result.empty_cells();
-    if !empty.is_empty() {
-        for c in &empty {
-            eprintln!(
-                "runner: FAIL cell ({}, {}) committed zero instructions",
-                c.workload, c.config
-            );
-        }
+    let mut failed = false;
+    for c in result.empty_cells() {
+        eprintln!(
+            "runner: FAIL cell ({}, {}) committed zero instructions",
+            c.workload, c.config
+        );
+        failed = true;
+    }
+    for c in result.failed_cells() {
+        eprintln!(
+            "runner: cell ({}, {}) failed after {} attempt(s): {} ({})",
+            c.workload,
+            c.config,
+            c.attempts,
+            c.status.label(),
+            c.error.as_deref().unwrap_or("")
+        );
+        failed |= !FaultPlan::from_env().active();
+    }
+    if failed {
         std::process::exit(1);
     }
 }

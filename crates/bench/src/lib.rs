@@ -6,6 +6,7 @@
 
 pub mod runner;
 pub mod sampled;
+pub mod supervise;
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -21,12 +22,15 @@ use r3dla_mem::{CoreMem, MemConfig, SharedLlc};
 use r3dla_workloads::{suite, BuiltWorkload, Scale, Suite, Workload};
 
 pub use runner::{
-    parallel_map, run_grid, CellKind, CellResult, ConfigSpec, ExperimentResult, ExperimentSpec,
-    GridResult, GridSpec,
+    parallel_map, run_grid, run_grid_supervised, CellKind, CellResult, ConfigSpec,
+    ExperimentResult, ExperimentSpec, GridResult, GridSpec,
 };
 pub use sampled::{
     check_against_reference, run_grid_sampled, run_sampled_cell, SampledCellResult,
     SampledGridResult,
+};
+pub use supervise::{
+    json_escape, CellOutcome, CellStatus, FaultKind, FaultPlan, SuperviseConfig, Supervisor,
 };
 
 /// Default warmup instructions for measurement windows.

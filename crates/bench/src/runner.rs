@@ -19,12 +19,21 @@ use r3dla_core::{DlaConfig, WindowReport};
 use r3dla_cpu::CoreConfig;
 use r3dla_workloads::{suite, Scale, Suite, Workload};
 
+use crate::supervise::{push_status_fields, CellStatus, Supervisor};
 use crate::{Prepared, WARMUP, WINDOW};
 
 /// Maps `f` over `items` on `threads` scoped workers pulling cell indices
 /// from a shared queue. Results are returned in input order regardless of
 /// which worker computed them; with `threads <= 1` the map runs inline on
 /// the calling thread.
+///
+/// A panicking item does not bring the whole scope down with a
+/// misleading secondary panic: the first real payload (and the index of
+/// the item that raised it) is captured, the work queue is poisoned so
+/// idle workers stop picking up cells, and the payload is re-raised on
+/// the calling thread once in-flight cells finish. Campaigns that need
+/// to *survive* the panic instead run through
+/// [`Supervisor::map`](crate::supervise::Supervisor::map).
 pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -37,6 +46,8 @@ where
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    type Panic = (usize, Box<dyn std::any::Any + Send>);
+    let panicked: Mutex<Option<Panic>> = Mutex::new(None);
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| loop {
@@ -44,11 +55,24 @@ where
                 if i >= items.len() {
                     break;
                 }
-                let r = f(&items[i]);
-                *slots[i].lock().unwrap() = Some(r);
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&items[i]))) {
+                    Ok(r) => *slots[i].lock().unwrap() = Some(r),
+                    Err(payload) => {
+                        let mut first = panicked.lock().unwrap();
+                        if first.is_none() {
+                            *first = Some((i, payload));
+                        }
+                        next.store(items.len(), Ordering::Relaxed);
+                        break;
+                    }
+                }
             });
         }
     });
+    if let Some((i, payload)) = panicked.into_inner().unwrap() {
+        eprintln!("parallel_map: worker panicked on item {i}");
+        std::panic::resume_unwind(payload);
+    }
     slots
         .into_iter()
         .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
@@ -217,16 +241,29 @@ pub struct CellResult {
     pub report: WindowReport,
     /// Wall-clock the cell took (excluded from deterministic JSON).
     pub wall_ms: u64,
+    /// Supervised outcome ([`CellStatus::Ok`] for an unsupervised run).
+    pub status: CellStatus,
+    /// Attempts the supervisor spent on the cell (1 when unsupervised).
+    pub attempts: u32,
+    /// Failure detail for non-`Ok` cells.
+    pub error: Option<String>,
 }
 
 impl CellResult {
+    /// Whether this row needs no supervision fields in its JSON: a
+    /// first-try success. Clean rows serialize exactly as they did
+    /// before supervision existed, keeping faults-off bytes unchanged.
+    pub fn is_clean(&self) -> bool {
+        self.status == CellStatus::Ok && self.attempts <= 1
+    }
+
     /// The deterministic JSON fields of this cell's row — everything
     /// except the timing-only additions. Shared by
     /// [`GridResult::to_json`] and the skip-equivalence suite so the
     /// compared format cannot drift from the real schema.
     pub fn stat_fields(&self) -> String {
         let r = &self.report;
-        format!(
+        let mut out = format!(
             "\"workload\": \"{}\", \"suite\": \"{}\", \"config\": \"{}\", \
              \"mt_ipc\": {:.6}, \"cycles\": {}, \"mt_committed\": {}, \
              \"lt_committed\": {}, \"dram_traffic\": {}, \"mt_l1d_misses\": {}, \
@@ -242,7 +279,11 @@ impl CellResult {
             r.mt_l1d_misses,
             r.mt_l1d_accesses,
             r.reboots,
-        )
+        );
+        if !self.is_clean() {
+            push_status_fields(&mut out, self.status, self.attempts, self.error.as_deref());
+        }
+        out
     }
 
     /// Simulated throughput in MIPS: committed instructions (MT + LT,
@@ -339,9 +380,32 @@ pub fn run_cell_mode(
     }
 }
 
-/// Prepares the grid's workloads and measures every cell, both phases on
+/// Prepares the grid's workloads and measures every cell under a
+/// supervisor configured from the environment (`R3DLA_FAULT_PLAN`,
+/// `R3DLA_CELL_DEADLINE_MS`, `R3DLA_CELL_CYCLE_BUDGET`), both phases on
 /// the same `threads`-wide worker pool.
 pub fn run_grid(spec: &GridSpec, threads: usize) -> GridResult {
+    run_grid_supervised(spec, threads, &Supervisor::from_env())
+}
+
+/// The stable identity of a grid cell — the key fault injection and
+/// quarantine decisions hash, so it must name the cell's inputs and
+/// nothing about scheduling.
+pub fn grid_cell_key(spec: &GridSpec, workload: &str, config: &str) -> String {
+    format!(
+        "grid|{}|{}|{}|{}|{}",
+        scale_name(spec.scale),
+        spec.warm,
+        spec.win,
+        workload,
+        config
+    )
+}
+
+/// [`run_grid`] under an explicit [`Supervisor`]: each cell runs inside
+/// `catch_unwind` with retry/quarantine policy; a failed cell degrades
+/// to a status row (default-zero report) instead of killing the grid.
+pub fn run_grid_supervised(spec: &GridSpec, threads: usize, sup: &Supervisor) -> GridResult {
     let t0 = Instant::now();
     let prepared = parallel_map(&spec.workloads, threads, |w| Prepared::new(w, spec.scale));
     let prep_ms = t0.elapsed().as_millis() as u64;
@@ -350,19 +414,39 @@ pub fn run_grid(spec: &GridSpec, threads: usize) -> GridResult {
         .flat_map(|wi| (0..spec.configs.len()).map(move |ci| (wi, ci)))
         .collect();
     let t1 = Instant::now();
-    let results = parallel_map(&cells, threads, |&(wi, ci)| {
-        let p = &prepared[wi];
-        let cfg = &spec.configs[ci];
-        let c0 = Instant::now();
-        let report = run_cell(p, cfg, spec.warm, spec.win, spec.fast_forward);
-        CellResult {
-            workload: p.name.clone(),
-            suite: p.suite,
-            config: cfg.label.clone(),
-            report,
-            wall_ms: c0.elapsed().as_millis() as u64,
-        }
-    });
+    let outcomes = sup.map(
+        &cells,
+        threads,
+        |&(wi, ci)| grid_cell_key(spec, &prepared[wi].name, &spec.configs[ci].label),
+        |&(wi, ci)| {
+            let c0 = Instant::now();
+            let report = run_cell(
+                &prepared[wi],
+                &spec.configs[ci],
+                spec.warm,
+                spec.win,
+                spec.fast_forward,
+            );
+            Ok((report, c0.elapsed().as_millis() as u64))
+        },
+    );
+    let results = cells
+        .iter()
+        .zip(outcomes)
+        .map(|(&(wi, ci), o)| {
+            let (report, wall_ms) = o.value.unwrap_or_default();
+            CellResult {
+                workload: prepared[wi].name.clone(),
+                suite: prepared[wi].suite,
+                config: spec.configs[ci].label.clone(),
+                report,
+                wall_ms,
+                status: o.status,
+                attempts: o.attempts,
+                error: o.error,
+            }
+        })
+        .collect();
     GridResult {
         scale: spec.scale,
         warm: spec.warm,
@@ -435,12 +519,22 @@ impl GridResult {
         insts as f64 / (self.measure_ms as f64 * 1000.0)
     }
 
-    /// Cells that committed zero MT instructions — a sick simulation the
-    /// CI gate fails on.
+    /// Cells that ran to completion yet committed zero MT instructions —
+    /// a sick simulation the CI gate fails on. Failed cells are excluded
+    /// (their reports are zeroed by construction; see
+    /// [`GridResult::failed_cells`]).
     pub fn empty_cells(&self) -> Vec<&CellResult> {
         self.cells
             .iter()
-            .filter(|c| c.report.mt_committed == 0)
+            .filter(|c| c.status == CellStatus::Ok && c.report.mt_committed == 0)
+            .collect()
+    }
+
+    /// Cells the supervisor gave up on (status rows in the JSON).
+    pub fn failed_cells(&self) -> Vec<&CellResult> {
+        self.cells
+            .iter()
+            .filter(|c| c.status != CellStatus::Ok)
             .collect()
     }
 }
@@ -590,6 +684,25 @@ mod tests {
         assert_eq!(parallel_map(&two, 64, |&x| x + 1), vec![8, 10]);
     }
 
+    #[test]
+    fn parallel_map_propagates_the_real_panic_payload() {
+        let items: Vec<u32> = (0..32).collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_map(&items, 4, |&x| {
+                if x == 13 {
+                    panic!("cell exploded: {x}");
+                }
+                x
+            })
+        }))
+        .expect_err("the worker panic must propagate to the caller");
+        let msg = crate::supervise::panic_message(caught.as_ref());
+        assert!(
+            msg.contains("cell exploded: 13"),
+            "expected the original payload, got `{msg}`"
+        );
+    }
+
     fn tiny_grid() -> GridSpec {
         GridSpec {
             scale: Scale::Tiny,
@@ -660,6 +773,42 @@ mod tests {
         assert_eq!(res.rows[1].workload, prepared[1].name);
         assert_eq!(res.rows[0].values[0], prepared[0].name.len() as f64);
         assert!(res.geomean(0) > 0.0);
+    }
+
+    #[test]
+    fn chaos_grid_is_byte_identical_across_threads_and_runs() {
+        use crate::supervise::{FaultPlan, SuperviseConfig};
+        let spec = tiny_grid();
+        let run = |threads: usize| {
+            let sup = Supervisor::new(SuperviseConfig {
+                backoff_ms: 0,
+                plan: FaultPlan::parse("seed=11:panic=0.4:io=0.4").unwrap(),
+                ..SuperviseConfig::default()
+            });
+            run_grid_supervised(&spec, threads, &sup)
+        };
+        let a = run(1);
+        let b = run(4);
+        let c = run(4);
+        assert_eq!(a.to_json(false), b.to_json(false));
+        assert_eq!(b.to_json(false), c.to_json(false));
+        // At these rates something failed or retried, and the report
+        // carries it as a status row rather than dying.
+        assert!(a.to_json(false).contains("\"status\""));
+        assert!(a.empty_cells().is_empty(), "failed cells are not 'empty'");
+    }
+
+    #[test]
+    fn unsupervised_and_clean_supervised_grids_match() {
+        let spec = tiny_grid();
+        let plain = run_grid(&spec, 2);
+        let sup = run_grid_supervised(&spec, 2, &Supervisor::new(Default::default()));
+        assert_eq!(plain.to_json(false), sup.to_json(false));
+        assert!(
+            !sup.to_json(false).contains("\"status\""),
+            "clean rows must not grow status fields"
+        );
+        assert!(sup.failed_cells().is_empty());
     }
 
     #[test]

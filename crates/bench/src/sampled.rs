@@ -16,7 +16,8 @@ use r3dla_sample::{
 use r3dla_stats::{mean_ci95, MeanCi};
 use r3dla_workloads::Suite;
 
-use crate::runner::{parallel_map, CellKind, ConfigSpec, GridSpec};
+use crate::runner::{parallel_map, scale_name, CellKind, ConfigSpec, GridSpec};
+use crate::supervise::{push_status_fields, CellStatus, Supervisor};
 use crate::Prepared;
 
 /// Measures one sampled cell: restore the interval checkpoint into the
@@ -70,12 +71,28 @@ pub struct SampledCellResult {
     /// Host wall-clock summed over the cell's intervals (excluded from
     /// deterministic JSON).
     pub wall_ms: u64,
+    /// Worst interval outcome across the cell ([`CellStatus::Ok`] when
+    /// every interval measured).
+    pub status: CellStatus,
+    /// Supervisor attempts summed over the cell's intervals.
+    pub attempts: u32,
+    /// First interval failure's detail.
+    pub error: Option<String>,
+    /// Which intervals measured successfully (parallel to `reports`;
+    /// failed slots hold a default-zero report).
+    pub interval_ok: Vec<bool>,
 }
 
 impl SampledCellResult {
     /// Total MT instructions committed across the intervals.
     pub fn mt_committed(&self) -> u64 {
         self.reports.iter().map(|r| r.mt_committed).sum()
+    }
+
+    /// Whether every interval measured on its first attempt — the rows
+    /// whose JSON is unchanged from before supervision existed.
+    pub fn is_clean(&self) -> bool {
+        self.status == CellStatus::Ok && self.attempts as usize <= self.reports.len()
     }
 
     /// The deterministic JSON fields of this cell's row.
@@ -113,6 +130,9 @@ impl SampledCellResult {
             .map(|r| format!("{:.6}", r.mt_ipc))
             .collect();
         let _ = write!(s, ", \"ipc\": [{}]", ipcs.join(", "));
+        if !self.is_clean() {
+            push_status_fields(&mut s, self.status, self.attempts, self.error.as_deref());
+        }
         s
     }
 }
@@ -184,14 +204,31 @@ impl SampledGridResult {
         self.prep_ms + self.plan_ms + self.measure_ms
     }
 
-    /// Cells with no intervals at all, or with *any* interval that
-    /// committed zero MT instructions — a sick simulation the CI gate
-    /// fails on (one wedged interval would otherwise silently drag the
-    /// cell's `ipc_mean` toward zero while the run exits clean).
+    /// Cells with no intervals at all, or with any *successfully
+    /// measured* interval that committed zero MT instructions — a sick
+    /// simulation the CI gate fails on (one wedged interval would
+    /// otherwise silently drag the cell's `ipc_mean` toward zero while
+    /// the run exits clean). Failed intervals are the supervisor's
+    /// business, not this gate's: see
+    /// [`SampledGridResult::failed_cells`].
     pub fn empty_cells(&self) -> Vec<&SampledCellResult> {
         self.cells
             .iter()
-            .filter(|c| c.reports.is_empty() || c.reports.iter().any(|r| r.mt_committed == 0))
+            .filter(|c| {
+                c.reports.is_empty()
+                    || c.reports
+                        .iter()
+                        .zip(&c.interval_ok)
+                        .any(|(r, &ok)| ok && r.mt_committed == 0)
+            })
+            .collect()
+    }
+
+    /// Cells with at least one interval the supervisor gave up on.
+    pub fn failed_cells(&self) -> Vec<&SampledCellResult> {
+        self.cells
+            .iter()
+            .filter(|c| c.status != CellStatus::Ok)
             .collect()
     }
 }
@@ -202,6 +239,19 @@ impl SampledGridResult {
 /// intervals. `spec.warm`/`spec.win` are ignored — `sample` sizes the
 /// windows.
 pub fn run_grid_sampled(spec: &GridSpec, sample: &SampleSpec, threads: usize) -> SampledGridResult {
+    run_grid_sampled_supervised(spec, sample, threads, &Supervisor::from_env())
+}
+
+/// [`run_grid_sampled`] under an explicit [`Supervisor`]: each interval
+/// cell runs inside `catch_unwind` with retry/quarantine policy, and a
+/// failed interval degrades to a zeroed slot (excluded from the cell's
+/// IPC/speedup statistics) with the failure carried on the row.
+pub fn run_grid_sampled_supervised(
+    spec: &GridSpec,
+    sample: &SampleSpec,
+    threads: usize,
+    sup: &Supervisor,
+) -> SampledGridResult {
     let t0 = std::time::Instant::now();
     let prepared = parallel_map(&spec.workloads, threads, |w| Prepared::new(w, spec.scale));
     let prep_ms = t0.elapsed().as_millis() as u64;
@@ -221,17 +271,32 @@ pub fn run_grid_sampled(spec: &GridSpec, sample: &SampleSpec, threads: usize) ->
         }
     }
     let t2 = std::time::Instant::now();
-    let measured: Vec<(WindowReport, u64)> = parallel_map(&cells, threads, |&(wi, ci, ii)| {
-        let c0 = std::time::Instant::now();
-        let rep = run_sampled_cell(
-            &prepared[wi],
-            &spec.configs[ci],
-            sample,
-            &plans[wi][ii],
-            spec.fast_forward,
-        );
-        (rep, c0.elapsed().as_millis() as u64)
-    });
+    let sample_label = sample.label();
+    let measured = sup.map(
+        &cells,
+        threads,
+        |&(wi, ci, ii)| {
+            format!(
+                "sample|{}|{}|{}|{}|iv{}",
+                scale_name(spec.scale),
+                sample_label,
+                prepared[wi].name,
+                spec.configs[ci].label,
+                ii
+            )
+        },
+        |&(wi, ci, ii)| {
+            let c0 = std::time::Instant::now();
+            let rep = run_sampled_cell(
+                &prepared[wi],
+                &spec.configs[ci],
+                sample,
+                &plans[wi][ii],
+                spec.fast_forward,
+            );
+            Ok((rep, c0.elapsed().as_millis() as u64))
+        },
+    );
     let measure_ms = t2.elapsed().as_millis() as u64;
 
     // Regroup interval results into per-(workload, config) cells.
@@ -243,14 +308,51 @@ pub fn run_grid_sampled(spec: &GridSpec, sample: &SampleSpec, threads: usize) ->
             let n = plans[wi].len();
             let slice = &measured[cursor..cursor + n];
             cursor += n;
-            let reports: Vec<WindowReport> = slice.iter().map(|(r, _)| r.clone()).collect();
+            let mut reports = Vec::with_capacity(n);
+            let mut interval_ok = Vec::with_capacity(n);
+            let mut wall_ms = 0u64;
+            let mut status = CellStatus::Ok;
+            let mut attempts = 0u32;
+            let mut error = None;
+            for o in slice {
+                match &o.value {
+                    Some((rep, ms)) => {
+                        reports.push(rep.clone());
+                        interval_ok.push(true);
+                        wall_ms += ms;
+                    }
+                    None => {
+                        reports.push(WindowReport::default());
+                        interval_ok.push(false);
+                        if status == CellStatus::Ok {
+                            status = o.status;
+                        }
+                        if error.is_none() {
+                            error = o.error.clone();
+                        }
+                    }
+                }
+                attempts += o.attempts;
+            }
+            // Statistics aggregate over the intervals that measured;
+            // zeroed failure slots would poison the mean.
+            let ok_reports: Vec<WindowReport> = reports
+                .iter()
+                .zip(&interval_ok)
+                .filter(|(_, &ok)| ok)
+                .map(|(r, _)| r.clone())
+                .collect();
             grouped.push(SampledCellResult {
                 workload: p.name.clone(),
                 suite: p.suite,
                 config: cfg.label.clone(),
-                ipc: ipc_estimate(&reports),
+                ipc: ipc_estimate(&ok_reports),
                 speedup: None,
-                wall_ms: slice.iter().map(|(_, ms)| ms).sum(),
+                wall_ms,
+                status,
+                attempts,
+                error,
+                interval_ok,
                 reports,
             });
         }
@@ -269,7 +371,9 @@ pub fn run_grid_sampled(spec: &GridSpec, sample: &SampleSpec, threads: usize) ->
 }
 
 /// Computes per-interval speedups over the grid's `bl` column (paired by
-/// interval index) for every non-`bl` cell.
+/// interval index) for every non-`bl` cell. Only intervals where both
+/// the cell *and* its `bl` partner measured successfully pair up; a cell
+/// with no such pairs keeps `speedup: None`.
 fn attach_speedups(cells: &mut [SampledCellResult], configs: &[ConfigSpec]) {
     if !configs.iter().any(|c| c.label == "bl") {
         return;
@@ -279,18 +383,27 @@ fn attach_speedups(cells: &mut [SampledCellResult], configs: &[ConfigSpec]) {
         let Some(bl_idx) = chunk.iter().position(|c| c.config == "bl") else {
             continue;
         };
-        let bl_ipcs: Vec<f64> = chunk[bl_idx].reports.iter().map(|r| r.mt_ipc).collect();
+        let bl: Vec<(f64, bool)> = chunk[bl_idx]
+            .reports
+            .iter()
+            .zip(&chunk[bl_idx].interval_ok)
+            .map(|(r, &ok)| (r.mt_ipc, ok))
+            .collect();
         for cell in chunk.iter_mut() {
-            if cell.config == "bl" || cell.reports.len() != bl_ipcs.len() {
+            if cell.config == "bl" || cell.reports.len() != bl.len() {
                 continue;
             }
             let ratios: Vec<f64> = cell
                 .reports
                 .iter()
-                .zip(&bl_ipcs)
-                .map(|(r, &b)| r.mt_ipc / b.max(1e-9))
+                .zip(&cell.interval_ok)
+                .zip(&bl)
+                .filter(|((_, &ok), &(_, bl_ok))| ok && bl_ok)
+                .map(|((r, _), &(b, _))| r.mt_ipc / b.max(1e-9))
                 .collect();
-            cell.speedup = Some(mean_ci95(&ratios));
+            if !ratios.is_empty() {
+                cell.speedup = Some(mean_ci95(&ratios));
+            }
         }
     }
 }
@@ -448,6 +561,10 @@ mod tests {
             ipc: MeanCi { mean, half, n: 4 },
             speedup: None,
             wall_ms: 0,
+            status: CellStatus::Ok,
+            attempts: 0,
+            error: None,
+            interval_ok: Vec::new(),
         };
         let mut res = SampledGridResult {
             scale: Scale::Tiny,
@@ -473,6 +590,32 @@ mod tests {
         // So does an empty reference.
         res.cells[0].workload = "a".into();
         assert!(!check_against_reference(&res, "{}", 0.0).is_empty());
+    }
+
+    #[test]
+    fn chaos_sampled_grid_is_byte_identical_across_threads() {
+        use crate::supervise::{FaultPlan, SuperviseConfig};
+        let (grid, sample) = sampled_tiny_grid();
+        let run = |threads: usize| {
+            let sup = Supervisor::new(SuperviseConfig {
+                backoff_ms: 0,
+                plan: FaultPlan::parse("seed=3:panic=0.3:io=0.3").unwrap(),
+                ..SuperviseConfig::default()
+            });
+            run_grid_sampled_supervised(&grid, &sample, threads, &sup)
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a.to_json(false), b.to_json(false));
+        assert!(a.to_json(false).contains("\"status\""));
+        // Failed intervals don't trip the zero-commit gate; the IPC of
+        // surviving intervals stays positive.
+        assert!(a.empty_cells().is_empty());
+        for c in &a.cells {
+            if c.interval_ok.iter().any(|&ok| ok) {
+                assert!(c.ipc.mean > 0.0, "cell {}|{}", c.workload, c.config);
+            }
+        }
     }
 
     #[test]

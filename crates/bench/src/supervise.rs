@@ -1,0 +1,820 @@
+//! Supervised campaign execution: the fault-containment layer every
+//! campaign entry point (grid, sampled, mix, DSE) runs its cells
+//! through.
+//!
+//! A [`Supervisor`] owns a worker pool shaped like
+//! [`parallel_map`](crate::parallel_map) but with each cell wrapped in
+//! `catch_unwind` and classified into a [`CellStatus`]
+//! (`Ok | Panicked | TimedOut | IoError`). Transient failures (panics,
+//! I/O errors) retry with bounded exponential backoff; a cell that keeps
+//! failing is quarantined — its exact failure outcome is recorded and
+//! replayed for any later attempt at the same key, so reports stay
+//! byte-identical whether a poison cell re-runs or short-circuits.
+//! Runaway cells are contained two ways: a watchdog thread trips each
+//! cell's cancel token at a wall-clock deadline (`R3DLA_CELL_DEADLINE_MS`
+//! — off by default because wall time is nondeterministic), and a
+//! deterministic simulated-cycle budget (`R3DLA_CELL_CYCLE_BUDGET`)
+//! threaded through every run loop via
+//! [`r3dla_core::guard`]. Timed-out cells are *not* retried: a
+//! configuration that overran its budget once will again.
+//!
+//! Proving the machinery works is a deterministic fault-injection
+//! harness: [`FaultPlan`] (env `R3DLA_FAULT_PLAN`) fires panics, I/O
+//! errors and delays at rates keyed by a seeded hash of the cell's
+//! stable key and attempt number — never by thread identity or time —
+//! so chaos runs reproduce bit-for-bit across `--threads` and across
+//! runs, and CI can `cmp` two chaos reports.
+
+use std::collections::HashMap;
+use std::hash::Hasher;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use r3dla_core::guard;
+use r3dla_isa::FxHasher;
+
+/// How a supervised cell ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellStatus {
+    /// The cell produced a result.
+    Ok,
+    /// The cell (or an injected fault) panicked on every attempt.
+    Panicked,
+    /// The cell overran its watchdog deadline or cycle budget.
+    TimedOut,
+    /// The cell reported an I/O error on every attempt.
+    IoError,
+}
+
+impl CellStatus {
+    /// Stable lower-snake label used in report JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            CellStatus::Ok => "ok",
+            CellStatus::Panicked => "panicked",
+            CellStatus::TimedOut => "timed_out",
+            CellStatus::IoError => "io_error",
+        }
+    }
+}
+
+/// The supervised result of one cell: the value if any attempt
+/// succeeded, plus how hard the supervisor had to work for it.
+#[derive(Debug, Clone)]
+pub struct CellOutcome<R> {
+    /// The cell's result; `None` when every attempt failed.
+    pub value: Option<R>,
+    /// Final classification.
+    pub status: CellStatus,
+    /// Attempts consumed (1 for a clean first-try success).
+    pub attempts: u32,
+    /// Human-readable failure detail (first failure's message).
+    pub error: Option<String>,
+}
+
+impl<R> CellOutcome<R> {
+    fn ok(value: R, attempts: u32) -> Self {
+        CellOutcome {
+            value: Some(value),
+            status: CellStatus::Ok,
+            attempts,
+            error: None,
+        }
+    }
+}
+
+/// Which injection point a [`FaultPlan`] rate applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic inside the cell closure.
+    Panic,
+    /// Synthetic I/O error before the cell runs.
+    Io,
+    /// Sleep `delay_ms` before the cell runs (stresses scheduling
+    /// without changing results — reports must stay byte-identical).
+    Delay,
+    /// Cache-store write failure (exercises the store retry path).
+    StoreIo,
+    /// Cache-store crash after writing the temp file but before the
+    /// rename (leaves the orphan a later open must sweep).
+    StoreCrash,
+}
+
+impl FaultKind {
+    fn label(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Io => "io",
+            FaultKind::Delay => "delay",
+            FaultKind::StoreIo => "store_io",
+            FaultKind::StoreCrash => "store_crash",
+        }
+    }
+}
+
+/// Deterministic fault-injection plan. Each fault kind fires when a
+/// seeded hash of `(seed, kind, attempt, cell key)` lands under its
+/// rate, so two runs of the same campaign — at any thread count —
+/// inject exactly the same faults at exactly the same cells.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed mixed into every injection decision.
+    pub seed: u64,
+    /// Probability a cell attempt panics.
+    pub panic_rate: f64,
+    /// Probability a cell attempt fails with a synthetic I/O error.
+    pub io_rate: f64,
+    /// Probability a cell attempt is delayed by `delay_ms` first.
+    pub delay_rate: f64,
+    /// Injected delay length in milliseconds.
+    pub delay_ms: u64,
+    /// Probability a cache store attempt fails cleanly.
+    pub store_io_rate: f64,
+    /// Probability a cache store "crashes" mid-write (temp file left).
+    pub store_crash_rate: f64,
+}
+
+impl FaultPlan {
+    /// Parses the `R3DLA_FAULT_PLAN` syntax: colon-separated `key=value`
+    /// fields, e.g. `seed=7:panic=0.1:io=0.1:delay=0.1:delay_ms=2:`
+    /// `store_io=0.1:store_crash=0.05`. Unknown keys are errors; every
+    /// field is optional and defaults to zero.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::default();
+        for field in s.split(':').filter(|f| !f.is_empty()) {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("fault plan field `{field}` is not key=value"))?;
+            fn num<T: std::str::FromStr>(field: &str, value: &str) -> Result<T, String> {
+                value
+                    .parse()
+                    .map_err(|_| format!("fault plan field `{field}` has a malformed value"))
+            }
+            match key {
+                "seed" => plan.seed = num(field, value)?,
+                "panic" => plan.panic_rate = num(field, value)?,
+                "io" => plan.io_rate = num(field, value)?,
+                "delay" => plan.delay_rate = num(field, value)?,
+                "delay_ms" => plan.delay_ms = num(field, value)?,
+                "store_io" => plan.store_io_rate = num(field, value)?,
+                "store_crash" => plan.store_crash_rate = num(field, value)?,
+                _ => return Err(format!("fault plan has unknown key `{key}`")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Reads `R3DLA_FAULT_PLAN`; unset or empty means no injection. A
+    /// malformed plan is a fatal configuration error (exit 2) — silently
+    /// running a chaos campaign without chaos would defeat the test.
+    pub fn from_env() -> Self {
+        match std::env::var("R3DLA_FAULT_PLAN") {
+            Ok(s) if !s.is_empty() => match Self::parse(&s) {
+                Ok(plan) => plan,
+                Err(e) => {
+                    eprintln!("R3DLA_FAULT_PLAN: {e}");
+                    std::process::exit(2);
+                }
+            },
+            _ => FaultPlan::default(),
+        }
+    }
+
+    /// Whether any fault kind can fire.
+    pub fn active(&self) -> bool {
+        self.panic_rate > 0.0
+            || self.io_rate > 0.0
+            || self.delay_rate > 0.0
+            || self.store_io_rate > 0.0
+            || self.store_crash_rate > 0.0
+    }
+
+    fn rate(&self, kind: FaultKind) -> f64 {
+        match kind {
+            FaultKind::Panic => self.panic_rate,
+            FaultKind::Io => self.io_rate,
+            FaultKind::Delay => self.delay_rate,
+            FaultKind::StoreIo => self.store_io_rate,
+            FaultKind::StoreCrash => self.store_crash_rate,
+        }
+    }
+
+    /// Whether `kind` fires for `key` on attempt `attempt`. Pure
+    /// function of the plan and its arguments: the decision hashes
+    /// `seed|kind|attempt|key` (FxHasher — no per-process random state)
+    /// into a uniform in `[0, 1)` and compares against the rate. Keying
+    /// by attempt lets a retry of an injected failure succeed.
+    pub fn fires(&self, kind: FaultKind, key: &str, attempt: u32) -> bool {
+        let rate = self.rate(kind);
+        if rate <= 0.0 {
+            return false;
+        }
+        if rate >= 1.0 {
+            return true;
+        }
+        let mut h = FxHasher::default();
+        h.write(format!("{}|{}|{}|{}", self.seed, kind.label(), attempt, key).as_bytes());
+        let u = (h.finish() >> 11) as f64 / (1u64 << 53) as f64;
+        u < rate
+    }
+}
+
+/// Supervision policy: retries, backoff and runaway containment.
+#[derive(Debug, Clone)]
+pub struct SuperviseConfig {
+    /// Attempts per cell before quarantine (≥ 1).
+    pub max_attempts: u32,
+    /// Base backoff between retries, doubling per attempt.
+    pub backoff_ms: u64,
+    /// Wall-clock watchdog deadline per attempt; `None` disables the
+    /// watchdog (the default — wall time is nondeterministic, so timed
+    /// out rows can differ between runs when this is on).
+    pub deadline_ms: Option<u64>,
+    /// Simulated-cycle budget per attempt; `None` means unlimited.
+    pub cycle_budget: Option<u64>,
+    /// Fault-injection plan (default: no injection).
+    pub plan: FaultPlan,
+}
+
+impl Default for SuperviseConfig {
+    fn default() -> Self {
+        SuperviseConfig {
+            max_attempts: 3,
+            backoff_ms: 10,
+            deadline_ms: None,
+            cycle_budget: None,
+            plan: FaultPlan::default(),
+        }
+    }
+}
+
+impl SuperviseConfig {
+    /// Default policy plus the environment knobs: `R3DLA_FAULT_PLAN`,
+    /// `R3DLA_CELL_DEADLINE_MS`, `R3DLA_CELL_CYCLE_BUDGET`.
+    pub fn from_env() -> Self {
+        let parse_u64 = |name: &str| {
+            std::env::var(name)
+                .ok()
+                .filter(|s| !s.is_empty())
+                .and_then(|s| s.parse::<u64>().ok())
+                .filter(|&v| v > 0)
+        };
+        SuperviseConfig {
+            deadline_ms: parse_u64("R3DLA_CELL_DEADLINE_MS"),
+            cycle_budget: parse_u64("R3DLA_CELL_CYCLE_BUDGET"),
+            plan: FaultPlan::from_env(),
+            ..SuperviseConfig::default()
+        }
+    }
+}
+
+/// A quarantined cell's recorded failure, replayed verbatim for any
+/// later attempt at the same key so reports are byte-identical whether
+/// a poison cell re-runs or short-circuits.
+#[derive(Debug, Clone)]
+struct Poisoned {
+    status: CellStatus,
+    attempts: u32,
+    error: Option<String>,
+}
+
+/// The supervised worker pool. One supervisor spans a whole campaign
+/// (all [`Supervisor::map`] calls share its quarantine), so a poison
+/// cell rediscovered in a later stage short-circuits immediately.
+pub struct Supervisor {
+    cfg: SuperviseConfig,
+    quarantine: Mutex<HashMap<String, Poisoned>>,
+}
+
+impl Supervisor {
+    /// A supervisor with an explicit policy.
+    pub fn new(cfg: SuperviseConfig) -> Self {
+        Supervisor {
+            cfg,
+            quarantine: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A supervisor configured from the environment
+    /// ([`SuperviseConfig::from_env`]).
+    pub fn from_env() -> Self {
+        Self::new(SuperviseConfig::from_env())
+    }
+
+    /// The active fault-injection plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.cfg.plan
+    }
+
+    /// Supervised fan-out: applies `f` to every item on up to `threads`
+    /// workers and returns per-item [`CellOutcome`]s in input order.
+    /// `key_of` names each cell — the stable identity fault injection
+    /// and quarantine key on, so it must not depend on thread or time.
+    /// `f` reports I/O-style failures as `Err(message)`; panics and
+    /// guard interrupts are caught and classified.
+    pub fn map<T, R, K, F>(
+        &self,
+        items: &[T],
+        threads: usize,
+        key_of: K,
+        f: F,
+    ) -> Vec<CellOutcome<R>>
+    where
+        T: Sync,
+        R: Send,
+        K: Fn(&T) -> String + Sync,
+        F: Fn(&T) -> Result<R, String> + Sync,
+    {
+        let threads = threads.max(1).min(items.len().max(1));
+        let watchdog = Watchdog::new(self.cfg.deadline_ms.map(Duration::from_millis));
+        if threads <= 1 {
+            // Serial path. The watchdog still needs its patrol thread —
+            // a deadline must fire even when there is only one worker.
+            return std::thread::scope(|scope| {
+                let patrol = watchdog.armed().then(|| scope.spawn(|| watchdog.patrol()));
+                let out: Vec<CellOutcome<R>> = items
+                    .iter()
+                    .map(|it| self.run_cell_watched(&key_of(it), it, &f, &watchdog))
+                    .collect();
+                watchdog.shutdown();
+                if let Some(p) = patrol {
+                    let _ = p.join();
+                }
+                out
+            });
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<CellOutcome<R>>>> =
+            items.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            let mut workers = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                workers.push(scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    let outcome = self.run_cell_watched(&key_of(item), item, &f, &watchdog);
+                    *slots[i].lock().unwrap() = Some(outcome);
+                }));
+            }
+            let patrol = watchdog.armed().then(|| scope.spawn(|| watchdog.patrol()));
+            for w in workers {
+                let _ = w.join();
+            }
+            watchdog.shutdown();
+            if let Some(p) = patrol {
+                let _ = p.join();
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().unwrap().expect("worker filled every slot"))
+            .collect()
+    }
+
+    /// Runs one cell through the full retry/quarantine policy.
+    fn run_cell_watched<T, R>(
+        &self,
+        key: &str,
+        item: &T,
+        f: &(impl Fn(&T) -> Result<R, String> + Sync),
+        watchdog: &Watchdog,
+    ) -> CellOutcome<R> {
+        if let Some(p) = self.quarantine.lock().unwrap().get(key) {
+            return CellOutcome {
+                value: None,
+                status: p.status,
+                attempts: p.attempts,
+                error: p.error.clone(),
+            };
+        }
+        let mut attempt = 0u32;
+        let mut first_failure: Option<(CellStatus, String)> = None;
+        loop {
+            attempt += 1;
+            match self.attempt(key, item, f, watchdog, attempt) {
+                Ok(value) => return CellOutcome::ok(value, attempt),
+                Err((status, error)) => {
+                    let transient = matches!(status, CellStatus::Panicked | CellStatus::IoError);
+                    first_failure.get_or_insert((status, error));
+                    if transient && attempt < self.cfg.max_attempts {
+                        let shift = (attempt - 1).min(6);
+                        std::thread::sleep(Duration::from_millis(self.cfg.backoff_ms << shift));
+                        continue;
+                    }
+                    let (status, error) = first_failure.expect("failure recorded above");
+                    eprintln!(
+                        "supervise: quarantining cell `{key}` after {attempt} attempt(s): \
+                         {} ({error})",
+                        status.label()
+                    );
+                    self.quarantine.lock().unwrap().insert(
+                        key.to_string(),
+                        Poisoned {
+                            status,
+                            attempts: attempt,
+                            error: Some(error.clone()),
+                        },
+                    );
+                    return CellOutcome {
+                        value: None,
+                        status,
+                        attempts: attempt,
+                        error: Some(error),
+                    };
+                }
+            }
+        }
+    }
+
+    /// One attempt: injection points, watchdog registration, guard
+    /// installation, `catch_unwind`, classification.
+    #[allow(clippy::type_complexity)]
+    fn attempt<T, R>(
+        &self,
+        key: &str,
+        item: &T,
+        f: &(impl Fn(&T) -> Result<R, String> + Sync),
+        watchdog: &Watchdog,
+        attempt: u32,
+    ) -> Result<R, (CellStatus, String)> {
+        let plan = &self.cfg.plan;
+        if plan.fires(FaultKind::Delay, key, attempt) && plan.delay_ms > 0 {
+            std::thread::sleep(Duration::from_millis(plan.delay_ms));
+        }
+        if plan.fires(FaultKind::Io, key, attempt) {
+            return Err((
+                CellStatus::IoError,
+                format!("injected i/o fault (attempt {attempt})"),
+            ));
+        }
+        let inject_panic = plan.fires(FaultKind::Panic, key, attempt);
+        let slot = watchdog.register();
+        let token = slot.as_ref().map(|(_, t)| Arc::clone(t));
+        let caught = {
+            let _guard = r3dla_core::CellGuard::install(token, self.cfg.cycle_budget);
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                if inject_panic {
+                    panic!("injected panic fault (attempt {attempt})");
+                }
+                f(item)
+            }));
+            // Read the cause before the guard drops and resets it.
+            let cause = guard::interrupt_cause();
+            (caught, cause)
+        };
+        if let Some((idx, _)) = slot {
+            watchdog.clear(idx);
+        }
+        let (caught, cause) = caught;
+        match cause {
+            Some(guard::Interrupt::Cancelled) => {
+                return Err((
+                    CellStatus::TimedOut,
+                    "watchdog deadline exceeded".to_string(),
+                ))
+            }
+            Some(guard::Interrupt::BudgetExhausted) => {
+                return Err((CellStatus::TimedOut, "cycle budget exhausted".to_string()))
+            }
+            None => {}
+        }
+        match caught {
+            Ok(Ok(value)) => Ok(value),
+            Ok(Err(msg)) => Err((CellStatus::IoError, msg)),
+            Err(payload) => Err((CellStatus::Panicked, panic_message(payload.as_ref()))),
+        }
+    }
+}
+
+/// Extracts the human-readable message from a panic payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One registered attempt under watch: its deadline and the cancel
+/// token the patrol trips once that deadline passes.
+type WatchSlot = (Instant, Arc<AtomicBool>);
+
+/// The wall-clock watchdog: workers register a deadline + cancel token
+/// per attempt; a patrol thread trips tokens whose deadline passed. The
+/// tripped cell's run loops notice via `r3dla_core::guard` and bail.
+struct Watchdog {
+    deadline: Option<Duration>,
+    slots: Mutex<Vec<Option<WatchSlot>>>,
+    done: AtomicBool,
+}
+
+impl Watchdog {
+    fn new(deadline: Option<Duration>) -> Self {
+        Watchdog {
+            deadline,
+            slots: Mutex::new(Vec::new()),
+            done: AtomicBool::new(false),
+        }
+    }
+
+    fn armed(&self) -> bool {
+        self.deadline.is_some()
+    }
+
+    /// Registers the calling worker's current attempt; returns the slot
+    /// index and the cancel token to install, or `None` when the
+    /// watchdog is disarmed.
+    fn register(&self) -> Option<(usize, Arc<AtomicBool>)> {
+        let deadline = self.deadline?;
+        let token = Arc::new(AtomicBool::new(false));
+        let entry = (Instant::now() + deadline, Arc::clone(&token));
+        let mut slots = self.slots.lock().unwrap();
+        let idx = match slots.iter_mut().position(|s| s.is_none()) {
+            Some(i) => {
+                slots[i] = Some(entry);
+                i
+            }
+            None => {
+                slots.push(Some(entry));
+                slots.len() - 1
+            }
+        };
+        Some((idx, token))
+    }
+
+    fn clear(&self, idx: usize) {
+        self.slots.lock().unwrap()[idx] = None;
+    }
+
+    fn shutdown(&self) {
+        self.done.store(true, Ordering::Relaxed);
+    }
+
+    fn patrol(&self) {
+        while !self.done.load(Ordering::Relaxed) {
+            {
+                let now = Instant::now();
+                let slots = self.slots.lock().unwrap();
+                for slot in slots.iter().flatten() {
+                    if now >= slot.0 {
+                        slot.1.store(true, Ordering::Relaxed);
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters) — report `error` fields carry
+/// arbitrary panic messages.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Appends the supervision trio (`status`, `attempts`, `error`) to a
+/// JSON row — called by every report writer, and only for rows that are
+/// not clean, so a faults-off campaign's bytes are unchanged.
+pub fn push_status_fields(
+    out: &mut String,
+    status: CellStatus,
+    attempts: u32,
+    error: Option<&str>,
+) {
+    out.push_str(&format!(
+        ", \"status\": \"{}\", \"attempts\": {}",
+        status.label(),
+        attempts
+    ));
+    if let Some(e) = error {
+        out.push_str(&format!(", \"error\": \"{}\"", json_escape(e)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_plan_parses_and_round_trips_fields() {
+        let p = FaultPlan::parse(
+            "seed=7:panic=0.1:io=0.2:delay=0.3:delay_ms=2:store_io=0.4:store_crash=0.5",
+        )
+        .unwrap();
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.panic_rate, 0.1);
+        assert_eq!(p.io_rate, 0.2);
+        assert_eq!(p.delay_rate, 0.3);
+        assert_eq!(p.delay_ms, 2);
+        assert_eq!(p.store_io_rate, 0.4);
+        assert_eq!(p.store_crash_rate, 0.5);
+        assert!(p.active());
+        assert!(FaultPlan::parse("").unwrap() == FaultPlan::default());
+        assert!(!FaultPlan::default().active());
+        assert!(FaultPlan::parse("bogus=1").is_err());
+        assert!(FaultPlan::parse("panic").is_err());
+        assert!(FaultPlan::parse("panic=x").is_err());
+    }
+
+    #[test]
+    fn fault_decisions_are_deterministic_and_rate_shaped() {
+        let p = FaultPlan::parse("seed=11:panic=0.1").unwrap();
+        let mut fired = 0;
+        for i in 0..10_000 {
+            let key = format!("cell-{i}");
+            let a = p.fires(FaultKind::Panic, &key, 1);
+            let b = p.fires(FaultKind::Panic, &key, 1);
+            assert_eq!(a, b, "same inputs must decide identically");
+            fired += a as usize;
+        }
+        // ~10% of 10k with a wide tolerance — the hash is uniform.
+        assert!((700..1300).contains(&fired), "fired {fired}/10000");
+        // Different seeds decide differently somewhere.
+        let q = FaultPlan::parse("seed=12:panic=0.1").unwrap();
+        assert!((0..10_000).any(|i| {
+            let key = format!("cell-{i}");
+            p.fires(FaultKind::Panic, &key, 1) != q.fires(FaultKind::Panic, &key, 1)
+        }));
+        // Rate edges.
+        let zero = FaultPlan::default();
+        assert!(!zero.fires(FaultKind::Panic, "k", 1));
+        let one = FaultPlan::parse("panic=1.0").unwrap();
+        assert!(one.fires(FaultKind::Panic, "k", 1));
+    }
+
+    #[test]
+    fn panics_are_contained_and_classified() {
+        let sup = Supervisor::new(SuperviseConfig {
+            max_attempts: 2,
+            backoff_ms: 0,
+            ..SuperviseConfig::default()
+        });
+        let items: Vec<u32> = (0..4).collect();
+        let out = sup.map(
+            &items,
+            2,
+            |i| format!("cell-{i}"),
+            |&i| {
+                if i == 2 {
+                    panic!("boom {i}");
+                }
+                Ok(i * 10)
+            },
+        );
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0].value, Some(0));
+        assert_eq!(out[1].status, CellStatus::Ok);
+        assert_eq!(out[2].status, CellStatus::Panicked);
+        assert_eq!(out[2].attempts, 2);
+        assert_eq!(out[2].value, None);
+        assert!(
+            out[2].error.as_deref().unwrap().contains("boom 2"),
+            "error was {:?}",
+            out[2].error
+        );
+        assert_eq!(out[3].value, Some(30));
+    }
+
+    #[test]
+    fn transient_failures_retry_and_recover() {
+        use std::sync::atomic::AtomicU32;
+        let sup = Supervisor::new(SuperviseConfig {
+            max_attempts: 3,
+            backoff_ms: 0,
+            ..SuperviseConfig::default()
+        });
+        let tries = AtomicU32::new(0);
+        let out = sup.map(
+            &[()],
+            1,
+            |_| "flaky".to_string(),
+            |_| {
+                if tries.fetch_add(1, Ordering::Relaxed) < 2 {
+                    Err("transient".to_string())
+                } else {
+                    Ok(42)
+                }
+            },
+        );
+        assert_eq!(out[0].value, Some(42));
+        assert_eq!(out[0].status, CellStatus::Ok);
+        assert_eq!(out[0].attempts, 3);
+        assert_eq!(out[0].error, None);
+    }
+
+    #[test]
+    fn quarantine_replays_the_recorded_outcome() {
+        let sup = Supervisor::new(SuperviseConfig {
+            max_attempts: 2,
+            backoff_ms: 0,
+            ..SuperviseConfig::default()
+        });
+        let first = sup.map(
+            &[1],
+            1,
+            |_| "poison".to_string(),
+            |_: &i32| Err::<i32, _>("io down".to_string()),
+        );
+        let again = sup.map(&[1], 1, |_| "poison".to_string(), |_: &i32| Ok(5));
+        assert_eq!(first[0].status, CellStatus::IoError);
+        assert_eq!(again[0].status, CellStatus::IoError);
+        assert_eq!(again[0].attempts, first[0].attempts);
+        assert_eq!(again[0].error, first[0].error);
+        assert_eq!(again[0].value, None, "quarantined cells never re-run");
+    }
+
+    #[test]
+    fn cycle_budget_times_out_without_retry() {
+        let sup = Supervisor::new(SuperviseConfig {
+            max_attempts: 3,
+            backoff_ms: 0,
+            cycle_budget: Some(50_000),
+            ..SuperviseConfig::default()
+        });
+        let out = sup.map(
+            &[()],
+            1,
+            |_| "runaway".to_string(),
+            |_| {
+                while !r3dla_core::guard::tick(1_000) {}
+                Ok(0u32)
+            },
+        );
+        assert_eq!(out[0].status, CellStatus::TimedOut);
+        assert_eq!(out[0].attempts, 1, "timeouts are not retried");
+        assert!(out[0].error.as_deref().unwrap().contains("cycle budget"));
+    }
+
+    #[test]
+    fn watchdog_deadline_times_out_a_stuck_cell() {
+        let sup = Supervisor::new(SuperviseConfig {
+            max_attempts: 3,
+            backoff_ms: 0,
+            deadline_ms: Some(20),
+            ..SuperviseConfig::default()
+        });
+        let out = sup.map(
+            &[()],
+            2,
+            |_| "stuck".to_string(),
+            |_| {
+                // Cooperative spin: poll the guard like a run loop would.
+                while !r3dla_core::guard::tick(10_000) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Ok(0u32)
+            },
+        );
+        assert_eq!(out[0].status, CellStatus::TimedOut);
+        assert!(out[0].error.as_deref().unwrap().contains("watchdog"));
+    }
+
+    #[test]
+    fn chaos_outcomes_are_identical_across_thread_counts() {
+        let cfg = || SuperviseConfig {
+            max_attempts: 3,
+            backoff_ms: 0,
+            plan: FaultPlan::parse("seed=5:panic=0.3:io=0.3").unwrap(),
+            ..SuperviseConfig::default()
+        };
+        let items: Vec<u32> = (0..32).collect();
+        let run = |threads: usize| {
+            Supervisor::new(cfg()).map(&items, threads, |i| format!("cell-{i}"), |&i| Ok(i * 3))
+        };
+        let a = run(1);
+        let b = run(4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.value, y.value);
+            assert_eq!(x.status, y.status);
+            assert_eq!(x.attempts, y.attempts);
+            assert_eq!(x.error, y.error);
+        }
+        // The plan actually injected something at these rates.
+        assert!(a
+            .iter()
+            .any(|o| o.attempts > 1 || o.status != CellStatus::Ok));
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_and_control_chars() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("x\ny\t\u{1}"), "x\\ny\\t\\u0001");
+    }
+}

@@ -484,10 +484,14 @@ impl<T: KernelActor> Cluster<T> {
             }
             // Progress even when the shared cap is already behind us: a
             // zero-width skip window degenerates to a plain step.
+            let before = tenant.local_cycle();
             let next = tenant.advance_quantum(cap.max(tenant.local_cycle()), &mut st.last_probe);
+            if crate::guard::tick(tenant.local_cycle() - before) {
+                break;
+            }
             kernel.schedule(i, next);
         }
-        debug_assert!(states.iter().all(|s| s.done));
+        debug_assert!(crate::guard::interrupted() || states.iter().all(|s| s.done));
     }
 
     /// Runs every tenant until each has committed `target` more
@@ -524,7 +528,11 @@ impl<T: KernelActor + MeasureTarget> Cluster<T> {
         });
         reports
             .into_iter()
-            .map(|r| r.expect("pump parks every tenant exactly once"))
+            .enumerate()
+            // A missing report means pump was interrupted by the cell
+            // guard before this tenant parked; hand back the partial
+            // window — the supervisor discards the cell as timed out.
+            .map(|(i, r)| r.unwrap_or_else(|| self.tenants[i].window_report(&snaps[i])))
             .collect()
     }
 }

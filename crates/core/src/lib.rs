@@ -36,6 +36,7 @@
 //! ```
 
 mod dataflow;
+pub mod guard;
 mod kernel;
 mod limit;
 mod overlay;
@@ -50,6 +51,7 @@ mod tunables;
 mod value_reuse;
 
 pub use dataflow::{BitSet, Dataflow};
+pub use guard::{CellGuard, Interrupt};
 pub use kernel::{event_kernel_default, ActorId, Cluster, EventQueue, Kernel, KernelActor};
 pub use limit::{ilp_limit, LimitModel, LimitResult};
 pub use overlay::OverlayMem;

@@ -308,7 +308,7 @@ pub struct SysSnapshot {
 }
 
 /// Windowed measurement derived from two snapshots.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct WindowReport {
     /// Cycles elapsed.
     pub cycles: u64,
@@ -935,8 +935,12 @@ impl DlaSystem {
             let me = kernel.add_actor();
             kernel.schedule(me, self.cycle);
             let mut last_probe = u64::MAX;
+            let mut guard_last = self.cycle;
             while let Some((_, actor)) = kernel.pop() {
                 debug_assert_eq!(actor, me);
+                if crate::guard::tick_since(self.cycle, &mut guard_last) {
+                    break;
+                }
                 if self.mt.committed(0) - start_committed >= target
                     || self.mt_halted()
                     || self.cycle - start_cycles >= max_cycles
@@ -950,10 +954,14 @@ impl DlaSystem {
         }
         // Legacy lockstep loop (R3DLA_EVENT_KERNEL=0).
         let mut last_probe = u64::MAX;
+        let mut guard_last = self.cycle;
         while self.mt.committed(0) - start_committed < target
             && !self.mt_halted()
             && self.cycle - start_cycles < max_cycles
         {
+            if crate::guard::tick_since(self.cycle, &mut guard_last) {
+                break;
+            }
             if self.fast_forward {
                 let probe = self.mt.activity_probe() + self.lt.activity_probe();
                 if probe == last_probe {
@@ -1253,8 +1261,12 @@ impl SingleCoreSim {
             let me = kernel.add_actor();
             kernel.schedule(me, self.core.cycle());
             let mut last_probe = u64::MAX;
+            let mut guard_last = self.core.cycle();
             while let Some((_, actor)) = kernel.pop() {
                 debug_assert_eq!(actor, me);
+                if crate::guard::tick_since(self.core.cycle(), &mut guard_last) {
+                    break;
+                }
                 if self.core.committed(0) - start_committed >= target
                     || self.core.halted()
                     || self.core.cycle() - start_cycles >= max_cycles
@@ -1269,10 +1281,14 @@ impl SingleCoreSim {
         }
         // Legacy polling loop (R3DLA_EVENT_KERNEL=0).
         let mut last_probe = u64::MAX;
+        let mut guard_last = self.core.cycle();
         while self.core.committed(0) - start_committed < target
             && !self.core.halted()
             && self.core.cycle() - start_cycles < max_cycles
         {
+            if crate::guard::tick_since(self.core.cycle(), &mut guard_last) {
+                break;
+            }
             if self.fast_forward {
                 self.core.step_or_skip(cap, &mut last_probe);
             } else {

@@ -19,9 +19,10 @@
 //!   resumed search reproduces a fresh report byte-for-byte.
 
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use r3dla_bench::supervise::{FaultKind, FaultPlan};
 use r3dla_core::WindowReport;
 use r3dla_isa::FxHasher;
 
@@ -93,7 +94,7 @@ pub fn program_fingerprint(program: &r3dla_isa::Program) -> u64 {
 
 /// One measured cell: the detailed window report plus the window's
 /// modeled energy.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct IntervalResult {
     /// The detailed window report.
     pub report: WindowReport,
@@ -163,6 +164,19 @@ impl IntervalResult {
     }
 }
 
+/// Self-healing counters of a [`ResultCache`] — stderr diagnostics
+/// only; like hits/misses they depend on disk state and must never
+/// reach the deterministic report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheHealth {
+    /// Readable-but-unparseable entries quarantined to `*.corrupt`.
+    pub corrupt: usize,
+    /// Store attempts that failed even after the retry.
+    pub store_errors: usize,
+    /// Orphaned `*.tmp*` files swept when the cache was opened.
+    pub swept_orphans: usize,
+}
+
 /// The on-disk cache: a directory of [`CacheKey`]-named entries, shared
 /// read/write by every worker thread of a search.
 #[derive(Debug)]
@@ -170,28 +184,48 @@ pub struct ResultCache {
     dir: Option<PathBuf>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    corrupt: AtomicUsize,
+    store_errors: AtomicUsize,
+    swept: usize,
+    plan: FaultPlan,
 }
 
 impl ResultCache {
-    /// A disabled cache: every lookup misses and stores are dropped
-    /// (`--no-cache`).
-    pub fn disabled() -> Self {
+    fn new(dir: Option<PathBuf>, swept: usize, plan: FaultPlan) -> Self {
         Self {
-            dir: None,
+            dir,
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            corrupt: AtomicUsize::new(0),
+            store_errors: AtomicUsize::new(0),
+            swept,
+            plan,
         }
     }
 
-    /// Opens (creating if needed) the cache directory.
+    /// A disabled cache: every lookup misses and stores are dropped
+    /// (`--no-cache`).
+    pub fn disabled() -> Self {
+        Self::new(None, 0, FaultPlan::default())
+    }
+
+    /// Opens (creating if needed) the cache directory, sweeping any
+    /// orphaned temp files a crashed process left behind. The fault plan
+    /// comes from `R3DLA_FAULT_PLAN`.
     pub fn at(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        Self::at_with_plan(dir, FaultPlan::from_env())
+    }
+
+    /// [`ResultCache::at`] with an explicit fault-injection plan (tests
+    /// drive store faults deterministically through this).
+    pub fn at_with_plan(dir: impl Into<PathBuf>, plan: FaultPlan) -> std::io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(Self {
-            dir: Some(dir),
-            hits: AtomicUsize::new(0),
-            misses: AtomicUsize::new(0),
-        })
+        let swept = sweep_orphans(&dir);
+        if swept > 0 {
+            eprintln!("r3dla-dse: swept {swept} orphaned cache temp file(s)");
+        }
+        Ok(Self::new(Some(dir), swept, plan))
     }
 
     /// Whether the cache persists to disk.
@@ -199,13 +233,24 @@ impl ResultCache {
         self.dir.is_some()
     }
 
-    /// Looks up a cell. A corrupt, truncated or mismatched entry reads
-    /// as a miss.
+    /// Looks up a cell. A missing entry is a plain miss; a
+    /// readable-but-unparseable one (corrupt, truncated, or a true hash
+    /// collision) is also a miss, but the sick file is quarantined to
+    /// `<name>.corrupt` and counted — left in place it would shadow
+    /// every future store of the same key and re-miss forever.
     pub fn load(&self, key: &CacheKey) -> Option<IntervalResult> {
         let dir = self.dir.as_ref()?;
-        let loaded = std::fs::read_to_string(dir.join(key.file_name()))
-            .ok()
-            .and_then(|text| IntervalResult::deserialize(&text, key));
+        let path = dir.join(key.file_name());
+        let loaded = match std::fs::read_to_string(&path) {
+            Ok(text) => match IntervalResult::deserialize(&text, key) {
+                Some(r) => Some(r),
+                None => {
+                    self.quarantine_corrupt(&path);
+                    None
+                }
+            },
+            Err(_) => None,
+        };
         match loaded {
             Some(r) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -218,23 +263,67 @@ impl ResultCache {
         }
     }
 
-    /// Stores a cell atomically (unique temp file, then rename), so an
-    /// interrupted search never leaves a half-written entry behind.
-    pub fn store(&self, key: &CacheKey, result: &IntervalResult) {
+    fn quarantine_corrupt(&self, path: &Path) {
+        self.corrupt.fetch_add(1, Ordering::Relaxed);
+        let mut quarantined = path.as_os_str().to_os_string();
+        quarantined.push(".corrupt");
+        if std::fs::rename(path, &quarantined).is_err() {
+            // Removal still unblocks the key for a fresh store.
+            let _ = std::fs::remove_file(path);
+        }
+        eprintln!(
+            "r3dla-dse: quarantined corrupt cache entry {}",
+            path.display()
+        );
+    }
+
+    /// Stores a cell atomically (unique temp file, then rename). A
+    /// failed write is retried once — transient I/O errors (ENOSPC
+    /// races, a concurrent open's orphan sweep) should not cost the
+    /// entry — and surfaced as an `Err` plus a health counter rather
+    /// than swallowed: a campaign that cannot persist results must say
+    /// so before a resume silently re-simulates everything.
+    pub fn store(&self, key: &CacheKey, result: &IntervalResult) -> std::io::Result<()> {
         let Some(dir) = self.dir.as_ref() else {
-            return;
+            return Ok(());
         };
         let tmp = dir.join(format!("{:016x}.tmp{}", key.hash, std::process::id()));
-        let write = || -> std::io::Result<()> {
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(result.serialize(key).as_bytes())?;
-            f.sync_all()?;
-            std::fs::rename(&tmp, dir.join(key.file_name()))
-        };
-        if let Err(e) = write() {
-            let _ = std::fs::remove_file(&tmp);
-            eprintln!("r3dla-dse: cache write failed for {}: {e}", key.file_name());
+        // Injected crash: the temp file is written but the process
+        // "dies" before the rename — exactly the orphan a real kill
+        // mid-store leaves for the next open to sweep.
+        if self.plan.fires(FaultKind::StoreCrash, &key.descr, 1) {
+            let _ = std::fs::write(&tmp, result.serialize(key).as_bytes());
+            self.store_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(std::io::Error::other("injected store crash"));
         }
+        let mut last_err = None;
+        for attempt in 1..=2u32 {
+            let write = || -> std::io::Result<()> {
+                if self.plan.fires(FaultKind::StoreIo, &key.descr, attempt) {
+                    return Err(std::io::Error::other(format!(
+                        "injected store i/o fault (attempt {attempt})"
+                    )));
+                }
+                let mut f = std::fs::File::create(&tmp)?;
+                f.write_all(result.serialize(key).as_bytes())?;
+                f.sync_all()?;
+                std::fs::rename(&tmp, dir.join(key.file_name()))
+            };
+            match write() {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    let _ = std::fs::remove_file(&tmp);
+                    last_err = Some(e);
+                }
+            }
+        }
+        let e = last_err.expect("loop always records an error before exiting");
+        self.store_errors.fetch_add(1, Ordering::Relaxed);
+        eprintln!(
+            "r3dla-dse: cache write failed for {} after retry: {e}",
+            key.file_name()
+        );
+        Err(e)
     }
 
     /// `(hits, misses)` counted so far — stderr diagnostics only; these
@@ -246,6 +335,35 @@ impl ResultCache {
             self.misses.load(Ordering::Relaxed),
         )
     }
+
+    /// Self-healing counters accumulated so far (stderr diagnostics
+    /// only, like [`ResultCache::stats`]).
+    pub fn health(&self) -> CacheHealth {
+        CacheHealth {
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            store_errors: self.store_errors.load(Ordering::Relaxed),
+            swept_orphans: self.swept,
+        }
+    }
+}
+
+/// Removes every `*.tmp*` file in `dir` — write leftovers of crashed
+/// processes (this one included: in-process "crash" injection leaves
+/// same-pid orphans). Sweeping a temp file a *live* writer is about to
+/// rename is safe: the writer's rename fails with `NotFound` and its
+/// retry rewrites the entry. Returns the number removed.
+fn sweep_orphans(dir: &Path) -> usize {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut swept = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        if name.to_string_lossy().contains(".tmp") && std::fs::remove_file(entry.path()).is_ok() {
+            swept += 1;
+        }
+    }
+    swept
 }
 
 #[cfg(test)]
@@ -307,21 +425,103 @@ mod tests {
         }
     }
 
+    fn test_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("r3dla-dse-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn disk_cache_stores_and_loads() {
-        let dir = std::env::temp_dir().join(format!("r3dla-dse-test-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        let cache = ResultCache::at(&dir).unwrap();
+        let dir = test_dir("basic");
+        let cache = ResultCache::at_with_plan(&dir, FaultPlan::default()).unwrap();
         let key = CacheKey::cell("w", 1, "tiny", "3:2000:none", 0, "cfg=x");
         assert!(cache.load(&key).is_none());
         let r = sample_result();
-        cache.store(&key, &r);
+        cache.store(&key, &r).unwrap();
         assert_eq!(cache.load(&key), Some(r));
         assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.health(), CacheHealth::default());
         // A disabled cache ignores everything.
         let off = ResultCache::disabled();
-        off.store(&key, &sample_result());
+        off.store(&key, &sample_result()).unwrap();
         assert!(off.load(&key).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_is_quarantined_then_heals() {
+        let dir = test_dir("corrupt");
+        let cache = ResultCache::at_with_plan(&dir, FaultPlan::default()).unwrap();
+        let key = CacheKey::cell("w", 1, "tiny", "3:2000:none", 0, "cfg=x");
+        cache.store(&key, &sample_result()).unwrap();
+        std::fs::write(dir.join(key.file_name()), "not a cache entry\n").unwrap();
+        assert!(cache.load(&key).is_none());
+        assert_eq!(cache.health().corrupt, 1);
+        let mut quarantined = dir.join(key.file_name()).into_os_string();
+        quarantined.push(".corrupt");
+        assert!(PathBuf::from(quarantined).exists());
+        // The key is unblocked: a fresh store round-trips again.
+        cache.store(&key, &sample_result()).unwrap();
+        assert_eq!(cache.load(&key), Some(sample_result()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_sweeps_orphaned_temp_files() {
+        let dir = test_dir("sweep");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("00000000deadbeef.tmp4242"), "half-written").unwrap();
+        std::fs::write(dir.join("keepme.corrupt"), "quarantined evidence").unwrap();
+        let cache = ResultCache::at_with_plan(&dir, FaultPlan::default()).unwrap();
+        assert_eq!(cache.health().swept_orphans, 1);
+        assert!(!dir.join("00000000deadbeef.tmp4242").exists());
+        // Quarantine files are evidence, not garbage: never swept.
+        assert!(dir.join("keepme.corrupt").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_store_crash_leaves_an_orphan_the_next_open_sweeps() {
+        let dir = test_dir("crash");
+        let plan = FaultPlan::parse("seed=1:store_crash=1.0").unwrap();
+        let cache = ResultCache::at_with_plan(&dir, plan).unwrap();
+        let key = CacheKey::cell("w", 1, "tiny", "3:2000:none", 0, "cfg=x");
+        assert!(cache.store(&key, &sample_result()).is_err());
+        assert_eq!(cache.health().store_errors, 1);
+        assert!(cache.load(&key).is_none());
+        let orphans = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+            .count();
+        assert_eq!(orphans, 1);
+        drop(cache);
+        let healed = ResultCache::at_with_plan(&dir, FaultPlan::default()).unwrap();
+        assert_eq!(healed.health().swept_orphans, 1);
+        healed.store(&key, &sample_result()).unwrap();
+        assert_eq!(healed.load(&key), Some(sample_result()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_store_io_fault_is_absorbed_by_the_retry() {
+        let key = CacheKey::cell("w", 1, "tiny", "3:2000:none", 0, "cfg=x");
+        // Find a seed whose 50% i/o fault hits attempt 1 but not the
+        // retry: the store must then succeed with no caller-visible
+        // error, leaving only the health counter untouched.
+        let plan = (0..10_000u64)
+            .map(|s| FaultPlan::parse(&format!("seed={s}:store_io=0.5")).unwrap())
+            .find(|p| {
+                p.fires(FaultKind::StoreIo, &key.descr, 1)
+                    && !p.fires(FaultKind::StoreIo, &key.descr, 2)
+            })
+            .expect("some seed separates the two attempts");
+        let dir = test_dir("retry");
+        let cache = ResultCache::at_with_plan(&dir, plan).unwrap();
+        cache.store(&key, &sample_result()).unwrap();
+        assert_eq!(cache.load(&key), Some(sample_result()));
+        assert_eq!(cache.health().store_errors, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -18,7 +18,7 @@
 //! simulation gate).
 
 use r3dla_bench::runner::scale_by_name;
-use r3dla_bench::{arg_flag, arg_str, arg_threads, arg_u64, arg_usize};
+use r3dla_bench::{arg_flag, arg_str, arg_threads, arg_u64, arg_usize, FaultPlan};
 use r3dla_dse::{candidates, run_dse, DseSpec, ResultCache, SearchSpace, Strategy};
 use r3dla_sample::SampleSpec;
 use r3dla_workloads::{by_name, suite, Scale, Workload};
@@ -125,6 +125,14 @@ fn main() {
          ({} cache hits, {} misses)",
         result.prep_ms, result.plan_ms, result.measure_ms, hits, misses
     );
+    let health = cache.health();
+    if health != r3dla_dse::CacheHealth::default() {
+        eprintln!(
+            "r3dla-dse: cache health: {} corrupt entr(ies) quarantined, \
+             {} store error(s), {} orphan(s) swept on open",
+            health.corrupt, health.store_errors, health.swept_orphans
+        );
+    }
     eprint!("{}", r3dla_dse::summary_markdown(&result));
 
     let mut failed = false;
@@ -135,6 +143,19 @@ fn main() {
                 w.workload, t.label
             );
             failed = true;
+        }
+        for t in w.failed_trials() {
+            eprintln!(
+                "r3dla-dse: trial ({}, {}) has a failed interval after {} attempt(s): {} ({})",
+                w.workload,
+                t.label,
+                t.attempts,
+                t.status.label(),
+                t.error.as_deref().unwrap_or("")
+            );
+            // Failed trials are the expected product of a chaos run;
+            // without an active fault plan they are real failures.
+            failed |= !FaultPlan::from_env().active();
         }
     }
     if failed {

@@ -10,6 +10,7 @@
 
 use std::fmt::Write as _;
 
+use r3dla_bench::supervise::push_status_fields;
 use r3dla_stats::MeanCi;
 
 use crate::search::{DseResult, TrialSummary, WorkloadOutcome};
@@ -54,6 +55,11 @@ fn trial_fields(t: &TrialSummary) -> String {
     let _ = write!(s, ", \"epi_nj\": {:.6}", t.epi_nj);
     if let Some(inc) = t.incumbent {
         let _ = write!(s, ", \"incumbent\": \"{inc}\"");
+    }
+    // Clean rows omit the supervision fields, keeping faults-off
+    // reports byte-identical to pre-supervision ones.
+    if !t.is_clean() {
+        push_status_fields(&mut s, t.status, t.attempts, t.error.as_deref());
     }
     s
 }
@@ -177,6 +183,9 @@ mod tests {
             epi_nj: epi,
             speedup: None,
             any_empty: false,
+            status: r3dla_bench::CellStatus::Ok,
+            attempts: 3,
+            error: None,
         }
     }
 
@@ -207,5 +216,22 @@ mod tests {
         let s = trial_fields(&a);
         assert!(s.contains("\"speedup_mean\": 1.500000"));
         assert!(s.contains("\"incumbent\": \"r3\""));
+        assert!(!s.contains("\"status\""), "clean rows omit status fields");
+    }
+
+    #[test]
+    fn trial_fields_carry_status_only_for_unclean_rows() {
+        let mut a = t("a", 1.0, 3.0);
+        a.status = r3dla_bench::CellStatus::Panicked;
+        a.attempts = 9;
+        a.error = Some("boom \"quoted\"".to_string());
+        let s = trial_fields(&a);
+        assert!(s.contains("\"status\": \"panicked\""));
+        assert!(s.contains("\"attempts\": 9"));
+        assert!(s.contains("\"error\": \"boom \\\"quoted\\\"\""));
+        // A retried-but-recovered trial also surfaces its attempts.
+        let mut b = t("b", 1.0, 3.0);
+        b.attempts = 5;
+        assert!(trial_fields(&b).contains("\"status\": \"ok\", \"attempts\": 5"));
     }
 }

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use r3dla_bench::{parallel_map, Prepared};
+use r3dla_bench::{parallel_map, CellOutcome, CellStatus, Prepared, Supervisor};
 use r3dla_core::{
     DlaConfig, MeasureTarget, SingleCoreSim, SkeletonOptions, SkeletonSet, WindowReport,
 };
@@ -140,10 +140,27 @@ pub struct TrialSummary {
     /// Modeled energy per committed MT instruction, in nanojoules.
     pub epi_nj: f64,
     /// Paired per-interval speedup over `bl` (full-coverage trials
-    /// only).
+    /// only), over intervals where both sides measured cleanly.
     pub speedup: Option<MeanCi>,
-    /// Whether any interval committed zero MT instructions (sick cell).
+    /// Whether any clean interval committed zero MT instructions (sick
+    /// cell).
     pub any_empty: bool,
+    /// First non-[`CellStatus::Ok`] interval status (or `Ok`).
+    pub status: CellStatus,
+    /// Supervisor attempts summed over the trial's interval cells
+    /// (equals `intervals` for an all-clean trial).
+    pub attempts: u32,
+    /// First failed interval's error detail.
+    pub error: Option<String>,
+}
+
+impl TrialSummary {
+    /// Whether every interval of this trial measured cleanly on the
+    /// first attempt — clean rows omit the status fields so a faults-off
+    /// report is byte-identical to one from an unsupervised build.
+    pub fn is_clean(&self) -> bool {
+        self.status == CellStatus::Ok && self.attempts as usize <= self.intervals
+    }
 }
 
 /// One workload's search outcome.
@@ -182,6 +199,16 @@ impl WorkloadOutcome {
             .chain(self.trials.iter())
             .chain(self.eliminated.iter())
             .filter(|t| t.any_empty)
+            .collect()
+    }
+
+    /// Rows with a failed (panicked / timed-out / I/O-error) interval,
+    /// bl included.
+    pub fn failed_trials(&self) -> Vec<&TrialSummary> {
+        std::iter::once(&self.bl)
+            .chain(self.trials.iter())
+            .chain(self.eliminated.iter())
+            .filter(|t| t.status != CellStatus::Ok)
             .collect()
     }
 }
@@ -298,7 +325,44 @@ fn measure_with_energy<S: WarmTarget + MeasureTarget>(
     }
 }
 
-/// Evaluates one cell, consulting the cache first.
+/// One supervised interval-cell evaluation: the measured (or default,
+/// when every attempt failed) result plus the supervisor's verdict.
+#[derive(Debug, Clone)]
+struct CellEval {
+    result: IntervalResult,
+    status: CellStatus,
+    attempts: u32,
+    error: Option<String>,
+}
+
+impl CellEval {
+    fn from_outcome(o: CellOutcome<IntervalResult>) -> Self {
+        CellEval {
+            result: o.value.unwrap_or_default(),
+            status: o.status,
+            attempts: o.attempts,
+            error: o.error,
+        }
+    }
+}
+
+/// The content address of one `(workload, trial, interval)` cell.
+fn cell_cache_key(ctx: &WorkloadCtx, trial: &Trial, spec: &DseSpec, iv_index: usize) -> CacheKey {
+    CacheKey::cell(
+        &ctx.prepared.name,
+        ctx.fingerprint,
+        scale_name(spec.scale),
+        &spec.sample.label(),
+        iv_index,
+        &trial.trial_key,
+    )
+}
+
+/// Evaluates one cell, consulting the cache first. A cache-store
+/// failure is not the cell's failure — the result in hand is valid, the
+/// entry just will not persist — so it surfaces only through the
+/// cache's health counters, never in the (cache-state-independent)
+/// report.
 fn evaluate_cell(
     ctx: &WorkloadCtx,
     trial: &Trial,
@@ -306,14 +370,7 @@ fn evaluate_cell(
     iv_index: usize,
     cache: &ResultCache,
 ) -> IntervalResult {
-    let key = CacheKey::cell(
-        &ctx.prepared.name,
-        ctx.fingerprint,
-        scale_name(spec.scale),
-        &spec.sample.label(),
-        iv_index,
-        &trial.trial_key,
-    );
+    let key = cell_cache_key(ctx, trial, spec, iv_index);
     if let Some(hit) = cache.load(&key) {
         return hit;
     }
@@ -341,7 +398,7 @@ fn evaluate_cell(
             measure_with_energy(&mut sys, &spec.sample, iv)
         }
     };
-    cache.store(&key, &result);
+    let _ = cache.store(&key, &result);
     result
 }
 
@@ -355,19 +412,34 @@ fn baseline_key() -> String {
     )
 }
 
-fn summarize(trial: &Trial, results: &[IntervalResult], bl_ipcs: Option<&[f64]>) -> TrialSummary {
-    let ipcs: Vec<f64> = results.iter().map(|r| r.report.mt_ipc).collect();
-    let committed: u64 = results.iter().map(|r| r.report.mt_committed).sum();
-    let energy: f64 = results.iter().map(|r| r.energy_j).sum();
-    let speedup = bl_ipcs.filter(|b| b.len() == ipcs.len()).map(|b| {
-        let ratios: Vec<f64> = ipcs.iter().zip(b).map(|(&x, &y)| x / y.max(1e-9)).collect();
+/// Aggregates a trial's interval evaluations. Statistics cover only the
+/// cleanly measured intervals; failed ones surface through the status
+/// fields instead of poisoning the means with zeros. `bl` pairs each
+/// interval's baseline IPC with whether the baseline cell itself was
+/// clean — a speedup ratio needs both sides.
+fn summarize(trial: &Trial, evals: &[CellEval], bl: Option<&[(f64, bool)]>) -> TrialSummary {
+    let ok: Vec<&IntervalResult> = evals
+        .iter()
+        .filter(|e| e.status == CellStatus::Ok)
+        .map(|e| &e.result)
+        .collect();
+    let ipcs: Vec<f64> = ok.iter().map(|r| r.report.mt_ipc).collect();
+    let committed: u64 = ok.iter().map(|r| r.report.mt_committed).sum();
+    let energy: f64 = ok.iter().map(|r| r.energy_j).sum();
+    let speedup = bl.filter(|b| b.len() == evals.len()).map(|b| {
+        let ratios: Vec<f64> = evals
+            .iter()
+            .zip(b.iter())
+            .filter(|(e, (_, bl_ok))| e.status == CellStatus::Ok && *bl_ok)
+            .map(|(e, (y, _))| e.result.report.mt_ipc / y.max(1e-9))
+            .collect();
         mean_ci95(&ratios)
     });
     TrialSummary {
         id: trial.id.clone(),
         label: trial.label.clone(),
         incumbent: trial.incumbent,
-        intervals: results.len(),
+        intervals: evals.len(),
         ipc: mean_ci95(&ipcs),
         epi_nj: if committed == 0 {
             0.0
@@ -375,15 +447,37 @@ fn summarize(trial: &Trial, results: &[IntervalResult], bl_ipcs: Option<&[f64]>)
             energy / committed as f64 * 1e9
         },
         speedup,
-        any_empty: results.iter().any(|r| r.report.mt_committed == 0),
+        any_empty: ok.iter().any(|r| r.report.mt_committed == 0),
+        status: evals
+            .iter()
+            .map(|e| e.status)
+            .find(|&s| s != CellStatus::Ok)
+            .unwrap_or(CellStatus::Ok),
+        attempts: evals.iter().map(|e| e.attempts).sum(),
+        error: evals.iter().find_map(|e| e.error.clone()),
     }
+}
+
+/// Runs the whole search under the environment-configured supervisor
+/// (`R3DLA_FAULT_PLAN`, `R3DLA_CELL_DEADLINE_MS`,
+/// `R3DLA_CELL_CYCLE_BUDGET`); see [`run_dse_supervised`].
+pub fn run_dse(spec: &DseSpec, cache: &ResultCache, threads: usize) -> DseResult {
+    run_dse_supervised(spec, cache, threads, &Supervisor::from_env())
 }
 
 /// Runs the whole search: prepare + plan once per workload, then walk
 /// the space per the strategy with every cell measurement deduplicated
-/// through the cache. Byte-reproducible: the returned result (minus the
-/// stderr-only wall-clock fields) is a pure function of `spec`.
-pub fn run_dse(spec: &DseSpec, cache: &ResultCache, threads: usize) -> DseResult {
+/// through the cache and supervised — a panicking, runaway, or
+/// fault-injected interval cell becomes status fields on its trial row
+/// instead of killing the search. Byte-reproducible: the returned
+/// result (minus the stderr-only wall-clock fields) is a pure function
+/// of `spec` and the supervisor's fault plan.
+pub fn run_dse_supervised(
+    spec: &DseSpec,
+    cache: &ResultCache,
+    threads: usize,
+    sup: &Supervisor,
+) -> DseResult {
     let t0 = Instant::now();
     let prepared = parallel_map(&spec.workloads, threads, |w| Prepared::new(w, spec.scale));
     let prep_ms = t0.elapsed().as_millis() as u64;
@@ -470,8 +564,8 @@ pub fn run_dse(spec: &DseSpec, cache: &ResultCache, threads: usize) -> DseResult
 
     let t2 = Instant::now();
     let outcomes = match spec.strategy {
-        Strategy::Halving { .. } => run_halving(spec, cache, threads, &ctxs, &trials),
-        _ => run_flat(spec, cache, threads, &ctxs, &trials),
+        Strategy::Halving { .. } => run_halving(spec, cache, threads, sup, &ctxs, &trials),
+        _ => run_flat(spec, cache, threads, sup, &ctxs, &trials),
     };
     let measure_ms = t2.elapsed().as_millis() as u64;
 
@@ -493,6 +587,7 @@ fn run_flat(
     spec: &DseSpec,
     cache: &ResultCache,
     threads: usize,
+    sup: &Supervisor,
     ctxs: &[WorkloadCtx],
     trials: &[Vec<Trial>],
 ) -> Vec<WorkloadOutcome> {
@@ -504,20 +599,29 @@ fn run_flat(
             }
         }
     }
-    let measured = parallel_map(&cells, threads, |&(wi, ti, ii)| {
-        evaluate_cell(&ctxs[wi], &trials[wi][ti], spec, ii, cache)
-    });
-    let mut by_cell: std::collections::HashMap<(usize, usize), Vec<IntervalResult>> =
+    let measured = sup.map(
+        &cells,
+        threads,
+        |&(wi, ti, ii)| cell_cache_key(&ctxs[wi], &trials[wi][ti], spec, ii).descr,
+        |&(wi, ti, ii)| Ok(evaluate_cell(&ctxs[wi], &trials[wi][ti], spec, ii, cache)),
+    );
+    let mut by_cell: std::collections::HashMap<(usize, usize), Vec<CellEval>> =
         std::collections::HashMap::new();
-    for (&(wi, ti, _), r) in cells.iter().zip(measured) {
-        by_cell.entry((wi, ti)).or_default().push(r);
+    for (&(wi, ti, _), o) in cells.iter().zip(measured) {
+        by_cell
+            .entry((wi, ti))
+            .or_default()
+            .push(CellEval::from_outcome(o));
     }
     ctxs.iter()
         .enumerate()
         .map(|(wi, ctx)| {
             let results_of = |ti: usize| by_cell[&(wi, ti)].clone();
             let bl_results = results_of(0);
-            let bl_ipcs: Vec<f64> = bl_results.iter().map(|r| r.report.mt_ipc).collect();
+            let bl_ipcs: Vec<(f64, bool)> = bl_results
+                .iter()
+                .map(|e| (e.result.report.mt_ipc, e.status == CellStatus::Ok))
+                .collect();
             let bl = summarize(&trials[wi][0], &bl_results, None);
             let mut rows: Vec<TrialSummary> = (1..trials[wi].len())
                 .map(|ti| summarize(&trials[wi][ti], &results_of(ti), Some(&bl_ipcs)))
@@ -544,6 +648,7 @@ fn run_halving(
     spec: &DseSpec,
     cache: &ResultCache,
     threads: usize,
+    sup: &Supervisor,
     ctxs: &[WorkloadCtx],
     trials: &[Vec<Trial>],
 ) -> Vec<WorkloadOutcome> {
@@ -555,7 +660,7 @@ fn run_halving(
         .map(|list| (0..list.len()).collect())
         .collect();
     let mut eliminated_at: Vec<Vec<(usize, usize)>> = vec![Vec::new(); trials.len()];
-    let mut measured: std::collections::HashMap<(usize, usize, usize), IntervalResult> =
+    let mut measured: std::collections::HashMap<(usize, usize, usize), CellEval> =
         std::collections::HashMap::new();
     let mut interval_sims = vec![0usize; ctxs.len()];
 
@@ -573,12 +678,15 @@ fn run_halving(
                 }
             }
         }
-        let fresh = parallel_map(&cells, threads, |&(wi, ti, ii)| {
-            evaluate_cell(&ctxs[wi], &trials[wi][ti], spec, ii, cache)
-        });
-        for (&(wi, ti, ii), r) in cells.iter().zip(fresh) {
+        let fresh = sup.map(
+            &cells,
+            threads,
+            |&(wi, ti, ii)| cell_cache_key(&ctxs[wi], &trials[wi][ti], spec, ii).descr,
+            |&(wi, ti, ii)| Ok(evaluate_cell(&ctxs[wi], &trials[wi][ti], spec, ii, cache)),
+        );
+        for (&(wi, ti, ii), o) in cells.iter().zip(fresh) {
             interval_sims[wi] += 1;
-            measured.insert((wi, ti, ii), r);
+            measured.insert((wi, ti, ii), CellEval::from_outcome(o));
         }
         if m >= k_max {
             break;
@@ -586,11 +694,15 @@ fn run_halving(
         // Eliminate the worse half of the contestants per workload.
         for (wi, ctx) in ctxs.iter().enumerate() {
             let m_eff = m.min(ctx.plan.len());
+            // Rung means cover only clean intervals — a fault-injected
+            // zero must not decide an elimination.
             let means: std::collections::HashMap<usize, f64> = alive[wi]
                 .iter()
                 .map(|&ti| {
                     let ipcs: Vec<f64> = (0..m_eff)
-                        .map(|ii| measured[&(wi, ti, ii)].report.mt_ipc)
+                        .map(|ii| &measured[&(wi, ti, ii)])
+                        .filter(|e| e.status == CellStatus::Ok)
+                        .map(|e| e.result.report.mt_ipc)
                         .collect();
                     (ti, mean_ci95(&ipcs).mean)
                 })
@@ -623,12 +735,15 @@ fn run_halving(
     ctxs.iter()
         .enumerate()
         .map(|(wi, ctx)| {
-            let collect = |ti: usize, n: usize| -> Vec<IntervalResult> {
+            let collect = |ti: usize, n: usize| -> Vec<CellEval> {
                 (0..n).map(|ii| measured[&(wi, ti, ii)].clone()).collect()
             };
             let k_eff = ctx.plan.len();
             let bl_results = collect(0, k_eff);
-            let bl_ipcs: Vec<f64> = bl_results.iter().map(|r| r.report.mt_ipc).collect();
+            let bl_ipcs: Vec<(f64, bool)> = bl_results
+                .iter()
+                .map(|e| (e.result.report.mt_ipc, e.status == CellStatus::Ok))
+                .collect();
             let bl = summarize(&trials[wi][0], &bl_results, None);
             let mut rows: Vec<TrialSummary> = alive[wi]
                 .iter()

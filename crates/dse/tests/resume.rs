@@ -3,6 +3,7 @@
 //! run's report byte-for-byte, and every input that can change a
 //! measurement must move the cache key.
 
+use r3dla_bench::FaultPlan;
 use r3dla_dse::{run_dse, to_json, CacheKey, DseSpec, ResultCache, SearchSpace, Strategy};
 use r3dla_sample::SampleSpec;
 use r3dla_workloads::{by_name, Scale};
@@ -62,6 +63,61 @@ fn interrupted_search_resumes_byte_identically() {
 
     let _ = std::fs::remove_dir_all(&dir_a);
     let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+/// Satellite of the fault-tolerance PR: a search whose cache stores keep
+/// crashing (kill-mid-store orphans included) must still produce the
+/// reference report, and a later faults-off open must sweep the wreckage
+/// and resume byte-identically from whatever entries survived.
+#[test]
+fn store_crashes_never_corrupt_the_report_and_resume_heals() {
+    let spec = tiny_spec();
+
+    // Reference: clean run, cache disabled entirely.
+    let reference = to_json(&run_dse(&spec, &ResultCache::disabled(), 2));
+
+    // Chaos run: high injected rates of both store-crash (temp file
+    // written, process "dies" before the rename) and transient store
+    // i/o errors.
+    let dir = temp_dir("chaos");
+    let plan = FaultPlan::parse("seed=3:store_io=0.4:store_crash=0.4").unwrap();
+    let cache = ResultCache::at_with_plan(&dir, plan).unwrap();
+    let chaotic = to_json(&run_dse(&spec, &cache, 2));
+    assert_eq!(
+        reference, chaotic,
+        "store faults must never reach the report"
+    );
+    let health = cache.health();
+    assert!(health.store_errors > 0, "the plan must actually fire");
+    let orphans = || {
+        std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+            .count()
+    };
+    assert!(orphans() > 0, "injected crashes must leave temp files");
+    drop(cache);
+
+    // Drop in an extra orphan from a "foreign" pid; a faults-off
+    // re-open sweeps everything.
+    std::fs::write(dir.join("00000000deadbeef.tmp999"), "junk").unwrap();
+    let healed = ResultCache::at_with_plan(&dir, FaultPlan::default()).unwrap();
+    assert!(healed.health().swept_orphans > 0, "open must sweep orphans");
+    assert_eq!(orphans(), 0);
+
+    // Resume against the survivors: some hits, some re-simulations,
+    // byte-identical report.
+    let resumed = to_json(&run_dse(&spec, &healed, 2));
+    assert_eq!(reference, resumed, "healed resume must match the reference");
+    let (hits, misses) = healed.stats();
+    assert!(
+        hits > 0,
+        "resume must reuse entries that survived the chaos"
+    );
+    assert!(misses > 0, "resume must re-simulate the crashed stores");
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -99,7 +99,8 @@ pub fn plan_intervals(program: &Arc<Program>, spec: &SampleSpec) -> Vec<Interval
     let image = Arc::new(ImageMem::of(program.image()));
     // Pass 1: workload length.
     let mut probe = Emulator::with_image(Arc::clone(program), Arc::clone(&image));
-    let total = probe.run_to_halt(FF_CAP);
+    run_guarded(&mut probe, FF_CAP);
+    let total = probe.icount();
     // Interval starts: one per stride, centred so the measured window
     // sits mid-stride (falling back to the stride start when U ≥ stride).
     let k = spec.k as u64;
@@ -123,12 +124,19 @@ pub fn plan_intervals(program: &Arc<Program>, spec: &SampleSpec) -> Vec<Interval
         }
         prev_start = Some(start);
         let warm_begin = start.saturating_sub(warm_len).max(em.icount());
-        em.run(warm_begin - em.icount());
+        let ff = warm_begin - em.icount();
+        run_guarded(&mut em, ff);
+        if r3dla_core::guard::interrupted() {
+            break;
+        }
         let mut warm = Vec::new();
         if start > em.icount() {
             em.run_observed(start - em.icount(), |o| record_touches(o, &mut warm));
+            // Warmup streams are bounded (≤ the spec's functional-warmup
+            // length), so the observed stretch charges in one lump.
+            r3dla_core::guard::tick(start.saturating_sub(warm_begin));
         }
-        if em.halted() || em.icount() < start {
+        if em.halted() || em.icount() < start || r3dla_core::guard::interrupted() {
             break;
         }
         out.push(IntervalCheckpoint {
@@ -138,6 +146,26 @@ pub fn plan_intervals(program: &Arc<Program>, spec: &SampleSpec) -> Vec<Interval
         });
     }
     out
+}
+
+/// Functional-emulation chunk between cell-guard polls. Fast-forward
+/// charges one guard cycle per emulated instruction, so a supervised
+/// cell's cycle budget bounds planning the same way it bounds the
+/// detailed loops (see `r3dla_core::guard`).
+const GUARD_CHUNK: u64 = 1 << 20;
+
+/// Runs `n` functional instructions in guard-polled chunks; stops early
+/// on halt or when the installed cell guard interrupts.
+fn run_guarded(em: &mut Emulator, n: u64) {
+    let mut left = n;
+    while left > 0 && !em.halted() {
+        let chunk = left.min(GUARD_CHUNK);
+        let ran = em.run(chunk);
+        left -= chunk;
+        if r3dla_core::guard::tick(ran.max(1)) {
+            break;
+        }
+    }
 }
 
 /// Detailed settle window for functional warmup: after the cache/TLB

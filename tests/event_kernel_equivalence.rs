@@ -29,6 +29,9 @@ fn cell_row(p: &Prepared, config: &str, report: WindowReport) -> String {
         config: config.to_string(),
         report,
         wall_ms: 0,
+        status: r3dla_bench::CellStatus::Ok,
+        attempts: 1,
+        error: None,
     }
     .stat_fields()
 }
