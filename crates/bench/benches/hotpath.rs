@@ -3,7 +3,9 @@
 //! kernel — with and without event-driven cycle skipping, so the fast
 //! path's speedup is a number, not a vibe — and the sampled-simulation
 //! functional emulator, so fast-forward throughput regressions are
-//! pinned the same way.
+//! pinned the same way. The `obs` groups pin the telemetry layer's
+//! cost model: per-probe prices armed and disarmed, and disabled
+//! probes against the `Core::step` loop (must be in the noise).
 //!
 //! Run with `cargo bench -p r3dla-bench --bench hotpath`; passing
 //! `-- --test` (as the CI bench-smoke job does for compile checks) exits
@@ -256,12 +258,103 @@ fn bench_emulator(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_obs(c: &mut Criterion) {
+    // The telemetry layer's cost model, as numbers: a disabled probe
+    // must be one relaxed load (nanoseconds over 100k calls), an
+    // enabled span two clock reads plus a thread-local push.
+    let mut g = c.benchmark_group("obs");
+    g.sample_size(20);
+    g.bench_function("span_disabled_100k", |b| {
+        r3dla_obs::trace::set_recording(false);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..100_000u64 {
+                let sp = r3dla_obs::span!("bench", "span {i}");
+                acc += sp.is_none() as u64;
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("span_enabled_10k", |b| {
+        r3dla_obs::trace::set_recording(true);
+        b.iter(|| {
+            for i in 0..10_000u64 {
+                let _sp = r3dla_obs::span!("bench", "span {i}");
+                black_box(i);
+            }
+            // Drop the recorded events so the pool stays bounded.
+            r3dla_obs::trace::reset();
+        });
+        r3dla_obs::trace::set_recording(false);
+        r3dla_obs::trace::reset();
+    });
+    g.bench_function("counter_disabled_100k", |b| {
+        r3dla_obs::counters::set_enabled(false);
+        b.iter(|| {
+            for _ in 0..100_000u64 {
+                r3dla_obs::counters::add("bench.obs.cost", 1);
+            }
+            black_box(r3dla_obs::counters::get("bench.obs.cost"))
+        })
+    });
+    g.bench_function("counter_enabled_100k", |b| {
+        r3dla_obs::counters::set_enabled(true);
+        b.iter(|| {
+            for _ in 0..100_000u64 {
+                r3dla_obs::counters::add("bench.obs.cost", 1);
+            }
+            black_box(r3dla_obs::counters::get("bench.obs.cost"))
+        });
+        r3dla_obs::counters::set_enabled(false);
+        r3dla_obs::counters::reset();
+    });
+    g.finish();
+
+    // Disabled probes against the real hot loop: the same Core::step
+    // budget as the `core_step` group, chunked, with one disarmed span
+    // and counter per chunk — the two variants must be in the noise of
+    // each other (probe sites are free when telemetry is off).
+    let wl = by_name("libq_like").unwrap();
+    let mut g = c.benchmark_group("obs_disabled_overhead");
+    g.sample_size(10);
+    for (name, probed) in [
+        ("core_step_20k_plain", false),
+        ("core_step_20k_disabled_probes", true),
+    ] {
+        g.bench_function(name, |b| {
+            r3dla_obs::trace::set_recording(false);
+            r3dla_obs::counters::set_enabled(false);
+            let built = Rc::new(RefCell::new(wl.build(Scale::Tiny)));
+            b.iter(|| {
+                let mut sim = SingleCoreSim::build(
+                    &built.borrow(),
+                    CoreConfig::paper(),
+                    MemConfig::paper(),
+                    None,
+                    Some("bop"),
+                );
+                sim.set_fast_forward(true);
+                for chunk in 1..=20u64 {
+                    if probed {
+                        let _sp = r3dla_obs::span!("bench", "chunk {chunk}");
+                        r3dla_obs::counters::add("bench.obs.chunks", 1);
+                    }
+                    sim.run_until(chunk * 1_000, 2_000_000);
+                }
+                black_box(sim.core().committed(0))
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_vecmem,
     bench_core_step,
     bench_dla_system,
     bench_kernel,
-    bench_emulator
+    bench_emulator,
+    bench_obs
 );
 criterion_main!(benches);

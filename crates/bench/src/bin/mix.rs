@@ -4,8 +4,15 @@
 //!
 //! ```text
 //! mix [--scale tiny|train|ref] [--threads N] [--warm N] [--window N]
-//!     [--config dla|r3|...] [--pairs a+b,c+d] [--out FILE]
+//!     [--config dla|r3|...] [--pairs a+b,c+d] [--out FILE] [--progress]
 //! ```
+//!
+//! Telemetry (stderr/sidecar only, never the report): `--progress`
+//! prints a live done/total line; `R3DLA_TRACE=path` records a Chrome
+//! trace; `R3DLA_TELEMETRY=1` writes a `*.telemetry.json` sidecar next
+//! to `--out` (see `docs/OBSERVABILITY.md`). The sidecar carries the
+//! cluster kernel's dispatch counters (`kernel.dispatched`,
+//! `kernel.stale_dropped`).
 //!
 //! Each pair assembles two DLA systems over the *same*
 //! [`SharedLlc`] handle and pumps them through one kernel under one
@@ -22,7 +29,7 @@ use r3dla_bench::runner::{
     parallel_map, scale_by_name, scale_name, CellKind, CellResult, ConfigSpec,
 };
 use r3dla_bench::supervise::CellStatus;
-use r3dla_bench::{arg_str, arg_threads, arg_u64, Prepared, Supervisor, WARMUP, WINDOW};
+use r3dla_bench::{arg_flag, arg_str, arg_threads, arg_u64, Prepared, Supervisor, WARMUP, WINDOW};
 use r3dla_core::{Cluster, DlaConfig};
 use r3dla_mem::SharedLlc;
 use r3dla_workloads::{by_name, Scale, Workload};
@@ -100,6 +107,11 @@ fn main() {
     // rows instead of killing the whole mix.
     let sup = Supervisor::from_env();
     let scale_label = scale_name(scale);
+    let session = r3dla_obs::Session::from_env();
+    if arg_flag("--progress") {
+        r3dla_obs::progress::start("mix", pairs.len());
+    }
+    let t_measure = std::time::Instant::now();
     let outcomes = sup.map(
         &pairs,
         threads,
@@ -117,9 +129,15 @@ fn main() {
             }
             let t0 = std::time::Instant::now();
             let reports = cluster.measure_each(warm, win);
+            if r3dla_obs::counters::enabled() {
+                let ks = cluster.kernel_stats();
+                r3dla_obs::counters::add("kernel.dispatched", ks.dispatched);
+                r3dla_obs::counters::add("kernel.stale_dropped", ks.stale_dropped);
+            }
             Ok((reports, t0.elapsed().as_millis() as u64))
         },
     );
+    let measure_ms = t_measure.elapsed().as_millis() as u64;
     let rows: Vec<Vec<CellResult>> = pairs
         .iter()
         .zip(outcomes)
@@ -180,15 +198,25 @@ fn main() {
     }
     out.push_str("  ]\n}\n");
 
-    match arg_str("--out") {
+    let out_path = arg_str("--out");
+    match &out_path {
         Some(path) => {
-            std::fs::write(&path, &out).unwrap_or_else(|e| {
+            std::fs::write(path, &out).unwrap_or_else(|e| {
                 eprintln!("cannot write {path}: {e}");
                 std::process::exit(2);
             });
             eprintln!("mix: wrote {path}");
         }
         None => print!("{out}"),
+    }
+    let committed: u64 = rows
+        .iter()
+        .flatten()
+        .map(|c| c.report.mt_committed + c.report.lt_committed)
+        .sum();
+    let mips = (measure_ms > 0).then(|| committed as f64 / (measure_ms as f64 * 1e3));
+    if let Err(e) = session.finalize(out_path.as_deref().map(std::path::Path::new), mips) {
+        eprintln!("mix: telemetry write failed: {e}");
     }
     if failed {
         std::process::exit(1);

@@ -5,9 +5,14 @@
 //! runner [--scale tiny|train|ref] [--threads N] [--warm N] [--window N]
 //!        [--workloads a,b,c] [--configs bl,dla,r3,...] [--out FILE]
 //!        [--timing] [--timing-out FILE] [--no-skip]
-//!        [--filter W[/C]] [--list]
+//!        [--filter W[/C]] [--list] [--progress]
 //!        [--sample k:U:W] [--check-against FILE] [--check-tolerance T]
 //! ```
+//!
+//! Telemetry (stderr/sidecar only, never the report): `--progress`
+//! prints a live done/total line; `R3DLA_TRACE=path` records a Chrome
+//! trace; `R3DLA_TELEMETRY=1` writes a `*.telemetry.json` sidecar next
+//! to `--out` (see `docs/OBSERVABILITY.md`).
 //!
 //! The default JSON is byte-identical across `--threads` settings and
 //! across `--no-skip` (which disables the behavior-preserving
@@ -143,10 +148,23 @@ fn main() {
         }
         None => print!("{json}"),
     };
+    let session = r3dla_obs::Session::from_env();
+    let finalize = |mips: Option<f64>| {
+        let out = arg_str("--out");
+        if let Err(e) = session.finalize(out.as_deref().map(std::path::Path::new), mips) {
+            eprintln!("runner: telemetry write failed: {e}");
+        }
+    };
 
     if let Some(sample) = sample {
+        if arg_flag("--progress") {
+            // Upper bound: short workloads may plan fewer than k intervals.
+            let cells = spec.workloads.len() * spec.configs.len() * sample.k;
+            r3dla_obs::progress::start("sampled", cells);
+        }
         let result = run_grid_sampled(&spec, &sample, threads);
         write_out(&result.to_json(arg_flag("--timing")));
+        finalize(None);
         if let Some(path) = arg_str("--timing-out") {
             std::fs::write(&path, result.to_json(true)).unwrap_or_else(|e| {
                 eprintln!("cannot write {path}: {e}");
@@ -209,6 +227,9 @@ fn main() {
         return;
     }
 
+    if arg_flag("--progress") {
+        r3dla_obs::progress::start("grid", spec.workloads.len() * spec.configs.len());
+    }
     let result = run_grid(&spec, threads);
     write_out(&result.to_json(arg_flag("--timing")));
     if let Some(path) = arg_str("--timing-out") {
@@ -218,6 +239,7 @@ fn main() {
         });
         eprintln!("runner: wrote {path} (timing variant)");
     }
+    finalize(Some(result.sim_mips()));
     eprintln!(
         "runner: prepared in {} ms, measured {} cells in {} ms ({:.2} simulated MIPS)",
         result.prep_ms,

@@ -74,6 +74,7 @@ const _: () = {
 impl Prepared {
     /// Profiles and generates skeletons for one workload.
     pub fn new(w: &Workload, scale: Scale) -> Self {
+        let _sp = r3dla_obs::span!("prepare", "{}", w.name);
         let built = w.build(scale);
         let program = Arc::new(built.program.clone());
         let df = Dataflow::analyze(&program);

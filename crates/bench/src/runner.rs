@@ -48,29 +48,36 @@ where
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     type Panic = (usize, Box<dyn std::any::Any + Send>);
     let panicked: Mutex<Option<Panic>> = Mutex::new(None);
+    let wseq = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+            s.spawn(|| {
+                if r3dla_obs::trace::enabled() {
+                    let w = wseq.fetch_add(1, Ordering::Relaxed);
+                    r3dla_obs::trace::name_thread(format!("map-worker-{w}"));
                 }
-                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&items[i]))) {
-                    Ok(r) => *slots[i].lock().unwrap() = Some(r),
-                    Err(payload) => {
-                        let mut first = panicked.lock().unwrap();
-                        if first.is_none() {
-                            *first = Some((i, payload));
-                        }
-                        next.store(items.len(), Ordering::Relaxed);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
                         break;
+                    }
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&items[i]))) {
+                        Ok(r) => *slots[i].lock().unwrap() = Some(r),
+                        Err(payload) => {
+                            let mut first = panicked.lock().unwrap();
+                            if first.is_none() {
+                                *first = Some((i, payload));
+                            }
+                            next.store(items.len(), Ordering::Relaxed);
+                            break;
+                        }
                     }
                 }
             });
         }
     });
     if let Some((i, payload)) = panicked.into_inner().unwrap() {
-        eprintln!("parallel_map: worker panicked on item {i}");
+        r3dla_obs::diag!("parallel_map: worker panicked on item {i}");
         std::panic::resume_unwind(payload);
     }
     slots

@@ -174,7 +174,7 @@ impl FaultPlan {
             Ok(s) if !s.is_empty() => match Self::parse(&s) {
                 Ok(plan) => plan,
                 Err(e) => {
-                    eprintln!("R3DLA_FAULT_PLAN: {e}");
+                    r3dla_obs::diag!("R3DLA_FAULT_PLAN: {e}");
                     std::process::exit(2);
                 }
             },
@@ -328,6 +328,7 @@ impl Supervisor {
         F: Fn(&T) -> Result<R, String> + Sync,
     {
         let threads = threads.max(1).min(items.len().max(1));
+        r3dla_obs::counters::add("supervisor.cells", items.len() as u64);
         let watchdog = Watchdog::new(self.cfg.deadline_ms.map(Duration::from_millis));
         if threads <= 1 {
             // Serial path. The watchdog still needs its patrol thread —
@@ -348,14 +349,21 @@ impl Supervisor {
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<CellOutcome<R>>>> =
             items.iter().map(|_| Mutex::new(None)).collect();
+        let wseq = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             let mut workers = Vec::with_capacity(threads);
             for _ in 0..threads {
-                workers.push(scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(item) = items.get(i) else { break };
-                    let outcome = self.run_cell_watched(&key_of(item), item, &f, &watchdog);
-                    *slots[i].lock().unwrap() = Some(outcome);
+                workers.push(scope.spawn(|| {
+                    if r3dla_obs::trace::enabled() {
+                        let w = wseq.fetch_add(1, Ordering::Relaxed);
+                        r3dla_obs::trace::name_thread(format!("worker-{w}"));
+                    }
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        let outcome = self.run_cell_watched(&key_of(item), item, &f, &watchdog);
+                        *slots[i].lock().unwrap() = Some(outcome);
+                    }
                 }));
             }
             let patrol = watchdog.armed().then(|| scope.spawn(|| watchdog.patrol()));
@@ -382,6 +390,10 @@ impl Supervisor {
         watchdog: &Watchdog,
     ) -> CellOutcome<R> {
         if let Some(p) = self.quarantine.lock().unwrap().get(key) {
+            if r3dla_obs::trace::enabled() {
+                r3dla_obs::trace::instant("supervisor", format!("quarantine-replay {key}"));
+            }
+            note_outcome(p.status, true);
             return CellOutcome {
                 value: None,
                 status: p.status,
@@ -394,21 +406,39 @@ impl Supervisor {
         loop {
             attempt += 1;
             match self.attempt(key, item, f, watchdog, attempt) {
-                Ok(value) => return CellOutcome::ok(value, attempt),
+                Ok(value) => {
+                    note_outcome(CellStatus::Ok, false);
+                    return CellOutcome::ok(value, attempt);
+                }
                 Err((status, error)) => {
                     let transient = matches!(status, CellStatus::Panicked | CellStatus::IoError);
                     first_failure.get_or_insert((status, error));
                     if transient && attempt < self.cfg.max_attempts {
+                        r3dla_obs::counters::add("supervisor.retries", 1);
+                        if r3dla_obs::trace::enabled() {
+                            r3dla_obs::trace::instant(
+                                "supervisor",
+                                format!("retry {key} ({})", status.label()),
+                            );
+                        }
                         let shift = (attempt - 1).min(6);
                         std::thread::sleep(Duration::from_millis(self.cfg.backoff_ms << shift));
                         continue;
                     }
                     let (status, error) = first_failure.expect("failure recorded above");
-                    eprintln!(
+                    r3dla_obs::diag!(
                         "supervise: quarantining cell `{key}` after {attempt} attempt(s): \
                          {} ({error})",
                         status.label()
                     );
+                    r3dla_obs::counters::add("supervisor.quarantined", 1);
+                    if r3dla_obs::trace::enabled() {
+                        r3dla_obs::trace::instant(
+                            "supervisor",
+                            format!("quarantine {key} ({})", status.label()),
+                        );
+                    }
+                    note_outcome(status, false);
                     self.quarantine.lock().unwrap().insert(
                         key.to_string(),
                         Poisoned {
@@ -450,6 +480,14 @@ impl Supervisor {
             ));
         }
         let inject_panic = plan.fires(FaultKind::Panic, key, attempt);
+        // Per-attempt cell span: the supervisor is the one place every
+        // campaign's cells funnel through, so the trace gets a
+        // per-worker, per-cell timeline without per-campaign plumbing.
+        let _sp = if attempt > 1 {
+            r3dla_obs::span!("cell", "{key}#a{attempt}")
+        } else {
+            r3dla_obs::span!("cell", "{key}")
+        };
         let slot = watchdog.register();
         let token = slot.as_ref().map(|(_, t)| Arc::clone(t));
         let caught = {
@@ -486,6 +524,29 @@ impl Supervisor {
             Err(payload) => Err((CellStatus::Panicked, panic_message(payload.as_ref()))),
         }
     }
+}
+
+/// Records a finished cell in the telemetry layer: outcome tally
+/// counters (tied to the cell, so aggregation is deterministic across
+/// `--threads`) and one progress tick. Quarantine replays tally
+/// separately so a short-circuited poison cell is distinguishable from
+/// a fresh failure.
+fn note_outcome(status: CellStatus, replay: bool) {
+    if r3dla_obs::counters::enabled() {
+        if replay {
+            r3dla_obs::counters::add("supervisor.quarantine_replays", 1);
+        }
+        r3dla_obs::counters::add(
+            match status {
+                CellStatus::Ok => "supervisor.ok",
+                CellStatus::Panicked => "supervisor.panicked",
+                CellStatus::TimedOut => "supervisor.timed_out",
+                CellStatus::IoError => "supervisor.io_error",
+            },
+            1,
+        );
+    }
+    r3dla_obs::progress::tick(1);
 }
 
 /// Extracts the human-readable message from a panic payload.

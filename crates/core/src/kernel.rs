@@ -231,6 +231,25 @@ pub struct Kernel {
     armed: Vec<bool>,
     live: usize,
     now: u64,
+    // Dispatch accounting (plain fields, not atomics: the kernel is
+    // single-threaded and these must cost nothing). Surfaced through
+    // [`stats`](Self::stats) for the telemetry sidecar.
+    dispatched: u64,
+    stale_dropped: u64,
+}
+
+/// Dispatch counters for one [`Kernel`], or accumulated across a
+/// [`Cluster`]'s run phases: how many live wakeups were dispatched and
+/// how many stale events (re-armed or cancelled wakeups) were drained
+/// and dropped on the way. The ratio is a direct health signal for the
+/// calendar queue — a high stale fraction means actors re-arm far more
+/// often than they fire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Live events returned by [`Kernel::pop`].
+    pub dispatched: u64,
+    /// Stale events consumed and skipped while hunting for live ones.
+    pub stale_dropped: u64,
 }
 
 impl Default for Kernel {
@@ -248,6 +267,16 @@ impl Kernel {
             armed: Vec::new(),
             live: 0,
             now: 0,
+            dispatched: 0,
+            stale_dropped: 0,
+        }
+    }
+
+    /// Dispatch accounting since construction.
+    pub fn stats(&self) -> KernelStats {
+        KernelStats {
+            dispatched: self.dispatched,
+            stale_dropped: self.stale_dropped,
         }
     }
 
@@ -311,8 +340,10 @@ impl Kernel {
                 self.live -= 1;
                 debug_assert!(time >= self.now, "calendar queue went backwards");
                 self.now = time;
+                self.dispatched += 1;
                 return Some((time, actor));
             }
+            self.stale_dropped += 1;
         }
         debug_assert_eq!(self.live, 0);
         None
@@ -390,6 +421,7 @@ struct TenantState {
 pub struct Cluster<T> {
     tenants: Vec<T>,
     shared: Option<Rc<RefCell<SharedLlc>>>,
+    kstats: KernelStats,
 }
 
 impl<T> Default for Cluster<T> {
@@ -404,6 +436,7 @@ impl<T> Cluster<T> {
         Self {
             tenants: Vec::new(),
             shared: None,
+            kstats: KernelStats::default(),
         }
     }
 
@@ -414,7 +447,15 @@ impl<T> Cluster<T> {
         Self {
             tenants: Vec::new(),
             shared: Some(shared),
+            kstats: KernelStats::default(),
         }
+    }
+
+    /// Dispatch accounting accumulated over every run/measure phase of
+    /// this cluster (each phase pumps a fresh [`Kernel`]; totals add
+    /// up here). Telemetry-only — never feeds report bytes.
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.kstats
     }
 
     /// Adds a tenant; returns its index (dispatch id and report order).
@@ -491,6 +532,9 @@ impl<T: KernelActor> Cluster<T> {
             }
             kernel.schedule(i, next);
         }
+        let s = kernel.stats();
+        self.kstats.dispatched += s.dispatched;
+        self.kstats.stale_dropped += s.stale_dropped;
         debug_assert!(crate::guard::interrupted() || states.iter().all(|s| s.done));
     }
 

@@ -52,7 +52,9 @@ mod value_reuse;
 
 pub use dataflow::{BitSet, Dataflow};
 pub use guard::{CellGuard, Interrupt};
-pub use kernel::{event_kernel_default, ActorId, Cluster, EventQueue, Kernel, KernelActor};
+pub use kernel::{
+    event_kernel_default, ActorId, Cluster, EventQueue, Kernel, KernelActor, KernelStats,
+};
 pub use limit::{ilp_limit, LimitModel, LimitResult};
 pub use overlay::OverlayMem;
 pub use profile::{dynamic_length, profile, profile_functional, profile_timing, ProfileData};

@@ -223,7 +223,8 @@ impl ResultCache {
         std::fs::create_dir_all(&dir)?;
         let swept = sweep_orphans(&dir);
         if swept > 0 {
-            eprintln!("r3dla-dse: swept {swept} orphaned cache temp file(s)");
+            r3dla_obs::diag!("r3dla-dse: swept {swept} orphaned cache temp file(s)");
+            r3dla_obs::counters::add("dse.cache.swept_orphans", swept as u64);
         }
         Ok(Self::new(Some(dir), swept, plan))
     }
@@ -254,10 +255,12 @@ impl ResultCache {
         match loaded {
             Some(r) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                r3dla_obs::counters::add("dse.cache.hits", 1);
                 Some(r)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                r3dla_obs::counters::add("dse.cache.misses", 1);
                 None
             }
         }
@@ -265,13 +268,14 @@ impl ResultCache {
 
     fn quarantine_corrupt(&self, path: &Path) {
         self.corrupt.fetch_add(1, Ordering::Relaxed);
+        r3dla_obs::counters::add("dse.cache.corrupt", 1);
         let mut quarantined = path.as_os_str().to_os_string();
         quarantined.push(".corrupt");
         if std::fs::rename(path, &quarantined).is_err() {
             // Removal still unblocks the key for a fresh store.
             let _ = std::fs::remove_file(path);
         }
-        eprintln!(
+        r3dla_obs::diag!(
             "r3dla-dse: quarantined corrupt cache entry {}",
             path.display()
         );
@@ -294,6 +298,7 @@ impl ResultCache {
         if self.plan.fires(FaultKind::StoreCrash, &key.descr, 1) {
             let _ = std::fs::write(&tmp, result.serialize(key).as_bytes());
             self.store_errors.fetch_add(1, Ordering::Relaxed);
+            r3dla_obs::counters::add("dse.cache.store_errors", 1);
             return Err(std::io::Error::other("injected store crash"));
         }
         let mut last_err = None;
@@ -319,7 +324,8 @@ impl ResultCache {
         }
         let e = last_err.expect("loop always records an error before exiting");
         self.store_errors.fetch_add(1, Ordering::Relaxed);
-        eprintln!(
+        r3dla_obs::counters::add("dse.cache.store_errors", 1);
+        r3dla_obs::diag!(
             "r3dla-dse: cache write failed for {} after retry: {e}",
             key.file_name()
         );

@@ -6,8 +6,15 @@
 //!           [--workloads a,b,c] [--sample k:U:W]
 //!           [--space quick|full] [--strategy exhaustive|random|halving]
 //!           [--budget N] [--seed S]
-//!           [--cache DIR] [--no-cache] [--out FILE] [--no-skip] [--list]
+//!           [--cache DIR] [--no-cache] [--out FILE] [--no-skip]
+//!           [--progress] [--list]
 //! ```
+//!
+//! Telemetry (stderr/sidecar only, never the report): `--progress`
+//! prints a live done/total line with the cache hit rate;
+//! `R3DLA_TRACE=path` records a Chrome trace; `R3DLA_TELEMETRY=1`
+//! writes a `*.telemetry.json` sidecar next to `--out` (see
+//! `docs/OBSERVABILITY.md`).
 //!
 //! Writes the deterministic `r3dla-dse-v1` report JSON to `--out` (or
 //! stdout) and a human summary to stderr. Every measured cell lands in
@@ -107,17 +114,29 @@ fn main() {
         spec.sample.label()
     );
 
+    let session = r3dla_obs::Session::from_env();
+    if arg_flag("--progress") {
+        // Planned cell count: every candidate plus the bl baseline, k
+        // intervals each. Halving may finish early (eliminations skip
+        // cells), so this is an upper bound for the meter.
+        let cells = spec.workloads.len() * (n_candidates + 1) * spec.sample.k;
+        r3dla_obs::progress::start("dse", cells);
+    }
     let result = run_dse(&spec, &cache, threads);
     let json = r3dla_dse::to_json(&result);
-    match arg_str("--out") {
+    let out = arg_str("--out");
+    match &out {
         Some(path) => {
-            std::fs::write(&path, &json).unwrap_or_else(|e| {
+            std::fs::write(path, &json).unwrap_or_else(|e| {
                 eprintln!("cannot write {path}: {e}");
                 std::process::exit(2);
             });
             eprintln!("r3dla-dse: wrote {path}");
         }
         None => print!("{json}"),
+    }
+    if let Err(e) = session.finalize(out.as_deref().map(std::path::Path::new), None) {
+        eprintln!("r3dla-dse: telemetry write failed: {e}");
     }
     let (hits, misses) = cache.stats();
     eprintln!(

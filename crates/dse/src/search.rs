@@ -371,7 +371,15 @@ fn evaluate_cell(
     cache: &ResultCache,
 ) -> IntervalResult {
     let key = cell_cache_key(ctx, trial, spec, iv_index);
-    if let Some(hit) = cache.load(&key) {
+    let hit = {
+        let _sp = r3dla_obs::span!("cache", "load {:016x}", key.hash);
+        cache.load(&key)
+    };
+    if r3dla_obs::progress::active() {
+        let (h, m) = cache.stats();
+        r3dla_obs::progress::set_extra(format!("cache {h}/{} hit", h + m));
+    }
+    if let Some(hit) = hit {
         return hit;
     }
     let iv = &ctx.plan[iv_index];
@@ -398,7 +406,10 @@ fn evaluate_cell(
             measure_with_energy(&mut sys, &spec.sample, iv)
         }
     };
-    let _ = cache.store(&key, &result);
+    {
+        let _sp = r3dla_obs::span!("cache", "store {:016x}", key.hash);
+        let _ = cache.store(&key, &result);
+    }
     result
 }
 

@@ -1088,6 +1088,22 @@ pub struct BlockCache {
     /// Branch PC of the current consecutive-exit run, and its length.
     exit_run_pc: u64,
     exit_run: u32,
+    // Demand-decode accounting, bumped only off the one-compare hit
+    // path (see `miss`). Telemetry-only; surfaced via `stats`.
+    map_probes: u64,
+    decodes: u64,
+}
+
+/// Demand-decode statistics for a [`BlockCache`]: how often dispatch
+/// fell through the direct-mapped recent table to the PC→slot map, and
+/// how many traces were decoded or re-decoded (prediction-hint
+/// staleness included). Telemetry-only — never feeds report bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockCacheStats {
+    /// Recent-table misses that consulted the PC→slot hash map.
+    pub map_probes: u64,
+    /// Traces decoded or re-decoded into the arena.
+    pub decodes: u64,
 }
 
 impl Default for BlockCache {
@@ -1101,6 +1117,8 @@ impl Default for BlockCache {
             hints: FxHashMap::default(),
             exit_run_pc: NO_PC,
             exit_run: 0,
+            map_probes: 0,
+            decodes: 0,
         }
     }
 }
@@ -1127,12 +1145,14 @@ impl BlockCache {
     /// (or re-decoding a trace made stale by new prediction hints), and
     /// refill the way.
     fn miss(&mut self, prog: &Program, pc: u64, way: usize) -> usize {
+        self.map_probes += 1;
         let slot = match self.map.get(&pc) {
             Some(&slot) => {
                 if self.gens[slot as usize] != self.gen {
                     let b = decode_block_hinted(prog, pc, &self.hints);
                     self.arena[slot as usize] = b;
                     self.gens[slot as usize] = self.gen;
+                    self.decodes += 1;
                 }
                 slot
             }
@@ -1141,11 +1161,20 @@ impl BlockCache {
                 self.arena.push(decode_block_hinted(prog, pc, &self.hints));
                 self.gens.push(self.gen);
                 self.map.insert(pc, slot);
+                self.decodes += 1;
                 slot
             }
         };
         self.recent[way] = (pc, slot);
         slot as usize
+    }
+
+    /// Demand-decode accounting since construction.
+    pub fn stats(&self) -> BlockCacheStats {
+        BlockCacheStats {
+            map_probes: self.map_probes,
+            decodes: self.decodes,
+        }
     }
 
     /// The trace entered at `pc`, decoding it on first use.

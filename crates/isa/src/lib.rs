@@ -44,7 +44,9 @@ mod inst;
 mod program;
 
 pub use asm::{Asm, AsmError, DataBuilder};
-pub use block::{decode_block, exec_uops, BlockCache, DecodedBlock, Terminator, Uop};
+pub use block::{
+    decode_block, exec_uops, BlockCache, BlockCacheStats, DecodedBlock, Terminator, Uop,
+};
 pub use checkpoint::{ArchCheckpoint, Page, PAGE_WORDS};
 pub use exec::{
     eval_alu, eval_cond, exec_inst, mem_addr, run, step, ArchState, DataMem, ExecError, MemKind,

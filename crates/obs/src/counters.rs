@@ -1,0 +1,182 @@
+//! Named monotonic counters and gauges.
+//!
+//! Counters live in a process-global registry keyed by `&'static str`
+//! name. A [`Counter`] handle resolves its registry slot once and then
+//! bumps a leaked [`AtomicU64`] with relaxed ordering — after the
+//! first touch there is no lock on the increment path. The free
+//! functions ([`add`], [`set`]) lock the registry per call and suit
+//! cold sites.
+//!
+//! **Determinism contract:** every increment must be tied to a work
+//! item (a cell, a cache probe, a retry attempt) — never to a thread
+//! identity or a clock. Relaxed atomic addition is commutative, so the
+//! final [`snapshot`] is byte-identical across `--threads` for the
+//! same inputs; the telemetry sidecar's deterministic section relies
+//! on this (covered by `crates/bench/tests/obs_telemetry.rs`).
+//!
+//! When disabled (the default) every probe returns after one relaxed
+//! [`AtomicBool`] load.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<BTreeMap<&'static str, &'static AtomicU64>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<&'static str, &'static AtomicU64>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Whether counter recording is armed (one relaxed load).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Arms or disarms counter recording.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Resolves (interning on first use) the slot for `name`. The slot is
+/// leaked so handles can be `'static` and increments lock-free.
+fn intern(name: &'static str) -> &'static AtomicU64 {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    reg.entry(name)
+        .or_insert_with(|| Box::leak(Box::new(AtomicU64::new(0))))
+}
+
+/// A named counter handle for hot sites: resolves its registry slot on
+/// first use, then increments are a relaxed `fetch_add` with no lock.
+///
+/// ```
+/// static CELLS: r3dla_obs::counters::Counter =
+///     r3dla_obs::counters::Counter::new("cells.completed");
+/// CELLS.bump();
+/// ```
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    slot: OnceLock<&'static AtomicU64>,
+}
+
+impl Counter {
+    /// A handle for the counter named `name` (registered lazily).
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            slot: OnceLock::new(),
+        }
+    }
+
+    /// Adds `n`; no-op (one atomic load) when counters are disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        self.slot
+            .get_or_init(|| intern(self.name))
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1; no-op when counters are disabled.
+    #[inline]
+    pub fn bump(&self) {
+        self.add(1);
+    }
+}
+
+/// Adds `n` to the counter named `name` (cold path: locks the
+/// registry). No-op when counters are disabled.
+pub fn add(name: &'static str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    intern(name).fetch_add(n, Ordering::Relaxed);
+}
+
+/// Overwrites the gauge named `name` with `v` (cold path). Gauges and
+/// counters share the registry; a gauge's last write wins, so only
+/// store values that are deterministic across thread interleavings.
+pub fn set(name: &'static str, v: u64) {
+    if !enabled() {
+        return;
+    }
+    intern(name).store(v, Ordering::Relaxed);
+}
+
+/// Current value of `name` (0 when never registered). Reads succeed
+/// even while disabled so progress lines can render final tallies.
+pub fn get(name: &str) -> u64 {
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    reg.get(name).map_or(0, |c| c.load(Ordering::Relaxed))
+}
+
+/// Sorted snapshot of every registered counter. The iteration order
+/// (BTreeMap, name-sorted) makes downstream rendering deterministic.
+pub fn snapshot() -> BTreeMap<&'static str, u64> {
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    reg.iter()
+        .map(|(k, v)| (*k, v.load(Ordering::Relaxed)))
+        .collect()
+}
+
+/// Zeroes every registered counter (test hook; registration and the
+/// enabled flag are untouched).
+pub fn reset() {
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    for c in reg.values() {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_counters_do_not_register() {
+        let _g = crate::test_gate();
+        set_enabled(false);
+        static C: Counter = Counter::new("test.disabled.never");
+        C.bump();
+        add("test.disabled.never2", 5);
+        assert_eq!(get("test.disabled.never"), 0);
+        assert!(!snapshot().contains_key("test.disabled.never"));
+    }
+
+    #[test]
+    fn handles_and_free_functions_share_slots() {
+        let _g = crate::test_gate();
+        set_enabled(true);
+        static C: Counter = Counter::new("test.shared.slot");
+        C.add(2);
+        add("test.shared.slot", 3);
+        assert_eq!(get("test.shared.slot"), 5);
+        set("test.shared.slot", 7);
+        assert_eq!(snapshot()["test.shared.slot"], 7);
+        set_enabled(false);
+        reset();
+    }
+
+    #[test]
+    fn concurrent_bumps_sum_exactly() {
+        let _g = crate::test_gate();
+        set_enabled(true);
+        static C: Counter = Counter::new("test.concurrent.sum");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        C.bump();
+                    }
+                });
+            }
+        });
+        assert_eq!(get("test.concurrent.sum"), 4000);
+        set_enabled(false);
+        reset();
+    }
+}

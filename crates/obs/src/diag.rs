@@ -1,0 +1,116 @@
+//! Uniform, whole-line stderr diagnostics.
+//!
+//! The campaign layers used to `eprintln!` directly from worker
+//! threads, which interleaves under `--threads` and is invisible to
+//! tests. [`emit`] (via the [`diag!`](crate::diag!) macro) writes each
+//! line under a single stderr lock so lines never garble, supports a
+//! per-key rate limit for repetitive warnings ([`emit_limited`]), and
+//! can be redirected into an in-memory capture buffer for assertions
+//! ([`capture_start`] / [`capture_take`]).
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+static CAPTURING: AtomicBool = AtomicBool::new(false);
+static CAPTURE: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+fn limits() -> &'static Mutex<HashMap<&'static str, u64>> {
+    static LIMITS: OnceLock<Mutex<HashMap<&'static str, u64>>> = OnceLock::new();
+    LIMITS.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Emits one whole diagnostic line (no trailing newline needed).
+/// Lines go to stderr under a single lock, or to the capture buffer
+/// when a test has called [`capture_start`].
+pub fn emit(line: &str) {
+    if CAPTURING.load(Ordering::Relaxed) {
+        CAPTURE
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(line.to_string());
+        return;
+    }
+    let stderr = std::io::stderr();
+    let mut out = stderr.lock();
+    let _ = writeln!(out, "{line}");
+}
+
+/// Emits `line` at most `max` times for the given `key`; the first
+/// suppressed occurrence emits a one-line notice instead. Use for
+/// warnings that can repeat per cell (cache sweeps, store retries).
+pub fn emit_limited(key: &'static str, max: u64, line: &str) {
+    let seen = {
+        let mut map = limits().lock().unwrap_or_else(|e| e.into_inner());
+        let n = map.entry(key).or_insert(0);
+        *n += 1;
+        *n
+    };
+    if seen <= max {
+        emit(line);
+    } else if seen == max + 1 {
+        emit(&format!(
+            "[diag] {key}: further messages suppressed (limit {max})"
+        ));
+    }
+}
+
+/// Redirects subsequent [`emit`] calls into an in-memory buffer
+/// (clearing any previous capture). Test hook; process-global.
+pub fn capture_start() {
+    CAPTURE.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    CAPTURING.store(true, Ordering::Relaxed);
+}
+
+/// Stops capturing and returns the captured lines.
+pub fn capture_take() -> Vec<String> {
+    CAPTURING.store(false, Ordering::Relaxed);
+    std::mem::take(&mut CAPTURE.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+/// Clears all per-key rate-limit state (test hook).
+pub fn reset_limits() {
+    limits().lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+/// Formats and emits one diagnostic line through the shared sink.
+///
+/// ```
+/// r3dla_obs::diag!("[cache] swept {} orphan files", 3);
+/// ```
+#[macro_export]
+macro_rules! diag {
+    ($($fmt:tt)+) => {
+        $crate::diag::emit(&format!($($fmt)+))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_sees_emitted_lines() {
+        let _g = crate::test_gate();
+        capture_start();
+        emit("hello");
+        crate::diag!("world {}", 42);
+        let got = capture_take();
+        assert_eq!(got, vec!["hello".to_string(), "world 42".to_string()]);
+    }
+
+    #[test]
+    fn rate_limit_suppresses_after_max() {
+        let _g = crate::test_gate();
+        reset_limits();
+        capture_start();
+        for i in 0..5 {
+            emit_limited("test.limit", 2, &format!("line {i}"));
+        }
+        let got = capture_take();
+        assert_eq!(got.len(), 3, "2 lines + 1 suppression notice");
+        assert!(got[2].contains("suppressed"));
+        reset_limits();
+    }
+}

@@ -1,0 +1,188 @@
+//! Campaign telemetry for the R3-DLA harness, strictly off the
+//! deterministic report path.
+//!
+//! This crate is the instrumentation substrate for the supervised
+//! campaign runners (`r3dla-bench`, `r3dla-dse`): scoped span timers,
+//! named monotonic counters, a uniform stderr diagnostic sink, and a
+//! live progress meter. It has **no dependencies** and is safe to link
+//! from every layer of the workspace.
+//!
+//! Two hard rules shape the design:
+//!
+//! 1. **Nothing here may perturb report bytes.** All output flows to
+//!    sidecar files (`R3DLA_TRACE` Chrome trace, `*.telemetry.json`)
+//!    or stderr. The `BENCH_*.json` / DSE report builders never see
+//!    telemetry state.
+//! 2. **Disabled means free.** Every entry point checks a relaxed
+//!    [`AtomicBool`](std::sync::atomic::AtomicBool) before touching a
+//!    clock, formatting a name, or taking a lock, so an uninstrumented
+//!    run pays one predictable branch per probe site (measured by the
+//!    `obs` criterion group in `crates/bench/benches/hotpath.rs`).
+//!
+//! # Modules
+//!
+//! * [`trace`] — RAII span guards feeding per-thread buffers, drained
+//!   into a Chrome trace-event JSON file loadable in Perfetto or
+//!   `chrome://tracing`.
+//! * [`counters`] — named monotonic counters and gauges; aggregation
+//!   is deterministic across `--threads` because every increment is
+//!   tied to a work item, never to a thread or a clock.
+//! * [`mod@diag`] — whole-line, rate-limitable stderr diagnostics (the
+//!   [`diag!`] macro), capturable in tests.
+//! * [`progress`] — opt-in `--progress` stderr meter with ETA.
+//! * [`sidecar`] — renders the `*.telemetry.json` sidecar with a
+//!   byte-deterministic counter section and a clearly separated
+//!   non-deterministic wall-time section.
+//!
+//! # Typical wiring (campaign entry point)
+//!
+//! ```
+//! let sess = r3dla_obs::Session::from_env();
+//! // ... run the campaign; library code uses span!/counters/diag! ...
+//! r3dla_obs::counters::add("cells.total", 1);
+//! sess.finalize(None, Some(12.5)).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod counters;
+pub mod diag;
+pub mod progress;
+pub mod sidecar;
+pub mod trace;
+
+pub use trace::SpanGuard;
+
+use std::env;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Where the telemetry sidecar should be written, resolved from the
+/// `R3DLA_TELEMETRY` environment variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SidecarDest {
+    /// No sidecar requested (and tracing is off).
+    Off,
+    /// Derive the path from the report `--out` path (`*.telemetry.json`).
+    DeriveFromOut,
+    /// Explicit path given via `R3DLA_TELEMETRY=path`.
+    Explicit(PathBuf),
+}
+
+/// One telemetry session for a campaign entry point.
+///
+/// [`Session::from_env`] reads `R3DLA_TRACE` / `R3DLA_TELEMETRY` and
+/// arms span recording plus counters when either is present;
+/// [`Session::finalize`] drains everything to the requested sinks.
+/// When neither variable is set the session is inert and `finalize`
+/// writes nothing.
+#[derive(Debug)]
+pub struct Session {
+    trace_path: Option<PathBuf>,
+    sidecar: SidecarDest,
+    start: Instant,
+}
+
+impl Session {
+    /// Arms telemetry from the environment.
+    ///
+    /// * `R3DLA_TRACE=path` — record spans and write a Chrome
+    ///   trace-event JSON file to `path` on [`finalize`](Self::finalize).
+    ///   Tracing implies the telemetry sidecar (written next to the
+    ///   report file when one is produced).
+    /// * `R3DLA_TELEMETRY=1` — record counters/spans and write the
+    ///   sidecar next to the report file. Any other non-empty value
+    ///   except `0` is treated as an explicit sidecar path. `0` or an
+    ///   empty value disables the sidecar.
+    pub fn from_env() -> Self {
+        let trace_path = env::var_os("R3DLA_TRACE")
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from);
+        let sidecar = match env::var("R3DLA_TELEMETRY") {
+            Ok(v) if v.is_empty() || v == "0" => {
+                if trace_path.is_some() {
+                    SidecarDest::DeriveFromOut
+                } else {
+                    SidecarDest::Off
+                }
+            }
+            Ok(v) if v == "1" || v == "true" => SidecarDest::DeriveFromOut,
+            Ok(v) => SidecarDest::Explicit(PathBuf::from(v)),
+            Err(_) => {
+                if trace_path.is_some() {
+                    SidecarDest::DeriveFromOut
+                } else {
+                    SidecarDest::Off
+                }
+            }
+        };
+        if trace_path.is_some() || sidecar != SidecarDest::Off {
+            trace::set_recording(true);
+            counters::set_enabled(true);
+        }
+        Session {
+            trace_path,
+            sidecar,
+            start: Instant::now(),
+        }
+    }
+
+    /// Whether any sink (trace file or sidecar) is armed.
+    pub fn active(&self) -> bool {
+        self.trace_path.is_some() || self.sidecar != SidecarDest::Off
+    }
+
+    /// Drains the session: stops the progress meter, writes the Chrome
+    /// trace (if `R3DLA_TRACE` was set) and the telemetry sidecar.
+    ///
+    /// `out` is the report `--out` path, used to derive the sidecar
+    /// location; when `None` and no explicit sidecar path was given,
+    /// the sidecar is skipped. `mips` is the aggregate simulated MIPS
+    /// for the non-deterministic section, when the caller has one.
+    pub fn finalize(&self, out: Option<&Path>, mips: Option<f64>) -> io::Result<()> {
+        progress::finish();
+        if let Some(tp) = &self.trace_path {
+            trace::write_chrome_trace(tp)?;
+        }
+        let dest = match &self.sidecar {
+            SidecarDest::Off => None,
+            SidecarDest::DeriveFromOut => out.map(sidecar::sidecar_path),
+            SidecarDest::Explicit(p) => Some(p.clone()),
+        };
+        if let Some(dest) = dest {
+            let wall_ms = self.start.elapsed().as_secs_f64() * 1e3;
+            std::fs::write(dest, sidecar::render(wall_ms, mips))?;
+        }
+        Ok(())
+    }
+}
+
+/// Serializes tests across modules: the registry, span pool and diag
+/// sink are process-global, so any test that arms or resets them must
+/// hold this.
+#[cfg(test)]
+pub(crate) fn test_gate() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_session_writes_nothing() {
+        // Constructed directly (not from env) so the test is immune to
+        // the harness environment.
+        let sess = Session {
+            trace_path: None,
+            sidecar: SidecarDest::Off,
+            start: Instant::now(),
+        };
+        assert!(!sess.active());
+        sess.finalize(Some(Path::new("/nonexistent/dir/out.json")), None)
+            .expect("inert finalize must not touch the filesystem");
+    }
+}

@@ -1,0 +1,143 @@
+//! Opt-in live progress meter (`--progress`).
+//!
+//! One process-global meter, started by a campaign entry point with
+//! the total cell count; the supervisor ticks it once per finished
+//! cell. Output is whole stderr lines (no carriage-return tricks, so
+//! CI logs stay readable), rate-limited to roughly one line per
+//! 200 ms plus a final 100% line from [`finish`].
+//!
+//! When no meter is active [`tick`] is one mutex lock on a cold
+//! mutex — it is called once per cell, never inside the simulation
+//! hot loop.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+static ACTIVE: Mutex<Option<Arc<Meter>>> = Mutex::new(None);
+
+/// Minimum interval between emitted progress lines.
+const EMIT_EVERY: Duration = Duration::from_millis(200);
+
+struct Meter {
+    label: String,
+    total: usize,
+    done: AtomicUsize,
+    start: Instant,
+    last_emit: Mutex<Instant>,
+    extra: Mutex<String>,
+}
+
+fn current() -> Option<Arc<Meter>> {
+    ACTIVE.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Starts (or restarts) the global meter: `label` names the campaign
+/// (`grid`, `sampled`, `mix`, `dse`), `total` is the cell count.
+pub fn start(label: &str, total: usize) {
+    let now = Instant::now();
+    let meter = Arc::new(Meter {
+        label: label.to_string(),
+        total,
+        done: AtomicUsize::new(0),
+        start: now,
+        // Backdated so the first tick emits immediately.
+        last_emit: Mutex::new(now.checked_sub(EMIT_EVERY).unwrap_or(now)),
+        extra: Mutex::new(String::new()),
+    });
+    *ACTIVE.lock().unwrap_or_else(|e| e.into_inner()) = Some(meter);
+}
+
+/// Whether a meter is active (i.e. `--progress` was requested).
+pub fn active() -> bool {
+    current().is_some()
+}
+
+/// Replaces the free-form suffix appended to progress lines (e.g.
+/// `cache 12/20 hit`). No-op without an active meter.
+pub fn set_extra(extra: impl Into<String>) {
+    if let Some(m) = current() {
+        *m.extra.lock().unwrap_or_else(|e| e.into_inner()) = extra.into();
+    }
+}
+
+/// Records `n` finished cells and maybe emits a progress line.
+/// No-op without an active meter.
+pub fn tick(n: usize) {
+    let Some(m) = current() else { return };
+    let done = m.done.fetch_add(n, Ordering::Relaxed) + n;
+    // Rate limit: skip if another thread emitted recently (or holds
+    // the stamp — losing a progress line is fine).
+    let Ok(mut last) = m.last_emit.try_lock() else {
+        return;
+    };
+    if last.elapsed() < EMIT_EVERY && done < m.total {
+        return;
+    }
+    *last = Instant::now();
+    emit_line(&m, done);
+}
+
+/// Emits the final 100% line and deactivates the meter. No-op without
+/// an active meter.
+pub fn finish() {
+    let taken = ACTIVE.lock().unwrap_or_else(|e| e.into_inner()).take();
+    if let Some(m) = taken {
+        let done = m.done.load(Ordering::Relaxed);
+        emit_line(&m, done);
+    }
+}
+
+fn emit_line(m: &Meter, done: usize) {
+    let elapsed = m.start.elapsed().as_secs_f64();
+    let pct = if m.total == 0 {
+        100.0
+    } else {
+        done as f64 * 100.0 / m.total as f64
+    };
+    let eta = if done == 0 || done >= m.total {
+        0.0
+    } else {
+        elapsed / done as f64 * (m.total - done) as f64
+    };
+    let extra = m.extra.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    let extra = if extra.is_empty() {
+        extra
+    } else {
+        format!(" {extra}")
+    };
+    crate::diag::emit(&format!(
+        "[progress] {} {}/{} ({:.0}%) elapsed {:.1}s eta {:.1}s{}",
+        m.label, done, m.total, pct, elapsed, eta, extra
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_ticks_and_finishes_through_diag() {
+        let _g = crate::test_gate();
+        crate::diag::capture_start();
+        start("test", 2);
+        set_extra("cache 1/1 hit");
+        tick(1);
+        tick(1);
+        finish();
+        let lines = crate::diag::capture_take();
+        assert!(!lines.is_empty());
+        let last = lines.last().unwrap();
+        assert!(last.contains("test 2/2 (100%)"), "got: {last}");
+        assert!(last.contains("cache 1/1 hit"));
+        assert!(!active(), "finish must deactivate the meter");
+    }
+
+    #[test]
+    fn tick_without_meter_is_a_noop() {
+        let _g = crate::test_gate();
+        finish();
+        tick(1);
+        assert!(!active());
+    }
+}

@@ -1,0 +1,155 @@
+//! The `*.telemetry.json` sidecar renderer.
+//!
+//! The sidecar carries everything the deterministic report may not:
+//! aggregated counters, per-phase wall-time histograms and host
+//! throughput. It is split into two top-level sections with a hard
+//! contract:
+//!
+//! * `"deterministic"` — the sorted counter snapshot. For the same
+//!   inputs this section is **byte-identical across `--threads`**
+//!   (every counter increment is tied to a work item, see
+//!   [`crate::counters`]). Tooling may diff it.
+//! * `"nondeterministic"` — wall-clock data (phase histograms, host
+//!   wall time, aggregate simulated MIPS). Varies run to run by
+//!   design; never diff it.
+//!
+//! The schema is specified in `docs/BENCH_FORMAT.md` ("Telemetry
+//! sidecar"). Like every artifact in this workspace the JSON is built
+//! by hand, keys in a fixed order, so output bytes are a function of
+//! the data alone.
+
+use std::path::{Path, PathBuf};
+
+/// Schema tag written into the sidecar.
+pub const SCHEMA: &str = "r3dla-telemetry-v1";
+
+/// Derives the sidecar path from a report `--out` path:
+/// `results.json` → `results.telemetry.json` (a non-`.json` extension
+/// is preserved and the suffix appended).
+pub fn sidecar_path(out: &Path) -> PathBuf {
+    let stem = out
+        .to_string_lossy()
+        .strip_suffix(".json")
+        .map(str::to_string)
+        .unwrap_or_else(|| out.to_string_lossy().into_owned());
+    PathBuf::from(format!("{stem}.telemetry.json"))
+}
+
+/// Renders the `"deterministic"` section (the sorted counter
+/// snapshot) as a standalone JSON object. Exposed separately so tests
+/// can assert byte-identity across `--threads` on exactly the bytes
+/// the sidecar embeds.
+pub fn render_deterministic() -> String {
+    let snap = crate::counters::snapshot();
+    let mut out = String::from("{\n    \"counters\": {");
+    let mut first = true;
+    for (name, value) in &snap {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\n      \"{name}\": {value}"));
+    }
+    if !first {
+        out.push_str("\n    ");
+    }
+    out.push_str("}\n  }");
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders the full sidecar document. `wall_ms` is the host wall time
+/// of the campaign; `mips` the aggregate simulated MIPS when known.
+pub fn render(wall_ms: f64, mips: Option<f64>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str(&format!(
+        "  \"deterministic\": {},\n",
+        render_deterministic()
+    ));
+    out.push_str("  \"nondeterministic\": {\n");
+    out.push_str(&format!("    \"host_wall_ms\": {},\n", fmt_f64(wall_ms)));
+    out.push_str(&format!(
+        "    \"aggregate_mips\": {},\n",
+        mips.map_or("null".to_string(), fmt_f64)
+    ));
+    out.push_str("    \"phases\": [");
+    let phases = crate::trace::phase_stats();
+    for (i, p) in phases.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let hist = p
+            .hist_log2_us
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push_str(&format!(
+            "\n      {{\"cat\": \"{}\", \"count\": {}, \"total_us\": {}, \"min_us\": {}, \
+             \"max_us\": {}, \"hist_log2_us\": [{}]}}",
+            p.cat, p.count, p.total_us, p.min_us, p.max_us, hist
+        ));
+    }
+    if !phases.is_empty() {
+        out.push_str("\n    ");
+    }
+    out.push_str("]\n");
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sidecar_path_swaps_json_suffix() {
+        assert_eq!(
+            sidecar_path(Path::new("out/results.json")),
+            PathBuf::from("out/results.telemetry.json")
+        );
+        assert_eq!(
+            sidecar_path(Path::new("results")),
+            PathBuf::from("results.telemetry.json")
+        );
+    }
+
+    #[test]
+    fn render_embeds_deterministic_section_verbatim() {
+        let _g = crate::test_gate();
+        crate::counters::set_enabled(true);
+        crate::counters::reset();
+        crate::counters::add("test.sidecar.cells", 4);
+        let det = render_deterministic();
+        let full = render(12.5, Some(88.0));
+        assert!(
+            full.contains(&det),
+            "sidecar must embed the deterministic section byte-for-byte"
+        );
+        assert!(full.contains("\"schema\": \"r3dla-telemetry-v1\""));
+        assert!(full.contains("\"test.sidecar.cells\": 4"));
+        assert!(full.contains("\"aggregate_mips\": 88.000"));
+        crate::counters::set_enabled(false);
+        crate::counters::reset();
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_counters() {
+        let _g = crate::test_gate();
+        // Counters disabled and reset: values may exist from other
+        // tests but reset() zeroes them; structure must stay valid.
+        let det = render_deterministic();
+        assert!(det.starts_with("{\n    \"counters\": {"));
+        assert!(det.ends_with("}\n  }"));
+    }
+}

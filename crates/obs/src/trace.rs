@@ -1,0 +1,392 @@
+//! Scoped span timers with per-thread buffers and a Chrome
+//! trace-event sink.
+//!
+//! Spans are recorded by RAII [`SpanGuard`]s into a thread-local
+//! buffer — no lock is taken on the hot path. Buffers drain into a
+//! global pool when a thread exits (the campaign worker pools are
+//! scoped, so every worker has drained before the main thread writes
+//! the trace) or on an explicit [`flush_thread`].
+//!
+//! The sink is the Chrome trace-event JSON array format: `"ph":"X"`
+//! complete events for spans, `"ph":"i"` instants for supervisor
+//! events (retries, quarantines, timeouts) and `"ph":"M"` metadata
+//! events naming worker threads. The file loads directly in Perfetto
+//! or `chrome://tracing`.
+//!
+//! When recording is off ([`enabled`] is `false`, the default) every
+//! entry point returns after one relaxed atomic load.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static RECORDING: AtomicBool = AtomicBool::new(false);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static POOL: Mutex<Vec<Event>> = Mutex::new(Vec::new());
+/// Dense trace-thread ids; 0 is reserved so metadata rows are obvious.
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+
+/// One recorded event, times already epoch-relative in microseconds.
+#[derive(Debug, Clone)]
+enum Event {
+    Span {
+        name: String,
+        cat: &'static str,
+        ts_us: u64,
+        dur_us: u64,
+        tid: u32,
+    },
+    Instant {
+        name: String,
+        cat: &'static str,
+        ts_us: u64,
+        tid: u32,
+    },
+    ThreadName {
+        name: String,
+        tid: u32,
+    },
+}
+
+struct LocalBuf {
+    tid: u32,
+    buf: Vec<Event>,
+}
+
+impl Drop for LocalBuf {
+    fn drop(&mut self) {
+        if !self.buf.is_empty() {
+            let mut pool = POOL.lock().unwrap_or_else(|e| e.into_inner());
+            pool.append(&mut self.buf);
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalBuf> = RefCell::new(LocalBuf {
+        tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+        buf: Vec::new(),
+    });
+}
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn push(ev: Event) {
+    LOCAL.with(|l| l.borrow_mut().buf.push(ev));
+}
+
+fn ts_us(at: Instant) -> u64 {
+    // saturating: an Instant taken before the epoch maps to 0.
+    at.duration_since(epoch()).as_micros() as u64
+}
+
+/// Whether span recording is armed. One relaxed load — this is the
+/// gate every probe site checks before doing any work.
+#[inline]
+pub fn enabled() -> bool {
+    RECORDING.load(Ordering::Relaxed)
+}
+
+/// Arms (or disarms) span recording. Arming pins the time epoch so
+/// all subsequent timestamps share an origin.
+pub fn set_recording(on: bool) {
+    if on {
+        let _ = epoch();
+    }
+    RECORDING.store(on, Ordering::Relaxed);
+}
+
+/// RAII guard for one timed span. Created by [`span`] (or the
+/// [`span!`](crate::span!) macro); records a Chrome `"ph":"X"`
+/// complete event into the thread-local buffer on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: String,
+    cat: &'static str,
+    start: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let dur_us = self.start.elapsed().as_micros() as u64;
+        push(Event::Span {
+            name: std::mem::take(&mut self.name),
+            cat: self.cat,
+            ts_us: ts_us(self.start),
+            dur_us,
+            tid: LOCAL.with(|l| l.borrow().tid),
+        });
+    }
+}
+
+/// Opens a span; returns `None` (no clock read, no allocation beyond
+/// the caller's `name`) when recording is off. Prefer the
+/// [`span!`](crate::span!) macro, which also skips formatting the name
+/// when disabled.
+pub fn span(cat: &'static str, name: impl Into<String>) -> Option<SpanGuard> {
+    if !enabled() {
+        return None;
+    }
+    Some(SpanGuard {
+        name: name.into(),
+        cat,
+        start: Instant::now(),
+    })
+}
+
+/// Records a zero-duration instant event (supervisor retries,
+/// quarantines, cache faults). No-op when recording is off.
+pub fn instant(cat: &'static str, name: impl Into<String>) {
+    if !enabled() {
+        return;
+    }
+    push(Event::Instant {
+        name: name.into(),
+        cat,
+        ts_us: ts_us(Instant::now()),
+        tid: LOCAL.with(|l| l.borrow().tid),
+    });
+}
+
+/// Names the calling thread in the trace (Chrome `"ph":"M"`
+/// `thread_name` metadata). Call once per worker, e.g. `worker-3`.
+pub fn name_thread(name: impl Into<String>) {
+    if !enabled() {
+        return;
+    }
+    let tid = LOCAL.with(|l| l.borrow().tid);
+    push(Event::ThreadName {
+        name: name.into(),
+        tid,
+    });
+}
+
+/// Drains the calling thread's buffer into the global pool. Worker
+/// threads drain automatically on exit; the main thread must call this
+/// (done by [`write_chrome_trace`] / [`phase_stats`]) before reading.
+pub fn flush_thread() {
+    LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        if !l.buf.is_empty() {
+            let mut pool = POOL.lock().unwrap_or_else(|e| e.into_inner());
+            pool.append(&mut l.buf);
+        }
+    });
+}
+
+/// Snapshot of every recorded event (flushes the calling thread first).
+fn collect() -> Vec<Event> {
+    flush_thread();
+    POOL.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Clears all recorded events (calling thread's buffer included).
+/// Test hook; recording state is untouched.
+pub fn reset() {
+    LOCAL.with(|l| l.borrow_mut().buf.clear());
+    POOL.lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+/// Spans escape via the shared JSON escaper so names with quotes or
+/// backslashes stay loadable.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes every recorded event as a Chrome trace-event JSON array to
+/// `path`. Loadable in Perfetto / `chrome://tracing`. Events are
+/// sorted by `(tid, ts)` so the file is stable for a given run.
+pub fn write_chrome_trace(path: &Path) -> io::Result<()> {
+    let mut events = collect();
+    events.sort_by_key(|e| match e {
+        // Metadata first so viewers name threads before rows appear.
+        Event::ThreadName { tid, .. } => (0u8, *tid, 0u64),
+        Event::Span { tid, ts_us, .. } => (1, *tid, *ts_us),
+        Event::Instant { tid, ts_us, .. } => (1, *tid, *ts_us),
+    });
+    let mut out = String::with_capacity(events.len() * 96 + 2);
+    out.push_str("[\n");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        match ev {
+            Event::Span {
+                name,
+                cat,
+                ts_us,
+                dur_us,
+                tid,
+            } => {
+                out.push_str(&format!(
+                    "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{ts_us},\"dur\":{dur_us},\
+                     \"cat\":\"{}\",\"name\":\"{}\"}}",
+                    json_escape(cat),
+                    json_escape(name)
+                ));
+            }
+            Event::Instant {
+                name,
+                cat,
+                ts_us,
+                tid,
+            } => {
+                out.push_str(&format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts_us},\"s\":\"t\",\
+                     \"cat\":\"{}\",\"name\":\"{}\"}}",
+                    json_escape(cat),
+                    json_escape(name)
+                ));
+            }
+            Event::ThreadName { name, tid } => {
+                out.push_str(&format!(
+                    "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    json_escape(name)
+                ));
+            }
+        }
+    }
+    out.push_str("\n]\n");
+    std::fs::write(path, out)
+}
+
+/// Number of log2 histogram buckets in [`PhaseStat::hist_log2_us`]:
+/// bucket `i > 0` counts spans with `dur_us` in `[2^(i-1), 2^i)`;
+/// bucket 0 counts sub-microsecond spans.
+pub const HIST_BUCKETS: usize = 20;
+
+/// Aggregated wall-time statistics for one span category, for the
+/// telemetry sidecar's non-deterministic section.
+#[derive(Debug, Clone)]
+pub struct PhaseStat {
+    /// Span category (`"prepare"`, `"measure"`, ...).
+    pub cat: String,
+    /// Number of spans recorded in this category.
+    pub count: u64,
+    /// Sum of span durations, microseconds.
+    pub total_us: u64,
+    /// Shortest span, microseconds.
+    pub min_us: u64,
+    /// Longest span, microseconds.
+    pub max_us: u64,
+    /// Log2-microsecond duration histogram (see [`HIST_BUCKETS`]).
+    pub hist_log2_us: [u64; HIST_BUCKETS],
+}
+
+/// Aggregates recorded spans by category, sorted by category name.
+pub fn phase_stats() -> Vec<PhaseStat> {
+    let events = collect();
+    let mut by_cat: BTreeMap<String, PhaseStat> = BTreeMap::new();
+    for ev in &events {
+        if let Event::Span { cat, dur_us, .. } = ev {
+            let st = by_cat.entry(cat.to_string()).or_insert_with(|| PhaseStat {
+                cat: cat.to_string(),
+                count: 0,
+                total_us: 0,
+                min_us: u64::MAX,
+                max_us: 0,
+                hist_log2_us: [0; HIST_BUCKETS],
+            });
+            st.count += 1;
+            st.total_us += dur_us;
+            st.min_us = st.min_us.min(*dur_us);
+            st.max_us = st.max_us.max(*dur_us);
+            let bucket = if *dur_us == 0 {
+                0
+            } else {
+                (64 - dur_us.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+            };
+            st.hist_log2_us[bucket] += 1;
+        }
+    }
+    by_cat.into_values().collect()
+}
+
+/// Builds a span that formats its name only when recording is armed.
+///
+/// ```
+/// let _sp = r3dla_obs::span!("measure", "{}/{}", "mcf", "base");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($cat:expr, $($fmt:tt)+) => {
+        if $crate::trace::enabled() {
+            $crate::trace::span($cat, format!($($fmt)+))
+        } else {
+            None
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_span_is_none_and_records_nothing() {
+        let _g = crate::test_gate();
+        set_recording(false);
+        reset();
+        assert!(span("x", "y").is_none());
+        instant("x", "y");
+        assert!(phase_stats().is_empty());
+    }
+
+    #[test]
+    fn spans_aggregate_and_trace_is_json_shaped() {
+        let _g = crate::test_gate();
+        set_recording(true);
+        reset();
+        name_thread("test-main");
+        {
+            let _a = span("measure", "wl/base");
+            let _b = span("measure", "wl/dla");
+        }
+        instant("supervisor", "retry wl|base");
+        let stats = phase_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].cat, "measure");
+        assert_eq!(stats[0].count, 2);
+        assert_eq!(stats[0].hist_log2_us.iter().sum::<u64>(), 2);
+
+        let dir = std::env::temp_dir().join("r3dla_obs_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        write_chrome_trace(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("[\n"), "trace must be a JSON array");
+        assert!(body.trim_end().ends_with(']'));
+        assert!(body.contains("\"ph\":\"X\""));
+        assert!(body.contains("\"ph\":\"i\""));
+        assert!(body.contains("\"thread_name\""));
+        assert!(body.contains("wl/dla"));
+        set_recording(false);
+        reset();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_control() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -292,6 +292,11 @@ impl Emulator {
         self.blocks.len()
     }
 
+    /// Demand-decode accounting of the block cache (telemetry-only).
+    pub fn block_cache_stats(&self) -> r3dla_isa::BlockCacheStats {
+        self.blocks.stats()
+    }
+
     /// Instructions retired so far.
     pub fn icount(&self) -> u64 {
         self.icount

@@ -96,6 +96,7 @@ const _: () = {
 /// length is therefore the **effective k** that [`ipc_estimate`] sees
 /// (reported per cell as the `intervals` field of the sampled JSON).
 pub fn plan_intervals(program: &Arc<Program>, spec: &SampleSpec) -> Vec<IntervalCheckpoint> {
+    let _sp = r3dla_obs::span!("plan", "plan {}", spec.label());
     let image = Arc::new(ImageMem::of(program.image()));
     // Pass 1: workload length.
     let mut probe = Emulator::with_image(Arc::clone(program), Arc::clone(&image));
@@ -145,6 +146,15 @@ pub fn plan_intervals(program: &Arc<Program>, spec: &SampleSpec) -> Vec<Interval
             warm,
         });
     }
+    // Telemetry: block-cache decode traffic of both functional passes.
+    // Counts are a pure function of the program, so the aggregate is
+    // deterministic across worker-thread counts.
+    if r3dla_obs::counters::enabled() {
+        for stats in [probe.block_cache_stats(), em.block_cache_stats()] {
+            r3dla_obs::counters::add("block_cache.map_probes", stats.map_probes);
+            r3dla_obs::counters::add("block_cache.decodes", stats.decodes);
+        }
+    }
     out
 }
 
@@ -186,6 +196,7 @@ pub fn apply_warmup<S: WarmTarget + MeasureTarget>(
     spec: &SampleSpec,
     iv: &IntervalCheckpoint,
 ) -> u64 {
+    let _sp = r3dla_obs::span!("warm", "warm iv{}", iv.index);
     match spec.warmup {
         WarmupMode::None => 0,
         WarmupMode::Functional(_) => {
@@ -208,6 +219,7 @@ pub fn warm_and_measure<S: WarmTarget + MeasureTarget>(
     iv: &IntervalCheckpoint,
 ) -> WindowReport {
     let settle = apply_warmup(sys, spec, iv);
+    let _sp = r3dla_obs::span!("measure", "measure iv{}", iv.index);
     measure_window(sys, settle, spec.detailed)
 }
 

@@ -20,6 +20,8 @@
 //! * [`workloads`] — synthetic kernels mimicking SPEC2006 / CRONO /
 //!   STARBENCH / NPB behaviour classes;
 //! * [`stats`] — deterministic PRNGs and summary statistics;
+//! * [`obs`] — campaign telemetry: spans, counters, Chrome-trace and
+//!   sidecar sinks, live progress (off the deterministic report path);
 //! * [`sample`] — checkpoints and sampled simulation: functional
 //!   fast-forward, microarchitectural warmup, systematic interval
 //!   sampling with confidence intervals.
@@ -50,6 +52,7 @@ pub use r3dla_cpu as cpu;
 pub use r3dla_energy as energy;
 pub use r3dla_isa as isa;
 pub use r3dla_mem as mem;
+pub use r3dla_obs as obs;
 pub use r3dla_prefetch as prefetch;
 pub use r3dla_sample as sample;
 pub use r3dla_stats as stats;
