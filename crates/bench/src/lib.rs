@@ -23,11 +23,11 @@ use r3dla_workloads::{suite, BuiltWorkload, Scale, Suite, Workload};
 
 pub use runner::{
     parallel_map, run_grid, run_grid_supervised, CellKind, CellResult, ConfigSpec,
-    ExperimentResult, ExperimentSpec, GridResult, GridSpec,
+    ExperimentResult, ExperimentSpec, GridCell, GridPlan, GridResult, GridSpec,
 };
 pub use sampled::{
-    check_against_reference, run_grid_sampled, run_sampled_cell, SampledCellResult,
-    SampledGridResult,
+    check_against_reference, run_grid_sampled, run_sampled_cell, SampledCell, SampledCellResult,
+    SampledGridResult, SampledPlan,
 };
 pub use supervise::{
     json_escape, CellOutcome, CellStatus, FaultKind, FaultPlan, SuperviseConfig, Supervisor,

@@ -12,14 +12,14 @@
 //! JSON.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use r3dla_core::{DlaConfig, WindowReport};
 use r3dla_cpu::CoreConfig;
 use r3dla_workloads::{suite, Scale, Suite, Workload};
 
-use crate::supervise::{push_status_fields, CellStatus, Supervisor};
+use crate::supervise::{push_status_fields, CellOutcome, CellStatus, Supervisor};
 use crate::{Prepared, WARMUP, WINDOW};
 
 /// Maps `f` over `items` on `threads` scoped workers pulling cell indices
@@ -409,59 +409,165 @@ pub fn grid_cell_key(spec: &GridSpec, workload: &str, config: &str) -> String {
     )
 }
 
+/// One `(workload, config)` cell of a grid, addressed by indices into
+/// the owning [`GridPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridCell {
+    /// Index into the spec's workload list.
+    pub workload: usize,
+    /// Index into the spec's config list.
+    pub config: usize,
+}
+
+/// The pre-enumerated cell set of one grid: the spec plus its prepared
+/// workloads, exposing the primitive the batch runner and the campaign
+/// service share — enumerate cells, key them, evaluate them, and
+/// assemble the outcomes into a [`GridResult`]. Prepared workloads are
+/// `Arc`-shared so a long-running service pools them across campaigns.
+pub struct GridPlan {
+    spec: GridSpec,
+    prepared: Vec<Arc<Prepared>>,
+}
+
+impl GridPlan {
+    /// Prepares every workload of the spec on `threads` workers.
+    pub fn build(spec: &GridSpec, threads: usize) -> Self {
+        let prepared = parallel_map(&spec.workloads, threads, |w| Prepared::new(w, spec.scale))
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+        Self::from_prepared(spec, prepared)
+    }
+
+    /// Builds the plan from already-prepared workloads, one per spec
+    /// workload in order.
+    ///
+    /// # Panics
+    ///
+    /// When `prepared` does not line up 1:1 with `spec.workloads`.
+    pub fn from_prepared(spec: &GridSpec, prepared: Vec<Arc<Prepared>>) -> Self {
+        assert_eq!(
+            prepared.len(),
+            spec.workloads.len(),
+            "one prepared workload per spec workload"
+        );
+        GridPlan {
+            spec: spec.clone(),
+            prepared,
+        }
+    }
+
+    /// The spec this plan was built from.
+    pub fn spec(&self) -> &GridSpec {
+        &self.spec
+    }
+
+    /// Every cell in canonical (workload-major) order — the order
+    /// [`GridPlan::assemble`] expects its outcomes in.
+    pub fn cells(&self) -> Vec<GridCell> {
+        (0..self.prepared.len())
+            .flat_map(|wi| {
+                (0..self.spec.configs.len()).map(move |ci| GridCell {
+                    workload: wi,
+                    config: ci,
+                })
+            })
+            .collect()
+    }
+
+    /// Total cell count — a pure function of the spec (admission
+    /// budgets rely on this).
+    pub fn n_cells(&self) -> usize {
+        self.prepared.len() * self.spec.configs.len()
+    }
+
+    /// The cell's stable supervision key (see [`grid_cell_key`]).
+    pub fn cell_key(&self, cell: GridCell) -> String {
+        grid_cell_key(
+            &self.spec,
+            &self.prepared[cell.workload].name,
+            &self.spec.configs[cell.config].label,
+        )
+    }
+
+    /// Measures one cell, returning the report and the cell's host
+    /// wall-clock in milliseconds (the latter never reaches the
+    /// deterministic JSON).
+    pub fn evaluate(&self, cell: GridCell) -> (WindowReport, u64) {
+        let c0 = Instant::now();
+        let report = run_cell(
+            &self.prepared[cell.workload],
+            &self.spec.configs[cell.config],
+            self.spec.warm,
+            self.spec.win,
+            self.spec.fast_forward,
+        );
+        (report, c0.elapsed().as_millis() as u64)
+    }
+
+    /// Assembles per-cell outcomes (in [`GridPlan::cells`] order) into
+    /// the final result, exactly as the batch runner does, so the
+    /// deterministic JSON is byte-identical. Wall-clock fields are zero
+    /// (they only appear in `--timing` output).
+    ///
+    /// # Panics
+    ///
+    /// When `outcomes` does not line up 1:1 with [`GridPlan::cells`].
+    pub fn assemble(&self, outcomes: &[CellOutcome<(WindowReport, u64)>]) -> GridResult {
+        assert_eq!(
+            outcomes.len(),
+            self.n_cells(),
+            "one outcome per planned cell"
+        );
+        let results = self
+            .cells()
+            .iter()
+            .zip(outcomes)
+            .map(|(&cell, o)| {
+                let (report, wall_ms) = o.value.clone().unwrap_or_default();
+                CellResult {
+                    workload: self.prepared[cell.workload].name.clone(),
+                    suite: self.prepared[cell.workload].suite,
+                    config: self.spec.configs[cell.config].label.clone(),
+                    report,
+                    wall_ms,
+                    status: o.status,
+                    attempts: o.attempts,
+                    error: o.error.clone(),
+                }
+            })
+            .collect();
+        GridResult {
+            scale: self.spec.scale,
+            warm: self.spec.warm,
+            win: self.spec.win,
+            cells: results,
+            prep_ms: 0,
+            measure_ms: 0,
+        }
+    }
+}
+
 /// [`run_grid`] under an explicit [`Supervisor`]: each cell runs inside
 /// `catch_unwind` with retry/quarantine policy; a failed cell degrades
 /// to a status row (default-zero report) instead of killing the grid.
 pub fn run_grid_supervised(spec: &GridSpec, threads: usize, sup: &Supervisor) -> GridResult {
     let t0 = Instant::now();
-    let prepared = parallel_map(&spec.workloads, threads, |w| Prepared::new(w, spec.scale));
+    let plan = GridPlan::build(spec, threads);
     let prep_ms = t0.elapsed().as_millis() as u64;
 
-    let cells: Vec<(usize, usize)> = (0..prepared.len())
-        .flat_map(|wi| (0..spec.configs.len()).map(move |ci| (wi, ci)))
-        .collect();
+    let cells = plan.cells();
     let t1 = Instant::now();
     let outcomes = sup.map(
         &cells,
         threads,
-        |&(wi, ci)| grid_cell_key(spec, &prepared[wi].name, &spec.configs[ci].label),
-        |&(wi, ci)| {
-            let c0 = Instant::now();
-            let report = run_cell(
-                &prepared[wi],
-                &spec.configs[ci],
-                spec.warm,
-                spec.win,
-                spec.fast_forward,
-            );
-            Ok((report, c0.elapsed().as_millis() as u64))
-        },
+        |&cell| plan.cell_key(cell),
+        |&cell| Ok(plan.evaluate(cell)),
     );
-    let results = cells
-        .iter()
-        .zip(outcomes)
-        .map(|(&(wi, ci), o)| {
-            let (report, wall_ms) = o.value.unwrap_or_default();
-            CellResult {
-                workload: prepared[wi].name.clone(),
-                suite: prepared[wi].suite,
-                config: spec.configs[ci].label.clone(),
-                report,
-                wall_ms,
-                status: o.status,
-                attempts: o.attempts,
-                error: o.error,
-            }
-        })
-        .collect();
-    GridResult {
-        scale: spec.scale,
-        warm: spec.warm,
-        win: spec.win,
-        cells: results,
-        prep_ms,
-        measure_ms: t1.elapsed().as_millis() as u64,
-    }
+    let mut result = plan.assemble(&outcomes);
+    result.prep_ms = prep_ms;
+    result.measure_ms = t1.elapsed().as_millis() as u64;
+    result
 }
 
 impl GridResult {

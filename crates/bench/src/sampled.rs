@@ -16,8 +16,10 @@ use r3dla_sample::{
 use r3dla_stats::{mean_ci95, MeanCi};
 use r3dla_workloads::Suite;
 
+use std::sync::Arc;
+
 use crate::runner::{parallel_map, scale_name, CellKind, ConfigSpec, GridSpec};
-use crate::supervise::{push_status_fields, CellStatus, Supervisor};
+use crate::supervise::{push_status_fields, CellOutcome, CellStatus, Supervisor};
 use crate::Prepared;
 
 /// Measures one sampled cell: restore the interval checkpoint into the
@@ -242,6 +244,222 @@ pub fn run_grid_sampled(spec: &GridSpec, sample: &SampleSpec, threads: usize) ->
     run_grid_sampled_supervised(spec, sample, threads, &Supervisor::from_env())
 }
 
+/// One `(workload, config, interval)` cell of a sampled grid, addressed
+/// by indices into the owning [`SampledPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampledCell {
+    /// Index into the spec's workload list.
+    pub workload: usize,
+    /// Index into the spec's config list.
+    pub config: usize,
+    /// Interval index within the workload's sampling plan.
+    pub interval: usize,
+}
+
+/// The pre-enumerated cell set of one sampled grid: the spec, its
+/// prepared workloads, and their interval plans, exposing the primitive
+/// the batch runner and the campaign service share — enumerate cells,
+/// key them, evaluate them, and assemble the outcomes into a
+/// [`SampledGridResult`]. Prepared workloads and interval plans are
+/// `Arc`-shared so a long-running service pools them across campaigns.
+pub struct SampledPlan {
+    spec: GridSpec,
+    sample: SampleSpec,
+    prepared: Vec<Arc<Prepared>>,
+    plans: Vec<Arc<Vec<IntervalCheckpoint>>>,
+}
+
+impl SampledPlan {
+    /// Prepares every workload and plans its intervals on `threads`
+    /// workers.
+    pub fn build(spec: &GridSpec, sample: &SampleSpec, threads: usize) -> Self {
+        let prepared: Vec<Arc<Prepared>> =
+            parallel_map(&spec.workloads, threads, |w| Prepared::new(w, spec.scale))
+                .into_iter()
+                .map(Arc::new)
+                .collect();
+        let plans = parallel_map(&prepared, threads, |p| plan_intervals(&p.program, sample))
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+        Self::from_parts(spec, sample, prepared, plans)
+    }
+
+    /// Builds the plan from already-prepared workloads and interval
+    /// plans, one of each per spec workload in order.
+    ///
+    /// # Panics
+    ///
+    /// When `prepared`/`plans` do not line up 1:1 with `spec.workloads`.
+    pub fn from_parts(
+        spec: &GridSpec,
+        sample: &SampleSpec,
+        prepared: Vec<Arc<Prepared>>,
+        plans: Vec<Arc<Vec<IntervalCheckpoint>>>,
+    ) -> Self {
+        assert_eq!(
+            prepared.len(),
+            spec.workloads.len(),
+            "one prepared workload per spec workload"
+        );
+        assert_eq!(
+            plans.len(),
+            spec.workloads.len(),
+            "one interval plan per spec workload"
+        );
+        SampledPlan {
+            spec: spec.clone(),
+            sample: *sample,
+            prepared,
+            plans,
+        }
+    }
+
+    /// The grid spec this plan was built from.
+    pub fn spec(&self) -> &GridSpec {
+        &self.spec
+    }
+
+    /// Every cell in canonical order (workload-major, then config, then
+    /// interval) — the order [`SampledPlan::assemble`] expects its
+    /// outcomes in.
+    pub fn cells(&self) -> Vec<SampledCell> {
+        let mut cells = Vec::with_capacity(self.n_cells());
+        for (wi, plan) in self.plans.iter().enumerate() {
+            for ci in 0..self.spec.configs.len() {
+                for ii in 0..plan.len() {
+                    cells.push(SampledCell {
+                        workload: wi,
+                        config: ci,
+                        interval: ii,
+                    });
+                }
+            }
+        }
+        cells
+    }
+
+    /// Total cell count — a pure function of the spec (admission
+    /// budgets rely on this).
+    pub fn n_cells(&self) -> usize {
+        self.plans.iter().map(|p| p.len()).sum::<usize>() * self.spec.configs.len()
+    }
+
+    /// The cell's stable supervision key — the identity fault injection
+    /// and quarantine decisions hash, so it names the cell's inputs and
+    /// nothing about scheduling.
+    pub fn cell_key(&self, cell: SampledCell) -> String {
+        format!(
+            "sample|{}|{}|{}|{}|iv{}",
+            scale_name(self.spec.scale),
+            self.sample.label(),
+            self.prepared[cell.workload].name,
+            self.spec.configs[cell.config].label,
+            cell.interval
+        )
+    }
+
+    /// Measures one interval cell, returning the report and the cell's
+    /// host wall-clock in milliseconds (the latter never reaches the
+    /// deterministic JSON).
+    pub fn evaluate(&self, cell: SampledCell) -> (WindowReport, u64) {
+        let c0 = std::time::Instant::now();
+        let rep = run_sampled_cell(
+            &self.prepared[cell.workload],
+            &self.spec.configs[cell.config],
+            &self.sample,
+            &self.plans[cell.workload][cell.interval],
+            self.spec.fast_forward,
+        );
+        (rep, c0.elapsed().as_millis() as u64)
+    }
+
+    /// Assembles per-cell outcomes (in [`SampledPlan::cells`] order)
+    /// into the final result, exactly as the batch runner does, so the
+    /// deterministic JSON is byte-identical. Wall-clock fields are zero
+    /// (they only appear in `--timing` output).
+    ///
+    /// # Panics
+    ///
+    /// When `outcomes` does not line up 1:1 with [`SampledPlan::cells`].
+    pub fn assemble(&self, outcomes: &[CellOutcome<(WindowReport, u64)>]) -> SampledGridResult {
+        assert_eq!(
+            outcomes.len(),
+            self.n_cells(),
+            "one outcome per planned cell"
+        );
+        // Regroup interval results into per-(workload, config) cells.
+        let mut grouped: Vec<SampledCellResult> =
+            Vec::with_capacity(self.prepared.len() * self.spec.configs.len());
+        let mut cursor = 0;
+        for (wi, p) in self.prepared.iter().enumerate() {
+            for cfg in &self.spec.configs {
+                let n = self.plans[wi].len();
+                let slice = &outcomes[cursor..cursor + n];
+                cursor += n;
+                let mut reports = Vec::with_capacity(n);
+                let mut interval_ok = Vec::with_capacity(n);
+                let mut wall_ms = 0u64;
+                let mut status = CellStatus::Ok;
+                let mut attempts = 0u32;
+                let mut error = None;
+                for o in slice {
+                    match &o.value {
+                        Some((rep, ms)) => {
+                            reports.push(rep.clone());
+                            interval_ok.push(true);
+                            wall_ms += ms;
+                        }
+                        None => {
+                            reports.push(WindowReport::default());
+                            interval_ok.push(false);
+                            if status == CellStatus::Ok {
+                                status = o.status;
+                            }
+                            if error.is_none() {
+                                error = o.error.clone();
+                            }
+                        }
+                    }
+                    attempts += o.attempts;
+                }
+                // Statistics aggregate over the intervals that measured;
+                // zeroed failure slots would poison the mean.
+                let ok_reports: Vec<WindowReport> = reports
+                    .iter()
+                    .zip(&interval_ok)
+                    .filter(|(_, &ok)| ok)
+                    .map(|(r, _)| r.clone())
+                    .collect();
+                grouped.push(SampledCellResult {
+                    workload: p.name.clone(),
+                    suite: p.suite,
+                    config: cfg.label.clone(),
+                    ipc: ipc_estimate(&ok_reports),
+                    speedup: None,
+                    wall_ms,
+                    status,
+                    attempts,
+                    error,
+                    interval_ok,
+                    reports,
+                });
+            }
+        }
+        attach_speedups(&mut grouped, &self.spec.configs);
+        SampledGridResult {
+            scale: self.spec.scale,
+            spec: self.sample,
+            cells: grouped,
+            planned_checkpoints: self.plans.iter().map(|p| p.len()).sum(),
+            measured_intervals: self.n_cells(),
+            prep_ms: 0,
+            plan_ms: 0,
+            measure_ms: 0,
+        }
+    }
+}
+
 /// [`run_grid_sampled`] under an explicit [`Supervisor`]: each interval
 /// cell runs inside `catch_unwind` with retry/quarantine policy, and a
 /// failed interval degrades to a zeroed slot (excluded from the cell's
@@ -253,121 +471,34 @@ pub fn run_grid_sampled_supervised(
     sup: &Supervisor,
 ) -> SampledGridResult {
     let t0 = std::time::Instant::now();
-    let prepared = parallel_map(&spec.workloads, threads, |w| Prepared::new(w, spec.scale));
+    let prepared: Vec<Arc<Prepared>> =
+        parallel_map(&spec.workloads, threads, |w| Prepared::new(w, spec.scale))
+            .into_iter()
+            .map(Arc::new)
+            .collect();
     let prep_ms = t0.elapsed().as_millis() as u64;
 
     let t1 = std::time::Instant::now();
-    let plans: Vec<Vec<IntervalCheckpoint>> =
-        parallel_map(&prepared, threads, |p| plan_intervals(&p.program, sample));
+    let plans = parallel_map(&prepared, threads, |p| plan_intervals(&p.program, sample))
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+    let plan = SampledPlan::from_parts(spec, sample, prepared, plans);
     let plan_ms = t1.elapsed().as_millis() as u64;
 
-    // Every (workload, config, interval) is an independent cell.
-    let mut cells: Vec<(usize, usize, usize)> = Vec::new();
-    for (wi, plan) in plans.iter().enumerate() {
-        for ci in 0..spec.configs.len() {
-            for ii in 0..plan.len() {
-                cells.push((wi, ci, ii));
-            }
-        }
-    }
+    let cells = plan.cells();
     let t2 = std::time::Instant::now();
-    let sample_label = sample.label();
     let measured = sup.map(
         &cells,
         threads,
-        |&(wi, ci, ii)| {
-            format!(
-                "sample|{}|{}|{}|{}|iv{}",
-                scale_name(spec.scale),
-                sample_label,
-                prepared[wi].name,
-                spec.configs[ci].label,
-                ii
-            )
-        },
-        |&(wi, ci, ii)| {
-            let c0 = std::time::Instant::now();
-            let rep = run_sampled_cell(
-                &prepared[wi],
-                &spec.configs[ci],
-                sample,
-                &plans[wi][ii],
-                spec.fast_forward,
-            );
-            Ok((rep, c0.elapsed().as_millis() as u64))
-        },
+        |&cell| plan.cell_key(cell),
+        |&cell| Ok(plan.evaluate(cell)),
     );
-    let measure_ms = t2.elapsed().as_millis() as u64;
-
-    // Regroup interval results into per-(workload, config) cells.
-    let mut grouped: Vec<SampledCellResult> =
-        Vec::with_capacity(prepared.len() * spec.configs.len());
-    let mut cursor = 0;
-    for (wi, p) in prepared.iter().enumerate() {
-        for cfg in &spec.configs {
-            let n = plans[wi].len();
-            let slice = &measured[cursor..cursor + n];
-            cursor += n;
-            let mut reports = Vec::with_capacity(n);
-            let mut interval_ok = Vec::with_capacity(n);
-            let mut wall_ms = 0u64;
-            let mut status = CellStatus::Ok;
-            let mut attempts = 0u32;
-            let mut error = None;
-            for o in slice {
-                match &o.value {
-                    Some((rep, ms)) => {
-                        reports.push(rep.clone());
-                        interval_ok.push(true);
-                        wall_ms += ms;
-                    }
-                    None => {
-                        reports.push(WindowReport::default());
-                        interval_ok.push(false);
-                        if status == CellStatus::Ok {
-                            status = o.status;
-                        }
-                        if error.is_none() {
-                            error = o.error.clone();
-                        }
-                    }
-                }
-                attempts += o.attempts;
-            }
-            // Statistics aggregate over the intervals that measured;
-            // zeroed failure slots would poison the mean.
-            let ok_reports: Vec<WindowReport> = reports
-                .iter()
-                .zip(&interval_ok)
-                .filter(|(_, &ok)| ok)
-                .map(|(r, _)| r.clone())
-                .collect();
-            grouped.push(SampledCellResult {
-                workload: p.name.clone(),
-                suite: p.suite,
-                config: cfg.label.clone(),
-                ipc: ipc_estimate(&ok_reports),
-                speedup: None,
-                wall_ms,
-                status,
-                attempts,
-                error,
-                interval_ok,
-                reports,
-            });
-        }
-    }
-    attach_speedups(&mut grouped, &spec.configs);
-    SampledGridResult {
-        scale: spec.scale,
-        spec: *sample,
-        cells: grouped,
-        planned_checkpoints: plans.iter().map(Vec::len).sum(),
-        measured_intervals: cells.len(),
-        prep_ms,
-        plan_ms,
-        measure_ms,
-    }
+    let mut result = plan.assemble(&measured);
+    result.prep_ms = prep_ms;
+    result.plan_ms = plan_ms;
+    result.measure_ms = t2.elapsed().as_millis() as u64;
+    result
 }
 
 /// Computes per-interval speedups over the grid's `bl` column (paired by

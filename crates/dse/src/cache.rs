@@ -177,6 +177,25 @@ pub struct CacheHealth {
     pub swept_orphans: usize,
 }
 
+/// Hit/miss tally of a [`ResultCache`] — stderr diagnostics only; like
+/// [`CacheHealth`] these depend on disk state and must never reach the
+/// deterministic report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from disk.
+    pub hits: usize,
+    /// Lookups that fell through to simulation (corrupt entries count
+    /// here too — they are quarantined and re-simulated).
+    pub misses: usize,
+}
+
+impl CacheStats {
+    /// Total lookups observed.
+    pub fn lookups(&self) -> usize {
+        self.hits + self.misses
+    }
+}
+
 /// The on-disk cache: a directory of [`CacheKey`]-named entries, shared
 /// read/write by every worker thread of a search.
 #[derive(Debug)]
@@ -332,14 +351,14 @@ impl ResultCache {
         Err(e)
     }
 
-    /// `(hits, misses)` counted so far — stderr diagnostics only; these
+    /// Hits/misses counted so far — stderr diagnostics only; these
     /// depend on cache state and must never reach the deterministic
     /// report.
-    pub fn stats(&self) -> (usize, usize) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
     }
 
     /// Self-healing counters accumulated so far (stderr diagnostics
@@ -446,7 +465,7 @@ mod tests {
         let r = sample_result();
         cache.store(&key, &r).unwrap();
         assert_eq!(cache.load(&key), Some(r));
-        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
         assert_eq!(cache.health(), CacheHealth::default());
         // A disabled cache ignores everything.
         let off = ResultCache::disabled();

@@ -56,11 +56,12 @@ pub mod search;
 pub mod space;
 
 pub use cache::{
-    program_fingerprint, CacheHealth, CacheKey, IntervalResult, ResultCache, CACHE_SCHEMA,
+    fxhash_str, program_fingerprint, CacheHealth, CacheKey, CacheStats, IntervalResult,
+    ResultCache, CACHE_SCHEMA,
 };
 pub use report::{pareto_indices, summary_markdown, to_json};
 pub use search::{
-    candidates, run_dse, run_dse_supervised, scale_name, DseResult, DseSpec, Strategy,
-    TrialSummary, WorkloadOutcome,
+    candidates, run_dse, run_dse_supervised, scale_name, DseCell, DsePlan, DseResult, DseSpec,
+    Strategy, TrialSummary, WorkloadOutcome,
 };
 pub use space::{SearchSpace, TrialPoint, KNOBS};

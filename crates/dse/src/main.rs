@@ -138,11 +138,11 @@ fn main() {
     if let Err(e) = session.finalize(out.as_deref().map(std::path::Path::new), None) {
         eprintln!("r3dla-dse: telemetry write failed: {e}");
     }
-    let (hits, misses) = cache.stats();
+    let stats = cache.stats();
     eprintln!(
         "r3dla-dse: prepared {} ms, planned {} ms, measured {} ms \
          ({} cache hits, {} misses)",
-        result.prep_ms, result.plan_ms, result.measure_ms, hits, misses
+        result.prep_ms, result.plan_ms, result.measure_ms, stats.hits, stats.misses
     );
     let health = cache.health();
     if health != r3dla_dse::CacheHealth::default() {

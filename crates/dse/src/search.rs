@@ -117,10 +117,12 @@ enum TrialKind {
 }
 
 /// Everything per-workload the evaluator needs, shared read-only across
-/// workers.
+/// workers. `Arc`s let a long-running service pool prepared workloads
+/// and interval plans across campaigns instead of rebuilding them per
+/// request.
 struct WorkloadCtx {
-    prepared: Prepared,
-    plan: Vec<IntervalCheckpoint>,
+    prepared: Arc<Prepared>,
+    plan: Arc<Vec<IntervalCheckpoint>>,
     fingerprint: u64,
 }
 
@@ -336,12 +338,12 @@ struct CellEval {
 }
 
 impl CellEval {
-    fn from_outcome(o: CellOutcome<IntervalResult>) -> Self {
+    fn from_outcome(o: &CellOutcome<IntervalResult>) -> Self {
         CellEval {
-            result: o.value.unwrap_or_default(),
+            result: o.value.clone().unwrap_or_default(),
             status: o.status,
             attempts: o.attempts,
-            error: o.error,
+            error: o.error.clone(),
         }
     }
 }
@@ -358,29 +360,30 @@ fn cell_cache_key(ctx: &WorkloadCtx, trial: &Trial, spec: &DseSpec, iv_index: us
     )
 }
 
-/// Evaluates one cell, consulting the cache first. A cache-store
-/// failure is not the cell's failure — the result in hand is valid, the
-/// entry just will not persist — so it surfaces only through the
-/// cache's health counters, never in the (cache-state-independent)
-/// report.
+/// Evaluates one cell, consulting the cache first. Returns the result
+/// plus whether it was served from the cache (telemetry only — the
+/// result bytes are identical either way). A cache-store failure is not
+/// the cell's failure — the result in hand is valid, the entry just
+/// will not persist — so it surfaces only through the cache's health
+/// counters, never in the (cache-state-independent) report.
 fn evaluate_cell(
     ctx: &WorkloadCtx,
     trial: &Trial,
     spec: &DseSpec,
     iv_index: usize,
     cache: &ResultCache,
-) -> IntervalResult {
+) -> (IntervalResult, bool) {
     let key = cell_cache_key(ctx, trial, spec, iv_index);
     let hit = {
         let _sp = r3dla_obs::span!("cache", "load {:016x}", key.hash);
         cache.load(&key)
     };
     if r3dla_obs::progress::active() {
-        let (h, m) = cache.stats();
-        r3dla_obs::progress::set_extra(format!("cache {h}/{} hit", h + m));
+        let stats = cache.stats();
+        r3dla_obs::progress::set_extra(format!("cache {}/{} hit", stats.hits, stats.lookups()));
     }
     if let Some(hit) = hit {
-        return hit;
+        return (hit, true);
     }
     let iv = &ctx.plan[iv_index];
     let result = match &trial.kind {
@@ -410,7 +413,7 @@ fn evaluate_cell(
         let _sp = r3dla_obs::span!("cache", "store {:016x}", key.hash);
         let _ = cache.store(&key, &result);
     }
-    result
+    (result, false)
 }
 
 /// The canonical serialization of the `bl` baseline cell (single core,
@@ -421,6 +424,276 @@ fn baseline_key() -> String {
         CoreConfig::paper(),
         MemConfig::paper()
     )
+}
+
+/// One `(workload, trial, interval)` measurement of a search, addressed
+/// by indices into the owning [`DsePlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DseCell {
+    /// Index into the spec's workload list.
+    pub workload: usize,
+    /// Trial index (0 is the `bl` baseline).
+    pub trial: usize,
+    /// Interval index within the workload's sampling plan.
+    pub interval: usize,
+}
+
+/// The pre-enumerated cell set of one search: prepared workloads,
+/// interval plans, and per-workload trial lists, exposing the primitive
+/// every driver shares — enumerate cells, key them, evaluate them
+/// through the cache, and assemble the outcomes into a [`DseResult`].
+///
+/// The batch driver ([`run_dse_supervised`]) and the campaign service
+/// (`r3dla-serve`) both run on this type, so a served report is
+/// byte-identical to a batch one by construction: same keys, same
+/// evaluator, same assembly. For the flat strategies
+/// ([`Strategy::Exhaustive`] / [`Strategy::Random`]) the full cell set
+/// is known up front; [`Strategy::Halving`] chooses cells adaptively
+/// between rungs and therefore cannot be pre-enumerated ([`DsePlan::cells`]
+/// returns its full-fidelity superset — the service rejects halving
+/// campaigns for exactly this reason).
+pub struct DsePlan {
+    spec: DseSpec,
+    ctxs: Vec<WorkloadCtx>,
+    trials: Vec<Vec<Trial>>,
+}
+
+impl DsePlan {
+    /// Prepares every workload and interval plan, then builds the trial
+    /// lists. The all-in-one path for batch runs; services with pooled
+    /// workloads use [`DsePlan::from_parts`].
+    pub fn build(spec: &DseSpec, threads: usize) -> Self {
+        let prepared = parallel_map(&spec.workloads, threads, |w| Prepared::new(w, spec.scale));
+        let plans = parallel_map(&prepared, threads, |p| {
+            plan_intervals(&p.program, &spec.sample)
+        });
+        let parts = prepared
+            .into_iter()
+            .zip(plans)
+            .map(|(p, plan)| (Arc::new(p), Arc::new(plan)))
+            .collect();
+        Self::from_parts(spec, parts, threads)
+    }
+
+    /// Builds the plan from already-prepared workloads and interval
+    /// plans, one `(prepared, intervals)` pair per spec workload in
+    /// order. Skeleton sets are (re)generated here — they are
+    /// candidate-set-specific — but the expensive profiling and
+    /// checkpointing behind `parts` is shared.
+    ///
+    /// # Panics
+    ///
+    /// When `parts` does not line up 1:1 with `spec.workloads`.
+    pub fn from_parts(
+        spec: &DseSpec,
+        parts: Vec<(Arc<Prepared>, Arc<Vec<IntervalCheckpoint>>)>,
+        threads: usize,
+    ) -> Self {
+        assert_eq!(
+            parts.len(),
+            spec.workloads.len(),
+            "one (prepared, plan) pair per workload"
+        );
+        let ctxs: Vec<WorkloadCtx> = parts
+            .into_iter()
+            .map(|(p, plan)| WorkloadCtx {
+                fingerprint: program_fingerprint(&p.program),
+                plan,
+                prepared: p,
+            })
+            .collect();
+
+        let points = candidates(&spec.space, &spec.strategy);
+        let dla_flat = spec.space.dla_point().map(|p| spec.space.flat(&p));
+        let r3_flat = spec.space.r3_point().map(|p| spec.space.flat(&p));
+
+        // Distinct skeleton-option requirements across the candidate
+        // set, generated once per workload up front (in parallel), so
+        // trial evaluation never regenerates skeletons.
+        let mut skel_reqs: Vec<(SkeletonOptions, bool)> = Vec::new();
+        for p in &points {
+            let (cfg, opt) = spec.space.materialize(p);
+            if !skel_reqs.iter().any(|(o, t)| *o == opt && *t == cfg.t1) {
+                skel_reqs.push((opt, cfg.t1));
+            }
+        }
+        let skel_cells: Vec<(usize, usize)> = (0..ctxs.len())
+            .flat_map(|wi| (0..skel_reqs.len()).map(move |si| (wi, si)))
+            .collect();
+        let skels: Vec<Arc<SkeletonSet>> = parallel_map(&skel_cells, threads, |&(wi, si)| {
+            let (opt, t1) = &skel_reqs[si];
+            Arc::new(ctxs[wi].prepared.skeletons_for(opt, *t1))
+        });
+        let skel_for = |wi: usize, opt: &SkeletonOptions, t1: bool| -> Arc<SkeletonSet> {
+            let si = skel_reqs
+                .iter()
+                .position(|(o, t)| o == opt && *t == t1)
+                .expect("skeleton set pre-generated");
+            Arc::clone(&skels[wi * skel_reqs.len() + si])
+        };
+
+        // Per-workload trial lists: index 0 is the bl baseline, the rest
+        // are the candidate points in selection order.
+        let trials: Vec<Vec<Trial>> = (0..ctxs.len())
+            .map(|wi| {
+                let mut list = vec![Trial {
+                    id: format!("{:016x}", crate::cache::fxhash_str(&baseline_key())),
+                    label: "bl".to_string(),
+                    trial_key: baseline_key(),
+                    incumbent: None,
+                    kind: TrialKind::Baseline,
+                }];
+                for p in &points {
+                    let (cfg, opt) = spec.space.materialize(p);
+                    let trial_key =
+                        format!("{};skeleton={}", cfg.canonical_key(), opt.canonical_key());
+                    let flat = spec.space.flat(p);
+                    list.push(Trial {
+                        id: format!("{:016x}", crate::cache::fxhash_str(&trial_key)),
+                        label: spec.space.label(p),
+                        trial_key,
+                        incumbent: if Some(flat) == r3_flat {
+                            Some("r3")
+                        } else if Some(flat) == dla_flat {
+                            Some("dla")
+                        } else {
+                            None
+                        },
+                        kind: TrialKind::Point {
+                            skel: skel_for(wi, &opt, cfg.t1),
+                            cfg,
+                        },
+                    });
+                }
+                list
+            })
+            .collect();
+
+        DsePlan {
+            spec: spec.clone(),
+            ctxs,
+            trials,
+        }
+    }
+
+    /// The spec this plan was built from.
+    pub fn spec(&self) -> &DseSpec {
+        &self.spec
+    }
+
+    /// Every cell of the (flat-strategy) search in canonical order:
+    /// workload-major, then trial, then interval — the order
+    /// [`DsePlan::assemble`] expects its outcomes in.
+    pub fn cells(&self) -> Vec<DseCell> {
+        let mut cells = Vec::with_capacity(self.n_cells());
+        for (wi, ctx) in self.ctxs.iter().enumerate() {
+            for ti in 0..self.trials[wi].len() {
+                for ii in 0..ctx.plan.len() {
+                    cells.push(DseCell {
+                        workload: wi,
+                        trial: ti,
+                        interval: ii,
+                    });
+                }
+            }
+        }
+        cells
+    }
+
+    /// Total cell count — a pure function of the spec (admission
+    /// budgets rely on this).
+    pub fn n_cells(&self) -> usize {
+        self.ctxs
+            .iter()
+            .enumerate()
+            .map(|(wi, ctx)| self.trials[wi].len() * ctx.plan.len())
+            .sum()
+    }
+
+    /// The content address of a cell — also the supervision key fault
+    /// injection and quarantine decisions hash.
+    pub fn cell_key(&self, cell: DseCell) -> CacheKey {
+        cell_cache_key(
+            &self.ctxs[cell.workload],
+            &self.trials[cell.workload][cell.trial],
+            &self.spec,
+            cell.interval,
+        )
+    }
+
+    /// Evaluates one cell through the cache (load, else simulate and
+    /// store). The flag reports whether the cache answered — telemetry
+    /// only; the result bytes are identical either way.
+    pub fn evaluate(&self, cell: DseCell, cache: &ResultCache) -> (IntervalResult, bool) {
+        evaluate_cell(
+            &self.ctxs[cell.workload],
+            &self.trials[cell.workload][cell.trial],
+            &self.spec,
+            cell.interval,
+            cache,
+        )
+    }
+
+    /// Assembles per-cell outcomes (in [`DsePlan::cells`] order) into
+    /// the final result, exactly as the flat batch driver does — same
+    /// statistics, same row ordering, so the report serialization is
+    /// byte-identical. The wall-clock fields are zero (they never reach
+    /// the report JSON).
+    ///
+    /// # Panics
+    ///
+    /// When `outcomes` does not line up 1:1 with [`DsePlan::cells`].
+    pub fn assemble(&self, outcomes: &[CellOutcome<IntervalResult>]) -> DseResult {
+        assert_eq!(
+            outcomes.len(),
+            self.n_cells(),
+            "one outcome per planned cell"
+        );
+        let mut by_cell: std::collections::HashMap<(usize, usize), Vec<CellEval>> =
+            std::collections::HashMap::new();
+        for (cell, o) in self.cells().iter().zip(outcomes) {
+            by_cell
+                .entry((cell.workload, cell.trial))
+                .or_default()
+                .push(CellEval::from_outcome(o));
+        }
+        let workloads = self
+            .ctxs
+            .iter()
+            .enumerate()
+            .map(|(wi, ctx)| {
+                let results_of = |ti: usize| by_cell[&(wi, ti)].clone();
+                let bl_results = results_of(0);
+                let bl_ipcs: Vec<(f64, bool)> = bl_results
+                    .iter()
+                    .map(|e| (e.result.report.mt_ipc, e.status == CellStatus::Ok))
+                    .collect();
+                let bl = summarize(&self.trials[wi][0], &bl_results, None);
+                let mut rows: Vec<TrialSummary> = (1..self.trials[wi].len())
+                    .map(|ti| summarize(&self.trials[wi][ti], &results_of(ti), Some(&bl_ipcs)))
+                    .collect();
+                sort_trials(&mut rows);
+                WorkloadOutcome {
+                    workload: ctx.prepared.name.clone(),
+                    suite: ctx.prepared.suite,
+                    bl,
+                    eliminated: Vec::new(),
+                    interval_sims: self.trials[wi].len() * ctx.plan.len(),
+                    trials: rows,
+                }
+            })
+            .collect();
+        DseResult {
+            scale: self.spec.scale,
+            sample: self.spec.sample,
+            strategy: self.spec.strategy.label(),
+            space_points: self.spec.space.size(),
+            workloads,
+            prep_ms: 0,
+            plan_ms: 0,
+            measure_ms: 0,
+        }
+    }
 }
 
 /// Aggregates a trial's interval evaluations. Statistics cover only the
@@ -497,157 +770,49 @@ pub fn run_dse_supervised(
     let plans = parallel_map(&prepared, threads, |p| {
         plan_intervals(&p.program, &spec.sample)
     });
-    let ctxs: Vec<WorkloadCtx> = prepared
+    let parts = prepared
         .into_iter()
         .zip(plans)
-        .map(|(p, plan)| WorkloadCtx {
-            fingerprint: program_fingerprint(&p.program),
-            plan,
-            prepared: p,
-        })
+        .map(|(p, plan)| (Arc::new(p), Arc::new(plan)))
         .collect();
+    let plan = DsePlan::from_parts(spec, parts, threads);
     let plan_ms = t1.elapsed().as_millis() as u64;
 
-    let points = candidates(&spec.space, &spec.strategy);
-    let dla_flat = spec.space.dla_point().map(|p| spec.space.flat(&p));
-    let r3_flat = spec.space.r3_point().map(|p| spec.space.flat(&p));
-
-    // Distinct skeleton-option requirements across the candidate set,
-    // generated once per workload up front (in parallel), so trial
-    // evaluation never regenerates skeletons.
-    let mut skel_reqs: Vec<(SkeletonOptions, bool)> = Vec::new();
-    for p in &points {
-        let (cfg, opt) = spec.space.materialize(p);
-        if !skel_reqs.iter().any(|(o, t)| *o == opt && *t == cfg.t1) {
-            skel_reqs.push((opt, cfg.t1));
-        }
-    }
-    let skel_cells: Vec<(usize, usize)> = (0..ctxs.len())
-        .flat_map(|wi| (0..skel_reqs.len()).map(move |si| (wi, si)))
-        .collect();
-    let skels: Vec<Arc<SkeletonSet>> = parallel_map(&skel_cells, threads, |&(wi, si)| {
-        let (opt, t1) = &skel_reqs[si];
-        Arc::new(ctxs[wi].prepared.skeletons_for(opt, *t1))
-    });
-    let skel_for = |wi: usize, opt: &SkeletonOptions, t1: bool| -> Arc<SkeletonSet> {
-        let si = skel_reqs
-            .iter()
-            .position(|(o, t)| o == opt && *t == t1)
-            .expect("skeleton set pre-generated");
-        Arc::clone(&skels[wi * skel_reqs.len() + si])
-    };
-
-    // Per-workload trial lists: index 0 is the bl baseline, the rest are
-    // the candidate points in selection order.
-    let trials: Vec<Vec<Trial>> = (0..ctxs.len())
-        .map(|wi| {
-            let mut list = vec![Trial {
-                id: format!("{:016x}", crate::cache::fxhash_str(&baseline_key())),
-                label: "bl".to_string(),
-                trial_key: baseline_key(),
-                incumbent: None,
-                kind: TrialKind::Baseline,
-            }];
-            for p in &points {
-                let (cfg, opt) = spec.space.materialize(p);
-                let trial_key = format!("{};skeleton={}", cfg.canonical_key(), opt.canonical_key());
-                let flat = spec.space.flat(p);
-                list.push(Trial {
-                    id: format!("{:016x}", crate::cache::fxhash_str(&trial_key)),
-                    label: spec.space.label(p),
-                    trial_key,
-                    incumbent: if Some(flat) == r3_flat {
-                        Some("r3")
-                    } else if Some(flat) == dla_flat {
-                        Some("dla")
-                    } else {
-                        None
-                    },
-                    kind: TrialKind::Point {
-                        skel: skel_for(wi, &opt, cfg.t1),
-                        cfg,
-                    },
-                });
-            }
-            list
-        })
-        .collect();
-
     let t2 = Instant::now();
-    let outcomes = match spec.strategy {
-        Strategy::Halving { .. } => run_halving(spec, cache, threads, sup, &ctxs, &trials),
-        _ => run_flat(spec, cache, threads, sup, &ctxs, &trials),
+    let mut result = match spec.strategy {
+        Strategy::Halving { .. } => {
+            let workloads = run_halving(spec, cache, threads, sup, &plan.ctxs, &plan.trials);
+            DseResult {
+                scale: spec.scale,
+                sample: spec.sample,
+                strategy: spec.strategy.label(),
+                space_points: spec.space.size(),
+                workloads,
+                prep_ms: 0,
+                plan_ms: 0,
+                measure_ms: 0,
+            }
+        }
+        _ => run_flat(&plan, cache, threads, sup),
     };
-    let measure_ms = t2.elapsed().as_millis() as u64;
-
-    DseResult {
-        scale: spec.scale,
-        sample: spec.sample,
-        strategy: spec.strategy.label(),
-        space_points: spec.space.size(),
-        workloads: outcomes,
-        prep_ms,
-        plan_ms,
-        measure_ms,
-    }
+    result.prep_ms = prep_ms;
+    result.plan_ms = plan_ms;
+    result.measure_ms = t2.elapsed().as_millis() as u64;
+    result
 }
 
 /// Exhaustive/random execution: every (workload, trial, interval) cell
-/// is independent; one `parallel_map` covers the whole search.
-fn run_flat(
-    spec: &DseSpec,
-    cache: &ResultCache,
-    threads: usize,
-    sup: &Supervisor,
-    ctxs: &[WorkloadCtx],
-    trials: &[Vec<Trial>],
-) -> Vec<WorkloadOutcome> {
-    let mut cells: Vec<(usize, usize, usize)> = Vec::new();
-    for (wi, ctx) in ctxs.iter().enumerate() {
-        for ti in 0..trials[wi].len() {
-            for ii in 0..ctx.plan.len() {
-                cells.push((wi, ti, ii));
-            }
-        }
-    }
+/// is independent; one `parallel_map` covers the whole search, then
+/// [`DsePlan::assemble`] folds the outcomes into the report rows.
+fn run_flat(plan: &DsePlan, cache: &ResultCache, threads: usize, sup: &Supervisor) -> DseResult {
+    let cells = plan.cells();
     let measured = sup.map(
         &cells,
         threads,
-        |&(wi, ti, ii)| cell_cache_key(&ctxs[wi], &trials[wi][ti], spec, ii).descr,
-        |&(wi, ti, ii)| Ok(evaluate_cell(&ctxs[wi], &trials[wi][ti], spec, ii, cache)),
+        |&cell| plan.cell_key(cell).descr,
+        |&cell| Ok(plan.evaluate(cell, cache).0),
     );
-    let mut by_cell: std::collections::HashMap<(usize, usize), Vec<CellEval>> =
-        std::collections::HashMap::new();
-    for (&(wi, ti, _), o) in cells.iter().zip(measured) {
-        by_cell
-            .entry((wi, ti))
-            .or_default()
-            .push(CellEval::from_outcome(o));
-    }
-    ctxs.iter()
-        .enumerate()
-        .map(|(wi, ctx)| {
-            let results_of = |ti: usize| by_cell[&(wi, ti)].clone();
-            let bl_results = results_of(0);
-            let bl_ipcs: Vec<(f64, bool)> = bl_results
-                .iter()
-                .map(|e| (e.result.report.mt_ipc, e.status == CellStatus::Ok))
-                .collect();
-            let bl = summarize(&trials[wi][0], &bl_results, None);
-            let mut rows: Vec<TrialSummary> = (1..trials[wi].len())
-                .map(|ti| summarize(&trials[wi][ti], &results_of(ti), Some(&bl_ipcs)))
-                .collect();
-            sort_trials(&mut rows);
-            WorkloadOutcome {
-                workload: ctx.prepared.name.clone(),
-                suite: ctx.prepared.suite,
-                bl,
-                eliminated: Vec::new(),
-                interval_sims: trials[wi].len() * ctx.plan.len(),
-                trials: rows,
-            }
-        })
-        .collect()
+    plan.assemble(&measured)
 }
 
 /// Successive-halving execution. Rung fidelities double from two
@@ -693,11 +858,11 @@ fn run_halving(
             &cells,
             threads,
             |&(wi, ti, ii)| cell_cache_key(&ctxs[wi], &trials[wi][ti], spec, ii).descr,
-            |&(wi, ti, ii)| Ok(evaluate_cell(&ctxs[wi], &trials[wi][ti], spec, ii, cache)),
+            |&(wi, ti, ii)| Ok(evaluate_cell(&ctxs[wi], &trials[wi][ti], spec, ii, cache).0),
         );
         for (&(wi, ti, ii), o) in cells.iter().zip(fresh) {
             interval_sims[wi] += 1;
-            measured.insert((wi, ti, ii), CellEval::from_outcome(o));
+            measured.insert((wi, ti, ii), CellEval::from_outcome(&o));
         }
         if m >= k_max {
             break;

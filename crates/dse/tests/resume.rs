@@ -51,15 +51,18 @@ fn interrupted_search_resumes_byte_identically() {
     let cache_b = ResultCache::at(&dir_b).unwrap();
     let resumed = to_json(&run_dse(&spec, &cache_b, 2));
     assert_eq!(fresh, resumed, "resumed report must equal the fresh one");
-    let (hits, misses) = cache_b.stats();
-    assert!(hits > 0, "resume must actually use the surviving entries");
-    assert!(misses > 0, "resume must re-simulate the lost entries");
+    let stats = cache_b.stats();
+    assert!(
+        stats.hits > 0,
+        "resume must actually use the surviving entries"
+    );
+    assert!(stats.misses > 0, "resume must re-simulate the lost entries");
 
     // A second complete run is pure cache replay, still byte-identical.
     let cache_c = ResultCache::at(&dir_a).unwrap();
     let replay = to_json(&run_dse(&spec, &cache_c, 1));
     assert_eq!(fresh, replay);
-    assert_eq!(cache_c.stats().1, 0, "replay must not re-simulate");
+    assert_eq!(cache_c.stats().misses, 0, "replay must not re-simulate");
 
     let _ = std::fs::remove_dir_all(&dir_a);
     let _ = std::fs::remove_dir_all(&dir_b);
@@ -110,12 +113,15 @@ fn store_crashes_never_corrupt_the_report_and_resume_heals() {
     // byte-identical report.
     let resumed = to_json(&run_dse(&spec, &healed, 2));
     assert_eq!(reference, resumed, "healed resume must match the reference");
-    let (hits, misses) = healed.stats();
+    let stats = healed.stats();
     assert!(
-        hits > 0,
+        stats.hits > 0,
         "resume must reuse entries that survived the chaos"
     );
-    assert!(misses > 0, "resume must re-simulate the crashed stores");
+    assert!(
+        stats.misses > 0,
+        "resume must re-simulate the crashed stores"
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,150 @@
+//! The service front ends: a spool directory for file-based clients
+//! and a line-delimited TCP protocol for interactive ones. Both are
+//! thin shells over [`ServeHandle`] — they parse nothing and decide
+//! nothing; every accepted byte of output is a rendered
+//! [`ServeEvent`].
+//!
+//! # Spool protocol
+//!
+//! A client drops `<name>.campaign` into the spool directory. The
+//! daemon claims it by renaming it to `<name>.campaign.taken` (so a
+//! crashed run leaves evidence rather than re-running the file), then
+//! writes:
+//!
+//! * `<name>.stream` — the event lines, appended as cells complete,
+//! * `<name>.report.json` — the report, byte-identical to the batch
+//!   binary's `--out` for the same spec (written atomically via a
+//!   `.part` temp file),
+//! * `<name>.error` — only on rejection, with the reason.
+//!
+//! The `done …` line in the stream marks completion. Files are claimed
+//! in name order, and all pending files are submitted before any is
+//! drained, so concurrently dropped campaigns genuinely overlap in the
+//! scheduler.
+//!
+//! # TCP protocol
+//!
+//! A client connects, sends one campaign spec (ending with `end`), and
+//! reads event lines until `done`; the report travels in-band after
+//! its `report bytes=<n>` line. A connection may submit further
+//! campaigns after the previous stream completes. A rejected spec gets
+//! one `rejected <reason>` line. A client that disconnects mid-stream
+//! aborts nothing: the campaign runs to completion server-side, and
+//! every cell it shares with other clients stays cached and memoized.
+
+use std::fs;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::thread;
+
+use crate::service::{Campaign, ServeEvent, ServeHandle};
+
+/// What one spool sweep did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpoolReport {
+    /// Campaigns accepted and run to completion.
+    pub completed: usize,
+    /// Campaigns rejected (`.error` file written).
+    pub rejected: usize,
+}
+
+/// Claims and runs every pending `*.campaign` file in `dir`, blocking
+/// until all of them have completed. Files are submitted (in name
+/// order) before any stream is drained, so they share the scheduler,
+/// the memo and the cache concurrently.
+pub fn process_spool(handle: &ServeHandle, dir: &Path) -> std::io::Result<SpoolReport> {
+    let mut pending: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "campaign"))
+        .collect();
+    pending.sort();
+
+    let mut report = SpoolReport::default();
+    let mut drains = Vec::new();
+    for path in pending {
+        let mut taken = path.clone().into_os_string();
+        taken.push(".taken");
+        fs::rename(&path, &taken)?;
+        let text = fs::read_to_string(&taken)?;
+        let base = path.with_extension("");
+        match handle.submit(&text) {
+            Err(reason) => {
+                fs::write(base.with_extension("error"), format!("rejected {reason}\n"))?;
+                report.rejected += 1;
+            }
+            Ok(campaign) => {
+                drains.push(thread::spawn(move || drain_to_files(campaign, &base)));
+            }
+        }
+    }
+    for d in drains {
+        d.join()
+            .map_err(|_| std::io::Error::other("spool drain thread panicked"))??;
+        report.completed += 1;
+    }
+    Ok(report)
+}
+
+/// Streams one campaign's events into its spool files.
+fn drain_to_files(campaign: Campaign, base: &Path) -> std::io::Result<()> {
+    let mut stream = fs::File::create(base.with_extension("stream"))?;
+    while let Some(ev) = campaign.recv() {
+        match ev {
+            ServeEvent::Report { json } => {
+                let part = base.with_extension("report.json.part");
+                fs::write(&part, &json)?;
+                fs::rename(&part, base.with_extension("report.json"))?;
+                writeln!(stream, "report bytes={}", json.len())?;
+            }
+            other => {
+                stream.write_all(other.render().as_bytes())?;
+            }
+        }
+        stream.flush()?;
+    }
+    Ok(())
+}
+
+/// Accept loop for the TCP front end: one thread per connection, each
+/// serving campaigns sequentially. Never returns under normal
+/// operation; errors out only if the listener itself fails.
+pub fn serve_tcp(handle: Arc<ServeHandle>, listener: TcpListener) -> std::io::Result<()> {
+    for conn in listener.incoming() {
+        let conn = conn?;
+        let handle = Arc::clone(&handle);
+        thread::spawn(move || {
+            // A failed connection only loses that client's view; the
+            // campaigns themselves run to completion regardless.
+            let _ = handle_conn(&handle, conn);
+        });
+    }
+    Ok(())
+}
+
+fn handle_conn(handle: &ServeHandle, conn: TcpStream) -> std::io::Result<()> {
+    let reader = BufReader::new(conn.try_clone()?);
+    let mut writer = BufWriter::new(conn);
+    let mut text = String::new();
+    for line in reader.lines() {
+        let line = line?;
+        text.push_str(&line);
+        text.push('\n');
+        if line.trim() != "end" {
+            continue;
+        }
+        match handle.submit(&text) {
+            Err(reason) => writeln!(writer, "rejected {reason}")?,
+            Ok(campaign) => {
+                while let Some(ev) = campaign.recv() {
+                    writer.write_all(ev.render().as_bytes())?;
+                    writer.flush()?;
+                }
+            }
+        }
+        writer.flush()?;
+        text.clear();
+    }
+    Ok(())
+}

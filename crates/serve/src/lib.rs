@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+//! Long-running campaign service for the R3-DLA harness.
+//!
+//! `r3dla-serve` turns the batch experiment drivers (`runner`,
+//! `r3dla-dse`) into a daemon: clients submit campaign specs (grid,
+//! sampled-grid or DSE requests) over a line-delimited TCP protocol or
+//! by dropping files in a spool directory, and the service schedules
+//! their cells across a shared worker pool with per-client priorities
+//! and budgets, dedupes identical cells across concurrent clients, and
+//! streams per-cell completions back as they happen.
+//!
+//! The load-bearing property is **byte-determinism**: the report a
+//! served campaign produces is byte-identical to the file the batch
+//! binary writes for the same spec — including under fault injection
+//! and with several clients racing over the same cells. The service
+//! earns this by construction rather than by normalization: campaigns
+//! resolve to the exact plan types the batch drivers run
+//! ([`r3dla_bench::GridPlan`], [`r3dla_bench::SampledPlan`],
+//! [`r3dla_dse::DsePlan`]), every cell executes under its batch
+//! supervision key, and reports are assembled by the plans' pure
+//! `assemble` functions. See `docs/SERVE.md` for the protocol grammar
+//! and the full determinism contract.
+//!
+//! # Modules
+//!
+//! * [`spec`] — the campaign-spec grammar: parser, canonical renderer
+//!   and resolution to batch-layer requests.
+//! * [`sched`] — pure scheduling state: weighted round-robin with
+//!   admission budgets, plus the reorder buffer that restores
+//!   deterministic stream order.
+//! * [`service`] — the in-process engine and the [`ServeHandle`]
+//!   harness integration tests drive directly.
+//! * [`daemon`] — the spool-directory and TCP front ends.
+
+pub mod daemon;
+pub mod sched;
+pub mod service;
+pub mod spec;
+
+pub use daemon::{process_spool, serve_tcp, SpoolReport};
+pub use sched::{Reorder, Scheduler};
+pub use service::{
+    Campaign, CampaignResult, CampaignStats, ServeConfig, ServeEvent, ServeHandle, ServeStats,
+};
+pub use spec::{CampaignKind, CampaignSpec, Request, MAX_PRIORITY, SPEC_SCHEMA};

@@ -1,0 +1,129 @@
+//! The `r3dla-serve` CLI: a long-running campaign service over the
+//! batch experiment drivers.
+//!
+//! ```text
+//! r3dla-serve [--spool DIR] [--listen ADDR] [--threads N]
+//!             [--cache DIR] [--no-cache] [--once] [--progress]
+//! ```
+//!
+//! At least one front end is required: `--spool DIR` watches a
+//! directory for `*.campaign` files, `--listen ADDR` (e.g.
+//! `127.0.0.1:7433`) accepts line-protocol connections; both may run
+//! together. `--once` (spool only) processes the files present, waits
+//! for their campaigns to finish and exits — the mode CI's
+//! `serve-smoke` job drives. Served reports are byte-identical to the
+//! batch binaries' `--out` files for the same spec; see
+//! `docs/SERVE.md`.
+//!
+//! Telemetry (stderr/sidecar only, never the report): `--progress`
+//! prints a live cells-done meter, `R3DLA_TRACE=path` records a Chrome
+//! trace, `R3DLA_TELEMETRY=path` writes the `*.telemetry.json` sidecar
+//! on exit (queue depth, client sessions, dedup hits).
+
+use std::net::TcpListener;
+use std::sync::Arc;
+
+use r3dla_bench::{arg_flag, arg_str, arg_threads};
+use r3dla_serve::{process_spool, serve_tcp, ServeConfig, ServeHandle};
+
+fn main() {
+    let spool = arg_str("--spool");
+    let listen = arg_str("--listen");
+    if spool.is_none() && listen.is_none() {
+        eprintln!("r3dla-serve: need a front end: --spool DIR and/or --listen ADDR");
+        std::process::exit(2);
+    }
+    let once = arg_flag("--once");
+    if once && spool.is_none() {
+        eprintln!("r3dla-serve: --once requires --spool");
+        std::process::exit(2);
+    }
+
+    let mut cfg = ServeConfig::from_env();
+    cfg.threads = arg_threads();
+    cfg.cache_dir = if arg_flag("--no-cache") {
+        None
+    } else {
+        Some(
+            arg_str("--cache")
+                .unwrap_or_else(|| "DSE_CACHE".to_string())
+                .into(),
+        )
+    };
+
+    let session = r3dla_obs::Session::from_env();
+    if arg_flag("--progress") {
+        // The meter total is unknowable up front for a service; track
+        // completed cells against the campaigns admitted so far.
+        r3dla_obs::progress::start("serve", 0);
+    }
+
+    let handle = Arc::new(ServeHandle::start(cfg).unwrap_or_else(|e| {
+        eprintln!("r3dla-serve: {e}");
+        std::process::exit(2);
+    }));
+
+    if let Some(addr) = &listen {
+        let listener = TcpListener::bind(addr).unwrap_or_else(|e| {
+            eprintln!("r3dla-serve: cannot listen on {addr}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("r3dla-serve: listening on {addr}");
+        let tcp_handle = Arc::clone(&handle);
+        std::thread::spawn(move || {
+            if let Err(e) = serve_tcp(tcp_handle, listener) {
+                eprintln!("r3dla-serve: tcp front end failed: {e}");
+            }
+        });
+    }
+
+    let mut rejected = 0usize;
+    if let Some(dir) = &spool {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+            eprintln!("r3dla-serve: cannot create spool {}: {e}", dir.display());
+            std::process::exit(2);
+        });
+        if once {
+            let report = process_spool(&handle, dir).unwrap_or_else(|e| {
+                eprintln!("r3dla-serve: spool processing failed: {e}");
+                std::process::exit(2);
+            });
+            rejected += report.rejected;
+            eprintln!(
+                "r3dla-serve: spool done: {} completed, {} rejected",
+                report.completed, report.rejected
+            );
+        } else {
+            eprintln!("r3dla-serve: watching spool {}", dir.display());
+            loop {
+                // Rejections already leave `.error` files; the daemon
+                // keeps serving.
+                if let Err(e) = process_spool(&handle, dir) {
+                    eprintln!("r3dla-serve: spool sweep failed: {e}");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(200));
+            }
+        }
+    } else {
+        // TCP-only: serve until killed.
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+
+    let stats = handle.stats();
+    eprintln!(
+        "r3dla-serve: {} campaign(s), {} rejected, cells: {} fresh, {} shared, {} cache hits",
+        stats.campaigns, stats.rejected, stats.fresh, stats.shared, stats.cache_hits
+    );
+    if arg_flag("--progress") {
+        r3dla_obs::progress::finish();
+    }
+    if let Err(e) = session.finalize(None, None) {
+        eprintln!("r3dla-serve: telemetry write failed: {e}");
+    }
+    if rejected > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,505 @@
+//! The campaign-spec grammar: a line-delimited request format shared by
+//! the TCP and spool front ends, with a canonical renderer the property
+//! tests round-trip through.
+//!
+//! A spec is a `campaign r3dla-serve-v1` header, `key value` lines in
+//! any order, and a closing `end` (which doubles as the
+//! truncation guard for spool files and the submit trigger on a TCP
+//! connection). Blank lines and `#` comments are ignored. Example:
+//!
+//! ```text
+//! campaign r3dla-serve-v1
+//! client alice
+//! priority 3
+//! budget 64
+//! kind dse
+//! scale tiny
+//! workloads libq_like,md5_like
+//! space quick
+//! strategy exhaustive
+//! trials 4
+//! sample 2:1500:none
+//! end
+//! ```
+//!
+//! Every field except the header and `end` is optional; defaults mirror
+//! the batch CLIs (`runner`, `r3dla-dse`) so a served report is
+//! comparable with a batch one produced from the same explicit flags.
+//! Unknown keys, malformed values and keys that do not belong to the
+//! requested `kind` are errors — a service must reject a bad request,
+//! not guess.
+
+use r3dla_bench::runner::{scale_by_name, scale_name, ConfigSpec, GridSpec};
+use r3dla_bench::{WARMUP, WINDOW};
+use r3dla_dse::{DseSpec, SearchSpace, Strategy};
+use r3dla_sample::SampleSpec;
+use r3dla_workloads::{by_name, suite, Scale, Workload};
+
+/// The spec schema tag every campaign must open with.
+pub const SPEC_SCHEMA: &str = "r3dla-serve-v1";
+
+/// Priorities are weights in `1..=MAX_PRIORITY` (credits per scheduling
+/// round — see [`crate::sched::Scheduler`]).
+pub const MAX_PRIORITY: u32 = 8;
+
+/// One parsed campaign request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Client name (diagnostics and telemetry only — results are
+    /// client-independent by construction).
+    pub client: String,
+    /// Scheduling weight, `1..=MAX_PRIORITY` credits per round.
+    pub priority: u32,
+    /// Admission budget: maximum cells this campaign may schedule.
+    /// `None` is unlimited.
+    pub budget: Option<usize>,
+    /// Input scale.
+    pub scale: Scale,
+    /// Workload names; empty means the full suite.
+    pub workloads: Vec<String>,
+    /// Event-driven cycle skipping (reports identical either way).
+    pub fast_forward: bool,
+    /// What to run and its kind-specific knobs.
+    pub kind: CampaignKind,
+}
+
+/// The campaign's kind-specific parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignKind {
+    /// A full-window `(workload × config)` grid — the batch `runner`.
+    Grid {
+        /// Config names; empty means the runner default `bl,dla,r3`.
+        configs: Vec<String>,
+        /// Warmup committed instructions per cell.
+        warm: u64,
+        /// Measured committed instructions per cell.
+        win: u64,
+    },
+    /// A sampled grid (`runner --sample`).
+    Sample {
+        /// Config names; empty means the runner default `bl,dla,r3`.
+        configs: Vec<String>,
+        /// The `k:U:W` interval-sampling spec.
+        sample: SampleSpec,
+    },
+    /// A design-space search (`r3dla-dse`). Halving parses but is
+    /// rejected at admission: its cell set is adaptive, so it cannot be
+    /// pre-enumerated for scheduling.
+    Dse {
+        /// Space name (`quick` or `full`).
+        space: String,
+        /// Strategy name (`exhaustive`, `random` or `halving`).
+        strategy: String,
+        /// PRNG seed for `random`/`halving`.
+        seed: u64,
+        /// Trial budget (the batch CLI's `--budget`).
+        trials: usize,
+        /// The sampled-evaluator `k:U:W` spec.
+        sample: SampleSpec,
+    },
+}
+
+impl CampaignKind {
+    /// The kind's wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CampaignKind::Grid { .. } => "grid",
+            CampaignKind::Sample { .. } => "sample",
+            CampaignKind::Dse { .. } => "dse",
+        }
+    }
+}
+
+impl Default for CampaignSpec {
+    /// The default campaign: a full-suite DSE request with the batch
+    /// CLI's defaults at tiny scale.
+    fn default() -> Self {
+        CampaignSpec {
+            client: "anon".to_string(),
+            priority: 1,
+            budget: None,
+            scale: Scale::Tiny,
+            workloads: Vec::new(),
+            fast_forward: true,
+            kind: CampaignKind::Dse {
+                space: "full".to_string(),
+                strategy: "random".to_string(),
+                seed: 1,
+                trials: 12,
+                sample: SampleSpec::parse("3:3000:functional").expect("default sample spec"),
+            },
+        }
+    }
+}
+
+/// Validates a client token: non-empty, `[A-Za-z0-9_.-]` only (it shows
+/// up in file names and log lines).
+fn valid_client(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= 64
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.')
+}
+
+impl CampaignSpec {
+    /// Parses one spec. Requires the `campaign r3dla-serve-v1` header
+    /// and the closing `end`; see the module docs for the grammar.
+    pub fn parse(text: &str) -> Result<CampaignSpec, String> {
+        let mut lines = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'));
+        match lines.next() {
+            Some(header) if header == format!("campaign {SPEC_SCHEMA}") => {}
+            Some(other) => return Err(format!("expected `campaign {SPEC_SCHEMA}`, got `{other}`")),
+            None => return Err(format!("empty spec (expected `campaign {SPEC_SCHEMA}`)")),
+        }
+
+        let mut fields: Vec<(String, String)> = Vec::new();
+        let mut ended = false;
+        for line in lines {
+            if ended {
+                return Err(format!("trailing content after `end`: `{line}`"));
+            }
+            if line == "end" {
+                ended = true;
+                continue;
+            }
+            let (key, value) = line
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| format!("malformed line `{line}` (expected `key value`)"))?;
+            fields.push((key.to_string(), value.trim().to_string()));
+        }
+        if !ended {
+            return Err("spec is missing the closing `end` (truncated?)".to_string());
+        }
+
+        let mut take = |key: &str| -> Option<String> {
+            let pos = fields.iter().position(|(k, _)| k == key)?;
+            Some(fields.remove(pos).1)
+        };
+        fn num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+            value
+                .parse()
+                .map_err(|_| format!("field `{key}` has a malformed value `{value}`"))
+        }
+
+        let mut spec = CampaignSpec::default();
+        if let Some(v) = take("client") {
+            if !valid_client(&v) {
+                return Err(format!(
+                    "client name `{v}` is invalid (want 1-64 chars of [A-Za-z0-9_.-])"
+                ));
+            }
+            spec.client = v;
+        }
+        if let Some(v) = take("priority") {
+            let p: u32 = num("priority", &v)?;
+            if !(1..=MAX_PRIORITY).contains(&p) {
+                return Err(format!("priority {p} out of range 1..={MAX_PRIORITY}"));
+            }
+            spec.priority = p;
+        }
+        if let Some(v) = take("budget") {
+            spec.budget = Some(num("budget", &v)?);
+        }
+        if let Some(v) = take("scale") {
+            spec.scale =
+                scale_by_name(&v).ok_or_else(|| format!("unknown scale `{v}` (tiny|train|ref)"))?;
+        }
+        if let Some(v) = take("workloads") {
+            spec.workloads = v
+                .split(',')
+                .map(|w| w.trim().to_string())
+                .filter(|w| !w.is_empty())
+                .collect();
+            if spec.workloads.is_empty() {
+                return Err("`workloads` lists no names".to_string());
+            }
+        }
+        if let Some(v) = take("fast-forward") {
+            spec.fast_forward = match v.as_str() {
+                "on" => true,
+                "off" => false,
+                _ => return Err(format!("fast-forward `{v}` is not on|off")),
+            };
+        }
+
+        let kind = take("kind").unwrap_or_else(|| "dse".to_string());
+        let configs =
+            |take: &mut dyn FnMut(&str) -> Option<String>| -> Result<Vec<String>, String> {
+                match take("configs") {
+                    Some(v) => {
+                        let list: Vec<String> = v
+                            .split(',')
+                            .map(|c| c.trim().to_string())
+                            .filter(|c| !c.is_empty())
+                            .collect();
+                        if list.is_empty() {
+                            return Err("`configs` lists no names".to_string());
+                        }
+                        Ok(list)
+                    }
+                    None => Ok(Vec::new()),
+                }
+            };
+        let sample_spec = |key: &str,
+                           v: Option<String>,
+                           default: &str|
+         -> Result<SampleSpec, String> {
+            let text = v.unwrap_or_else(|| default.to_string());
+            SampleSpec::parse(&text).ok_or_else(|| {
+                format!("invalid {key} `{text}` (expected k:U:none|functional[:N]|detailed[:N], k >= 2)")
+            })
+        };
+        spec.kind = match kind.as_str() {
+            "grid" => CampaignKind::Grid {
+                configs: configs(&mut take)?,
+                warm: match take("warm") {
+                    Some(v) => num("warm", &v)?,
+                    None => WARMUP,
+                },
+                win: match take("window") {
+                    Some(v) => num("window", &v)?,
+                    None => WINDOW,
+                },
+            },
+            "sample" => CampaignKind::Sample {
+                configs: configs(&mut take)?,
+                sample: sample_spec("sample", take("sample"), "4:5000:functional")?,
+            },
+            "dse" => {
+                let space = take("space").unwrap_or_else(|| "full".to_string());
+                if SearchSpace::by_name(&space).is_none() {
+                    return Err(format!("unknown space `{space}` (quick|full)"));
+                }
+                let strategy = take("strategy").unwrap_or_else(|| "random".to_string());
+                if Strategy::parse(&strategy, 0, 0).is_none() {
+                    return Err(format!(
+                        "unknown strategy `{strategy}` (exhaustive|random|halving)"
+                    ));
+                }
+                CampaignKind::Dse {
+                    space,
+                    strategy,
+                    seed: match take("seed") {
+                        Some(v) => num("seed", &v)?,
+                        None => 1,
+                    },
+                    trials: match take("trials") {
+                        Some(v) => num("trials", &v)?,
+                        None => 12,
+                    },
+                    sample: sample_spec("sample", take("sample"), "3:3000:functional")?,
+                }
+            }
+            other => return Err(format!("unknown kind `{other}` (grid|sample|dse)")),
+        };
+
+        if let Some((key, _)) = fields.first() {
+            return Err(format!(
+                "field `{key}` is unknown or does not apply to kind `{}`",
+                spec.kind.name()
+            ));
+        }
+        Ok(spec)
+    }
+
+    /// Renders the canonical form: every applicable field, fixed order.
+    /// `parse(render(spec)) == spec` for any valid spec — the property
+    /// suite holds the parser to it.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str(&format!("campaign {SPEC_SCHEMA}\n"));
+        out.push_str(&format!("client {}\n", self.client));
+        out.push_str(&format!("priority {}\n", self.priority));
+        if let Some(b) = self.budget {
+            out.push_str(&format!("budget {b}\n"));
+        }
+        out.push_str(&format!("kind {}\n", self.kind.name()));
+        out.push_str(&format!("scale {}\n", scale_name(self.scale)));
+        if !self.workloads.is_empty() {
+            out.push_str(&format!("workloads {}\n", self.workloads.join(",")));
+        }
+        out.push_str(&format!(
+            "fast-forward {}\n",
+            if self.fast_forward { "on" } else { "off" }
+        ));
+        match &self.kind {
+            CampaignKind::Grid { configs, warm, win } => {
+                if !configs.is_empty() {
+                    out.push_str(&format!("configs {}\n", configs.join(",")));
+                }
+                out.push_str(&format!("warm {warm}\n"));
+                out.push_str(&format!("window {win}\n"));
+            }
+            CampaignKind::Sample { configs, sample } => {
+                if !configs.is_empty() {
+                    out.push_str(&format!("configs {}\n", configs.join(",")));
+                }
+                out.push_str(&format!("sample {}\n", sample.label()));
+            }
+            CampaignKind::Dse {
+                space,
+                strategy,
+                seed,
+                trials,
+                sample,
+            } => {
+                out.push_str(&format!("space {space}\n"));
+                out.push_str(&format!("strategy {strategy}\n"));
+                out.push_str(&format!("seed {seed}\n"));
+                out.push_str(&format!("trials {trials}\n"));
+                out.push_str(&format!("sample {}\n", sample.label()));
+            }
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Resolves names against the workload/config registries and builds
+    /// the batch-layer request. This is where admission catches unknown
+    /// workloads, unknown configs and the unservable halving strategy.
+    pub fn to_request(&self) -> Result<Request, String> {
+        let workloads: Vec<Workload> = if self.workloads.is_empty() {
+            suite()
+        } else {
+            self.workloads
+                .iter()
+                .map(|n| by_name(n).ok_or_else(|| format!("unknown workload `{n}`")))
+                .collect::<Result<_, _>>()?
+        };
+        let resolve_configs = |names: &[String]| -> Result<Vec<ConfigSpec>, String> {
+            if names.is_empty() {
+                return Ok(["bl", "dla", "r3"]
+                    .iter()
+                    .map(|n| ConfigSpec::by_name(n).expect("built-in config"))
+                    .collect());
+            }
+            names
+                .iter()
+                .map(|n| ConfigSpec::by_name(n).ok_or_else(|| format!("unknown config `{n}`")))
+                .collect()
+        };
+        match &self.kind {
+            CampaignKind::Grid { configs, warm, win } => Ok(Request::Grid(GridSpec {
+                scale: self.scale,
+                workloads,
+                configs: resolve_configs(configs)?,
+                warm: *warm,
+                win: *win,
+                fast_forward: self.fast_forward,
+            })),
+            CampaignKind::Sample { configs, sample } => Ok(Request::Sample(
+                GridSpec {
+                    scale: self.scale,
+                    workloads,
+                    configs: resolve_configs(configs)?,
+                    // Ignored by the sampled path (the sample spec
+                    // drives window sizing), kept at the batch defaults
+                    // so the supervision keys match `runner --sample`.
+                    warm: WARMUP,
+                    win: WINDOW,
+                    fast_forward: self.fast_forward,
+                },
+                *sample,
+            )),
+            CampaignKind::Dse {
+                space,
+                strategy,
+                seed,
+                trials,
+                sample,
+            } => {
+                if strategy == "halving" {
+                    return Err(
+                        "strategy `halving` is not servable: its cell set is adaptive \
+                         (use the r3dla-dse batch CLI, or exhaustive/random here)"
+                            .to_string(),
+                    );
+                }
+                Ok(Request::Dse(Box::new(DseSpec {
+                    scale: self.scale,
+                    workloads,
+                    space: SearchSpace::by_name(space).expect("validated at parse"),
+                    strategy: Strategy::parse(strategy, *seed, *trials)
+                        .expect("validated at parse"),
+                    sample: *sample,
+                    fast_forward: self.fast_forward,
+                })))
+            }
+        }
+    }
+}
+
+/// A resolved campaign request in batch-layer terms.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Full-window grid (`r3dla-bench-grid-v1` report).
+    Grid(GridSpec),
+    /// Sampled grid (`r3dla-bench-sample-v1` report).
+    Sample(GridSpec, SampleSpec),
+    /// Design-space search (`r3dla-dse-v1` report).
+    Dse(Box<DseSpec>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_round_trips() {
+        let spec = CampaignSpec::default();
+        assert_eq!(CampaignSpec::parse(&spec.render()), Ok(spec));
+    }
+
+    #[test]
+    fn minimal_spec_parses_to_defaults() {
+        let spec = CampaignSpec::parse("campaign r3dla-serve-v1\nend\n").unwrap();
+        assert_eq!(spec, CampaignSpec::default());
+    }
+
+    #[test]
+    fn comments_blanks_and_order_are_free() {
+        let text =
+            "# a comment\n\ncampaign r3dla-serve-v1\nscale train\n\n# mid\nclient bob\nend\n";
+        let spec = CampaignSpec::parse(text).unwrap();
+        assert_eq!(spec.client, "bob");
+        assert_eq!(spec.scale, Scale::Train);
+    }
+
+    #[test]
+    fn truncated_spec_is_rejected() {
+        let full = CampaignSpec::default().render();
+        let cut = &full[..full.len() - 4]; // drop "end\n"
+        assert!(CampaignSpec::parse(cut).unwrap_err().contains("end"));
+    }
+
+    #[test]
+    fn wrong_kind_fields_are_rejected() {
+        let err = CampaignSpec::parse("campaign r3dla-serve-v1\nkind grid\nspace quick\nend\n")
+            .unwrap_err();
+        assert!(err.contains("space"), "{err}");
+        let err =
+            CampaignSpec::parse("campaign r3dla-serve-v1\nkind dse\nwarm 100\nend\n").unwrap_err();
+        assert!(err.contains("warm"), "{err}");
+    }
+
+    #[test]
+    fn halving_parses_but_does_not_resolve() {
+        let spec =
+            CampaignSpec::parse("campaign r3dla-serve-v1\nkind dse\nstrategy halving\nend\n")
+                .unwrap();
+        assert!(spec.to_request().unwrap_err().contains("halving"));
+    }
+
+    #[test]
+    fn priority_range_is_enforced() {
+        for bad in ["0", "9", "x"] {
+            assert!(CampaignSpec::parse(&format!(
+                "campaign r3dla-serve-v1\npriority {bad}\nend\n"
+            ))
+            .is_err());
+        }
+    }
+}

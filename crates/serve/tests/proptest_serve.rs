@@ -1,0 +1,262 @@
+//! Property tests for the campaign-spec parser and the service
+//! scheduler (vendored proptest): arbitrary valid specs round-trip
+//! through the canonical renderer, arbitrary junk never panics the
+//! parser, and arbitrary client mixes of priorities and budgets never
+//! starve a client, never exceed a budget, and always dispatch
+//! deterministically in a per-client cell order.
+
+use proptest::prelude::*;
+use r3dla_sample::SampleSpec;
+use r3dla_serve::{CampaignKind, CampaignSpec, Reorder, Scheduler, MAX_PRIORITY};
+use r3dla_workloads::Scale;
+
+// ---------------------------------------------------------------------
+// Generators (from plain integers — the vendored proptest has no
+// string strategies).
+// ---------------------------------------------------------------------
+
+const CLIENTS: [&str; 4] = ["alice", "bob-2", "c.i", "batch_7"];
+const WORKLOAD_NAMES: [&str; 4] = ["libq_like", "md5_like", "kernel-x", "w_1"];
+const CONFIG_NAMES: [&str; 3] = ["bl", "dla", "r3"];
+const SPACES: [&str; 2] = ["quick", "full"];
+const STRATEGIES: [&str; 3] = ["exhaustive", "random", "halving"];
+const WARMUPS: [&str; 4] = ["none", "functional", "functional:7", "detailed:3"];
+
+fn pick<'a>(table: &[&'a str], i: u64) -> &'a str {
+    table[(i % table.len() as u64) as usize]
+}
+
+fn names(table: &[&'static str], picks: &[u64]) -> Vec<String> {
+    // Distinct names, order given by first pick — duplicates in a spec
+    // list would not round-trip (the parser keeps them, but a real
+    // campaign never repeats a name).
+    let mut out: Vec<String> = Vec::new();
+    for &p in picks {
+        let n = pick(table, p).to_string();
+        if !out.contains(&n) {
+            out.push(n);
+        }
+    }
+    out
+}
+
+fn sample_of(k: u64, detailed: u64, warm: u64) -> SampleSpec {
+    let label = format!(
+        "{}:{}:{}",
+        2 + k % 6,
+        100 + detailed % 5000,
+        pick(&WARMUPS, warm)
+    );
+    SampleSpec::parse(&label).unwrap()
+}
+
+fn scale_of(i: u64) -> Scale {
+    match i % 3 {
+        0 => Scale::Tiny,
+        1 => Scale::Train,
+        _ => Scale::Ref,
+    }
+}
+
+/// Decodes one generated integer into a client's (priority, n_cells):
+/// the vendored proptest has no tuple strategies.
+fn client_of(v: u64) -> (u32, usize) {
+    (1 + (v % 8) as u32, ((v / 8) % 12) as usize)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spec_of(
+    client: u64,
+    priority: u64,
+    budget: u64,
+    scale: u64,
+    workloads: &[u64],
+    fast_forward: bool,
+    kind_sel: u64,
+    a: u64,
+    b: u64,
+    c: u64,
+) -> CampaignSpec {
+    let kind = match kind_sel % 3 {
+        0 => CampaignKind::Grid {
+            configs: names(&CONFIG_NAMES, &[a, b]),
+            warm: 100 + b % 10_000,
+            win: 1000 + c % 100_000,
+        },
+        1 => CampaignKind::Sample {
+            configs: names(&CONFIG_NAMES, &[a]),
+            sample: sample_of(a, b, c),
+        },
+        _ => CampaignKind::Dse {
+            space: pick(&SPACES, a).to_string(),
+            strategy: pick(&STRATEGIES, b).to_string(),
+            seed: c,
+            trials: (a % 40) as usize,
+            sample: sample_of(c, a, b),
+        },
+    };
+    CampaignSpec {
+        client: pick(&CLIENTS, client).to_string(),
+        priority: 1 + (priority % MAX_PRIORITY as u64) as u32,
+        budget: if budget.is_multiple_of(3) {
+            None
+        } else {
+            Some((budget % 1000) as usize)
+        },
+        scale: scale_of(scale),
+        workloads: names(&WORKLOAD_NAMES, workloads),
+        fast_forward,
+        kind,
+    }
+}
+
+proptest! {
+    #[test]
+    fn spec_round_trips_through_canonical_render(
+        client: u64, priority: u64, budget: u64, scale: u64,
+        workloads in prop::collection::vec(0u64..100, 0..5),
+        fast_forward: bool, kind_sel: u64, a: u64, b: u64, c: u64,
+    ) {
+        let spec = spec_of(
+            client, priority, budget, scale, &workloads, fast_forward, kind_sel, a, b, c,
+        );
+        let rendered = spec.render();
+        prop_assert_eq!(CampaignSpec::parse(&rendered), Ok(spec));
+    }
+
+    #[test]
+    fn parser_never_panics_on_junk(bytes in prop::collection::vec(0u64..96, 0..200)) {
+        // Cover the grammar's separators heavily: newlines, spaces and
+        // the key characters, plus arbitrary printable noise.
+        const TABLE: &[u8] =
+            b"\n\n  \tcampaign end kind grid dse sample priority budget 0123456789.:,=|x-_#";
+        let text: String = bytes
+            .iter()
+            .map(|&b| TABLE[(b as usize) % TABLE.len()] as char)
+            .collect();
+        let _ = CampaignSpec::parse(&text);
+    }
+
+    #[test]
+    fn scheduler_dispatches_every_cell_once_in_client_order(
+        raw in prop::collection::vec(0u64..10_000, 1..6),
+    ) {
+        let clients: Vec<(u32, usize)> = raw.iter().map(|&v| client_of(v)).collect();
+        let mut s = Scheduler::new();
+        for (id, (priority, n)) in clients.iter().enumerate() {
+            s.admit(id as u64, *priority, *n, None).unwrap();
+        }
+        let schedule: Vec<(u64, usize)> = std::iter::from_fn(|| s.dispatch()).collect();
+        let total: usize = clients.iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(schedule.len(), total);
+        prop_assert!(s.is_empty());
+        for (id, (_, n)) in clients.iter().enumerate() {
+            let mine: Vec<usize> = schedule
+                .iter()
+                .filter(|(cid, _)| *cid == id as u64)
+                .map(|(_, cell)| *cell)
+                .collect();
+            let expect: Vec<usize> = (0..*n).collect();
+            prop_assert_eq!(mine, expect, "client {} cells out of order", id);
+        }
+    }
+
+    #[test]
+    fn scheduler_is_deterministic(
+        raw in prop::collection::vec(0u64..10_000, 1..6),
+    ) {
+        let clients: Vec<(u32, usize)> = raw.iter().map(|&v| client_of(v)).collect();
+        let run = || {
+            let mut s = Scheduler::new();
+            for (id, (priority, n)) in clients.iter().enumerate() {
+                s.admit(id as u64, *priority, *n, None).unwrap();
+            }
+            std::iter::from_fn(move || s.dispatch()).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn budgets_are_enforced_at_admission(
+        n in 0usize..40, slack in 0usize..10, short in 1usize..10, priority in 1u32..9,
+    ) {
+        // A budget that covers the campaign admits it whole...
+        let mut s = Scheduler::new();
+        s.admit(1, priority, n, Some(n + slack)).unwrap();
+        let dispatched = std::iter::from_fn(|| s.dispatch()).count();
+        prop_assert_eq!(dispatched, n, "an admitted campaign runs exactly its cells");
+
+        // ...and one that falls short rejects it whole: the client can
+        // never exceed its budget because nothing is ever admitted
+        // against insufficient budget.
+        if n > 0 {
+            let mut s = Scheduler::new();
+            let budget = n.saturating_sub(short.min(n));
+            prop_assert!(s.admit(1, priority, n, Some(budget)).is_err());
+            prop_assert_eq!(s.depth(), 0);
+        }
+    }
+
+    #[test]
+    fn no_client_starves_under_any_priority_mix(
+        raw in prop::collection::vec(0u64..10_000, 2..6),
+    ) {
+        // Every client has at least one cell so the starvation bound
+        // applies to each of them.
+        let clients: Vec<(u32, usize)> =
+            raw.iter().map(|&v| client_of(v)).map(|(p, n)| (p, 1 + n)).collect();
+        let mut s = Scheduler::new();
+        for (id, (priority, n)) in clients.iter().enumerate() {
+            s.admit(id as u64, *priority, *n, None).unwrap();
+        }
+        let schedule: Vec<(u64, usize)> = std::iter::from_fn(|| s.dispatch()).collect();
+        // Starvation bound: while a client has pending cells, it waits
+        // at most two full scheduling rounds (2 * sum of clamped
+        // priorities dispatches) between consecutive grants.
+        let window: usize = 2 * clients.iter().map(|(p, _)| *p as usize).sum::<usize>();
+        for (id, (_, n)) in clients.iter().enumerate() {
+            let positions: Vec<usize> = schedule
+                .iter()
+                .enumerate()
+                .filter(|(_, (cid, _))| *cid == id as u64)
+                .map(|(pos, _)| pos)
+                .collect();
+            prop_assert_eq!(positions.len(), *n);
+            prop_assert!(
+                positions[0] <= window,
+                "client {} first dispatch at {} > window {}",
+                id, positions[0], window
+            );
+            for pair in positions.windows(2) {
+                prop_assert!(
+                    pair[1] - pair[0] <= window,
+                    "client {} starved for {} dispatches (window {})",
+                    id, pair[1] - pair[0], window
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reorder_restores_index_order_from_any_completion_order(
+        keys in prop::collection::vec(0u64..1_000_000, 1..60),
+    ) {
+        // Derive an arbitrary completion permutation by sorting indices
+        // by random keys (stable, so duplicate keys stay valid).
+        let n = keys.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| keys[i]);
+
+        let mut r = Reorder::new();
+        let mut emitted: Vec<usize> = Vec::new();
+        for &idx in &order {
+            for (i, val) in r.push(idx, idx) {
+                prop_assert_eq!(i, val, "emitted item must carry its own index");
+                emitted.push(i);
+            }
+        }
+        let expect: Vec<usize> = (0..n).collect();
+        prop_assert_eq!(emitted, expect);
+        prop_assert_eq!(r.pending(), 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Chaos under the service: deterministic fault injection (cell panics
+//! and I/O errors), a client disconnecting mid-stream, and spool-file
+//! clients must all leave the cache and spool consistent — and every
+//! served report must still be byte-identical to a batch run under the
+//! same fault plan.
+
+use std::sync::Mutex;
+
+use r3dla_bench::runner::ConfigSpec;
+use r3dla_bench::{run_grid_supervised, FaultPlan, GridSpec, SuperviseConfig, Supervisor};
+use r3dla_dse::{run_dse_supervised, to_json, DseSpec, ResultCache, SearchSpace, Strategy};
+use r3dla_sample::SampleSpec;
+use r3dla_serve::{process_spool, ServeConfig, ServeEvent, ServeHandle};
+use r3dla_workloads::{by_name, Scale};
+
+/// Serializes tests in this binary: they share the process-global obs
+/// counters through the service's probes.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("r3dla-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn dse_spec() -> DseSpec {
+    DseSpec {
+        scale: Scale::Tiny,
+        workloads: vec![by_name("libq_like").unwrap()],
+        space: SearchSpace::quick(),
+        strategy: Strategy::Random { seed: 7, budget: 4 },
+        sample: SampleSpec::parse("2:800:none").unwrap(),
+        fast_forward: true,
+    }
+}
+
+fn dse_campaign(client: &str) -> String {
+    format!(
+        "campaign r3dla-serve-v1\nclient {client}\nkind dse\nscale tiny\n\
+         workloads libq_like\nspace quick\nstrategy random\nseed 7\ntrials 4\n\
+         sample 2:800:none\nend\n"
+    )
+}
+
+fn faulty_config(plan: &str) -> SuperviseConfig {
+    SuperviseConfig {
+        plan: FaultPlan::parse(plan).unwrap(),
+        backoff_ms: 0,
+        ..SuperviseConfig::default()
+    }
+}
+
+#[test]
+fn served_reports_under_faults_match_batch_runs() {
+    let _g = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let cfg = faulty_config("seed=5:panic=0.25:io=0.2");
+
+    // Batch reference under the exact same fault plan.
+    let sup = Supervisor::new(cfg.clone());
+    let reference = to_json(&run_dse_supervised(
+        &dse_spec(),
+        &ResultCache::disabled(),
+        2,
+        &sup,
+    ));
+
+    let dir = temp_dir("chaos-parity");
+    let handle = ServeHandle::start(ServeConfig {
+        threads: 2,
+        cache_dir: Some(dir.clone()),
+        supervise: cfg,
+    })
+    .unwrap();
+    let result = handle
+        .submit(&dse_campaign("chaos"))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(
+        result.report, reference,
+        "injected faults must not move a single report byte vs batch"
+    );
+    assert!(
+        result
+            .lines
+            .iter()
+            .any(|l| l.contains("attempts=2") || l.contains("attempts=3")),
+        "the fault plan must actually fire (no retried cell observed)"
+    );
+
+    // The cache took no collateral damage: no corrupt entries, no
+    // store errors (the plan injects cell faults only).
+    let health = handle.cache_health();
+    assert_eq!(health.corrupt, 0);
+    assert_eq!(health.store_errors, 0);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn client_disconnect_mid_stream_leaves_cache_resumable() {
+    let _g = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let cfg = faulty_config("seed=9:panic=0.3:io=0.1");
+    let sup = Supervisor::new(cfg.clone());
+    let reference = to_json(&run_dse_supervised(
+        &dse_spec(),
+        &ResultCache::disabled(),
+        2,
+        &sup,
+    ));
+
+    let dir = temp_dir("chaos-disconnect");
+    let handle = ServeHandle::start(ServeConfig {
+        threads: 2,
+        cache_dir: Some(dir.clone()),
+        supervise: cfg,
+    })
+    .unwrap();
+
+    // The client reads the acceptance and the first cell, then "drops
+    // the connection" (drops its event receiver). The campaign keeps
+    // running server-side.
+    let doomed = handle.submit(&dse_campaign("flaky")).unwrap();
+    assert!(matches!(doomed.recv(), Some(ServeEvent::Accepted { .. })));
+    assert!(matches!(doomed.recv(), Some(ServeEvent::Cell { .. })));
+    drop(doomed);
+    handle.wait_idle();
+
+    // Re-submitting resumes from the cache the disconnected campaign
+    // populated: byte-identical report, with cells served from disk
+    // (quarantined fault cells replay their recorded failures and are
+    // the only ones that may count as fresh).
+    let retry = handle
+        .submit(&dse_campaign("retry"))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(retry.report, reference);
+    assert!(
+        retry.stats.cache_hits + retry.stats.shared > 0,
+        "the resumed campaign must reuse the first campaign's cells"
+    );
+    let n = retry.stats.fresh + retry.stats.shared + retry.stats.cache_hits;
+    assert!(
+        retry.stats.cache_hits >= n / 2,
+        "most cells must come from the cache, got {:?}",
+        retry.stats
+    );
+    assert_eq!(handle.cache_health().corrupt, 0);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn spool_clients_survive_faults_and_bad_specs() {
+    let _g = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let cfg = faulty_config("seed=11:panic=0.2:io=0.2");
+
+    // Batch references under the same plan (fresh supervisors — the
+    // service's quarantine replay reproduces recorded failures, so a
+    // shared supervisor cannot drift from these).
+    let grid_spec = GridSpec {
+        scale: Scale::Tiny,
+        workloads: vec![by_name("md5_like").unwrap()],
+        configs: vec![
+            ConfigSpec::by_name("bl").unwrap(),
+            ConfigSpec::by_name("dla").unwrap(),
+        ],
+        warm: 300,
+        win: 1500,
+        fast_forward: true,
+    };
+    let grid_ref = run_grid_supervised(&grid_spec, 2, &Supervisor::new(cfg.clone())).to_json(false);
+    let dse_ref = to_json(&run_dse_supervised(
+        &dse_spec(),
+        &ResultCache::disabled(),
+        2,
+        &Supervisor::new(cfg.clone()),
+    ));
+
+    let spool = temp_dir("chaos-spool");
+    std::fs::create_dir_all(&spool).unwrap();
+    std::fs::write(
+        spool.join("a-grid.campaign"),
+        "campaign r3dla-serve-v1\nclient spool-a\nkind grid\nscale tiny\n\
+         workloads md5_like\nconfigs bl,dla\nwarm 300\nwindow 1500\nend\n",
+    )
+    .unwrap();
+    std::fs::write(spool.join("b-dse.campaign"), dse_campaign("spool-b")).unwrap();
+    // A truncated spec (no `end`): must be rejected, not half-run.
+    std::fs::write(
+        spool.join("c-bad.campaign"),
+        "campaign r3dla-serve-v1\nkind grid\n",
+    )
+    .unwrap();
+
+    let cache_dir = temp_dir("chaos-spool-cache");
+    let handle = ServeHandle::start(ServeConfig {
+        threads: 2,
+        cache_dir: Some(cache_dir.clone()),
+        supervise: cfg,
+    })
+    .unwrap();
+    let report = process_spool(&handle, &spool).unwrap();
+    assert_eq!(report.completed, 2);
+    assert_eq!(report.rejected, 1);
+
+    // Spool is consistent: inputs claimed, streams complete, reports
+    // byte-identical to batch, rejection explained.
+    for name in ["a-grid", "b-dse", "c-bad"] {
+        assert!(!spool.join(format!("{name}.campaign")).exists());
+        assert!(spool.join(format!("{name}.campaign.taken")).exists());
+    }
+    for name in ["a-grid", "b-dse"] {
+        let stream = std::fs::read_to_string(spool.join(format!("{name}.stream"))).unwrap();
+        assert!(stream.starts_with("accepted cells="));
+        assert!(stream.lines().last().unwrap().starts_with("done "));
+    }
+    let served_grid = std::fs::read_to_string(spool.join("a-grid.report.json")).unwrap();
+    let served_dse = std::fs::read_to_string(spool.join("b-dse.report.json")).unwrap();
+    assert_eq!(served_grid, grid_ref);
+    assert_eq!(served_dse, dse_ref);
+    let error = std::fs::read_to_string(spool.join("c-bad.error")).unwrap();
+    assert!(error.starts_with("rejected "), "{error}");
+    assert!(!spool.join("c-bad.report.json").exists());
+
+    assert_eq!(handle.cache_health().corrupt, 0);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&spool);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}

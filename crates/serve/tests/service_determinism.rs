@@ -1,0 +1,203 @@
+//! Service determinism: a campaign served by `r3dla-serve` must produce
+//! a report byte-identical to the batch binary's output for the same
+//! spec — including when two clients submit the same campaign
+//! concurrently against one warm service — and the dedup counters must
+//! prove that overlapping cells were simulated only once.
+
+use std::sync::Mutex;
+
+use r3dla_bench::runner::ConfigSpec;
+use r3dla_bench::{run_grid_supervised, GridSpec, SuperviseConfig, Supervisor, WARMUP, WINDOW};
+use r3dla_dse::{run_dse, to_json, DseSpec, ResultCache, SearchSpace, Strategy};
+use r3dla_obs::counters;
+use r3dla_sample::SampleSpec;
+use r3dla_serve::{ServeConfig, ServeHandle};
+use r3dla_workloads::{by_name, Scale};
+
+/// Counters are process-global; every test that arms or reads them
+/// holds this lock so parallel tests in this binary don't cross-count.
+static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("r3dla-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+const DSE_CAMPAIGN: &str = "\
+campaign r3dla-serve-v1
+client {client}
+priority {priority}
+kind dse
+scale tiny
+workloads libq_like
+space quick
+strategy random
+seed 7
+trials 4
+sample 2:800:none
+end
+";
+
+fn dse_campaign(client: &str, priority: u32) -> String {
+    DSE_CAMPAIGN
+        .replace("{client}", client)
+        .replace("{priority}", &priority.to_string())
+}
+
+/// The batch-layer spec the campaign text above resolves to.
+fn dse_spec() -> DseSpec {
+    DseSpec {
+        scale: Scale::Tiny,
+        workloads: vec![by_name("libq_like").unwrap()],
+        space: SearchSpace::quick(),
+        strategy: Strategy::Random { seed: 7, budget: 4 },
+        sample: SampleSpec::parse("2:800:none").unwrap(),
+        fast_forward: true,
+    }
+}
+
+#[test]
+fn concurrent_dse_clients_get_batch_identical_reports_and_dedup() {
+    let _g = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+    // Reference: a fresh single-client batch run, no cache.
+    let reference = to_json(&run_dse(&dse_spec(), &ResultCache::disabled(), 2));
+
+    counters::set_enabled(true);
+    counters::reset();
+
+    let dir = temp_dir("dse-dedup");
+    let handle = ServeHandle::start(ServeConfig {
+        threads: 2,
+        cache_dir: Some(dir.clone()),
+        supervise: SuperviseConfig::default(),
+    })
+    .unwrap();
+
+    // Two clients, same campaign, different priorities, submitted
+    // back-to-back so their cells genuinely interleave in the pool.
+    let a = handle.submit(&dse_campaign("alice", 3)).unwrap();
+    let b = handle.submit(&dse_campaign("bob", 1)).unwrap();
+    let ra = a.wait().unwrap();
+    let rb = b.wait().unwrap();
+
+    assert_eq!(
+        ra.report, reference,
+        "client a's report must be batch-identical"
+    );
+    assert_eq!(
+        rb.report, reference,
+        "client b's report must be batch-identical"
+    );
+
+    // The streams are identical line-for-line up to the `done` tallies
+    // (which depend on who reached a shared cell first): same cells,
+    // same order, same statuses, same report bytes.
+    assert_eq!(
+        ra.lines[..ra.lines.len() - 1],
+        rb.lines[..rb.lines.len() - 1],
+        "cell stream order must be deterministic across clients"
+    );
+
+    // Every overlapping cell simulated exactly once: each campaign
+    // covers all n cells, the service simulated n fresh in total, and
+    // the other n were served shared / from the disk cache.
+    let n = ra.stats.fresh + ra.stats.shared + ra.stats.cache_hits;
+    assert!(n > 0);
+    assert_eq!(n, rb.stats.fresh + rb.stats.shared + rb.stats.cache_hits);
+    let stats = handle.stats();
+    assert_eq!(stats.campaigns, 2);
+    assert_eq!(stats.fresh, n, "each distinct cell simulates exactly once");
+    assert_eq!(stats.shared + stats.cache_hits, n);
+    assert_eq!(counters::get("serve.dedup"), n);
+    assert_eq!(
+        counters::get("dse.cache.hits"),
+        n,
+        "every deduped dse cell is one disk-cache hit"
+    );
+
+    // Third client against the now-warm service: zero fresh work.
+    let c = handle.submit(&dse_campaign("carol", 8)).unwrap();
+    let rc = c.wait().unwrap();
+    assert_eq!(rc.report, reference);
+    assert_eq!(rc.stats.fresh, 0, "a warm service re-simulates nothing");
+
+    handle.shutdown();
+    counters::set_enabled(false);
+    counters::reset();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn grid_campaigns_match_batch_and_memoize_on_reuse() {
+    let _g = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+    let spec = GridSpec {
+        scale: Scale::Tiny,
+        workloads: vec![by_name("md5_like").unwrap()],
+        configs: vec![
+            ConfigSpec::by_name("bl").unwrap(),
+            ConfigSpec::by_name("dla").unwrap(),
+        ],
+        warm: 300,
+        win: 1500,
+        fast_forward: true,
+    };
+    let sup = Supervisor::new(SuperviseConfig::default());
+    let reference = run_grid_supervised(&spec, 2, &sup).to_json(false);
+
+    let campaign = |client: &str| {
+        format!(
+            "campaign r3dla-serve-v1\nclient {client}\nkind grid\nscale tiny\n\
+             workloads md5_like\nconfigs bl,dla\nwarm 300\nwindow 1500\nend\n"
+        )
+    };
+    let handle = ServeHandle::start(ServeConfig::default()).unwrap();
+    let first = handle.submit(&campaign("one")).unwrap().wait().unwrap();
+    assert_eq!(first.report, reference);
+    assert_eq!(first.stats.shared, 0, "a cold service has nothing to share");
+
+    // Same campaign again: every cell comes from the service memo.
+    let second = handle.submit(&campaign("two")).unwrap().wait().unwrap();
+    assert_eq!(second.report, reference);
+    assert_eq!(second.stats.fresh, 0);
+    assert_eq!(
+        second.stats.shared, first.stats.fresh,
+        "the repeat campaign is served entirely from memo"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn sampled_campaigns_match_batch_reports() {
+    let _g = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+    let spec = GridSpec {
+        scale: Scale::Tiny,
+        workloads: vec![by_name("libq_like").unwrap()],
+        configs: vec![
+            ConfigSpec::by_name("bl").unwrap(),
+            ConfigSpec::by_name("r3").unwrap(),
+        ],
+        warm: WARMUP,
+        win: WINDOW,
+        fast_forward: true,
+    };
+    let sample = SampleSpec::parse("2:800:none").unwrap();
+    let sup = Supervisor::new(SuperviseConfig::default());
+    let reference =
+        r3dla_bench::sampled::run_grid_sampled_supervised(&spec, &sample, 2, &sup).to_json(false);
+
+    let handle = ServeHandle::start(ServeConfig::default()).unwrap();
+    let result = handle
+        .submit(
+            "campaign r3dla-serve-v1\nclient s1\nkind sample\nscale tiny\n\
+             workloads libq_like\nconfigs bl,r3\nsample 2:800:none\nend\n",
+        )
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(result.report, reference);
+    handle.shutdown();
+}
